@@ -1,0 +1,77 @@
+// E11: FD+IND chase behaviour — the Section 7 schema chase terminates
+// (its IND graph is acyclic) and scales with n; cyclic IND sets exhaust
+// the budget (the undecidability surface of Mitchell / Chandra-Vardi).
+#include <benchmark/benchmark.h>
+
+#include "chase/chase.h"
+#include "constructions/section7.h"
+
+namespace ccfp {
+namespace {
+
+void BM_Section7ChaseLemma72(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Section7Construction c = MakeSection7(n);
+  bool implied = false;
+  for (auto _ : state) {
+    Result<bool> result =
+        ChaseImplies(c.scheme, c.fds, c.inds, Dependency(c.sigma));
+    if (result.ok()) implied = *result;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["implied"] = implied ? 1 : 0;  // Lemma 7.2: always 1
+  state.counters["deps"] = static_cast<double>(c.fds.size() + c.inds.size());
+}
+
+BENCHMARK(BM_Section7ChaseLemma72)->RangeMultiplier(2)->Range(1, 32);
+
+void BM_CyclicChaseHitsBudget(benchmark::State& state) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}});
+  std::vector<Fd> fds = {MakeFd(*scheme, "R", {"A"}, {"B"})};
+  std::vector<Ind> inds = {MakeInd(*scheme, "R", {"A"}, "R", {"B"})};
+  ChaseOptions options;
+  options.max_tuples = static_cast<std::uint64_t>(state.range(0));
+  options.max_steps = options.max_tuples * 4;
+  std::uint64_t exhausted = 0;
+  for (auto _ : state) {
+    Result<bool> result =
+        ChaseImplies(scheme, fds, inds,
+                     Dependency(MakeInd(*scheme, "R", {"B"}, "R", {"A"})),
+                     options);
+    if (!result.ok()) ++exhausted;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["budget"] = static_cast<double>(state.range(0));
+  state.counters["exhausted"] = static_cast<double>(exhausted);
+}
+
+BENCHMARK(BM_CyclicChaseHitsBudget)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_ChaseFixpointSize(benchmark::State& state) {
+  // Size of the chased universal model for the Section 7 scheme, seeded
+  // with one generic F tuple — grows linearly with n.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Section7Construction c = MakeSection7(n);
+  Chase chase(c.scheme, c.fds, c.inds);
+  std::size_t tuples = 0;
+  for (auto _ : state) {
+    Database seed(c.scheme);
+    std::size_t arity = c.scheme->relation(c.f).arity();
+    Tuple t(arity);
+    for (AttrId a = 0; a < arity; ++a) t[a] = Value::Null(a + 1);
+    seed.Insert(c.f, std::move(t));
+    Result<ChaseResult> result = chase.Run(std::move(seed));
+    if (result.ok()) tuples = result->db.TotalTuples();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["tuples"] = static_cast<double>(tuples);
+}
+
+BENCHMARK(BM_ChaseFixpointSize)->RangeMultiplier(2)->Range(1, 64);
+
+}  // namespace
+}  // namespace ccfp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Ablation (DESIGN.md E8/E12 companion): a fixed finite rule arsenal
+// (Armstrong + IND1-3 + Propositions 4.1-4.3) versus the chase on the
+// Section 7 family. The chase derives sigma = F: A -> C for every n; the
+// arsenal never does — the executable content of Theorem 7.1 ("no k-ary
+// axiomatization"), measured.
+#include <benchmark/benchmark.h>
+
+#include "chase/chase.h"
+#include "constructions/section7.h"
+#include "interact/derivation.h"
+
+namespace ccfp {
+namespace {
+
+void BM_ArsenalOnSection7(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Section7Construction c = MakeSection7(n);
+  bool derived = true;
+  std::size_t trace = 0, derived_fds = 0, derived_inds = 0;
+  for (auto _ : state) {
+    MixedDerivation engine(c.scheme, c.SigmaDeps());
+    Status st = engine.Saturate();
+    if (st.ok()) {
+      derived = engine.Derives(Dependency(c.sigma));
+      trace = engine.trace().size();
+      derived_fds = engine.fds().size();
+      derived_inds = engine.inds().size();
+    }
+    benchmark::DoNotOptimize(engine);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["derives_sigma"] = derived ? 1 : 0;  // always 0 (Thm 7.1)
+  state.counters["interaction_steps"] = static_cast<double>(trace);
+  state.counters["fds"] = static_cast<double>(derived_fds);
+  state.counters["inds"] = static_cast<double>(derived_inds);
+}
+
+BENCHMARK(BM_ArsenalOnSection7)->DenseRange(1, 6);
+
+void BM_ChaseOnSection7(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Section7Construction c = MakeSection7(n);
+  bool implied = false;
+  for (auto _ : state) {
+    Result<bool> result =
+        ChaseImplies(c.scheme, c.fds, c.inds, Dependency(c.sigma));
+    if (result.ok()) implied = *result;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["derives_sigma"] = implied ? 1 : 0;  // always 1 (Lemma 7.2)
+}
+
+BENCHMARK(BM_ChaseOnSection7)->DenseRange(1, 6);
+
+// On instances the arsenal CAN handle (Propositions 4.1-4.3 shaped), it is
+// far cheaper than the chase — the trade the paper's Section 8 hints at
+// when it recommends restricted fragments.
+void BM_ArsenalOnProposition41(benchmark::State& state) {
+  SchemePtr scheme = MakeScheme({{"R", {"X", "Y"}}, {"S", {"T", "U"}}});
+  std::vector<Dependency> sigma = {
+      Dependency(MakeInd(*scheme, "R", {"X", "Y"}, "S", {"T", "U"})),
+      Dependency(MakeFd(*scheme, "S", {"T"}, {"U"}))};
+  Dependency target(MakeFd(*scheme, "R", {"X"}, {"Y"}));
+  bool derived = false;
+  for (auto _ : state) {
+    MixedDerivation engine(scheme, sigma);
+    if (engine.Saturate().ok()) derived = engine.Derives(target);
+    benchmark::DoNotOptimize(engine);
+  }
+  state.counters["derives"] = derived ? 1 : 0;  // 1
+}
+
+BENCHMARK(BM_ArsenalOnProposition41);
+
+void BM_ChaseOnProposition41(benchmark::State& state) {
+  SchemePtr scheme = MakeScheme({{"R", {"X", "Y"}}, {"S", {"T", "U"}}});
+  std::vector<Fd> fds = {MakeFd(*scheme, "S", {"T"}, {"U"})};
+  std::vector<Ind> inds = {
+      MakeInd(*scheme, "R", {"X", "Y"}, "S", {"T", "U"})};
+  Dependency target(MakeFd(*scheme, "R", {"X"}, {"Y"}));
+  bool implied = false;
+  for (auto _ : state) {
+    Result<bool> result = ChaseImplies(scheme, fds, inds, target);
+    if (result.ok()) implied = *result;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["derives"] = implied ? 1 : 0;  // 1
+}
+
+BENCHMARK(BM_ChaseOnProposition41);
+
+}  // namespace
+}  // namespace ccfp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// E5: finite vs unrestricted implication (Theorem 4.4 / Section 6 cycles).
+// The unary counting engine decides |=fin for cycle families of growing
+// size k in polynomial time, while the same conclusions are unrestrictedly
+// non-implied.
+#include <benchmark/benchmark.h>
+
+#include "constructions/section6.h"
+#include "constructions/theorem44.h"
+#include "core/satisfies.h"
+#include "interact/finite_vs_unrestricted.h"
+#include "interact/unary_finite.h"
+
+namespace ccfp {
+namespace {
+
+void BM_UnaryFiniteEngineOnCycles(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Section6Construction c = MakeSection6(k);
+  bool implied = false;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    UnaryFiniteImplication engine(c.scheme, c.fds, c.inds);
+    implied = engine.Implies(c.sigma_target);
+    rounds = engine.rounds();
+    benchmark::DoNotOptimize(engine);
+  }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["implied_fin"] = implied ? 1 : 0;  // always 1
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+
+BENCHMARK(BM_UnaryFiniteEngineOnCycles)->RangeMultiplier(2)->Range(2, 128);
+
+void BM_CompareImplicationTheorem44(benchmark::State& state) {
+  Theorem44Gadget g = MakeTheorem44Gadget();
+  int separations = 0;
+  for (auto _ : state) {
+    FiniteVsUnrestricted verdict = CompareImplication(
+        g.scheme, {g.fd}, {g.ind}, Dependency(g.ind_conclusion));
+    separations = (verdict.finite == ImplicationVerdict::kImplied &&
+                   verdict.unrestricted == ImplicationVerdict::kNotImplied)
+                      ? 1
+                      : 0;
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.counters["separated"] = separations;  // 1: |=fin holds, |= fails
+}
+
+BENCHMARK(BM_CompareImplicationTheorem44);
+
+void BM_PrefixViolationScan(benchmark::State& state) {
+  // Model-checking cost of confirming that the length-N prefix of the
+  // Figure 4.1 infinite witness violates Sigma.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Theorem44Gadget g = MakeTheorem44Gadget();
+  Database prefix = Figure41Prefix(g, n);
+  bool fd_holds = false, ind_holds = true;
+  for (auto _ : state) {
+    fd_holds = Satisfies(prefix, g.fd);
+    ind_holds = Satisfies(prefix, g.ind);
+    benchmark::DoNotOptimize(fd_holds);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["fd_holds"] = fd_holds ? 1 : 0;    // always 1
+  state.counters["ind_holds"] = ind_holds ? 1 : 0;  // always 0 (boundary)
+}
+
+BENCHMARK(BM_PrefixViolationScan)->RangeMultiplier(8)->Range(8, 32768);
+
+}  // namespace
+}  // namespace ccfp
+
+BENCHMARK_MAIN();

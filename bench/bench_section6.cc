@@ -1,0 +1,47 @@
+// E7: the Theorem 6.1 construction — building the rotated Figure 6.1
+// Armstrong database and verifying property (6.1) ("obeys exactly
+// Gamma - delta") for growing k.
+#include <benchmark/benchmark.h>
+
+#include "constructions/section6.h"
+#include "core/satisfies.h"
+
+namespace ccfp {
+namespace {
+
+void BM_BuildArmstrongDatabase(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Section6Construction c = MakeSection6(k);
+  std::size_t tuples = 0;
+  for (auto _ : state) {
+    Database d = MakeSection6Armstrong(c, k / 2);
+    tuples = d.TotalTuples();
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["tuples"] = static_cast<double>(tuples);
+}
+
+BENCHMARK(BM_BuildArmstrongDatabase)->RangeMultiplier(2)->Range(1, 64);
+
+void BM_VerifyProperty61(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Section6Construction c = MakeSection6(k);
+  Database d = MakeSection6Armstrong(c, 0);
+  std::vector<Dependency> expected = Section6ExpectedSatisfied(c, 0);
+  bool exact = false;
+  for (auto _ : state) {
+    exact = !ObeysExactly(d, c.universe, expected).has_value();
+    benchmark::DoNotOptimize(exact);
+  }
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["universe"] = static_cast<double>(c.universe.size());
+  state.counters["exact"] = exact ? 1 : 0;  // always 1: property (6.1)
+}
+
+BENCHMARK(BM_VerifyProperty61)->RangeMultiplier(2)->Range(1, 16);
+
+}  // namespace
+}  // namespace ccfp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// The headline theorem, executable: for no k does a k-ary complete
+// axiomatization of FDs + INDs exist (Theorems 5.1, 6.1). This example
+// builds the Section 6 construction for a chosen k, exhibits the Armstrong
+// databases of Figure 6.1, and runs the Theorem 5.1 closure checks.
+#include <cstdlib>
+#include <iostream>
+
+#include "axiom/kary.h"
+#include "axiom/oracle.h"
+#include "constructions/section6.h"
+#include "core/satisfies.h"
+#include "interact/unary_finite.h"
+
+int main(int argc, char** argv) {
+  using namespace ccfp;
+  std::size_t k = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2;
+  if (k < 1 || k > 3) k = 2;
+
+  Section6Construction c = MakeSection6(k);
+  std::cout << "=== Theorem 6.1 construction, k = " << k << " ===\n";
+  std::cout << "Sigma_k:\n";
+  for (const Dependency& dep : c.SigmaDeps()) {
+    std::cout << "  " << dep.ToString(*c.scheme) << "\n";
+  }
+  std::cout << "sigma_k = " << Dependency(c.sigma_target).ToString(*c.scheme)
+            << "\n\n";
+
+  // 1. Sigma_k finitely implies sigma_k (the counting argument).
+  UnaryFiniteImplication finite_engine(c.scheme, c.fds, c.inds);
+  std::cout << "Sigma_k |=fin sigma_k : "
+            << (finite_engine.Implies(c.sigma_target) ? "yes" : "NO?!")
+            << "   (cardinality-cycle rules)\n";
+
+  // 2. The Figure 6.1 Armstrong databases: one per omitted IND.
+  std::cout << "\nArmstrong databases d(delta_j), each obeying exactly "
+               "Gamma - delta_j:\n";
+  for (std::size_t j = 0; j <= k; ++j) {
+    Database d = MakeSection6Armstrong(c, j);
+    auto mismatch =
+        ObeysExactly(d, c.universe, Section6ExpectedSatisfied(c, j));
+    std::cout << "  d(delta_" << j << "): " << d.TotalTuples()
+              << " tuples, property (6.1) "
+              << (mismatch.has_value() ? "FAILS" : "verified") << "\n";
+  }
+  Database d0 = MakeSection6Armstrong(c, 0);
+  std::cout << "\nd(delta_0) contents (Figure 6.1, rotated):\n"
+            << d0.ToString();
+
+  // 3. Theorem 5.1: Gamma is closed under k-ary finite implication...
+  std::vector<Database> witnesses;
+  for (std::size_t j = 0; j <= k; ++j) {
+    witnesses.push_back(MakeSection6Armstrong(c, j));
+  }
+  CounterexampleOracle refuter(std::move(witnesses));
+  KaryStats stats;
+  auto escape = FindKaryEscape(c.universe, c.gamma, refuter, k, &stats);
+  std::cout << "\nGamma closed under " << k << "-ary finite implication: "
+            << (escape.has_value() ? "NO?!" : "yes") << "  ("
+            << stats.oracle_queries << " oracle queries)\n";
+
+  // 4. ... but not under full implication: sigma_k escapes.
+  UnaryFiniteOracle finite_oracle(c.scheme);
+  auto full_escape = FindFullEscape(c.universe, c.gamma, finite_oracle);
+  if (full_escape.has_value()) {
+    std::cout << "Gamma NOT closed under unbounded implication; escape:\n  "
+              << full_escape->conclusion.ToString(*c.scheme) << "\n";
+  }
+  std::cout << "\nBy Theorem 5.1, no " << k
+            << "-ary complete axiomatization exists for finite implication "
+               "of FDs and INDs over this scheme.\n";
+  return 0;
+}

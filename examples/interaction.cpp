@@ -1,0 +1,86 @@
+// The Section 4 story: FDs and INDs interact. Propositions 4.1-4.3 derive
+// new FDs, INDs, and repeating dependencies; Theorem 4.4 separates finite
+// from unrestricted implication.
+#include <iostream>
+
+#include "chase/chase.h"
+#include "constructions/theorem44.h"
+#include "core/satisfies.h"
+#include "interact/finite_vs_unrestricted.h"
+#include "interact/rules.h"
+
+int main() {
+  using namespace ccfp;
+
+  SchemePtr scheme = MakeScheme({{"R", {"X", "Y", "Z"}},
+                                 {"S", {"T", "U", "V"}}});
+
+  Ind ind_xy = MakeInd(*scheme, "R", {"X", "Y"}, "S", {"T", "U"});
+  Ind ind_xz = MakeInd(*scheme, "R", {"X", "Z"}, "S", {"T", "V"});
+  Ind ind_xz_same = MakeInd(*scheme, "R", {"X", "Z"}, "S", {"T", "U"});
+  Fd fd = MakeFd(*scheme, "S", {"T"}, {"U"});
+
+  std::cout << "Premises:\n  " << Dependency(ind_xy).ToString(*scheme)
+            << "\n  " << Dependency(ind_xz).ToString(*scheme) << "\n  "
+            << Dependency(fd).ToString(*scheme) << "\n\n";
+
+  // Proposition 4.1: pull the FD back through the IND.
+  Fd pullback = ApplyPullback(*scheme, ind_xy, fd).value();
+  std::cout << "Prop 4.1 (pullback):   "
+            << Dependency(pullback).ToString(*scheme) << "\n";
+
+  // Proposition 4.2: collect the two INDs into a wider one.
+  Ind collected = ApplyCollection(*scheme, ind_xy, ind_xz, fd).value();
+  std::cout << "Prop 4.2 (collection): "
+            << Dependency(collected).ToString(*scheme) << "\n";
+
+  // Proposition 4.3: the degenerate case yields a repeating dependency —
+  // a sentence NOT expressible by FDs and INDs.
+  Rd rd = DeriveRd(*scheme, ind_xy, ind_xz_same, fd).value();
+  std::cout << "Prop 4.3 (repeating):  " << Dependency(rd).ToString(*scheme)
+            << "   [with both INDs sharing the right-hand side]\n\n";
+
+  // All three re-derived semantically by the chase.
+  for (const Dependency& target :
+       {Dependency(pullback), Dependency(collected)}) {
+    Result<bool> implied = ChaseImplies(
+        scheme, {fd}, {ind_xy, ind_xz}, target);
+    std::cout << "chase confirms " << target.ToString(*scheme) << ": "
+              << (implied.ok() && *implied ? "implied" : "NOT implied")
+              << "\n";
+  }
+  Result<bool> rd_implied =
+      ChaseImplies(scheme, {fd}, {ind_xy, ind_xz_same}, Dependency(rd));
+  std::cout << "chase confirms " << Dependency(rd).ToString(*scheme) << ": "
+            << (rd_implied.ok() && *rd_implied ? "implied" : "NOT implied")
+            << "\n\n";
+
+  // Theorem 4.4: finite and unrestricted implication differ.
+  Theorem44Gadget g = MakeTheorem44Gadget();
+  std::cout << "Theorem 4.4 gadget: Sigma = { "
+            << Dependency(g.fd).ToString(*g.scheme) << " ;  "
+            << Dependency(g.ind).ToString(*g.scheme) << " }\n";
+  for (const Dependency& target :
+       {Dependency(g.ind_conclusion), Dependency(g.fd_conclusion)}) {
+    FiniteVsUnrestricted verdict =
+        CompareImplication(g.scheme, {g.fd}, {g.ind}, target);
+    std::cout << "  " << target.ToString(*g.scheme)
+              << "\n    finite:       "
+              << ImplicationVerdictToString(verdict.finite) << "  ["
+              << verdict.finite_engine << "]\n    unrestricted: "
+              << ImplicationVerdictToString(verdict.unrestricted) << "  ["
+              << verdict.unrestricted_engine << "]\n";
+  }
+
+  std::cout << "\nWhy no finite counterexample exists: every finite prefix "
+               "of the infinite witness violates Sigma —\n";
+  for (std::size_t n : {4u, 16u, 64u}) {
+    Database prefix = Figure41Prefix(g, n);
+    std::cout << "  prefix n=" << n << ": FD "
+              << (Satisfies(prefix, g.fd) ? "holds" : "fails") << ", IND "
+              << (Satisfies(prefix, g.ind) ? "holds" : "fails (boundary)")
+              << "\n";
+  }
+  std::cout << "\n" << Figure41Witness().explanation << "\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Referential-integrity design: a small warehouse schema whose foreign-key
+// graph is a set of INDs. Shows the decision procedure, its complexity
+// caveat (Theorem 3.3: PSPACE-complete in general), and the polynomial
+// special cases the paper recommends (typed INDs, bounded width, unary).
+#include <iostream>
+
+#include "chase/ind_chase.h"
+#include "core/parser.h"
+#include "ind/implication.h"
+#include "ind/special.h"
+
+int main() {
+  using namespace ccfp;
+
+  SchemePtr scheme = MakeScheme({
+      {"ORDERS", {"ORDER_ID", "CUST_ID", "ITEM_ID"}},
+      {"CUSTOMERS", {"CUST_ID", "REGION"}},
+      {"ITEMS", {"ITEM_ID", "SUPPLIER_ID"}},
+      {"SUPPLIERS", {"SUPPLIER_ID", "REGION"}},
+      {"AUDIT", {"ORDER_ID", "CUST_ID", "ITEM_ID"}},
+  });
+
+  std::vector<Dependency> design = ParseDependencies(*scheme, R"(
+# Foreign keys.
+ORDERS[CUST_ID] <= CUSTOMERS[CUST_ID]
+ORDERS[ITEM_ID] <= ITEMS[ITEM_ID]
+ITEMS[SUPPLIER_ID] <= SUPPLIERS[SUPPLIER_ID]
+# The audit trail mirrors orders (typed IND).
+AUDIT[ORDER_ID, CUST_ID, ITEM_ID] <= ORDERS[ORDER_ID, CUST_ID, ITEM_ID]
+)").value();
+
+  std::vector<Ind> sigma;
+  for (const Dependency& dep : design) sigma.push_back(dep.ind());
+  IndImplication engine(scheme, sigma);
+
+  std::cout << "Schema INDs:\n";
+  for (const Dependency& dep : design) {
+    std::cout << "  " << dep.ToString(*scheme) << "\n";
+  }
+
+  // Derived integrity: audited items resolve to suppliers.
+  Ind derived = ParseDependency(*scheme, "AUDIT[ITEM_ID] <= ITEMS[ITEM_ID]")
+                    .value()
+                    .ind();
+  IndDecisionOptions options;
+  options.want_proof = true;
+  IndDecision decision = engine.Decide(derived, options).value();
+  std::cout << "\nDerived: " << Dependency(derived).ToString(*scheme)
+            << " -> " << (decision.implied ? "implied" : "not implied")
+            << " (chain length " << decision.chain_length << ")\n";
+  std::cout << decision.proof->ToString();
+
+  // Negative query: regions do not flow back.
+  Ind not_derived =
+      ParseDependency(*scheme, "CUSTOMERS[REGION] <= SUPPLIERS[REGION]")
+          .value()
+          .ind();
+  std::cout << "\nNot derived: "
+            << Dependency(not_derived).ToString(*scheme) << " -> "
+            << (engine.Implies(not_derived) ? "implied" : "not implied")
+            << "\n";
+
+  // The Rule (*) construction (Theorem 3.1) double-checks and also yields
+  // a concrete counterexample database for the negative query.
+  IndChaseResult chase =
+      IndChaseDecide(scheme, sigma, not_derived).value();
+  std::cout << "Rule (*) chase agrees: "
+            << (chase.implied ? "implied" : "not implied")
+            << "; counterexample database has " << chase.db.TotalTuples()
+            << " tuples.\n";
+
+  // Fast paths. All the INDs above are typed, so the polynomial typed
+  // decision applies (end of Section 3 of the paper).
+  Result<bool> typed = TypedIndImplies(*scheme, sigma, derived);
+  std::cout << "\nTyped-IND fast path: "
+            << (typed.ok() && *typed ? "implied" : "not implied / n-a")
+            << "\n";
+  std::cout << "Expression-space bound at width 1: "
+            << ExpressionSpaceBound(*scheme, 1) << " (width 3: "
+            << ExpressionSpaceBound(*scheme, 3)
+            << ") — polynomial for fixed width, exponential in general "
+               "(PSPACE-complete, Theorem 3.3).\n";
+  return 0;
+}

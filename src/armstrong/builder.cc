@@ -1,0 +1,129 @@
+#include "armstrong/builder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/satisfies.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+// Appends a pair of tuples to `db.relation(fd.rel)` that agree (share a
+// null) exactly on fd.lhs and are generic elsewhere — a seed violating `fd`
+// unless the chase proves otherwise.
+void SeedFdViolation(Database& db, const Fd& fd, std::uint64_t& next_null) {
+  std::size_t arity = db.scheme().relation(fd.rel).arity();
+  Tuple t1(arity), t2(arity);
+  for (AttrId a = 0; a < arity; ++a) {
+    bool shared =
+        std::find(fd.lhs.begin(), fd.lhs.end(), a) != fd.lhs.end();
+    t1[a] = Value::Null(next_null++);
+    t2[a] = shared ? t1[a] : Value::Null(next_null++);
+  }
+  db.Insert(fd.rel, std::move(t1));
+  db.Insert(fd.rel, std::move(t2));
+}
+
+// Appends one generic tuple to `rel` (a seed against INDs/RDs that must be
+// violated, and against "empty relation satisfies everything" artifacts).
+void SeedGenericTuple(Database& db, RelId rel, std::uint64_t& next_null) {
+  std::size_t arity = db.scheme().relation(rel).arity();
+  Tuple t(arity);
+  for (AttrId a = 0; a < arity; ++a) t[a] = Value::Null(next_null++);
+  db.Insert(rel, std::move(t));
+}
+
+}  // namespace
+
+Result<ArmstrongReport> BuildArmstrongDatabase(
+    SchemePtr scheme, const std::vector<Fd>& fds,
+    const std::vector<Ind>& inds, const std::vector<Dependency>& universe,
+    const ImplicationOracle& oracle, const ArmstrongBuildOptions& options) {
+  // 1. Expected consequence set.
+  std::vector<Dependency> sigma_deps;
+  for (const Fd& fd : fds) sigma_deps.push_back(Dependency(fd));
+  for (const Ind& ind : inds) sigma_deps.push_back(Dependency(ind));
+
+  std::vector<Dependency> expected;
+  std::vector<Dependency> must_fail;
+  for (const Dependency& tau : universe) {
+    ImplicationVerdict verdict = oracle.Implies(sigma_deps, tau);
+    if (verdict == ImplicationVerdict::kUnknown) {
+      return Status::FailedPrecondition(
+          StrCat("oracle '", oracle.name(), "' cannot decide ",
+                 tau.ToString(*scheme)));
+    }
+    if (verdict == ImplicationVerdict::kImplied) {
+      expected.push_back(tau);
+    } else {
+      must_fail.push_back(tau);
+    }
+  }
+
+  // 2. Initial seed: two generic tuples per relation + one FD-violating
+  // pair per non-consequence FD.
+  Database seed(scheme);
+  std::uint64_t next_null = 1;
+  for (RelId rel = 0; rel < scheme->size(); ++rel) {
+    SeedGenericTuple(seed, rel, next_null);
+    SeedGenericTuple(seed, rel, next_null);
+  }
+  for (const Dependency& tau : must_fail) {
+    if (tau.is_fd()) SeedFdViolation(seed, tau.fd(), next_null);
+  }
+
+  Chase chase(scheme, fds, inds);
+
+  // 3. Chase / verify / repair loop.
+  for (int round = 0; round <= options.max_repair_rounds; ++round) {
+    CCFP_ASSIGN_OR_RETURN(ChaseResult chased,
+                          chase.Run(seed, options.chase));
+    if (chased.outcome == ChaseOutcome::kFailed) {
+      return Status::Internal(
+          "chase failed on an all-null Armstrong seed (constant clash)");
+    }
+
+    bool repaired = false;
+    for (const Dependency& tau : must_fail) {
+      if (!Satisfies(chased.db, tau)) continue;
+      // Accidentally satisfied non-consequence: add a targeted seed.
+      repaired = true;
+      if (tau.is_fd()) {
+        SeedFdViolation(seed, tau.fd(), next_null);
+      } else if (tau.is_ind()) {
+        // A fresh generic tuple in the lhs relation will not have its
+        // projection in the rhs unless Sigma forces it (it does not — tau
+        // is a non-consequence).
+        SeedGenericTuple(seed, tau.ind().lhs_rel, next_null);
+      } else if (tau.is_rd()) {
+        SeedGenericTuple(seed, tau.rd().rel, next_null);
+      } else {
+        return Status::Unimplemented(
+            StrCat("cannot repair dependency kind of ",
+                   tau.ToString(*scheme)));
+      }
+    }
+
+    if (!repaired) {
+      // Exactness check (consequences must hold at the fixpoint; the loop
+      // above ensured non-consequences fail).
+      std::optional<std::string> mismatch =
+          ObeysExactly(chased.db, universe, expected);
+      if (mismatch.has_value()) {
+        return Status::Internal(
+            StrCat("Armstrong verification failed: ", *mismatch));
+      }
+      ArmstrongReport report(std::move(chased.db));
+      report.expected = std::move(expected);
+      report.repair_rounds = round;
+      return report;
+    }
+  }
+  return Status::Internal(
+      StrCat("Armstrong repair did not converge in ",
+             options.max_repair_rounds, " rounds"));
+}
+
+}  // namespace ccfp

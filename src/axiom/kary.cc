@@ -1,0 +1,194 @@
+#include "axiom/kary.h"
+
+#include <functional>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+using DepSet = std::unordered_set<Dependency, DependencyHash>;
+
+// Enumerates all subsets of `pool` of size <= k, invoking fn(subset).
+// fn returning true stops the enumeration (early exit).
+bool ForEachSubsetUpToK(
+    const std::vector<Dependency>& pool, std::size_t k,
+    const std::function<bool(const std::vector<Dependency>&)>& fn) {
+  std::vector<Dependency> current;
+  std::function<bool(std::size_t)> rec = [&](std::size_t start) -> bool {
+    if (fn(current)) return true;
+    if (current.size() >= k) return false;
+    for (std::size_t i = start; i < pool.size(); ++i) {
+      current.push_back(pool[i]);
+      if (rec(i + 1)) return true;
+      current.pop_back();
+    }
+    return false;
+  };
+  return rec(0);
+}
+
+}  // namespace
+
+std::string ImplicationEscape::ToString(const DatabaseScheme& scheme) const {
+  return StrCat("{",
+                JoinMapped(premises, "; ",
+                           [&](const Dependency& d) {
+                             return d.ToString(scheme);
+                           }),
+                "} |= ", conclusion.ToString(scheme));
+}
+
+std::vector<Dependency> KaryClosure(const std::vector<Dependency>& universe,
+                                    const std::vector<Dependency>& start,
+                                    const ImplicationOracle& oracle,
+                                    std::size_t k, KaryStats* stats) {
+  KaryStats local;
+  KaryStats& s = stats != nullptr ? *stats : local;
+
+  std::vector<Dependency> closure = start;
+  DepSet in_closure(start.begin(), start.end());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++s.rounds;
+    // Candidates not yet in the closure.
+    std::vector<Dependency> candidates;
+    for (const Dependency& tau : universe) {
+      if (in_closure.count(tau) == 0) candidates.push_back(tau);
+    }
+    if (candidates.empty()) break;
+    ForEachSubsetUpToK(closure, k, [&](const std::vector<Dependency>& t) {
+      for (const Dependency& tau : candidates) {
+        if (in_closure.count(tau) > 0) continue;
+        ++s.oracle_queries;
+        ImplicationVerdict verdict = oracle.Implies(t, tau);
+        if (verdict == ImplicationVerdict::kUnknown) s.saw_unknown = true;
+        if (verdict == ImplicationVerdict::kImplied) {
+          closure.push_back(tau);
+          in_closure.insert(tau);
+          changed = true;
+        }
+      }
+      return false;  // never early-exit: we want the full fixpoint
+    });
+  }
+  return closure;
+}
+
+std::optional<ImplicationEscape> FindKaryEscape(
+    const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& gamma, const ImplicationOracle& oracle,
+    std::size_t k, KaryStats* stats) {
+  KaryStats local;
+  KaryStats& s = stats != nullptr ? *stats : local;
+
+  DepSet in_gamma(gamma.begin(), gamma.end());
+  std::vector<Dependency> candidates;
+  for (const Dependency& tau : universe) {
+    if (in_gamma.count(tau) == 0) candidates.push_back(tau);
+  }
+
+  std::optional<ImplicationEscape> escape;
+  ForEachSubsetUpToK(gamma, k, [&](const std::vector<Dependency>& t) {
+    for (const Dependency& tau : candidates) {
+      ++s.oracle_queries;
+      ImplicationVerdict verdict = oracle.Implies(t, tau);
+      if (verdict == ImplicationVerdict::kUnknown) s.saw_unknown = true;
+      if (verdict == ImplicationVerdict::kImplied) {
+        escape = ImplicationEscape{t, tau};
+        return true;
+      }
+    }
+    return false;
+  });
+  return escape;
+}
+
+std::optional<ImplicationEscape> FindFullEscape(
+    const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& gamma, const ImplicationOracle& oracle,
+    KaryStats* stats) {
+  KaryStats local;
+  KaryStats& s = stats != nullptr ? *stats : local;
+
+  DepSet in_gamma(gamma.begin(), gamma.end());
+  for (const Dependency& tau : universe) {
+    if (in_gamma.count(tau) > 0) continue;
+    ++s.oracle_queries;
+    ImplicationVerdict verdict = oracle.Implies(gamma, tau);
+    if (verdict == ImplicationVerdict::kUnknown) s.saw_unknown = true;
+    if (verdict == ImplicationVerdict::kImplied) {
+      return ImplicationEscape{gamma, tau};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CheckCorollary52(
+    const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& sigma, const Dependency& target,
+    const ImplicationOracle& oracle, std::size_t k,
+    const DatabaseScheme& scheme, KaryStats* stats) {
+  KaryStats local;
+  KaryStats& s = stats != nullptr ? *stats : local;
+
+  // (i) Sigma |= target.
+  ++s.oracle_queries;
+  if (oracle.Implies(sigma, target) != ImplicationVerdict::kImplied) {
+    return StrCat("(i) fails: Sigma does not (provably) imply ",
+                  target.ToString(scheme));
+  }
+
+  // (ii) no single member implies target.
+  for (const Dependency& tau : sigma) {
+    ++s.oracle_queries;
+    ImplicationVerdict verdict = oracle.Implies({tau}, target);
+    if (verdict == ImplicationVerdict::kUnknown) {
+      s.saw_unknown = true;
+      continue;
+    }
+    if (verdict == ImplicationVerdict::kImplied) {
+      return StrCat("(ii) fails: single member ", tau.ToString(scheme),
+                    " implies the target");
+    }
+  }
+
+  // (iii) every <=k-subset Delta with Delta |= tau has a single member
+  // already implying tau.
+  std::optional<std::string> failure;
+  ForEachSubsetUpToK(sigma, k, [&](const std::vector<Dependency>& delta) {
+    for (const Dependency& tau : universe) {
+      ++s.oracle_queries;
+      ImplicationVerdict whole = oracle.Implies(delta, tau);
+      if (whole == ImplicationVerdict::kUnknown) {
+        s.saw_unknown = true;
+        continue;
+      }
+      if (whole != ImplicationVerdict::kImplied) continue;
+      bool single_suffices = false;
+      for (const Dependency& d : delta) {
+        ++s.oracle_queries;
+        ImplicationVerdict one = oracle.Implies({d}, tau);
+        if (one == ImplicationVerdict::kUnknown) s.saw_unknown = true;
+        if (one == ImplicationVerdict::kImplied) {
+          single_suffices = true;
+          break;
+        }
+      }
+      if (!single_suffices) {
+        failure = StrCat("(iii) fails for tau = ", tau.ToString(scheme),
+                         " implied by a ", delta.size(),
+                         "-subset with no single sufficient member");
+        return true;
+      }
+    }
+    return false;
+  });
+  return failure;
+}
+
+}  // namespace ccfp

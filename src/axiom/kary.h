@@ -1,0 +1,78 @@
+#ifndef CCFP_AXIOM_KARY_H_
+#define CCFP_AXIOM_KARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "axiom/oracle.h"
+#include "core/dependency.h"
+
+namespace ccfp {
+
+/// Machinery for Theorem 5.1: "There is a k-ary complete axiomatization for
+/// sentences in L iff whenever Gamma <= L is closed under k-ary implication,
+/// then Gamma is closed under implication."
+///
+/// All functions operate on an explicit finite sentence universe (see
+/// axiom/sentence.h) and a pluggable implication oracle.
+
+struct KaryStats {
+  std::uint64_t oracle_queries = 0;
+  std::uint64_t rounds = 0;
+  /// True if the oracle ever answered kUnknown (the result is then a lower
+  /// bound of the true closure / the search may have missed an escape).
+  bool saw_unknown = false;
+};
+
+/// A pair (T, tau) with T |= tau witnessing that a set is not closed.
+struct ImplicationEscape {
+  std::vector<Dependency> premises;
+  Dependency conclusion;
+
+  std::string ToString(const DatabaseScheme& scheme) const;
+};
+
+/// Closes `start` under k-ary implication within `universe`: repeatedly adds
+/// any tau in universe implied (per oracle) by some subset T of the current
+/// set with |T| <= k, until fixpoint.
+std::vector<Dependency> KaryClosure(const std::vector<Dependency>& universe,
+                                    const std::vector<Dependency>& start,
+                                    const ImplicationOracle& oracle,
+                                    std::size_t k, KaryStats* stats = nullptr);
+
+/// Searches for a witness that `gamma` is NOT closed under k-ary
+/// implication: T <= gamma with |T| <= k and tau in universe - gamma with
+/// T |= tau. Returns nullopt if no escape is found (gamma is closed under
+/// k-ary implication, modulo kUnknown oracle answers — check stats).
+std::optional<ImplicationEscape> FindKaryEscape(
+    const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& gamma, const ImplicationOracle& oracle,
+    std::size_t k, KaryStats* stats = nullptr);
+
+/// Searches for a witness that `gamma` is not closed under (unbounded)
+/// implication: tau in universe - gamma with gamma |= tau.
+std::optional<ImplicationEscape> FindFullEscape(
+    const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& gamma, const ImplicationOracle& oracle,
+    KaryStats* stats = nullptr);
+
+/// Checks the three Corollary 5.2 conditions for (Sigma, sigma, universe, k):
+///   (i)   Sigma |= sigma;
+///   (ii)  no single member of Sigma implies sigma;
+///   (iii) for every subset Delta of Sigma with |Delta| <= k and every tau
+///         in the universe with Delta |= tau, some single member of Delta
+///         already implies tau.
+/// Returns nullopt if all hold; otherwise a description of the failure.
+/// kUnknown oracle answers are treated per condition: for (i) a failure,
+/// for (ii)/(iii) reported via stats->saw_unknown and skipped.
+std::optional<std::string> CheckCorollary52(
+    const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& sigma, const Dependency& target,
+    const ImplicationOracle& oracle, std::size_t k,
+    const DatabaseScheme& scheme, KaryStats* stats = nullptr);
+
+}  // namespace ccfp
+
+#endif  // CCFP_AXIOM_KARY_H_

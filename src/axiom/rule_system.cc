@@ -1,0 +1,228 @@
+#include "axiom/rule_system.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "ind/rules.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+std::string GenericRule::ToString(const DatabaseScheme& scheme) const {
+  if (antecedents.empty()) {
+    return StrCat("axiom: ", consequent.ToString(scheme));
+  }
+  return StrCat("if {",
+                JoinMapped(antecedents, "; ",
+                           [&](const Dependency& d) {
+                             return d.ToString(scheme);
+                           }),
+                "} then ", consequent.ToString(scheme));
+}
+
+std::size_t RuleSystem::MaxArity() const {
+  std::size_t max_arity = 0;
+  for (const GenericRule& rule : rules_) {
+    max_arity = std::max(max_arity, rule.arity());
+  }
+  return max_arity;
+}
+
+Status RuleSystem::CheckSoundness(const ImplicationOracle& oracle,
+                                  const DatabaseScheme& scheme) const {
+  for (const GenericRule& rule : rules_) {
+    ImplicationVerdict verdict =
+        oracle.Implies(rule.antecedents, rule.consequent);
+    if (verdict == ImplicationVerdict::kNotImplied) {
+      return Status::InvalidArgument(
+          StrCat("unsound rule: ", rule.ToString(scheme)));
+    }
+    if (verdict == ImplicationVerdict::kUnknown) {
+      return Status::FailedPrecondition(
+          StrCat("soundness unverifiable by oracle '", oracle.name(),
+                 "' for rule: ", rule.ToString(scheme)));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Dependency> RuleSystem::DeriveAll(
+    const std::vector<Dependency>& sigma) const {
+  std::unordered_set<Dependency, DependencyHash> derived(sigma.begin(),
+                                                         sigma.end());
+  std::vector<Dependency> ordered(sigma.begin(), sigma.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const GenericRule& rule : rules_) {
+      if (derived.count(rule.consequent) > 0) continue;
+      bool applicable = true;
+      for (const Dependency& a : rule.antecedents) {
+        if (derived.count(a) == 0) {
+          applicable = false;
+          break;
+        }
+      }
+      if (applicable) {
+        derived.insert(rule.consequent);
+        ordered.push_back(rule.consequent);
+        changed = true;
+      }
+    }
+  }
+  return ordered;
+}
+
+bool RuleSystem::Derives(const std::vector<Dependency>& sigma,
+                         const Dependency& tau) const {
+  std::vector<Dependency> all = DeriveAll(sigma);
+  return std::find(all.begin(), all.end(), tau) != all.end();
+}
+
+namespace {
+
+void ForEachExpression(
+    const DatabaseScheme& scheme, std::size_t max_width,
+    const std::function<void(RelId, const std::vector<AttrId>&)>& fn) {
+  for (RelId rel = 0; rel < scheme.size(); ++rel) {
+    std::size_t arity = scheme.relation(rel).arity();
+    std::vector<AttrId> current;
+    std::vector<bool> used(arity, false);
+    std::function<void()> rec = [&]() {
+      if (!current.empty()) fn(rel, current);
+      if (current.size() >= max_width) return;
+      for (AttrId a = 0; a < arity; ++a) {
+        if (used[a]) continue;
+        used[a] = true;
+        current.push_back(a);
+        rec();
+        current.pop_back();
+        used[a] = false;
+      }
+    };
+    rec();
+  }
+}
+
+void ForEachPositionSequence(
+    std::size_t width,
+    const std::function<void(const std::vector<std::size_t>&)>& fn) {
+  std::vector<std::size_t> current;
+  std::vector<bool> used(width, false);
+  std::function<void()> rec = [&]() {
+    if (!current.empty()) fn(current);
+    if (current.size() >= width) return;
+    for (std::size_t p = 0; p < width; ++p) {
+      if (used[p]) continue;
+      used[p] = true;
+      current.push_back(p);
+      rec();
+      current.pop_back();
+      used[p] = false;
+    }
+  };
+  rec();
+}
+
+}  // namespace
+
+std::vector<GenericRule> InstantiateIndRules(const DatabaseScheme& scheme,
+                                             std::size_t max_width) {
+  std::vector<GenericRule> rules;
+
+  // Collect all expressions once.
+  std::vector<std::pair<RelId, std::vector<AttrId>>> exprs;
+  ForEachExpression(scheme, max_width,
+                    [&](RelId rel, const std::vector<AttrId>& attrs) {
+                      exprs.emplace_back(rel, attrs);
+                    });
+
+  // IND1 (0-ary axioms).
+  for (const auto& [rel, attrs] : exprs) {
+    rules.push_back(GenericRule{{}, Dependency(Ind{rel, attrs, rel, attrs})});
+  }
+
+  // IND2 (1-ary): every base IND of width <= max_width, every proper or
+  // improper position selection.
+  for (const auto& [r1, lhs] : exprs) {
+    for (const auto& [r2, rhs] : exprs) {
+      if (lhs.size() != rhs.size()) continue;
+      Ind base{r1, lhs, r2, rhs};
+      ForEachPositionSequence(
+          base.width(), [&](const std::vector<std::size_t>& positions) {
+            Result<Ind> derived = IndProjectPermute(scheme, base, positions);
+            if (!derived.ok()) return;
+            if (*derived == base) return;  // skip identity instances
+            rules.push_back(
+                GenericRule{{Dependency(base)}, Dependency(*derived)});
+          });
+    }
+  }
+
+  // IND3 (2-ary): composable pairs through a shared middle expression.
+  for (const auto& [r1, lhs] : exprs) {
+    for (const auto& [r2, mid] : exprs) {
+      if (lhs.size() != mid.size()) continue;
+      Ind first{r1, lhs, r2, mid};
+      for (const auto& [r3, rhs] : exprs) {
+        if (mid.size() != rhs.size()) continue;
+        Ind second{r2, mid, r3, rhs};
+        Result<Ind> composed = IndTransitivity(scheme, first, second);
+        if (!composed.ok()) continue;
+        rules.push_back(GenericRule{{Dependency(first), Dependency(second)},
+                                    Dependency(*composed)});
+      }
+    }
+  }
+
+  return rules;
+}
+
+std::vector<GenericRule> InstantiateUnaryFdIndRules(
+    const DatabaseScheme& scheme) {
+  std::vector<GenericRule> rules;
+
+  // Column catalogue.
+  std::vector<std::pair<RelId, AttrId>> columns;
+  for (RelId rel = 0; rel < scheme.size(); ++rel) {
+    for (AttrId a = 0; a < scheme.relation(rel).arity(); ++a) {
+      columns.emplace_back(rel, a);
+    }
+  }
+
+  // Unary FD reflexivity (axioms) and transitivity, per relation.
+  for (const auto& [rel, a] : columns) {
+    rules.push_back(GenericRule{{}, Dependency(Fd{rel, {a}, {a}})});
+  }
+  for (const auto& [rel, a] : columns) {
+    for (AttrId b = 0; b < scheme.relation(rel).arity(); ++b) {
+      for (AttrId c = 0; c < scheme.relation(rel).arity(); ++c) {
+        if (a == b || b == c) continue;
+        rules.push_back(GenericRule{{Dependency(Fd{rel, {a}, {b}}),
+                                     Dependency(Fd{rel, {b}, {c}})},
+                                    Dependency(Fd{rel, {a}, {c}})});
+      }
+    }
+  }
+
+  // Unary IND reflexivity (axioms) and transitivity, across relations.
+  for (const auto& [rel, a] : columns) {
+    rules.push_back(GenericRule{{}, Dependency(Ind{rel, {a}, rel, {a}})});
+  }
+  for (const auto& [r1, a1] : columns) {
+    for (const auto& [r2, a2] : columns) {
+      for (const auto& [r3, a3] : columns) {
+        Ind first{r1, {a1}, r2, {a2}};
+        Ind second{r2, {a2}, r3, {a3}};
+        if (IsTrivial(first) || IsTrivial(second)) continue;
+        rules.push_back(GenericRule{
+            {Dependency(first), Dependency(second)},
+            Dependency(Ind{r1, {a1}, r3, {a3}})});
+      }
+    }
+  }
+  return rules;
+}
+
+}  // namespace ccfp

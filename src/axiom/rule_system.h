@@ -1,0 +1,81 @@
+#ifndef CCFP_AXIOM_RULE_SYSTEM_H_
+#define CCFP_AXIOM_RULE_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axiom/oracle.h"
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// A ground inference rule "if T then tau" over a scheme (Section 5 of the
+/// paper): a finite antecedent set T and a consequent. A 0-ary rule is an
+/// axiom. Rule *schemes* (like IND1–IND3) are represented by instantiating
+/// all their ground instances over a finite universe.
+struct GenericRule {
+  std::vector<Dependency> antecedents;
+  Dependency consequent;
+
+  std::size_t arity() const { return antecedents.size(); }
+  std::string ToString(const DatabaseScheme& scheme) const;
+};
+
+/// A set of ground rules with forward-chaining derivation — the "proof of
+/// sigma from Sigma via R" of Section 5.
+class RuleSystem {
+ public:
+  explicit RuleSystem(std::vector<GenericRule> rules)
+      : rules_(std::move(rules)) {}
+
+  const std::vector<GenericRule>& rules() const { return rules_; }
+
+  /// max over rules of arity (the k of "k-ary set of rules").
+  std::size_t MaxArity() const;
+
+  /// Verifies every rule against the oracle ("a set R of rules is sound if
+  /// every member is sound"). Returns the first unsound/unverifiable rule.
+  Status CheckSoundness(const ImplicationOracle& oracle,
+                        const DatabaseScheme& scheme) const;
+
+  /// Everything derivable from sigma by forward chaining (Sigma itself
+  /// included): the |-_R closure.
+  std::vector<Dependency> DeriveAll(const std::vector<Dependency>& sigma)
+      const;
+
+  /// Sigma |-_R tau?
+  bool Derives(const std::vector<Dependency>& sigma,
+               const Dependency& tau) const;
+
+ private:
+  std::vector<GenericRule> rules_;
+};
+
+/// Instantiates the paper's IND1/IND2/IND3 rule schemes as ground rules over
+/// all IND expressions of width <= max_width on `scheme`:
+///   IND1: 0-ary axioms R[X] <= R[X];
+///   IND2: 1-ary, one instance per (IND of width <= max_width, position
+///         sequence);
+///   IND3: 2-ary, one instance per composable pair of expressions.
+/// The result is a 2-ary complete axiomatization for the (width-bounded)
+/// INDs over the scheme — exercised against IndImplication in tests.
+/// Ground instantiation is exponential in width; meant for small schemes.
+std::vector<GenericRule> InstantiateIndRules(const DatabaseScheme& scheme,
+                                             std::size_t max_width);
+
+/// Instantiates the KCV *binary* complete axiomatization for unrestricted
+/// implication of unary FDs + unary INDs over `scheme`: per-relation unary
+/// FD reflexivity/transitivity, unary IND reflexivity/transitivity, and —
+/// this is the point — NO mixed rules (the two families do not interact
+/// unrestrictedly in this fragment). The same fragment has no k-ary
+/// complete axiomatization for *finite* implication (Theorem 6.1), which
+/// is why no ground "cycle rule" instantiation appears here.
+std::vector<GenericRule> InstantiateUnaryFdIndRules(
+    const DatabaseScheme& scheme);
+
+}  // namespace ccfp
+
+#endif  // CCFP_AXIOM_RULE_SYSTEM_H_

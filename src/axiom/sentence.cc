@@ -1,0 +1,111 @@
+#include "axiom/sentence.h"
+
+#include <functional>
+
+namespace ccfp {
+
+namespace {
+
+// All sorted subsets of {0..arity-1} of size <= max_size.
+void ForEachSortedSubset(
+    std::size_t arity, std::size_t max_size,
+    const std::function<void(const std::vector<AttrId>&)>& fn) {
+  std::vector<AttrId> current;
+  std::function<void(AttrId)> rec = [&](AttrId start) {
+    fn(current);
+    if (current.size() >= max_size) return;
+    for (AttrId a = start; a < arity; ++a) {
+      current.push_back(a);
+      rec(a + 1);
+      current.pop_back();
+    }
+  };
+  rec(0);
+}
+
+// All sequences of `width` distinct attributes of {0..arity-1}.
+void ForEachSequence(
+    std::size_t arity, std::size_t width,
+    const std::function<void(const std::vector<AttrId>&)>& fn) {
+  std::vector<AttrId> current;
+  std::vector<bool> used(arity, false);
+  std::function<void()> rec = [&]() {
+    if (current.size() == width) {
+      fn(current);
+      return;
+    }
+    for (AttrId a = 0; a < arity; ++a) {
+      if (used[a]) continue;
+      used[a] = true;
+      current.push_back(a);
+      rec();
+      current.pop_back();
+      used[a] = false;
+    }
+  };
+  rec();
+}
+
+}  // namespace
+
+std::vector<Dependency> EnumerateUniverse(const DatabaseScheme& scheme,
+                                          const UniverseOptions& options) {
+  std::vector<Dependency> universe;
+
+  if (options.include_fds) {
+    for (RelId rel = 0; rel < scheme.size(); ++rel) {
+      std::size_t arity = scheme.relation(rel).arity();
+      ForEachSortedSubset(arity, options.max_fd_lhs,
+                          [&](const std::vector<AttrId>& lhs) {
+                            for (AttrId rhs = 0; rhs < arity; ++rhs) {
+                              universe.push_back(
+                                  Dependency(Fd{rel, lhs, {rhs}}));
+                            }
+                          });
+    }
+  }
+
+  if (options.include_inds) {
+    for (std::size_t width = 1; width <= options.max_ind_width; ++width) {
+      for (RelId r1 = 0; r1 < scheme.size(); ++r1) {
+        if (scheme.relation(r1).arity() < width) continue;
+        for (RelId r2 = 0; r2 < scheme.size(); ++r2) {
+          if (scheme.relation(r2).arity() < width) continue;
+          ForEachSequence(
+              scheme.relation(r1).arity(), width,
+              [&](const std::vector<AttrId>& lhs) {
+                ForEachSequence(scheme.relation(r2).arity(), width,
+                                [&](const std::vector<AttrId>& rhs) {
+                                  universe.push_back(
+                                      Dependency(Ind{r1, lhs, r2, rhs}));
+                                });
+              });
+        }
+      }
+    }
+  }
+
+  if (options.include_rds) {
+    for (RelId rel = 0; rel < scheme.size(); ++rel) {
+      std::size_t arity = scheme.relation(rel).arity();
+      for (AttrId a = 0; a < arity; ++a) {
+        for (AttrId b = 0; b < arity; ++b) {
+          universe.push_back(Dependency(Rd{rel, {a}, {b}}));
+        }
+      }
+    }
+  }
+
+  return universe;
+}
+
+std::vector<Dependency> TrivialSubset(
+    const DatabaseScheme& scheme, const std::vector<Dependency>& universe) {
+  std::vector<Dependency> out;
+  for (const Dependency& dep : universe) {
+    if (IsTrivial(scheme, dep)) out.push_back(dep);
+  }
+  return out;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,44 @@
+#ifndef CCFP_AXIOM_SENTENCE_H_
+#define CCFP_AXIOM_SENTENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+
+namespace ccfp {
+
+/// Options for enumerating a finite sentence universe over a scheme — the
+/// set "L" of Section 5 of the paper. Theorem 5.1 quantifies over subsets
+/// of a sentence set, so the machinery here needs the universe to be finite
+/// and explicitly materialized; the widths below bound it.
+struct UniverseOptions {
+  bool include_fds = true;
+  bool include_inds = true;
+  bool include_rds = false;
+  /// FDs are enumerated with sorted lhs of size <= max_fd_lhs (0 allowed:
+  /// "constant column" FDs as used in Section 6, Case 1) and singleton rhs.
+  /// This loses no expressive power: general FDs decompose.
+  std::size_t max_fd_lhs = 2;
+  /// INDs of width <= max_ind_width, all attribute sequences on both sides
+  /// (INDs are order-sensitive, so permuted variants are distinct).
+  std::size_t max_ind_width = 2;
+  /// RDs of width 1 only (general RDs decompose into unary ones —
+  /// Section 4 of the paper).
+  bool unary_rds_only = true;
+};
+
+/// Materializes the sentence universe. Deterministic order.
+std::vector<Dependency> EnumerateUniverse(const DatabaseScheme& scheme,
+                                          const UniverseOptions& options);
+
+/// The subset of `universe` that is trivial (holds in every database) —
+/// the omega of Section 7 / "union of trivial FDs, INDs, and RDs" of
+/// Section 6.
+std::vector<Dependency> TrivialSubset(const DatabaseScheme& scheme,
+                                      const std::vector<Dependency>& universe);
+
+}  // namespace ccfp
+
+#endif  // CCFP_AXIOM_SENTENCE_H_

@@ -1,0 +1,81 @@
+#ifndef CCFP_CHASE_CHASE_H_
+#define CCFP_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// The standard chase for FDs and INDs with labeled nulls:
+///   * an FD violation t1[X] = t2[X], t1[Y] != t2[Y] merges values (labeled
+///     nulls are replaced; two distinct constants make the chase fail);
+///   * an IND violation creates the missing right-hand tuple, padding the
+///     unconstrained attributes with *fresh* labeled nulls.
+///
+/// With cyclic IND sets the chase may run forever — the implication problem
+/// for FDs and INDs together is undecidable (Mitchell; Chandra–Vardi), so
+/// every entry point takes a budget and can report ResourceExhausted.
+
+struct ChaseOptions {
+  std::uint64_t max_steps = 1u << 20;
+  std::uint64_t max_tuples = 1u << 18;
+};
+
+enum class ChaseOutcome : std::uint8_t {
+  /// Fixpoint reached; the result satisfies all FDs and INDs.
+  kFixpoint,
+  /// An FD tried to equate two distinct constants.
+  kFailed,
+};
+
+struct ChaseResult {
+  ChaseOutcome outcome = ChaseOutcome::kFixpoint;
+  Database db;
+  std::uint64_t fd_merges = 0;
+  std::uint64_t ind_tuples = 0;
+  std::uint64_t steps = 0;
+
+  explicit ChaseResult(Database database) : db(std::move(database)) {}
+};
+
+class Chase {
+ public:
+  /// CHECK-fails if any dependency is invalid for `scheme`.
+  Chase(SchemePtr scheme, std::vector<Fd> fds, std::vector<Ind> inds);
+
+  const std::vector<Fd>& fds() const { return fds_; }
+  const std::vector<Ind>& inds() const { return inds_; }
+
+  /// Chases `initial` to a fixpoint (or failure), within budget.
+  /// ResourceExhausted means "did not converge in budget" — with cyclic
+  /// INDs this is the undecidability surface, not a bug.
+  Result<ChaseResult> Run(Database initial,
+                          const ChaseOptions& options = {}) const;
+
+ private:
+  SchemePtr scheme_;
+  std::vector<Fd> fds_;
+  std::vector<Ind> inds_;
+};
+
+/// Semi-decision of unrestricted implication Sigma |= target for FD+IND
+/// Sigma and an FD / IND / RD target, by chasing the canonical database of
+/// the target (the standard universal-model argument):
+///   * FD R: X -> Y  — seed two tuples agreeing (same nulls) on X;
+///   * IND R[X] <= S[Y] — seed one all-fresh tuple in R;
+///   * RD R[X = Y] — seed one all-fresh tuple in R.
+/// If the chase reaches a fixpoint, the answer is exact: target holds in
+/// the chased database iff Sigma |= target. Budget exhaustion returns
+/// ResourceExhausted (unknown) — unavoidable, by undecidability.
+Result<bool> ChaseImplies(SchemePtr scheme, const std::vector<Fd>& fds,
+                          const std::vector<Ind>& inds,
+                          const Dependency& target,
+                          const ChaseOptions& options = {});
+
+}  // namespace ccfp
+
+#endif  // CCFP_CHASE_CHASE_H_

@@ -1,0 +1,40 @@
+#ifndef CCFP_CHASE_EMVD_CHASE_H_
+#define CCFP_CHASE_EMVD_CHASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Bounded chase for embedded multivalued dependencies (Section 5 context:
+/// the Sagiv–Walecka family). EMVDs are embedded tuple-generating
+/// dependencies, so the chase may not terminate; all entry points are
+/// budgeted and can return ResourceExhausted ("unknown").
+
+struct EmvdChaseOptions {
+  std::uint64_t max_tuples = 1u << 14;
+  std::uint64_t max_rounds = 64;
+};
+
+/// Saturates `db` under the EMVDs: for every violated pair (t1, t2) adds
+/// the witness tuple t3 with t3[XY] = t1[XY], t3[XZ] = t2[XZ] and fresh
+/// labeled nulls elsewhere. Returns tuples added, or ResourceExhausted.
+Result<std::uint64_t> EmvdChaseFixpoint(Database& db,
+                                        const std::vector<Emvd>& sigma,
+                                        const EmvdChaseOptions& options = {});
+
+/// Semi-decides Sigma |= target by chasing the canonical two-tuple database
+/// of the target (tuples sharing labeled nulls exactly on target.x). Exact
+/// when the chase reaches a fixpoint; ResourceExhausted otherwise.
+Result<bool> EmvdChaseImplies(SchemePtr scheme,
+                              const std::vector<Emvd>& sigma,
+                              const Emvd& target,
+                              const EmvdChaseOptions& options = {});
+
+}  // namespace ccfp
+
+#endif  // CCFP_CHASE_EMVD_CHASE_H_

@@ -1,0 +1,57 @@
+#ifndef CCFP_CHASE_IND_CHASE_H_
+#define CCFP_CHASE_IND_CHASE_H_
+
+#include <cstdint>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// The Rule (*) construction from the proof of Theorem 3.1: a chase-like
+/// procedure that, "instead of repeatedly introducing new undistinguished
+/// variables ... always uses 0 when a 'new' value is needed". Because every
+/// entry stays in {0, 1, ..., m}, the construction always terminates with a
+/// finite database — this is the engine behind the proof that finite and
+/// unrestricted implication coincide for INDs.
+
+struct IndChaseOptions {
+  /// Hard cap on generated tuples (the theoretical bound is
+  /// sum over relations of (m+1)^arity, which can be astronomically large).
+  std::uint64_t max_tuples = 1u << 22;
+};
+
+struct IndChaseResult {
+  bool implied = false;
+  /// The saturated database r_1, ..., r_n of the construction.
+  Database db;
+  std::uint64_t tuples_added = 0;
+
+  explicit IndChaseResult(Database database) : db(std::move(database)) {}
+};
+
+/// Decides Sigma |= target by running the Theorem 3.1 construction:
+/// initialize with the tuple p over the target's left-hand side relation
+/// (p[A_i] = i, 0 elsewhere), saturate under Rule (*), and test whether the
+/// right-hand side relation contains a tuple p' with p'[B_i] = i.
+///
+/// This is an independent second decision engine for IND implication, used
+/// to cross-check IndImplication in tests. Warning: its running time is the
+/// size of the generated database, which grows much faster than the BFS of
+/// Corollary 3.2; prefer IndImplication for real queries.
+Result<IndChaseResult> IndChaseDecide(SchemePtr scheme,
+                                      const std::vector<Ind>& sigma,
+                                      const Ind& target,
+                                      const IndChaseOptions& options = {});
+
+/// Saturates an arbitrary database under Rule (*) for `sigma` (each missing
+/// right-hand-side tuple is created with Value::Int(0) padding). Returns
+/// the number of tuples added, or ResourceExhausted on budget.
+Result<std::uint64_t> IndChaseFixpoint(Database& db,
+                                       const std::vector<Ind>& sigma,
+                                       const IndChaseOptions& options = {});
+
+}  // namespace ccfp
+
+#endif  // CCFP_CHASE_IND_CHASE_H_

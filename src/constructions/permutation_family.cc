@@ -1,0 +1,52 @@
+#include "constructions/permutation_family.h"
+
+#include "util/check.h"
+#include "util/landau.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+Ind PermutationFamily::SigmaOf(const Permutation& gamma) const {
+  CCFP_CHECK_MSG(gamma.size() == m, "permutation size mismatch");
+  Ind ind;
+  ind.lhs_rel = 0;
+  ind.rhs_rel = 0;
+  ind.lhs.reserve(m);
+  ind.rhs.reserve(m);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    ind.lhs.push_back(i);
+    ind.rhs.push_back(gamma(i));
+  }
+  return ind;
+}
+
+std::vector<Ind> PermutationFamily::TranspositionInds() const {
+  std::vector<Ind> inds;
+  for (std::size_t i = 1; i < m; ++i) {
+    inds.push_back(SigmaOf(Permutation::Transposition(m, i)));
+  }
+  return inds;
+}
+
+PermutationFamily MakePermutationFamily(std::size_t m) {
+  CCFP_CHECK_MSG(m >= 1, "need at least one attribute");
+  PermutationFamily family;
+  family.m = m;
+  std::vector<std::string> attrs;
+  attrs.reserve(m);
+  for (std::size_t i = 1; i <= m; ++i) attrs.push_back(StrCat("A", i));
+  family.scheme = MakeScheme({{"R", attrs}});
+  return family;
+}
+
+LandauInstance MakeLandauInstance(std::size_t m) {
+  LandauInstance instance;
+  instance.family = MakePermutationFamily(m);
+  instance.gamma = MaxOrderPermutation(m);
+  instance.order = instance.gamma.Order();
+  instance.premise = instance.family.SigmaOf(instance.gamma);
+  instance.target = instance.family.SigmaOf(instance.gamma.Inverse());
+  return instance;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,54 @@
+#ifndef CCFP_CONSTRUCTIONS_PERMUTATION_FAMILY_H_
+#define CCFP_CONSTRUCTIONS_PERMUTATION_FAMILY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/permutation.h"
+
+namespace ccfp {
+
+/// The Section 3 permutation examples: over a single relation scheme
+/// R[A_1, ..., A_m], each permutation gamma of the positions is associated
+/// with the IND
+///   sigma(gamma) = R[A_1, ..., A_m] <= R[A_gamma(1), ..., A_gamma(m)].
+///
+/// Two uses in the paper:
+///  * the transpositions gamma_1..gamma_m generate all permutations, so
+///    {sigma(gamma_i)} implies *every* IND over R — the naive closure
+///    explodes;
+///  * for gamma of maximal order f(m) (Landau's function) and
+///    delta = gamma^{f(m)-1} = gamma^{-1}, deciding
+///    sigma(gamma) |= sigma(delta) forces the Corollary 3.2 procedure
+///    through f(m) - 1 expression steps: superpolynomial in m.
+struct PermutationFamily {
+  std::size_t m = 0;
+  SchemePtr scheme;  // R[A1..Am]
+
+  /// sigma(gamma) for an arbitrary permutation of m points.
+  Ind SigmaOf(const Permutation& gamma) const;
+
+  /// The generating set {sigma(t_1), ..., sigma(t_{m-1})} of transpositions
+  /// (0 i): implies every IND over R.
+  std::vector<Ind> TranspositionInds() const;
+};
+
+PermutationFamily MakePermutationFamily(std::size_t m);
+
+/// The superpolynomial single-IND instance: gamma of order f(m) and the
+/// target sigma(gamma^{-1}).
+struct LandauInstance {
+  PermutationFamily family;
+  Permutation gamma;
+  unsigned __int128 order = 0;  // f(m)
+  Ind premise;                  // sigma(gamma)
+  Ind target;                   // sigma(gamma^{-1})
+};
+
+LandauInstance MakeLandauInstance(std::size_t m);
+
+}  // namespace ccfp
+
+#endif  // CCFP_CONSTRUCTIONS_PERMUTATION_FAMILY_H_

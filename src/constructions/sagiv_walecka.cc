@@ -1,0 +1,38 @@
+#include "constructions/sagiv_walecka.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+std::vector<Dependency> SagivWaleckaConstruction::SigmaDeps() const {
+  std::vector<Dependency> deps;
+  deps.reserve(sigma.size());
+  for (const Emvd& e : sigma) deps.push_back(Dependency(e));
+  return deps;
+}
+
+SagivWaleckaConstruction MakeSagivWalecka(std::size_t k) {
+  CCFP_CHECK_MSG(k >= 1, "Sagiv-Walecka needs k >= 1");
+  SagivWaleckaConstruction c;
+  c.k = k;
+
+  std::vector<std::string> attrs;
+  for (std::size_t i = 1; i <= k + 1; ++i) attrs.push_back(StrCat("A", i));
+  attrs.push_back("B");
+  c.scheme = MakeScheme({{"R", attrs}});
+
+  // A_i ->> A_{i+1} | B for i = 1..k, plus A_{k+1} ->> A_1 | B.
+  for (std::size_t i = 1; i <= k; ++i) {
+    c.sigma.push_back(MakeEmvd(*c.scheme, "R", {StrCat("A", i)},
+                               {StrCat("A", i + 1)}, {"B"}));
+  }
+  c.sigma.push_back(
+      MakeEmvd(*c.scheme, "R", {StrCat("A", k + 1)}, {"A1"}, {"B"}));
+
+  c.target =
+      MakeEmvd(*c.scheme, "R", {"A1"}, {StrCat("A", k + 1)}, {"B"});
+  return c;
+}
+
+}  // namespace ccfp

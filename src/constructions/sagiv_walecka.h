@@ -1,0 +1,32 @@
+#ifndef CCFP_CONSTRUCTIONS_SAGIV_WALECKA_H_
+#define CCFP_CONSTRUCTIONS_SAGIV_WALECKA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+
+namespace ccfp {
+
+/// The Sagiv–Walecka family used in Theorem 5.3: over a relation scheme
+/// R[A_1, ..., A_{k+1}, B],
+///   Sigma_k = { A_1 ->> A_2 | B,  A_2 ->> A_3 | B, ...,
+///               A_k ->> A_{k+1} | B,  A_{k+1} ->> A_1 | B },
+///   sigma_k = A_1 ->> A_{k+1} | B.
+/// Sagiv and Walecka showed these satisfy the Corollary 5.2 conditions, so
+/// no k-ary complete axiomatization exists for EMVDs.
+struct SagivWaleckaConstruction {
+  std::size_t k = 0;
+  SchemePtr scheme;
+  std::vector<Emvd> sigma;
+  Emvd target;
+
+  std::vector<Dependency> SigmaDeps() const;
+};
+
+SagivWaleckaConstruction MakeSagivWalecka(std::size_t k);
+
+}  // namespace ccfp
+
+#endif  // CCFP_CONSTRUCTIONS_SAGIV_WALECKA_H_

@@ -1,0 +1,97 @@
+#include "constructions/section6.h"
+
+#include "axiom/sentence.h"
+#include "core/tuple.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+std::vector<Dependency> Section6Construction::SigmaDeps() const {
+  std::vector<Dependency> deps;
+  deps.reserve(fds.size() + inds.size());
+  for (const Fd& fd : fds) deps.push_back(Dependency(fd));
+  for (const Ind& ind : inds) deps.push_back(Dependency(ind));
+  return deps;
+}
+
+Section6Construction MakeSection6(std::size_t k) {
+  Section6Construction c;
+  c.k = k;
+
+  DatabaseSchemeBuilder builder;
+  for (std::size_t i = 0; i <= k; ++i) {
+    builder.AddRelation(StrCat("R", i), {"A", "B"});
+  }
+  Result<SchemePtr> scheme = builder.Build();
+  CCFP_CHECK(scheme.ok());
+  c.scheme = scheme.MoveValue();
+
+  for (std::size_t i = 0; i <= k; ++i) {
+    RelId rel = static_cast<RelId>(i);
+    RelId next = static_cast<RelId>((i + 1) % (k + 1));
+    c.fds.push_back(Fd{rel, {0}, {1}});            // R_i: A -> B
+    c.inds.push_back(Ind{rel, {0}, next, {1}});    // R_i[A] <= R_{i+1}[B]
+    c.reversed_fds.push_back(Fd{rel, {1}, {0}});   // R_i: B -> A
+  }
+  // sigma_k = R_0[B] <= R_k[A].
+  c.sigma_target = Ind{0, {1}, static_cast<RelId>(k), {0}};
+
+  UniverseOptions options;
+  options.include_fds = true;
+  options.include_inds = true;
+  options.include_rds = true;
+  options.max_fd_lhs = 1;  // unary + empty-lhs constant FDs (Case 1)
+  options.max_ind_width = 2;
+  c.universe = EnumerateUniverse(*c.scheme, options);
+
+  c.gamma = TrivialSubset(*c.scheme, c.universe);
+  for (const Dependency& dep : c.SigmaDeps()) c.gamma.push_back(dep);
+  return c;
+}
+
+Database MakeSection6Armstrong(const Section6Construction& construction,
+                               std::size_t omitted_j) {
+  const std::size_t k = construction.k;
+  CCFP_CHECK(omitted_j <= k);
+
+  // Value (m, tag) encoded injectively: tags range over 0..k+1.
+  auto val = [&](std::int64_t m, std::int64_t tag) {
+    return Value::Int(m * static_cast<std::int64_t>(k + 3) + tag);
+  };
+
+  // Rotation: canonical relation index i is stored as relation pi(i) where
+  // pi(k) = omitted_j, i.e. pi(i) = (i + omitted_j + 1) mod (k+1).
+  auto pi = [&](std::size_t i) {
+    return static_cast<RelId>((i + omitted_j + 1) % (k + 1));
+  };
+
+  Database db(construction.scheme);
+  // Canonical r_0.
+  db.Insert(pi(0), {val(0, 0), val(0, static_cast<std::int64_t>(k) + 1)});
+  db.Insert(pi(0), {val(1, 0), val(1, static_cast<std::int64_t>(k) + 1)});
+  db.Insert(pi(0), {val(2, 0), val(1, static_cast<std::int64_t>(k) + 1)});
+  // Canonical r_i for 1 <= i <= k.
+  for (std::size_t i = 1; i <= k; ++i) {
+    std::int64_t ii = static_cast<std::int64_t>(i);
+    for (std::int64_t j = 0; j <= 2 * ii + 1; ++j) {
+      db.Insert(pi(i), {val(j, ii), val(j, ii - 1)});
+    }
+    db.Insert(pi(i), {val(2 * ii + 2, ii), val(2 * ii + 1, ii - 1)});
+  }
+  return db;
+}
+
+std::vector<Dependency> Section6ExpectedSatisfied(
+    const Section6Construction& construction, std::size_t omitted_j) {
+  std::vector<Dependency> expected =
+      TrivialSubset(*construction.scheme, construction.universe);
+  for (const Fd& fd : construction.fds) expected.push_back(Dependency(fd));
+  for (std::size_t i = 0; i < construction.inds.size(); ++i) {
+    if (i == omitted_j) continue;
+    expected.push_back(Dependency(construction.inds[i]));
+  }
+  return expected;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,66 @@
+#ifndef CCFP_CONSTRUCTIONS_SECTION6_H_
+#define CCFP_CONSTRUCTIONS_SECTION6_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "core/schema.h"
+
+namespace ccfp {
+
+/// The Theorem 6.1 construction: for a fixed k, relation schemes R_0[A,B]
+/// through R_k[A,B] with (index arithmetic mod k+1)
+///   Sigma_k = { R_i: A -> B,  R_i[A] <= R_{i+1}[B]  :  0 <= i <= k },
+///   sigma_k = R_0[B] <= R_k[A],
+/// and Gamma_k = Sigma_k  u  { all trivial FDs, INDs, RDs }.
+/// Sigma_k finitely implies sigma_k by the cardinality-cycle argument, but
+/// Gamma_k is closed under k-ary finite implication — so no k-ary complete
+/// axiomatization exists for finite implication of FDs and INDs (all
+/// dependencies here are unary, all schemes two-attribute).
+struct Section6Construction {
+  std::size_t k = 0;
+  SchemePtr scheme;
+  std::vector<Fd> fds;    // R_i: A -> B
+  std::vector<Ind> inds;  // R_i[A] <= R_{i+1}[B]
+  /// sigma_k = R_0[B] <= R_k[A].
+  Ind sigma_target;
+  /// The reversed FDs R_i: B -> A, also finitely implied (Section 6 note).
+  std::vector<Fd> reversed_fds;
+  /// The bounded sentence universe: FDs (lhs size <= 1, including the
+  /// empty-lhs "constant" FDs of Case 1), INDs of width <= 2, unary RDs.
+  std::vector<Dependency> universe;
+  /// Gamma_k = Sigma_k u trivial members of the universe.
+  std::vector<Dependency> gamma;
+
+  /// Sigma_k as a Dependency list (FDs then INDs).
+  std::vector<Dependency> SigmaDeps() const;
+
+  /// The IND delta_j = R_j[A] <= R_{j+1 mod k+1}[B].
+  const Ind& delta(std::size_t j) const { return inds[j]; }
+};
+
+Section6Construction MakeSection6(std::size_t k);
+
+/// The Armstrong database d of Figure 6.1, cyclically rotated so that the
+/// omitted IND is delta_j = R_j[A] <= R_{j+1}[B]: d obeys *exactly*
+/// Gamma_k - delta_j among all FDs, INDs, and RDs of the universe
+/// (property (6.1) of the paper). In particular d violates sigma_k.
+///
+/// Canonical contents (before rotation; values are pairs (m, tag) encoded
+/// as integers m * (k + 3) + tag):
+///   r_0 = { ((0,0),(0,k+1)), ((1,0),(1,k+1)), ((2,0),(1,k+1)) }
+///   r_i = { ((j,i),(j,i-1)) : 0 <= j <= 2i+1 } u { ((2i+2,i),(2i+1,i-1)) }
+/// which omits delta_k = R_k[A] <= R_0[B]; rotation relabels relations.
+Database MakeSection6Armstrong(const Section6Construction& construction,
+                               std::size_t omitted_j);
+
+/// The subset of the universe that the rotated Figure 6.1 database is
+/// expected to obey: trivial sentences plus Sigma_k - delta_j.
+std::vector<Dependency> Section6ExpectedSatisfied(
+    const Section6Construction& construction, std::size_t omitted_j);
+
+}  // namespace ccfp
+
+#endif  // CCFP_CONSTRUCTIONS_SECTION6_H_

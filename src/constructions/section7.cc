@@ -1,0 +1,111 @@
+#include "constructions/section7.h"
+
+#include "axiom/sentence.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+std::vector<Dependency> Section7Construction::SigmaDeps() const {
+  std::vector<Dependency> deps;
+  deps.reserve(fds.size() + inds.size());
+  for (const Fd& fd : fds) deps.push_back(Dependency(fd));
+  for (const Ind& ind : inds) deps.push_back(Dependency(ind));
+  return deps;
+}
+
+Ind Section7Construction::beta(std::size_t j) const {
+  CCFP_CHECK(j < n);
+  return MakeInd(*scheme, "F", {"B"}, StrCat("H", j), {"B"});
+}
+
+Section7Construction MakeSection7(std::size_t n) {
+  CCFP_CHECK_MSG(n >= 1, "Section 7 needs n >= 1");
+  Section7Construction c;
+  c.n = n;
+
+  DatabaseSchemeBuilder builder;
+  builder.AddRelation("F", {"A", "B", "C"});
+  builder.AddRelation("G0", {"A", "B", "C"});
+  for (std::size_t i = 1; i <= n; ++i) {
+    builder.AddRelation(StrCat("G", i), {"B", "C"});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.AddRelation(StrCat("H", i), {"B", "C"});
+  }
+  builder.AddRelation(StrCat("H", n), {"B", "C", "D"});
+  Result<SchemePtr> scheme = builder.Build();
+  CCFP_CHECK(scheme.ok());
+  c.scheme = scheme.MoveValue();
+
+  const DatabaseScheme& s = *c.scheme;
+  c.f = s.FindRelation("F").value();
+  for (std::size_t i = 0; i <= n; ++i) {
+    c.g.push_back(s.FindRelation(StrCat("G", i)).value());
+    c.h.push_back(s.FindRelation(StrCat("H", i)).value());
+  }
+
+  // --- INDs ---------------------------------------------------------------
+  // alpha_0 = F[A,B] <= G_0[A,B]
+  c.inds.push_back(MakeInd(s, "F", {"A", "B"}, "G0", {"A", "B"}));
+  // alpha_i = F[B] <= G_i[B]  (1 <= i <= n)
+  for (std::size_t i = 1; i <= n; ++i) {
+    c.inds.push_back(MakeInd(s, "F", {"B"}, StrCat("G", i), {"B"}));
+  }
+  // beta_i = F[B] <= H_i[B]  (0 <= i < n)
+  for (std::size_t i = 0; i < n; ++i) {
+    c.inds.push_back(MakeInd(s, "F", {"B"}, StrCat("H", i), {"B"}));
+  }
+  // beta_n = F[B,C] <= H_n[B,D]
+  c.inds.push_back(MakeInd(s, "F", {"B", "C"}, StrCat("H", n), {"B", "D"}));
+  // gamma_i = H_i[B,C] <= G_i[B,C]  (0 <= i <= n)
+  for (std::size_t i = 0; i <= n; ++i) {
+    c.inds.push_back(MakeInd(s, StrCat("H", i), {"B", "C"}, StrCat("G", i),
+                             {"B", "C"}));
+  }
+  // gamma'_i = H_i[B,C] <= G_{i+1}[B,C]  (0 <= i < n)
+  for (std::size_t i = 0; i < n; ++i) {
+    c.inds.push_back(MakeInd(s, StrCat("H", i), {"B", "C"},
+                             StrCat("G", i + 1), {"B", "C"}));
+  }
+
+  // --- FDs ----------------------------------------------------------------
+  // delta_0 = G_0: A -> C
+  c.fds.push_back(MakeFd(s, "G0", {"A"}, {"C"}));
+  // eps_i = G_i: B -> C  (0 <= i <= n)
+  for (std::size_t i = 0; i <= n; ++i) {
+    c.fds.push_back(MakeFd(s, StrCat("G", i), {"B"}, {"C"}));
+  }
+  // theta_n = H_n: C -> D
+  c.fds.push_back(MakeFd(s, StrCat("H", n), {"C"}, {"D"}));
+
+  // sigma = F: A -> C.
+  c.sigma = MakeFd(s, "F", {"A"}, {"C"});
+
+  // --- phi ------------------------------------------------------------------
+  c.phi.push_back(MakeFd(s, "F", {"A"}, {"C"}));
+  c.phi.push_back(MakeFd(s, "F", {"B"}, {"C"}));
+  c.phi.push_back(MakeFd(s, "G0", {"A"}, {"C"}));
+  c.phi.push_back(MakeFd(s, "G0", {"B"}, {"C"}));
+  for (std::size_t i = 1; i <= n; ++i) {
+    c.phi.push_back(MakeFd(s, StrCat("G", i), {"B"}, {"C"}));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    c.phi.push_back(MakeFd(s, StrCat("H", i), {"B"}, {"C"}));
+  }
+  c.phi.push_back(MakeFd(s, StrCat("H", n), {"B"}, {"C"}));
+  c.phi.push_back(MakeFd(s, StrCat("H", n), {"C"}, {"D"}));
+  return c;
+}
+
+std::vector<Dependency> Section7Universe(const Section7Construction& c) {
+  UniverseOptions options;
+  options.include_fds = true;
+  options.include_inds = true;
+  options.include_rds = true;
+  options.max_fd_lhs = 1;
+  options.max_ind_width = 2;
+  return EnumerateUniverse(*c.scheme, options);
+}
+
+}  // namespace ccfp

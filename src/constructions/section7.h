@@ -1,0 +1,62 @@
+#ifndef CCFP_CONSTRUCTIONS_SECTION7_H_
+#define CCFP_CONSTRUCTIONS_SECTION7_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+
+namespace ccfp {
+
+/// The Theorem 7.1 construction: for fixed n (with k < n), relation schemes
+///   F[A,B,C], G_0[A,B,C], G_i[B,C] (1 <= i <= n),
+///   H_i[B,C] (0 <= i < n), H_n[B,C,D],
+/// and the dependency set Sigma:
+///   alpha_0 = F[A,B] <= G_0[A,B]
+///   alpha_i = F[B]   <= G_i[B]        (1 <= i <= n)
+///   beta_i  = F[B]   <= H_i[B]        (0 <= i < n)
+///   beta_n  = F[B,C] <= H_n[B,D]
+///   gamma_i  = H_i[B,C] <= G_i[B,C]   (0 <= i <= n)
+///   gamma'_i = H_i[B,C] <= G_{i+1}[B,C] (0 <= i < n)
+///   delta_0 = G_0: A -> C
+///   eps_i   = G_i: B -> C             (0 <= i <= n)
+///   theta_n = H_n: C -> D
+/// with sigma = F: A -> C. Sigma |= sigma (Lemma 7.2, re-derivable by the
+/// chase), yet Gamma = phi+ u lambda+ u omega - {F: A -> C} is closed under
+/// k-ary implication for every k < n — so no k-ary complete axiomatization
+/// exists for (unrestricted) implication of FDs and INDs. Every FD here is
+/// unary and every IND at most binary; no scheme has more than 3 attributes.
+struct Section7Construction {
+  std::size_t n = 0;
+  SchemePtr scheme;
+  RelId f = 0;               // F
+  std::vector<RelId> g;      // G_0..G_n
+  std::vector<RelId> h;      // H_0..H_n
+
+  std::vector<Fd> fds;       // delta_0, eps_i, theta_n
+  std::vector<Ind> inds;     // alpha, beta, gamma families
+  Fd sigma;                  // F: A -> C
+
+  /// phi: the designated FD sets of the proof —
+  /// phi(F) = {F:A->C, F:B->C}, phi(G_0) = {G_0:A->C, G_0:B->C},
+  /// phi(G_i) = {G_i:B->C}, phi(H_i) = {H_i:B->C} (i<n),
+  /// phi(H_n) = {H_n:B->C, H_n:C->D}.
+  std::vector<Fd> phi;
+
+  std::vector<Dependency> SigmaDeps() const;
+
+  /// beta_j = F[B] <= H_j[B] for j < n (the dependencies Lemma 7.9 drops).
+  Ind beta(std::size_t j) const;
+};
+
+Section7Construction MakeSection7(std::size_t n);
+
+/// The bounded sentence universe for Section 7 demonstrations: FDs with
+/// lhs size <= 1 (the proof's FDs are unary), INDs of width <= 2, unary
+/// RDs.
+std::vector<Dependency> Section7Universe(const Section7Construction& c);
+
+}  // namespace ccfp
+
+#endif  // CCFP_CONSTRUCTIONS_SECTION7_H_

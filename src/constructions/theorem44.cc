@@ -1,0 +1,69 @@
+#include "constructions/theorem44.h"
+
+#include "core/tuple.h"
+
+namespace ccfp {
+
+Theorem44Gadget MakeTheorem44Gadget() {
+  Theorem44Gadget gadget;
+  gadget.scheme = MakeScheme({{"R", {"A", "B"}}});
+  gadget.fd = MakeFd(*gadget.scheme, "R", {"A"}, {"B"});
+  gadget.ind = MakeInd(*gadget.scheme, "R", {"A"}, "R", {"B"});
+  gadget.ind_conclusion = MakeInd(*gadget.scheme, "R", {"B"}, "R", {"A"});
+  gadget.fd_conclusion = MakeFd(*gadget.scheme, "R", {"B"}, {"A"});
+  return gadget;
+}
+
+Database Figure41Prefix(const Theorem44Gadget& gadget, std::size_t n) {
+  Database db(gadget.scheme);
+  for (std::size_t i = 0; i < n; ++i) {
+    db.Insert(0, TupleOfInts({static_cast<std::int64_t>(i + 1),
+                              static_cast<std::int64_t>(i)}));
+  }
+  return db;
+}
+
+Database Figure42Prefix(const Theorem44Gadget& gadget, std::size_t n) {
+  Database db(gadget.scheme);
+  if (n > 0) db.Insert(0, TupleOfInts({1, 1}));
+  for (std::size_t i = 1; i < n; ++i) {
+    db.Insert(0, TupleOfInts({static_cast<std::int64_t>(i + 1),
+                              static_cast<std::int64_t>(i)}));
+  }
+  return db;
+}
+
+InfiniteWitnessReport Figure41Witness() {
+  InfiniteWitnessReport report;
+  // r = {(i+1, i) : i >= 0}. Closed-form column sets: r[A] = {1, 2, ...},
+  // r[B] = {0, 1, ...}.
+  report.obeys_fd = true;   // A entries are pairwise distinct.
+  report.obeys_ind = true;  // {1,2,...} is a subset of {0,1,...}.
+  report.obeys_ind_conclusion = false;  // 0 in r[B] but 0 not in r[A].
+  report.obeys_fd_conclusion = true;    // B entries are pairwise distinct.
+  report.explanation =
+      "r = {(i+1, i) : i >= 0}: r[A] = {1,2,...} and r[B] = {0,1,...}. "
+      "The FD R: A -> B holds (first components distinct), the IND "
+      "R[A] <= R[B] holds ({1,2,...} is contained in {0,1,...}), but "
+      "R[B] <= R[A] fails at the witness 0. Hence Sigma does not "
+      "(unrestrictedly) imply R[B] <= R[A], although it finitely does "
+      "(Theorem 4.4(a) counting argument).";
+  return report;
+}
+
+InfiniteWitnessReport Figure42Witness() {
+  InfiniteWitnessReport report;
+  // r = {(1,1)} u {(i+1, i) : i >= 1}.
+  report.obeys_fd = true;   // A entries 1, 2, 3, ... pairwise distinct.
+  report.obeys_ind = true;  // r[A] = {1,2,...} = r[B].
+  report.obeys_ind_conclusion = true;   // the two column sets are equal.
+  report.obeys_fd_conclusion = false;   // (1,1) and (2,1) share B = 1.
+  report.explanation =
+      "r = {(1,1)} u {(i+1, i) : i >= 1}: r[A] = r[B] = {1,2,...}. "
+      "Sigma holds, but the FD R: B -> A fails on the tuples (1,1) and "
+      "(2,1). Hence Sigma does not (unrestrictedly) imply R: B -> A, "
+      "although it finitely does (Theorem 4.4(b) counting argument).";
+  return report;
+}
+
+}  // namespace ccfp

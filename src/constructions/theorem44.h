@@ -1,0 +1,62 @@
+#ifndef CCFP_CONSTRUCTIONS_THEOREM44_H_
+#define CCFP_CONSTRUCTIONS_THEOREM44_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "core/schema.h"
+
+namespace ccfp {
+
+/// Theorem 4.4: finite implication differs from unrestricted implication
+/// for FDs and INDs taken together. The gadget is
+///   Sigma = { R: A -> B,  R[A] <= R[B] }
+/// with the two finitely-implied (but not unrestrictedly implied)
+/// conclusions
+///   (a) the IND R[B] <= R[A];
+///   (b) the FD  R: B -> A.
+struct Theorem44Gadget {
+  SchemePtr scheme;  // R[A, B]
+  Fd fd;             // R: A -> B
+  Ind ind;           // R[A] <= R[B]
+  Ind ind_conclusion;  // R[B] <= R[A] — part (a)
+  Fd fd_conclusion;    // R: B -> A   — part (b)
+};
+
+Theorem44Gadget MakeTheorem44Gadget();
+
+/// The length-N prefix of the Figure 4.1 infinite witness
+/// r = {(i+1, i) : i >= 0}: the tuples (1,0), (2,1), ..., (N, N-1).
+/// Every such prefix *violates* Sigma (the IND fails at the maximal A
+/// value) — which is exactly why the infinite relation is needed as a
+/// counterexample and why Sigma |=fin holds vacuously along this family.
+Database Figure41Prefix(const Theorem44Gadget& gadget, std::size_t n);
+
+/// The length-N prefix of the Figure 4.2 infinite witness
+/// r = {(1,1)} u {(i+1, i) : i >= 1}: tuples (1,1), (2,1), (3,2), ...
+Database Figure42Prefix(const Theorem44Gadget& gadget, std::size_t n);
+
+/// Symbolic satisfaction facts for the two infinite witnesses. Each bool is
+/// established by closed-form reasoning on the defining sets (the relations
+/// cannot be materialized); `explanation` spells the argument out.
+struct InfiniteWitnessReport {
+  bool obeys_fd = false;
+  bool obeys_ind = false;
+  bool obeys_ind_conclusion = false;
+  bool obeys_fd_conclusion = false;
+  std::string explanation;
+};
+
+/// Figure 4.1 witness {(i+1, i) : i >= 0}: obeys Sigma, violates the IND
+/// conclusion R[B] <= R[A] (0 is a B entry but not an A entry).
+InfiniteWitnessReport Figure41Witness();
+
+/// Figure 4.2 witness {(1,1)} u {(i+1, i) : i >= 1}: obeys Sigma, violates
+/// the FD conclusion R: B -> A (tuples (1,1) and (2,1) share B = 1).
+InfiniteWitnessReport Figure42Witness();
+
+}  // namespace ccfp
+
+#endif  // CCFP_CONSTRUCTIONS_THEOREM44_H_

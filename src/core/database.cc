@@ -1,0 +1,49 @@
+#include "core/database.h"
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+Database::Database(SchemePtr scheme) : scheme_(std::move(scheme)) {
+  relations_.reserve(scheme_->size());
+  for (const RelationScheme& r : scheme_->relations()) {
+    relations_.emplace_back(r.arity());
+  }
+}
+
+Status Database::InsertByName(const std::string& rel_name, Tuple t) {
+  CCFP_ASSIGN_OR_RETURN(RelId rel, scheme_->FindRelation(rel_name));
+  if (t.size() != scheme_->relation(rel).arity()) {
+    return Status::InvalidArgument(
+        StrCat("tuple arity ", t.size(), " does not match ",
+               scheme_->relation(rel).ToString()));
+  }
+  relations_[rel].Insert(std::move(t));
+  return Status::OK();
+}
+
+std::size_t Database::TotalTuples() const {
+  std::size_t n = 0;
+  for (const Relation& r : relations_) n += r.size();
+  return n;
+}
+
+bool Database::operator==(const Database& other) const {
+  if (relations_.size() != other.relations_.size()) return false;
+  for (std::size_t i = 0; i < relations_.size(); ++i) {
+    if (!(relations_[i] == other.relations_[i])) return false;
+  }
+  return true;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (RelId rel = 0; rel < relations_.size(); ++rel) {
+    out += scheme_->relation(rel).ToString();
+    out += ":\n";
+    out += relations_[rel].ToString();
+  }
+  return out;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,48 @@
+#ifndef CCFP_CORE_DATABASE_H_
+#define CCFP_CORE_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "core/schema.h"
+
+namespace ccfp {
+
+/// A database over a scheme D: one relation per relation scheme.
+class Database {
+ public:
+  /// Creates an empty database over `scheme`.
+  explicit Database(SchemePtr scheme);
+
+  const SchemePtr& scheme_ptr() const { return scheme_; }
+  const DatabaseScheme& scheme() const { return *scheme_; }
+
+  Relation& relation(RelId rel) { return relations_[rel]; }
+  const Relation& relation(RelId rel) const { return relations_[rel]; }
+
+  /// Inserts `t` into relation `rel`; returns true if the tuple was new.
+  bool Insert(RelId rel, Tuple t) {
+    return relations_[rel].Insert(std::move(t));
+  }
+
+  /// Inserts by relation name; Status error if the name is unknown or the
+  /// arity does not match.
+  Status InsertByName(const std::string& rel_name, Tuple t);
+
+  /// Total number of tuples across all relations.
+  std::size_t TotalTuples() const;
+
+  bool operator==(const Database& other) const;
+
+  /// Multi-line rendering: "R[A, B]:\n  (1, 2)\n...".
+  std::string ToString() const;
+
+ private:
+  SchemePtr scheme_;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_DATABASE_H_

@@ -1,0 +1,327 @@
+#include "core/dependency.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+// Validates that `attrs` are valid, distinct attribute ids of `rel`.
+Status ValidateAttrSeq(const DatabaseScheme& scheme, RelId rel,
+                       const std::vector<AttrId>& attrs,
+                       const char* side) {
+  if (!scheme.ValidRel(rel)) {
+    return Status::InvalidArgument(StrCat("invalid relation id ", rel));
+  }
+  std::set<AttrId> seen;
+  for (AttrId a : attrs) {
+    if (!scheme.ValidAttr(rel, a)) {
+      return Status::InvalidArgument(
+          StrCat("invalid attribute id ", a, " for relation ",
+                 scheme.relation(rel).name()));
+    }
+    if (!seen.insert(a).second) {
+      return Status::InvalidArgument(
+          StrCat("repeated attribute '", scheme.relation(rel).attr_name(a),
+                 "' in ", side));
+    }
+  }
+  return Status::OK();
+}
+
+bool IsSubsetOf(const std::vector<AttrId>& a, const std::vector<AttrId>& b) {
+  for (AttrId x : a) {
+    if (std::find(b.begin(), b.end(), x) == b.end()) return false;
+  }
+  return true;
+}
+
+std::size_t HashSeq(std::size_t h, const std::vector<AttrId>& attrs) {
+  for (AttrId a : attrs) {
+    h ^= a + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  }
+  h ^= attrs.size() + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+const char* DependencyKindToString(DependencyKind kind) {
+  switch (kind) {
+    case DependencyKind::kFd:
+      return "FD";
+    case DependencyKind::kInd:
+      return "IND";
+    case DependencyKind::kRd:
+      return "RD";
+    case DependencyKind::kEmvd:
+      return "EMVD";
+    case DependencyKind::kMvd:
+      return "MVD";
+  }
+  return "?";
+}
+
+std::string Dependency::ToString(const DatabaseScheme& scheme) const {
+  switch (kind()) {
+    case DependencyKind::kFd: {
+      const Fd& f = fd();
+      return StrCat(scheme.relation(f.rel).name(), ": ",
+                    AttrNames(scheme, f.rel, f.lhs), " -> ",
+                    AttrNames(scheme, f.rel, f.rhs));
+    }
+    case DependencyKind::kInd: {
+      const Ind& i = ind();
+      return StrCat(scheme.relation(i.lhs_rel).name(), "[",
+                    AttrNames(scheme, i.lhs_rel, i.lhs), "] <= ",
+                    scheme.relation(i.rhs_rel).name(), "[",
+                    AttrNames(scheme, i.rhs_rel, i.rhs), "]");
+    }
+    case DependencyKind::kRd: {
+      const Rd& r = rd();
+      return StrCat(scheme.relation(r.rel).name(), "[",
+                    AttrNames(scheme, r.rel, r.lhs), " = ",
+                    AttrNames(scheme, r.rel, r.rhs), "]");
+    }
+    case DependencyKind::kEmvd: {
+      const Emvd& e = emvd();
+      return StrCat(scheme.relation(e.rel).name(), ": ",
+                    AttrNames(scheme, e.rel, e.x), " ->> ",
+                    AttrNames(scheme, e.rel, e.y), " | ",
+                    AttrNames(scheme, e.rel, e.z));
+    }
+    case DependencyKind::kMvd: {
+      const Mvd& m = mvd();
+      return StrCat(scheme.relation(m.rel).name(), ": ",
+                    AttrNames(scheme, m.rel, m.x), " ->> ",
+                    AttrNames(scheme, m.rel, m.y));
+    }
+  }
+  return "?";
+}
+
+std::size_t Dependency::Hash() const {
+  std::size_t h = static_cast<std::size_t>(kind()) * 0x2545F4914F6CDD1DULL;
+  switch (kind()) {
+    case DependencyKind::kFd:
+      h ^= fd().rel;
+      h = HashSeq(h, fd().lhs);
+      h = HashSeq(h, fd().rhs);
+      break;
+    case DependencyKind::kInd:
+      h ^= ind().lhs_rel * 31 + ind().rhs_rel;
+      h = HashSeq(h, ind().lhs);
+      h = HashSeq(h, ind().rhs);
+      break;
+    case DependencyKind::kRd:
+      h ^= rd().rel;
+      h = HashSeq(h, rd().lhs);
+      h = HashSeq(h, rd().rhs);
+      break;
+    case DependencyKind::kEmvd:
+      h ^= emvd().rel;
+      h = HashSeq(h, emvd().x);
+      h = HashSeq(h, emvd().y);
+      h = HashSeq(h, emvd().z);
+      break;
+    case DependencyKind::kMvd:
+      h ^= mvd().rel;
+      h = HashSeq(h, mvd().x);
+      h = HashSeq(h, mvd().y);
+      break;
+  }
+  return h;
+}
+
+Status Validate(const DatabaseScheme& scheme, const Fd& fd) {
+  CCFP_RETURN_NOT_OK(ValidateAttrSeq(scheme, fd.rel, fd.lhs, "FD lhs"));
+  CCFP_RETURN_NOT_OK(ValidateAttrSeq(scheme, fd.rel, fd.rhs, "FD rhs"));
+  return Status::OK();
+}
+
+Status Validate(const DatabaseScheme& scheme, const Ind& ind) {
+  CCFP_RETURN_NOT_OK(
+      ValidateAttrSeq(scheme, ind.lhs_rel, ind.lhs, "IND lhs"));
+  CCFP_RETURN_NOT_OK(
+      ValidateAttrSeq(scheme, ind.rhs_rel, ind.rhs, "IND rhs"));
+  if (ind.lhs.size() != ind.rhs.size()) {
+    return Status::InvalidArgument(
+        StrCat("IND sides have different widths: ", ind.lhs.size(), " vs ",
+               ind.rhs.size()));
+  }
+  if (ind.lhs.empty()) {
+    return Status::InvalidArgument("IND must have positive width");
+  }
+  return Status::OK();
+}
+
+Status Validate(const DatabaseScheme& scheme, const Rd& rd) {
+  // Note: RD sides may *share* attributes with each other (R[A = B] has
+  // disjoint singletons, but R[AB = BA] is legal); within one side
+  // attributes must be distinct, which ValidateAttrSeq enforces.
+  CCFP_RETURN_NOT_OK(ValidateAttrSeq(scheme, rd.rel, rd.lhs, "RD lhs"));
+  CCFP_RETURN_NOT_OK(ValidateAttrSeq(scheme, rd.rel, rd.rhs, "RD rhs"));
+  if (rd.lhs.size() != rd.rhs.size()) {
+    return Status::InvalidArgument(
+        StrCat("RD sides have different lengths: ", rd.lhs.size(), " vs ",
+               rd.rhs.size()));
+  }
+  return Status::OK();
+}
+
+Status Validate(const DatabaseScheme& scheme, const Emvd& emvd) {
+  CCFP_RETURN_NOT_OK(ValidateAttrSeq(scheme, emvd.rel, emvd.x, "EMVD X"));
+  CCFP_RETURN_NOT_OK(ValidateAttrSeq(scheme, emvd.rel, emvd.y, "EMVD Y"));
+  CCFP_RETURN_NOT_OK(ValidateAttrSeq(scheme, emvd.rel, emvd.z, "EMVD Z"));
+  for (AttrId a : emvd.y) {
+    if (std::find(emvd.z.begin(), emvd.z.end(), a) != emvd.z.end()) {
+      return Status::InvalidArgument("EMVD Y and Z must be disjoint");
+    }
+  }
+  return Status::OK();
+}
+
+Status Validate(const DatabaseScheme& scheme, const Mvd& mvd) {
+  CCFP_RETURN_NOT_OK(ValidateAttrSeq(scheme, mvd.rel, mvd.x, "MVD X"));
+  CCFP_RETURN_NOT_OK(ValidateAttrSeq(scheme, mvd.rel, mvd.y, "MVD Y"));
+  return Status::OK();
+}
+
+Status Validate(const DatabaseScheme& scheme, const Dependency& dep) {
+  switch (dep.kind()) {
+    case DependencyKind::kFd:
+      return Validate(scheme, dep.fd());
+    case DependencyKind::kInd:
+      return Validate(scheme, dep.ind());
+    case DependencyKind::kRd:
+      return Validate(scheme, dep.rd());
+    case DependencyKind::kEmvd:
+      return Validate(scheme, dep.emvd());
+    case DependencyKind::kMvd:
+      return Validate(scheme, dep.mvd());
+  }
+  return Status::Internal("unknown dependency kind");
+}
+
+bool IsTrivial(const Fd& fd) { return IsSubsetOf(fd.rhs, fd.lhs); }
+
+bool IsTrivial(const Ind& ind) {
+  return ind.lhs_rel == ind.rhs_rel && ind.lhs == ind.rhs;
+}
+
+bool IsTrivial(const Rd& rd) { return rd.lhs == rd.rhs; }
+
+bool IsTrivial(const Emvd& emvd) {
+  return emvd.y.empty() || emvd.z.empty() || IsSubsetOf(emvd.y, emvd.x) ||
+         IsSubsetOf(emvd.z, emvd.x);
+}
+
+bool IsTrivial(const DatabaseScheme& scheme, const Mvd& mvd) {
+  if (IsSubsetOf(mvd.y, mvd.x)) return true;
+  // X union Y covering all attributes makes the complement empty.
+  std::set<AttrId> xy(mvd.x.begin(), mvd.x.end());
+  xy.insert(mvd.y.begin(), mvd.y.end());
+  return xy.size() == scheme.relation(mvd.rel).arity();
+}
+
+bool IsTrivial(const DatabaseScheme& scheme, const Dependency& dep) {
+  switch (dep.kind()) {
+    case DependencyKind::kFd:
+      return IsTrivial(dep.fd());
+    case DependencyKind::kInd:
+      return IsTrivial(dep.ind());
+    case DependencyKind::kRd:
+      return IsTrivial(dep.rd());
+    case DependencyKind::kEmvd:
+      return IsTrivial(dep.emvd());
+    case DependencyKind::kMvd:
+      return IsTrivial(scheme, dep.mvd());
+  }
+  return false;
+}
+
+std::vector<AttrId> AttrIds(const DatabaseScheme& scheme, RelId rel,
+                            const std::vector<std::string>& names) {
+  std::vector<AttrId> ids;
+  ids.reserve(names.size());
+  for (const std::string& name : names) {
+    Result<AttrId> id = scheme.relation(rel).FindAttr(name);
+    CCFP_CHECK_MSG(id.ok(), id.status().ToString().c_str());
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+std::string AttrNames(const DatabaseScheme& scheme, RelId rel,
+                      const std::vector<AttrId>& attrs) {
+  return JoinMapped(attrs, ", ", [&](AttrId a) {
+    return scheme.relation(rel).attr_name(a);
+  });
+}
+
+namespace {
+RelId RelIdOf(const DatabaseScheme& scheme, const std::string& name) {
+  Result<RelId> rel = scheme.FindRelation(name);
+  CCFP_CHECK_MSG(rel.ok(), rel.status().ToString().c_str());
+  return *rel;
+}
+}  // namespace
+
+Fd MakeFd(const DatabaseScheme& scheme, const std::string& rel,
+          const std::vector<std::string>& lhs,
+          const std::vector<std::string>& rhs) {
+  RelId r = RelIdOf(scheme, rel);
+  Fd fd{r, AttrIds(scheme, r, lhs), AttrIds(scheme, r, rhs)};
+  Status st = Validate(scheme, fd);
+  CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return fd;
+}
+
+Ind MakeInd(const DatabaseScheme& scheme, const std::string& lhs_rel,
+            const std::vector<std::string>& lhs, const std::string& rhs_rel,
+            const std::vector<std::string>& rhs) {
+  RelId lr = RelIdOf(scheme, lhs_rel);
+  RelId rr = RelIdOf(scheme, rhs_rel);
+  Ind ind{lr, AttrIds(scheme, lr, lhs), rr, AttrIds(scheme, rr, rhs)};
+  Status st = Validate(scheme, ind);
+  CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return ind;
+}
+
+Rd MakeRd(const DatabaseScheme& scheme, const std::string& rel,
+          const std::vector<std::string>& lhs,
+          const std::vector<std::string>& rhs) {
+  RelId r = RelIdOf(scheme, rel);
+  Rd rd{r, AttrIds(scheme, r, lhs), AttrIds(scheme, r, rhs)};
+  Status st = Validate(scheme, rd);
+  CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return rd;
+}
+
+Emvd MakeEmvd(const DatabaseScheme& scheme, const std::string& rel,
+              const std::vector<std::string>& x,
+              const std::vector<std::string>& y,
+              const std::vector<std::string>& z) {
+  RelId r = RelIdOf(scheme, rel);
+  Emvd emvd{r, AttrIds(scheme, r, x), AttrIds(scheme, r, y),
+            AttrIds(scheme, r, z)};
+  Status st = Validate(scheme, emvd);
+  CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return emvd;
+}
+
+Mvd MakeMvd(const DatabaseScheme& scheme, const std::string& rel,
+            const std::vector<std::string>& x,
+            const std::vector<std::string>& y) {
+  RelId r = RelIdOf(scheme, rel);
+  Mvd mvd{r, AttrIds(scheme, r, x), AttrIds(scheme, r, y)};
+  Status st = Validate(scheme, mvd);
+  CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+  return mvd;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,191 @@
+#ifndef CCFP_CORE_DEPENDENCY_H_
+#define CCFP_CORE_DEPENDENCY_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// A functional dependency R: X -> Y. Following the paper, X and Y are
+/// *sequences* of distinct attributes (so FDs and INDs can be interrelated).
+/// X may be empty (paper Section 6: "an FD with the empty set as left-hand
+/// side means that the right-hand side entries are constants").
+struct Fd {
+  RelId rel = 0;
+  std::vector<AttrId> lhs;
+  std::vector<AttrId> rhs;
+
+  friend bool operator==(const Fd&, const Fd&) = default;
+  friend std::strong_ordering operator<=>(const Fd&, const Fd&) = default;
+};
+
+/// An inclusion dependency R[X] <= S[Y] with |X| = |Y|, each side a sequence
+/// of distinct attributes. R and S may coincide.
+struct Ind {
+  RelId lhs_rel = 0;
+  std::vector<AttrId> lhs;
+  RelId rhs_rel = 0;
+  std::vector<AttrId> rhs;
+
+  /// Width of the IND (k for a k-ary IND in the paper's terminology).
+  std::size_t width() const { return lhs.size(); }
+
+  friend bool operator==(const Ind&, const Ind&) = default;
+  friend std::strong_ordering operator<=>(const Ind&, const Ind&) = default;
+};
+
+/// A repeating dependency R[X = Y] with |X| = |Y| (Section 4): every tuple t
+/// of r has t[X] = t[Y]. RDs arise from the interaction of FDs and INDs
+/// (Proposition 4.3) and are not expressible by FDs + INDs alone.
+struct Rd {
+  RelId rel = 0;
+  std::vector<AttrId> lhs;
+  std::vector<AttrId> rhs;
+
+  friend bool operator==(const Rd&, const Rd&) = default;
+  friend std::strong_ordering operator<=>(const Rd&, const Rd&) = default;
+};
+
+/// An embedded multivalued dependency R: X ->> Y | Z (Section 5), with X, Y,
+/// Z treated as attribute *sets* (stored as sorted sequences), Y and Z
+/// disjoint: whenever t1[X] = t2[X] there is t3 with t3[XY] = t1[XY] and
+/// t3[XZ] = t2[XZ].
+struct Emvd {
+  RelId rel = 0;
+  std::vector<AttrId> x;
+  std::vector<AttrId> y;
+  std::vector<AttrId> z;
+
+  friend bool operator==(const Emvd&, const Emvd&) = default;
+  friend std::strong_ordering operator<=>(const Emvd&, const Emvd&) = default;
+};
+
+/// A (full) multivalued dependency R: X ->> Y: the EMVD X ->> Y | Z where Z
+/// is everything outside X union Y.
+struct Mvd {
+  RelId rel = 0;
+  std::vector<AttrId> x;
+  std::vector<AttrId> y;
+
+  friend bool operator==(const Mvd&, const Mvd&) = default;
+  friend std::strong_ordering operator<=>(const Mvd&, const Mvd&) = default;
+};
+
+enum class DependencyKind : std::uint8_t {
+  kFd = 0,
+  kInd = 1,
+  kRd = 2,
+  kEmvd = 3,
+  kMvd = 4,
+};
+
+const char* DependencyKindToString(DependencyKind kind);
+
+/// A sentence about databases: one of the five dependency classes above.
+/// Value type with total order (kind-major), hashing, and printing, so
+/// dependency sets can be stored canonically.
+class Dependency {
+ public:
+  Dependency(Fd fd) : dep_(std::move(fd)) {}      // NOLINT(runtime/explicit)
+  Dependency(Ind ind) : dep_(std::move(ind)) {}   // NOLINT
+  Dependency(Rd rd) : dep_(std::move(rd)) {}      // NOLINT
+  Dependency(Emvd e) : dep_(std::move(e)) {}      // NOLINT
+  Dependency(Mvd m) : dep_(std::move(m)) {}       // NOLINT
+
+  DependencyKind kind() const {
+    return static_cast<DependencyKind>(dep_.index());
+  }
+  bool is_fd() const { return kind() == DependencyKind::kFd; }
+  bool is_ind() const { return kind() == DependencyKind::kInd; }
+  bool is_rd() const { return kind() == DependencyKind::kRd; }
+  bool is_emvd() const { return kind() == DependencyKind::kEmvd; }
+  bool is_mvd() const { return kind() == DependencyKind::kMvd; }
+
+  const Fd& fd() const { return std::get<Fd>(dep_); }
+  const Ind& ind() const { return std::get<Ind>(dep_); }
+  const Rd& rd() const { return std::get<Rd>(dep_); }
+  const Emvd& emvd() const { return std::get<Emvd>(dep_); }
+  const Mvd& mvd() const { return std::get<Mvd>(dep_); }
+
+  /// Renders with attribute names from `scheme`, e.g. "R: A -> B",
+  /// "R[A, B] <= S[C, D]", "R[A = B]", "R: A ->> B | C".
+  std::string ToString(const DatabaseScheme& scheme) const;
+
+  std::size_t Hash() const;
+
+  friend bool operator==(const Dependency&, const Dependency&) = default;
+  friend std::strong_ordering operator<=>(const Dependency&,
+                                          const Dependency&) = default;
+
+ private:
+  std::variant<Fd, Ind, Rd, Emvd, Mvd> dep_;
+};
+
+struct DependencyHash {
+  std::size_t operator()(const Dependency& d) const { return d.Hash(); }
+};
+
+/// --- Validation -----------------------------------------------------------
+
+/// Checks rel/attr indices, distinctness, and length constraints.
+Status Validate(const DatabaseScheme& scheme, const Fd& fd);
+Status Validate(const DatabaseScheme& scheme, const Ind& ind);
+Status Validate(const DatabaseScheme& scheme, const Rd& rd);
+Status Validate(const DatabaseScheme& scheme, const Emvd& emvd);
+Status Validate(const DatabaseScheme& scheme, const Mvd& mvd);
+Status Validate(const DatabaseScheme& scheme, const Dependency& dep);
+
+/// --- Triviality -----------------------------------------------------------
+/// A dependency is trivial iff it holds in every database over its scheme.
+
+/// FD trivial iff rhs (as a set) is contained in lhs.
+bool IsTrivial(const Fd& fd);
+/// IND trivial iff both sides are the identical expression R[X] (IND1).
+bool IsTrivial(const Ind& ind);
+/// RD R[X = Y] trivial iff X and Y are elementwise equal.
+bool IsTrivial(const Rd& rd);
+/// EMVD trivial iff Y or Z is contained in X, or Y or Z is empty.
+bool IsTrivial(const Emvd& emvd);
+/// MVD trivial iff Y is contained in X or X union Y covers the relation
+/// (needs the scheme to know the full attribute set).
+bool IsTrivial(const DatabaseScheme& scheme, const Mvd& mvd);
+bool IsTrivial(const DatabaseScheme& scheme, const Dependency& dep);
+
+/// --- Convenience constructors by attribute name ---------------------------
+/// CHECK-fail on unknown names; intended for program-literal inputs (tests,
+/// examples, paper constructions). Use the parser for untrusted input.
+
+Fd MakeFd(const DatabaseScheme& scheme, const std::string& rel,
+          const std::vector<std::string>& lhs,
+          const std::vector<std::string>& rhs);
+Ind MakeInd(const DatabaseScheme& scheme, const std::string& lhs_rel,
+            const std::vector<std::string>& lhs, const std::string& rhs_rel,
+            const std::vector<std::string>& rhs);
+Rd MakeRd(const DatabaseScheme& scheme, const std::string& rel,
+          const std::vector<std::string>& lhs,
+          const std::vector<std::string>& rhs);
+Emvd MakeEmvd(const DatabaseScheme& scheme, const std::string& rel,
+              const std::vector<std::string>& x,
+              const std::vector<std::string>& y,
+              const std::vector<std::string>& z);
+Mvd MakeMvd(const DatabaseScheme& scheme, const std::string& rel,
+            const std::vector<std::string>& x,
+            const std::vector<std::string>& y);
+
+/// Resolves attribute names to ids within `rel`; CHECK-fails on unknown.
+std::vector<AttrId> AttrIds(const DatabaseScheme& scheme, RelId rel,
+                            const std::vector<std::string>& names);
+
+/// Renders an attribute id sequence as "A, B, C".
+std::string AttrNames(const DatabaseScheme& scheme, RelId rel,
+                      const std::vector<AttrId>& attrs);
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_DEPENDENCY_H_

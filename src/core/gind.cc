@@ -1,0 +1,85 @@
+#include "core/gind.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+std::string GInd::ToString(const DatabaseScheme& scheme) const {
+  return StrCat(scheme.relation(lhs_rel).name(), "[",
+                AttrNames(scheme, lhs_rel, lhs), "] <= ",
+                scheme.relation(rhs_rel).name(), "[",
+                AttrNames(scheme, rhs_rel, rhs), "]  (generalized)");
+}
+
+Status Validate(const DatabaseScheme& scheme, const GInd& gind) {
+  if (!scheme.ValidRel(gind.lhs_rel) || !scheme.ValidRel(gind.rhs_rel)) {
+    return Status::InvalidArgument("invalid relation id in generalized IND");
+  }
+  for (AttrId a : gind.lhs) {
+    if (!scheme.ValidAttr(gind.lhs_rel, a)) {
+      return Status::InvalidArgument("invalid lhs attribute id");
+    }
+  }
+  for (AttrId a : gind.rhs) {
+    if (!scheme.ValidAttr(gind.rhs_rel, a)) {
+      return Status::InvalidArgument("invalid rhs attribute id");
+    }
+  }
+  if (gind.lhs.size() != gind.rhs.size()) {
+    return Status::InvalidArgument(
+        "generalized IND sides have different widths");
+  }
+  if (gind.lhs.empty()) {
+    return Status::InvalidArgument("generalized IND must have positive width");
+  }
+  return Status::OK();
+}
+
+bool Satisfies(const Database& db, const GInd& gind) {
+  const Relation& lhs = db.relation(gind.lhs_rel);
+  const Relation& rhs = db.relation(gind.rhs_rel);
+  std::unordered_set<Tuple, TupleHash> rhs_proj;
+  rhs_proj.reserve(rhs.size());
+  for (const Tuple& t : rhs.tuples()) {
+    rhs_proj.insert(ProjectTuple(t, gind.rhs));
+  }
+  for (const Tuple& t : lhs.tuples()) {
+    if (rhs_proj.count(ProjectTuple(t, gind.lhs)) == 0) return false;
+  }
+  return true;
+}
+
+GInd RdAsGind(const Rd& rd) {
+  GInd gind;
+  gind.lhs_rel = rd.rel;
+  gind.rhs_rel = rd.rel;
+  // lhs = X ++ Y, rhs = X ++ X: a tuple's (X, Y) projection must occur as
+  // some tuple's (X, X) projection, forcing X = Y entrywise on the tuple
+  // itself (the X-part pins the witness's X values to the tuple's own).
+  gind.lhs = rd.lhs;
+  gind.lhs.insert(gind.lhs.end(), rd.rhs.begin(), rd.rhs.end());
+  gind.rhs = rd.lhs;
+  gind.rhs.insert(gind.rhs.end(), rd.lhs.begin(), rd.lhs.end());
+  return gind;
+}
+
+bool IsPlainInd(const GInd& gind) {
+  std::set<AttrId> lhs(gind.lhs.begin(), gind.lhs.end());
+  std::set<AttrId> rhs(gind.rhs.begin(), gind.rhs.end());
+  return lhs.size() == gind.lhs.size() && rhs.size() == gind.rhs.size();
+}
+
+Result<Ind> ToPlainInd(const DatabaseScheme& scheme, const GInd& gind) {
+  if (!IsPlainInd(gind)) {
+    return Status::InvalidArgument(
+        "generalized IND repeats attributes; not a plain IND");
+  }
+  Ind ind{gind.lhs_rel, gind.lhs, gind.rhs_rel, gind.rhs};
+  CCFP_RETURN_NOT_OK(Validate(scheme, ind));
+  return ind;
+}
+
+}  // namespace ccfp

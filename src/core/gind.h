@@ -1,0 +1,62 @@
+#ifndef CCFP_CORE_GIND_H_
+#define CCFP_CORE_GIND_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// A *generalized* inclusion dependency in the sense Mitchell [Mi1] uses
+/// (cited in Section 4 of the paper): like an IND, but an attribute may be
+/// repeated on either side. The paper observes that repeating dependencies
+/// "are equivalent to a special case of a generalized type of IND ...
+/// where we allow an attribute to be repeated several times on the same
+/// side".
+///
+/// Example: the RD R[A = B] is the generalized IND R[A, A] <= R[A, B]...
+/// more precisely it is captured by R[A, B] <= R[A, A] (every (a, b) pair
+/// of R appears as a pair with equal components, forcing a = b when
+/// combined with membership — see RdAsGind below for the exact encoding).
+struct GInd {
+  RelId lhs_rel = 0;
+  std::vector<AttrId> lhs;  // repetitions allowed
+  RelId rhs_rel = 0;
+  std::vector<AttrId> rhs;  // repetitions allowed
+
+  std::size_t width() const { return lhs.size(); }
+
+  friend bool operator==(const GInd&, const GInd&) = default;
+  friend std::strong_ordering operator<=>(const GInd&, const GInd&) = default;
+
+  std::string ToString(const DatabaseScheme& scheme) const;
+};
+
+/// Index validity + equal widths (repetition is allowed, so no
+/// distinctness checks).
+Status Validate(const DatabaseScheme& scheme, const GInd& gind);
+
+/// d |= R[X] <= S[Y] with the same semantics as for INDs (projection
+/// containment, projections now possibly with repeated columns).
+bool Satisfies(const Database& db, const GInd& gind);
+
+/// The generalized-IND encoding of an RD: R[X = Y] holds iff
+/// R[X ++ Y] <= R[X ++ X] holds (each tuple's (X, Y) projection must occur
+/// as an equal-pair projection... of itself — see the proof in gind.cc's
+/// tests). The encoding direction used here is sound and complete and is
+/// verified against RD semantics in the test suite.
+GInd RdAsGind(const Rd& rd);
+
+/// True iff the generalized IND is an ordinary IND (no repetitions).
+bool IsPlainInd(const GInd& gind);
+
+/// Converts to a plain Ind; InvalidArgument if attributes repeat.
+Result<Ind> ToPlainInd(const DatabaseScheme& scheme, const GInd& gind);
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_GIND_H_

@@ -1,0 +1,44 @@
+#ifndef CCFP_CORE_PARSER_H_
+#define CCFP_CORE_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Parses one dependency in ccfp's text syntax, resolving names against
+/// `scheme`:
+///
+///   FD    R: A, B -> C         (empty lhs allowed: "R: -> C")
+///   MVD   R: A ->> B
+///   EMVD  R: A ->> B | C       (empty X allowed)
+///   IND   R[A, B] <= S[C, D]
+///   RD    R[A, B = C, D]
+///
+/// Attribute lists are comma-separated; whitespace is insignificant.
+Result<Dependency> ParseDependency(const DatabaseScheme& scheme,
+                                   std::string_view text);
+
+/// Parses a newline-separated list of dependencies. Blank lines and lines
+/// starting with '#' are skipped. Stops at the first error, reporting the
+/// line number.
+Result<std::vector<Dependency>> ParseDependencies(
+    const DatabaseScheme& scheme, std::string_view text);
+
+/// Parses one tuple-insertion line "R(v1, v2, ...)" and adds it to `db`.
+/// Values: integers parse as Int, `_n<k>` as labeled null #k, everything
+/// else (optionally double-quoted) as Str.
+Status ParseAndInsertTuple(Database& db, std::string_view line);
+
+/// Parses a whole database: one "R(...)" line per tuple, '#' comments and
+/// blank lines skipped.
+Result<Database> ParseDatabase(SchemePtr scheme, std::string_view text);
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_PARSER_H_

@@ -1,0 +1,57 @@
+#include "core/relation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+bool Relation::Insert(Tuple t) {
+  CCFP_CHECK_MSG(t.size() == arity_, "tuple arity mismatch");
+  if (index_.count(t) > 0) return false;
+  index_.insert(t);
+  tuples_.push_back(std::move(t));
+  return true;
+}
+
+std::vector<Tuple> Relation::Project(const std::vector<AttrId>& cols) const {
+  std::vector<Tuple> out;
+  std::unordered_set<Tuple, TupleHash> seen;
+  for (const Tuple& t : tuples_) {
+    Tuple p = ProjectTuple(t, cols);
+    if (seen.insert(p).second) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::unordered_set<Tuple, TupleHash> Relation::ProjectSet(
+    const std::vector<AttrId>& cols) const {
+  std::unordered_set<Tuple, TupleHash> out;
+  for (const Tuple& t : tuples_) out.insert(ProjectTuple(t, cols));
+  return out;
+}
+
+std::size_t Relation::CountDistinct(const std::vector<AttrId>& cols) const {
+  return ProjectSet(cols).size();
+}
+
+bool Relation::operator==(const Relation& other) const {
+  if (arity_ != other.arity_ || size() != other.size()) return false;
+  for (const Tuple& t : tuples_) {
+    if (!other.Contains(t)) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToString() const {
+  std::string out;
+  for (const Tuple& t : tuples_) {
+    out += "  ";
+    out += TupleToString(t);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,69 @@
+#ifndef CCFP_CORE_RELATION_H_
+#define CCFP_CORE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/tuple.h"
+
+namespace ccfp {
+
+/// A relation over R[U]: a *set* of tuples over U. Insertion order is
+/// preserved for iteration (deterministic output), duplicates are rejected.
+class Relation {
+ public:
+  explicit Relation(std::size_t arity) : arity_(arity) {}
+
+  std::size_t arity() const { return arity_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts `t`; returns true if the tuple was new. CHECK-fails on arity
+  /// mismatch (arity errors are programming errors, not data errors).
+  bool Insert(Tuple t);
+
+  bool Contains(const Tuple& t) const { return index_.count(t) > 0; }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// r[X]: the projection of every tuple onto `cols`, de-duplicated,
+  /// in first-occurrence order (paper notation r[X] = {t[X] : t in r}).
+  std::vector<Tuple> Project(const std::vector<AttrId>& cols) const;
+
+  /// r[X] as a hash set, for containment tests.
+  std::unordered_set<Tuple, TupleHash> ProjectSet(
+      const std::vector<AttrId>& cols) const;
+
+  /// |r[X]|: number of distinct projections.
+  std::size_t CountDistinct(const std::vector<AttrId>& cols) const;
+
+  /// Rebuilds the relation applying `fn` to every value (used by the chase
+  /// when labeled nulls are merged). De-duplicates the result.
+  template <typename Fn>
+  void MapValues(Fn fn) {
+    std::vector<Tuple> old = std::move(tuples_);
+    tuples_.clear();
+    index_.clear();
+    for (Tuple& t : old) {
+      for (Value& v : t) v = fn(v);
+      Insert(std::move(t));
+    }
+  }
+
+  bool operator==(const Relation& other) const;
+
+  /// One tuple per line, prefixed by two spaces.
+  std::string ToString() const;
+
+ private:
+  std::size_t arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> index_;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_RELATION_H_

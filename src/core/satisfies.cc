@@ -1,0 +1,215 @@
+#include "core/satisfies.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+bool Satisfies(const Database& db, const Fd& fd) {
+  const Relation& r = db.relation(fd.rel);
+  std::unordered_map<Tuple, Tuple, TupleHash> lhs_to_rhs;
+  lhs_to_rhs.reserve(r.size());
+  for (const Tuple& t : r.tuples()) {
+    Tuple key = ProjectTuple(t, fd.lhs);
+    Tuple val = ProjectTuple(t, fd.rhs);
+    auto [it, inserted] = lhs_to_rhs.emplace(std::move(key), val);
+    if (!inserted && it->second != val) return false;
+  }
+  return true;
+}
+
+bool Satisfies(const Database& db, const Ind& ind) {
+  const Relation& lhs = db.relation(ind.lhs_rel);
+  const Relation& rhs = db.relation(ind.rhs_rel);
+  std::unordered_set<Tuple, TupleHash> rhs_proj = rhs.ProjectSet(ind.rhs);
+  for (const Tuple& t : lhs.tuples()) {
+    if (rhs_proj.count(ProjectTuple(t, ind.lhs)) == 0) return false;
+  }
+  return true;
+}
+
+bool Satisfies(const Database& db, const Rd& rd) {
+  const Relation& r = db.relation(rd.rel);
+  for (const Tuple& t : r.tuples()) {
+    if (ProjectTuple(t, rd.lhs) != ProjectTuple(t, rd.rhs)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Shared EMVD checker on explicit X/Y/Z attribute sets.
+bool SatisfiesEmvdImpl(const Relation& r, const std::vector<AttrId>& x,
+                       const std::vector<AttrId>& y,
+                       const std::vector<AttrId>& z) {
+  // XY and XZ as de-duplicated sequences (sets in the paper).
+  std::vector<AttrId> xy = x;
+  for (AttrId a : y) {
+    if (std::find(xy.begin(), xy.end(), a) == xy.end()) xy.push_back(a);
+  }
+  std::vector<AttrId> xz = x;
+  for (AttrId a : z) {
+    if (std::find(xz.begin(), xz.end(), a) == xz.end()) xz.push_back(a);
+  }
+  // All (t[XY], t[XZ]) pairs present in r, flattened into one tuple.
+  std::unordered_set<Tuple, TupleHash> pairs;
+  pairs.reserve(r.size());
+  for (const Tuple& t : r.tuples()) {
+    Tuple key = ProjectTuple(t, xy);
+    Tuple xz_part = ProjectTuple(t, xz);
+    key.insert(key.end(), xz_part.begin(), xz_part.end());
+    pairs.insert(std::move(key));
+  }
+  // Group tuples by t[X].
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> groups;
+  for (const Tuple& t : r.tuples()) {
+    groups[ProjectTuple(t, x)].push_back(&t);
+  }
+  for (const auto& [key, members] : groups) {
+    for (const Tuple* t1 : members) {
+      Tuple t1_xy = ProjectTuple(*t1, xy);
+      for (const Tuple* t2 : members) {
+        Tuple need = t1_xy;
+        Tuple t2_xz = ProjectTuple(*t2, xz);
+        need.insert(need.end(), t2_xz.begin(), t2_xz.end());
+        if (pairs.count(need) == 0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Satisfies(const Database& db, const Emvd& emvd) {
+  return SatisfiesEmvdImpl(db.relation(emvd.rel), emvd.x, emvd.y, emvd.z);
+}
+
+bool Satisfies(const Database& db, const Mvd& mvd) {
+  // X ->> Y is the EMVD X ->> Y | Z with Z = attrs - X - Y.
+  std::set<AttrId> in_xy(mvd.x.begin(), mvd.x.end());
+  in_xy.insert(mvd.y.begin(), mvd.y.end());
+  std::vector<AttrId> z;
+  std::size_t arity = db.scheme().relation(mvd.rel).arity();
+  for (AttrId a = 0; a < arity; ++a) {
+    if (in_xy.count(a) == 0) z.push_back(a);
+  }
+  return SatisfiesEmvdImpl(db.relation(mvd.rel), mvd.x, mvd.y, z);
+}
+
+bool Satisfies(const Database& db, const Dependency& dep) {
+  switch (dep.kind()) {
+    case DependencyKind::kFd:
+      return Satisfies(db, dep.fd());
+    case DependencyKind::kInd:
+      return Satisfies(db, dep.ind());
+    case DependencyKind::kRd:
+      return Satisfies(db, dep.rd());
+    case DependencyKind::kEmvd:
+      return Satisfies(db, dep.emvd());
+    case DependencyKind::kMvd:
+      return Satisfies(db, dep.mvd());
+  }
+  return false;
+}
+
+bool SatisfiesAll(const Database& db, const std::vector<Dependency>& deps) {
+  for (const Dependency& dep : deps) {
+    if (!Satisfies(db, dep)) return false;
+  }
+  return true;
+}
+
+std::vector<Dependency> SatisfiedSubset(const Database& db,
+                                        const std::vector<Dependency>& deps) {
+  std::vector<Dependency> out;
+  for (const Dependency& dep : deps) {
+    if (Satisfies(db, dep)) out.push_back(dep);
+  }
+  return out;
+}
+
+std::optional<Violation> FindViolation(const Database& db,
+                                       const Dependency& dep) {
+  if (Satisfies(db, dep)) return std::nullopt;
+  const DatabaseScheme& scheme = db.scheme();
+  // Re-run the check collecting a witness. Keeping the fast path witness-free
+  // and paying a second pass only on violation keeps Satisfies() lean.
+  switch (dep.kind()) {
+    case DependencyKind::kFd: {
+      const Fd& fd = dep.fd();
+      const Relation& r = db.relation(fd.rel);
+      std::unordered_map<Tuple, const Tuple*, TupleHash> first;
+      for (const Tuple& t : r.tuples()) {
+        Tuple key = ProjectTuple(t, fd.lhs);
+        auto [it, inserted] = first.emplace(std::move(key), &t);
+        if (!inserted &&
+            ProjectTuple(*it->second, fd.rhs) != ProjectTuple(t, fd.rhs)) {
+          return Violation{StrCat(
+              "FD ", dep.ToString(scheme), " violated by tuples ",
+              TupleToString(*it->second), " and ", TupleToString(t))};
+        }
+      }
+      break;
+    }
+    case DependencyKind::kInd: {
+      const Ind& ind = dep.ind();
+      const Relation& lhs = db.relation(ind.lhs_rel);
+      std::unordered_set<Tuple, TupleHash> rhs_proj =
+          db.relation(ind.rhs_rel).ProjectSet(ind.rhs);
+      for (const Tuple& t : lhs.tuples()) {
+        Tuple p = ProjectTuple(t, ind.lhs);
+        if (rhs_proj.count(p) == 0) {
+          return Violation{StrCat("IND ", dep.ToString(scheme),
+                                  " violated: projection ", TupleToString(p),
+                                  " of tuple ", TupleToString(t),
+                                  " has no counterpart")};
+        }
+      }
+      break;
+    }
+    case DependencyKind::kRd: {
+      const Rd& rd = dep.rd();
+      for (const Tuple& t : db.relation(rd.rel).tuples()) {
+        if (ProjectTuple(t, rd.lhs) != ProjectTuple(t, rd.rhs)) {
+          return Violation{StrCat("RD ", dep.ToString(scheme),
+                                  " violated by tuple ", TupleToString(t))};
+        }
+      }
+      break;
+    }
+    case DependencyKind::kEmvd:
+    case DependencyKind::kMvd:
+      return Violation{
+          StrCat(DependencyKindToString(dep.kind()), " ",
+                 dep.ToString(scheme), " violated (no tuple witness: the "
+                 "failure is a missing tuple, not a present one)")};
+  }
+  return Violation{StrCat(dep.ToString(scheme), " violated")};
+}
+
+std::optional<std::string> ObeysExactly(
+    const Database& db, const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& expected) {
+  std::unordered_set<Dependency, DependencyHash> expected_set(
+      expected.begin(), expected.end());
+  for (const Dependency& dep : universe) {
+    bool holds = Satisfies(db, dep);
+    bool should = expected_set.count(dep) > 0;
+    if (holds && !should) {
+      return StrCat("database obeys ", dep.ToString(db.scheme()),
+                    " which is outside the expected set");
+    }
+    if (!holds && should) {
+      return StrCat("database violates ", dep.ToString(db.scheme()),
+                    " which is inside the expected set");
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ccfp

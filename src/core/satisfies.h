@@ -1,0 +1,49 @@
+#ifndef CCFP_CORE_SATISFIES_H_
+#define CCFP_CORE_SATISFIES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+
+namespace ccfp {
+
+/// Model checking: does database `db` obey the given dependency?
+/// (Section 2 of the paper: "r obeys the FD ...", "d obeys the IND ...").
+bool Satisfies(const Database& db, const Fd& fd);
+bool Satisfies(const Database& db, const Ind& ind);
+bool Satisfies(const Database& db, const Rd& rd);
+bool Satisfies(const Database& db, const Emvd& emvd);
+bool Satisfies(const Database& db, const Mvd& mvd);
+bool Satisfies(const Database& db, const Dependency& dep);
+
+/// True iff `db` obeys every dependency in `deps`.
+bool SatisfiesAll(const Database& db, const std::vector<Dependency>& deps);
+
+/// The subset of `deps` that `db` obeys.
+std::vector<Dependency> SatisfiedSubset(const Database& db,
+                                        const std::vector<Dependency>& deps);
+
+/// A concrete witness that `db` violates a dependency, for diagnostics.
+struct Violation {
+  /// Human-readable explanation referencing the offending tuples.
+  std::string description;
+};
+
+/// Returns a violation witness, or nullopt if `db` obeys `dep`.
+std::optional<Violation> FindViolation(const Database& db,
+                                       const Dependency& dep);
+
+/// Checks that `db` obeys *exactly* the dependencies of `universe` that are
+/// in `expected` (Fagin's Armstrong-database property, used to verify the
+/// Section 6/7 witness databases). On failure returns a description of the
+/// first discrepancy.
+std::optional<std::string> ObeysExactly(
+    const Database& db, const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& expected);
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_SATISFIES_H_

@@ -1,0 +1,100 @@
+#include "core/schema.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+RelationScheme::RelationScheme(std::string name,
+                               std::vector<std::string> attrs)
+    : name_(std::move(name)), attrs_(std::move(attrs)) {
+  for (AttrId i = 0; i < attrs_.size(); ++i) attr_index_.emplace(attrs_[i], i);
+}
+
+Result<AttrId> RelationScheme::FindAttr(const std::string& name) const {
+  auto it = attr_index_.find(name);
+  if (it == attr_index_.end()) {
+    return Status::NotFound(
+        StrCat("attribute '", name, "' not in relation ", name_));
+  }
+  return it->second;
+}
+
+bool RelationScheme::HasAttr(const std::string& name) const {
+  return attr_index_.count(name) > 0;
+}
+
+std::string RelationScheme::ToString() const {
+  return StrCat(name_, "[", JoinStrings(attrs_, ", "), "]");
+}
+
+Result<RelId> DatabaseScheme::FindRelation(const std::string& name) const {
+  auto it = relation_index_.find(name);
+  if (it == relation_index_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not in scheme"));
+  }
+  return it->second;
+}
+
+bool DatabaseScheme::HasRelation(const std::string& name) const {
+  return relation_index_.count(name) > 0;
+}
+
+std::string DatabaseScheme::ToString() const {
+  std::string out;
+  for (const RelationScheme& r : relations_) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+DatabaseSchemeBuilder& DatabaseSchemeBuilder::AddRelation(
+    std::string name, std::vector<std::string> attrs) {
+  pending_.push_back({std::move(name), std::move(attrs)});
+  return *this;
+}
+
+Result<SchemePtr> DatabaseSchemeBuilder::Build() {
+  auto scheme = std::shared_ptr<DatabaseScheme>(new DatabaseScheme());
+  for (Pending& p : pending_) {
+    if (p.name.empty()) {
+      return Status::InvalidArgument("relation name must be nonempty");
+    }
+    if (scheme->relation_index_.count(p.name) > 0) {
+      return Status::InvalidArgument(
+          StrCat("duplicate relation name '", p.name, "'"));
+    }
+    std::map<std::string, int> seen;
+    for (const std::string& a : p.attrs) {
+      if (a.empty()) {
+        return Status::InvalidArgument(
+            StrCat("empty attribute name in relation '", p.name, "'"));
+      }
+      if (++seen[a] > 1) {
+        return Status::InvalidArgument(
+            StrCat("duplicate attribute '", a, "' in relation '", p.name,
+                   "'"));
+      }
+    }
+    RelId id = static_cast<RelId>(scheme->relations_.size());
+    scheme->relation_index_.emplace(p.name, id);
+    scheme->relations_.emplace_back(std::move(p.name), std::move(p.attrs));
+  }
+  return SchemePtr(scheme);
+}
+
+SchemePtr MakeScheme(
+    std::vector<std::pair<std::string, std::vector<std::string>>> relations) {
+  DatabaseSchemeBuilder builder;
+  for (auto& [name, attrs] : relations) {
+    builder.AddRelation(std::move(name), std::move(attrs));
+  }
+  Result<SchemePtr> scheme = builder.Build();
+  CCFP_CHECK_MSG(scheme.ok(), scheme.status().ToString().c_str());
+  return scheme.MoveValue();
+}
+
+}  // namespace ccfp

@@ -1,0 +1,104 @@
+#ifndef CCFP_CORE_SCHEMA_H_
+#define CCFP_CORE_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Index of a relation scheme within a DatabaseScheme.
+using RelId = std::uint32_t;
+/// Index of an attribute within a relation scheme (position in the sequence).
+using AttrId = std::uint32_t;
+
+/// A relation scheme R[A1,...,Am]: a name plus a *sequence* of attributes.
+/// Following Section 2 of the paper, attribute order matters (tuples are
+/// sequences, and INDs interrelate positions across relations).
+class RelationScheme {
+ public:
+  RelationScheme(std::string name, std::vector<std::string> attrs);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  std::size_t arity() const { return attrs_.size(); }
+  const std::string& attr_name(AttrId id) const { return attrs_[id]; }
+
+  /// Looks up an attribute by name.
+  Result<AttrId> FindAttr(const std::string& name) const;
+  bool HasAttr(const std::string& name) const;
+
+  /// "R[A, B, C]"
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attrs_;
+  std::map<std::string, AttrId> attr_index_;
+};
+
+class DatabaseScheme;
+using SchemePtr = std::shared_ptr<const DatabaseScheme>;
+
+/// A database scheme D = {R1[U1], ..., Rn[Un]}. Immutable once built; all
+/// dependencies and databases hold a SchemePtr and refer to relations and
+/// attributes by index, so cross-object consistency is checkable.
+class DatabaseScheme {
+ public:
+  /// Number of relation schemes.
+  std::size_t size() const { return relations_.size(); }
+
+  const RelationScheme& relation(RelId id) const { return relations_[id]; }
+  const std::vector<RelationScheme>& relations() const { return relations_; }
+
+  Result<RelId> FindRelation(const std::string& name) const;
+  bool HasRelation(const std::string& name) const;
+
+  /// Validates rel/attr indices.
+  bool ValidRel(RelId rel) const { return rel < relations_.size(); }
+  bool ValidAttr(RelId rel, AttrId attr) const {
+    return ValidRel(rel) && attr < relations_[rel].arity();
+  }
+
+  /// Multi-line rendering of all relation schemes.
+  std::string ToString() const;
+
+ private:
+  friend class DatabaseSchemeBuilder;
+  DatabaseScheme() = default;
+
+  std::vector<RelationScheme> relations_;
+  std::map<std::string, RelId> relation_index_;
+};
+
+/// Builder for DatabaseScheme. Relation names must be unique; attribute names
+/// must be unique within a relation.
+class DatabaseSchemeBuilder {
+ public:
+  DatabaseSchemeBuilder& AddRelation(std::string name,
+                                     std::vector<std::string> attrs);
+
+  /// Validates and freezes the scheme.
+  Result<SchemePtr> Build();
+
+ private:
+  struct Pending {
+    std::string name;
+    std::vector<std::string> attrs;
+  };
+  std::vector<Pending> pending_;
+};
+
+/// Convenience: builds a scheme from (name, attrs) pairs, CHECK-failing on
+/// invalid input. Intended for tests, examples, and paper constructions where
+/// the input is a program literal.
+SchemePtr MakeScheme(
+    std::vector<std::pair<std::string, std::vector<std::string>>> relations);
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_SCHEMA_H_

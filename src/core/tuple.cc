@@ -1,0 +1,34 @@
+#include "core/tuple.h"
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+Tuple ProjectTuple(const Tuple& t, const std::vector<AttrId>& cols) {
+  Tuple out;
+  out.reserve(cols.size());
+  for (AttrId c : cols) out.push_back(t[c]);
+  return out;
+}
+
+Tuple TupleOfInts(const std::vector<std::int64_t>& values) {
+  Tuple t;
+  t.reserve(values.size());
+  for (std::int64_t v : values) t.push_back(Value::Int(v));
+  return t;
+}
+
+Tuple TupleOfStrs(const std::vector<std::string>& values) {
+  Tuple t;
+  t.reserve(values.size());
+  for (const std::string& v : values) t.push_back(Value::Str(v));
+  return t;
+}
+
+std::string TupleToString(const Tuple& t) {
+  return StrCat(
+      "(", JoinMapped(t, ", ", [](const Value& v) { return v.ToString(); }),
+      ")");
+}
+
+}  // namespace ccfp

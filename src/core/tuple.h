@@ -1,0 +1,41 @@
+#ifndef CCFP_CORE_TUPLE_H_
+#define CCFP_CORE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace ccfp {
+
+/// A tuple over R[A1,...,Am] is a sequence (a1,...,am) of the same length m
+/// (Section 2 of the paper: tuples are sequences, not attribute maps).
+using Tuple = std::vector<Value>;
+
+/// t[X]: the projection of `t` onto the attribute sequence `cols`
+/// (paper notation t[X] for X = (A_{i1},...,A_{ik})).
+Tuple ProjectTuple(const Tuple& t, const std::vector<AttrId>& cols);
+
+/// Convenience constructors for test/example literals.
+Tuple TupleOfInts(const std::vector<std::int64_t>& values);
+Tuple TupleOfStrs(const std::vector<std::string>& values);
+
+/// "(1, 2, \"x\")"
+std::string TupleToString(const Tuple& t);
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    std::size_t h = 0xCBF29CE484222325ULL;
+    for (const Value& v : t) {
+      h ^= v.Hash();
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_TUPLE_H_

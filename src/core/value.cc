@@ -1,0 +1,30 @@
+#include "core/value.h"
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return StrCat("_n", int_);
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kStr:
+      return StrCat("\"", str_, "\"");
+  }
+  return "?";
+}
+
+std::size_t Value::Hash() const {
+  std::size_t h = static_cast<std::size_t>(kind_) * 0x9E3779B97F4A7C15ULL;
+  h ^= std::hash<std::int64_t>{}(int_) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+       (h >> 2);
+  if (kind_ == Kind::kStr) {
+    h ^= std::hash<std::string>{}(str_) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,82 @@
+#ifndef CCFP_CORE_VALUE_H_
+#define CCFP_CORE_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ccfp {
+
+/// A single column entry. Three kinds:
+///  - Int: the constants the paper's constructions use (0, 1, ..., m);
+///  - Str: named constants for user-facing examples ("Hilbert", "Math");
+///  - Null: a *labeled null* (chase variable) with an identity. Two nulls are
+///    equal iff their ids are equal; the FD chase merges null ids.
+///
+/// Values have a total order (kind, then payload) so relations can be kept
+/// canonical and projections compared cheaply.
+class Value {
+ public:
+  enum class Kind : std::uint8_t { kNull = 0, kInt = 1, kStr = 2 };
+
+  /// Default-constructs the labeled null #0 (needed by containers).
+  Value() : kind_(Kind::kNull), int_(0) {}
+
+  static Value Null(std::uint64_t id) {
+    Value v;
+    v.kind_ = Kind::kNull;
+    v.int_ = static_cast<std::int64_t>(id);
+    return v;
+  }
+  static Value Int(std::int64_t x) {
+    Value v;
+    v.kind_ = Kind::kInt;
+    v.int_ = x;
+    return v;
+  }
+  static Value Str(std::string s) {
+    Value v;
+    v.kind_ = Kind::kStr;
+    v.str_ = std::move(s);
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_str() const { return kind_ == Kind::kStr; }
+
+  /// Payload accessors; calling the wrong one is a programming error whose
+  /// result is unspecified (kept unchecked: these sit on hot chase loops).
+  std::int64_t as_int() const { return int_; }
+  std::uint64_t null_id() const { return static_cast<std::uint64_t>(int_); }
+  const std::string& as_str() const { return str_; }
+
+  /// "7", "\"abc\"", or "_n3" for the labeled null #3.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.kind_ == b.kind_ && a.int_ == b.int_ && a.str_ == b.str_;
+  }
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return a.kind_ <=> b.kind_;
+    if (a.int_ != b.int_) return a.int_ <=> b.int_;
+    return a.str_ <=> b.str_;
+  }
+
+  std::size_t Hash() const;
+
+ private:
+  Kind kind_;
+  std::int64_t int_;  // Int payload or null id
+  std::string str_;   // Str payload; empty otherwise
+};
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_VALUE_H_

@@ -1,0 +1,55 @@
+#include "fd/armstrong_relation.h"
+
+#include "fd/closure.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+Result<std::vector<std::vector<AttrId>>> ClosedAttributeSets(
+    const DatabaseScheme& scheme, RelId rel, const std::vector<Fd>& sigma) {
+  const std::size_t arity = scheme.relation(rel).arity();
+  if (arity > 20) {
+    return Status::InvalidArgument(
+        StrCat("arity ", arity, " exceeds the closed-set enumeration bound"));
+  }
+  for (const Fd& fd : sigma) CCFP_RETURN_NOT_OK(Validate(scheme, fd));
+
+  FdClosure closure(scheme, rel, sigma);
+  std::vector<std::vector<AttrId>> closed;
+  for (std::uint32_t mask = 0; mask < (1u << arity); ++mask) {
+    std::vector<AttrId> attrs;
+    for (AttrId a = 0; a < arity; ++a) {
+      if (mask & (1u << a)) attrs.push_back(a);
+    }
+    if (closure.Closure(attrs) == attrs) closed.push_back(std::move(attrs));
+  }
+  return closed;
+}
+
+Result<Relation> ArmstrongRelationForFds(const DatabaseScheme& scheme,
+                                         RelId rel,
+                                         const std::vector<Fd>& sigma) {
+  const std::size_t arity = scheme.relation(rel).arity();
+  CCFP_ASSIGN_OR_RETURN(std::vector<std::vector<AttrId>> closed,
+                        ClosedAttributeSets(scheme, rel, sigma));
+  Relation relation(arity);
+  // Entry 0 on the closed set, a globally fresh positive value elsewhere:
+  // tuples t_W and t_V then agree exactly on W intersect V.
+  std::int64_t fresh = 1;
+  for (const std::vector<AttrId>& w : closed) {
+    Tuple t(arity);
+    std::size_t w_pos = 0;
+    for (AttrId a = 0; a < arity; ++a) {
+      if (w_pos < w.size() && w[w_pos] == a) {
+        t[a] = Value::Int(0);
+        ++w_pos;
+      } else {
+        t[a] = Value::Int(fresh++);
+      }
+    }
+    relation.Insert(std::move(t));
+  }
+  return relation;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,39 @@
+#ifndef CCFP_FD_ARMSTRONG_RELATION_H_
+#define CCFP_FD_ARMSTRONG_RELATION_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// The classical closed-form Armstrong relation for an FD set (Armstrong;
+/// Fagin [Fa2], cited by the paper): one tuple per *closed* attribute set
+/// W = closure(W), with entry 0 on the attributes of W and a tuple-unique
+/// value elsewhere. Two such tuples agree exactly on the intersection of
+/// their closed sets, which is again closed; hence the relation satisfies
+/// X -> Y iff Y is contained in closure(X), i.e., satisfies exactly the
+/// consequences of the FD set.
+///
+/// This is the zero-iteration counterpart of the chase-based
+/// BuildArmstrongDatabase: exact for FDs over a single relation, and
+/// exponential in arity (one tuple per closed set), so intended for
+/// design-time arities.
+///
+/// Returns InvalidArgument if `rel`'s arity exceeds 20 (2^20 closed-set
+/// candidates is the sanity bound).
+Result<Relation> ArmstrongRelationForFds(const DatabaseScheme& scheme,
+                                         RelId rel,
+                                         const std::vector<Fd>& sigma);
+
+/// All closed attribute sets of `rel` under `sigma`, as sorted attribute
+/// sequences (the lattice the construction enumerates).
+Result<std::vector<std::vector<AttrId>>> ClosedAttributeSets(
+    const DatabaseScheme& scheme, RelId rel, const std::vector<Fd>& sigma);
+
+}  // namespace ccfp
+
+#endif  // CCFP_FD_ARMSTRONG_RELATION_H_

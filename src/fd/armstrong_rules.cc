@@ -1,0 +1,235 @@
+#include "fd/armstrong_rules.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+std::set<AttrId> ToSet(const std::vector<AttrId>& v) {
+  return std::set<AttrId>(v.begin(), v.end());
+}
+
+bool SubsetOf(const std::set<AttrId>& a, const std::set<AttrId>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::set<AttrId> Difference(const std::set<AttrId>& a,
+                            const std::set<AttrId>& b) {
+  std::set<AttrId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::inserter(out, out.begin()));
+  return out;
+}
+
+std::vector<AttrId> SortedVec(const std::set<AttrId>& s) {
+  return std::vector<AttrId>(s.begin(), s.end());
+}
+
+// FDs are compared setwise for proof checking: the order of attributes on
+// either side of an FD does not affect its meaning.
+bool SameFdSetwise(const Fd& a, const Fd& b) {
+  return a.rel == b.rel && ToSet(a.lhs) == ToSet(b.lhs) &&
+         ToSet(a.rhs) == ToSet(b.rhs);
+}
+
+}  // namespace
+
+const char* FdRuleToString(FdRule rule) {
+  switch (rule) {
+    case FdRule::kHypothesis:
+      return "hypothesis";
+    case FdRule::kReflexivity:
+      return "reflexivity";
+    case FdRule::kAugmentation:
+      return "augmentation";
+    case FdRule::kTransitivity:
+      return "transitivity";
+    case FdRule::kUnion:
+      return "union";
+    case FdRule::kDecomposition:
+      return "decomposition";
+  }
+  return "?";
+}
+
+const Fd& FdProof::conclusion() const {
+  CCFP_CHECK_MSG(!steps_.empty(), "empty proof has no conclusion");
+  return steps_.back().conclusion;
+}
+
+Status FdProof::Check() const {
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const FdProofStep& step = steps_[i];
+    CCFP_RETURN_NOT_OK(Validate(*scheme_, step.conclusion));
+    for (std::size_t a : step.antecedents) {
+      if (a >= i) {
+        return Status::InvalidArgument(
+            StrCat("step ", i, " cites later/own line ", a));
+      }
+      if (steps_[a].conclusion.rel != step.conclusion.rel) {
+        return Status::InvalidArgument(
+            StrCat("step ", i, " mixes relations with line ", a));
+      }
+    }
+    const Fd& c = step.conclusion;
+    std::set<AttrId> cl = ToSet(c.lhs);
+    std::set<AttrId> cr = ToSet(c.rhs);
+    auto fail = [&](const char* why) {
+      return Status::InvalidArgument(StrCat(
+          "step ", i, " (", FdRuleToString(step.rule), "): ", why, ": ",
+          Dependency(c).ToString(*scheme_)));
+    };
+    switch (step.rule) {
+      case FdRule::kHypothesis: {
+        bool found = false;
+        for (const Fd& h : hypotheses_) {
+          if (SameFdSetwise(h, c)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return fail("not a hypothesis");
+        break;
+      }
+      case FdRule::kReflexivity: {
+        if (!step.antecedents.empty()) return fail("expects no antecedents");
+        if (!SubsetOf(cr, cl)) return fail("rhs not contained in lhs");
+        break;
+      }
+      case FdRule::kAugmentation: {
+        if (step.antecedents.size() != 1) return fail("expects 1 antecedent");
+        const Fd& p = steps_[step.antecedents[0]].conclusion;
+        std::set<AttrId> pl = ToSet(p.lhs), pr = ToSet(p.rhs);
+        // Conclusion must be (X u Z) -> (Y u Z) for some Z. Equivalent
+        // conditions: X <= X', Y <= Y', X'-X <= Y', Y'-Y <= X'.
+        if (!SubsetOf(pl, cl) || !SubsetOf(pr, cr) ||
+            !SubsetOf(Difference(cl, pl), cr) ||
+            !SubsetOf(Difference(cr, pr), cl)) {
+          return fail("not an augmentation of the antecedent");
+        }
+        break;
+      }
+      case FdRule::kTransitivity: {
+        if (step.antecedents.size() != 2) return fail("expects 2 antecedents");
+        const Fd& p = steps_[step.antecedents[0]].conclusion;
+        const Fd& q = steps_[step.antecedents[1]].conclusion;
+        if (ToSet(p.rhs) != ToSet(q.lhs)) {
+          return fail("middle sets of transitivity do not match");
+        }
+        if (ToSet(p.lhs) != cl || ToSet(q.rhs) != cr) {
+          return fail("conclusion does not match X -> Z");
+        }
+        break;
+      }
+      case FdRule::kUnion: {
+        if (step.antecedents.size() != 2) return fail("expects 2 antecedents");
+        const Fd& p = steps_[step.antecedents[0]].conclusion;
+        const Fd& q = steps_[step.antecedents[1]].conclusion;
+        if (ToSet(p.lhs) != ToSet(q.lhs) || ToSet(p.lhs) != cl) {
+          return fail("antecedent lhs sets differ");
+        }
+        std::set<AttrId> uni = ToSet(p.rhs);
+        std::set<AttrId> qr = ToSet(q.rhs);
+        uni.insert(qr.begin(), qr.end());
+        if (uni != cr) return fail("rhs is not the union of antecedent rhs");
+        break;
+      }
+      case FdRule::kDecomposition: {
+        if (step.antecedents.size() != 1) return fail("expects 1 antecedent");
+        const Fd& p = steps_[step.antecedents[0]].conclusion;
+        if (ToSet(p.lhs) != cl) return fail("lhs differs from antecedent");
+        if (!SubsetOf(cr, ToSet(p.rhs))) {
+          return fail("rhs not contained in antecedent rhs");
+        }
+        break;
+      }
+    }
+  }
+  if (steps_.empty()) return Status::InvalidArgument("empty proof");
+  return Status::OK();
+}
+
+std::string FdProof::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const FdProofStep& s = steps_[i];
+    out += StrCat(i, ". ", Dependency(s.conclusion).ToString(*scheme_), "   [",
+                  FdRuleToString(s.rule));
+    if (!s.antecedents.empty()) {
+      out += StrCat(" of ", JoinMapped(s.antecedents, ", ",
+                                       [](std::size_t a) {
+                                         return std::to_string(a);
+                                       }));
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+Result<FdProof> DeriveFdProof(SchemePtr scheme, const std::vector<Fd>& sigma,
+                              const Fd& target) {
+  CCFP_RETURN_NOT_OK(Validate(*scheme, target));
+  for (const Fd& fd : sigma) CCFP_RETURN_NOT_OK(Validate(*scheme, fd));
+
+  FdProof proof(scheme, sigma);
+  const RelId rel = target.rel;
+  std::set<AttrId> closure = ToSet(target.lhs);
+
+  // Line 0: X -> X by reflexivity; `current` tracks the line proving
+  // X -> closure as the closure grows.
+  proof.AddStep({Fd{rel, target.lhs, SortedVec(closure)},
+                 FdRule::kReflexivity,
+                 {}});
+  std::size_t current = 0;
+
+  // Quadratic closure loop (proofs are small; the linear engine lives in
+  // FdClosure). Each firing hypothesis W -> V adds four proof lines.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& hyp : sigma) {
+      if (hyp.rel != rel) continue;
+      std::set<AttrId> w = ToSet(hyp.lhs), v = ToSet(hyp.rhs);
+      if (!SubsetOf(w, closure) || SubsetOf(v, closure)) continue;
+      // (a) X -> W by decomposition of X -> closure.
+      proof.AddStep({Fd{rel, target.lhs, SortedVec(w)},
+                     FdRule::kDecomposition,
+                     {current}});
+      std::size_t x_to_w = proof.steps().size() - 1;
+      // (b) W -> V by hypothesis.
+      proof.AddStep({hyp, FdRule::kHypothesis, {}});
+      std::size_t w_to_v = proof.steps().size() - 1;
+      // (c) X -> V by transitivity.
+      proof.AddStep({Fd{rel, target.lhs, SortedVec(v)},
+                     FdRule::kTransitivity,
+                     {x_to_w, w_to_v}});
+      std::size_t x_to_v = proof.steps().size() - 1;
+      // (d) X -> closure u V by union.
+      closure.insert(v.begin(), v.end());
+      proof.AddStep({Fd{rel, target.lhs, SortedVec(closure)},
+                     FdRule::kUnion,
+                     {current, x_to_v}});
+      current = proof.steps().size() - 1;
+      changed = true;
+    }
+  }
+
+  if (!SubsetOf(ToSet(target.rhs), closure)) {
+    return Status::FailedPrecondition(
+        StrCat("sigma does not imply ",
+               Dependency(target).ToString(*scheme)));
+  }
+  // Final line: X -> rhs by decomposition.
+  proof.AddStep({Fd{rel, target.lhs, target.rhs},
+                 FdRule::kDecomposition,
+                 {current}});
+  CCFP_RETURN_NOT_OK(proof.Check());
+  return proof;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,73 @@
+#ifndef CCFP_FD_ARMSTRONG_RULES_H_
+#define CCFP_FD_ARMSTRONG_RULES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Justification of one step in an FD proof. The first three are Armstrong's
+/// primitive rules [Ar]; union and decomposition are the standard derived
+/// rules, accepted by the checker for readability of machine-built proofs.
+enum class FdRule : std::uint8_t {
+  kHypothesis,     ///< member of Sigma
+  kReflexivity,    ///< X -> Y when Y is a subset of X (0-ary)
+  kAugmentation,   ///< from X -> Y infer XZ -> YZ (1-ary)
+  kTransitivity,   ///< from X -> Y and Y -> Z infer X -> Z (2-ary)
+  kUnion,          ///< from X -> Y and X -> Z infer X -> YZ (derived)
+  kDecomposition,  ///< from X -> YZ infer X -> Y (derived)
+};
+
+const char* FdRuleToString(FdRule rule);
+
+/// One proof line: a conclusion plus its justification. `antecedents` are
+/// indices of earlier lines.
+struct FdProofStep {
+  Fd conclusion;
+  FdRule rule;
+  std::vector<std::size_t> antecedents;
+};
+
+/// A machine-checkable proof of the final line's FD from a hypothesis set,
+/// in the Armstrong system. FD proofs here treat attribute sequences as
+/// sets (order on either side of an FD does not affect its meaning).
+class FdProof {
+ public:
+  FdProof(SchemePtr scheme, std::vector<Fd> hypotheses)
+      : scheme_(std::move(scheme)), hypotheses_(std::move(hypotheses)) {}
+
+  const std::vector<FdProofStep>& steps() const { return steps_; }
+  const std::vector<Fd>& hypotheses() const { return hypotheses_; }
+
+  /// The proved FD (last line). Proof must be nonempty.
+  const Fd& conclusion() const;
+
+  void AddStep(FdProofStep step) { steps_.push_back(std::move(step)); }
+
+  /// Verifies every line against its rule. Rejects malformed indices,
+  /// misapplied rules, and hypothesis lines not in the hypothesis set.
+  Status Check() const;
+
+  /// Multi-line rendering with rule annotations.
+  std::string ToString() const;
+
+ private:
+  SchemePtr scheme_;
+  std::vector<Fd> hypotheses_;
+  std::vector<FdProofStep> steps_;
+};
+
+/// Derives an Armstrong-system proof of `target` from `sigma`, or an error
+/// if `sigma` does not imply `target`. The proof is built from a closure
+/// run: each fired FD contributes reflexivity + transitivity + union steps.
+Result<FdProof> DeriveFdProof(SchemePtr scheme, const std::vector<Fd>& sigma,
+                              const Fd& target);
+
+}  // namespace ccfp
+
+#endif  // CCFP_FD_ARMSTRONG_RULES_H_

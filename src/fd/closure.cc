@@ -1,0 +1,84 @@
+#include "fd/closure.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccfp {
+
+FdClosure::FdClosure(const DatabaseScheme& scheme, RelId rel,
+                     const std::vector<Fd>& fds)
+    : arity_(scheme.relation(rel).arity()), rel_(rel) {
+  fds_with_attr_in_lhs_.assign(arity_, {});
+  for (const Fd& fd : fds) {
+    if (fd.rel != rel) continue;
+    std::uint32_t id = static_cast<std::uint32_t>(lhs_.size());
+    lhs_.push_back(fd.lhs);
+    rhs_.push_back(fd.rhs);
+    for (AttrId a : fd.lhs) fds_with_attr_in_lhs_[a].push_back(id);
+  }
+}
+
+std::vector<AttrId> FdClosure::Closure(
+    const std::vector<AttrId>& start) const {
+  std::vector<char> in_closure(arity_, 0);
+  // remaining[i]: number of lhs attributes of FD i not yet in the closure;
+  // when it reaches zero the FD "fires" and contributes its rhs.
+  std::vector<std::uint32_t> remaining(lhs_.size());
+  std::vector<AttrId> queue;
+  queue.reserve(arity_);
+
+  auto add = [&](AttrId a) {
+    if (!in_closure[a]) {
+      in_closure[a] = 1;
+      queue.push_back(a);
+    }
+  };
+
+  for (std::size_t i = 0; i < lhs_.size(); ++i) {
+    remaining[i] = static_cast<std::uint32_t>(lhs_[i].size());
+    if (remaining[i] == 0) {
+      // Empty-lhs FD ("0 -> Y"): fires unconditionally.
+      for (AttrId b : rhs_[i]) add(b);
+    }
+  }
+  for (AttrId a : start) add(a);
+
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    AttrId a = queue[head];
+    for (std::uint32_t fd_id : fds_with_attr_in_lhs_[a]) {
+      if (--remaining[fd_id] == 0) {
+        for (AttrId b : rhs_[fd_id]) add(b);
+      }
+    }
+  }
+
+  std::vector<AttrId> result;
+  for (AttrId a = 0; a < arity_; ++a) {
+    if (in_closure[a]) result.push_back(a);
+  }
+  return result;
+}
+
+bool FdClosure::Implies(const Fd& fd) const {
+  CCFP_CHECK_MSG(fd.rel == rel_, "FD is on a different relation");
+  std::vector<AttrId> closure = Closure(fd.lhs);
+  for (AttrId a : fd.rhs) {
+    if (!std::binary_search(closure.begin(), closure.end(), a)) return false;
+  }
+  return true;
+}
+
+bool FdImplies(const DatabaseScheme& scheme, const std::vector<Fd>& sigma,
+               const Fd& target) {
+  FdClosure closure(scheme, target.rel, sigma);
+  return closure.Implies(target);
+}
+
+std::vector<AttrId> AttributeClosure(const DatabaseScheme& scheme, RelId rel,
+                                     const std::vector<Fd>& sigma,
+                                     const std::vector<AttrId>& start) {
+  return FdClosure(scheme, rel, sigma).Closure(start);
+}
+
+}  // namespace ccfp

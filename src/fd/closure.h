@@ -1,0 +1,61 @@
+#ifndef CCFP_FD_CLOSURE_H_
+#define CCFP_FD_CLOSURE_H_
+
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+
+namespace ccfp {
+
+/// Attribute-set closure engine for the FDs of a single relation scheme,
+/// using the linear-time counter algorithm of Beeri and Bernstein (the "FD
+/// decision procedure" the paper contrasts with its IND procedure in
+/// Section 3: "The FD decision procedure can be implemented ... to run in
+/// linear time").
+///
+/// The engine is built once per (relation, FD set) and then answers closure
+/// and implication queries; construction is O(total FD size), each query is
+/// O(total FD size) as well.
+class FdClosure {
+ public:
+  /// `fds` may mention any relation; only those on `rel` participate.
+  FdClosure(const DatabaseScheme& scheme, RelId rel,
+            const std::vector<Fd>& fds);
+
+  std::size_t arity() const { return arity_; }
+
+  /// X+ : every attribute functionally determined by `start` under the FDs.
+  /// Result is a sorted attribute sequence.
+  std::vector<AttrId> Closure(const std::vector<AttrId>& start) const;
+
+  /// Membership variant: true iff every attribute of fd.rhs is in the
+  /// closure of fd.lhs (i.e., the FD set implies `fd`). `fd` must be on the
+  /// same relation this engine was built for.
+  bool Implies(const Fd& fd) const;
+
+ private:
+  std::size_t arity_;
+  RelId rel_;
+  // Flattened FDs on rel_: lhs sizes, rhs lists, attr -> fds containing it.
+  std::vector<std::vector<AttrId>> lhs_;
+  std::vector<std::vector<AttrId>> rhs_;
+  std::vector<std::vector<std::uint32_t>> fds_with_attr_in_lhs_;
+};
+
+/// One-shot helpers (group by relation internally).
+
+/// True iff `sigma` (FDs only) logically implies `target`. FDs on other
+/// relations are ignored — a set of FDs over one relation can imply an FD
+/// only over that same relation (used in Lemma 7.8 of the paper).
+bool FdImplies(const DatabaseScheme& scheme, const std::vector<Fd>& sigma,
+               const Fd& target);
+
+/// X+ under `sigma` for attributes of relation `rel`.
+std::vector<AttrId> AttributeClosure(const DatabaseScheme& scheme, RelId rel,
+                                     const std::vector<Fd>& sigma,
+                                     const std::vector<AttrId>& start);
+
+}  // namespace ccfp
+
+#endif  // CCFP_FD_CLOSURE_H_

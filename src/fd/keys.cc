@@ -1,0 +1,77 @@
+#include "fd/keys.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fd/closure.h"
+
+namespace ccfp {
+
+bool IsSuperkey(const DatabaseScheme& scheme, RelId rel,
+                const std::vector<Fd>& sigma,
+                const std::vector<AttrId>& attrs) {
+  FdClosure closure(scheme, rel, sigma);
+  return closure.Closure(attrs).size() == scheme.relation(rel).arity();
+}
+
+namespace {
+
+// Shrinks a superkey to a minimal key by greedy attribute removal.
+std::vector<AttrId> Minimize(const FdClosure& closure, std::size_t arity,
+                             std::vector<AttrId> key) {
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      std::vector<AttrId> smaller = key;
+      smaller.erase(smaller.begin() + static_cast<std::ptrdiff_t>(i));
+      if (closure.Closure(smaller).size() == arity) {
+        key = std::move(smaller);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<std::vector<AttrId>> CandidateKeys(const DatabaseScheme& scheme,
+                                               RelId rel,
+                                               const std::vector<Fd>& sigma) {
+  const std::size_t arity = scheme.relation(rel).arity();
+  FdClosure closure(scheme, rel, sigma);
+
+  std::vector<AttrId> all(arity);
+  for (AttrId a = 0; a < arity; ++a) all[a] = a;
+
+  std::set<std::vector<AttrId>> keys;
+  std::vector<std::vector<AttrId>> worklist;
+  worklist.push_back(Minimize(closure, arity, all));
+  keys.insert(worklist.back());
+
+  // Lucchesi–Osborn: for each known key K and FD X -> Y, the set
+  // X u (K - Y) is a superkey; its minimization may be a new key.
+  while (!worklist.empty()) {
+    std::vector<AttrId> key = std::move(worklist.back());
+    worklist.pop_back();
+    for (const Fd& fd : sigma) {
+      if (fd.rel != rel) continue;
+      std::set<AttrId> candidate(fd.lhs.begin(), fd.lhs.end());
+      for (AttrId a : key) {
+        if (std::find(fd.rhs.begin(), fd.rhs.end(), a) == fd.rhs.end()) {
+          candidate.insert(a);
+        }
+      }
+      std::vector<AttrId> cand_vec(candidate.begin(), candidate.end());
+      if (closure.Closure(cand_vec).size() != arity) continue;
+      std::vector<AttrId> minimized =
+          Minimize(closure, arity, std::move(cand_vec));
+      if (keys.insert(minimized).second) worklist.push_back(minimized);
+    }
+  }
+  return std::vector<std::vector<AttrId>>(keys.begin(), keys.end());
+}
+
+}  // namespace ccfp

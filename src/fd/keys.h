@@ -1,0 +1,26 @@
+#ifndef CCFP_FD_KEYS_H_
+#define CCFP_FD_KEYS_H_
+
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+
+namespace ccfp {
+
+/// True iff `attrs` functionally determines every attribute of `rel`.
+bool IsSuperkey(const DatabaseScheme& scheme, RelId rel,
+                const std::vector<Fd>& sigma,
+                const std::vector<AttrId>& attrs);
+
+/// All candidate (minimal) keys of `rel` under `sigma`, each a sorted
+/// attribute sequence, in lexicographic order. Uses the Lucchesi–Osborn
+/// saturation: start from one key, expand with lhs attributes of FDs.
+/// Worst-case exponential in the number of keys (which is unavoidable).
+std::vector<std::vector<AttrId>> CandidateKeys(const DatabaseScheme& scheme,
+                                               RelId rel,
+                                               const std::vector<Fd>& sigma);
+
+}  // namespace ccfp
+
+#endif  // CCFP_FD_KEYS_H_

@@ -1,0 +1,67 @@
+#include "fd/minimal_cover.h"
+
+#include <algorithm>
+
+#include "fd/closure.h"
+
+namespace ccfp {
+
+std::vector<Fd> MinimalCover(const DatabaseScheme& scheme,
+                             const std::vector<Fd>& sigma) {
+  // 1. Split right-hand sides into singletons.
+  std::vector<Fd> cover;
+  for (const Fd& fd : sigma) {
+    for (AttrId b : fd.rhs) {
+      cover.push_back(Fd{fd.rel, fd.lhs, {b}});
+    }
+  }
+
+  // 2. Left-reduce: drop extraneous lhs attributes.
+  for (Fd& fd : cover) {
+    bool shrunk = true;
+    while (shrunk && fd.lhs.size() > 0) {
+      shrunk = false;
+      for (std::size_t i = 0; i < fd.lhs.size(); ++i) {
+        std::vector<AttrId> smaller = fd.lhs;
+        smaller.erase(smaller.begin() + static_cast<std::ptrdiff_t>(i));
+        if (FdImplies(scheme, cover, Fd{fd.rel, smaller, fd.rhs})) {
+          fd.lhs = std::move(smaller);
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // 3. Drop redundant FDs (an FD implied by the others).
+  for (std::size_t i = 0; i < cover.size();) {
+    std::vector<Fd> rest;
+    rest.reserve(cover.size() - 1);
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      if (j != i) rest.push_back(cover[j]);
+    }
+    if (FdImplies(scheme, rest, cover[i])) {
+      cover.erase(cover.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  // 4. De-duplicate (splitting can produce repeats).
+  std::sort(cover.begin(), cover.end());
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+  return cover;
+}
+
+bool EquivalentFdSets(const DatabaseScheme& scheme, const std::vector<Fd>& a,
+                      const std::vector<Fd>& b) {
+  for (const Fd& fd : b) {
+    if (!FdImplies(scheme, a, fd)) return false;
+  }
+  for (const Fd& fd : a) {
+    if (!FdImplies(scheme, b, fd)) return false;
+  }
+  return true;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,23 @@
+#ifndef CCFP_FD_MINIMAL_COVER_H_
+#define CCFP_FD_MINIMAL_COVER_H_
+
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+
+namespace ccfp {
+
+/// Computes a minimal cover of `sigma` (FDs over any relations of `scheme`):
+/// every rhs is a single attribute, no lhs attribute is redundant, and no FD
+/// is redundant. The result is logically equivalent to `sigma`.
+std::vector<Fd> MinimalCover(const DatabaseScheme& scheme,
+                             const std::vector<Fd>& sigma);
+
+/// True iff the two FD sets imply each other.
+bool EquivalentFdSets(const DatabaseScheme& scheme,
+                      const std::vector<Fd>& a, const std::vector<Fd>& b);
+
+}  // namespace ccfp
+
+#endif  // CCFP_FD_MINIMAL_COVER_H_

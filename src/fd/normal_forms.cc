@@ -1,0 +1,76 @@
+#include "fd/normal_forms.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "fd/closure.h"
+#include "fd/keys.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+// Enumerates all nonempty proper-candidate lhs subsets of rel's attributes.
+void ForEachSubset(std::size_t arity,
+                   const std::function<void(const std::vector<AttrId>&)>& fn) {
+  std::vector<AttrId> current;
+  std::function<void(AttrId)> rec = [&](AttrId start) {
+    if (!current.empty()) fn(current);
+    for (AttrId a = start; a < arity; ++a) {
+      current.push_back(a);
+      rec(a + 1);
+      current.pop_back();
+    }
+  };
+  rec(0);
+}
+
+}  // namespace
+
+std::vector<NormalFormViolation> BcnfViolations(
+    const DatabaseScheme& scheme, RelId rel, const std::vector<Fd>& sigma) {
+  std::vector<NormalFormViolation> violations;
+  const std::size_t arity = scheme.relation(rel).arity();
+  FdClosure closure(*std::addressof(scheme), rel, sigma);
+  ForEachSubset(arity, [&](const std::vector<AttrId>& lhs) {
+    std::vector<AttrId> lhs_closure = closure.Closure(lhs);
+    if (lhs_closure.size() == arity) return;  // superkey: no violation
+    for (AttrId a : lhs_closure) {
+      if (std::find(lhs.begin(), lhs.end(), a) != lhs.end()) continue;
+      violations.push_back(NormalFormViolation{
+          Fd{rel, lhs, {a}},
+          StrCat("lhs {", AttrNames(scheme, rel, lhs),
+                 "} determines ", scheme.relation(rel).attr_name(a),
+                 " but is not a superkey")});
+    }
+  });
+  return violations;
+}
+
+bool IsBcnf(const DatabaseScheme& scheme, RelId rel,
+            const std::vector<Fd>& sigma) {
+  return BcnfViolations(scheme, rel, sigma).empty();
+}
+
+std::vector<AttrId> PrimeAttributes(const DatabaseScheme& scheme, RelId rel,
+                                    const std::vector<Fd>& sigma) {
+  std::set<AttrId> prime;
+  for (const std::vector<AttrId>& key : CandidateKeys(scheme, rel, sigma)) {
+    prime.insert(key.begin(), key.end());
+  }
+  return std::vector<AttrId>(prime.begin(), prime.end());
+}
+
+bool Is3nf(const DatabaseScheme& scheme, RelId rel,
+           const std::vector<Fd>& sigma) {
+  std::vector<AttrId> prime = PrimeAttributes(scheme, rel, sigma);
+  for (const NormalFormViolation& v : BcnfViolations(scheme, rel, sigma)) {
+    AttrId a = v.fd.rhs[0];
+    if (!std::binary_search(prime.begin(), prime.end(), a)) return false;
+  }
+  return true;
+}
+
+}  // namespace ccfp

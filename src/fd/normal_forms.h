@@ -1,0 +1,50 @@
+#ifndef CCFP_FD_NORMAL_FORMS_H_
+#define CCFP_FD_NORMAL_FORMS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+
+namespace ccfp {
+
+/// Schema-design diagnostics on top of the FD substrate. The paper's
+/// introduction motivates INDs as design constraints ("they permit us to
+/// selectively define what data must be duplicated in what relations");
+/// this module supplies the standard FD-side design checks that accompany
+/// them in practice.
+
+/// An FD that witnesses a normal-form violation.
+struct NormalFormViolation {
+  Fd fd;
+  std::string reason;
+};
+
+/// Is `rel` in Boyce-Codd normal form under `sigma`? (Every nontrivial FD
+/// X -> Y on rel that is implied by sigma has X a superkey.) The check
+/// examines the implied FDs with minimal left-hand sides via the candidate
+/// keys and closure engine.
+bool IsBcnf(const DatabaseScheme& scheme, RelId rel,
+            const std::vector<Fd>& sigma);
+
+/// Is `rel` in third normal form? (Every implied nontrivial FD X -> A has
+/// X a superkey or A a prime attribute.)
+bool Is3nf(const DatabaseScheme& scheme, RelId rel,
+           const std::vector<Fd>& sigma);
+
+/// All BCNF violations of `rel`: implied nontrivial FDs X -> A (singleton
+/// rhs, X drawn from the attribute subsets of rel) whose lhs is not a
+/// superkey. Exponential in arity; intended for design-time use on
+/// human-sized schemas.
+std::vector<NormalFormViolation> BcnfViolations(const DatabaseScheme& scheme,
+                                                RelId rel,
+                                                const std::vector<Fd>& sigma);
+
+/// Attributes of `rel` that occur in some candidate key ("prime").
+std::vector<AttrId> PrimeAttributes(const DatabaseScheme& scheme, RelId rel,
+                                    const std::vector<Fd>& sigma);
+
+}  // namespace ccfp
+
+#endif  // CCFP_FD_NORMAL_FORMS_H_

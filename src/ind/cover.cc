@@ -1,0 +1,69 @@
+#include "ind/cover.h"
+
+#include "ind/implication.h"
+
+namespace ccfp {
+
+namespace {
+
+Result<bool> SetImplies(SchemePtr scheme, const std::vector<Ind>& sigma,
+                        const Ind& target) {
+  IndImplication engine(scheme, sigma);
+  CCFP_ASSIGN_OR_RETURN(IndDecision decision, engine.Decide(target));
+  return decision.implied;
+}
+
+}  // namespace
+
+Result<std::vector<std::size_t>> RedundantInds(
+    SchemePtr scheme, const std::vector<Ind>& sigma) {
+  std::vector<std::size_t> redundant;
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    std::vector<Ind> rest;
+    rest.reserve(sigma.size() - 1);
+    for (std::size_t j = 0; j < sigma.size(); ++j) {
+      if (j != i) rest.push_back(sigma[j]);
+    }
+    CCFP_ASSIGN_OR_RETURN(bool implied, SetImplies(scheme, rest, sigma[i]));
+    if (implied) redundant.push_back(i);
+  }
+  return redundant;
+}
+
+Result<std::vector<Ind>> MinimalIndCover(SchemePtr scheme,
+                                         std::vector<Ind> sigma) {
+  bool removed = true;
+  while (removed) {
+    removed = false;
+    for (std::size_t i = 0; i < sigma.size(); ++i) {
+      std::vector<Ind> rest;
+      rest.reserve(sigma.size() - 1);
+      for (std::size_t j = 0; j < sigma.size(); ++j) {
+        if (j != i) rest.push_back(sigma[j]);
+      }
+      CCFP_ASSIGN_OR_RETURN(bool implied,
+                            SetImplies(scheme, rest, sigma[i]));
+      if (implied) {
+        sigma = std::move(rest);
+        removed = true;
+        break;
+      }
+    }
+  }
+  return sigma;
+}
+
+Result<bool> EquivalentIndSets(SchemePtr scheme, const std::vector<Ind>& a,
+                               const std::vector<Ind>& b) {
+  for (const Ind& ind : b) {
+    CCFP_ASSIGN_OR_RETURN(bool implied, SetImplies(scheme, a, ind));
+    if (!implied) return false;
+  }
+  for (const Ind& ind : a) {
+    CCFP_ASSIGN_OR_RETURN(bool implied, SetImplies(scheme, b, ind));
+    if (!implied) return false;
+  }
+  return true;
+}
+
+}  // namespace ccfp

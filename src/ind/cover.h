@@ -1,0 +1,38 @@
+#ifndef CCFP_IND_COVER_H_
+#define CCFP_IND_COVER_H_
+
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Redundancy analysis for IND sets — the design-time counterpart of the
+/// FD minimal cover: an IND is redundant if the remaining INDs already
+/// imply it (via IND1–IND3). The paper's Section 8 recommends keeping
+/// declared IND sets small because the decision problem is PSPACE-complete;
+/// pruning redundant members is the first step.
+
+/// The indices of `sigma` members implied by the other members.
+/// Each membership test is one Corollary 3.2 decision; a budget error from
+/// the underlying engine is propagated.
+Result<std::vector<std::size_t>> RedundantInds(SchemePtr scheme,
+                                               const std::vector<Ind>& sigma);
+
+/// A minimal cover: greedily removes redundant INDs (in index order) until
+/// none is implied by the rest. The result is equivalent to `sigma` and no
+/// member of it is redundant.
+Result<std::vector<Ind>> MinimalIndCover(SchemePtr scheme,
+                                         std::vector<Ind> sigma);
+
+/// True iff the two IND sets imply each other (width-bounded check over
+/// the members themselves; sound and complete because implication of a set
+/// reduces to implication of its members).
+Result<bool> EquivalentIndSets(SchemePtr scheme, const std::vector<Ind>& a,
+                               const std::vector<Ind>& b);
+
+}  // namespace ccfp
+
+#endif  // CCFP_IND_COVER_H_

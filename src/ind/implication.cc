@@ -1,0 +1,252 @@
+#include "ind/implication.h"
+
+#include <deque>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+std::string IndExpression::ToString(const DatabaseScheme& scheme) const {
+  return StrCat(scheme.relation(rel).name(), "[",
+                AttrNames(scheme, rel, attrs), "]");
+}
+
+IndImplication::IndImplication(SchemePtr scheme, std::vector<Ind> sigma)
+    : scheme_(std::move(scheme)), sigma_(std::move(sigma)) {
+  by_lhs_rel_.assign(scheme_->size(), {});
+  lhs_pos_.reserve(sigma_.size());
+  for (std::uint32_t i = 0; i < sigma_.size(); ++i) {
+    const Ind& ind = sigma_[i];
+    Status st = Validate(*scheme_, ind);
+    CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+    by_lhs_rel_[ind.lhs_rel].push_back(i);
+    std::vector<std::size_t> pos(scheme_->relation(ind.lhs_rel).arity(),
+                                 kNoPos);
+    for (std::size_t p = 0; p < ind.lhs.size(); ++p) pos[ind.lhs[p]] = p;
+    lhs_pos_.push_back(std::move(pos));
+  }
+}
+
+template <typename Visit>
+void IndImplication::ForEachSuccessor(const IndExpression& expr,
+                                      Visit visit) const {
+  for (std::uint32_t i : by_lhs_rel_[expr.rel]) {
+    const Ind& ind = sigma_[i];
+    const std::vector<std::size_t>& pos = lhs_pos_[i];
+    // Applicable iff every attribute of the expression occurs in ind.lhs.
+    std::vector<std::size_t> positions;
+    positions.reserve(expr.attrs.size());
+    bool applicable = true;
+    for (AttrId a : expr.attrs) {
+      if (pos[a] == kNoPos) {
+        applicable = false;
+        break;
+      }
+      positions.push_back(pos[a]);
+    }
+    if (!applicable) continue;
+    IndExpression next;
+    next.rel = ind.rhs_rel;
+    next.attrs.reserve(positions.size());
+    for (std::size_t p : positions) next.attrs.push_back(ind.rhs[p]);
+    visit(std::move(next), i, std::move(positions));
+  }
+}
+
+Result<IndDecision> IndImplication::Decide(
+    const Ind& target, const IndDecisionOptions& options) const {
+  CCFP_RETURN_NOT_OK(Validate(*scheme_, target));
+
+  IndDecision decision;
+  IndExpression start{target.lhs_rel, target.lhs};
+  IndExpression goal{target.rhs_rel, target.rhs};
+
+  // Parent bookkeeping for proof extraction: for each reached expression,
+  // the predecessor expression plus the sigma index / position sequence of
+  // the IND2 edge that reached it.
+  struct Edge {
+    IndExpression parent;
+    std::uint32_t sigma_index;
+    std::vector<std::size_t> positions;
+    bool is_start;
+  };
+  std::unordered_map<IndExpression, Edge, IndExpressionHash> visited;
+  visited.emplace(start, Edge{{}, 0, {}, true});
+
+  std::deque<IndExpression> frontier;
+  frontier.push_back(start);
+  bool found = (start == goal);
+
+  while (!found && !frontier.empty()) {
+    IndExpression expr = std::move(frontier.front());
+    frontier.pop_front();
+    ++decision.expressions_visited;
+    if (decision.expressions_visited > options.max_expressions) {
+      return Status::ResourceExhausted(
+          StrCat("IND decision budget of ", options.max_expressions,
+                 " expressions exhausted"));
+    }
+    ForEachSuccessor(expr, [&](IndExpression next, std::uint32_t sigma_index,
+                               std::vector<std::size_t> positions) {
+      ++decision.edges_explored;
+      if (found || visited.count(next) > 0) return;
+      bool is_goal = (next == goal);
+      visited.emplace(next,
+                      Edge{expr, sigma_index, std::move(positions), false});
+      if (is_goal) {
+        found = true;
+      } else {
+        frontier.push_back(std::move(next));
+      }
+    });
+  }
+
+  decision.implied = found;
+  if (!found) return decision;
+
+  // Reconstruct the Corollary 3.2 expression sequence.
+  std::vector<const Edge*> path_edges;
+  IndExpression cursor = goal;
+  while (true) {
+    const Edge& e = visited.at(cursor);
+    if (e.is_start) break;
+    path_edges.push_back(&e);
+    cursor = e.parent;
+  }
+  decision.chain_length = path_edges.size() + 1;
+
+  if (options.want_proof) {
+    // Materialize the expression chain (start to goal).
+    decision.chain.push_back(start);
+    for (std::size_t step = path_edges.size(); step-- > 0;) {
+      const Edge& e = *path_edges[step];
+      const Ind& hyp = sigma_[e.sigma_index];
+      IndExpression next;
+      next.rel = hyp.rhs_rel;
+      for (std::size_t p : e.positions) next.attrs.push_back(hyp.rhs[p]);
+      decision.chain.push_back(std::move(next));
+    }
+    IndProof proof(scheme_, sigma_);
+    if (path_edges.empty()) {
+      // Trivial IND: one reflexivity line.
+      proof.AddStep({target, IndRule::kReflexivity, {}, {}});
+    } else {
+      // path_edges is goal-to-start; walk it in start-to-goal order.
+      std::size_t acc_line = 0;
+      IndExpression from = start;
+      for (std::size_t step = path_edges.size(); step-- > 0;) {
+        const Edge& e = *path_edges[step];
+        const Ind& hyp = sigma_[e.sigma_index];
+        proof.AddStep({hyp, IndRule::kHypothesis, {}, {}});
+        std::size_t hyp_line = proof.steps().size() - 1;
+        // Projected edge IND: from -> next expression.
+        IndExpression next;
+        next.rel = hyp.rhs_rel;
+        for (std::size_t p : e.positions) next.attrs.push_back(hyp.rhs[p]);
+        Ind edge_ind{from.rel, from.attrs, next.rel, next.attrs};
+        proof.AddStep(
+            {edge_ind, IndRule::kProjection, {hyp_line}, e.positions});
+        std::size_t edge_line = proof.steps().size() - 1;
+        if (step == path_edges.size() - 1) {
+          acc_line = edge_line;  // first edge
+        } else {
+          Ind combined{start.rel, start.attrs, next.rel, next.attrs};
+          proof.AddStep({combined,
+                         IndRule::kTransitivity,
+                         {acc_line, edge_line},
+                         {}});
+          acc_line = proof.steps().size() - 1;
+        }
+        from = std::move(next);
+      }
+    }
+    Status st = proof.Check();
+    CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+    decision.proof = std::move(proof);
+  }
+  return decision;
+}
+
+bool IndImplication::Implies(const Ind& target) const {
+  Result<IndDecision> decision = Decide(target);
+  CCFP_CHECK_MSG(decision.ok(), decision.status().ToString().c_str());
+  return decision->implied;
+}
+
+namespace {
+
+// Enumerates all sequences of `width` distinct attributes of a relation
+// with `arity` attributes, invoking fn on each.
+void ForEachAttrSequence(std::size_t arity, std::size_t width,
+                         std::vector<AttrId>& current,
+                         std::vector<bool>& used,
+                         const std::function<void(const std::vector<AttrId>&)>&
+                             fn) {
+  if (current.size() == width) {
+    fn(current);
+    return;
+  }
+  for (AttrId a = 0; a < arity; ++a) {
+    if (used[a]) continue;
+    used[a] = true;
+    current.push_back(a);
+    ForEachAttrSequence(arity, width, current, used, fn);
+    current.pop_back();
+    used[a] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<Ind> IndImplication::AllImpliedInds(std::size_t max_width) const {
+  std::vector<Ind> result;
+  for (RelId rel = 0; rel < scheme_->size(); ++rel) {
+    std::size_t arity = scheme_->relation(rel).arity();
+    for (std::size_t width = 1; width <= max_width && width <= arity;
+         ++width) {
+      std::vector<AttrId> current;
+      std::vector<bool> used(arity, false);
+      ForEachAttrSequence(
+          arity, width, current, used, [&](const std::vector<AttrId>& attrs) {
+            // BFS from this start expression; every reachable expression E
+            // yields the implied IND rel[attrs] <= E.
+            IndExpression start{rel, attrs};
+            std::unordered_map<IndExpression, bool, IndExpressionHash> seen;
+            std::deque<IndExpression> frontier;
+            seen.emplace(start, true);
+            frontier.push_back(start);
+            while (!frontier.empty()) {
+              IndExpression expr = std::move(frontier.front());
+              frontier.pop_front();
+              result.push_back(Ind{rel, attrs, expr.rel, expr.attrs});
+              ForEachSuccessor(expr, [&](IndExpression next, std::uint32_t,
+                                         std::vector<std::size_t>) {
+                if (seen.emplace(next, true).second) {
+                  frontier.push_back(std::move(next));
+                }
+              });
+            }
+          });
+    }
+  }
+  return result;
+}
+
+Result<IndDecision> DecideIndImplication(SchemePtr scheme,
+                                         std::vector<Ind> sigma,
+                                         const Ind& target,
+                                         const IndDecisionOptions& options) {
+  for (const Ind& ind : sigma) CCFP_RETURN_NOT_OK(Validate(*scheme, ind));
+  IndImplication engine(std::move(scheme), std::move(sigma));
+  return engine.Decide(target, options);
+}
+
+}  // namespace ccfp

@@ -1,0 +1,109 @@
+#ifndef CCFP_IND_IMPLICATION_H_
+#define CCFP_IND_IMPLICATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "ind/proof.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// An expression S[X] in the sense of Corollary 3.2: a relation name plus a
+/// sequence of distinct attributes of it.
+struct IndExpression {
+  RelId rel = 0;
+  std::vector<AttrId> attrs;
+
+  friend bool operator==(const IndExpression&, const IndExpression&) = default;
+
+  std::string ToString(const DatabaseScheme& scheme) const;
+};
+
+struct IndExpressionHash {
+  std::size_t operator()(const IndExpression& e) const {
+    std::size_t h = e.rel * 0x9E3779B97F4A7C15ULL;
+    for (AttrId a : e.attrs) h = h * 1099511628211ULL + a + 1;
+    return h;
+  }
+};
+
+struct IndDecisionOptions {
+  /// Build an IND1/2/3 proof object when the implication holds.
+  bool want_proof = false;
+  /// Abort with ResourceExhausted after visiting this many distinct
+  /// expressions. The expression space is exponential in the IND width
+  /// (the root of the PSPACE-hardness), so a budget is mandatory API.
+  std::uint64_t max_expressions = 1u << 22;
+};
+
+/// Outcome of one implication query.
+struct IndDecision {
+  bool implied = false;
+  /// Distinct expressions reached (nodes of the Corollary 3.2 graph).
+  std::uint64_t expressions_visited = 0;
+  /// IND2-edges examined.
+  std::uint64_t edges_explored = 0;
+  /// Length w of the witnessing expression sequence (1 = trivial IND).
+  std::size_t chain_length = 0;
+  /// The witnessing expression sequence S_1[X_1], ..., S_w[X_w] of
+  /// Corollary 3.2 (start to goal). Populated iff implied and want_proof.
+  std::vector<IndExpression> chain;
+  /// Present iff implied and want_proof.
+  std::optional<IndProof> proof;
+};
+
+/// Decision procedure for IND implication (Sections 3, Corollary 3.2):
+/// Sigma |= R_a[A1..Am] <= R_b[B1..Bm] iff the expression R_b[B1..Bm] is
+/// reachable from R_a[A1..Am] via single-IND2 steps through members of
+/// Sigma. Implemented as BFS with a visited set over expressions.
+///
+/// By Theorem 3.1 this decides |=, |=fin, and derivability all at once.
+class IndImplication {
+ public:
+  /// CHECK-fails if any IND of `sigma` is invalid for `scheme`.
+  IndImplication(SchemePtr scheme, std::vector<Ind> sigma);
+
+  const std::vector<Ind>& sigma() const { return sigma_; }
+
+  /// Decides Sigma |= target. Returns ResourceExhausted if the expression
+  /// budget is hit (answer unknown).
+  Result<IndDecision> Decide(const Ind& target,
+                             const IndDecisionOptions& options = {}) const;
+
+  /// Convenience: Decide with default options, CHECK-failing on budget
+  /// exhaustion (for callers with known-small instances).
+  bool Implies(const Ind& target) const;
+
+  /// Enumerates every IND of width <= max_width over the scheme implied by
+  /// Sigma (including trivial ones): lambda+ restricted to small widths.
+  /// Used to compute the IND-consequence sets of the Section 7 proof.
+  std::vector<Ind> AllImpliedInds(std::size_t max_width) const;
+
+ private:
+  // Successor expansion: applies every applicable member of sigma to `expr`,
+  // invoking visit(next_expr, sigma_index, positions).
+  template <typename Visit>
+  void ForEachSuccessor(const IndExpression& expr, Visit visit) const;
+
+  SchemePtr scheme_;
+  std::vector<Ind> sigma_;
+  // sigma indices grouped by lhs relation.
+  std::vector<std::vector<std::uint32_t>> by_lhs_rel_;
+  // For sigma[i]: map attr -> position in sigma[i].lhs (or npos).
+  std::vector<std::vector<std::size_t>> lhs_pos_;
+};
+
+/// One-shot helper.
+Result<IndDecision> DecideIndImplication(SchemePtr scheme,
+                                         std::vector<Ind> sigma,
+                                         const Ind& target,
+                                         const IndDecisionOptions& options = {});
+
+}  // namespace ccfp
+
+#endif  // CCFP_IND_IMPLICATION_H_

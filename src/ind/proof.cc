@@ -1,0 +1,111 @@
+#include "ind/proof.h"
+
+#include "ind/rules.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+const char* IndRuleToString(IndRule rule) {
+  switch (rule) {
+    case IndRule::kHypothesis:
+      return "hypothesis";
+    case IndRule::kReflexivity:
+      return "IND1 (reflexivity)";
+    case IndRule::kProjection:
+      return "IND2 (projection/permutation)";
+    case IndRule::kTransitivity:
+      return "IND3 (transitivity)";
+  }
+  return "?";
+}
+
+const Ind& IndProof::conclusion() const {
+  CCFP_CHECK_MSG(!steps_.empty(), "empty proof has no conclusion");
+  return steps_.back().conclusion;
+}
+
+Status IndProof::Check() const {
+  if (steps_.empty()) return Status::InvalidArgument("empty proof");
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const IndProofStep& step = steps_[i];
+    CCFP_RETURN_NOT_OK(Validate(*scheme_, step.conclusion));
+    for (std::size_t a : step.antecedents) {
+      if (a >= i) {
+        return Status::InvalidArgument(
+            StrCat("step ", i, " cites later/own line ", a));
+      }
+    }
+    auto fail = [&](const char* why) {
+      return Status::InvalidArgument(
+          StrCat("step ", i, " (", IndRuleToString(step.rule), "): ", why,
+                 ": ", Dependency(step.conclusion).ToString(*scheme_)));
+    };
+    switch (step.rule) {
+      case IndRule::kHypothesis: {
+        bool found = false;
+        for (const Ind& h : hypotheses_) {
+          if (h == step.conclusion) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return fail("not a hypothesis");
+        break;
+      }
+      case IndRule::kReflexivity: {
+        if (!step.antecedents.empty()) return fail("expects no antecedents");
+        if (!IsTrivial(step.conclusion)) return fail("not of form R[X] <= R[X]");
+        break;
+      }
+      case IndRule::kProjection: {
+        if (step.antecedents.size() != 1) return fail("expects 1 antecedent");
+        const Ind& base = steps_[step.antecedents[0]].conclusion;
+        Result<Ind> derived =
+            IndProjectPermute(*scheme_, base, step.positions);
+        if (!derived.ok()) return fail(derived.status().message().c_str());
+        if (!(*derived == step.conclusion)) {
+          return fail("conclusion does not match the projected IND");
+        }
+        break;
+      }
+      case IndRule::kTransitivity: {
+        if (step.antecedents.size() != 2) return fail("expects 2 antecedents");
+        const Ind& a = steps_[step.antecedents[0]].conclusion;
+        const Ind& b = steps_[step.antecedents[1]].conclusion;
+        Result<Ind> derived = IndTransitivity(*scheme_, a, b);
+        if (!derived.ok()) return fail(derived.status().message().c_str());
+        if (!(*derived == step.conclusion)) {
+          return fail("conclusion does not match the composed IND");
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string IndProof::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const IndProofStep& s = steps_[i];
+    out += StrCat(i, ". ", Dependency(s.conclusion).ToString(*scheme_), "   [",
+                  IndRuleToString(s.rule));
+    if (!s.antecedents.empty()) {
+      out += StrCat(" of ",
+                    JoinMapped(s.antecedents, ", ", [](std::size_t a) {
+                      return std::to_string(a);
+                    }));
+    }
+    if (!s.positions.empty()) {
+      out += StrCat(" at positions ",
+                    JoinMapped(s.positions, ", ", [](std::size_t p) {
+                      return std::to_string(p);
+                    }));
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace ccfp

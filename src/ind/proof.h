@@ -1,0 +1,61 @@
+#ifndef CCFP_IND_PROOF_H_
+#define CCFP_IND_PROOF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Justification of one step in an IND proof (Section 3's axiomatization).
+enum class IndRule : std::uint8_t {
+  kHypothesis,    ///< member of Sigma
+  kReflexivity,   ///< IND1
+  kProjection,    ///< IND2 (projection and permutation)
+  kTransitivity,  ///< IND3
+};
+
+const char* IndRuleToString(IndRule rule);
+
+struct IndProofStep {
+  Ind conclusion;
+  IndRule rule;
+  /// Indices of earlier lines (1 for projection, 2 for transitivity).
+  std::vector<std::size_t> antecedents;
+  /// For kProjection: the position sequence applied to the antecedent.
+  std::vector<std::size_t> positions;
+};
+
+/// A machine-checkable proof in the IND1/IND2/IND3 system: "a finite
+/// sequence of INDs, where each IND in the sequence is either a member of
+/// Sigma, or else follows from previous INDs in the sequence by an
+/// application of the rules" (Section 3).
+class IndProof {
+ public:
+  IndProof(SchemePtr scheme, std::vector<Ind> hypotheses)
+      : scheme_(std::move(scheme)), hypotheses_(std::move(hypotheses)) {}
+
+  const std::vector<IndProofStep>& steps() const { return steps_; }
+  const std::vector<Ind>& hypotheses() const { return hypotheses_; }
+  const Ind& conclusion() const;
+
+  void AddStep(IndProofStep step) { steps_.push_back(std::move(step)); }
+
+  /// Verifies every line against its cited rule.
+  Status Check() const;
+
+  std::string ToString() const;
+
+ private:
+  SchemePtr scheme_;
+  std::vector<Ind> hypotheses_;
+  std::vector<IndProofStep> steps_;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_IND_PROOF_H_

@@ -1,0 +1,76 @@
+#include "ind/rules.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+Result<Ind> IndReflexivity(const DatabaseScheme& scheme, RelId rel,
+                           const std::vector<AttrId>& attrs) {
+  Ind ind{rel, attrs, rel, attrs};
+  CCFP_RETURN_NOT_OK(Validate(scheme, ind));
+  return ind;
+}
+
+Result<Ind> IndProjectPermute(const DatabaseScheme& scheme, const Ind& ind,
+                              const std::vector<std::size_t>& positions) {
+  CCFP_RETURN_NOT_OK(Validate(scheme, ind));
+  std::vector<bool> used(ind.width(), false);
+  Ind out;
+  out.lhs_rel = ind.lhs_rel;
+  out.rhs_rel = ind.rhs_rel;
+  for (std::size_t p : positions) {
+    if (p >= ind.width()) {
+      return Status::InvalidArgument(
+          StrCat("position ", p, " out of range for width ", ind.width()));
+    }
+    if (used[p]) {
+      return Status::InvalidArgument(StrCat("repeated position ", p));
+    }
+    used[p] = true;
+    out.lhs.push_back(ind.lhs[p]);
+    out.rhs.push_back(ind.rhs[p]);
+  }
+  CCFP_RETURN_NOT_OK(Validate(scheme, out));
+  return out;
+}
+
+Result<Ind> IndTransitivity(const DatabaseScheme& scheme, const Ind& a,
+                            const Ind& b) {
+  CCFP_RETURN_NOT_OK(Validate(scheme, a));
+  CCFP_RETURN_NOT_OK(Validate(scheme, b));
+  if (a.rhs_rel != b.lhs_rel || a.rhs != b.lhs) {
+    return Status::InvalidArgument(
+        "transitivity requires matching middle expressions");
+  }
+  Ind out{a.lhs_rel, a.lhs, b.rhs_rel, b.rhs};
+  CCFP_RETURN_NOT_OK(Validate(scheme, out));
+  return out;
+}
+
+bool IsProjectionPermutationOf(const Ind& derived, const Ind& base) {
+  if (derived.lhs_rel != base.lhs_rel || derived.rhs_rel != base.rhs_rel) {
+    return false;
+  }
+  if (derived.width() > base.width()) return false;
+  // For each pair (derived.lhs[j], derived.rhs[j]) there must be a unique
+  // base position carrying exactly that pair. Base lhs attributes are
+  // distinct, so the position is determined by the lhs attribute alone.
+  std::vector<bool> used(base.width(), false);
+  for (std::size_t j = 0; j < derived.width(); ++j) {
+    bool found = false;
+    for (std::size_t p = 0; p < base.width(); ++p) {
+      if (!used[p] && base.lhs[p] == derived.lhs[j] &&
+          base.rhs[p] == derived.rhs[j]) {
+        used[p] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace ccfp

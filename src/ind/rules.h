@@ -1,0 +1,46 @@
+#ifndef CCFP_IND_RULES_H_
+#define CCFP_IND_RULES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// The paper's complete axiomatization for INDs (Section 3):
+///
+///   IND1 (reflexivity):   R[X] <= R[X] for any sequence X of distinct
+///                         attributes of R.
+///   IND2 (projection and permutation): from R[A1..Am] <= S[B1..Bm] infer
+///                         R[A_{i1}..A_{ik}] <= S[B_{i1}..B_{ik}] for any
+///                         sequence i1..ik of distinct indices.
+///   IND3 (transitivity):  from R[X] <= S[Y] and S[Y] <= T[Z] infer
+///                         R[X] <= T[Z].
+///
+/// Each applier validates its inputs and returns the inferred IND.
+
+/// IND1: builds R[X] <= R[X].
+Result<Ind> IndReflexivity(const DatabaseScheme& scheme, RelId rel,
+                           const std::vector<AttrId>& attrs);
+
+/// IND2: applies position selection `positions` (0-based, distinct, each
+/// < width of `ind`) to both sides of `ind`.
+Result<Ind> IndProjectPermute(const DatabaseScheme& scheme, const Ind& ind,
+                              const std::vector<std::size_t>& positions);
+
+/// IND3: from a = R[X] <= S[Y] and b = S[Y] <= T[Z] (middle expressions must
+/// match exactly) infers R[X] <= T[Z].
+Result<Ind> IndTransitivity(const DatabaseScheme& scheme, const Ind& a,
+                            const Ind& b);
+
+/// True iff `derived` can be obtained from `base` by a single application of
+/// IND2 (i.e., there exists a position sequence mapping base to derived).
+/// This is the step relation of Corollary 3.2 condition (v).
+bool IsProjectionPermutationOf(const Ind& derived, const Ind& base);
+
+}  // namespace ccfp
+
+#endif  // CCFP_IND_RULES_H_

@@ -1,0 +1,76 @@
+#ifndef CCFP_IND_SPECIAL_H_
+#define CCFP_IND_SPECIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Polynomial-time special cases of the IND decision problem discussed at
+/// the end of Section 3 of the paper:
+///   * INDs of width <= k for fixed k (the expression space is polynomial;
+///     Kanellakis–Cosmadakis–Vardi: NLOGSPACE-complete for fixed k);
+///   * typed INDs R[X] <= S[X] (same attribute-name sequence on both sides);
+///   * unary INDs (width 1) — plain digraph reachability.
+
+/// Reachability over unary INDs: nodes are (relation, attribute) columns,
+/// each unary IND R[A] <= S[B] an edge. Sound and complete for unary
+/// implication (IND2 is vacuous at width 1, so only IND1/IND3 act).
+class UnaryIndGraph {
+ public:
+  /// Non-unary members of sigma are ignored (they cannot contribute to
+  /// unary consequences... except via projection — see the note below).
+  /// Precondition: every member of `sigma` is unary. CHECK-fails otherwise,
+  /// because silently ignoring wider INDs would be unsound: a wide IND
+  /// projects (IND2) to unary INDs.
+  UnaryIndGraph(SchemePtr scheme, const std::vector<Ind>& sigma);
+
+  /// Sigma |= target (target must be unary).
+  bool Implies(const Ind& target) const;
+
+  /// All implied unary INDs (the reflexive–transitive closure).
+  std::vector<Ind> AllImpliedUnaryInds() const;
+
+  /// Nodes reachable from column (rel, attr), as (rel, attr) pairs.
+  std::vector<std::pair<RelId, AttrId>> ReachableFrom(RelId rel,
+                                                      AttrId attr) const;
+
+ private:
+  std::size_t NodeId(RelId rel, AttrId attr) const {
+    return rel_offset_[rel] + attr;
+  }
+
+  SchemePtr scheme_;
+  std::vector<std::size_t> rel_offset_;
+  std::size_t node_count_ = 0;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+/// Decides implication when sigma and target are all *typed*: each IND is
+/// R[X] <= S[X] with the same attribute-name sequence on both sides. Then
+/// implication reduces to per-name-set reachability between relations and is
+/// polynomial (end of Section 3: "there is a polynomial-time algorithm if we
+/// restrict our attention to INDs of the form R[X] <= S[X]").
+/// Returns InvalidArgument if any input IND is not typed.
+Result<bool> TypedIndImplies(const DatabaseScheme& scheme,
+                             const std::vector<Ind>& sigma,
+                             const Ind& target);
+
+/// True iff `ind` is typed (both sides carry the same attribute *names* in
+/// the same order).
+bool IsTypedInd(const DatabaseScheme& scheme, const Ind& ind);
+
+/// A priori bound on the number of distinct expressions the general BFS can
+/// touch when the target IND has width w: sum over relations of
+/// P(arity, w) = arity!/(arity-w)!. Polynomial in the scheme size for fixed
+/// w — this is the paper's "k-ary or less" tractability argument.
+std::uint64_t ExpressionSpaceBound(const DatabaseScheme& scheme,
+                                   std::size_t width);
+
+}  // namespace ccfp
+
+#endif  // CCFP_IND_SPECIAL_H_

@@ -1,0 +1,285 @@
+#include "interact/derivation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fd/closure.h"
+#include "ind/implication.h"
+#include "ind/rules.h"
+#include "interact/rules.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+// Position of `attr` in `seq`, or npos.
+std::size_t PosOf(const std::vector<AttrId>& seq, AttrId attr) {
+  auto it = std::find(seq.begin(), seq.end(), attr);
+  return it == seq.end() ? static_cast<std::size_t>(-1)
+                         : static_cast<std::size_t>(it - seq.begin());
+}
+
+// All nonempty sorted subsets of `attrs` (attrs must be sorted).
+std::vector<std::vector<AttrId>> SortedSubsets(std::vector<AttrId> attrs) {
+  std::sort(attrs.begin(), attrs.end());
+  std::vector<std::vector<AttrId>> out;
+  std::size_t n = attrs.size();
+  for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<AttrId> subset;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset.push_back(attrs[i]);
+    }
+    out.push_back(std::move(subset));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MixedDerivation::Step::ToString(
+    const DatabaseScheme& scheme) const {
+  return StrCat(conclusion.ToString(scheme), "   [", rule, " of {",
+                JoinMapped(premises, "; ",
+                           [&](const Dependency& d) {
+                             return d.ToString(scheme);
+                           }),
+                "}]");
+}
+
+MixedDerivation::MixedDerivation(SchemePtr scheme,
+                                 std::vector<Dependency> sigma)
+    : MixedDerivation(std::move(scheme), std::move(sigma), Options()) {}
+
+MixedDerivation::MixedDerivation(SchemePtr scheme,
+                                 std::vector<Dependency> sigma,
+                                 Options options)
+    : scheme_(std::move(scheme)), options_(options) {
+  for (Dependency& dep : sigma) {
+    Status st = Validate(*scheme_, dep);
+    CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+    if (dep.is_fd()) {
+      AddFd(dep.fd(), "hypothesis", {});
+    } else if (dep.is_ind()) {
+      AddInd(dep.ind(), "hypothesis", {});
+    } else if (dep.is_rd()) {
+      AddRd(dep.rd(), "hypothesis", {});
+    } else {
+      // EMVD/MVD hypotheses are outside the arsenal; Saturate() reports it.
+      unsupported_ = true;
+    }
+  }
+}
+
+bool MixedDerivation::AddFd(Fd fd, const char* rule,
+                            std::vector<Dependency> premises) {
+  Dependency dep(fd);
+  if (!seen_.insert(dep).second) return false;
+  if (std::string(rule) != "hypothesis") {
+    trace_.push_back(Step{dep, rule, std::move(premises)});
+  }
+  fds_.push_back(std::move(fd));
+  return true;
+}
+
+bool MixedDerivation::AddInd(Ind ind, const char* rule,
+                             std::vector<Dependency> premises) {
+  Dependency dep(ind);
+  if (!seen_.insert(dep).second) return false;
+  if (std::string(rule) != "hypothesis") {
+    trace_.push_back(Step{dep, rule, std::move(premises)});
+  }
+  inds_.push_back(std::move(ind));
+  return true;
+}
+
+bool MixedDerivation::AddRd(Rd rd, const char* rule,
+                            std::vector<Dependency> premises) {
+  bool added = false;
+  // Store unary splits, both orientations (R[X=Y] iff R[Y=X]).
+  for (const Rd& unary : SplitRd(rd)) {
+    for (const Rd& oriented :
+         {unary, Rd{unary.rel, unary.rhs, unary.lhs}}) {
+      Dependency dep(oriented);
+      if (seen_.insert(dep).second) {
+        if (std::string(rule) != "hypothesis") {
+          trace_.push_back(Step{dep, rule, premises});
+        }
+        rds_.push_back(oriented);
+        added = true;
+      }
+    }
+  }
+  return added;
+}
+
+Result<bool> MixedDerivation::Round() {
+  bool changed = false;
+  // Snapshot: new facts participate from the next round on.
+  const std::vector<Ind> inds_snapshot = inds_;
+  const std::vector<Fd> fds_snapshot = fds_;
+
+  auto budget_ok = [&]() {
+    return seen_.size() <= options_.max_dependencies;
+  };
+
+  // --- Proposition 4.1 (pullback), closed over the current FD set --------
+  for (const Ind& ind : inds_snapshot) {
+    FdClosure closure(*scheme_, ind.rhs_rel, fds_snapshot);
+    for (std::vector<AttrId>& t : SortedSubsets(ind.rhs)) {
+      std::vector<AttrId> t_closure = closure.Closure(t);
+      // U = (closure(T) intersect rhs-attrs) - T.
+      std::vector<AttrId> u;
+      for (AttrId a : t_closure) {
+        if (PosOf(ind.rhs, a) == static_cast<std::size_t>(-1)) continue;
+        if (std::find(t.begin(), t.end(), a) != t.end()) continue;
+        u.push_back(a);
+      }
+      if (u.empty()) continue;
+      Fd fd{ind.rhs_rel, t, u};
+      Result<Fd> pulled = ApplyPullback(*scheme_, ind, fd);
+      if (!pulled.ok()) continue;
+      if (AddFd(*pulled, "Prop 4.1 (pullback)",
+                {Dependency(ind), Dependency(fd)})) {
+        changed = true;
+      }
+      if (!budget_ok()) {
+        return Status::ResourceExhausted("derivation budget exhausted");
+      }
+    }
+  }
+
+  // --- Propositions 4.2 / 4.3, with IND2 normalization ---------------------
+  for (const Ind& ind1 : inds_snapshot) {
+    for (const Ind& ind2 : inds_snapshot) {
+      if (ind1.lhs_rel != ind2.lhs_rel || ind1.rhs_rel != ind2.rhs_rel) {
+        continue;
+      }
+      FdClosure closure(*scheme_, ind1.rhs_rel, fds_snapshot);
+      // Candidate T: subsets of rhs(ind1) that also lie inside rhs(ind2).
+      for (std::vector<AttrId>& t : SortedSubsets(ind1.rhs)) {
+        bool t_in_ind2 = true;
+        for (AttrId a : t) {
+          if (PosOf(ind2.rhs, a) == static_cast<std::size_t>(-1)) {
+            t_in_ind2 = false;
+            break;
+          }
+        }
+        if (!t_in_ind2) continue;
+        std::vector<AttrId> t_closure = closure.Closure(t);
+        std::vector<AttrId> u;
+        for (AttrId a : t_closure) {
+          if (PosOf(ind1.rhs, a) == static_cast<std::size_t>(-1)) continue;
+          if (std::find(t.begin(), t.end(), a) != t.end()) continue;
+          u.push_back(a);
+        }
+        if (u.empty()) continue;
+        Fd fd{ind1.rhs_rel, t, u};
+
+        // ind1' = project ind1 onto rhs positions [T, U].
+        std::vector<std::size_t> pos1;
+        for (AttrId a : t) pos1.push_back(PosOf(ind1.rhs, a));
+        for (AttrId a : u) pos1.push_back(PosOf(ind1.rhs, a));
+        Result<Ind> ind1p = IndProjectPermute(*scheme_, ind1, pos1);
+        if (!ind1p.ok()) continue;
+
+        // Proposition 4.3: ind2'' = project ind2 onto [T, U] if possible.
+        {
+          std::vector<std::size_t> pos2;
+          bool ok = true;
+          for (AttrId a : t) pos2.push_back(PosOf(ind2.rhs, a));
+          for (AttrId a : u) {
+            std::size_t p = PosOf(ind2.rhs, a);
+            if (p == static_cast<std::size_t>(-1)) {
+              ok = false;
+              break;
+            }
+            pos2.push_back(p);
+          }
+          if (ok) {
+            Result<Ind> ind2pp = IndProjectPermute(*scheme_, ind2, pos2);
+            if (ind2pp.ok()) {
+              Result<Rd> rd = DeriveRd(*scheme_, *ind1p, *ind2pp, fd);
+              if (rd.ok() &&
+                  AddRd(*rd, "Prop 4.3 (repeating)",
+                        {Dependency(ind1), Dependency(ind2),
+                         Dependency(fd)})) {
+                changed = true;
+              }
+            }
+          }
+        }
+
+        // Proposition 4.2: ind2' = project ind2 onto [T, rest-of-ind2].
+        std::vector<std::size_t> pos2;
+        for (AttrId a : t) pos2.push_back(PosOf(ind2.rhs, a));
+        for (std::size_t p = 0; p < ind2.rhs.size(); ++p) {
+          if (std::find(t.begin(), t.end(), ind2.rhs[p]) == t.end()) {
+            pos2.push_back(p);
+          }
+        }
+        Result<Ind> ind2p = IndProjectPermute(*scheme_, ind2, pos2);
+        if (!ind2p.ok()) continue;
+        Result<Ind> collected =
+            ApplyCollection(*scheme_, *ind1p, *ind2p, fd);
+        if (collected.ok() &&
+            collected->width() <= options_.max_ind_width &&
+            AddInd(*collected, "Prop 4.2 (collection)",
+                   {Dependency(ind1), Dependency(ind2), Dependency(fd)})) {
+          changed = true;
+        }
+        if (!budget_ok()) {
+          return Status::ResourceExhausted("derivation budget exhausted");
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+Status MixedDerivation::Saturate() {
+  if (saturated_) return Status::OK();
+  if (unsupported_) {
+    return Status::Unimplemented(
+        "MixedDerivation handles FD, IND, and RD hypotheses only");
+  }
+  for (std::size_t round = 0; round < options_.max_rounds; ++round) {
+    CCFP_ASSIGN_OR_RETURN(bool changed, Round());
+    if (!changed) break;
+  }
+  saturated_ = true;
+  return Status::OK();
+}
+
+bool MixedDerivation::Derives(const Dependency& target) const {
+  CCFP_CHECK_MSG(saturated_, "call Saturate() first");
+  if (IsTrivial(*scheme_, target)) return true;
+  switch (target.kind()) {
+    case DependencyKind::kFd:
+      return FdImplies(*scheme_, fds_, target.fd());
+    case DependencyKind::kInd: {
+      IndImplication engine(scheme_, inds_);
+      return engine.Implies(target.ind());
+    }
+    case DependencyKind::kRd: {
+      for (const Rd& unary : SplitRd(target.rd())) {
+        if (unary.lhs == unary.rhs) continue;  // trivial component
+        Dependency dep(unary);
+        bool found = false;
+        for (const Rd& have : rds_) {
+          if (Dependency(have) == dep) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace ccfp

@@ -1,0 +1,98 @@
+#ifndef CCFP_INTERACT_DERIVATION_H_
+#define CCFP_INTERACT_DERIVATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// A forward-chaining derivation engine for mixed FD + IND (+ RD) sets,
+/// with a fixed finite rule arsenal:
+///   * Armstrong's axioms for FDs (answered via attribute closure);
+///   * IND1/IND2/IND3 for INDs (answered via the Corollary 3.2 engine);
+///   * the interaction rules of Propositions 4.1 (pullback), 4.2
+///     (collection), and 4.3 (RD derivation), applied through IND2
+///     projections that normalize the INDs into the rules' shapes;
+///   * RD decomposition into unary RDs.
+///
+/// Every derived dependency is a sound consequence of Sigma under
+/// unrestricted implication. The engine is *necessarily incomplete*: by
+/// Theorem 7.1 of the paper, NO k-ary rule set is complete for FDs and
+/// INDs, and the Section 7 construction makes this engine's gap concrete —
+/// it derives phi piecemeal but cannot reach F: A -> C (see the tests and
+/// the ablation benchmark).
+class MixedDerivation {
+ public:
+  struct Options {
+    std::size_t max_rounds = 6;
+    /// Collection (Prop 4.2) can widen INDs; cap the width to keep the
+    /// saturation finite.
+    std::size_t max_ind_width = 3;
+    std::uint64_t max_dependencies = 1u << 14;
+  };
+
+  /// One line of the saturation trace, for explainability.
+  struct Step {
+    Dependency conclusion;
+    std::string rule;
+    std::vector<Dependency> premises;
+
+    std::string ToString(const DatabaseScheme& scheme) const;
+  };
+
+  /// CHECK-fails on invalid dependencies; EMVD/MVD members are rejected
+  /// with an error status from Saturate().
+  MixedDerivation(SchemePtr scheme, std::vector<Dependency> sigma,
+                  Options options);
+  /// Default-options overload (separate signature: a nested class with
+  /// default member initializers cannot be a default argument in its own
+  /// enclosing class).
+  MixedDerivation(SchemePtr scheme, std::vector<Dependency> sigma);
+
+  /// Runs the saturation to fixpoint (or budget). Idempotent.
+  Status Saturate();
+
+  /// Does the saturated set derive `target`? FD targets are answered by
+  /// attribute closure over the derived FDs, IND targets by the IND engine
+  /// over the derived INDs, RD targets by unary-RD membership (trivial RDs
+  /// always derive). Requires Saturate() to have succeeded.
+  bool Derives(const Dependency& target) const;
+
+  /// Derived FDs / INDs / RDs materialized by the interaction rules
+  /// (hypotheses included).
+  const std::vector<Fd>& fds() const { return fds_; }
+  const std::vector<Ind>& inds() const { return inds_; }
+  const std::vector<Rd>& rds() const { return rds_; }
+
+  /// Interaction-rule applications, in derivation order.
+  const std::vector<Step>& trace() const { return trace_; }
+
+ private:
+  bool AddFd(Fd fd, const char* rule, std::vector<Dependency> premises);
+  bool AddInd(Ind ind, const char* rule, std::vector<Dependency> premises);
+  bool AddRd(Rd rd, const char* rule, std::vector<Dependency> premises);
+
+  /// One saturation round; returns true if anything was added.
+  Result<bool> Round();
+
+  SchemePtr scheme_;
+  Options options_;
+  bool saturated_ = false;
+  bool unsupported_ = false;
+
+  std::vector<Fd> fds_;
+  std::vector<Ind> inds_;
+  std::vector<Rd> rds_;
+  std::unordered_set<Dependency, DependencyHash> seen_;
+  std::vector<Step> trace_;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_INTERACT_DERIVATION_H_

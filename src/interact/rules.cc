@@ -1,0 +1,165 @@
+#include "interact/rules.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+// Position of `attr` in `seq`, or npos.
+std::size_t PosOf(const std::vector<AttrId>& seq, AttrId attr) {
+  auto it = std::find(seq.begin(), seq.end(), attr);
+  return it == seq.end() ? static_cast<std::size_t>(-1)
+                         : static_cast<std::size_t>(it - seq.begin());
+}
+
+}  // namespace
+
+Result<Fd> ApplyPullback(const DatabaseScheme& scheme, const Ind& ind,
+                         const Fd& fd) {
+  CCFP_RETURN_NOT_OK(Validate(scheme, ind));
+  CCFP_RETURN_NOT_OK(Validate(scheme, fd));
+  if (fd.rel != ind.rhs_rel) {
+    return Status::InvalidArgument(
+        "pullback needs the FD on the IND's right-hand relation");
+  }
+  Fd out;
+  out.rel = ind.lhs_rel;
+  for (AttrId t : fd.lhs) {
+    std::size_t p = PosOf(ind.rhs, t);
+    if (p == static_cast<std::size_t>(-1)) {
+      return Status::InvalidArgument(
+          StrCat("FD lhs attribute '",
+                 scheme.relation(fd.rel).attr_name(t),
+                 "' does not occur in the IND right-hand side"));
+    }
+    out.lhs.push_back(ind.lhs[p]);
+  }
+  for (AttrId u : fd.rhs) {
+    std::size_t p = PosOf(ind.rhs, u);
+    if (p == static_cast<std::size_t>(-1)) {
+      return Status::InvalidArgument(
+          StrCat("FD rhs attribute '",
+                 scheme.relation(fd.rel).attr_name(u),
+                 "' does not occur in the IND right-hand side"));
+    }
+    out.rhs.push_back(ind.lhs[p]);
+  }
+  CCFP_RETURN_NOT_OK(Validate(scheme, out));
+  return out;
+}
+
+namespace {
+
+// Shared precondition of Propositions 4.2/4.3: both INDs go R -> S, fd.lhs
+// is the common rhs prefix (length |T|), and the lhs prefixes X agree.
+Status CheckCollectionShape(const DatabaseScheme& scheme, const Ind& ind_xy,
+                            const Ind& ind_xz, const Fd& fd) {
+  CCFP_RETURN_NOT_OK(Validate(scheme, ind_xy));
+  CCFP_RETURN_NOT_OK(Validate(scheme, ind_xz));
+  CCFP_RETURN_NOT_OK(Validate(scheme, fd));
+  if (ind_xy.lhs_rel != ind_xz.lhs_rel ||
+      ind_xy.rhs_rel != ind_xz.rhs_rel || fd.rel != ind_xy.rhs_rel) {
+    return Status::InvalidArgument(
+        "collection needs two INDs R -> S and an FD on S");
+  }
+  const std::size_t t_len = fd.lhs.size();
+  if (ind_xy.width() < t_len || ind_xz.width() < t_len) {
+    return Status::InvalidArgument("INDs narrower than the FD lhs");
+  }
+  for (std::size_t i = 0; i < t_len; ++i) {
+    if (ind_xy.rhs[i] != fd.lhs[i] || ind_xz.rhs[i] != fd.lhs[i]) {
+      return Status::InvalidArgument(
+          "fd.lhs must be the prefix of both IND right-hand sides");
+    }
+    if (ind_xy.lhs[i] != ind_xz.lhs[i]) {
+      return Status::InvalidArgument(
+          "the INDs must share the same left-hand prefix X");
+    }
+  }
+  // ind_xy must be exactly R[XY] <= S[TU] with U = fd.rhs.
+  if (ind_xy.width() != t_len + fd.rhs.size()) {
+    return Status::InvalidArgument(
+        "first IND right side must be exactly T followed by U");
+  }
+  for (std::size_t i = 0; i < fd.rhs.size(); ++i) {
+    if (ind_xy.rhs[t_len + i] != fd.rhs[i]) {
+      return Status::InvalidArgument(
+          "first IND right side suffix must equal fd.rhs");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Ind> ApplyCollection(const DatabaseScheme& scheme, const Ind& ind_xy,
+                            const Ind& ind_xz, const Fd& fd) {
+  CCFP_RETURN_NOT_OK(CheckCollectionShape(scheme, ind_xy, ind_xz, fd));
+  const std::size_t t_len = fd.lhs.size();
+  Ind out;
+  out.lhs_rel = ind_xy.lhs_rel;
+  out.rhs_rel = ind_xy.rhs_rel;
+  // lhs: X ++ Y ++ Z ; rhs: T ++ U ++ V.
+  out.lhs = ind_xy.lhs;  // X ++ Y
+  out.rhs = ind_xy.rhs;  // T ++ U
+  for (std::size_t i = t_len; i < ind_xz.width(); ++i) {
+    out.lhs.push_back(ind_xz.lhs[i]);  // Z
+    out.rhs.push_back(ind_xz.rhs[i]);  // V
+  }
+  CCFP_RETURN_NOT_OK(Validate(scheme, out));
+  return out;
+}
+
+Result<Rd> DeriveRd(const DatabaseScheme& scheme, const Ind& ind_xy,
+                    const Ind& ind_xz, const Fd& fd) {
+  CCFP_RETURN_NOT_OK(CheckCollectionShape(scheme, ind_xy, ind_xz, fd));
+  // Degenerate case: both INDs share the whole right-hand side T ++ U.
+  if (ind_xy.rhs != ind_xz.rhs) {
+    return Status::InvalidArgument(
+        "Proposition 4.3 needs both INDs to share the right-hand side TU");
+  }
+  const std::size_t t_len = fd.lhs.size();
+  Rd out;
+  out.rel = ind_xy.lhs_rel;
+  for (std::size_t i = t_len; i < ind_xy.width(); ++i) {
+    out.lhs.push_back(ind_xy.lhs[i]);  // Y
+    out.rhs.push_back(ind_xz.lhs[i]);  // Z
+  }
+  CCFP_RETURN_NOT_OK(Validate(scheme, out));
+  return out;
+}
+
+std::vector<Rd> SplitRd(const Rd& rd) {
+  std::vector<Rd> out;
+  out.reserve(rd.lhs.size());
+  for (std::size_t i = 0; i < rd.lhs.size(); ++i) {
+    out.push_back(Rd{rd.rel, {rd.lhs[i]}, {rd.rhs[i]}});
+  }
+  return out;
+}
+
+std::vector<Dependency> RdConsequences(const DatabaseScheme& scheme,
+                                       const Rd& rd) {
+  std::vector<Dependency> out;
+  if (rd.lhs.empty()) return out;
+  // FDs both ways: if t[X] always equals t[Y], then agreeing on X is
+  // agreeing on Y and vice versa.
+  Fd forward{rd.rel, rd.lhs, rd.rhs};
+  Fd backward{rd.rel, rd.rhs, rd.lhs};
+  if (Validate(scheme, forward).ok()) out.push_back(Dependency(forward));
+  if (Validate(scheme, backward).ok()) out.push_back(Dependency(backward));
+  // INDs both ways: every X-projection is (equal to) a Y-projection of the
+  // same tuple.
+  Ind fwd_ind{rd.rel, rd.lhs, rd.rel, rd.rhs};
+  Ind bwd_ind{rd.rel, rd.rhs, rd.rel, rd.lhs};
+  if (Validate(scheme, fwd_ind).ok()) out.push_back(Dependency(fwd_ind));
+  if (Validate(scheme, bwd_ind).ok()) out.push_back(Dependency(bwd_ind));
+  // The mirrored RD.
+  out.push_back(Dependency(Rd{rd.rel, rd.rhs, rd.lhs}));
+  return out;
+}
+
+}  // namespace ccfp

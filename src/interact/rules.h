@@ -1,0 +1,55 @@
+#ifndef CCFP_INTERACT_RULES_H_
+#define CCFP_INTERACT_RULES_H_
+
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Sound inference rules describing the interaction of FDs and INDs
+/// (Section 4 of the paper).
+
+/// Proposition 4.1 ("pullback"): from R[XY] <= S[TU] and S: T -> U infer
+/// R: X -> Y.
+///
+/// Implemented in the natural position-generalized form: given an IND
+/// R[W] <= S[V] and an FD S: T -> U with every attribute of T and U
+/// occurring in V, infer R: W@pos(T) -> W@pos(U) (where @pos maps each FD
+/// attribute through its position in V back to the IND's left side). The
+/// paper's statement is the special case V = TU.
+Result<Fd> ApplyPullback(const DatabaseScheme& scheme, const Ind& ind,
+                         const Fd& fd);
+
+/// Proposition 4.2 ("collection"): from R[XY] <= S[TU], R[XZ] <= S[TV] and
+/// S: T -> U infer R[XYZ] <= S[TUV]. Implemented in the paper's literal
+/// prefix form: fd.lhs must be the length-|T| prefix of both right-hand
+/// sides, fd.rhs the remaining suffix of ind_xy's right-hand side, and both
+/// INDs must share the same length-|T| left prefix X. Fails (InvalidArgument)
+/// if the concatenations repeat attributes.
+Result<Ind> ApplyCollection(const DatabaseScheme& scheme, const Ind& ind_xy,
+                            const Ind& ind_xz, const Fd& fd);
+
+/// Proposition 4.3 (degenerate collection): from R[XY] <= S[TU] and
+/// R[XZ] <= S[TU] (same right-hand side) and S: T -> U infer the repeating
+/// dependency R[Y = Z].
+Result<Rd> DeriveRd(const DatabaseScheme& scheme, const Ind& ind_xy,
+                    const Ind& ind_xz, const Fd& fd);
+
+/// Section 4: "the RD R[A1..Am = B1..Bm] is equivalent to the set
+/// {R[Ai = Bi] : i = 1..m} of unary RDs". Splits an RD accordingly.
+std::vector<Rd> SplitRd(const Rd& rd);
+
+/// The FD and IND consequences of a single RD: R[X = Y] implies the FDs
+/// X -> Y and Y -> X and the INDs R[X] <= R[Y] and R[Y] <= R[X] (plus the
+/// symmetric RD). A nontrivial RD is *strictly stronger* than this set —
+/// the paper notes RDs are not equivalent to any set of FDs and INDs — and
+/// the tests exhibit a separating database.
+std::vector<Dependency> RdConsequences(const DatabaseScheme& scheme,
+                                       const Rd& rd);
+
+}  // namespace ccfp
+
+#endif  // CCFP_INTERACT_RULES_H_

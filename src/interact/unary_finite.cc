@@ -1,0 +1,268 @@
+#include "interact/unary_finite.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "fd/closure.h"
+#include "ind/special.h"
+#include "util/check.h"
+
+namespace ccfp {
+
+UnaryFiniteImplication::UnaryFiniteImplication(SchemePtr scheme,
+                                               const std::vector<Fd>& fds,
+                                               const std::vector<Ind>& inds)
+    : scheme_(std::move(scheme)) {
+  rel_offset_.reserve(scheme_->size());
+  for (RelId rel = 0; rel < scheme_->size(); ++rel) {
+    rel_offset_.push_back(node_count_);
+    node_count_ += scheme_->relation(rel).arity();
+  }
+  ind_.assign(node_count_, std::vector<bool>(node_count_, false));
+  fd_.assign(node_count_, std::vector<bool>(node_count_, false));
+
+  for (std::size_t u = 0; u < node_count_; ++u) {
+    ind_[u][u] = true;  // IND1 reflexivity
+    fd_[u][u] = true;   // FD reflexivity
+  }
+  for (const Fd& fd : fds) {
+    Status st = Validate(*scheme_, fd);
+    CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+    CCFP_CHECK_MSG(fd.lhs.size() == 1 && fd.rhs.size() == 1,
+                   "UnaryFiniteImplication requires unary FDs");
+    fd_[NodeId(fd.rel, fd.lhs[0])][NodeId(fd.rel, fd.rhs[0])] = true;
+  }
+  for (const Ind& ind : inds) {
+    Status st = Validate(*scheme_, ind);
+    CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+    CCFP_CHECK_MSG(ind.width() == 1,
+                   "UnaryFiniteImplication requires unary INDs");
+    ind_[NodeId(ind.lhs_rel, ind.lhs[0])][NodeId(ind.rhs_rel, ind.rhs[0])] =
+        true;
+  }
+  Saturate();
+}
+
+std::pair<RelId, AttrId> UnaryFiniteImplication::NodeOf(
+    std::size_t id) const {
+  RelId rel = 0;
+  while (rel + 1 < scheme_->size() && rel_offset_[rel + 1] <= id) ++rel;
+  return {rel, static_cast<AttrId>(id - rel_offset_[rel])};
+}
+
+void UnaryFiniteImplication::TransitiveCloseInds() {
+  // BFS per source over the current IND edges.
+  for (std::size_t src = 0; src < node_count_; ++src) {
+    std::deque<std::size_t> frontier;
+    for (std::size_t v = 0; v < node_count_; ++v) {
+      if (ind_[src][v]) frontier.push_back(v);
+    }
+    while (!frontier.empty()) {
+      std::size_t u = frontier.front();
+      frontier.pop_front();
+      for (std::size_t v = 0; v < node_count_; ++v) {
+        if (ind_[u][v] && !ind_[src][v]) {
+          ind_[src][v] = true;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+void UnaryFiniteImplication::TransitiveCloseFds() {
+  for (std::size_t src = 0; src < node_count_; ++src) {
+    std::deque<std::size_t> frontier;
+    for (std::size_t v = 0; v < node_count_; ++v) {
+      if (fd_[src][v]) frontier.push_back(v);
+    }
+    while (!frontier.empty()) {
+      std::size_t u = frontier.front();
+      frontier.pop_front();
+      for (std::size_t v = 0; v < node_count_; ++v) {
+        if (fd_[u][v] && !fd_[src][v]) {
+          fd_[src][v] = true;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+bool UnaryFiniteImplication::ReverseWithinSccs() {
+  // <=-graph: IND u <= v contributes edge u -> v; FD u -> v contributes
+  // edge v -> u (|v-column| <= |u-column|).
+  std::vector<std::vector<std::size_t>> le(node_count_);
+  for (std::size_t u = 0; u < node_count_; ++u) {
+    for (std::size_t v = 0; v < node_count_; ++v) {
+      if (u == v) continue;
+      if (ind_[u][v]) le[u].push_back(v);
+      if (fd_[u][v]) le[v].push_back(u);
+    }
+  }
+  // SCCs by double BFS (Kosaraju): forward order via iterative DFS.
+  std::vector<std::vector<std::size_t>> rle(node_count_);
+  for (std::size_t u = 0; u < node_count_; ++u) {
+    for (std::size_t v : le[u]) rle[v].push_back(u);
+  }
+  std::vector<int> state(node_count_, 0);
+  std::vector<std::size_t> order;
+  order.reserve(node_count_);
+  for (std::size_t s = 0; s < node_count_; ++s) {
+    if (state[s] != 0) continue;
+    // Iterative DFS with explicit stack of (node, next-child-index).
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{s, 0}};
+    state[s] = 1;
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      if (next < le[u].size()) {
+        std::size_t v = le[u][next++];
+        if (state[v] == 0) {
+          state[v] = 1;
+          stack.emplace_back(v, 0);
+        }
+      } else {
+        order.push_back(u);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<std::size_t> scc(node_count_, node_count_);
+  std::size_t scc_count = 0;
+  for (std::size_t i = order.size(); i-- > 0;) {
+    std::size_t s = order[i];
+    if (scc[s] != node_count_) continue;
+    std::deque<std::size_t> frontier{s};
+    scc[s] = scc_count;
+    while (!frontier.empty()) {
+      std::size_t u = frontier.front();
+      frontier.pop_front();
+      for (std::size_t v : rle[u]) {
+        if (scc[v] == node_count_) {
+          scc[v] = scc_count;
+          frontier.push_back(v);
+        }
+      }
+    }
+    ++scc_count;
+  }
+
+  // Reverse every dependency whose endpoints share an SCC.
+  bool added = false;
+  for (std::size_t u = 0; u < node_count_; ++u) {
+    for (std::size_t v = 0; v < node_count_; ++v) {
+      if (scc[u] != scc[v]) continue;
+      if (ind_[u][v] && !ind_[v][u]) {
+        ind_[v][u] = true;
+        added = true;
+      }
+      if (fd_[u][v] && !fd_[v][u]) {
+        fd_[v][u] = true;
+        added = true;
+      }
+    }
+  }
+  return added;
+}
+
+void UnaryFiniteImplication::Saturate() {
+  bool changed = true;
+  while (changed) {
+    ++rounds_;
+    TransitiveCloseInds();
+    TransitiveCloseFds();
+    changed = ReverseWithinSccs();
+  }
+}
+
+bool UnaryFiniteImplication::Implies(const Fd& target) const {
+  CCFP_CHECK_MSG(target.lhs.size() == 1 && target.rhs.size() == 1,
+                 "target FD must be unary");
+  return fd_[NodeId(target.rel, target.lhs[0])]
+            [NodeId(target.rel, target.rhs[0])];
+}
+
+bool UnaryFiniteImplication::Implies(const Ind& target) const {
+  CCFP_CHECK_MSG(target.width() == 1, "target IND must be unary");
+  return ind_[NodeId(target.lhs_rel, target.lhs[0])]
+             [NodeId(target.rhs_rel, target.rhs[0])];
+}
+
+bool UnaryFiniteImplication::Implies(const Dependency& target) const {
+  if (target.is_fd()) return Implies(target.fd());
+  if (target.is_ind()) return Implies(target.ind());
+  CCFP_CHECK_MSG(false, "target must be a unary FD or IND");
+  return false;
+}
+
+std::vector<Fd> UnaryFiniteImplication::ClosureFds() const {
+  std::vector<Fd> out;
+  for (std::size_t u = 0; u < node_count_; ++u) {
+    for (std::size_t v = 0; v < node_count_; ++v) {
+      if (!fd_[u][v]) continue;
+      auto [r1, a1] = NodeOf(u);
+      auto [r2, a2] = NodeOf(v);
+      if (r1 != r2) continue;
+      out.push_back(Fd{r1, {a1}, {a2}});
+    }
+  }
+  return out;
+}
+
+std::vector<Ind> UnaryFiniteImplication::ClosureInds() const {
+  std::vector<Ind> out;
+  for (std::size_t u = 0; u < node_count_; ++u) {
+    for (std::size_t v = 0; v < node_count_; ++v) {
+      if (!ind_[u][v]) continue;
+      auto [r1, a1] = NodeOf(u);
+      auto [r2, a2] = NodeOf(v);
+      out.push_back(Ind{r1, {a1}, r2, {a2}});
+    }
+  }
+  return out;
+}
+
+}  // namespace ccfp
+
+namespace ccfp_internal_guard {}  // keep clang-format stable
+
+namespace ccfp {
+
+UnaryUnrestrictedImplication::UnaryUnrestrictedImplication(
+    SchemePtr scheme, const std::vector<Fd>& fds,
+    const std::vector<Ind>& inds)
+    : scheme_(std::move(scheme)), fds_(fds), inds_(inds) {
+  for (const Fd& fd : fds_) {
+    Status st = Validate(*scheme_, fd);
+    CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+    CCFP_CHECK_MSG(fd.lhs.size() == 1 && fd.rhs.size() == 1,
+                   "UnaryUnrestrictedImplication requires unary FDs with "
+                   "nonempty lhs");
+  }
+  for (const Ind& ind : inds_) {
+    Status st = Validate(*scheme_, ind);
+    CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+    CCFP_CHECK_MSG(ind.width() == 1,
+                   "UnaryUnrestrictedImplication requires unary INDs");
+  }
+}
+
+bool UnaryUnrestrictedImplication::Implies(const Fd& target) const {
+  // KCV: in this fragment the INDs contribute nothing to FD consequences.
+  return FdImplies(*scheme_, fds_, target);
+}
+
+bool UnaryUnrestrictedImplication::Implies(const Ind& target) const {
+  CCFP_CHECK_MSG(target.width() == 1, "target IND must be unary");
+  UnaryIndGraph graph(scheme_, inds_);
+  return graph.Implies(target);
+}
+
+bool UnaryUnrestrictedImplication::Implies(const Dependency& target) const {
+  if (target.is_fd()) return Implies(target.fd());
+  if (target.is_ind()) return Implies(target.ind());
+  CCFP_CHECK_MSG(false, "target must be a unary FD or IND");
+  return false;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,99 @@
+#ifndef CCFP_INTERACT_UNARY_FINITE_H_
+#define CCFP_INTERACT_UNARY_FINITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+
+namespace ccfp {
+
+/// Finite-implication engine for *unary* FDs and *unary* INDs, implementing
+/// the cardinality-cycle ("counting") rules that power Theorem 4.4 and the
+/// soundness half of Theorem 6.1, and that Kanellakis, Cosmadakis, and Vardi
+/// [KCV] proved complete (with Armstrong + IND transitivity) for finite
+/// implication of unary dependencies — in polynomial time, in contrast with
+/// the non-existence of any k-ary axiomatization (Theorem 6.1).
+///
+/// The counting argument: over columns (relation, attribute),
+///   * a unary IND  R[A] <= S[B] forces |r[A]| <= |s[B]|,
+///   * a unary FD   R: A -> B   forces |r[B]| <= |r[A]|,
+/// so any *cycle* in the resulting <=-graph forces equal cardinalities all
+/// around, and on finite databases equal-cardinality containments / surjective
+/// functions invert:
+///   * IND R[A] <= S[B] with |r[A]| = |s[B]| gives S[B] <= R[A];
+///   * FD  R: A -> B   with |r[A]| = |r[B]| gives R: B -> A.
+/// The engine saturates: (FD/IND transitive closure) + (reverse every
+/// dependency whose two columns share an SCC of the <=-graph), to fixpoint.
+class UnaryFiniteImplication {
+ public:
+  /// CHECK-fails if any dependency is not unary or invalid.
+  UnaryFiniteImplication(SchemePtr scheme, const std::vector<Fd>& fds,
+                         const std::vector<Ind>& inds);
+
+  /// Sigma |=fin target (target must be unary and on `scheme`).
+  bool Implies(const Fd& target) const;
+  bool Implies(const Ind& target) const;
+  bool Implies(const Dependency& target) const;
+
+  /// All unary FDs / INDs in the finite closure (including trivial ones).
+  std::vector<Fd> ClosureFds() const;
+  std::vector<Ind> ClosureInds() const;
+
+  /// Saturation rounds until fixpoint (for benchmarks).
+  std::uint64_t rounds() const { return rounds_; }
+
+ private:
+  std::size_t NodeId(RelId rel, AttrId attr) const {
+    return rel_offset_[rel] + attr;
+  }
+  std::pair<RelId, AttrId> NodeOf(std::size_t id) const;
+
+  void Saturate();
+  void TransitiveCloseInds();
+  void TransitiveCloseFds();
+  /// Returns true if any dependency was added.
+  bool ReverseWithinSccs();
+
+  SchemePtr scheme_;
+  std::vector<std::size_t> rel_offset_;
+  std::size_t node_count_ = 0;
+  // ind_[u][v]: the IND col(u) <= col(v) is in the closure.
+  std::vector<std::vector<bool>> ind_;
+  // fd_[u][v]: the FD col(u) -> col(v) is in the closure (u, v same rel).
+  std::vector<std::vector<bool>> fd_;
+  std::uint64_t rounds_ = 0;
+};
+
+/// *Unrestricted*-implication engine for unary FDs (nonempty lhs) and unary
+/// INDs. Over unrestricted (possibly infinite) databases the counting rules
+/// are unsound and, per Kanellakis–Cosmadakis–Vardi, the two dependency
+/// families do not interact in this fragment: Sigma |= sigma iff the FDs
+/// alone imply an FD target / the INDs alone imply an IND target. (Compare
+/// Theorem 4.4 of the paper: the finite-only consequences come exactly from
+/// the counting rules this engine omits.)
+///
+/// Empty-lhs ("constant-column") FDs are rejected: they re-introduce
+/// interaction (a constant column propagates backwards through an IND) and
+/// fall outside the fragment this engine is exact for.
+class UnaryUnrestrictedImplication {
+ public:
+  /// CHECK-fails if any dependency is not unary, has an empty lhs, or is
+  /// invalid.
+  UnaryUnrestrictedImplication(SchemePtr scheme, const std::vector<Fd>& fds,
+                               const std::vector<Ind>& inds);
+
+  bool Implies(const Fd& target) const;
+  bool Implies(const Ind& target) const;
+  bool Implies(const Dependency& target) const;
+
+ private:
+  SchemePtr scheme_;
+  std::vector<Fd> fds_;
+  std::vector<Ind> inds_;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_INTERACT_UNARY_FINITE_H_

@@ -1,0 +1,163 @@
+#include "lba/lba.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+LbaMachine::LbaMachine() { AddTapeSymbol("B"); }
+
+std::uint32_t LbaMachine::AddState(std::string name) {
+  state_names_.push_back(std::move(name));
+  return static_cast<std::uint32_t>(state_names_.size() - 1);
+}
+
+std::uint32_t LbaMachine::AddTapeSymbol(std::string name) {
+  tape_names_.push_back(std::move(name));
+  return static_cast<std::uint32_t>(tape_names_.size() - 1);
+}
+
+void LbaMachine::AddTransition(std::uint32_t state, std::uint32_t read,
+                               std::uint32_t next_state, std::uint32_t write,
+                               HeadMove move) {
+  CCFP_CHECK(state < num_states() && next_state < num_states());
+  CCFP_CHECK(read < num_tape_symbols() && write < num_tape_symbols());
+  const LbaSymbol q{true, state};
+  const LbaSymbol qp{true, next_state};
+  const LbaSymbol s{false, read};
+  const LbaSymbol sp{false, write};
+  switch (move) {
+    case HeadMove::kRight:
+      for (std::uint32_t x = 0; x < num_tape_symbols(); ++x) {
+        LbaSymbol xs{false, x};
+        rewrites_.push_back(LbaRewrite{{q, s, xs}, {sp, qp, xs}});
+      }
+      break;
+    case HeadMove::kLeft:
+      for (std::uint32_t y = 0; y < num_tape_symbols(); ++y) {
+        LbaSymbol ys{false, y};
+        rewrites_.push_back(LbaRewrite{{ys, q, s}, {qp, ys, sp}});
+      }
+      break;
+    case HeadMove::kStay:
+      for (std::uint32_t x = 0; x < num_tape_symbols(); ++x) {
+        LbaSymbol xs{false, x};
+        rewrites_.push_back(LbaRewrite{{q, s, xs}, {qp, sp, xs}});
+      }
+      for (std::uint32_t y = 0; y < num_tape_symbols(); ++y) {
+        LbaSymbol ys{false, y};
+        rewrites_.push_back(LbaRewrite{{ys, q, s}, {ys, qp, sp}});
+      }
+      break;
+  }
+}
+
+std::vector<LbaSymbol> LbaMachine::InitialConfiguration(
+    const std::vector<std::uint32_t>& input) const {
+  std::vector<LbaSymbol> config;
+  config.reserve(input.size() + 1);
+  config.push_back(LbaSymbol{true, start_state_});
+  for (std::uint32_t sym : input) {
+    CCFP_CHECK(sym < num_tape_symbols());
+    config.push_back(LbaSymbol{false, sym});
+  }
+  return config;
+}
+
+std::vector<LbaSymbol> LbaMachine::FinalConfiguration(std::size_t n) const {
+  std::vector<LbaSymbol> config;
+  config.reserve(n + 1);
+  config.push_back(LbaSymbol{true, halt_state_});
+  for (std::size_t i = 0; i < n; ++i) {
+    config.push_back(LbaSymbol{false, blank()});
+  }
+  return config;
+}
+
+std::string LbaMachine::ConfigurationToString(
+    const std::vector<LbaSymbol>& config) const {
+  return JoinMapped(config, " ", [&](const LbaSymbol& sym) {
+    return sym.is_state ? state_names_[sym.id] : tape_names_[sym.id];
+  });
+}
+
+namespace {
+
+struct ConfigHash {
+  std::size_t operator()(const std::vector<LbaSymbol>& config) const {
+    std::size_t h = 0xCBF29CE484222325ULL;
+    for (const LbaSymbol& sym : config) {
+      h ^= (static_cast<std::size_t>(sym.is_state) << 32) | sym.id;
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<LbaRunResult> LbaAccepts(const LbaMachine& machine,
+                                const std::vector<std::uint32_t>& input,
+                                const LbaRunOptions& options) {
+  LbaRunResult result;
+  const std::size_t n = input.size();
+  std::vector<LbaSymbol> start = machine.InitialConfiguration(input);
+  std::vector<LbaSymbol> goal = machine.FinalConfiguration(n);
+
+  std::unordered_map<std::vector<LbaSymbol>, std::vector<LbaSymbol>,
+                     ConfigHash>
+      parent;  // config -> predecessor (start maps to itself)
+  parent.emplace(start, start);
+  std::deque<std::vector<LbaSymbol>> frontier{start};
+  bool found = (start == goal);
+
+  while (!found && !frontier.empty()) {
+    std::vector<LbaSymbol> config = std::move(frontier.front());
+    frontier.pop_front();
+    if (++result.configurations_explored > options.max_configurations) {
+      return Status::ResourceExhausted(
+          StrCat("LBA configuration budget of ", options.max_configurations,
+                 " exhausted"));
+    }
+    // Apply every rewrite at every window position j (0-based; the window
+    // covers positions j, j+1, j+2 of the (n+1)-symbol configuration).
+    for (std::size_t j = 0; j + 2 < config.size(); ++j) {
+      for (const LbaRewrite& rw : machine.rewrites()) {
+        if (config[j] == rw.from[0] && config[j + 1] == rw.from[1] &&
+            config[j + 2] == rw.from[2]) {
+          std::vector<LbaSymbol> next = config;
+          next[j] = rw.to[0];
+          next[j + 1] = rw.to[1];
+          next[j + 2] = rw.to[2];
+          if (parent.count(next) > 0) continue;
+          parent.emplace(next, config);
+          if (next == goal) {
+            found = true;
+            break;
+          }
+          frontier.push_back(std::move(next));
+        }
+      }
+      if (found) break;
+    }
+  }
+
+  result.accepts = found;
+  if (found) {
+    std::vector<std::vector<LbaSymbol>> run;
+    std::vector<LbaSymbol> cursor = goal;
+    while (true) {
+      run.push_back(cursor);
+      const std::vector<LbaSymbol>& prev = parent.at(cursor);
+      if (prev == cursor) break;
+      cursor = prev;
+    }
+    result.accepting_run.assign(run.rbegin(), run.rend());
+  }
+  return result;
+}
+
+}  // namespace ccfp

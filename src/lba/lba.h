@@ -1,0 +1,119 @@
+#ifndef CCFP_LBA_LBA_H_
+#define CCFP_LBA_LBA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ccfp {
+
+/// A symbol of a configuration string: either a state of K or a tape symbol
+/// of Gamma (Theorem 3.3 encodes configurations as strings in Gamma* K
+/// Gamma* of length n+1, the state placed immediately to the left of the
+/// scanned cell).
+struct LbaSymbol {
+  bool is_state = false;
+  std::uint32_t id = 0;
+
+  friend bool operator==(const LbaSymbol&, const LbaSymbol&) = default;
+  friend auto operator<=>(const LbaSymbol&, const LbaSymbol&) = default;
+};
+
+/// A window rewriting rule abc -> a'b'c' applied to configurations — the
+/// form in which the paper encodes the moves of the machine.
+struct LbaRewrite {
+  LbaSymbol from[3];
+  LbaSymbol to[3];
+};
+
+enum class HeadMove : std::uint8_t { kLeft, kRight, kStay };
+
+/// A nondeterministic linear-bounded automaton (one-tape NTM confined to
+/// its input cells). Build with AddState/AddTapeSymbol/AddTransition; the
+/// transitions compile to window rewriting rules per the conventions of the
+/// Theorem 3.3 proof:
+///   * right move (q, s -> s', R):  (q, s, x)  -> (s', q', x)  for all x;
+///   * left  move (q, s -> s', L):  (y, q, s)  -> (q', y, s')  for all y;
+///   * stay       (q, s -> s', S):  (q, s, x)  -> (q', s', x)  and
+///                                  (y, q, s)  -> (y, q', s')  (for the
+///                                  last-cell case).
+/// The machine accepts input x (|x| = n) iff the final configuration
+/// h B^n is reachable from s x.
+class LbaMachine {
+ public:
+  LbaMachine();
+
+  /// Returns the id of the new state / tape symbol.
+  std::uint32_t AddState(std::string name);
+  std::uint32_t AddTapeSymbol(std::string name);
+
+  void SetStartState(std::uint32_t state) { start_state_ = state; }
+  void SetHaltState(std::uint32_t state) { halt_state_ = state; }
+  /// The blank is tape symbol 0, added by the constructor with name "B".
+  std::uint32_t blank() const { return 0; }
+
+  std::uint32_t start_state() const { return start_state_; }
+  std::uint32_t halt_state() const { return halt_state_; }
+  std::size_t num_states() const { return state_names_.size(); }
+  std::size_t num_tape_symbols() const { return tape_names_.size(); }
+  const std::string& state_name(std::uint32_t id) const {
+    return state_names_[id];
+  }
+  const std::string& tape_name(std::uint32_t id) const {
+    return tape_names_[id];
+  }
+
+  /// Adds the nondeterministic transition (state, read) -> (next_state,
+  /// write, move), compiling it to window rewriting rules.
+  void AddTransition(std::uint32_t state, std::uint32_t read,
+                     std::uint32_t next_state, std::uint32_t write,
+                     HeadMove move);
+
+  /// Adds a raw window rewriting rule (for tests of the raw semantics).
+  void AddRewrite(const LbaRewrite& rewrite) { rewrites_.push_back(rewrite); }
+
+  const std::vector<LbaRewrite>& rewrites() const { return rewrites_; }
+
+  /// The initial configuration s x (length |x| + 1).
+  std::vector<LbaSymbol> InitialConfiguration(
+      const std::vector<std::uint32_t>& input) const;
+
+  /// The accepting configuration h B^n.
+  std::vector<LbaSymbol> FinalConfiguration(std::size_t n) const;
+
+  /// Renders a configuration, e.g. "s a a B".
+  std::string ConfigurationToString(
+      const std::vector<LbaSymbol>& config) const;
+
+ private:
+  std::vector<std::string> state_names_;
+  std::vector<std::string> tape_names_;
+  std::uint32_t start_state_ = 0;
+  std::uint32_t halt_state_ = 0;
+  std::vector<LbaRewrite> rewrites_;
+};
+
+struct LbaRunOptions {
+  std::uint64_t max_configurations = 1u << 22;
+};
+
+struct LbaRunResult {
+  bool accepts = false;
+  std::uint64_t configurations_explored = 0;
+  /// An accepting configuration sequence (Y_1, ..., Y_w), present iff
+  /// accepts (this is the certificate Corollary 3.2 turns into an
+  /// expression sequence).
+  std::vector<std::vector<LbaSymbol>> accepting_run;
+};
+
+/// Decides acceptance by BFS over the configuration graph. Exponential in
+/// the worst case (that is the point of Theorem 3.3); budgeted.
+Result<LbaRunResult> LbaAccepts(const LbaMachine& machine,
+                                const std::vector<std::uint32_t>& input,
+                                const LbaRunOptions& options = {});
+
+}  // namespace ccfp
+
+#endif  // CCFP_LBA_LBA_H_

@@ -1,0 +1,93 @@
+#include "lba/reduction.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+AttrId LbaToIndReduction::AttrOf(const LbaSymbol& symbol,
+                                 std::size_t position) const {
+  CCFP_CHECK(position >= 1 && position <= n + 1);
+  std::size_t per_position = num_states + num_tape_symbols;
+  std::size_t symbol_index =
+      symbol.is_state ? symbol.id : num_states + symbol.id;
+  return static_cast<AttrId>((position - 1) * per_position + symbol_index);
+}
+
+std::vector<AttrId> LbaToIndReduction::ConfigurationExpression(
+    const std::vector<LbaSymbol>& config) const {
+  CCFP_CHECK(config.size() == n + 1);
+  std::vector<AttrId> attrs;
+  attrs.reserve(n + 1);
+  for (std::size_t j = 0; j < config.size(); ++j) {
+    attrs.push_back(AttrOf(config[j], j + 1));
+  }
+  return attrs;
+}
+
+Result<LbaToIndReduction> BuildLbaToIndReduction(
+    const LbaMachine& machine, const std::vector<std::uint32_t>& input) {
+  const std::size_t n = input.size();
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "the reduction needs |x| >= 2 (no rewrite window fits otherwise)");
+  }
+
+  LbaToIndReduction red;
+  red.n = n;
+  red.num_states = machine.num_states();
+  red.num_tape_symbols = machine.num_tape_symbols();
+
+  // Attribute names "q:<state>@j" and "t:<symbol>@j", position-major so the
+  // AttrOf arithmetic matches the declaration order.
+  std::vector<std::string> attrs;
+  attrs.reserve((n + 1) * (red.num_states + red.num_tape_symbols));
+  for (std::size_t j = 1; j <= n + 1; ++j) {
+    for (std::size_t q = 0; q < red.num_states; ++q) {
+      attrs.push_back(StrCat("q:", machine.state_name(q), "@", j));
+    }
+    for (std::size_t g = 0; g < red.num_tape_symbols; ++g) {
+      attrs.push_back(StrCat("t:", machine.tape_name(g), "@", j));
+    }
+  }
+  red.scheme = MakeScheme({{"R", attrs}});
+
+  // sigma: initial configuration <= final configuration.
+  red.target.lhs_rel = 0;
+  red.target.rhs_rel = 0;
+  red.target.lhs =
+      red.ConfigurationExpression(machine.InitialConfiguration(input));
+  red.target.rhs =
+      red.ConfigurationExpression(machine.FinalConfiguration(n));
+
+  // Sigma: for each window rewrite m and window start j in {1..n-1}, the
+  // IND S(m, j) = R[P_j, (a,j), (b,j+1), (c,j+2)]
+  //            <= R[P_j, (a',j), (b',j+1), (c',j+2)]
+  // where P_j lists (tape symbol, position) for every position outside the
+  // window — the frame that copies the untouched tape cells.
+  for (const LbaRewrite& rw : machine.rewrites()) {
+    for (std::size_t j = 1; j + 2 <= n + 1; ++j) {
+      Ind ind;
+      ind.lhs_rel = 0;
+      ind.rhs_rel = 0;
+      for (std::size_t pos = 1; pos <= n + 1; ++pos) {
+        if (pos >= j && pos <= j + 2) continue;
+        for (std::uint32_t g = 0; g < red.num_tape_symbols; ++g) {
+          AttrId attr = red.AttrOf(LbaSymbol{false, g}, pos);
+          ind.lhs.push_back(attr);
+          ind.rhs.push_back(attr);
+        }
+      }
+      for (std::size_t w = 0; w < 3; ++w) {
+        ind.lhs.push_back(red.AttrOf(rw.from[w], j + w));
+        ind.rhs.push_back(red.AttrOf(rw.to[w], j + w));
+      }
+      Status st = Validate(*red.scheme, ind);
+      CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+      red.sigma.push_back(std::move(ind));
+    }
+  }
+  return red;
+}
+
+}  // namespace ccfp

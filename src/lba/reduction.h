@@ -1,0 +1,48 @@
+#ifndef CCFP_LBA_REDUCTION_H_
+#define CCFP_LBA_REDUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "lba/lba.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// The Theorem 3.3 reduction from LINEAR BOUNDED AUTOMATON ACCEPTANCE to
+/// the decision problem for INDs: given M and input x with |x| = n, build a
+/// single relation scheme R over attributes (K u Gamma) x {1, ..., n+1}
+/// (attribute "(r, j)" encodes 'the j-th symbol of a configuration is r'),
+/// a set Sigma of INDs encoding the legal window rewrites of M, and a
+/// single IND
+///   sigma: R[(s,1),(x_1,2),...,(x_n,n+1)] <= R[(h,1),(B,2),...,(B,n+1)],
+/// such that Sigma |= sigma iff M accepts x in space n.
+struct LbaToIndReduction {
+  std::size_t n = 0;
+  SchemePtr scheme;
+  std::vector<Ind> sigma;
+  Ind target;
+
+  /// Attribute (symbol, position) for position 1..n+1 (1-based, as in the
+  /// paper).
+  AttrId AttrOf(const LbaSymbol& symbol, std::size_t position) const;
+
+  /// The Corollary 3.2 expression corresponding to a configuration
+  /// Y = y_1...y_{n+1}: the attribute sequence ((y_1,1),...,(y_{n+1},n+1)).
+  std::vector<AttrId> ConfigurationExpression(
+      const std::vector<LbaSymbol>& config) const;
+
+  std::size_t num_states = 0;
+  std::size_t num_tape_symbols = 0;
+};
+
+/// Builds the reduction. Requires n >= 2 (with n < 2 there is no window, so
+/// machines with such inputs never move — callers should special-case).
+Result<LbaToIndReduction> BuildLbaToIndReduction(
+    const LbaMachine& machine, const std::vector<std::uint32_t>& input);
+
+}  // namespace ccfp
+
+#endif  // CCFP_LBA_REDUCTION_H_

@@ -1,0 +1,138 @@
+#include "mine/discovery.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/satisfies.h"
+
+namespace ccfp {
+
+namespace {
+
+void ForEachSortedSubset(
+    std::size_t arity, std::size_t max_size, bool include_empty,
+    const std::function<void(const std::vector<AttrId>&)>& fn) {
+  std::vector<AttrId> current;
+  std::function<void(AttrId)> rec = [&](AttrId start) {
+    if (include_empty || !current.empty()) fn(current);
+    if (current.size() >= max_size) return;
+    for (AttrId a = start; a < arity; ++a) {
+      current.push_back(a);
+      rec(a + 1);
+      current.pop_back();
+    }
+  };
+  rec(0);
+}
+
+void ForEachSequence(
+    std::size_t arity, std::size_t width,
+    const std::function<void(const std::vector<AttrId>&)>& fn) {
+  std::vector<AttrId> current;
+  std::vector<bool> used(arity, false);
+  std::function<void()> rec = [&]() {
+    if (current.size() == width) {
+      fn(current);
+      return;
+    }
+    for (AttrId a = 0; a < arity; ++a) {
+      if (used[a]) continue;
+      used[a] = true;
+      current.push_back(a);
+      rec();
+      current.pop_back();
+      used[a] = false;
+    }
+  };
+  rec();
+}
+
+bool LhsSubsumes(const std::vector<AttrId>& small,
+                 const std::vector<AttrId>& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+std::vector<Fd> MineFds(const Database& db, RelId rel,
+                        const FdMiningOptions& options) {
+  const std::size_t arity = db.scheme().relation(rel).arity();
+  std::vector<Fd> mined;
+  ForEachSortedSubset(
+      arity, options.max_lhs, options.include_constants,
+      [&](const std::vector<AttrId>& lhs) {
+        for (AttrId rhs = 0; rhs < arity; ++rhs) {
+          if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) {
+            continue;  // trivial
+          }
+          Fd candidate{rel, lhs, {rhs}};
+          if (!Satisfies(db, candidate)) continue;
+          mined.push_back(std::move(candidate));
+        }
+      });
+  if (!options.minimal_only) return mined;
+
+  // Keep an FD only if no other mined FD with the same rhs has a strictly
+  // smaller lhs (both lhs are sorted).
+  std::vector<Fd> minimal;
+  for (const Fd& fd : mined) {
+    bool subsumed = false;
+    for (const Fd& other : mined) {
+      if (other.rhs != fd.rhs || other.lhs == fd.lhs) continue;
+      if (other.lhs.size() < fd.lhs.size() &&
+          LhsSubsumes(other.lhs, fd.lhs)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) minimal.push_back(fd);
+  }
+  return minimal;
+}
+
+std::vector<Ind> MineInds(const Database& db,
+                          const IndMiningOptions& options) {
+  const DatabaseScheme& scheme = db.scheme();
+  std::vector<Ind> mined;
+  for (std::size_t width = 1; width <= options.max_width; ++width) {
+    for (RelId r1 = 0; r1 < scheme.size(); ++r1) {
+      if (scheme.relation(r1).arity() < width) continue;
+      if (options.skip_vacuous && db.relation(r1).empty()) continue;
+      for (RelId r2 = 0; r2 < scheme.size(); ++r2) {
+        if (scheme.relation(r2).arity() < width) continue;
+        ForEachSequence(
+            scheme.relation(r1).arity(), width,
+            [&](const std::vector<AttrId>& lhs) {
+              ForEachSequence(
+                  scheme.relation(r2).arity(), width,
+                  [&](const std::vector<AttrId>& rhs) {
+                    Ind candidate{r1, lhs, r2, rhs};
+                    if (IsTrivial(candidate)) return;
+                    if (Satisfies(db, candidate)) {
+                      mined.push_back(candidate);
+                    }
+                  });
+            });
+      }
+    }
+  }
+  return mined;
+}
+
+std::vector<Rd> MineRds(const Database& db) {
+  const DatabaseScheme& scheme = db.scheme();
+  std::vector<Rd> mined;
+  for (RelId rel = 0; rel < scheme.size(); ++rel) {
+    if (db.relation(rel).empty()) continue;  // vacuous RDs are noise
+    std::size_t arity = scheme.relation(rel).arity();
+    for (AttrId a = 0; a < arity; ++a) {
+      for (AttrId b = a + 1; b < arity; ++b) {
+        Rd candidate{rel, {a}, {b}};
+        if (Satisfies(db, candidate)) mined.push_back(candidate);
+      }
+    }
+  }
+  return mined;
+}
+
+}  // namespace ccfp

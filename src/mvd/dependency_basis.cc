@@ -1,0 +1,117 @@
+#include "mvd/dependency_basis.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+using AttrSet = std::set<AttrId>;
+
+AttrSet ToSet(const std::vector<AttrId>& v) {
+  return AttrSet(v.begin(), v.end());
+}
+
+bool Intersects(const AttrSet& a, const AttrSet& b) {
+  for (AttrId x : a) {
+    if (b.count(x) > 0) return true;
+  }
+  return false;
+}
+
+bool SubsetOf(const AttrSet& a, const AttrSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<AttrId>>> DependencyBasis(
+    const DatabaseScheme& scheme, RelId rel, const std::vector<Mvd>& sigma,
+    const std::vector<AttrId>& x) {
+  const std::size_t arity = scheme.relation(rel).arity();
+  for (const Mvd& mvd : sigma) {
+    CCFP_RETURN_NOT_OK(Validate(scheme, mvd));
+    if (mvd.rel != rel) {
+      return Status::InvalidArgument(
+          "all MVDs must be on the same relation as the basis query");
+    }
+  }
+  AttrSet x_set = ToSet(x);
+  for (AttrId a : x) {
+    if (a >= arity) return Status::InvalidArgument("attribute out of range");
+  }
+
+  // Start with the single block of everything outside X; refine by
+  // Beeri's splitting rule: for W ->> V in sigma with W disjoint from a
+  // block S that meets V without being contained in it, split S into
+  // S ^ V and S - V.
+  std::vector<AttrSet> basis;
+  {
+    AttrSet rest;
+    for (AttrId a = 0; a < arity; ++a) {
+      if (x_set.count(a) == 0) rest.insert(a);
+    }
+    if (!rest.empty()) basis.push_back(std::move(rest));
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Mvd& mvd : sigma) {
+      AttrSet w = ToSet(mvd.x);
+      AttrSet v = ToSet(mvd.y);
+      for (std::size_t i = 0; i < basis.size(); ++i) {
+        const AttrSet& s = basis[i];
+        if (Intersects(w, s)) continue;  // rule needs W disjoint from S
+        if (!Intersects(v, s) || SubsetOf(s, v)) continue;
+        AttrSet in_v, out_v;
+        for (AttrId a : s) {
+          (v.count(a) > 0 ? in_v : out_v).insert(a);
+        }
+        basis[i] = std::move(in_v);
+        basis.push_back(std::move(out_v));
+        changed = true;
+        break;  // basis mutated; restart the scan for this MVD
+      }
+    }
+  }
+
+  std::vector<std::vector<AttrId>> result;
+  result.reserve(basis.size());
+  for (const AttrSet& s : basis) {
+    result.emplace_back(s.begin(), s.end());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Result<bool> MvdImplies(const DatabaseScheme& scheme,
+                        const std::vector<Mvd>& sigma, const Mvd& target) {
+  CCFP_RETURN_NOT_OK(Validate(scheme, target));
+  CCFP_ASSIGN_OR_RETURN(
+      std::vector<std::vector<AttrId>> basis,
+      DependencyBasis(scheme, target.rel, sigma, target.x));
+  // target.x ->> target.y holds iff Y - X is a union of basis blocks.
+  AttrSet x_set(target.x.begin(), target.x.end());
+  AttrSet need;
+  for (AttrId a : target.y) {
+    if (x_set.count(a) == 0) need.insert(a);
+  }
+  for (const std::vector<AttrId>& block : basis) {
+    bool inside = need.count(block.front()) > 0;
+    for (AttrId a : block) {
+      if ((need.count(a) > 0) != inside) {
+        return false;  // block straddles the boundary of Y - X
+      }
+    }
+    if (inside) {
+      for (AttrId a : block) need.erase(a);
+    }
+  }
+  return need.empty();
+}
+
+}  // namespace ccfp

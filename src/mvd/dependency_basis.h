@@ -1,0 +1,34 @@
+#ifndef CCFP_MVD_DEPENDENCY_BASIS_H_
+#define CCFP_MVD_DEPENDENCY_BASIS_H_
+
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// The dependency basis of an attribute set X under a set of (full) MVDs
+/// over one relation (Beeri's algorithm): the unique partition of the
+/// attributes outside X such that X ->> Y holds iff Y - X is a union of
+/// blocks. Section 5 of the paper contrasts EMVDs (no known k-ary
+/// axiomatization, Theorem 5.3) with larger, better-behaved classes; full
+/// MVDs are the classic tractable case — Beeri–Fagin–Howard [BFH] give a
+/// complete axiomatization and this basis computation decides implication
+/// in polynomial time.
+///
+/// Returns the blocks as sorted attribute sequences, sorted by first
+/// attribute. All MVDs must be on relation `rel`.
+Result<std::vector<std::vector<AttrId>>> DependencyBasis(
+    const DatabaseScheme& scheme, RelId rel, const std::vector<Mvd>& sigma,
+    const std::vector<AttrId>& x);
+
+/// Decides sigma |= target for full MVDs over a single relation via the
+/// dependency basis (finite = unrestricted implication for MVDs).
+Result<bool> MvdImplies(const DatabaseScheme& scheme,
+                        const std::vector<Mvd>& sigma, const Mvd& target);
+
+}  // namespace ccfp
+
+#endif  // CCFP_MVD_DEPENDENCY_BASIS_H_

@@ -1,0 +1,58 @@
+#ifndef CCFP_SEARCH_BOUNDED_H_
+#define CCFP_SEARCH_BOUNDED_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Exhaustive bounded-model search: enumerate every database over the
+/// scheme whose relations each have at most `max_tuples_per_relation`
+/// tuples drawn from a fixed integer domain {0..domain_size-1}, and look
+/// for a counterexample to premises |= conclusion.
+///
+/// This is a *refutation-complete-up-to-the-bound* oracle: a returned
+/// database is a genuine counterexample (so the implication certainly
+/// fails, finitely and unrestrictedly); exhausting the space only refutes
+/// counterexamples within the bound. The paper's Figures 4.1-7.5 are all
+/// counterexample databases of exactly this kind (hand-built); this module
+/// mechanizes finding small ones.
+struct BoundedSearchOptions {
+  std::size_t max_tuples_per_relation = 2;
+  std::size_t domain_size = 2;
+  /// Overall cap on candidate databases, guarding combinatorial blow-up.
+  std::uint64_t max_candidates = 1u << 24;
+};
+
+struct BoundedSearchResult {
+  /// A database satisfying every premise and violating the conclusion, if
+  /// one exists within the bound.
+  std::optional<Database> counterexample;
+  std::uint64_t candidates_tested = 0;
+  /// True if the whole bounded space was scanned (no counterexample below
+  /// the bound); false if max_candidates stopped the search early.
+  bool exhausted = true;
+};
+
+/// Searches for a counterexample to premises |= conclusion.
+/// By symmetry of the semantics under renaming of values, candidate
+/// relations are enumerated as subsets of the domain^arity tuple space.
+Result<BoundedSearchResult> FindCounterexample(
+    SchemePtr scheme, const std::vector<Dependency>& premises,
+    const Dependency& conclusion, const BoundedSearchOptions& options = {});
+
+/// Convenience: true iff a counterexample exists within the bound.
+/// CHECK-fails on search-budget exhaustion (raise max_candidates).
+bool HasBoundedCounterexample(SchemePtr scheme,
+                              const std::vector<Dependency>& premises,
+                              const Dependency& conclusion,
+                              const BoundedSearchOptions& options = {});
+
+}  // namespace ccfp
+
+#endif  // CCFP_SEARCH_BOUNDED_H_

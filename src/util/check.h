@@ -1,0 +1,29 @@
+#ifndef CCFP_UTIL_CHECK_H_
+#define CCFP_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant checking. A failed CCFP_CHECK indicates a bug inside
+/// ccfp (never a user error — user errors surface as Status). Checks stay
+/// enabled in release builds: the library's workloads are dominated by
+/// algorithmic cost, not by branch overhead.
+#define CCFP_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "ccfp: CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define CCFP_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "ccfp: CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#endif  // CCFP_UTIL_CHECK_H_

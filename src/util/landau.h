@@ -1,0 +1,34 @@
+#ifndef CCFP_UTIL_LANDAU_H_
+#define CCFP_UTIL_LANDAU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/permutation.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Landau's function f(m): the maximum order of a permutation of m points
+/// (the maximum lcm over partitions of m). Section 3 of the paper uses
+/// Landau's asymptotic log f(m) ~ sqrt(m log m) to exhibit a family of
+/// single-IND implication instances that force the decision procedure of
+/// Corollary 3.2 through f(m) - 1 expression steps.
+///
+/// Exact up to 128 bits; supported for m <= kLandauMaxM.
+inline constexpr std::size_t kLandauMaxM = 1024;
+
+/// Exact value of Landau's function for m points.
+unsigned __int128 LandauF(std::size_t m);
+
+/// The partition of (at most) m into prime-power parts whose lcm is f(m),
+/// in decreasing order. Sum of parts may be < m; pad with fixed points.
+std::vector<std::uint64_t> LandauPartition(std::size_t m);
+
+/// A permutation of m points achieving order f(m) ("Landau obtains a
+/// permutation of big order by composing it of relatively prime cycles").
+Permutation MaxOrderPermutation(std::size_t m);
+
+}  // namespace ccfp
+
+#endif  // CCFP_UTIL_LANDAU_H_

@@ -1,0 +1,180 @@
+#include "util/permutation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+// lcm on 128-bit values with overflow CHECK.
+unsigned __int128 Lcm128(unsigned __int128 a, unsigned __int128 b) {
+  if (a == 0 || b == 0) return 0;
+  // std::gcd is not defined for __int128 on all toolchains; do it manually.
+  unsigned __int128 x = a, y = b;
+  while (y != 0) {
+    unsigned __int128 t = x % y;
+    x = y;
+    y = t;
+  }
+  unsigned __int128 g = x;
+  unsigned __int128 a_over_g = a / g;
+  // Overflow check: a/g * b must fit in 128 bits.
+  unsigned __int128 max128 = ~static_cast<unsigned __int128>(0);
+  CCFP_CHECK_MSG(b == 0 || a_over_g <= max128 / b,
+                 "permutation order exceeds 128 bits");
+  return a_over_g * b;
+}
+
+}  // namespace
+
+Permutation Permutation::Identity(std::size_t m) {
+  std::vector<std::uint32_t> map(m);
+  std::iota(map.begin(), map.end(), 0U);
+  return Permutation(std::move(map));
+}
+
+Result<Permutation> Permutation::Create(std::vector<std::uint32_t> map) {
+  std::vector<bool> seen(map.size(), false);
+  for (std::uint32_t v : map) {
+    if (v >= map.size() || seen[v]) {
+      return Status::InvalidArgument("not a permutation of {0..m-1}");
+    }
+    seen[v] = true;
+  }
+  return Permutation(std::move(map));
+}
+
+Permutation Permutation::Transposition(std::size_t m, std::size_t i) {
+  CCFP_CHECK(i < m);
+  Permutation p = Identity(m);
+  std::swap(p.map_[0], p.map_[i]);
+  return p;
+}
+
+Result<Permutation> Permutation::FromCycleLengths(
+    std::size_t m, const std::vector<std::uint64_t>& cycle_lengths) {
+  std::uint64_t total = 0;
+  for (std::uint64_t len : cycle_lengths) {
+    if (len == 0) return Status::InvalidArgument("zero-length cycle");
+    total += len;
+  }
+  if (total > m) {
+    return Status::InvalidArgument(
+        StrCat("cycle lengths sum to ", total, " > m = ", m));
+  }
+  std::vector<std::uint32_t> map(m);
+  std::iota(map.begin(), map.end(), 0U);
+  std::uint32_t next = 0;
+  for (std::uint64_t len : cycle_lengths) {
+    // Cycle (next, next+1, ..., next+len-1).
+    for (std::uint64_t j = 0; j < len; ++j) {
+      map[next + j] = next + static_cast<std::uint32_t>((j + 1) % len);
+    }
+    next += static_cast<std::uint32_t>(len);
+  }
+  return Permutation(std::move(map));
+}
+
+Permutation Permutation::Compose(const Permutation& g) const {
+  CCFP_CHECK(size() == g.size());
+  std::vector<std::uint32_t> map(size());
+  for (std::size_t i = 0; i < size(); ++i) map[i] = map_[g.map_[i]];
+  return Permutation(std::move(map));
+}
+
+Permutation Permutation::Inverse() const {
+  std::vector<std::uint32_t> map(size());
+  for (std::size_t i = 0; i < size(); ++i) map[map_[i]] = i;
+  return Permutation(std::move(map));
+}
+
+Permutation Permutation::Power(std::uint64_t k) const {
+  Permutation result = Identity(size());
+  Permutation base = *this;
+  while (k > 0) {
+    if (k & 1) result = result.Compose(base);
+    base = base.Compose(base);
+    k >>= 1;
+  }
+  return result;
+}
+
+bool Permutation::IsIdentity() const {
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (map_[i] != i) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> Permutation::CycleLengths() const {
+  std::vector<bool> seen(size(), false);
+  std::vector<std::uint64_t> lengths;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (seen[i]) continue;
+    std::uint64_t len = 0;
+    std::size_t j = i;
+    while (!seen[j]) {
+      seen[j] = true;
+      j = map_[j];
+      ++len;
+    }
+    lengths.push_back(len);
+  }
+  std::sort(lengths.rbegin(), lengths.rend());
+  return lengths;
+}
+
+unsigned __int128 Permutation::Order() const {
+  unsigned __int128 order = 1;
+  for (std::uint64_t len : CycleLengths()) order = Lcm128(order, len);
+  return order;
+}
+
+Result<std::uint64_t> Permutation::Order64() const {
+  unsigned __int128 order = Order();
+  if (order > ~static_cast<std::uint64_t>(0)) {
+    return Status::ResourceExhausted("permutation order exceeds 64 bits");
+  }
+  return static_cast<std::uint64_t>(order);
+}
+
+std::string Permutation::ToString() const {
+  std::vector<bool> seen(size(), false);
+  std::string out;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (seen[i] || map_[i] == i) {
+      seen[i] = true;
+      continue;
+    }
+    out += "(";
+    std::size_t j = i;
+    bool first = true;
+    while (!seen[j]) {
+      if (!first) out += " ";
+      first = false;
+      out += std::to_string(j);
+      seen[j] = true;
+      j = map_[j];
+    }
+    out += ")";
+  }
+  if (out.empty()) out = "()";
+  return out;
+}
+
+std::string Uint128ToString(unsigned __int128 value) {
+  if (value == 0) return "0";
+  std::string digits;
+  while (value > 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(value % 10)));
+    value /= 10;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+}  // namespace ccfp

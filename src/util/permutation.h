@@ -1,0 +1,81 @@
+#ifndef CCFP_UTIL_PERMUTATION_H_
+#define CCFP_UTIL_PERMUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ccfp {
+
+/// A permutation of {0, 1, ..., m-1}, represented in one-line notation:
+/// `map()[i]` is the image of i. Section 3 of the paper associates with each
+/// permutation gamma of the attribute positions the IND
+/// R[A_1..A_m] <= R[A_gamma(1)..A_gamma(m)]; this class supplies the group
+/// algebra those examples need (composition, inverse, order, cycle type).
+class Permutation {
+ public:
+  /// The empty permutation (on 0 points); useful as a placeholder in
+  /// aggregates before a real permutation is assigned.
+  Permutation() = default;
+
+  /// Identity permutation on m points.
+  static Permutation Identity(std::size_t m);
+
+  /// Validates that `map` is a bijection on {0..m-1}.
+  static Result<Permutation> Create(std::vector<std::uint32_t> map);
+
+  /// The transposition (0 i) on m points; the paper's generators gamma_i.
+  static Permutation Transposition(std::size_t m, std::size_t i);
+
+  /// Builds a permutation from disjoint cycle lengths (plus fixed points to
+  /// pad to m): cycle lengths (3,2) with m=6 gives (0 1 2)(3 4)(5).
+  static Result<Permutation> FromCycleLengths(
+      std::size_t m, const std::vector<std::uint64_t>& cycle_lengths);
+
+  std::size_t size() const { return map_.size(); }
+  const std::vector<std::uint32_t>& map() const { return map_; }
+  std::uint32_t operator()(std::uint32_t i) const { return map_[i]; }
+
+  /// Function composition: (*this).Compose(g) maps i to this(g(i)).
+  Permutation Compose(const Permutation& g) const;
+
+  Permutation Inverse() const;
+
+  /// this^k for k >= 0 (binary exponentiation on the group).
+  Permutation Power(std::uint64_t k) const;
+
+  bool IsIdentity() const;
+
+  /// Lengths of the disjoint cycles, in decreasing order; fixed points are
+  /// reported as cycles of length 1.
+  std::vector<std::uint64_t> CycleLengths() const;
+
+  /// The order of the permutation (least k >= 1 with this^k = id), i.e., the
+  /// lcm of the cycle lengths. Exact up to 128 bits; CHECK-fails past that
+  /// (Landau's function stays below 2^128 for every m this library accepts).
+  unsigned __int128 Order() const;
+
+  /// Order as a uint64, or an error if it does not fit.
+  Result<std::uint64_t> Order64() const;
+
+  /// Cycle notation, e.g. "(0 1 2)(3 4)".
+  std::string ToString() const;
+
+  bool operator==(const Permutation& other) const {
+    return map_ == other.map_;
+  }
+
+ private:
+  explicit Permutation(std::vector<std::uint32_t> map) : map_(std::move(map)) {}
+
+  std::vector<std::uint32_t> map_;
+};
+
+/// Formats an unsigned 128-bit integer in decimal (no standard operator<<).
+std::string Uint128ToString(unsigned __int128 value);
+
+}  // namespace ccfp
+
+#endif  // CCFP_UTIL_PERMUTATION_H_

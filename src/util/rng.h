@@ -1,0 +1,41 @@
+#ifndef CCFP_UTIL_RNG_H_
+#define CCFP_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace ccfp {
+
+/// Deterministic 64-bit RNG (splitmix64). Tests and benchmarks use this
+/// instead of std::mt19937 so that random workloads are identical across
+/// platforms and standard-library versions.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be positive.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t Between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Bernoulli with probability num/den.
+  bool Chance(std::uint64_t num, std::uint64_t den) {
+    return Below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_UTIL_RNG_H_

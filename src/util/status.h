@@ -1,0 +1,152 @@
+#ifndef CCFP_UTIL_STATUS_H_
+#define CCFP_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ccfp {
+
+/// Error category for a failed operation. Mirrors the small set of failure
+/// modes this library can actually produce; no catch-all "unknown".
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed scheme/dependency/parse input
+  kNotFound,          ///< named relation/attribute does not exist
+  kFailedPrecondition,///< operation called on an object in the wrong state
+  kResourceExhausted, ///< step/tuple budget exceeded (e.g., unbounded chase)
+  kUnimplemented,     ///< feature intentionally not provided (documented)
+  kInternal,          ///< invariant violation (a bug in ccfp)
+};
+
+/// Returns the canonical spelling of `code` (e.g., "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. ccfp does not throw exceptions across
+/// API boundaries; fallible operations return `Status` or `Result<T>`.
+///
+/// The OK status carries no allocation; error statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering: "OK" or "InvalidArgument: <msg>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error holder, analogous to arrow::Result. A `Result` is either
+/// a valid T (status().ok()) or an error Status; accessing the value of an
+/// error Result aborts (this is a programming error, not a runtime error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value; mirrors arrow::Result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  /// Moves the value out; usable once.
+  T MoveValue() {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!value_.has_value()) internal::DieOnBadResultAccess(status_);
+}
+
+/// Propagates an error Status from a fallible expression.
+#define CCFP_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::ccfp::Status _ccfp_st = (expr);             \
+    if (!_ccfp_st.ok()) return _ccfp_st;          \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define CCFP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).MoveValue();
+
+#define CCFP_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define CCFP_ASSIGN_OR_RETURN_NAME(x, y) CCFP_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define CCFP_ASSIGN_OR_RETURN(lhs, expr) \
+  CCFP_ASSIGN_OR_RETURN_IMPL(            \
+      CCFP_ASSIGN_OR_RETURN_NAME(_ccfp_result_, __LINE__), lhs, expr)
+
+}  // namespace ccfp
+
+#endif  // CCFP_UTIL_STATUS_H_

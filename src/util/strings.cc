@@ -1,0 +1,43 @@
+#include "util/strings.h"
+
+#include <cctype>
+
+namespace ccfp {
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  return JoinMapped(parts, sep, [](const std::string& s) { return s; });
+}
+
+std::string_view TrimWhitespace(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  std::size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      pieces.emplace_back(TrimWhitespace(text.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return pieces;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,49 @@
+#ifndef CCFP_UTIL_STRINGS_H_
+#define CCFP_UTIL_STRINGS_H_
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccfp {
+
+/// Joins the elements of `parts` with `sep` ("A", "B" -> "A,B").
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Joins `items` with `sep`, rendering each element with `fn`.
+template <typename Container, typename Fn>
+std::string JoinMapped(const Container& items, std::string_view sep, Fn fn) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += sep;
+    first = false;
+    out += fn(item);
+  }
+  return out;
+}
+
+/// Streams all arguments into one string (a minimal StrCat).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  ((os << args), ...);
+  return os.str();
+}
+
+/// Splits `text` on `sep`, trimming ASCII whitespace from each piece.
+/// Empty pieces are kept (so "a,,b" yields three pieces).
+std::vector<std::string> SplitAndTrim(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace ccfp
+
+#endif  // CCFP_UTIL_STRINGS_H_

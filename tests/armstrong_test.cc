@@ -1,0 +1,185 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "armstrong/builder.h"
+#include "axiom/sentence.h"
+#include "core/satisfies.h"
+#include "fd/armstrong_relation.h"
+#include "fd/closure.h"
+#include "util/rng.h"
+
+namespace ccfp {
+namespace {
+
+TEST(ArmstrongTest, FdOnlyArmstrongDatabase) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}});
+  UniverseOptions options;
+  options.max_fd_lhs = 2;
+  options.include_inds = false;
+  std::vector<Dependency> universe = EnumerateUniverse(*scheme, options);
+
+  std::vector<Fd> fds = {MakeFd(*scheme, "R", {"A"}, {"B"})};
+  ChaseOracle oracle(scheme);
+  Result<ArmstrongReport> report =
+      BuildArmstrongDatabase(scheme, fds, {}, universe, oracle);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(ObeysExactly(report->db, universe, report->expected)
+                   .has_value());
+  // Spot checks: A -> B holds, B -> A and A -> C fail.
+  EXPECT_TRUE(Satisfies(report->db, MakeFd(*scheme, "R", {"A"}, {"B"})));
+  EXPECT_FALSE(Satisfies(report->db, MakeFd(*scheme, "R", {"B"}, {"A"})));
+  EXPECT_FALSE(Satisfies(report->db, MakeFd(*scheme, "R", {"A"}, {"C"})));
+}
+
+TEST(ArmstrongTest, MixedFdIndArmstrongDatabase) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+  UniverseOptions options;
+  options.max_fd_lhs = 1;
+  options.max_ind_width = 2;
+  options.include_rds = true;
+  std::vector<Dependency> universe = EnumerateUniverse(*scheme, options);
+
+  std::vector<Fd> fds = {MakeFd(*scheme, "S", {"C"}, {"D"})};
+  std::vector<Ind> inds = {MakeInd(*scheme, "R", {"A"}, "S", {"C"})};
+  ChaseOracle oracle(scheme);
+  Result<ArmstrongReport> report =
+      BuildArmstrongDatabase(scheme, fds, inds, universe, oracle);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(ObeysExactly(report->db, universe, report->expected)
+                   .has_value());
+  EXPECT_TRUE(Satisfies(report->db, inds[0]));
+  EXPECT_FALSE(
+      Satisfies(report->db, MakeInd(*scheme, "S", {"C"}, "R", {"A"})));
+}
+
+TEST(ArmstrongTest, EmptySigmaViolatesEveryNontrivialSentence) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}});
+  UniverseOptions options;
+  options.max_fd_lhs = 1;
+  options.max_ind_width = 2;
+  options.include_rds = true;
+  std::vector<Dependency> universe = EnumerateUniverse(*scheme, options);
+  ChaseOracle oracle(scheme);
+  Result<ArmstrongReport> report =
+      BuildArmstrongDatabase(scheme, {}, {}, universe, oracle);
+  ASSERT_TRUE(report.ok()) << report.status();
+  for (const Dependency& tau : universe) {
+    EXPECT_EQ(Satisfies(report->db, tau), IsTrivial(*scheme, tau))
+        << tau.ToString(*scheme);
+  }
+}
+
+TEST(ArmstrongTest, ExpectedSetEqualsOracleConsequences) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+  UniverseOptions options;
+  options.max_fd_lhs = 1;
+  options.max_ind_width = 1;
+  std::vector<Dependency> universe = EnumerateUniverse(*scheme, options);
+  std::vector<Fd> fds = {MakeFd(*scheme, "R", {"A"}, {"B"})};
+  std::vector<Ind> inds = {MakeInd(*scheme, "R", {"B"}, "S", {"D"})};
+  ChaseOracle oracle(scheme);
+  Result<ArmstrongReport> report =
+      BuildArmstrongDatabase(scheme, fds, inds, universe, oracle);
+  ASSERT_TRUE(report.ok()) << report.status();
+  std::vector<Dependency> sigma_deps = {Dependency(fds[0]),
+                                        Dependency(inds[0])};
+  for (const Dependency& tau : universe) {
+    bool expected =
+        std::find(report->expected.begin(), report->expected.end(), tau) !=
+        report->expected.end();
+    EXPECT_EQ(expected,
+              oracle.Implies(sigma_deps, tau) == ImplicationVerdict::kImplied)
+        << tau.ToString(*scheme);
+  }
+}
+
+// --- Closed-form FD Armstrong relation (Fagin [Fa2]) ----------------------
+
+TEST(ArmstrongRelationTest, ClosedSetsFormAnIntersectionClosedFamily) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}});
+  std::vector<Fd> sigma = {MakeFd(*scheme, "R", {"A"}, {"B"})};
+  Result<std::vector<std::vector<AttrId>>> closed =
+      ClosedAttributeSets(*scheme, 0, sigma);
+  ASSERT_TRUE(closed.ok());
+  // {} closed, {B}, {C}, {B,C}, {A,B}, {A,B,C}; {A} and {A,C} are not.
+  EXPECT_EQ(closed->size(), 6u);
+  for (const auto& w : *closed) {
+    EXPECT_NE(w, (std::vector<AttrId>{0}));
+    EXPECT_NE(w, (std::vector<AttrId>{0, 2}));
+  }
+}
+
+TEST(ArmstrongRelationTest, SatisfiesExactlyTheConsequences) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C", "D"}}});
+  SplitMix64 rng(20240611);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Fd> sigma;
+    for (int i = 0; i < 4; ++i) {
+      std::vector<AttrId> lhs, rhs;
+      for (AttrId a = 0; a < 4; ++a) {
+        if (rng.Chance(1, 3)) lhs.push_back(a);
+        if (rng.Chance(1, 4)) rhs.push_back(a);
+      }
+      if (rhs.empty()) rhs.push_back(static_cast<AttrId>(rng.Below(4)));
+      sigma.push_back(Fd{0, lhs, rhs});
+    }
+    Result<Relation> relation = ArmstrongRelationForFds(*scheme, 0, sigma);
+    ASSERT_TRUE(relation.ok()) << relation.status();
+    Database db(scheme);
+    for (const Tuple& t : relation->tuples()) db.Insert(0, t);
+
+    // Every FD with sorted lhs of size <= 2 and singleton rhs: satisfied
+    // iff implied.
+    for (AttrId x = 0; x < 4; ++x) {
+      for (AttrId y = 0; y < 4; ++y) {
+        Fd unary{0, {x}, {y}};
+        EXPECT_EQ(Satisfies(db, unary), FdImplies(*scheme, sigma, unary))
+            << Dependency(unary).ToString(*scheme);
+        for (AttrId x2 = x + 1; x2 < 4; ++x2) {
+          Fd binary{0, {x, x2}, {y}};
+          if (!Validate(*scheme, binary).ok()) continue;
+          EXPECT_EQ(Satisfies(db, binary),
+                    FdImplies(*scheme, sigma, binary))
+              << Dependency(binary).ToString(*scheme);
+        }
+      }
+    }
+  }
+}
+
+TEST(ArmstrongRelationTest, AgreesWithChaseBasedBuilder) {
+  // Two independent Armstrong constructions must certify the same FD
+  // consequence sets.
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}});
+  std::vector<Fd> sigma = {MakeFd(*scheme, "R", {"A"}, {"B"}),
+                           MakeFd(*scheme, "R", {"B", "C"}, {"A"})};
+  Result<Relation> closed_form = ArmstrongRelationForFds(*scheme, 0, sigma);
+  ASSERT_TRUE(closed_form.ok());
+  Database closed_db(scheme);
+  for (const Tuple& t : closed_form->tuples()) closed_db.Insert(0, t);
+
+  UniverseOptions options;
+  options.max_fd_lhs = 2;
+  options.include_inds = false;
+  std::vector<Dependency> universe = EnumerateUniverse(*scheme, options);
+  ChaseOracle oracle(scheme);
+  Result<ArmstrongReport> chased =
+      BuildArmstrongDatabase(scheme, sigma, {}, universe, oracle);
+  ASSERT_TRUE(chased.ok());
+
+  for (const Dependency& tau : universe) {
+    EXPECT_EQ(Satisfies(closed_db, tau), Satisfies(chased->db, tau))
+        << tau.ToString(*scheme);
+  }
+}
+
+TEST(ArmstrongRelationTest, RejectsOverlyWideRelations) {
+  std::vector<std::string> attrs;
+  for (int i = 0; i < 24; ++i) attrs.push_back("A" + std::to_string(i));
+  SchemePtr scheme = MakeScheme({{"R", attrs}});
+  EXPECT_FALSE(ArmstrongRelationForFds(*scheme, 0, {}).ok());
+}
+
+}  // namespace
+}  // namespace ccfp

@@ -1,0 +1,246 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "axiom/kary.h"
+#include "axiom/oracle.h"
+#include "axiom/sentence.h"
+#include "core/parser.h"
+
+namespace ccfp {
+namespace {
+
+// --- Universe enumeration ---------------------------------------------
+
+TEST(UniverseTest, CountsMatchCombinatorics) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}});
+  UniverseOptions options;
+  options.include_fds = true;
+  options.include_inds = false;
+  options.include_rds = false;
+  options.max_fd_lhs = 1;
+  // lhs in { {}, {A}, {B} }, rhs in {A, B}: 6 FDs.
+  EXPECT_EQ(EnumerateUniverse(*scheme, options).size(), 6u);
+
+  options.include_fds = false;
+  options.include_inds = true;
+  options.max_ind_width = 2;
+  // width 1: 2*2 = 4; width 2: 2 sequences each side = 4; total 8.
+  EXPECT_EQ(EnumerateUniverse(*scheme, options).size(), 8u);
+
+  options.include_inds = false;
+  options.include_rds = true;
+  // ordered attr pairs: 4.
+  EXPECT_EQ(EnumerateUniverse(*scheme, options).size(), 4u);
+}
+
+TEST(UniverseTest, AllMembersValidate) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}, {"S", {"D", "E"}}});
+  UniverseOptions options;
+  options.include_rds = true;
+  options.max_fd_lhs = 2;
+  options.max_ind_width = 2;
+  for (const Dependency& dep : EnumerateUniverse(*scheme, options)) {
+    EXPECT_TRUE(Validate(*scheme, dep).ok()) << dep.ToString(*scheme);
+  }
+}
+
+TEST(UniverseTest, TrivialSubsetIsExactlyTheTautologies) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}});
+  UniverseOptions options;
+  options.include_rds = true;
+  std::vector<Dependency> universe = EnumerateUniverse(*scheme, options);
+  std::vector<Dependency> trivial = TrivialSubset(*scheme, universe);
+  for (const Dependency& dep : trivial) {
+    EXPECT_TRUE(IsTrivial(*scheme, dep));
+  }
+  std::size_t count = 0;
+  for (const Dependency& dep : universe) {
+    if (IsTrivial(*scheme, dep)) ++count;
+  }
+  EXPECT_EQ(trivial.size(), count);
+}
+
+// --- Oracles ---------------------------------------------------------
+
+class OracleTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ = MakeScheme({{"R", {"A", "B", "C"}}, {"S", {"D", "E"}}});
+
+  Dependency Dep(const std::string& text) {
+    return ParseDependency(*scheme_, text).value();
+  }
+};
+
+TEST_F(OracleTest, FdOracleIsExactOnFds) {
+  FdOracle oracle(scheme_);
+  EXPECT_EQ(oracle.Implies({Dep("R: A -> B"), Dep("R: B -> C")},
+                           Dep("R: A -> C")),
+            ImplicationVerdict::kImplied);
+  EXPECT_EQ(oracle.Implies({Dep("R: A -> B")}, Dep("R: B -> A")),
+            ImplicationVerdict::kNotImplied);
+  EXPECT_EQ(oracle.Implies({Dep("R: A -> B")}, Dep("R[A] <= R[B]")),
+            ImplicationVerdict::kUnknown);
+}
+
+TEST_F(OracleTest, IndOracleIsExactOnInds) {
+  IndOracle oracle(scheme_);
+  EXPECT_EQ(oracle.Implies({Dep("R[A] <= S[D]"), Dep("S[D] <= S[E]")},
+                           Dep("R[A] <= S[E]")),
+            ImplicationVerdict::kImplied);
+  EXPECT_EQ(oracle.Implies({Dep("R[A] <= S[D]")}, Dep("S[D] <= R[A]")),
+            ImplicationVerdict::kNotImplied);
+  EXPECT_EQ(oracle.Implies({Dep("R: A -> B")}, Dep("R[A] <= S[D]")),
+            ImplicationVerdict::kUnknown);
+}
+
+TEST_F(OracleTest, ChaseOracleHandlesMixedSets) {
+  SchemePtr scheme = MakeScheme({{"R", {"X", "Y"}}, {"S", {"T", "U"}}});
+  ChaseOracle oracle(scheme);
+  std::vector<Dependency> premises = {
+      ParseDependency(*scheme, "R[X, Y] <= S[T, U]").value(),
+      ParseDependency(*scheme, "S: T -> U").value(),
+  };
+  EXPECT_EQ(oracle.Implies(premises,
+                           ParseDependency(*scheme, "R: X -> Y").value()),
+            ImplicationVerdict::kImplied);
+  EXPECT_EQ(oracle.Implies(premises,
+                           ParseDependency(*scheme, "R: Y -> X").value()),
+            ImplicationVerdict::kNotImplied);
+}
+
+TEST_F(OracleTest, CounterexampleOracleRefutesFromWitness) {
+  Database witness(scheme_);
+  // Satisfies R: A -> B but violates R: B -> A.
+  witness.Insert(0, TupleOfInts({1, 5, 0}));
+  witness.Insert(0, TupleOfInts({2, 5, 0}));
+  std::vector<Database> witnesses;
+  witnesses.push_back(std::move(witness));
+  CounterexampleOracle oracle(std::move(witnesses));
+  EXPECT_EQ(oracle.Implies({Dep("R: A -> B")}, Dep("R: B -> A")),
+            ImplicationVerdict::kNotImplied);
+  // Cannot *prove* implication.
+  EXPECT_EQ(oracle.Implies({Dep("R: A -> B")}, Dep("R: A -> B")),
+            ImplicationVerdict::kUnknown);
+}
+
+TEST_F(OracleTest, ChainOracleTakesFirstDefiniteAnswer) {
+  CounterexampleOracle empty({});
+  FdOracle fd_oracle(scheme_);
+  ChainOracle chain({&empty, &fd_oracle});
+  EXPECT_EQ(chain.Implies({Dep("R: A -> B")}, Dep("R: A -> B")),
+            ImplicationVerdict::kImplied);
+  EXPECT_EQ(chain.Implies({Dep("R: A -> B")}, Dep("R[A] <= R[B]")),
+            ImplicationVerdict::kUnknown);
+  EXPECT_NE(chain.name().find("chain"), std::string::npos);
+}
+
+TEST_F(OracleTest, UnaryFiniteOracleUsesCountingRules) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}});
+  UnaryFiniteOracle oracle(scheme);
+  std::vector<Dependency> premises = {
+      ParseDependency(*scheme, "R: A -> B").value(),
+      ParseDependency(*scheme, "R[A] <= R[B]").value(),
+  };
+  EXPECT_EQ(oracle.Implies(premises,
+                           ParseDependency(*scheme, "R[B] <= R[A]").value()),
+            ImplicationVerdict::kImplied);
+  EXPECT_EQ(oracle.Implies({premises[0]},
+                           ParseDependency(*scheme, "R[B] <= R[A]").value()),
+            ImplicationVerdict::kNotImplied);
+}
+
+// --- k-ary closure machinery ------------------------------------------
+
+TEST_F(OracleTest, KaryClosureFdExample) {
+  // FDs have a 2-ary complete axiomatization [Ar], so the 2-ary closure of
+  // an FD set within the FD universe equals its full consequence set...
+  // but k-ary *closure* as defined in Theorem 5.1 uses |T| <= k subsets of
+  // the *closure*, which for FDs reaches everything anyway (Armstrong's
+  // rules are at most 2-ary). Verify on a small example.
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}});
+  UniverseOptions options;
+  options.max_fd_lhs = 2;
+  options.include_inds = false;
+  std::vector<Dependency> universe = EnumerateUniverse(*scheme, options);
+
+  FdOracle oracle(scheme);
+  std::vector<Dependency> start = {
+      ParseDependency(*scheme, "R: A -> B").value(),
+      ParseDependency(*scheme, "R: B -> C").value(),
+  };
+  KaryStats stats;
+  std::vector<Dependency> closure =
+      KaryClosure(universe, start, oracle, 2, &stats);
+  EXPECT_FALSE(stats.saw_unknown);
+
+  // The closure must contain exactly the FD consequences present in the
+  // universe.
+  for (const Dependency& tau : universe) {
+    bool in_closure =
+        std::find(closure.begin(), closure.end(), tau) != closure.end();
+    bool implied =
+        oracle.Implies(start, tau) == ImplicationVerdict::kImplied;
+    EXPECT_EQ(in_closure, implied) << tau.ToString(*scheme);
+  }
+}
+
+TEST_F(OracleTest, FindKaryEscapeDetectsUnclosedSets) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}});
+  UniverseOptions options;
+  options.max_fd_lhs = 1;
+  options.include_inds = false;
+  std::vector<Dependency> universe = EnumerateUniverse(*scheme, options);
+  FdOracle oracle(scheme);
+  // {A -> B, B -> C} is not closed under 2-ary implication: A -> C escapes.
+  std::vector<Dependency> gamma = {
+      ParseDependency(*scheme, "R: A -> B").value(),
+      ParseDependency(*scheme, "R: B -> C").value(),
+  };
+  auto escape = FindKaryEscape(universe, gamma, oracle, 2);
+  ASSERT_TRUE(escape.has_value());
+  EXPECT_EQ(oracle.Implies(escape->premises, escape->conclusion),
+            ImplicationVerdict::kImplied);
+  EXPECT_FALSE(escape->ToString(*scheme).empty());
+}
+
+TEST_F(OracleTest, FullEscapeFindsUnboundedConsequence) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}});
+  UniverseOptions options;
+  options.max_fd_lhs = 1;
+  options.include_inds = true;
+  options.max_ind_width = 1;
+  std::vector<Dependency> universe = EnumerateUniverse(*scheme, options);
+  UnaryFiniteOracle oracle(scheme);
+  std::vector<Dependency> gamma = {
+      ParseDependency(*scheme, "R: A -> B").value(),
+      ParseDependency(*scheme, "R[A] <= R[B]").value(),
+  };
+  auto escape = FindFullEscape(universe, gamma, oracle);
+  ASSERT_TRUE(escape.has_value());  // e.g. R[B] <= R[A]
+}
+
+TEST_F(OracleTest, Corollary52HoldsForArmstrongCounterexampleShape) {
+  // The Section 5 warning example: T_k = {A1 -> A2, ..., A_{k+1} -> A_{k+2}}
+  // with target A1 -> A_{k+2} satisfies (i) and (ii) but NOT (iii) — FDs
+  // have a 2-ary axiomatization, so Corollary 5.2 must not apply.
+  SchemePtr scheme =
+      MakeScheme({{"R", {"A1", "A2", "A3", "A4"}}});
+  UniverseOptions options;
+  options.max_fd_lhs = 1;
+  options.include_inds = false;
+  std::vector<Dependency> universe = EnumerateUniverse(*scheme, options);
+  FdOracle oracle(scheme);
+  std::vector<Dependency> sigma = {
+      ParseDependency(*scheme, "R: A1 -> A2").value(),
+      ParseDependency(*scheme, "R: A2 -> A3").value(),
+      ParseDependency(*scheme, "R: A3 -> A4").value(),
+  };
+  Dependency target = ParseDependency(*scheme, "R: A1 -> A4").value();
+  auto failure = CheckCorollary52(universe, sigma, target, oracle,
+                                  /*k=*/2, *scheme);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_NE(failure->find("(iii)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccfp

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/satisfies.h"
+#include "fd/closure.h"
+#include "ind/implication.h"
+#include "search/bounded.h"
+#include "util/rng.h"
+
+namespace ccfp {
+namespace {
+
+class BoundedSearchTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+
+  Dependency Dep(const std::string& text) {
+    return ParseDependency(*scheme_, text).value();
+  }
+};
+
+TEST_F(BoundedSearchTest, FindsFdCounterexample) {
+  // {A -> B} does not imply B -> A; a 2-tuple, 2-value counterexample
+  // exists.
+  Result<BoundedSearchResult> result = FindCounterexample(
+      scheme_, {Dep("R: A -> B")}, Dep("R: B -> A"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->counterexample.has_value());
+  const Database& db = *result->counterexample;
+  EXPECT_TRUE(Satisfies(db, Dep("R: A -> B")));
+  EXPECT_FALSE(Satisfies(db, Dep("R: B -> A")));
+}
+
+TEST_F(BoundedSearchTest, ExhaustsOnActualImplication) {
+  Result<BoundedSearchResult> result = FindCounterexample(
+      scheme_, {Dep("R: A -> B")}, Dep("R: A -> B"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->counterexample.has_value());
+  EXPECT_TRUE(result->exhausted);
+}
+
+TEST_F(BoundedSearchTest, FindsIndCounterexample) {
+  Result<BoundedSearchResult> result = FindCounterexample(
+      scheme_, {Dep("R[A] <= S[C]")}, Dep("S[C] <= R[A]"));
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->counterexample.has_value());
+  EXPECT_TRUE(Satisfies(*result->counterexample, Dep("R[A] <= S[C]")));
+  EXPECT_FALSE(Satisfies(*result->counterexample, Dep("S[C] <= R[A]")));
+}
+
+TEST_F(BoundedSearchTest, RespectsCandidateBudget) {
+  BoundedSearchOptions options;
+  options.max_candidates = 3;
+  options.max_tuples_per_relation = 2;
+  Result<BoundedSearchResult> result = FindCounterexample(
+      scheme_, {Dep("R: A -> B")}, Dep("R: A -> B"), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exhausted);
+}
+
+TEST_F(BoundedSearchTest, MixedTheoremFourFourStaysCounterexampleFree) {
+  // Theorem 4.4: {R: A -> B, R[A] <= R[B]} |=fin R[B] <= R[A], so no
+  // *finite* counterexample exists at any bound — the bounded search must
+  // come back empty (this is the finite-implication side of the story).
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}});
+  std::vector<Dependency> premises = {
+      ParseDependency(*scheme, "R: A -> B").value(),
+      ParseDependency(*scheme, "R[A] <= R[B]").value(),
+  };
+  Dependency conclusion = ParseDependency(*scheme, "R[B] <= R[A]").value();
+  BoundedSearchOptions options;
+  options.max_tuples_per_relation = 3;
+  options.domain_size = 3;
+  Result<BoundedSearchResult> result =
+      FindCounterexample(scheme, premises, conclusion, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->exhausted);
+  EXPECT_FALSE(result->counterexample.has_value());
+}
+
+// Differential property test: for random small FD/IND instances, the
+// bounded search never contradicts the exact engines (a counterexample
+// refutes; absence below the bound proves nothing).
+class BoundedDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundedDifferentialTest, NeverContradictsFdEngine) {
+  SplitMix64 rng(GetParam());
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}});
+  std::vector<Fd> sigma;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<AttrId> lhs, rhs;
+    for (AttrId a = 0; a < 3; ++a) {
+      if (rng.Chance(1, 2)) lhs.push_back(a);
+      if (rng.Chance(1, 3)) rhs.push_back(a);
+    }
+    if (rhs.empty()) rhs.push_back(static_cast<AttrId>(rng.Below(3)));
+    sigma.push_back(Fd{0, lhs, rhs});
+  }
+  std::vector<AttrId> t_lhs, t_rhs;
+  for (AttrId a = 0; a < 3; ++a) {
+    if (rng.Chance(1, 2)) t_lhs.push_back(a);
+    if (rng.Chance(1, 2)) t_rhs.push_back(a);
+  }
+  if (t_rhs.empty()) t_rhs.push_back(0);
+  Fd target{0, t_lhs, t_rhs};
+
+  std::vector<Dependency> premises;
+  for (const Fd& fd : sigma) premises.push_back(Dependency(fd));
+  Result<BoundedSearchResult> result =
+      FindCounterexample(scheme, premises, Dependency(target));
+  ASSERT_TRUE(result.ok());
+  bool implied = FdImplies(*scheme, sigma, target);
+  if (result->counterexample.has_value()) {
+    EXPECT_FALSE(implied) << "bounded counterexample vs implied FD";
+  }
+  // FDs over a 3-attribute scheme: a 2-tuple counterexample always exists
+  // when not implied (the standard two-tuple Armstrong argument), so the
+  // search must find one.
+  if (!implied) {
+    EXPECT_TRUE(result->counterexample.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedDifferentialTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+TEST_F(BoundedSearchTest, AgreesWithIndEngineOnUnaryInstances) {
+  std::vector<Dependency> premises = {Dep("R[A] <= S[C]"),
+                                      Dep("S[C] <= S[D]")};
+  IndImplication engine(
+      scheme_, {premises[0].ind(), premises[1].ind()});
+  for (const char* text :
+       {"R[A] <= S[D]", "R[B] <= S[C]", "S[D] <= R[A]", "R[A] <= S[C]"}) {
+    Dependency target = Dep(text);
+    bool implied = engine.Implies(target.ind());
+    Result<BoundedSearchResult> result =
+        FindCounterexample(scheme_, premises, target);
+    ASSERT_TRUE(result.ok());
+    if (implied) {
+      EXPECT_FALSE(result->counterexample.has_value()) << text;
+    } else {
+      // Theorem 3.1: finite implication = implication for INDs, and the
+      // Rule (*) counterexamples are small — the bound suffices here.
+      EXPECT_TRUE(result->counterexample.has_value()) << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccfp

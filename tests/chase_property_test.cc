@@ -1,0 +1,162 @@
+// Differential property tests for the FD+IND chase: random *acyclic*
+// instances (where termination is guaranteed) cross-checked against the
+// bounded-model searcher and the unary engines.
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "core/satisfies.h"
+#include "interact/unary_finite.h"
+#include "search/bounded.h"
+#include "util/rng.h"
+
+namespace ccfp {
+namespace {
+
+struct AcyclicInstance {
+  SchemePtr scheme;
+  std::vector<Fd> fds;
+  std::vector<Ind> inds;
+};
+
+// Random instance whose IND graph only points from lower-numbered to
+// higher-numbered relations — acyclic, so the chase terminates.
+AcyclicInstance MakeAcyclic(std::uint64_t seed, std::size_t relations,
+                            std::size_t arity, bool unary_only) {
+  SplitMix64 rng(seed);
+  std::vector<std::pair<std::string, std::vector<std::string>>> rels;
+  for (std::size_t r = 0; r < relations; ++r) {
+    std::vector<std::string> attrs;
+    for (std::size_t a = 0; a < arity; ++a) {
+      attrs.push_back(std::string(1, static_cast<char>('A' + a)));
+    }
+    rels.emplace_back("R" + std::to_string(r), attrs);
+  }
+  AcyclicInstance instance;
+  instance.scheme = MakeScheme(rels);
+  // FDs: a few unary ones per relation.
+  for (std::size_t r = 0; r < relations; ++r) {
+    for (int i = 0; i < 2; ++i) {
+      AttrId x = static_cast<AttrId>(rng.Below(arity));
+      AttrId y = static_cast<AttrId>(rng.Below(arity));
+      if (x == y) continue;
+      instance.fds.push_back(Fd{static_cast<RelId>(r), {x}, {y}});
+    }
+  }
+  // INDs: forward edges only.
+  std::size_t count = 1 + rng.Below(4);
+  for (std::size_t i = 0; i < count && relations >= 2; ++i) {
+    RelId r1 = static_cast<RelId>(rng.Below(relations - 1));
+    RelId r2 = static_cast<RelId>(r1 + 1 + rng.Below(relations - r1 - 1));
+    std::size_t width = unary_only ? 1 : 1 + rng.Below(2);
+    std::vector<AttrId> all(arity);
+    for (AttrId a = 0; a < arity; ++a) all[a] = a;
+    for (std::size_t j = arity; j > 1; --j) {
+      std::swap(all[j - 1], all[rng.Below(j)]);
+    }
+    std::vector<AttrId> lhs(all.begin(), all.begin() + width);
+    for (std::size_t j = arity; j > 1; --j) {
+      std::swap(all[j - 1], all[rng.Below(j)]);
+    }
+    std::vector<AttrId> rhs(all.begin(), all.begin() + width);
+    instance.inds.push_back(Ind{r1, lhs, r2, rhs});
+  }
+  return instance;
+}
+
+class ChasePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChasePropertyTest, FixpointSatisfiesAllDependencies) {
+  AcyclicInstance instance = MakeAcyclic(GetParam(), 3, 3, false);
+  Chase chase(instance.scheme, instance.fds, instance.inds);
+  Database seed(instance.scheme);
+  SplitMix64 rng(GetParam() * 31 + 7);
+  std::uint64_t next_null = 1;
+  for (RelId rel = 0; rel < instance.scheme->size(); ++rel) {
+    for (int i = 0; i < 2; ++i) {
+      Tuple t;
+      for (std::size_t a = 0; a < 3; ++a) {
+        t.push_back(Value::Null(next_null++));
+      }
+      seed.Insert(rel, std::move(t));
+    }
+  }
+  Result<ChaseResult> result = chase.Run(std::move(seed));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->outcome, ChaseOutcome::kFixpoint);
+  for (const Fd& fd : instance.fds) {
+    EXPECT_TRUE(Satisfies(result->db, fd))
+        << Dependency(fd).ToString(*instance.scheme);
+  }
+  for (const Ind& ind : instance.inds) {
+    EXPECT_TRUE(Satisfies(result->db, ind))
+        << Dependency(ind).ToString(*instance.scheme);
+  }
+}
+
+TEST_P(ChasePropertyTest, ChaseImpliesNeverContradictsBoundedSearch) {
+  AcyclicInstance instance = MakeAcyclic(GetParam(), 3, 2, false);
+  std::vector<Dependency> premises;
+  for (const Fd& fd : instance.fds) premises.push_back(Dependency(fd));
+  for (const Ind& ind : instance.inds) premises.push_back(Dependency(ind));
+
+  SplitMix64 rng(GetParam() * 101 + 13);
+  // A few random targets per instance.
+  for (int t = 0; t < 3; ++t) {
+    RelId rel = static_cast<RelId>(rng.Below(instance.scheme->size()));
+    AttrId x = static_cast<AttrId>(rng.Below(2));
+    Dependency target =
+        rng.Chance(1, 2)
+            ? Dependency(Fd{rel, {x}, {static_cast<AttrId>(1 - x)}})
+            : Dependency(Ind{
+                  rel,
+                  {x},
+                  static_cast<RelId>(rng.Below(instance.scheme->size())),
+                  {static_cast<AttrId>(rng.Below(2))}});
+    if (!Validate(*instance.scheme, target).ok()) continue;
+    Result<bool> implied = ChaseImplies(instance.scheme, instance.fds,
+                                        instance.inds, target);
+    if (!implied.ok()) continue;  // budget (should not happen: acyclic)
+    Result<BoundedSearchResult> search =
+        FindCounterexample(instance.scheme, premises, target);
+    ASSERT_TRUE(search.ok());
+    if (search->counterexample.has_value()) {
+      EXPECT_FALSE(*implied)
+          << "chase claims implied but a finite counterexample exists: "
+          << target.ToString(*instance.scheme) << "\n"
+          << search->counterexample->ToString();
+    }
+  }
+}
+
+TEST_P(ChasePropertyTest, UnaryUnrestrictedAgreesWithChaseOnAcyclic) {
+  AcyclicInstance instance = MakeAcyclic(GetParam(), 3, 3, true);
+  UnaryUnrestrictedImplication engine(instance.scheme, instance.fds,
+                                      instance.inds);
+  SplitMix64 rng(GetParam() * 7 + 3);
+  for (int t = 0; t < 4; ++t) {
+    RelId rel = static_cast<RelId>(rng.Below(instance.scheme->size()));
+    AttrId x = static_cast<AttrId>(rng.Below(3));
+    AttrId y = static_cast<AttrId>(rng.Below(3));
+    if (x == y) continue;
+    Dependency target =
+        rng.Chance(1, 2)
+            ? Dependency(Fd{rel, {x}, {y}})
+            : Dependency(Ind{
+                  rel,
+                  {x},
+                  static_cast<RelId>(rng.Below(instance.scheme->size())),
+                  {y}});
+    Result<bool> via_chase = ChaseImplies(instance.scheme, instance.fds,
+                                          instance.inds, target);
+    if (!via_chase.ok()) continue;
+    EXPECT_EQ(engine.Implies(target), *via_chase)
+        << target.ToString(*instance.scheme);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChasePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace ccfp

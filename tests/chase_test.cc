@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "chase/emvd_chase.h"
+#include "chase/ind_chase.h"
+#include "core/parser.h"
+#include "core/satisfies.h"
+
+namespace ccfp {
+namespace {
+
+// --- Rule (*) IND chase --------------------------------------------------
+
+TEST(IndChaseTest, PaperConstructionDecidesSimpleChain) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+  std::vector<Ind> sigma = {MakeInd(*scheme, "R", {"A"}, "S", {"C"})};
+  Result<IndChaseResult> yes = IndChaseDecide(
+      scheme, sigma, MakeInd(*scheme, "R", {"A"}, "S", {"C"}));
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes->implied);
+  Result<IndChaseResult> no = IndChaseDecide(
+      scheme, sigma, MakeInd(*scheme, "R", {"B"}, "S", {"C"}));
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no->implied);
+}
+
+TEST(IndChaseTest, EntriesStayInZeroToM) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme, "R", {"A", "B"}, "S", {"C", "D"}),
+      MakeInd(*scheme, "S", {"D"}, "R", {"A"}),
+  };
+  Result<IndChaseResult> result = IndChaseDecide(
+      scheme, sigma, MakeInd(*scheme, "R", {"A", "B"}, "S", {"C", "D"}));
+  ASSERT_TRUE(result.ok());
+  const std::int64_t m = 2;  // target width
+  for (RelId rel = 0; rel < scheme->size(); ++rel) {
+    for (const Tuple& t : result->db.relation(rel).tuples()) {
+      for (const Value& v : t) {
+        ASSERT_TRUE(v.is_int());
+        EXPECT_GE(v.as_int(), 0);
+        EXPECT_LE(v.as_int(), m);
+      }
+    }
+  }
+}
+
+TEST(IndChaseTest, FixpointSaturatesExistingDatabase) {
+  SchemePtr scheme = MakeScheme({{"R", {"A"}}, {"S", {"B"}}});
+  Database db(scheme);
+  db.Insert(0, TupleOfInts({7}));
+  std::vector<Ind> sigma = {MakeInd(*scheme, "R", {"A"}, "S", {"B"})};
+  Result<std::uint64_t> added = IndChaseFixpoint(db, sigma);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(*added, 1u);
+  EXPECT_TRUE(db.relation(1).Contains(TupleOfInts({7})));
+  EXPECT_TRUE(Satisfies(db, sigma[0]));
+}
+
+TEST(IndChaseTest, BudgetTripsOnLargeConstructions) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}});
+  // Rotation IND: generates many tuples under Rule (*).
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme, "R", {"A", "B", "C"}, "R", {"B", "C", "A"})};
+  IndChaseOptions options;
+  options.max_tuples = 1;
+  Result<IndChaseResult> result = IndChaseDecide(
+      scheme, sigma,
+      MakeInd(*scheme, "R", {"A", "B", "C"}, "R", {"C", "A", "B"}), options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- FD+IND chase ------------------------------------------------------
+
+class ChaseTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+};
+
+TEST_F(ChaseTest, FdMergesNulls) {
+  Database db(scheme_);
+  db.Insert(0, {Value::Int(1), Value::Null(1)});
+  db.Insert(0, {Value::Int(1), Value::Null(2)});
+  Chase chase(scheme_, {MakeFd(*scheme_, "R", {"A"}, {"B"})}, {});
+  Result<ChaseResult> result = chase.Run(db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->outcome, ChaseOutcome::kFixpoint);
+  EXPECT_EQ(result->db.relation(0).size(), 1u);
+  EXPECT_GE(result->fd_merges, 1u);
+}
+
+TEST_F(ChaseTest, FdConstantClashFails) {
+  Database db(scheme_);
+  db.Insert(0, TupleOfInts({1, 10}));
+  db.Insert(0, TupleOfInts({1, 20}));
+  Chase chase(scheme_, {MakeFd(*scheme_, "R", {"A"}, {"B"})}, {});
+  Result<ChaseResult> result = chase.Run(db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ChaseOutcome::kFailed);
+}
+
+TEST_F(ChaseTest, FdResolvesNullToConstant) {
+  Database db(scheme_);
+  db.Insert(0, {Value::Int(1), Value::Int(42)});
+  db.Insert(0, {Value::Int(1), Value::Null(5)});
+  Chase chase(scheme_, {MakeFd(*scheme_, "R", {"A"}, {"B"})}, {});
+  Result<ChaseResult> result = chase.Run(db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ChaseOutcome::kFixpoint);
+  ASSERT_EQ(result->db.relation(0).size(), 1u);
+  EXPECT_EQ(result->db.relation(0).tuples()[0][1], Value::Int(42));
+}
+
+TEST_F(ChaseTest, IndCreatesTupleWithFreshNulls) {
+  Database db(scheme_);
+  db.Insert(0, TupleOfInts({1, 2}));
+  Chase chase(scheme_, {}, {MakeInd(*scheme_, "R", {"A"}, "S", {"C"})});
+  Result<ChaseResult> result = chase.Run(db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, ChaseOutcome::kFixpoint);
+  ASSERT_EQ(result->db.relation(1).size(), 1u);
+  const Tuple& t = result->db.relation(1).tuples()[0];
+  EXPECT_EQ(t[0], Value::Int(1));
+  EXPECT_TRUE(t[1].is_null());  // D padded with a fresh null
+  EXPECT_TRUE(Satisfies(result->db, MakeInd(*scheme_, "R", {"A"}, "S",
+                                            {"C"})));
+}
+
+TEST_F(ChaseTest, CyclicIndsExhaustBudget) {
+  // R[A] <= R[B] with an FD forcing divergence is fine, but a plain
+  // "shift" cycle with fresh nulls never closes: R[A] <= S[C], S[D] <= R[A]
+  // keeps manufacturing tuples.
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+  std::vector<Ind> inds = {MakeInd(*scheme, "R", {"B"}, "S", {"C"}),
+                           MakeInd(*scheme, "S", {"D"}, "R", {"B"})};
+  Database db(scheme);
+  db.Insert(0, {Value::Null(1), Value::Null(2)});
+  Chase chase(scheme, {}, inds);
+  ChaseOptions options;
+  options.max_steps = 200;
+  options.max_tuples = 100;
+  Result<ChaseResult> result = chase.Run(db, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ChaseTest, FixpointSatisfiesAllDependencies) {
+  Database db(scheme_);
+  db.Insert(0, {Value::Null(1), Value::Null(2)});
+  db.Insert(0, {Value::Null(1), Value::Null(3)});
+  std::vector<Fd> fds = {MakeFd(*scheme_, "R", {"A"}, {"B"}),
+                         MakeFd(*scheme_, "S", {"C"}, {"D"})};
+  std::vector<Ind> inds = {
+      MakeInd(*scheme_, "R", {"A", "B"}, "S", {"C", "D"})};
+  Chase chase(scheme_, fds, inds);
+  Result<ChaseResult> result = chase.Run(db);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outcome, ChaseOutcome::kFixpoint);
+  for (const Fd& fd : fds) EXPECT_TRUE(Satisfies(result->db, fd));
+  for (const Ind& ind : inds) EXPECT_TRUE(Satisfies(result->db, ind));
+}
+
+// --- ChaseImplies (semi-decision of |=) -------------------------------
+
+TEST_F(ChaseTest, ChaseImpliesProposition41) {
+  // {R[A,B] <= S[C,D], S: C -> D} |= R: A -> B  (Proposition 4.1 with
+  // X = A, Y = B, T = C, U = D).
+  std::vector<Fd> fds = {MakeFd(*scheme_, "S", {"C"}, {"D"})};
+  std::vector<Ind> inds = {
+      MakeInd(*scheme_, "R", {"A", "B"}, "S", {"C", "D"})};
+  Result<bool> implied = ChaseImplies(
+      scheme_, fds, inds, Dependency(MakeFd(*scheme_, "R", {"A"}, {"B"})));
+  ASSERT_TRUE(implied.ok()) << implied.status();
+  EXPECT_TRUE(*implied);
+  // And not the converse FD.
+  Result<bool> not_implied = ChaseImplies(
+      scheme_, fds, inds, Dependency(MakeFd(*scheme_, "R", {"B"}, {"A"})));
+  ASSERT_TRUE(not_implied.ok());
+  EXPECT_FALSE(*not_implied);
+}
+
+TEST_F(ChaseTest, ChaseImpliesProposition43Rd) {
+  // {R[XY] <= S[TU], R[XZ] <= S[TU], S: T -> U} |= R[Y = Z].
+  SchemePtr scheme = MakeScheme({{"R", {"X", "Y", "Z"}}, {"S", {"T", "U"}}});
+  std::vector<Fd> fds = {MakeFd(*scheme, "S", {"T"}, {"U"})};
+  std::vector<Ind> inds = {
+      MakeInd(*scheme, "R", {"X", "Y"}, "S", {"T", "U"}),
+      MakeInd(*scheme, "R", {"X", "Z"}, "S", {"T", "U"})};
+  Result<bool> implied = ChaseImplies(
+      scheme, fds, inds, Dependency(MakeRd(*scheme, "R", {"Y"}, {"Z"})));
+  ASSERT_TRUE(implied.ok()) << implied.status();
+  EXPECT_TRUE(*implied);
+}
+
+TEST_F(ChaseTest, ChaseDivergesOnTheorem44Gadget) {
+  // Theorem 4.4's gadget {R: A -> B, R[A] <= R[B]} has only *infinite*
+  // countermodels for its conclusions, so the chase cannot terminate: its
+  // universal model is the infinite Figure 4.1 relation. The budgeted
+  // chase must report ResourceExhausted rather than guess.
+  std::vector<Fd> fds = {MakeFd(*scheme_, "R", {"A"}, {"B"})};
+  std::vector<Ind> inds = {MakeInd(*scheme_, "R", {"A"}, "R", {"B"})};
+  ChaseOptions options;
+  options.max_steps = 500;
+  options.max_tuples = 500;
+  Result<bool> ind_concl = ChaseImplies(
+      scheme_, fds, inds,
+      Dependency(MakeInd(*scheme_, "R", {"B"}, "R", {"A"})), options);
+  ASSERT_FALSE(ind_concl.ok());
+  EXPECT_EQ(ind_concl.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ChaseTest, ChaseAgreesWithIndEngineOnPureInds) {
+  SchemePtr scheme = MakeScheme(
+      {{"R", {"A", "B"}}, {"S", {"C", "D"}}, {"T", {"E", "F"}}});
+  std::vector<Ind> inds = {
+      MakeInd(*scheme, "R", {"A", "B"}, "S", {"C", "D"}),
+      MakeInd(*scheme, "S", {"D", "C"}, "T", {"E", "F"}),
+  };
+  for (const Ind& target :
+       {MakeInd(*scheme, "R", {"B", "A"}, "T", {"E", "F"}),
+        MakeInd(*scheme, "R", {"A"}, "T", {"E"}),
+        MakeInd(*scheme, "R", {"A"}, "T", {"F"})}) {
+    Result<bool> via_chase =
+        ChaseImplies(scheme, {}, inds, Dependency(target));
+    ASSERT_TRUE(via_chase.ok());
+    Result<IndChaseResult> via_rule_star =
+        IndChaseDecide(scheme, inds, target);
+    ASSERT_TRUE(via_rule_star.ok());
+    EXPECT_EQ(*via_chase, via_rule_star->implied)
+        << Dependency(target).ToString(*scheme);
+  }
+}
+
+TEST_F(ChaseTest, ChaseIsDeterministic) {
+  // Same input, same output: fresh-null numbering, worklist order, and
+  // merge tie-breaking are all deterministic.
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+  std::vector<Fd> fds = {MakeFd(*scheme, "S", {"C"}, {"D"})};
+  std::vector<Ind> inds = {
+      MakeInd(*scheme, "R", {"A", "B"}, "S", {"C", "D"})};
+  Chase chase(scheme, fds, inds);
+  auto run_once = [&]() {
+    Database seed(scheme);
+    seed.Insert(0, {Value::Null(1), Value::Null(2)});
+    seed.Insert(0, {Value::Null(1), Value::Null(3)});
+    Result<ChaseResult> result = chase.Run(std::move(seed));
+    EXPECT_TRUE(result.ok());
+    return result->db;
+  };
+  Database first = run_once();
+  Database second = run_once();
+  EXPECT_TRUE(first == second);
+  EXPECT_EQ(first.ToString(), second.ToString());
+}
+
+// --- EMVD chase -----------------------------------------------------------
+
+TEST(EmvdChaseTest, SingleEmvdImpliesItself) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}});
+  Emvd e = MakeEmvd(*scheme, "R", {"A"}, {"B"}, {"C"});
+  Result<bool> implied = EmvdChaseImplies(scheme, {e}, e);
+  ASSERT_TRUE(implied.ok()) << implied.status();
+  EXPECT_TRUE(*implied);
+}
+
+TEST(EmvdChaseTest, IndependentEmvdNotImplied) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C", "D"}}});
+  Emvd premise = MakeEmvd(*scheme, "R", {"A"}, {"B"}, {"C"});
+  Emvd target = MakeEmvd(*scheme, "R", {"B"}, {"C"}, {"D"});
+  Result<bool> implied = EmvdChaseImplies(scheme, {premise}, target);
+  // Either the chase reaches a fixpoint and refutes, or the budget trips;
+  // it must never claim implication.
+  if (implied.ok()) {
+    EXPECT_FALSE(*implied);
+  } else {
+    EXPECT_EQ(implied.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(EmvdChaseTest, FixpointSatisfiesSigma) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}});
+  Emvd e = MakeEmvd(*scheme, "R", {"A"}, {"B"}, {"C"});
+  Database db(scheme);
+  db.Insert(0, TupleOfInts({1, 10, 100}));
+  db.Insert(0, TupleOfInts({1, 20, 200}));
+  Result<std::uint64_t> added = EmvdChaseFixpoint(db, {e});
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_TRUE(Satisfies(db, e));
+  EXPECT_EQ(*added, 2u);  // the two missing cross tuples
+}
+
+}  // namespace
+}  // namespace ccfp

@@ -1,0 +1,296 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "core/satisfies.h"
+#include "fd/armstrong_rules.h"
+#include "fd/closure.h"
+#include "fd/keys.h"
+#include "fd/minimal_cover.h"
+#include "util/rng.h"
+
+namespace ccfp {
+namespace {
+
+class FdTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ = MakeScheme({{"R", {"A", "B", "C", "D", "E"}}});
+
+  Fd F(const std::vector<std::string>& lhs,
+       const std::vector<std::string>& rhs) {
+    return MakeFd(*scheme_, "R", lhs, rhs);
+  }
+};
+
+TEST_F(FdTest, ClosureTextbookExample) {
+  // A -> B, B -> C: closure(A) = {A, B, C}.
+  std::vector<Fd> sigma = {F({"A"}, {"B"}), F({"B"}, {"C"})};
+  FdClosure closure(*scheme_, 0, sigma);
+  std::vector<AttrId> result = closure.Closure({0});
+  EXPECT_EQ(result, (std::vector<AttrId>{0, 1, 2}));
+}
+
+TEST_F(FdTest, ClosureWithCompositeLhs) {
+  // AB -> C, C -> D; closure(A) = {A}; closure(AB) = {A,B,C,D}.
+  std::vector<Fd> sigma = {F({"A", "B"}, {"C"}), F({"C"}, {"D"})};
+  FdClosure closure(*scheme_, 0, sigma);
+  EXPECT_EQ(closure.Closure({0}), (std::vector<AttrId>{0}));
+  EXPECT_EQ(closure.Closure({0, 1}), (std::vector<AttrId>{0, 1, 2, 3}));
+}
+
+TEST_F(FdTest, EmptyLhsFdsFireUnconditionally) {
+  // {} -> A, A -> B: closure({}) = {A, B}.
+  std::vector<Fd> sigma = {F({}, {"A"}), F({"A"}, {"B"})};
+  FdClosure closure(*scheme_, 0, sigma);
+  EXPECT_EQ(closure.Closure({}), (std::vector<AttrId>{0, 1}));
+}
+
+TEST_F(FdTest, ImpliesDecomposesAndAugments) {
+  std::vector<Fd> sigma = {F({"A"}, {"B", "C"})};
+  EXPECT_TRUE(FdImplies(*scheme_, sigma, F({"A"}, {"B"})));
+  EXPECT_TRUE(FdImplies(*scheme_, sigma, F({"A", "D"}, {"B", "D"})));
+  EXPECT_FALSE(FdImplies(*scheme_, sigma, F({"B"}, {"A"})));
+  EXPECT_TRUE(FdImplies(*scheme_, sigma, F({"A"}, {"A"})));  // trivial
+}
+
+TEST_F(FdTest, ImpliesIgnoresOtherRelations) {
+  SchemePtr two = MakeScheme({{"R", {"A", "B"}}, {"S", {"A", "B"}}});
+  std::vector<Fd> sigma = {MakeFd(*two, "S", {"A"}, {"B"})};
+  EXPECT_FALSE(FdImplies(*two, sigma, MakeFd(*two, "R", {"A"}, {"B"})));
+}
+
+TEST_F(FdTest, ClosureMonotoneIdempotentExtensive) {
+  SplitMix64 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Fd> sigma;
+    for (int i = 0; i < 6; ++i) {
+      std::vector<AttrId> lhs, rhs;
+      for (AttrId a = 0; a < 5; ++a) {
+        if (rng.Chance(1, 3)) lhs.push_back(a);
+        if (rng.Chance(1, 3)) rhs.push_back(a);
+      }
+      sigma.push_back(Fd{0, lhs, rhs});
+    }
+    FdClosure closure(*scheme_, 0, sigma);
+    std::vector<AttrId> start;
+    for (AttrId a = 0; a < 5; ++a) {
+      if (rng.Chance(1, 2)) start.push_back(a);
+    }
+    std::vector<AttrId> once = closure.Closure(start);
+    // Extensive: start <= closure(start).
+    for (AttrId a : start) {
+      EXPECT_TRUE(std::binary_search(once.begin(), once.end(), a));
+    }
+    // Idempotent: closure(closure(start)) == closure(start).
+    EXPECT_EQ(closure.Closure(once), once);
+    // Monotone: closure(start u {x}) includes closure(start).
+    std::vector<AttrId> bigger = start;
+    AttrId extra = static_cast<AttrId>(rng.Below(5));
+    if (std::find(bigger.begin(), bigger.end(), extra) == bigger.end()) {
+      bigger.push_back(extra);
+    }
+    std::vector<AttrId> bigger_closure = closure.Closure(bigger);
+    for (AttrId a : once) {
+      EXPECT_TRUE(std::binary_search(bigger_closure.begin(),
+                                     bigger_closure.end(), a));
+    }
+  }
+}
+
+// --- Armstrong proofs -----------------------------------------------------
+
+TEST_F(FdTest, DeriveProofForTransitivityChain) {
+  std::vector<Fd> sigma = {F({"A"}, {"B"}), F({"B"}, {"C"}),
+                           F({"C"}, {"D"})};
+  Result<FdProof> proof = DeriveFdProof(scheme_, sigma, F({"A"}, {"D"}));
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  EXPECT_TRUE(proof->Check().ok()) << proof->Check();
+  EXPECT_EQ(proof->conclusion(), F({"A"}, {"D"}));
+  EXPECT_FALSE(proof->ToString().empty());
+}
+
+TEST_F(FdTest, DeriveProofFailsOnNonConsequence) {
+  std::vector<Fd> sigma = {F({"A"}, {"B"})};
+  Result<FdProof> proof = DeriveFdProof(scheme_, sigma, F({"B"}, {"A"}));
+  EXPECT_FALSE(proof.ok());
+}
+
+TEST_F(FdTest, ProofCheckerRejectsMutations) {
+  std::vector<Fd> sigma = {F({"A"}, {"B"}), F({"B"}, {"C"})};
+  Result<FdProof> proof = DeriveFdProof(scheme_, sigma, F({"A"}, {"C"}));
+  ASSERT_TRUE(proof.ok());
+
+  // Mutate: claim a hypothesis that is not in sigma.
+  FdProof forged(scheme_, sigma);
+  forged.AddStep({F({"C"}, {"A"}), FdRule::kHypothesis, {}});
+  EXPECT_FALSE(forged.Check().ok());
+
+  // Mutate: bogus reflexivity.
+  FdProof bogus(scheme_, sigma);
+  bogus.AddStep({F({"A"}, {"B"}), FdRule::kReflexivity, {}});
+  EXPECT_FALSE(bogus.Check().ok());
+
+  // Mutate: transitivity with mismatched middle.
+  FdProof mismatched(scheme_, sigma);
+  mismatched.AddStep({F({"A"}, {"B"}), FdRule::kHypothesis, {}});
+  mismatched.AddStep({F({"C"}, {"D"}), FdRule::kHypothesis, {}});
+  EXPECT_FALSE(mismatched.Check().ok());  // second step not a hypothesis
+}
+
+TEST_F(FdTest, ProofCheckerRejectsForwardReferences) {
+  FdProof proof(scheme_, {F({"A"}, {"B"})});
+  proof.AddStep({F({"A"}, {"B"}), FdRule::kDecomposition, {0}});
+  EXPECT_FALSE(proof.Check().ok());
+}
+
+TEST_F(FdTest, DerivedProofsSoundOnRandomInstances) {
+  SplitMix64 rng(4242);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Fd> sigma;
+    for (int i = 0; i < 5; ++i) {
+      std::vector<AttrId> lhs, rhs;
+      for (AttrId a = 0; a < 5; ++a) {
+        if (rng.Chance(1, 3)) lhs.push_back(a);
+        if (rng.Chance(1, 4)) rhs.push_back(a);
+      }
+      sigma.push_back(Fd{0, lhs, rhs});
+    }
+    std::vector<AttrId> lhs;
+    for (AttrId a = 0; a < 5; ++a) {
+      if (rng.Chance(1, 2)) lhs.push_back(a);
+    }
+    FdClosure closure(*scheme_, 0, sigma);
+    std::vector<AttrId> target_rhs = closure.Closure(lhs);
+    Fd target{0, lhs, target_rhs};
+    Result<FdProof> proof = DeriveFdProof(scheme_, sigma, target);
+    ASSERT_TRUE(proof.ok()) << proof.status();
+    EXPECT_TRUE(proof->Check().ok());
+  }
+}
+
+// --- Minimal cover -----------------------------------------------------
+
+TEST_F(FdTest, MinimalCoverSplitsAndPrunes) {
+  std::vector<Fd> sigma = {F({"A"}, {"B", "C"}), F({"B"}, {"C"}),
+                           F({"A"}, {"C"})};  // A -> C is redundant
+  std::vector<Fd> cover = MinimalCover(*scheme_, sigma);
+  EXPECT_TRUE(EquivalentFdSets(*scheme_, sigma, cover));
+  for (const Fd& fd : cover) EXPECT_EQ(fd.rhs.size(), 1u);
+  // A -> C must have been dropped: cover = {A -> B, B -> C}.
+  EXPECT_EQ(cover.size(), 2u);
+}
+
+TEST_F(FdTest, MinimalCoverLeftReduces) {
+  // AB -> C with A -> B: A alone determines C.
+  std::vector<Fd> sigma = {F({"A", "B"}, {"C"}), F({"A"}, {"B"})};
+  std::vector<Fd> cover = MinimalCover(*scheme_, sigma);
+  EXPECT_TRUE(EquivalentFdSets(*scheme_, sigma, cover));
+  for (const Fd& fd : cover) {
+    if (fd.rhs == std::vector<AttrId>{2}) {
+      EXPECT_EQ(fd.lhs.size(), 1u) << "lhs not reduced";
+    }
+  }
+}
+
+TEST_F(FdTest, MinimalCoverOfRandomSetsIsEquivalent) {
+  SplitMix64 rng(777);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Fd> sigma;
+    for (int i = 0; i < 6; ++i) {
+      std::vector<AttrId> lhs, rhs;
+      for (AttrId a = 0; a < 5; ++a) {
+        if (rng.Chance(1, 3)) lhs.push_back(a);
+        if (rng.Chance(1, 3)) rhs.push_back(a);
+      }
+      if (rhs.empty()) rhs.push_back(static_cast<AttrId>(rng.Below(5)));
+      sigma.push_back(Fd{0, lhs, rhs});
+    }
+    std::vector<Fd> cover = MinimalCover(*scheme_, sigma);
+    EXPECT_TRUE(EquivalentFdSets(*scheme_, sigma, cover));
+  }
+}
+
+// --- Keys ------------------------------------------------------------------
+
+TEST_F(FdTest, CandidateKeysSimple) {
+  // A -> BCDE: A is the unique key.
+  std::vector<Fd> sigma = {F({"A"}, {"B", "C", "D", "E"})};
+  auto keys = CandidateKeys(*scheme_, 0, sigma);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (std::vector<AttrId>{0}));
+}
+
+TEST_F(FdTest, CandidateKeysCycle) {
+  // A -> B, B -> A, AB determine nothing else: keys need C, D, E too.
+  // Use a 3-attribute scheme for clarity: A <-> B, key must contain C.
+  SchemePtr small = MakeScheme({{"T", {"A", "B", "C"}}});
+  std::vector<Fd> sigma = {MakeFd(*small, "T", {"A"}, {"B"}),
+                           MakeFd(*small, "T", {"B"}, {"A"})};
+  auto keys = CandidateKeys(*small, 0, sigma);
+  // Keys: {A, C} and {B, C}.
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], (std::vector<AttrId>{0, 2}));
+  EXPECT_EQ(keys[1], (std::vector<AttrId>{1, 2}));
+}
+
+TEST_F(FdTest, IsSuperkey) {
+  std::vector<Fd> sigma = {F({"A"}, {"B", "C"}), F({"B", "C"}, {"D", "E"})};
+  EXPECT_TRUE(IsSuperkey(*scheme_, 0, sigma, {0}));
+  EXPECT_FALSE(IsSuperkey(*scheme_, 0, sigma, {1}));
+  EXPECT_TRUE(IsSuperkey(*scheme_, 0, sigma, {0, 1}));
+}
+
+TEST_F(FdTest, KeysAreMinimalAndDetermineEverything) {
+  SplitMix64 rng(31415);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Fd> sigma;
+    for (int i = 0; i < 5; ++i) {
+      std::vector<AttrId> lhs, rhs;
+      for (AttrId a = 0; a < 5; ++a) {
+        if (rng.Chance(1, 3)) lhs.push_back(a);
+        if (rng.Chance(1, 3)) rhs.push_back(a);
+      }
+      sigma.push_back(Fd{0, lhs, rhs});
+    }
+    for (const auto& key : CandidateKeys(*scheme_, 0, sigma)) {
+      EXPECT_TRUE(IsSuperkey(*scheme_, 0, sigma, key));
+      for (std::size_t i = 0; i < key.size(); ++i) {
+        std::vector<AttrId> smaller = key;
+        smaller.erase(smaller.begin() + static_cast<std::ptrdiff_t>(i));
+        EXPECT_FALSE(IsSuperkey(*scheme_, 0, sigma, smaller))
+            << "key not minimal";
+      }
+    }
+  }
+}
+
+// Cross-check: FD implication agrees with model checking on small random
+// databases (soundness of the closure engine).
+TEST_F(FdTest, ImpliedFdsHoldInRandomModelsOfSigma) {
+  SplitMix64 rng(2718);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Fd> sigma = {F({"A"}, {"B"}), F({"B", "C"}, {"D"})};
+    // Random database; keep only if it satisfies sigma.
+    Database db(scheme_);
+    for (int i = 0; i < 6; ++i) {
+      Tuple t;
+      for (int a = 0; a < 5; ++a) {
+        t.push_back(Value::Int(static_cast<std::int64_t>(rng.Below(2))));
+      }
+      db.Insert(0, std::move(t));
+    }
+    bool model = true;
+    for (const Fd& fd : sigma) model = model && Satisfies(db, fd);
+    if (!model) continue;
+    // Every implied FD must hold in the model.
+    for (const Fd& candidate :
+         {F({"A", "C"}, {"D"}), F({"A"}, {"A", "B"}), F({"A", "C"}, {"B"})}) {
+      if (FdImplies(*scheme_, sigma, candidate)) {
+        EXPECT_TRUE(Satisfies(db, candidate))
+            << Dependency(candidate).ToString(*scheme_);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccfp

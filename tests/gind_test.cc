@@ -1,0 +1,99 @@
+// Generalized INDs (Mitchell [Mi1], cited in Section 4): INDs with
+// repeated attributes, and the paper's observation that RDs are a special
+// case of them.
+#include <gtest/gtest.h>
+
+#include "core/gind.h"
+#include "core/parser.h"
+#include "core/satisfies.h"
+#include "util/rng.h"
+
+namespace ccfp {
+namespace {
+
+class GIndTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ = MakeScheme({{"R", {"A", "B", "C"}}, {"S", {"D", "E"}}});
+};
+
+TEST_F(GIndTest, ValidatesRepetitionsButNotWidthMismatch) {
+  GInd repeated{0, {0, 0}, 1, {0, 1}};
+  EXPECT_TRUE(Validate(*scheme_, repeated).ok());
+  GInd mismatch{0, {0}, 1, {0, 1}};
+  EXPECT_FALSE(Validate(*scheme_, mismatch).ok());
+  GInd empty{0, {}, 1, {}};
+  EXPECT_FALSE(Validate(*scheme_, empty).ok());
+}
+
+TEST_F(GIndTest, SatisfactionWithRepeatedColumns) {
+  // R[A, A] <= S[D, E]: every (a, a) diagonal pair must appear in S's
+  // (D, E) projection.
+  Database db = ParseDatabase(scheme_, "R(1, 9, 9)\nS(1, 1)").value();
+  EXPECT_TRUE(Satisfies(db, GInd{0, {0, 0}, 1, {0, 1}}));
+  Database bad = ParseDatabase(scheme_, "R(1, 9, 9)\nS(1, 2)").value();
+  EXPECT_FALSE(Satisfies(bad, GInd{0, {0, 0}, 1, {0, 1}}));
+}
+
+TEST_F(GIndTest, PlainIndDetectionAndConversion) {
+  GInd plain{0, {0, 1}, 1, {0, 1}};
+  EXPECT_TRUE(IsPlainInd(plain));
+  Result<Ind> ind = ToPlainInd(*scheme_, plain);
+  ASSERT_TRUE(ind.ok());
+  EXPECT_EQ(Dependency(*ind).ToString(*scheme_), "R[A, B] <= S[D, E]");
+
+  GInd repeated{0, {0, 0}, 1, {0, 1}};
+  EXPECT_FALSE(IsPlainInd(repeated));
+  EXPECT_FALSE(ToPlainInd(*scheme_, repeated).ok());
+}
+
+TEST_F(GIndTest, RdEncodingMatchesRdSemanticsExactly) {
+  // The Section 4 observation, verified by exhaustive small models: for
+  // every database over R with values in {0,1} and up to 3 tuples,
+  // d |= R[A = B] iff d |= RdAsGind(R[A = B]).
+  Rd rd = MakeRd(*scheme_, "R", {"A"}, {"B"});
+  GInd encoded = RdAsGind(rd);
+  ASSERT_TRUE(Validate(*scheme_, encoded).ok());
+
+  // Enumerate all subsets of the 2^3 = 8 tuple space of size <= 3.
+  std::vector<Tuple> space;
+  for (int code = 0; code < 8; ++code) {
+    space.push_back(TupleOfInts({code & 1, (code >> 1) & 1,
+                                 (code >> 2) & 1}));
+  }
+  int checked = 0;
+  for (int mask = 0; mask < (1 << 8); ++mask) {
+    if (__builtin_popcount(static_cast<unsigned>(mask)) > 3) continue;
+    Database db(scheme_);
+    for (int i = 0; i < 8; ++i) {
+      if (mask & (1 << i)) db.Insert(0, space[i]);
+    }
+    EXPECT_EQ(Satisfies(db, rd), Satisfies(db, encoded))
+        << db.ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 90);
+}
+
+TEST_F(GIndTest, WideRdEncoding) {
+  Rd rd = MakeRd(*scheme_, "R", {"A", "B"}, {"B", "C"});
+  GInd encoded = RdAsGind(rd);
+  SplitMix64 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Database db(scheme_);
+    int size = 1 + static_cast<int>(rng.Below(3));
+    for (int i = 0; i < size; ++i) {
+      db.Insert(0, TupleOfInts({static_cast<std::int64_t>(rng.Below(2)),
+                                static_cast<std::int64_t>(rng.Below(2)),
+                                static_cast<std::int64_t>(rng.Below(2))}));
+    }
+    EXPECT_EQ(Satisfies(db, rd), Satisfies(db, encoded)) << db.ToString();
+  }
+}
+
+TEST_F(GIndTest, ToStringMarksGeneralized) {
+  GInd g{0, {0, 0}, 1, {0, 1}};
+  EXPECT_NE(g.ToString(*scheme_).find("generalized"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccfp

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "ind/cover.h"
+#include "ind/implication.h"
+
+namespace ccfp {
+namespace {
+
+class IndCoverTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ = MakeScheme(
+      {{"R", {"A", "B"}}, {"S", {"C", "D"}}, {"T", {"E", "F"}}});
+};
+
+TEST_F(IndCoverTest, DetectsTransitiveRedundancy) {
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme_, "R", {"A", "B"}, "S", {"C", "D"}),
+      MakeInd(*scheme_, "S", {"C", "D"}, "T", {"E", "F"}),
+      MakeInd(*scheme_, "R", {"A", "B"}, "T", {"E", "F"}),  // redundant
+  };
+  Result<std::vector<std::size_t>> redundant = RedundantInds(scheme_, sigma);
+  ASSERT_TRUE(redundant.ok()) << redundant.status();
+  ASSERT_EQ(redundant->size(), 1u);
+  EXPECT_EQ((*redundant)[0], 2u);
+}
+
+TEST_F(IndCoverTest, DetectsProjectionRedundancy) {
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme_, "R", {"A", "B"}, "S", {"C", "D"}),
+      MakeInd(*scheme_, "R", {"B"}, "S", {"D"}),  // IND2-projection
+  };
+  Result<std::vector<std::size_t>> redundant = RedundantInds(scheme_, sigma);
+  ASSERT_TRUE(redundant.ok());
+  ASSERT_EQ(redundant->size(), 1u);
+  EXPECT_EQ((*redundant)[0], 1u);
+}
+
+TEST_F(IndCoverTest, NoFalsePositives) {
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme_, "R", {"A"}, "S", {"C"}),
+      MakeInd(*scheme_, "S", {"D"}, "T", {"E"}),
+  };
+  Result<std::vector<std::size_t>> redundant = RedundantInds(scheme_, sigma);
+  ASSERT_TRUE(redundant.ok());
+  EXPECT_TRUE(redundant->empty());
+}
+
+TEST_F(IndCoverTest, MinimalCoverIsEquivalentAndIrredundant) {
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme_, "R", {"A", "B"}, "S", {"C", "D"}),
+      MakeInd(*scheme_, "S", {"C", "D"}, "T", {"E", "F"}),
+      MakeInd(*scheme_, "R", {"A", "B"}, "T", {"E", "F"}),
+      MakeInd(*scheme_, "R", {"A"}, "S", {"C"}),
+      MakeInd(*scheme_, "R", {"B"}, "T", {"F"}),
+  };
+  Result<std::vector<Ind>> cover = MinimalIndCover(scheme_, sigma);
+  ASSERT_TRUE(cover.ok()) << cover.status();
+  EXPECT_LT(cover->size(), sigma.size());
+
+  Result<bool> equivalent = EquivalentIndSets(scheme_, sigma, *cover);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(*equivalent);
+
+  Result<std::vector<std::size_t>> redundant =
+      RedundantInds(scheme_, *cover);
+  ASSERT_TRUE(redundant.ok());
+  EXPECT_TRUE(redundant->empty());
+}
+
+TEST_F(IndCoverTest, TrivialMembersAreAlwaysRedundant) {
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme_, "R", {"A"}, "R", {"A"}),  // IND1 instance
+      MakeInd(*scheme_, "R", {"A"}, "S", {"C"}),
+  };
+  Result<std::vector<Ind>> cover = MinimalIndCover(scheme_, sigma);
+  ASSERT_TRUE(cover.ok());
+  ASSERT_EQ(cover->size(), 1u);
+  EXPECT_EQ((*cover)[0], sigma[1]);
+}
+
+TEST_F(IndCoverTest, EquivalentIndSetsDistinguishes) {
+  std::vector<Ind> a = {MakeInd(*scheme_, "R", {"A"}, "S", {"C"})};
+  std::vector<Ind> b = {MakeInd(*scheme_, "S", {"C"}, "R", {"A"})};
+  Result<bool> equivalent = EquivalentIndSets(scheme_, a, b);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_FALSE(*equivalent);
+  Result<bool> self = EquivalentIndSets(scheme_, a, a);
+  ASSERT_TRUE(self.ok());
+  EXPECT_TRUE(*self);
+}
+
+TEST_F(IndCoverTest, ChainExtractionMatchesChainLength) {
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme_, "R", {"A", "B"}, "S", {"C", "D"}),
+      MakeInd(*scheme_, "S", {"C"}, "T", {"E"}),
+  };
+  IndImplication engine(scheme_, sigma);
+  IndDecisionOptions options;
+  options.want_proof = true;
+  Result<IndDecision> decision =
+      engine.Decide(MakeInd(*scheme_, "R", {"A"}, "T", {"E"}), options);
+  ASSERT_TRUE(decision.ok());
+  ASSERT_TRUE(decision->implied);
+  ASSERT_EQ(decision->chain.size(), decision->chain_length);
+  // Chain starts at the target's lhs expression and ends at its rhs.
+  EXPECT_EQ(decision->chain.front().rel, 0u);
+  EXPECT_EQ(decision->chain.back().rel, 2u);
+  EXPECT_FALSE(
+      decision->chain.front().ToString(*scheme_).empty());
+}
+
+}  // namespace
+}  // namespace ccfp

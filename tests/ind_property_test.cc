@@ -1,0 +1,254 @@
+// Property-based cross-checks of the three independent IND implication
+// engines: the Corollary 3.2 BFS (IndImplication), the Theorem 3.1 Rule (*)
+// construction (IndChaseDecide), and proof objects (IndProof).
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "chase/ind_chase.h"
+#include "core/satisfies.h"
+#include "ind/implication.h"
+#include "ind/rules.h"
+#include "util/rng.h"
+
+namespace ccfp {
+namespace {
+
+struct RandomInstance {
+  SchemePtr scheme;
+  std::vector<Ind> sigma;
+  Ind target;
+};
+
+// Deterministic random instance: a few relations of small arity, random
+// INDs of width 1..2, and a random unary/binary target.
+RandomInstance MakeInstance(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::size_t num_rels = 2 + rng.Below(3);        // 2..4 relations
+  std::vector<std::pair<std::string, std::vector<std::string>>> rels;
+  for (std::size_t r = 0; r < num_rels; ++r) {
+    std::size_t arity = 2 + rng.Below(2);  // 2..3 attributes
+    std::vector<std::string> attrs;
+    for (std::size_t a = 0; a < arity; ++a) {
+      attrs.push_back(std::string(1, static_cast<char>('A' + a)));
+    }
+    rels.emplace_back(std::string(1, static_cast<char>('R' + r)), attrs);
+  }
+  RandomInstance instance;
+  instance.scheme = MakeScheme(rels);
+
+  auto random_seq = [&](RelId rel, std::size_t width) {
+    std::size_t arity = instance.scheme->relation(rel).arity();
+    std::vector<AttrId> all(arity);
+    for (AttrId a = 0; a < arity; ++a) all[a] = a;
+    for (std::size_t i = arity; i > 1; --i) {
+      std::swap(all[i - 1], all[rng.Below(i)]);
+    }
+    all.resize(width);
+    return all;
+  };
+
+  std::size_t num_inds = 2 + rng.Below(5);
+  for (std::size_t i = 0; i < num_inds; ++i) {
+    RelId r1 = static_cast<RelId>(rng.Below(num_rels));
+    RelId r2 = static_cast<RelId>(rng.Below(num_rels));
+    std::size_t max_width =
+        std::min(instance.scheme->relation(r1).arity(),
+                 instance.scheme->relation(r2).arity());
+    std::size_t width = 1 + rng.Below(std::min<std::size_t>(2, max_width));
+    instance.sigma.push_back(
+        Ind{r1, random_seq(r1, width), r2, random_seq(r2, width)});
+  }
+  RelId t1 = static_cast<RelId>(rng.Below(num_rels));
+  RelId t2 = static_cast<RelId>(rng.Below(num_rels));
+  std::size_t max_width = std::min(instance.scheme->relation(t1).arity(),
+                                   instance.scheme->relation(t2).arity());
+  std::size_t width = 1 + rng.Below(std::min<std::size_t>(2, max_width));
+  instance.target = Ind{t1, random_seq(t1, width), t2, random_seq(t2, width)};
+  return instance;
+}
+
+class IndCrossEngineTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndCrossEngineTest, BfsAgreesWithRuleStarChase) {
+  RandomInstance instance = MakeInstance(GetParam());
+  IndImplication bfs(instance.scheme, instance.sigma);
+  Result<IndDecision> bfs_decision = bfs.Decide(instance.target);
+  ASSERT_TRUE(bfs_decision.ok()) << bfs_decision.status();
+
+  Result<IndChaseResult> chase =
+      IndChaseDecide(instance.scheme, instance.sigma, instance.target);
+  ASSERT_TRUE(chase.ok()) << chase.status();
+
+  EXPECT_EQ(bfs_decision->implied, chase->implied)
+      << Dependency(instance.target).ToString(*instance.scheme);
+}
+
+TEST_P(IndCrossEngineTest, ChaseResultSatisfiesSigma) {
+  RandomInstance instance = MakeInstance(GetParam());
+  Result<IndChaseResult> chase =
+      IndChaseDecide(instance.scheme, instance.sigma, instance.target);
+  ASSERT_TRUE(chase.ok()) << chase.status();
+  for (const Ind& ind : instance.sigma) {
+    EXPECT_TRUE(Satisfies(chase->db, ind))
+        << Dependency(ind).ToString(*instance.scheme);
+  }
+}
+
+TEST_P(IndCrossEngineTest, PositiveDecisionsCarryCheckableProofs) {
+  RandomInstance instance = MakeInstance(GetParam());
+  IndImplication bfs(instance.scheme, instance.sigma);
+  IndDecisionOptions options;
+  options.want_proof = true;
+  Result<IndDecision> decision = bfs.Decide(instance.target, options);
+  ASSERT_TRUE(decision.ok());
+  if (decision->implied) {
+    ASSERT_TRUE(decision->proof.has_value());
+    EXPECT_TRUE(decision->proof->Check().ok()) << decision->proof->Check();
+    EXPECT_EQ(decision->proof->conclusion(), instance.target);
+  } else {
+    EXPECT_FALSE(decision->proof.has_value());
+  }
+}
+
+TEST_P(IndCrossEngineTest, NegativeDecisionsHaveCounterexample) {
+  // When the BFS says "not implied", the Rule (*) database is a concrete
+  // counterexample: it satisfies Sigma but violates the target.
+  RandomInstance instance = MakeInstance(GetParam());
+  IndImplication bfs(instance.scheme, instance.sigma);
+  Result<IndDecision> decision = bfs.Decide(instance.target);
+  ASSERT_TRUE(decision.ok());
+  if (decision->implied) return;
+  Result<IndChaseResult> chase =
+      IndChaseDecide(instance.scheme, instance.sigma, instance.target);
+  ASSERT_TRUE(chase.ok());
+  EXPECT_TRUE(SatisfiesAll(chase->db, [&] {
+    std::vector<Dependency> deps;
+    for (const Ind& ind : instance.sigma) deps.push_back(Dependency(ind));
+    return deps;
+  }()));
+  EXPECT_FALSE(Satisfies(chase->db, instance.target));
+}
+
+TEST_P(IndCrossEngineTest, ImpliedIndsHoldInChasedModels) {
+  // Soundness against model checking: chase an arbitrary seed database to a
+  // Sigma-model, then every implied IND must hold in it.
+  RandomInstance instance = MakeInstance(GetParam());
+  SplitMix64 rng(GetParam() ^ 0xABCDEF);
+  Database db(instance.scheme);
+  for (RelId rel = 0; rel < instance.scheme->size(); ++rel) {
+    for (int i = 0; i < 2; ++i) {
+      Tuple t;
+      for (std::size_t a = 0; a < instance.scheme->relation(rel).arity();
+           ++a) {
+        t.push_back(Value::Int(static_cast<std::int64_t>(rng.Below(5))));
+      }
+      db.Insert(rel, std::move(t));
+    }
+  }
+  Result<std::uint64_t> added = IndChaseFixpoint(db, instance.sigma);
+  ASSERT_TRUE(added.ok()) << added.status();
+
+  IndImplication bfs(instance.scheme, instance.sigma);
+  for (const Ind& ind : bfs.AllImpliedInds(2)) {
+    EXPECT_TRUE(Satisfies(db, ind))
+        << "implied IND violated by a Sigma-model: "
+        << Dependency(ind).ToString(*instance.scheme);
+  }
+}
+
+TEST_P(IndCrossEngineTest, MutatedProofsAreRejected) {
+  RandomInstance instance = MakeInstance(GetParam());
+  IndImplication bfs(instance.scheme, instance.sigma);
+  IndDecisionOptions options;
+  options.want_proof = true;
+  Result<IndDecision> decision = bfs.Decide(instance.target, options);
+  ASSERT_TRUE(decision.ok());
+  if (!decision->implied || decision->proof->steps().size() < 2) return;
+
+  SplitMix64 rng(GetParam() ^ 0x5EED);
+  const IndProof& good = *decision->proof;
+
+  // Mutation 1: swap the conclusion of a random step for a different IND
+  // (the target's reverse — rarely equal to any legitimate line).
+  {
+    IndProof mutated(instance.scheme, instance.sigma);
+    std::size_t victim = rng.Below(good.steps().size());
+    for (std::size_t i = 0; i < good.steps().size(); ++i) {
+      IndProofStep step = good.steps()[i];
+      if (i == victim) {
+        step.conclusion = Ind{instance.target.rhs_rel, instance.target.rhs,
+                              instance.target.lhs_rel, instance.target.lhs};
+      }
+      mutated.AddStep(std::move(step));
+    }
+    // Either the checker rejects, or (rarely) the mutation coincided with
+    // a valid line; in that case the final conclusion changed and the
+    // proof proves something else.
+    if (mutated.Check().ok()) {
+      EXPECT_FALSE(victim == good.steps().size() - 1 &&
+                   mutated.conclusion() == instance.target);
+    }
+  }
+
+  // Mutation 2: corrupt a projection step's position list but keep its
+  // claimed conclusion — the checker must notice the mismatch (or the
+  // rotated positions coincidentally produce the same conclusion, which
+  // IndProjectPermute determinism rules out unless the step was symmetric).
+  {
+    IndProof corrupted(instance.scheme, instance.sigma);
+    bool mutated_any = false;
+    for (std::size_t i = 0; i < good.steps().size(); ++i) {
+      IndProofStep step = good.steps()[i];
+      if (!mutated_any && step.rule == IndRule::kProjection &&
+          step.positions.size() >= 2) {
+        std::rotate(step.positions.begin(), step.positions.begin() + 1,
+                    step.positions.end());
+        mutated_any = true;
+        // The claimed conclusion no longer matches unless rotation is a
+        // no-op on this particular IND; verify rejection in that case.
+        IndProofStep original = good.steps()[i];
+        Result<Ind> reprojected = IndProjectPermute(
+            *instance.scheme,
+            good.steps()[original.antecedents[0]].conclusion,
+            step.positions);
+        if (reprojected.ok() && *reprojected == step.conclusion) {
+          mutated_any = false;  // harmless rotation; skip the expectation
+        }
+      }
+      corrupted.AddStep(std::move(step));
+    }
+    if (mutated_any) {
+      EXPECT_FALSE(corrupted.Check().ok())
+          << "corrupted projection positions must be rejected";
+    }
+  }
+
+  // Mutation 3: point a transitivity step at wrong antecedents.
+  {
+    IndProof rewired(instance.scheme, instance.sigma);
+    bool mutated_any = false;
+    for (std::size_t i = 0; i < good.steps().size(); ++i) {
+      IndProofStep step = good.steps()[i];
+      if (!mutated_any && step.rule == IndRule::kTransitivity && i >= 2) {
+        step.antecedents = {0, 0};
+        mutated_any = true;
+      }
+      rewired.AddStep(std::move(step));
+    }
+    if (mutated_any) {
+      // Rewiring both antecedents to line 0 composes a line with itself;
+      // valid only if line 0 happens to be self-composable AND the result
+      // matches — overwhelmingly it is not.
+      Status status = rewired.Check();
+      if (status.ok()) {
+        EXPECT_EQ(rewired.conclusion(), instance.target);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, IndCrossEngineTest,
+                         ::testing::Range<std::uint64_t>(1, 61));
+
+}  // namespace
+}  // namespace ccfp

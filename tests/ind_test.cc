@@ -1,0 +1,287 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "ind/implication.h"
+#include "ind/proof.h"
+#include "ind/rules.h"
+#include "ind/special.h"
+
+namespace ccfp {
+namespace {
+
+class IndRulesTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ = MakeScheme(
+      {{"R", {"A", "B", "C"}}, {"S", {"D", "E", "F"}}, {"T", {"G", "H"}}});
+};
+
+TEST_F(IndRulesTest, ReflexivityBuildsTrivialInd) {
+  Result<Ind> ind = IndReflexivity(*scheme_, 0, {1, 0});
+  ASSERT_TRUE(ind.ok());
+  EXPECT_TRUE(IsTrivial(*ind));
+  EXPECT_FALSE(IndReflexivity(*scheme_, 0, {0, 0}).ok());
+}
+
+TEST_F(IndRulesTest, ProjectPermuteSelectsPositions) {
+  Ind base = MakeInd(*scheme_, "R", {"A", "B", "C"}, "S", {"D", "E", "F"});
+  Result<Ind> projected = IndProjectPermute(*scheme_, base, {2, 0});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(*projected, MakeInd(*scheme_, "R", {"C", "A"}, "S", {"F", "D"}));
+}
+
+TEST_F(IndRulesTest, ProjectPermuteRejectsBadPositions) {
+  Ind base = MakeInd(*scheme_, "R", {"A", "B"}, "S", {"D", "E"});
+  EXPECT_FALSE(IndProjectPermute(*scheme_, base, {0, 0}).ok());
+  EXPECT_FALSE(IndProjectPermute(*scheme_, base, {2}).ok());
+}
+
+TEST_F(IndRulesTest, TransitivityComposesOnExactMiddle) {
+  Ind a = MakeInd(*scheme_, "R", {"A"}, "S", {"D"});
+  Ind b = MakeInd(*scheme_, "S", {"D"}, "T", {"G"});
+  Result<Ind> composed = IndTransitivity(*scheme_, a, b);
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(*composed, MakeInd(*scheme_, "R", {"A"}, "T", {"G"}));
+
+  // Mismatched middle (different attribute order) must be rejected.
+  Ind b2 = MakeInd(*scheme_, "S", {"E"}, "T", {"G"});
+  EXPECT_FALSE(IndTransitivity(*scheme_, a, b2).ok());
+}
+
+TEST_F(IndRulesTest, IsProjectionPermutationOf) {
+  Ind base = MakeInd(*scheme_, "R", {"A", "B", "C"}, "S", {"D", "E", "F"});
+  EXPECT_TRUE(IsProjectionPermutationOf(
+      MakeInd(*scheme_, "R", {"B"}, "S", {"E"}), base));
+  EXPECT_TRUE(IsProjectionPermutationOf(
+      MakeInd(*scheme_, "R", {"C", "A"}, "S", {"F", "D"}), base));
+  EXPECT_FALSE(IsProjectionPermutationOf(
+      MakeInd(*scheme_, "R", {"A"}, "S", {"E"}), base));
+  EXPECT_FALSE(IsProjectionPermutationOf(
+      MakeInd(*scheme_, "R", {"A"}, "T", {"G"}), base));
+}
+
+// --- The decision procedure ------------------------------------------------
+
+class IndImplicationTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ = MakeScheme(
+      {{"R", {"A", "B", "C"}}, {"S", {"D", "E", "F"}}, {"T", {"G", "H"}}});
+};
+
+TEST_F(IndImplicationTest, TrivialTargetIsAlwaysImplied) {
+  IndImplication engine(scheme_, {});
+  Ind trivial = MakeInd(*scheme_, "R", {"A", "C"}, "R", {"A", "C"});
+  Result<IndDecision> decision = engine.Decide(trivial);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->implied);
+  EXPECT_EQ(decision->chain_length, 1u);
+}
+
+TEST_F(IndImplicationTest, HypothesisIsImplied) {
+  Ind hyp = MakeInd(*scheme_, "R", {"A", "B"}, "S", {"D", "E"});
+  IndImplication engine(scheme_, {hyp});
+  EXPECT_TRUE(engine.Implies(hyp));
+}
+
+TEST_F(IndImplicationTest, ProjectionOfHypothesisIsImplied) {
+  Ind hyp = MakeInd(*scheme_, "R", {"A", "B", "C"}, "S", {"D", "E", "F"});
+  IndImplication engine(scheme_, {hyp});
+  EXPECT_TRUE(engine.Implies(MakeInd(*scheme_, "R", {"B"}, "S", {"E"})));
+  EXPECT_TRUE(engine.Implies(
+      MakeInd(*scheme_, "R", {"C", "A"}, "S", {"F", "D"})));
+  EXPECT_FALSE(engine.Implies(MakeInd(*scheme_, "R", {"A"}, "S", {"E"})));
+}
+
+TEST_F(IndImplicationTest, TransitiveChainIsImplied) {
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme_, "R", {"A", "B"}, "S", {"D", "E"}),
+      MakeInd(*scheme_, "S", {"D"}, "T", {"G"}),
+  };
+  IndImplication engine(scheme_, sigma);
+  EXPECT_TRUE(engine.Implies(MakeInd(*scheme_, "R", {"A"}, "T", {"G"})));
+  EXPECT_FALSE(engine.Implies(MakeInd(*scheme_, "R", {"B"}, "T", {"G"})));
+}
+
+TEST_F(IndImplicationTest, DirectionMatters) {
+  std::vector<Ind> sigma = {MakeInd(*scheme_, "R", {"A"}, "S", {"D"})};
+  IndImplication engine(scheme_, sigma);
+  EXPECT_FALSE(engine.Implies(MakeInd(*scheme_, "S", {"D"}, "R", {"A"})));
+}
+
+TEST_F(IndImplicationTest, ManagerEmployeeExample) {
+  // The paper's running example: every manager is an employee of the
+  // department they manage.
+  SchemePtr scheme = MakeScheme(
+      {{"MGR", {"NAME", "DEPT"}}, {"EMP", {"NAME", "DEPT", "SAL"}}});
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme, "MGR", {"NAME", "DEPT"}, "EMP", {"NAME", "DEPT"})};
+  IndImplication engine(scheme, sigma);
+  // Every manager name is an employee name (projection).
+  EXPECT_TRUE(
+      engine.Implies(MakeInd(*scheme, "MGR", {"NAME"}, "EMP", {"NAME"})));
+  // But manager names need not be departments.
+  EXPECT_FALSE(
+      engine.Implies(MakeInd(*scheme, "MGR", {"NAME"}, "EMP", {"DEPT"})));
+}
+
+TEST_F(IndImplicationTest, ProofExtractionChecks) {
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme_, "R", {"A", "B"}, "S", {"D", "E"}),
+      MakeInd(*scheme_, "S", {"D", "E"}, "T", {"G", "H"}),
+  };
+  IndImplication engine(scheme_, sigma);
+  IndDecisionOptions options;
+  options.want_proof = true;
+  Result<IndDecision> decision =
+      engine.Decide(MakeInd(*scheme_, "R", {"B"}, "T", {"H"}), options);
+  ASSERT_TRUE(decision.ok());
+  ASSERT_TRUE(decision->implied);
+  ASSERT_TRUE(decision->proof.has_value());
+  EXPECT_TRUE(decision->proof->Check().ok()) << decision->proof->Check();
+  EXPECT_EQ(decision->proof->conclusion(),
+            MakeInd(*scheme_, "R", {"B"}, "T", {"H"}));
+  EXPECT_EQ(decision->chain_length, 3u);
+}
+
+TEST_F(IndImplicationTest, ProofForTrivialTargetIsReflexivity) {
+  IndImplication engine(scheme_, {});
+  IndDecisionOptions options;
+  options.want_proof = true;
+  Result<IndDecision> decision =
+      engine.Decide(MakeInd(*scheme_, "R", {"B", "A"}, "R", {"B", "A"}),
+                    options);
+  ASSERT_TRUE(decision.ok());
+  ASSERT_TRUE(decision->proof.has_value());
+  ASSERT_EQ(decision->proof->steps().size(), 1u);
+  EXPECT_EQ(decision->proof->steps()[0].rule, IndRule::kReflexivity);
+}
+
+TEST_F(IndImplicationTest, BudgetExhaustionIsReported) {
+  // Permutation cycle: reaching the goal needs many steps; a budget of 2
+  // expressions must trip.
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C", "D", "E"}}});
+  Ind rot = MakeInd(*scheme, "R", {"A", "B", "C", "D", "E"}, "R",
+                    {"B", "C", "D", "E", "A"});
+  IndImplication engine(scheme, {rot});
+  IndDecisionOptions options;
+  options.max_expressions = 2;
+  Result<IndDecision> decision = engine.Decide(
+      MakeInd(*scheme, "R", {"A", "B", "C", "D", "E"}, "R",
+              {"E", "A", "B", "C", "D"}),
+      options);
+  EXPECT_FALSE(decision.ok());
+  EXPECT_EQ(decision.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(IndImplicationTest, AllImpliedIndsMatchesPointQueries) {
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme_, "R", {"A", "B"}, "S", {"D", "E"}),
+      MakeInd(*scheme_, "S", {"D"}, "T", {"G"}),
+  };
+  IndImplication engine(scheme_, sigma);
+  std::vector<Ind> implied = engine.AllImpliedInds(2);
+  // Spot-check membership.
+  auto contains = [&](const Ind& ind) {
+    for (const Ind& i : implied) {
+      if (i == ind) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(MakeInd(*scheme_, "R", {"A"}, "T", {"G"})));
+  EXPECT_TRUE(contains(MakeInd(*scheme_, "R", {"B", "A"}, "S", {"E", "D"})));
+  EXPECT_FALSE(contains(MakeInd(*scheme_, "T", {"G"}, "S", {"D"})));
+  // Every member must pass a point query; every width-1/2 point query that
+  // succeeds must be a member.
+  for (const Ind& ind : implied) {
+    EXPECT_TRUE(engine.Implies(ind)) << Dependency(ind).ToString(*scheme_);
+  }
+}
+
+// --- Special cases -----------------------------------------------------
+
+TEST(UnaryIndGraphTest, ReachabilityMatchesGeneralEngine) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme, "R", {"A"}, "S", {"C"}),
+      MakeInd(*scheme, "S", {"C"}, "S", {"D"}),
+  };
+  UnaryIndGraph graph(scheme, sigma);
+  IndImplication general(scheme, sigma);
+  for (const Ind& target :
+       {MakeInd(*scheme, "R", {"A"}, "S", {"D"}),
+        MakeInd(*scheme, "S", {"D"}, "R", {"A"}),
+        MakeInd(*scheme, "R", {"A"}, "R", {"B"}),
+        MakeInd(*scheme, "R", {"B"}, "R", {"B"})}) {
+    EXPECT_EQ(graph.Implies(target), general.Implies(target))
+        << Dependency(target).ToString(*scheme);
+  }
+}
+
+TEST(UnaryIndGraphTest, AllImpliedMatchesGeneralEnumeration) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"C"}}});
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme, "R", {"A"}, "R", {"B"}),
+      MakeInd(*scheme, "R", {"B"}, "S", {"C"}),
+  };
+  UnaryIndGraph graph(scheme, sigma);
+  IndImplication general(scheme, sigma);
+  std::vector<Ind> from_graph = graph.AllImpliedUnaryInds();
+  std::vector<Ind> from_general = general.AllImpliedInds(1);
+  auto sorter = [](std::vector<Ind>& v) {
+    std::sort(v.begin(), v.end());
+  };
+  sorter(from_graph);
+  sorter(from_general);
+  EXPECT_EQ(from_graph, from_general);
+}
+
+TEST(TypedIndTest, DetectsTypedness) {
+  SchemePtr scheme = MakeScheme(
+      {{"MGR", {"NAME", "DEPT"}}, {"EMP", {"NAME", "DEPT"}}});
+  EXPECT_TRUE(IsTypedInd(
+      *scheme, MakeInd(*scheme, "MGR", {"NAME", "DEPT"}, "EMP",
+                       {"NAME", "DEPT"})));
+  EXPECT_FALSE(IsTypedInd(
+      *scheme,
+      MakeInd(*scheme, "MGR", {"NAME"}, "EMP", {"DEPT"})));
+}
+
+TEST(TypedIndTest, TypedImplicationMatchesGeneral) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}},
+                                 {"S", {"A", "B"}},
+                                 {"T", {"A", "B"}}});
+  std::vector<Ind> sigma = {
+      MakeInd(*scheme, "R", {"A", "B"}, "S", {"A", "B"}),
+      MakeInd(*scheme, "S", {"A"}, "T", {"A"}),
+  };
+  IndImplication general(scheme, sigma);
+  for (const Ind& target :
+       {MakeInd(*scheme, "R", {"A"}, "T", {"A"}),
+        MakeInd(*scheme, "R", {"B"}, "T", {"B"}),
+        MakeInd(*scheme, "R", {"A", "B"}, "T", {"A", "B"}),
+        MakeInd(*scheme, "T", {"A"}, "R", {"A"})}) {
+    Result<bool> typed = TypedIndImplies(*scheme, sigma, target);
+    ASSERT_TRUE(typed.ok()) << typed.status();
+    EXPECT_EQ(*typed, general.Implies(target))
+        << Dependency(target).ToString(*scheme);
+  }
+}
+
+TEST(TypedIndTest, RejectsNonTypedInputs) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"A", "B"}}});
+  Ind untyped = MakeInd(*scheme, "R", {"A"}, "S", {"B"});
+  Ind typed = MakeInd(*scheme, "R", {"A"}, "S", {"A"});
+  EXPECT_FALSE(TypedIndImplies(*scheme, {typed}, untyped).ok());
+  EXPECT_FALSE(TypedIndImplies(*scheme, {untyped}, typed).ok());
+}
+
+TEST(ExpressionSpaceBoundTest, CountsPermutations) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}, {"S", {"D", "E"}}});
+  // width 1: 3 + 2; width 2: 3*2 + 2*1 = 8.
+  EXPECT_EQ(ExpressionSpaceBound(*scheme, 1), 5u);
+  EXPECT_EQ(ExpressionSpaceBound(*scheme, 2), 8u);
+  EXPECT_EQ(ExpressionSpaceBound(*scheme, 3), 6u);
+}
+
+}  // namespace
+}  // namespace ccfp

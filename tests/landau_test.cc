@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "util/landau.h"
+#include "util/permutation.h"
+
+namespace ccfp {
+namespace {
+
+// Landau's function g(m) (OEIS A000793) for m = 0..20.
+constexpr std::uint64_t kKnown[] = {1,  1,  2,  3,   4,   6,   6,
+                                    12, 15, 20, 30,  30,  60,  60,
+                                    84, 105, 140, 210, 210, 420, 420};
+
+TEST(LandauTest, KnownSmallValues) {
+  for (std::size_t m = 0; m <= 20; ++m) {
+    EXPECT_EQ(static_cast<std::uint64_t>(LandauF(m)), kKnown[m])
+        << "f(" << m << ")";
+  }
+}
+
+TEST(LandauTest, MediumValues) {
+  // f(30) = 4620, f(40) = 27720, f(50) = 180180 (OEIS A000793).
+  EXPECT_EQ(static_cast<std::uint64_t>(LandauF(30)), 4620u);
+  EXPECT_EQ(static_cast<std::uint64_t>(LandauF(40)), 27720u);
+  EXPECT_EQ(static_cast<std::uint64_t>(LandauF(50)), 180180u);
+}
+
+TEST(LandauTest, MonotoneNondecreasing) {
+  unsigned __int128 prev = 1;
+  for (std::size_t m = 1; m <= 128; ++m) {
+    unsigned __int128 cur = LandauF(m);
+    EXPECT_GE(Uint128ToString(cur).size(), Uint128ToString(prev).size());
+    EXPECT_TRUE(cur >= prev) << "f not monotone at m = " << m;
+    prev = cur;
+  }
+}
+
+TEST(LandauTest, PartitionAchievesTheValue) {
+  for (std::size_t m : {5, 12, 16, 20, 31, 47, 64, 100}) {
+    std::vector<std::uint64_t> parts = LandauPartition(m);
+    std::uint64_t total = 0;
+    for (std::uint64_t p : parts) total += p;
+    EXPECT_LE(total, m);
+    Permutation perm = Permutation::FromCycleLengths(m, parts).value();
+    EXPECT_TRUE(perm.Order() == LandauF(m)) << "m = " << m;
+  }
+}
+
+TEST(LandauTest, MaxOrderPermutationHasOrderF) {
+  for (std::size_t m = 1; m <= 64; ++m) {
+    Permutation perm = MaxOrderPermutation(m);
+    EXPECT_EQ(perm.size(), m);
+    EXPECT_TRUE(perm.Order() == LandauF(m)) << "m = " << m;
+  }
+}
+
+TEST(LandauTest, NoPermutationBeatsF) {
+  // Exhaustive sanity for tiny m: try a few hundred random permutations of
+  // m points and check none has order above f(m).
+  for (std::size_t m : {4, 6, 8, 10}) {
+    unsigned __int128 f = LandauF(m);
+    std::vector<std::uint32_t> map(m);
+    for (std::size_t i = 0; i < m; ++i) map[i] = static_cast<std::uint32_t>(i);
+    // Deterministic pseudo-shuffles.
+    std::uint64_t state = 12345;
+    for (int trial = 0; trial < 300; ++trial) {
+      for (std::size_t i = m; i > 1; --i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        std::swap(map[i - 1], map[state % i]);
+      }
+      Permutation p = Permutation::Create(map).value();
+      EXPECT_TRUE(p.Order() <= f);
+    }
+  }
+}
+
+TEST(LandauTest, GrowthIsSuperpolynomial) {
+  // log f(m) ~ sqrt(m log m) (Landau). Check the paper-relevant shape:
+  // f(4m) / f(m) eventually exceeds any fixed polynomial ratio; a weak but
+  // robust proxy: f(64) / f(16) > 64 and f(256) / f(64) > 256.
+  EXPECT_TRUE(LandauF(64) > LandauF(16) * 64);
+  EXPECT_TRUE(LandauF(256) > LandauF(64) * 256);
+}
+
+}  // namespace
+}  // namespace ccfp

@@ -1,0 +1,233 @@
+// Theorem 3.3: the reduction from LBA acceptance to IND implication.
+#include <gtest/gtest.h>
+
+#include "ind/implication.h"
+#include "lba/lba.h"
+#include "lba/reduction.h"
+
+namespace ccfp {
+namespace {
+
+// Machine accepting inputs consisting solely of 'a's (length >= 2):
+// sweep right erasing a's; nondeterministically guess the last cell and
+// turn around; sweep left; halt at the left edge on an all-blank tape.
+struct AllAsMachine {
+  LbaMachine machine;
+  std::uint32_t a = 0;
+
+  AllAsMachine() {
+    std::uint32_t s = machine.AddState("s");
+    std::uint32_t r = machine.AddState("r");
+    std::uint32_t h = machine.AddState("h");
+    machine.SetStartState(s);
+    machine.SetHaltState(h);
+    a = machine.AddTapeSymbol("a");
+    std::uint32_t blank = machine.blank();
+    // Erase and move right.
+    machine.AddTransition(s, a, s, blank, HeadMove::kRight);
+    // Guess the last cell: erase and turn around.
+    machine.AddTransition(s, a, r, blank, HeadMove::kLeft);
+    // Return left over blanks.
+    machine.AddTransition(r, blank, r, blank, HeadMove::kLeft);
+    // At the left edge (cannot move left any more): become h. A stay-move
+    // works at every position; only the leftmost one yields h B^n.
+    machine.AddTransition(r, blank, h, blank, HeadMove::kStay);
+  }
+};
+
+// Machine accepting a^n for even n >= 2: like AllAsMachine but toggling a
+// parity state, turning around only on odd-indexed (1-based even count)
+// erasures.
+struct EvenAsMachine {
+  LbaMachine machine;
+  std::uint32_t a = 0;
+
+  EvenAsMachine() {
+    std::uint32_t s0 = machine.AddState("s0");  // even count so far
+    std::uint32_t s1 = machine.AddState("s1");  // odd count so far
+    std::uint32_t r = machine.AddState("r");
+    std::uint32_t h = machine.AddState("h");
+    machine.SetStartState(s0);
+    machine.SetHaltState(h);
+    a = machine.AddTapeSymbol("a");
+    std::uint32_t blank = machine.blank();
+    machine.AddTransition(s0, a, s1, blank, HeadMove::kRight);
+    machine.AddTransition(s1, a, s0, blank, HeadMove::kRight);
+    // Turn around when this erasure makes the count even.
+    machine.AddTransition(s1, a, r, blank, HeadMove::kLeft);
+    machine.AddTransition(r, blank, r, blank, HeadMove::kLeft);
+    machine.AddTransition(r, blank, h, blank, HeadMove::kStay);
+  }
+};
+
+TEST(LbaTest, AllAsMachineAcceptsAllAs) {
+  AllAsMachine m;
+  for (std::size_t n : {2u, 3u, 4u, 6u}) {
+    std::vector<std::uint32_t> input(n, m.a);
+    Result<LbaRunResult> result = LbaAccepts(m.machine, input);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->accepts) << "n = " << n;
+    ASSERT_FALSE(result->accepting_run.empty());
+    EXPECT_EQ(result->accepting_run.front(),
+              m.machine.InitialConfiguration(input));
+    EXPECT_EQ(result->accepting_run.back(),
+              m.machine.FinalConfiguration(n));
+  }
+}
+
+TEST(LbaTest, AllAsMachineRejectsBlankInInput) {
+  AllAsMachine m;
+  std::vector<std::uint32_t> input = {m.a, m.machine.blank(), m.a};
+  Result<LbaRunResult> result = LbaAccepts(m.machine, input);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->accepts);
+}
+
+TEST(LbaTest, EvenAsMachineChecksParity) {
+  EvenAsMachine m;
+  for (std::size_t n : {2u, 3u, 4u, 5u, 6u}) {
+    std::vector<std::uint32_t> input(n, m.a);
+    Result<LbaRunResult> result = LbaAccepts(m.machine, input);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->accepts, n % 2 == 0) << "n = " << n;
+  }
+}
+
+TEST(LbaTest, AcceptingRunStepsAreWindowRewrites) {
+  AllAsMachine m;
+  std::vector<std::uint32_t> input(3, m.a);
+  Result<LbaRunResult> result = LbaAccepts(m.machine, input);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->accepts);
+  const auto& run = result->accepting_run;
+  for (std::size_t i = 0; i + 1 < run.size(); ++i) {
+    // Consecutive configurations differ within a window of 3 positions.
+    const auto& from = run[i];
+    const auto& to = run[i + 1];
+    ASSERT_EQ(from.size(), to.size());
+    std::size_t first_diff = from.size(), last_diff = 0;
+    for (std::size_t p = 0; p < from.size(); ++p) {
+      if (!(from[p] == to[p])) {
+        first_diff = std::min(first_diff, p);
+        last_diff = std::max(last_diff, p);
+      }
+    }
+    ASSERT_LT(first_diff, from.size()) << "identical steps in run";
+    EXPECT_LE(last_diff - first_diff, 2u);
+  }
+}
+
+TEST(LbaTest, BudgetIsHonored) {
+  AllAsMachine m;
+  std::vector<std::uint32_t> input(6, m.a);
+  LbaRunOptions options;
+  options.max_configurations = 2;
+  Result<LbaRunResult> result = LbaAccepts(m.machine, input, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- The reduction itself ---------------------------------------------
+
+TEST(LbaReductionTest, SchemeShapeMatchesTheProof) {
+  AllAsMachine m;
+  std::vector<std::uint32_t> input(3, m.a);
+  Result<LbaToIndReduction> red = BuildLbaToIndReduction(m.machine, input);
+  ASSERT_TRUE(red.ok()) << red.status();
+  // One relation over (K u Gamma) x {1..n+1} attributes.
+  EXPECT_EQ(red->scheme->size(), 1u);
+  EXPECT_EQ(red->scheme->relation(0).arity(),
+            (m.machine.num_states() + m.machine.num_tape_symbols()) *
+                (input.size() + 1));
+  // One IND per (rewrite, window) pair.
+  EXPECT_EQ(red->sigma.size(),
+            m.machine.rewrites().size() * (input.size() - 1));
+  // The target IND encodes initial <= final configuration.
+  EXPECT_EQ(red->target.lhs.size(), input.size() + 1);
+}
+
+TEST(LbaReductionTest, RejectsTooShortInputs) {
+  AllAsMachine m;
+  EXPECT_FALSE(BuildLbaToIndReduction(m.machine, {m.a}).ok());
+}
+
+TEST(LbaReductionTest, AcceptanceMatchesImplicationAllAs) {
+  AllAsMachine m;
+  for (std::size_t n : {2u, 3u, 4u}) {
+    std::vector<std::uint32_t> input(n, m.a);
+    Result<LbaToIndReduction> red =
+        BuildLbaToIndReduction(m.machine, input);
+    ASSERT_TRUE(red.ok());
+    IndImplication engine(red->scheme, red->sigma);
+    Result<IndDecision> decision = engine.Decide(red->target);
+    ASSERT_TRUE(decision.ok()) << decision.status();
+    EXPECT_TRUE(decision->implied) << "n = " << n;
+  }
+  // Negative instance: blank inside the input.
+  std::vector<std::uint32_t> bad = {m.a, m.machine.blank(), m.a};
+  Result<LbaToIndReduction> red = BuildLbaToIndReduction(m.machine, bad);
+  ASSERT_TRUE(red.ok());
+  IndImplication engine(red->scheme, red->sigma);
+  Result<IndDecision> decision = engine.Decide(red->target);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->implied);
+}
+
+TEST(LbaReductionTest, AcceptanceMatchesImplicationParity) {
+  EvenAsMachine m;
+  for (std::size_t n : {2u, 3u, 4u, 5u}) {
+    std::vector<std::uint32_t> input(n, m.a);
+    Result<LbaRunResult> direct = LbaAccepts(m.machine, input);
+    ASSERT_TRUE(direct.ok());
+    Result<LbaToIndReduction> red =
+        BuildLbaToIndReduction(m.machine, input);
+    ASSERT_TRUE(red.ok());
+    IndImplication engine(red->scheme, red->sigma);
+    Result<IndDecision> decision = engine.Decide(red->target);
+    ASSERT_TRUE(decision.ok()) << decision.status();
+    EXPECT_EQ(decision->implied, direct->accepts) << "n = " << n;
+  }
+}
+
+TEST(LbaReductionTest, ImplicationProofTracksAcceptingRun) {
+  // Corollary 3.2's correspondence: the expression chain realizing the
+  // implication has the same length as some accepting computation (every
+  // chain step is one machine move).
+  AllAsMachine m;
+  std::vector<std::uint32_t> input(3, m.a);
+  Result<LbaRunResult> direct = LbaAccepts(m.machine, input);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(direct->accepts);
+
+  Result<LbaToIndReduction> red = BuildLbaToIndReduction(m.machine, input);
+  ASSERT_TRUE(red.ok());
+  IndImplication engine(red->scheme, red->sigma);
+  IndDecisionOptions options;
+  options.want_proof = true;
+  Result<IndDecision> decision = engine.Decide(red->target, options);
+  ASSERT_TRUE(decision.ok());
+  ASSERT_TRUE(decision->implied);
+  // BFS finds a *shortest* chain; the direct BFS over configurations also
+  // finds a shortest run; they must agree in length.
+  EXPECT_EQ(decision->chain_length, direct->accepting_run.size());
+  ASSERT_TRUE(decision->proof.has_value());
+  EXPECT_TRUE(decision->proof->Check().ok());
+}
+
+TEST(LbaReductionTest, ConfigurationExpressionRoundTrip) {
+  AllAsMachine m;
+  std::vector<std::uint32_t> input(3, m.a);
+  Result<LbaToIndReduction> red = BuildLbaToIndReduction(m.machine, input);
+  ASSERT_TRUE(red.ok());
+  std::vector<LbaSymbol> config = m.machine.InitialConfiguration(input);
+  std::vector<AttrId> expr = red->ConfigurationExpression(config);
+  ASSERT_EQ(expr.size(), config.size());
+  EXPECT_EQ(expr, red->target.lhs);
+  // Attribute names encode symbol and position.
+  const RelationScheme& rel = red->scheme->relation(0);
+  EXPECT_EQ(rel.attr_name(expr[0]), "q:s@1");
+  EXPECT_EQ(rel.attr_name(expr[1]), "t:a@2");
+}
+
+}  // namespace
+}  // namespace ccfp

@@ -1,0 +1,163 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/satisfies.h"
+#include "interact/rules.h"
+#include "mine/discovery.h"
+#include "util/rng.h"
+
+namespace ccfp {
+namespace {
+
+class MineTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ = MakeScheme({{"R", {"A", "B", "C"}}, {"S", {"D", "E"}}});
+
+  Database Db(const std::string& text) {
+    return ParseDatabase(scheme_, text).value();
+  }
+};
+
+TEST_F(MineTest, MinesKeyFd) {
+  Database db = Db("R(1, 10, 5)\nR(2, 20, 5)\nR(3, 20, 5)");
+  std::vector<Fd> fds = MineFds(db, 0);
+  // A -> B holds, B -> A fails (20 maps to 2 and 3).
+  EXPECT_NE(std::find(fds.begin(), fds.end(),
+                      MakeFd(*scheme_, "R", {"A"}, {"B"})),
+            fds.end());
+  EXPECT_EQ(std::find(fds.begin(), fds.end(),
+                      MakeFd(*scheme_, "R", {"B"}, {"A"})),
+            fds.end());
+}
+
+TEST_F(MineTest, MinimalityPrunesAugmentedLhs) {
+  Database db = Db("R(1, 10, 5)\nR(2, 20, 6)");
+  FdMiningOptions options;
+  options.max_lhs = 2;
+  std::vector<Fd> fds = MineFds(db, 0, options);
+  // A -> B mined; A,C -> B subsumed by it.
+  EXPECT_NE(std::find(fds.begin(), fds.end(),
+                      MakeFd(*scheme_, "R", {"A"}, {"B"})),
+            fds.end());
+  EXPECT_EQ(std::find(fds.begin(), fds.end(),
+                      MakeFd(*scheme_, "R", {"A", "C"}, {"B"})),
+            fds.end());
+}
+
+TEST_F(MineTest, NonMinimalModeKeepsEverything) {
+  Database db = Db("R(1, 10, 5)\nR(2, 20, 6)");
+  FdMiningOptions options;
+  options.max_lhs = 2;
+  options.minimal_only = false;
+  std::vector<Fd> all = MineFds(db, 0, options);
+  options.minimal_only = true;
+  std::vector<Fd> minimal = MineFds(db, 0, options);
+  EXPECT_GT(all.size(), minimal.size());
+}
+
+TEST_F(MineTest, ConstantColumnsNeedOptIn) {
+  Database db = Db("R(1, 10, 5)\nR(2, 20, 5)");
+  FdMiningOptions options;
+  options.include_constants = true;
+  std::vector<Fd> with_constants = MineFds(db, 0, options);
+  // {} -> C (column C constant).
+  EXPECT_NE(std::find(with_constants.begin(), with_constants.end(),
+                      MakeFd(*scheme_, "R", {}, {"C"})),
+            with_constants.end());
+  std::vector<Fd> without = MineFds(db, 0);
+  EXPECT_EQ(std::find(without.begin(), without.end(),
+                      MakeFd(*scheme_, "R", {}, {"C"})),
+            without.end());
+}
+
+TEST_F(MineTest, MinesUnaryInds) {
+  Database db = Db("R(1, 10, 5)\nS(1, 99)\nS(2, 98)");
+  std::vector<Ind> inds = MineInds(db);
+  EXPECT_NE(std::find(inds.begin(), inds.end(),
+                      MakeInd(*scheme_, "R", {"A"}, "S", {"D"})),
+            inds.end());
+  EXPECT_EQ(std::find(inds.begin(), inds.end(),
+                      MakeInd(*scheme_, "S", {"D"}, "R", {"A"})),
+            inds.end());
+}
+
+TEST_F(MineTest, MinesWiderIndsOnDemand) {
+  Database db = Db("R(1, 10, 5)\nS(1, 10)");
+  IndMiningOptions options;
+  options.max_width = 2;
+  std::vector<Ind> inds = MineInds(db, options);
+  EXPECT_NE(std::find(inds.begin(), inds.end(),
+                      MakeInd(*scheme_, "R", {"A", "B"}, "S", {"D", "E"})),
+            inds.end());
+}
+
+TEST_F(MineTest, SkipsVacuousIndsByDefault) {
+  Database db = Db("S(1, 99)");  // R empty
+  std::vector<Ind> inds = MineInds(db);
+  for (const Ind& ind : inds) {
+    EXPECT_NE(ind.lhs_rel, 0u) << "vacuous IND from empty R reported";
+  }
+  IndMiningOptions options;
+  options.skip_vacuous = false;
+  std::vector<Ind> all = MineInds(db, options);
+  EXPECT_GT(all.size(), inds.size());
+}
+
+TEST_F(MineTest, MinesRds) {
+  Database db = Db("R(1, 1, 5)\nR(2, 2, 7)");
+  std::vector<Rd> rds = MineRds(db);
+  ASSERT_EQ(rds.size(), 1u);
+  EXPECT_EQ(rds[0], MakeRd(*scheme_, "R", {"A"}, {"B"}));
+}
+
+// Everything mined must actually hold (mining is model checking).
+TEST_F(MineTest, MinedDependenciesHoldOnRandomDatabases) {
+  SplitMix64 rng(4711);
+  for (int trial = 0; trial < 20; ++trial) {
+    Database db(scheme_);
+    for (int i = 0; i < 4; ++i) {
+      db.Insert(0, TupleOfInts({static_cast<std::int64_t>(rng.Below(3)),
+                                static_cast<std::int64_t>(rng.Below(3)),
+                                static_cast<std::int64_t>(rng.Below(3))}));
+      db.Insert(1, TupleOfInts({static_cast<std::int64_t>(rng.Below(3)),
+                                static_cast<std::int64_t>(rng.Below(3))}));
+    }
+    for (RelId rel = 0; rel < scheme_->size(); ++rel) {
+      for (const Fd& fd : MineFds(db, rel)) {
+        EXPECT_TRUE(Satisfies(db, fd));
+      }
+    }
+    IndMiningOptions options;
+    options.max_width = 2;
+    for (const Ind& ind : MineInds(db, options)) {
+      EXPECT_TRUE(Satisfies(db, ind));
+    }
+    for (const Rd& rd : MineRds(db)) {
+      EXPECT_TRUE(Satisfies(db, rd));
+      // The mined RD's FD/IND consequences must hold too (soundness of
+      // RdConsequences).
+      for (const Dependency& dep : RdConsequences(*scheme_, rd)) {
+        EXPECT_TRUE(Satisfies(db, dep)) << dep.ToString(*scheme_);
+      }
+    }
+  }
+}
+
+// An RD is strictly stronger than its FD+IND consequences: separating
+// database (the paper: nontrivial RDs are not equivalent to FD+IND sets).
+TEST_F(MineTest, RdStrictlyStrongerThanConsequences) {
+  Rd rd = MakeRd(*scheme_, "S", {"D"}, {"E"});
+  std::vector<Dependency> consequences = RdConsequences(*scheme_, rd);
+  // d = {(1,2), (2,1)}: D <-> E bijection, both INDs hold, both FDs hold,
+  // but no tuple has D = E.
+  Database db = Db("S(1, 2)\nS(2, 1)");
+  for (const Dependency& dep : consequences) {
+    if (dep.is_rd()) continue;  // the mirrored RD is equally violated
+    EXPECT_TRUE(Satisfies(db, dep)) << dep.ToString(*scheme_);
+  }
+  EXPECT_FALSE(Satisfies(db, rd));
+}
+
+}  // namespace
+}  // namespace ccfp

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "fd/closure.h"
+#include "fd/normal_forms.h"
+
+namespace ccfp {
+namespace {
+
+class NormalFormsTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ = MakeScheme({{"R", {"A", "B", "C"}}});
+};
+
+TEST_F(NormalFormsTest, KeyOnlySchemaIsBcnf) {
+  // A -> BC: A is the key, and the only nontrivial lhs that determines
+  // anything is a superkey.
+  std::vector<Fd> sigma = {MakeFd(*scheme_, "R", {"A"}, {"B", "C"})};
+  EXPECT_TRUE(IsBcnf(*scheme_, 0, sigma));
+  EXPECT_TRUE(Is3nf(*scheme_, 0, sigma));
+}
+
+TEST_F(NormalFormsTest, TransitiveDependencyBreaksBcnf) {
+  // A -> B, B -> C: B -> C violates BCNF (B is not a superkey) and 3NF
+  // (C is not prime).
+  std::vector<Fd> sigma = {MakeFd(*scheme_, "R", {"A"}, {"B"}),
+                           MakeFd(*scheme_, "R", {"B"}, {"C"})};
+  EXPECT_FALSE(IsBcnf(*scheme_, 0, sigma));
+  EXPECT_FALSE(Is3nf(*scheme_, 0, sigma));
+  std::vector<NormalFormViolation> violations =
+      BcnfViolations(*scheme_, 0, sigma);
+  ASSERT_FALSE(violations.empty());
+  bool found_b_to_c = false;
+  for (const NormalFormViolation& v : violations) {
+    if (v.fd.lhs == std::vector<AttrId>{1} &&
+        v.fd.rhs == std::vector<AttrId>{2}) {
+      found_b_to_c = true;
+      EXPECT_FALSE(v.reason.empty());
+    }
+  }
+  EXPECT_TRUE(found_b_to_c);
+}
+
+TEST_F(NormalFormsTest, ThreeNfButNotBcnf) {
+  // Classic: AB -> C, C -> A (street/city/zip pattern). Keys: AB, CB.
+  // C -> A breaks BCNF; but A is prime, so 3NF holds.
+  std::vector<Fd> sigma = {MakeFd(*scheme_, "R", {"A", "B"}, {"C"}),
+                           MakeFd(*scheme_, "R", {"C"}, {"A"})};
+  EXPECT_FALSE(IsBcnf(*scheme_, 0, sigma));
+  EXPECT_TRUE(Is3nf(*scheme_, 0, sigma));
+}
+
+TEST_F(NormalFormsTest, NoFdsIsTriviallyBcnf) {
+  EXPECT_TRUE(IsBcnf(*scheme_, 0, {}));
+  EXPECT_TRUE(Is3nf(*scheme_, 0, {}));
+}
+
+TEST_F(NormalFormsTest, PrimeAttributes) {
+  std::vector<Fd> sigma = {MakeFd(*scheme_, "R", {"A", "B"}, {"C"}),
+                           MakeFd(*scheme_, "R", {"C"}, {"A"})};
+  std::vector<AttrId> prime = PrimeAttributes(*scheme_, 0, sigma);
+  // Keys {A,B} and {B,C}: every attribute is prime.
+  EXPECT_EQ(prime.size(), 3u);
+}
+
+TEST_F(NormalFormsTest, ViolationsOnlyMentionImpliedFds) {
+  std::vector<Fd> sigma = {MakeFd(*scheme_, "R", {"A"}, {"B"})};
+  for (const NormalFormViolation& v : BcnfViolations(*scheme_, 0, sigma)) {
+    // Each reported FD must actually be implied.
+    FdClosure closure(*scheme_, 0, sigma);
+    EXPECT_TRUE(closure.Implies(v.fd))
+        << Dependency(v.fd).ToString(*scheme_);
+  }
+}
+
+}  // namespace
+}  // namespace ccfp

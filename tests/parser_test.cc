@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "util/rng.h"
+
+namespace ccfp {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ =
+      MakeScheme({{"R", {"A", "B", "C"}}, {"S", {"D", "E"}}});
+
+  Dependency Parse(const std::string& text) {
+    Result<Dependency> dep = ParseDependency(*scheme_, text);
+    EXPECT_TRUE(dep.ok()) << text << ": " << dep.status();
+    return dep.MoveValue();
+  }
+};
+
+TEST_F(ParserTest, ParsesFd) {
+  Dependency dep = Parse("R: A, B -> C");
+  ASSERT_TRUE(dep.is_fd());
+  EXPECT_EQ(dep, Dependency(MakeFd(*scheme_, "R", {"A", "B"}, {"C"})));
+}
+
+TEST_F(ParserTest, ParsesEmptyLhsFd) {
+  Dependency dep = Parse("R: -> C");
+  ASSERT_TRUE(dep.is_fd());
+  EXPECT_TRUE(dep.fd().lhs.empty());
+}
+
+TEST_F(ParserTest, ParsesInd) {
+  Dependency dep = Parse("R[A, B] <= S[D, E]");
+  ASSERT_TRUE(dep.is_ind());
+  EXPECT_EQ(dep,
+            Dependency(MakeInd(*scheme_, "R", {"A", "B"}, "S", {"D", "E"})));
+}
+
+TEST_F(ParserTest, ParsesSelfInd) {
+  Dependency dep = Parse("R[A] <= R[B]");
+  ASSERT_TRUE(dep.is_ind());
+  EXPECT_EQ(dep.ind().lhs_rel, dep.ind().rhs_rel);
+}
+
+TEST_F(ParserTest, ParsesRd) {
+  Dependency dep = Parse("R[A = B]");
+  ASSERT_TRUE(dep.is_rd());
+  EXPECT_EQ(dep, Dependency(MakeRd(*scheme_, "R", {"A"}, {"B"})));
+}
+
+TEST_F(ParserTest, ParsesWideRd) {
+  Dependency dep = Parse("R[A, B = B, C]");
+  ASSERT_TRUE(dep.is_rd());
+  EXPECT_EQ(dep.rd().lhs.size(), 2u);
+}
+
+TEST_F(ParserTest, ParsesMvd) {
+  Dependency dep = Parse("R: A ->> B");
+  ASSERT_TRUE(dep.is_mvd());
+}
+
+TEST_F(ParserTest, ParsesEmvd) {
+  Dependency dep = Parse("R: A ->> B | C");
+  ASSERT_TRUE(dep.is_emvd());
+  EXPECT_EQ(dep, Dependency(MakeEmvd(*scheme_, "R", {"A"}, {"B"}, {"C"})));
+}
+
+TEST_F(ParserTest, RoundTripsThroughToString) {
+  for (const char* text :
+       {"R: A, B -> C", "R[A, B] <= S[D, E]", "R[A = B]", "R: A ->> B | C",
+        "R: A ->> B"}) {
+    Dependency dep = Parse(text);
+    Dependency again = Parse(dep.ToString(*scheme_));
+    EXPECT_EQ(dep, again) << text;
+  }
+}
+
+TEST_F(ParserTest, RejectsUnknownNames) {
+  EXPECT_FALSE(ParseDependency(*scheme_, "T: A -> B").ok());
+  EXPECT_FALSE(ParseDependency(*scheme_, "R: A -> Z").ok());
+  EXPECT_FALSE(ParseDependency(*scheme_, "R[A] <= T[D]").ok());
+}
+
+TEST_F(ParserTest, RejectsMalformedSyntax) {
+  EXPECT_FALSE(ParseDependency(*scheme_, "").ok());
+  EXPECT_FALSE(ParseDependency(*scheme_, "R A -> B").ok());
+  EXPECT_FALSE(ParseDependency(*scheme_, "R[A, B]").ok());
+  EXPECT_FALSE(ParseDependency(*scheme_, "R[A] <= S[D, E]").ok());
+  EXPECT_FALSE(ParseDependency(*scheme_, "R: A, A -> B").ok());
+}
+
+TEST_F(ParserTest, ParseDependenciesSkipsCommentsAndBlanks) {
+  Result<std::vector<Dependency>> deps = ParseDependencies(*scheme_, R"(
+# functional dependencies
+R: A -> B
+
+# inclusion dependencies
+R[A] <= S[D]
+)");
+  ASSERT_TRUE(deps.ok()) << deps.status();
+  EXPECT_EQ(deps->size(), 2u);
+}
+
+TEST_F(ParserTest, ParseDependenciesReportsLineNumber) {
+  Result<std::vector<Dependency>> deps =
+      ParseDependencies(*scheme_, "R: A -> B\nbogus line\n");
+  ASSERT_FALSE(deps.ok());
+  EXPECT_NE(deps.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(ParserTest, ParsesDatabaseValues) {
+  Result<Database> db = ParseDatabase(scheme_, R"(
+R(1, -2, hello)
+R(3, "quoted text", _n7)
+S(1, 2)
+)");
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->relation(0).size(), 2u);
+  EXPECT_EQ(db->relation(1).size(), 1u);
+  const Tuple& t0 = db->relation(0).tuples()[0];
+  EXPECT_EQ(t0[0], Value::Int(1));
+  EXPECT_EQ(t0[1], Value::Int(-2));
+  EXPECT_EQ(t0[2], Value::Str("hello"));
+  const Tuple& t1 = db->relation(0).tuples()[1];
+  EXPECT_EQ(t1[1], Value::Str("quoted text"));
+  EXPECT_EQ(t1[2], Value::Null(7));
+}
+
+TEST_F(ParserTest, ParseDatabaseRejectsArityMismatch) {
+  EXPECT_FALSE(ParseDatabase(scheme_, "R(1, 2)").ok());
+  EXPECT_FALSE(ParseDatabase(scheme_, "T(1)").ok());
+  EXPECT_FALSE(ParseDatabase(scheme_, "R 1, 2, 3").ok());
+}
+
+// Robustness fuzz: random byte soup must produce an error Status, never a
+// crash or a silently-accepted dependency.
+class ParserFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzzTest, GarbageNeverCrashes) {
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"C"}}});
+  SplitMix64 rng(GetParam());
+  const char alphabet[] = "RSABC:<=->[](),| \t#0123456789abc\"";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    std::size_t len = rng.Below(24);
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.Below(sizeof(alphabet) - 1)]);
+    }
+    Result<Dependency> dep = ParseDependency(*scheme, text);
+    if (dep.ok()) {
+      // Whatever parsed must be valid and must round-trip.
+      EXPECT_TRUE(Validate(*scheme, *dep).ok()) << text;
+      Result<Dependency> again =
+          ParseDependency(*scheme, dep->ToString(*scheme));
+      ASSERT_TRUE(again.ok()) << text;
+      EXPECT_EQ(*again, *dep) << text;
+    }
+    // Database lines too.
+    Result<Database> db = ParseDatabase(scheme, text);
+    (void)db;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace ccfp

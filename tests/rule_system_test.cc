@@ -1,0 +1,140 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "axiom/rule_system.h"
+#include "axiom/sentence.h"
+#include "core/parser.h"
+#include "ind/implication.h"
+#include "interact/unary_finite.h"
+
+namespace ccfp {
+namespace {
+
+class RuleSystemTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+
+  Dependency Dep(const std::string& text) {
+    return ParseDependency(*scheme_, text).value();
+  }
+};
+
+TEST_F(RuleSystemTest, InstantiatedIndRulesAreTwoAry) {
+  std::vector<GenericRule> rules = InstantiateIndRules(*scheme_, 2);
+  RuleSystem system(rules);
+  EXPECT_EQ(system.MaxArity(), 2u);
+  EXPECT_FALSE(rules.empty());
+}
+
+TEST_F(RuleSystemTest, InstantiatedIndRulesAreSound) {
+  std::vector<GenericRule> rules = InstantiateIndRules(*scheme_, 2);
+  RuleSystem system(rules);
+  IndOracle oracle(scheme_);
+  EXPECT_TRUE(system.CheckSoundness(oracle, *scheme_).ok());
+}
+
+TEST_F(RuleSystemTest, ForwardChainingMatchesDecisionProcedure) {
+  // The ground IND1/IND2/IND3 system is a complete axiomatization for the
+  // width-<=2 INDs over this scheme: forward chaining from Sigma derives
+  // exactly the consequences the BFS engine reports.
+  std::vector<GenericRule> rules = InstantiateIndRules(*scheme_, 2);
+  RuleSystem system(rules);
+
+  std::vector<Dependency> sigma = {Dep("R[A, B] <= S[C, D]"),
+                                   Dep("S[C] <= S[D]")};
+  std::vector<Dependency> derived = system.DeriveAll(sigma);
+
+  std::vector<Ind> sigma_inds;
+  for (const Dependency& d : sigma) sigma_inds.push_back(d.ind());
+  IndImplication engine(scheme_, sigma_inds);
+  std::vector<Ind> implied = engine.AllImpliedInds(2);
+
+  // derived (as a set) == implied (as a set).
+  auto to_sorted = [](std::vector<Dependency> deps) {
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    return deps;
+  };
+  std::vector<Dependency> implied_deps;
+  for (const Ind& ind : implied) implied_deps.push_back(Dependency(ind));
+  EXPECT_EQ(to_sorted(derived), to_sorted(implied_deps));
+}
+
+TEST_F(RuleSystemTest, DerivesAnswersPointQueries) {
+  std::vector<GenericRule> rules = InstantiateIndRules(*scheme_, 2);
+  RuleSystem system(rules);
+  std::vector<Dependency> sigma = {Dep("R[A] <= S[C]"),
+                                   Dep("S[C] <= S[D]")};
+  EXPECT_TRUE(system.Derives(sigma, Dep("R[A] <= S[D]")));
+  EXPECT_FALSE(system.Derives(sigma, Dep("S[D] <= R[A]")));
+  EXPECT_TRUE(system.Derives(sigma, Dep("R[A] <= R[A]")));  // IND1 axiom
+}
+
+TEST_F(RuleSystemTest, UnsoundRuleIsDetected) {
+  std::vector<GenericRule> rules = {
+      GenericRule{{Dep("R[A] <= S[C]")}, Dep("S[C] <= R[A]")},
+  };
+  RuleSystem system(rules);
+  IndOracle oracle(scheme_);
+  Status status = system.CheckSoundness(oracle, *scheme_);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RuleSystemTest, RuleToStringShowsShape) {
+  GenericRule axiom{{}, Dep("R[A] <= R[A]")};
+  EXPECT_NE(axiom.ToString(*scheme_).find("axiom"), std::string::npos);
+  GenericRule rule{{Dep("R[A] <= S[C]")}, Dep("R[A] <= S[C]")};
+  EXPECT_NE(rule.ToString(*scheme_).find("if {"), std::string::npos);
+}
+
+// The KCV binary system for unary FDs + unary INDs (unrestricted): ground
+// forward chaining must coincide with the UnaryUnrestrictedImplication
+// engine — including NOT deriving the Theorem 4.4 counting consequences.
+TEST_F(RuleSystemTest, UnaryFdIndSystemMatchesNonInteractionEngine) {
+  std::vector<GenericRule> rules = InstantiateUnaryFdIndRules(*scheme_);
+  RuleSystem system(rules);
+  EXPECT_EQ(system.MaxArity(), 2u);
+
+  std::vector<Dependency> sigma = {Dep("R: A -> B"), Dep("R[A] <= S[C]"),
+                                   Dep("S[C] <= S[D]")};
+  std::vector<Fd> fds = {sigma[0].fd()};
+  std::vector<Ind> inds = {sigma[1].ind(), sigma[2].ind()};
+  UnaryUnrestrictedImplication engine(scheme_, fds, inds);
+
+  for (const char* text :
+       {"R: A -> B", "R: B -> A", "R[A] <= S[D]", "S[C] <= R[A]",
+        "R[A] <= S[C]", "R[B] <= S[C]"}) {
+    Dependency target = Dep(text);
+    EXPECT_EQ(system.Derives(sigma, target), engine.Implies(target))
+        << text;
+  }
+}
+
+TEST_F(RuleSystemTest, UnaryFdIndSystemRefusesCountingConsequences) {
+  // Theorem 4.4 through the rule-system lens: the binary unrestricted
+  // system does NOT derive R[B] <= R[A] from {R: A -> B, R[A] <= R[B]} —
+  // and no ground rule set of any fixed arity for |=fin could be complete
+  // (Theorem 6.1).
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}});
+  std::vector<GenericRule> rules = InstantiateUnaryFdIndRules(*scheme);
+  RuleSystem system(rules);
+  auto dep = [&](const std::string& text) {
+    return ParseDependency(*scheme, text).value();
+  };
+  std::vector<Dependency> sigma = {dep("R: A -> B"), dep("R[A] <= R[B]")};
+  EXPECT_FALSE(system.Derives(sigma, dep("R[B] <= R[A]")));
+  EXPECT_FALSE(system.Derives(sigma, dep("R: B -> A")));
+}
+
+TEST_F(RuleSystemTest, UnaryFdIndSystemIsSoundForFiniteImplicationToo) {
+  // Soundness of the unary system holds under both semantics; check it
+  // against the *finite* oracle as well (|= implies |=fin).
+  std::vector<GenericRule> rules = InstantiateUnaryFdIndRules(*scheme_);
+  RuleSystem system(rules);
+  UnaryFiniteOracle oracle(scheme_);
+  EXPECT_TRUE(system.CheckSoundness(oracle, *scheme_).ok());
+}
+
+}  // namespace
+}  // namespace ccfp

@@ -1,0 +1,185 @@
+// Theorem 5.3 (Sagiv-Walecka, via Corollary 5.2): the EMVD family
+// Sigma_k = { A1 ->> A2 | B, ..., A_{k+1} ->> A1 | B } with target
+// A1 ->> A_{k+1} | B. EMVD implication has no known decision procedure, so
+// these tests combine the bounded EMVD chase (exact when it converges) with
+// counterexample search over sampled finite models.
+#include <gtest/gtest.h>
+
+#include "axiom/kary.h"
+#include "chase/emvd_chase.h"
+#include "constructions/sagiv_walecka.h"
+#include "core/satisfies.h"
+#include "util/rng.h"
+
+namespace ccfp {
+namespace {
+
+TEST(SagivWaleckaTest, ConstructionShape) {
+  SagivWaleckaConstruction c = MakeSagivWalecka(3);
+  EXPECT_EQ(c.scheme->relation(0).arity(), 5u);  // A1..A4, B
+  EXPECT_EQ(c.sigma.size(), 4u);                 // k + 1 EMVDs
+  EXPECT_EQ(Dependency(c.target).ToString(*c.scheme), "R: A1 ->> A4 | B");
+}
+
+TEST(SagivWaleckaTest, SigmaImpliesTargetViaChaseForKOne) {
+  // k = 1: Sigma = {A1 ->> A2 | B, A2 ->> A1 | B}, target A1 ->> A2 | B —
+  // which is literally a member, so the chase trivially confirms it.
+  SagivWaleckaConstruction c = MakeSagivWalecka(1);
+  Result<bool> implied = EmvdChaseImplies(c.scheme, c.sigma, c.target);
+  ASSERT_TRUE(implied.ok()) << implied.status();
+  EXPECT_TRUE(*implied);
+}
+
+TEST(SagivWaleckaTest, ConditionIHoldsOnSampledModels) {
+  // (i) Sigma |= target: every sampled finite model of Sigma satisfies the
+  // target (evidence-mode check; the general claim is Sagiv-Walecka's).
+  for (std::size_t k : {1u, 2u}) {
+    SagivWaleckaConstruction c = MakeSagivWalecka(k);
+    std::size_t arity = c.scheme->relation(0).arity();
+    SplitMix64 rng(k * 7919 + 1);
+    int models = 0;
+    for (int attempt = 0; attempt < 4000 && models < 8; ++attempt) {
+      Database db(c.scheme);
+      int size = 1 + static_cast<int>(rng.Below(4));
+      for (int i = 0; i < size; ++i) {
+        Tuple t;
+        for (std::size_t a = 0; a < arity; ++a) {
+          t.push_back(Value::Int(static_cast<std::int64_t>(rng.Below(2))));
+        }
+        db.Insert(0, std::move(t));
+      }
+      bool model = true;
+      for (const Emvd& e : c.sigma) model = model && Satisfies(db, e);
+      if (!model) continue;
+      ++models;
+      EXPECT_TRUE(Satisfies(db, c.target))
+          << "k = " << k << ", model:\n" << db.ToString();
+    }
+    EXPECT_GE(models, 4) << "k = " << k;
+  }
+}
+
+TEST(SagivWaleckaTest, ConditionIiNoSingleMemberImpliesTarget) {
+  // (ii) For each tau in Sigma, find a finite database satisfying tau but
+  // violating the target — an exact refutation of {tau} |= target.
+  std::size_t k = 2;
+  SagivWaleckaConstruction c = MakeSagivWalecka(k);
+  std::size_t arity = c.scheme->relation(0).arity();
+  SplitMix64 rng(31337);
+  for (const Emvd& tau : c.sigma) {
+    bool refuted = false;
+    for (int attempt = 0; attempt < 20000 && !refuted; ++attempt) {
+      Database db(c.scheme);
+      int size = 2 + static_cast<int>(rng.Below(3));
+      for (int i = 0; i < size; ++i) {
+        Tuple t;
+        for (std::size_t a = 0; a < arity; ++a) {
+          t.push_back(Value::Int(static_cast<std::int64_t>(rng.Below(2))));
+        }
+        db.Insert(0, std::move(t));
+      }
+      if (Satisfies(db, tau) && !Satisfies(db, c.target)) refuted = true;
+    }
+    EXPECT_TRUE(refuted) << "no counterexample found for "
+                         << Dependency(tau).ToString(*c.scheme);
+  }
+}
+
+TEST(SagivWaleckaTest, ChaseNeverRefutesTheImplication) {
+  // The bounded chase on (Sigma, target) either converges to "implied" or
+  // runs out of budget; it must never produce a countermodel (that would
+  // contradict Sagiv-Walecka).
+  for (std::size_t k : {1u, 2u, 3u}) {
+    SagivWaleckaConstruction c = MakeSagivWalecka(k);
+    EmvdChaseOptions options;
+    options.max_tuples = 2048;
+    options.max_rounds = 12;
+    Result<bool> implied =
+        EmvdChaseImplies(c.scheme, c.sigma, c.target, options);
+    if (implied.ok()) {
+      EXPECT_TRUE(*implied) << "k = " << k;
+    } else {
+      EXPECT_EQ(implied.status().code(), StatusCode::kResourceExhausted);
+    }
+  }
+}
+
+// Minimal exact oracle for EMVDs: counterexample sampling first, then the
+// bounded chase. Used to exercise the Corollary 5.2 checker's plumbing.
+class EmvdSampledOracle : public ImplicationOracle {
+ public:
+  explicit EmvdSampledOracle(SchemePtr scheme) : scheme_(std::move(scheme)) {}
+
+  ImplicationVerdict Implies(const std::vector<Dependency>& premises,
+                             const Dependency& conclusion) const override {
+    if (!conclusion.is_emvd()) return ImplicationVerdict::kUnknown;
+    std::vector<Emvd> emvds;
+    for (const Dependency& p : premises) {
+      if (!p.is_emvd()) return ImplicationVerdict::kUnknown;
+      emvds.push_back(p.emvd());
+    }
+    // Counterexample sampling.
+    std::size_t arity = scheme_->relation(0).arity();
+    SplitMix64 rng(12345);
+    for (int attempt = 0; attempt < 3000; ++attempt) {
+      Database db(scheme_);
+      int size = 2 + static_cast<int>(rng.Below(3));
+      for (int i = 0; i < size; ++i) {
+        Tuple t;
+        for (std::size_t a = 0; a < arity; ++a) {
+          t.push_back(Value::Int(static_cast<std::int64_t>(rng.Below(2))));
+        }
+        db.Insert(0, std::move(t));
+      }
+      bool premises_hold = true;
+      for (const Emvd& e : emvds) {
+        premises_hold = premises_hold && Satisfies(db, e);
+      }
+      if (premises_hold && !Satisfies(db, conclusion.emvd())) {
+        return ImplicationVerdict::kNotImplied;
+      }
+    }
+    // Bounded chase.
+    EmvdChaseOptions options;
+    options.max_tuples = 512;
+    options.max_rounds = 8;
+    Result<bool> implied =
+        EmvdChaseImplies(scheme_, emvds, conclusion.emvd(), options);
+    if (implied.ok() && *implied) return ImplicationVerdict::kImplied;
+    return ImplicationVerdict::kUnknown;
+  }
+
+  std::string name() const override { return "emvd-sampled"; }
+
+ private:
+  SchemePtr scheme_;
+};
+
+TEST(SagivWaleckaTest, Corollary52ConditionsOneAndTwoViaChecker) {
+  // Run the Corollary 5.2 checker restricted to conditions it can decide
+  // with the sampled oracle: we pass universe = {target} so (iii) reduces
+  // to subsets of Sigma against the target only. With k = 1 and the k=2
+  // construction, no 1-subset implies the target, so (iii) holds; (i) and
+  // (ii) are checked directly.
+  SagivWaleckaConstruction c = MakeSagivWalecka(2);
+  EmvdSampledOracle oracle(c.scheme);
+  // (ii) directly:
+  for (const Emvd& tau : c.sigma) {
+    EXPECT_EQ(oracle.Implies({Dependency(tau)}, Dependency(c.target)),
+              ImplicationVerdict::kNotImplied)
+        << Dependency(tau).ToString(*c.scheme);
+  }
+  KaryStats stats;
+  auto failure =
+      CheckCorollary52({Dependency(c.target)}, c.SigmaDeps(),
+                       Dependency(c.target), oracle, 1, *c.scheme, &stats);
+  // (i) needs the full Sigma |= target, which the sampled oracle may not
+  // prove (chase budget); accept either a clean pass or an (i) failure
+  // flagged as unknown — but never a (ii)/(iii) failure.
+  if (failure.has_value()) {
+    EXPECT_NE(failure->find("(i)"), std::string::npos) << *failure;
+  }
+}
+
+}  // namespace
+}  // namespace ccfp

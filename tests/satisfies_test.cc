@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "core/satisfies.h"
+
+namespace ccfp {
+namespace {
+
+class SatisfiesTest : public ::testing::Test {
+ protected:
+  SchemePtr scheme_ =
+      MakeScheme({{"R", {"A", "B", "C"}}, {"S", {"D", "E"}}});
+
+  Database Db(const std::string& text) {
+    Result<Database> db = ParseDatabase(scheme_, text);
+    EXPECT_TRUE(db.ok()) << db.status();
+    return db.MoveValue();
+  }
+};
+
+TEST_F(SatisfiesTest, FdHoldsAndFails) {
+  Database ok = Db("R(1, 2, 3)\nR(1, 2, 3)\nR(4, 2, 3)");
+  EXPECT_TRUE(Satisfies(ok, MakeFd(*scheme_, "R", {"A"}, {"B"})));
+  Database bad = Db("R(1, 2, 3)\nR(1, 5, 3)");
+  EXPECT_FALSE(Satisfies(bad, MakeFd(*scheme_, "R", {"A"}, {"B"})));
+  EXPECT_TRUE(Satisfies(bad, MakeFd(*scheme_, "R", {"A"}, {"C"})));
+}
+
+TEST_F(SatisfiesTest, EmptyLhsFdMeansConstantColumn) {
+  Database constant = Db("R(1, 2, 3)\nR(4, 2, 5)");
+  EXPECT_TRUE(Satisfies(constant, MakeFd(*scheme_, "R", {}, {"B"})));
+  EXPECT_FALSE(Satisfies(constant, MakeFd(*scheme_, "R", {}, {"A"})));
+}
+
+TEST_F(SatisfiesTest, FdOnEmptyRelationHolds) {
+  Database empty = Db("");
+  EXPECT_TRUE(Satisfies(empty, MakeFd(*scheme_, "R", {"A"}, {"B"})));
+}
+
+TEST_F(SatisfiesTest, IndHoldsAndFails) {
+  Database db = Db("R(1, 2, 3)\nS(1, 2)\nS(9, 9)");
+  EXPECT_TRUE(
+      Satisfies(db, MakeInd(*scheme_, "R", {"A", "B"}, "S", {"D", "E"})));
+  EXPECT_FALSE(
+      Satisfies(db, MakeInd(*scheme_, "R", {"B", "A"}, "S", {"D", "E"})));
+  EXPECT_FALSE(Satisfies(db, MakeInd(*scheme_, "S", {"D"}, "R", {"A"})));
+}
+
+TEST_F(SatisfiesTest, IndOrderMatters) {
+  Database db = Db("R(1, 2, 3)\nS(2, 1)");
+  // (A,B) = (1,2) appears as (E,D), not as (D,E).
+  EXPECT_FALSE(
+      Satisfies(db, MakeInd(*scheme_, "R", {"A", "B"}, "S", {"D", "E"})));
+  EXPECT_TRUE(
+      Satisfies(db, MakeInd(*scheme_, "R", {"A", "B"}, "S", {"E", "D"})));
+}
+
+TEST_F(SatisfiesTest, IndFromEmptyLhsHolds) {
+  Database db = Db("S(1, 2)");
+  EXPECT_TRUE(Satisfies(db, MakeInd(*scheme_, "R", {"A"}, "S", {"D"})));
+}
+
+TEST_F(SatisfiesTest, RdHoldsAndFails) {
+  Database eq = Db("R(1, 1, 3)\nR(2, 2, 5)");
+  EXPECT_TRUE(Satisfies(eq, MakeRd(*scheme_, "R", {"A"}, {"B"})));
+  EXPECT_FALSE(Satisfies(eq, MakeRd(*scheme_, "R", {"A"}, {"C"})));
+}
+
+TEST_F(SatisfiesTest, EmvdHoldsOnWitnessClosedRelation) {
+  // Classic MVD pattern: A ->> B | C requires the cross product within
+  // each A-group.
+  Database closed = Db(
+      "R(1, 10, 100)\nR(1, 20, 200)\nR(1, 10, 200)\nR(1, 20, 100)");
+  EXPECT_TRUE(
+      Satisfies(closed, MakeEmvd(*scheme_, "R", {"A"}, {"B"}, {"C"})));
+  Database open = Db("R(1, 10, 100)\nR(1, 20, 200)");
+  EXPECT_FALSE(
+      Satisfies(open, MakeEmvd(*scheme_, "R", {"A"}, {"B"}, {"C"})));
+}
+
+TEST_F(SatisfiesTest, EmvdWithEmptyXIsGlobalCross) {
+  Database db = Db("R(1, 10, 100)\nR(2, 20, 200)\nR(1, 10, 200)");
+  // {} ->> B | C: need (t1.B, t2.C) pairs for ALL tuple pairs; (20, 100)
+  // is missing.
+  EXPECT_FALSE(Satisfies(db, MakeEmvd(*scheme_, "R", {}, {"B"}, {"C"})));
+}
+
+TEST_F(SatisfiesTest, MvdMatchesEquivalentEmvd) {
+  Database db = Db(
+      "R(1, 10, 100)\nR(1, 20, 200)\nR(1, 10, 200)\nR(1, 20, 100)\n"
+      "R(2, 5, 6)");
+  Mvd mvd = MakeMvd(*scheme_, "R", {"A"}, {"B"});
+  Emvd emvd = MakeEmvd(*scheme_, "R", {"A"}, {"B"}, {"C"});
+  EXPECT_EQ(Satisfies(db, mvd), Satisfies(db, emvd));
+  EXPECT_TRUE(Satisfies(db, mvd));
+}
+
+TEST_F(SatisfiesTest, SatisfiedSubsetAndAll) {
+  Database db = Db("R(1, 2, 3)\nR(1, 2, 4)");
+  std::vector<Dependency> deps = {
+      Dependency(MakeFd(*scheme_, "R", {"A"}, {"B"})),
+      Dependency(MakeFd(*scheme_, "R", {"A"}, {"C"})),
+  };
+  EXPECT_FALSE(SatisfiesAll(db, deps));
+  std::vector<Dependency> subset = SatisfiedSubset(db, deps);
+  ASSERT_EQ(subset.size(), 1u);
+  EXPECT_EQ(subset[0], deps[0]);
+}
+
+TEST_F(SatisfiesTest, FindViolationDescribesFd) {
+  Database db = Db("R(1, 2, 3)\nR(1, 5, 3)");
+  auto violation =
+      FindViolation(db, Dependency(MakeFd(*scheme_, "R", {"A"}, {"B"})));
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->description.find("FD"), std::string::npos);
+  EXPECT_FALSE(
+      FindViolation(db, Dependency(MakeFd(*scheme_, "R", {"A"}, {"C"})))
+          .has_value());
+}
+
+TEST_F(SatisfiesTest, FindViolationDescribesInd) {
+  Database db = Db("R(1, 2, 3)");
+  auto violation = FindViolation(
+      db, Dependency(MakeInd(*scheme_, "R", {"A"}, "S", {"D"})));
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->description.find("no counterpart"),
+            std::string::npos);
+}
+
+TEST_F(SatisfiesTest, ObeysExactlyAcceptsAndRejects) {
+  Database db = Db("R(1, 2, 3)\nR(4, 2, 3)");
+  std::vector<Dependency> universe = {
+      Dependency(MakeFd(*scheme_, "R", {"A"}, {"B"})),  // holds
+      Dependency(MakeFd(*scheme_, "R", {"B"}, {"A"})),  // fails
+  };
+  EXPECT_FALSE(ObeysExactly(db, universe, {universe[0]}).has_value());
+  // Claiming both should fail, as should claiming only the second.
+  EXPECT_TRUE(ObeysExactly(db, universe, universe).has_value());
+  EXPECT_TRUE(ObeysExactly(db, universe, {universe[1]}).has_value());
+}
+
+}  // namespace
+}  // namespace ccfp

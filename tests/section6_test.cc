@@ -1,0 +1,188 @@
+// Mechanized verification of Theorem 6.1: no k-ary complete axiomatization
+// for finite implication of FDs and INDs (even unary, over two-attribute
+// schemes).
+#include <gtest/gtest.h>
+
+#include "axiom/kary.h"
+#include "axiom/oracle.h"
+#include "constructions/section6.h"
+#include "core/satisfies.h"
+#include "interact/unary_finite.h"
+
+namespace ccfp {
+namespace {
+
+TEST(Section6Test, UniverseAndGammaSizesArePinned) {
+  // Regression pins for the enumeration (any change to universe options or
+  // triviality rules shows up here first). For k: relations = k+1, each
+  // 2 attributes. FDs (lhs <= 1): 6 per relation; unary INDs: (2(k+1))^2;
+  // binary INDs: (2(k+1))^2; RDs: 4 per relation.
+  for (std::size_t k : {1u, 2u, 3u}) {
+    Section6Construction c = MakeSection6(k);
+    std::size_t rels = k + 1;
+    std::size_t cols = 2 * rels;
+    EXPECT_EQ(c.universe.size(), 6 * rels + 2 * cols * cols + 4 * rels)
+        << "k = " << k;
+    // Gamma = trivial sentences + Sigma: per relation 2 trivial FDs,
+    // 2 + 2 trivial INDs, 2 trivial RDs; Sigma has 2(k+1) members.
+    EXPECT_EQ(c.gamma.size(), 8 * rels + 2 * rels) << "k = " << k;
+  }
+}
+
+TEST(Section6Test, ConstructionShape) {
+  Section6Construction c = MakeSection6(3);
+  EXPECT_EQ(c.scheme->size(), 4u);
+  EXPECT_EQ(c.fds.size(), 4u);
+  EXPECT_EQ(c.inds.size(), 4u);
+  // sigma_3 = R0[B] <= R3[A].
+  EXPECT_EQ(Dependency(c.sigma_target).ToString(*c.scheme),
+            "R0[B] <= R3[A]");
+  // Every dependency is unary; every scheme has two attributes.
+  for (const Fd& fd : c.fds) {
+    EXPECT_EQ(fd.lhs.size(), 1u);
+    EXPECT_EQ(fd.rhs.size(), 1u);
+  }
+  for (const Ind& ind : c.inds) EXPECT_EQ(ind.width(), 1u);
+}
+
+TEST(Section6Test, SigmaFinitelyImpliesSigmaTarget) {
+  // The counting argument: |r0[A]| <= |r1[B]| <= |r1[A]| <= ... forces all
+  // cardinalities equal, reversing every containment on finite databases.
+  for (std::size_t k = 0; k <= 6; ++k) {
+    Section6Construction c = MakeSection6(k);
+    UnaryFiniteImplication engine(c.scheme, c.fds, c.inds);
+    EXPECT_TRUE(engine.Implies(c.sigma_target)) << "k = " << k;
+    for (const Fd& fd : c.reversed_fds) {
+      EXPECT_TRUE(engine.Implies(fd)) << "k = " << k;
+    }
+  }
+}
+
+TEST(Section6Test, DroppingAnyIndKillsTheImplication) {
+  // Minimality of the rule "if Sigma_k then sigma_k": no antecedent can be
+  // dropped (Section 6's closing observation).
+  for (std::size_t k : {1u, 2u, 4u}) {
+    Section6Construction c = MakeSection6(k);
+    for (std::size_t j = 0; j <= k; ++j) {
+      std::vector<Ind> inds;
+      for (std::size_t i = 0; i < c.inds.size(); ++i) {
+        if (i != j) inds.push_back(c.inds[i]);
+      }
+      UnaryFiniteImplication engine(c.scheme, c.fds, inds);
+      EXPECT_FALSE(engine.Implies(c.sigma_target))
+          << "k = " << k << ", dropped j = " << j;
+    }
+    for (std::size_t j = 0; j <= k; ++j) {
+      std::vector<Fd> fds;
+      for (std::size_t i = 0; i < c.fds.size(); ++i) {
+        if (i != j) fds.push_back(c.fds[i]);
+      }
+      UnaryFiniteImplication engine(c.scheme, fds, c.inds);
+      EXPECT_FALSE(engine.Implies(c.sigma_target))
+          << "k = " << k << ", dropped FD j = " << j;
+    }
+  }
+}
+
+TEST(Section6Test, Property61ArmstrongDatabases) {
+  // The heart of the proof: for every omitted IND delta_j, the (rotated)
+  // Figure 6.1 database obeys exactly Gamma_k - delta_j within the
+  // universe of FDs, INDs, and RDs.
+  for (std::size_t k = 0; k <= 5; ++k) {
+    Section6Construction c = MakeSection6(k);
+    for (std::size_t j = 0; j <= k; ++j) {
+      Database d = MakeSection6Armstrong(c, j);
+      std::vector<Dependency> expected = Section6ExpectedSatisfied(c, j);
+      std::optional<std::string> mismatch =
+          ObeysExactly(d, c.universe, expected);
+      EXPECT_FALSE(mismatch.has_value())
+          << "k = " << k << ", j = " << j << ": " << *mismatch;
+    }
+  }
+}
+
+TEST(Section6Test, ArmstrongDatabaseViolatesSigmaTarget) {
+  for (std::size_t k : {1u, 3u}) {
+    Section6Construction c = MakeSection6(k);
+    for (std::size_t j = 0; j <= k; ++j) {
+      Database d = MakeSection6Armstrong(c, j);
+      EXPECT_FALSE(Satisfies(d, c.sigma_target))
+          << "k = " << k << ", j = " << j;
+    }
+  }
+}
+
+TEST(Section6Test, Figure61MatchesThePaperForKEquals3) {
+  // Spot-check the canonical contents against Figure 6.1 (k = 3, omitted
+  // IND delta_3 = R3[A] <= R0[B]): r_3 has 9 tuples, r_0 has 3.
+  Section6Construction c = MakeSection6(3);
+  Database d = MakeSection6Armstrong(c, 3);
+  EXPECT_EQ(d.relation(0).size(), 3u);   // r_0
+  EXPECT_EQ(d.relation(1).size(), 5u);   // r_1: 2*1+3
+  EXPECT_EQ(d.relation(2).size(), 7u);   // r_2: 2*2+3
+  EXPECT_EQ(d.relation(3).size(), 9u);   // r_3: 2*3+3
+}
+
+TEST(Section6Test, GammaClosedUnderKaryFiniteImplication) {
+  // Theorem 5.1 in action: with the k+1 Armstrong databases as
+  // counterexample witnesses, every (T, tau) with |T| <= k, T <= Gamma,
+  // tau outside Gamma is refuted — Gamma is closed under k-ary finite
+  // implication.
+  for (std::size_t k : {1u, 2u}) {
+    Section6Construction c = MakeSection6(k);
+    std::vector<Database> witnesses;
+    for (std::size_t j = 0; j <= k; ++j) {
+      witnesses.push_back(MakeSection6Armstrong(c, j));
+    }
+    CounterexampleOracle oracle(std::move(witnesses));
+    KaryStats stats;
+    auto escape = FindKaryEscape(c.universe, c.gamma, oracle, k, &stats);
+    EXPECT_FALSE(escape.has_value())
+        << "k = " << k << ": " << escape->ToString(*c.scheme);
+    EXPECT_FALSE(stats.saw_unknown) << "k = " << k;
+  }
+}
+
+TEST(Section6Test, GammaNotClosedUnderFullImplication) {
+  // ... but Gamma is NOT closed under unbounded (finite) implication: all
+  // of Sigma_k together implies sigma_k, which lies outside Gamma. By
+  // Theorem 5.1, no k-ary complete axiomatization exists.
+  for (std::size_t k : {1u, 2u, 3u}) {
+    Section6Construction c = MakeSection6(k);
+    UnaryFiniteOracle oracle(c.scheme);
+    KaryStats stats;
+    auto escape = FindFullEscape(c.universe, c.gamma, oracle, &stats);
+    ASSERT_TRUE(escape.has_value()) << "k = " << k;
+    // The escape's conclusion is a consequence of Gamma outside Gamma;
+    // sigma_k itself qualifies, so at minimum the oracle confirms it:
+    EXPECT_EQ(oracle.Implies(c.gamma, Dependency(c.sigma_target)),
+              ImplicationVerdict::kImplied);
+  }
+}
+
+TEST(Section6Test, KPlusOneSubsetEscapes) {
+  // Sharpness: there IS an escape using k+1 antecedents — the INDs of
+  // Sigma_k plus the FDs... in fact the full Sigma_k (2k+2 members) works;
+  // here we exhibit that restricting T to Gamma with |T| = 2(k+1) finds
+  // sigma_k, demonstrating where k-ary closure breaks for larger arity.
+  std::size_t k = 1;
+  Section6Construction c = MakeSection6(k);
+  UnaryFiniteOracle oracle(c.scheme);
+  // T = Sigma_k exactly.
+  EXPECT_EQ(oracle.Implies(c.SigmaDeps(), Dependency(c.sigma_target)),
+            ImplicationVerdict::kImplied);
+  // No proper subset of Sigma_k suffices (minimality).
+  std::vector<Dependency> sigma = c.SigmaDeps();
+  for (std::size_t drop = 0; drop < sigma.size(); ++drop) {
+    std::vector<Dependency> subset;
+    for (std::size_t i = 0; i < sigma.size(); ++i) {
+      if (i != drop) subset.push_back(sigma[i]);
+    }
+    EXPECT_NE(oracle.Implies(subset, Dependency(c.sigma_target)),
+              ImplicationVerdict::kImplied)
+        << "dropped index " << drop;
+  }
+}
+
+}  // namespace
+}  // namespace ccfp

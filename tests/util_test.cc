@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "util/permutation.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace ccfp {
+namespace {
+
+// --- Status / Result ---------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad attribute");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad attribute");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad attribute");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubled(Result<int> input) {
+  CCFP_ASSIGN_OR_RETURN(int v, std::move(input));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesValue) {
+  Result<int> r = Doubled(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  Result<int> r = Doubled(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+// --- Strings ------------------------------------------------------------
+
+TEST(StringsTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(JoinStrings({"only"}, ", "), "only");
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("x", 1, "y", 2), "x1y2");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, SplitAndTrim) {
+  std::vector<std::string> parts = SplitAndTrim(" a , b ,c ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  std::vector<std::string> parts = SplitAndTrim("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+// --- Permutations ---------------------------------------------------------
+
+TEST(PermutationTest, IdentityIsIdentity) {
+  Permutation id = Permutation::Identity(5);
+  EXPECT_TRUE(id.IsIdentity());
+  EXPECT_EQ(static_cast<std::uint64_t>(id.Order()), 1u);
+}
+
+TEST(PermutationTest, CreateRejectsNonBijections) {
+  EXPECT_FALSE(Permutation::Create({0, 0, 1}).ok());
+  EXPECT_FALSE(Permutation::Create({0, 3, 1}).ok());
+  EXPECT_TRUE(Permutation::Create({2, 0, 1}).ok());
+}
+
+TEST(PermutationTest, ComposeAndInverse) {
+  Permutation p = Permutation::Create({1, 2, 0}).value();  // 3-cycle
+  Permutation q = p.Compose(p.Inverse());
+  EXPECT_TRUE(q.IsIdentity());
+  EXPECT_EQ(static_cast<std::uint64_t>(p.Order()), 3u);
+}
+
+TEST(PermutationTest, ComposeIsFunctionComposition) {
+  // p = (0 1), q = (1 2); p.Compose(q) maps i to p(q(i)).
+  Permutation p = Permutation::Create({1, 0, 2}).value();
+  Permutation q = Permutation::Create({0, 2, 1}).value();
+  Permutation pq = p.Compose(q);
+  EXPECT_EQ(pq(0), 1u);  // q(0)=0, p(0)=1
+  EXPECT_EQ(pq(1), 2u);  // q(1)=2, p(2)=2
+  EXPECT_EQ(pq(2), 0u);  // q(2)=1, p(1)=0
+}
+
+TEST(PermutationTest, PowerMatchesRepeatedComposition) {
+  Permutation p = Permutation::Create({1, 2, 3, 4, 0}).value();  // 5-cycle
+  Permutation p3 = p.Compose(p).Compose(p);
+  EXPECT_EQ(p.Power(3), p3);
+  EXPECT_TRUE(p.Power(5).IsIdentity());
+  EXPECT_TRUE(p.Power(0).IsIdentity());
+}
+
+TEST(PermutationTest, CycleLengths) {
+  // (0 1 2)(3 4) on 6 points: cycles 3, 2, 1.
+  Permutation p = Permutation::FromCycleLengths(6, {3, 2}).value();
+  std::vector<std::uint64_t> lengths = p.CycleLengths();
+  ASSERT_EQ(lengths.size(), 3u);
+  EXPECT_EQ(lengths[0], 3u);
+  EXPECT_EQ(lengths[1], 2u);
+  EXPECT_EQ(lengths[2], 1u);
+  EXPECT_EQ(static_cast<std::uint64_t>(p.Order()), 6u);
+}
+
+TEST(PermutationTest, OrderIsLcmOfCycleLengths) {
+  Permutation p = Permutation::FromCycleLengths(9, {4, 3, 2}).value();
+  EXPECT_EQ(static_cast<std::uint64_t>(p.Order()), 12u);
+  EXPECT_TRUE(p.Power(12).IsIdentity());
+  EXPECT_FALSE(p.Power(6).IsIdentity());
+}
+
+TEST(PermutationTest, TranspositionSwapsZeroAndI) {
+  Permutation t = Permutation::Transposition(4, 2);
+  EXPECT_EQ(t(0), 2u);
+  EXPECT_EQ(t(2), 0u);
+  EXPECT_EQ(t(1), 1u);
+  EXPECT_EQ(static_cast<std::uint64_t>(t.Order()), 2u);
+}
+
+TEST(PermutationTest, FromCycleLengthsRejectsOverflow) {
+  EXPECT_FALSE(Permutation::FromCycleLengths(3, {2, 2}).ok());
+  EXPECT_FALSE(Permutation::FromCycleLengths(3, {0}).ok());
+}
+
+TEST(PermutationTest, ToStringUsesCycleNotation) {
+  Permutation p = Permutation::FromCycleLengths(5, {3, 2}).value();
+  EXPECT_EQ(p.ToString(), "(0 1 2)(3 4)");
+  EXPECT_EQ(Permutation::Identity(3).ToString(), "()");
+}
+
+TEST(Uint128Test, ToStringSmallAndLarge) {
+  EXPECT_EQ(Uint128ToString(0), "0");
+  EXPECT_EQ(Uint128ToString(12345), "12345");
+  unsigned __int128 big = static_cast<unsigned __int128>(1) << 100;
+  EXPECT_EQ(Uint128ToString(big), "1267650600228229401496703205376");
+}
+
+// --- RNG -------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  SplitMix64 rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    std::uint64_t v = rng.Between(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+}  // namespace
+}  // namespace ccfp
