@@ -1,13 +1,49 @@
 // E11: FD+IND chase behaviour — the Section 7 schema chase terminates
 // (its IND graph is acyclic) and scales with n; cyclic IND sets exhaust
 // the budget (the undecidability surface of Mitchell / Chandra-Vardi).
+// Also the incremental-vs-naive engine comparison on a deep IND cascade,
+// emitted to BENCH_chase.json for machine-readable perf tracking.
+#include <cstdio>
+#include <string_view>
+
 #include <benchmark/benchmark.h>
 
+#include "bench/reporter.h"
+#include "bench/workloads.h"
 #include "chase/chase.h"
 #include "constructions/section7.h"
+#include "util/check.h"
+#include "util/strings.h"
 
 namespace ccfp {
 namespace {
+
+// Deep IND cascade (bench/workloads.h): restart-loop engines pay
+// O(levels^2), the delta-driven engine O(levels).
+
+void BM_DeepCascade(benchmark::State& state) {
+  const std::size_t levels = static_cast<std::size_t>(state.range(0));
+  const bool incremental = state.range(1) != 0;
+  CascadeInstance instance = MakeDeepCascade(levels);
+  Chase chase(instance.scheme, instance.fds, instance.inds);
+  Database seed = CascadeSeed(instance, 8);
+  ChaseOptions options;
+  options.engine =
+      incremental ? ChaseEngine::kIncremental : ChaseEngine::kNaive;
+  std::uint64_t tuples = 0;
+  for (auto _ : state) {
+    Result<ChaseResult> result = chase.Run(seed, options);
+    if (result.ok()) tuples = result->db.TotalTuples();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["levels"] = static_cast<double>(levels);
+  state.counters["incremental"] = incremental ? 1 : 0;
+  state.counters["tuples"] = static_cast<double>(tuples);
+}
+
+BENCHMARK(BM_DeepCascade)
+    ->ArgsProduct({{32, 64, 128, 256}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Section7ChaseLemma72(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -71,7 +107,56 @@ void BM_ChaseFixpointSize(benchmark::State& state) {
 
 BENCHMARK(BM_ChaseFixpointSize)->RangeMultiplier(2)->Range(1, 64);
 
+/// Times the deep-cascade workload under both engines and writes
+/// BENCH_chase.json. Runs before the google-benchmark suite so the file
+/// exists even when benchmarks are filtered out.
+void EmitJsonReport() {
+  BenchReporter reporter("chase");
+  for (std::size_t levels : {64, 128, 256}) {
+    CascadeInstance instance = MakeDeepCascade(levels);
+    Chase chase(instance.scheme, instance.fds, instance.inds);
+    Database seed = CascadeSeed(instance, 8);
+    std::uint64_t steps[2] = {0, 0};
+    std::uint64_t wall[2] = {0, 0};
+    for (int engine = 0; engine < 2; ++engine) {
+      ChaseOptions options;
+      options.engine =
+          engine == 1 ? ChaseEngine::kIncremental : ChaseEngine::kNaive;
+      wall[engine] = MedianWallNs(5, [&] {
+        Result<ChaseResult> result = chase.Run(seed, options);
+        CCFP_CHECK(result.ok());
+        CCFP_CHECK(result->outcome == ChaseOutcome::kFixpoint);
+        steps[engine] = result->steps;
+      });
+    }
+    reporter.Add("deep_cascade_naive", levels, wall[0], steps[0]);
+    reporter.Add("deep_cascade_incremental", levels, wall[1], steps[1]);
+    std::fprintf(stderr,
+                 "deep_cascade L=%zu: naive %.2f ms, incremental %.2f ms, "
+                 "speedup %.1fx\n",
+                 levels, wall[0] / 1e6, wall[1] / 1e6,
+                 static_cast<double>(wall[0]) /
+                     static_cast<double>(wall[1] == 0 ? 1 : wall[1]));
+  }
+  reporter.WriteFile();
+}
+
 }  // namespace
 }  // namespace ccfp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The JSON report costs real measurement time (the naive engine at 256
+  // levels); skip it for pure introspection runs.
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_list_tests")) {
+      list_only = true;
+    }
+  }
+  if (!list_only) ccfp::EmitJsonReport();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,10 +2,14 @@
 // tracks the reachable expression space, which grows with IND width and
 // relation count (polynomial for fixed width, per the paper's "k-ary or
 // less" discussion; exponential in general).
+#include <string_view>
+
 #include <benchmark/benchmark.h>
 
+#include "bench/reporter.h"
 #include "ind/implication.h"
 #include "ind/special.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -125,7 +129,50 @@ BENCHMARK(BM_IndDecisionChain)
     ->Range(8, 1024)
     ->Complexity();
 
+/// Times the chain decision workload and writes BENCH_ind_decision.json
+/// (steps = expressions visited by the BFS).
+void EmitJsonReport() {
+  BenchReporter reporter("ind_decision");
+  for (std::size_t length : {64, 256, 1024}) {
+    std::vector<std::pair<std::string, std::vector<std::string>>> rels;
+    for (std::size_t r = 0; r <= length; ++r) {
+      rels.emplace_back(StrCat("R", r), std::vector<std::string>{"A", "B"});
+    }
+    SchemePtr scheme = MakeScheme(rels);
+    std::vector<Ind> sigma;
+    for (std::size_t r = 0; r < length; ++r) {
+      sigma.push_back(Ind{static_cast<RelId>(r),
+                          {0, 1},
+                          static_cast<RelId>(r + 1),
+                          {0, 1}});
+    }
+    Ind target{0, {0, 1}, static_cast<RelId>(length), {0, 1}};
+    IndImplication engine(scheme, sigma);
+    std::uint64_t visited = 0;
+    std::uint64_t wall = MedianWallNs(5, [&] {
+      Result<IndDecision> decision = engine.Decide(target);
+      CCFP_CHECK(decision.ok());
+      visited = decision->expressions_visited;
+    });
+    reporter.Add("chain_decide", length, wall, visited);
+  }
+  reporter.WriteFile();
+}
+
 }  // namespace
 }  // namespace ccfp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_list_tests")) {
+      list_only = true;
+    }
+  }
+  if (!list_only) ccfp::EmitJsonReport();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "bench/reporter.h"
+
+#include <cstdio>
+
+namespace ccfp {
+
+namespace {
+
+/// Escapes the handful of characters that can appear in bench names.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchReporter::Add(const std::string& name, std::uint64_t n,
+                        std::uint64_t wall_ns, std::uint64_t steps) {
+  entries_.push_back(Entry{name, n, wall_ns, steps});
+}
+
+std::string BenchReporter::ToJson() const {
+  std::string out = "{\"bench\": \"" + JsonEscape(bench_) +
+                    "\", \"entries\": [";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (i > 0) out += ", ";
+    out += "{\"name\": \"" + JsonEscape(e.name) + "\", \"n\": " +
+           std::to_string(e.n) + ", \"wall_ns\": " + std::to_string(e.wall_ns) +
+           ", \"steps\": " + std::to_string(e.steps) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool BenchReporter::WriteFile(const std::string& dir) const {
+  std::string path = dir + "/BENCH_" + bench_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReporter: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "BenchReporter: wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,79 @@
+#ifndef CCFP_BENCH_REPORTER_H_
+#define CCFP_BENCH_REPORTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccfp {
+
+/// Shared machine-readable bench output. Each bench binary appends entries
+/// (one per measured workload) and writes `BENCH_<bench>.json` next to the
+/// working directory, so the perf trajectory across PRs can be diffed by
+/// tooling instead of eyeballing google-benchmark console output.
+///
+/// Schema:
+///   {"bench": "chase",
+///    "entries": [{"name": "...", "n": 32, "wall_ns": 123456, "steps": 17},
+///                ...]}
+class BenchReporter {
+ public:
+  /// `bench` names the output file: BENCH_<bench>.json.
+  explicit BenchReporter(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Records one measurement. `n` is the workload size parameter and
+  /// `steps` a workload-defined work counter (chase steps, tuples, nodes
+  /// visited, ...) so throughput can be derived from wall time.
+  void Add(const std::string& name, std::uint64_t n, std::uint64_t wall_ns,
+           std::uint64_t steps);
+
+  /// Serializes all entries; stable field order, no external deps.
+  std::string ToJson() const;
+
+  /// Writes BENCH_<bench>.json into `dir` (default: current directory).
+  /// Returns false (after logging to stderr) if the file cannot be written.
+  bool WriteFile(const std::string& dir = ".") const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::uint64_t n = 0;
+    std::uint64_t wall_ns = 0;
+    std::uint64_t steps = 0;
+  };
+
+  std::string bench_;
+  std::vector<Entry> entries_;
+};
+
+/// Convenience: median-of-`reps` wall time of `fn` in nanoseconds.
+/// `fn` must be idempotent; each rep runs it once.
+template <typename Fn>
+std::uint64_t MedianWallNs(int reps, Fn&& fn);
+
+}  // namespace ccfp
+
+#include <algorithm>
+#include <chrono>
+
+namespace ccfp {
+
+template <typename Fn>
+std::uint64_t MedianWallNs(int reps, Fn&& fn) {
+  std::vector<std::uint64_t> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    samples.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count()));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace ccfp
+
+#endif  // CCFP_BENCH_REPORTER_H_

@@ -1,0 +1,70 @@
+#ifndef CCFP_BENCH_WORKLOADS_H_
+#define CCFP_BENCH_WORKLOADS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "chase/chase.h"
+#include "core/database.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+/// The deep-IND-cascade workload shared by bench_chase and the chase perf
+/// smoke test, so the guard and the bench always measure the same shape.
+///
+/// R_0 -> R_1 -> ... -> R_levels with the INDs declared in *reverse*
+/// order: a restart-loop engine advances one level per outer pass (and so
+/// pays O(levels^2 * width) total work) while the delta-driven engine
+/// pays O(levels * width). FDs A -> B on every level keep the equality
+/// machinery engaged.
+struct CascadeInstance {
+  SchemePtr scheme;
+  std::vector<Fd> fds;
+  std::vector<Ind> inds;
+};
+
+inline CascadeInstance MakeDeepCascade(std::size_t levels) {
+  std::vector<std::pair<std::string, std::vector<std::string>>> rels;
+  for (std::size_t i = 0; i <= levels; ++i) {
+    rels.emplace_back(StrCat("R", i),
+                      std::vector<std::string>{"A", "B", "C"});
+  }
+  CascadeInstance instance;
+  instance.scheme = MakeScheme(rels);
+  for (std::size_t i = 0; i <= levels; ++i) {
+    instance.fds.push_back(
+        MakeFd(*instance.scheme, StrCat("R", i), {"A"}, {"B"}));
+  }
+  for (std::size_t i = levels; i >= 1; --i) {
+    instance.inds.push_back(MakeInd(*instance.scheme, StrCat("R", i - 1),
+                                    {"A", "B"}, StrCat("R", i), {"A", "B"}));
+  }
+  return instance;
+}
+
+/// `width` distinct all-null tuples in R_0, plus one pair sharing its
+/// A-null so the FD layer actually merges something. After the chase, R_0
+/// holds width + 2 tuples (the pair still differs on C) and every deeper
+/// level holds the width + 1 distinct [A, B] projections.
+inline Database CascadeSeed(const CascadeInstance& instance,
+                            std::size_t width) {
+  Database db(instance.scheme);
+  std::uint64_t next_null = 1;
+  for (std::size_t i = 0; i < width; ++i) {
+    Tuple t;
+    for (int a = 0; a < 3; ++a) t.push_back(Value::Null(next_null++));
+    db.Insert(0, std::move(t));
+  }
+  Value shared = Value::Null(next_null++);
+  db.Insert(0,
+            {shared, Value::Null(next_null++), Value::Null(next_null++)});
+  db.Insert(0,
+            {shared, Value::Null(next_null++), Value::Null(next_null++)});
+  return db;
+}
+
+}  // namespace ccfp
+
+#endif  // CCFP_BENCH_WORKLOADS_H_

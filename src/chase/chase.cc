@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "chase/incremental.h"
 #include "core/satisfies.h"
 #include "util/check.h"
 #include "util/strings.h"
@@ -11,25 +12,45 @@ namespace ccfp {
 
 namespace {
 
-/// Union-find over values. Roots prefer constants, so merging a labeled
-/// null with a constant resolves the null. Merging two distinct constants
-/// is a chase failure.
+/// Union-find over values (naive reference engine). Roots prefer
+/// constants, so merging a labeled null with a constant resolves the null.
+/// Merging two distinct constants is a chase failure.
 class ValueUnion {
  public:
+  /// Iterative find with full path compression. Deliberately not
+  /// recursive: a merge chain built root-under-root (e.g. pairs unioned in
+  /// decreasing null order) is only traversed at MapValues time, by which
+  /// point it can be hundreds of thousands of links deep — recursion
+  /// overflowed the stack there.
   Value Find(const Value& v) {
     auto it = parent_.find(v);
     if (it == parent_.end()) return v;
-    Value root = Find(it->second);
-    if (!(root == it->second)) parent_[v] = root;
+    Value root = it->second;
+    for (auto next = parent_.find(root); next != parent_.end();
+         next = parent_.find(root)) {
+      root = next->second;
+    }
+    Value cur = v;
+    while (!(cur == root)) {
+      auto hop = parent_.find(cur);
+      Value next = hop->second;
+      if (!(next == root)) hop->second = root;
+      cur = std::move(next);
+    }
     return root;
   }
 
-  /// Returns false on constant/constant clash.
-  bool Union(const Value& a, const Value& b) {
+  enum class UnionOutcome : std::uint8_t {
+    kMerged,        ///< two classes joined
+    kAlreadyEqual,  ///< same class; nothing to do (e.g. duplicate FDs)
+    kClash,         ///< two distinct constants
+  };
+
+  UnionOutcome Union(const Value& a, const Value& b) {
     Value ra = Find(a), rb = Find(b);
-    if (ra == rb) return true;
+    if (ra == rb) return UnionOutcome::kAlreadyEqual;
     bool a_const = !ra.is_null(), b_const = !rb.is_null();
-    if (a_const && b_const) return false;
+    if (a_const && b_const) return UnionOutcome::kClash;
     if (a_const) {
       parent_[rb] = ra;
     } else if (b_const) {
@@ -42,7 +63,7 @@ class ValueUnion {
         parent_[ra] = rb;
       }
     }
-    return true;
+    return UnionOutcome::kMerged;
   }
 
   bool empty() const { return parent_.empty(); }
@@ -81,6 +102,18 @@ Chase::Chase(SchemePtr scheme, std::vector<Fd> fds, std::vector<Ind> inds)
 
 Result<ChaseResult> Chase::Run(Database initial,
                                const ChaseOptions& options) const {
+  if (options.engine == ChaseEngine::kIncremental) {
+    return RunIncrementalChase(scheme_, fds_, inds_, std::move(initial),
+                               options);
+  }
+  return RunNaive(std::move(initial), options);
+}
+
+/// The original engine: restart-scan until no rule fires. Kept verbatim
+/// (modulo the iterative ValueUnion) as the differential-testing reference
+/// for the incremental engine.
+Result<ChaseResult> Chase::RunNaive(Database initial,
+                                    const ChaseOptions& options) const {
   ChaseResult result(std::move(initial));
   std::uint64_t next_null = MaxNullId(result.db) + 1;
 
@@ -105,19 +138,32 @@ Result<ChaseResult> Chase::Run(Database initial,
           const Tuple& t0 = r.tuples()[it->second];
           for (AttrId y : fd.rhs) {
             if (t0[y] == t[y]) continue;
-            if (!uf.Union(t0[y], t[y])) {
-              result.outcome = ChaseOutcome::kFailed;
-              return result;
+            // fd_merges counts *actual* class merges, not observed raw
+            // mismatches: a duplicate FD re-observing the same violation
+            // must not count (or trigger) anything — the incremental
+            // engine counts identically. Steps likewise: one step per
+            // merge (plus one per generated tuple below), so both engines
+            // consume the max_steps budget at the same rate and agree on
+            // ResourceExhausted.
+            switch (uf.Union(t0[y], t[y])) {
+              case ValueUnion::UnionOutcome::kClash:
+                result.outcome = ChaseOutcome::kFailed;
+                return result;
+              case ValueUnion::UnionOutcome::kAlreadyEqual:
+                break;
+              case ValueUnion::UnionOutcome::kMerged:
+                ++result.fd_merges;
+                fd_changed = true;
+                if (++result.steps > options.max_steps) {
+                  return Status::ResourceExhausted(
+                      "chase step budget exhausted");
+                }
+                break;
             }
-            ++result.fd_merges;
-            fd_changed = true;
           }
         }
       }
       if (fd_changed) {
-        if (++result.steps > options.max_steps) {
-          return Status::ResourceExhausted("chase step budget exhausted");
-        }
         for (RelId rel = 0; rel < scheme_->size(); ++rel) {
           result.db.relation(rel).MapValues(
               [&uf](const Value& v) { return uf.Find(v); });

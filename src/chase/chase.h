@@ -20,9 +20,22 @@ namespace ccfp {
 /// for FDs and INDs together is undecidable (Mitchell; Chandra–Vardi), so
 /// every entry point takes a budget and can report ResourceExhausted.
 
+/// Which chase engine to run.
+enum class ChaseEngine : std::uint8_t {
+  /// Delta-driven engine (chase/incremental.h): interned values, dense
+  /// union-find, persistent per-FD/per-IND indexes, dirty worklists. Work
+  /// is proportional to the change each rule firing causes. The default.
+  kIncremental = 0,
+  /// The original restart-loop engine: every pass rebuilds its indexes and
+  /// rescans every tuple. O(passes x deps x tuples); kept as a simple
+  /// reference implementation for differential testing.
+  kNaive = 1,
+};
+
 struct ChaseOptions {
   std::uint64_t max_steps = 1u << 20;
   std::uint64_t max_tuples = 1u << 18;
+  ChaseEngine engine = ChaseEngine::kIncremental;
 };
 
 enum class ChaseOutcome : std::uint8_t {
@@ -52,11 +65,15 @@ class Chase {
 
   /// Chases `initial` to a fixpoint (or failure), within budget.
   /// ResourceExhausted means "did not converge in budget" — with cyclic
-  /// INDs this is the undecidability surface, not a bug.
+  /// INDs this is the undecidability surface, not a bug. Dispatches on
+  /// `options.engine`; both engines agree on outcome and tuple counts.
   Result<ChaseResult> Run(Database initial,
                           const ChaseOptions& options = {}) const;
 
  private:
+  Result<ChaseResult> RunNaive(Database initial,
+                               const ChaseOptions& options) const;
+
   SchemePtr scheme_;
   std::vector<Fd> fds_;
   std::vector<Ind> inds_;

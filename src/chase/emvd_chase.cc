@@ -34,6 +34,24 @@ std::uint64_t MaxNullIdIn(const Database& db) {
 
 }  // namespace
 
+namespace {
+
+/// Per-EMVD state persisted across chase rounds, so each round only joins
+/// the *new* tuples against their X-groups instead of rebuilding the pair
+/// set and the groups from every tuple of the relation.
+struct EmvdState {
+  std::vector<AttrId> xy;
+  std::vector<AttrId> xz;
+  /// Every (t1[XY], t2[XZ]) combination already present or witnessed.
+  std::unordered_set<Tuple, TupleHash> pairs;
+  /// X-projection -> indexes of incorporated tuples with that projection.
+  std::unordered_map<Tuple, std::vector<std::size_t>, TupleHash> groups;
+  /// Tuples below this index are incorporated into pairs/groups.
+  std::size_t cursor = 0;
+};
+
+}  // namespace
+
 Result<std::uint64_t> EmvdChaseFixpoint(Database& db,
                                         const std::vector<Emvd>& sigma,
                                         const EmvdChaseOptions& options) {
@@ -42,6 +60,12 @@ Result<std::uint64_t> EmvdChaseFixpoint(Database& db,
   std::uint64_t next_null = MaxNullIdIn(db) + 1;
   std::uint64_t added = 0;
 
+  std::vector<EmvdState> states(sigma.size());
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    states[i].xy = UnionSeq(sigma[i].x, sigma[i].y);
+    states[i].xz = UnionSeq(sigma[i].x, sigma[i].z);
+  }
+
   for (std::uint64_t round = 0;; ++round) {
     if (round >= options.max_rounds) {
       return Status::ResourceExhausted(
@@ -49,49 +73,59 @@ Result<std::uint64_t> EmvdChaseFixpoint(Database& db,
                  " exhausted"));
     }
     bool changed = false;
-    for (const Emvd& e : sigma) {
+    for (std::size_t ei = 0; ei < sigma.size(); ++ei) {
+      const Emvd& e = sigma[ei];
+      EmvdState& state = states[ei];
       Relation& r = db.relation(e.rel);
-      std::vector<AttrId> xy = UnionSeq(e.x, e.y);
-      std::vector<AttrId> xz = UnionSeq(e.x, e.z);
-      // Existing (t[XY], t[XZ]) pairs.
-      std::unordered_set<Tuple, TupleHash> pairs;
-      for (const Tuple& t : r.tuples()) {
-        Tuple key = ProjectTuple(t, xy);
-        Tuple tail = ProjectTuple(t, xz);
-        key.insert(key.end(), tail.begin(), tail.end());
-        pairs.insert(std::move(key));
-      }
-      // Group by X and collect the missing witnesses; inserting during the
-      // scan would invalidate iteration and also re-trigger on new tuples
-      // within the same round (we process rounds breadth-first).
-      std::unordered_map<Tuple, std::vector<std::size_t>, TupleHash> groups;
-      for (std::size_t i = 0; i < r.size(); ++i) {
-        groups[ProjectTuple(r.tuples()[i], e.x)].push_back(i);
-      }
+      // Incorporate the delta since this EMVD's last round; witnesses are
+      // collected first and inserted after, keeping rounds breadth-first
+      // (tuples born this round join the groups next round).
+      std::size_t end = r.size();
       std::vector<Tuple> new_tuples;
-      for (const auto& [x_key, members] : groups) {
-        for (std::size_t i1 : members) {
-          Tuple t1_xy = ProjectTuple(r.tuples()[i1], xy);
-          for (std::size_t i2 : members) {
-            Tuple t2_xz = ProjectTuple(r.tuples()[i2], xz);
-            Tuple key = t1_xy;
-            key.insert(key.end(), t2_xz.begin(), t2_xz.end());
-            if (pairs.count(key) > 0) continue;
-            pairs.insert(std::move(key));
+      // Seed every delta tuple's own (XY, XZ) pair *before* any cross
+      // pair is examined — a cross pair can be witnessed by a later-index
+      // delta tuple, and the full-scan reference seeds all self-pairs up
+      // front, so seeding lazily would spawn spurious witnesses.
+      for (std::size_t i = state.cursor; i < end; ++i) {
+        const Tuple& ti = r.tuples()[i];
+        Tuple self = ProjectTuple(ti, state.xy);
+        Tuple tail = ProjectTuple(ti, state.xz);
+        self.insert(self.end(), tail.begin(), tail.end());
+        state.pairs.insert(std::move(self));
+      }
+      for (std::size_t i = state.cursor; i < end; ++i) {
+        const Tuple& ti = r.tuples()[i];
+        Tuple ti_xy = ProjectTuple(ti, state.xy);
+        Tuple ti_xz = ProjectTuple(ti, state.xz);
+        std::vector<std::size_t>& members =
+            state.groups[ProjectTuple(ti, e.x)];
+        for (std::size_t j : members) {
+          const Tuple& tj = r.tuples()[j];
+          Tuple tj_xy = ProjectTuple(tj, state.xy);
+          Tuple tj_xz = ProjectTuple(tj, state.xz);
+          // Both orientations: (new, old) and (old, new).
+          for (int dir = 0; dir < 2; ++dir) {
+            const Tuple& a_xy = dir == 0 ? ti_xy : tj_xy;
+            const Tuple& b_xz = dir == 0 ? tj_xz : ti_xz;
+            Tuple key = a_xy;
+            key.insert(key.end(), b_xz.begin(), b_xz.end());
+            if (!state.pairs.insert(std::move(key)).second) continue;
             Tuple t3(r.arity());
             for (std::size_t a = 0; a < r.arity(); ++a) {
               t3[a] = Value::Null(next_null++);
             }
-            for (std::size_t j = 0; j < xy.size(); ++j) {
-              t3[xy[j]] = t1_xy[j];
+            for (std::size_t c = 0; c < state.xy.size(); ++c) {
+              t3[state.xy[c]] = a_xy[c];
             }
-            for (std::size_t j = 0; j < xz.size(); ++j) {
-              t3[xz[j]] = t2_xz[j];
+            for (std::size_t c = 0; c < state.xz.size(); ++c) {
+              t3[state.xz[c]] = b_xz[c];
             }
             new_tuples.push_back(std::move(t3));
           }
         }
+        members.push_back(i);
       }
+      state.cursor = end;
       for (Tuple& t3 : new_tuples) {
         if (r.Insert(std::move(t3))) {
           ++added;

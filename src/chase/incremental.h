@@ -1,0 +1,44 @@
+#ifndef CCFP_CHASE_INCREMENTAL_H_
+#define CCFP_CHASE_INCREMENTAL_H_
+
+#include <vector>
+
+#include "chase/chase.h"
+#include "core/database.h"
+#include "core/dependency.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Delta-driven FD+IND chase engine (the default behind Chase::Run).
+///
+/// Where the naive engine restarts a full O(fds x tuples) scan after every
+/// change, this engine makes the work proportional to the *actual change*:
+///
+///   * all Values are interned into dense uint32 ids; null merging is an
+///     array union-find with iterative path halving (chase/intern.h);
+///   * every FD keeps a persistent lhs-key index (canonical lhs projection
+///     -> representative tuple) and every IND keeps a persistent set of the
+///     canonical rhs projections present in its right-hand relation; both
+///     are maintained incrementally as tuples are inserted and values
+///     merged, never rebuilt from scratch;
+///   * re-evaluation is driven by dirty worklists: when two values merge,
+///     only the tuples containing the losing id (tracked by per-id
+///     occurrence lists) are re-canonicalized, re-deduplicated, and
+///     re-probed against the indexes;
+///   * rule scheduling mirrors the naive engine (FD fixpoint first, then
+///     one IND pass in declaration order, repeat) so that both engines
+///     produce the same outcome, the same tuple counts, and — for
+///     deterministic inputs — the same database up to iteration order.
+///
+/// The entry point is intentionally a free function: the engine's state is
+/// per-run, and Chase carries only the validated dependency sets.
+Result<ChaseResult> RunIncrementalChase(const SchemePtr& scheme,
+                                        const std::vector<Fd>& fds,
+                                        const std::vector<Ind>& inds,
+                                        Database initial,
+                                        const ChaseOptions& options);
+
+}  // namespace ccfp
+
+#endif  // CCFP_CHASE_INCREMENTAL_H_

@@ -15,6 +15,11 @@ Result<std::uint64_t> IndChaseFixpoint(Database& db,
   const DatabaseScheme& scheme = db.scheme();
   for (const Ind& ind : sigma) CCFP_RETURN_NOT_OK(Validate(scheme, ind));
 
+  // Sigma grouped by left-hand relation, so each popped tuple only visits
+  // the INDs that can actually fire on it (declaration order preserved).
+  std::vector<std::vector<const Ind*>> by_lhs_rel(scheme.size());
+  for (const Ind& ind : sigma) by_lhs_rel[ind.lhs_rel].push_back(&ind);
+
   // Worklist of (relation, tuple index) pairs not yet pushed through Sigma.
   std::deque<std::pair<RelId, std::size_t>> worklist;
   for (RelId rel = 0; rel < scheme.size(); ++rel) {
@@ -27,24 +32,23 @@ Result<std::uint64_t> IndChaseFixpoint(Database& db,
   while (!worklist.empty()) {
     auto [rel, index] = worklist.front();
     worklist.pop_front();
-    for (const Ind& ind : sigma) {
-      if (ind.lhs_rel != rel) continue;
+    for (const Ind* ind : by_lhs_rel[rel]) {
       // Rule (*): build t over the rhs relation with t[D_u] = u[C_u] and 0
       // for each remaining attribute.
       const Tuple& u = db.relation(rel).tuples()[index];
-      Tuple t(scheme.relation(ind.rhs_rel).arity(), Value::Int(0));
-      for (std::size_t p = 0; p < ind.width(); ++p) {
-        t[ind.rhs[p]] = u[ind.lhs[p]];
+      Tuple t(scheme.relation(ind->rhs_rel).arity(), Value::Int(0));
+      for (std::size_t p = 0; p < ind->width(); ++p) {
+        t[ind->rhs[p]] = u[ind->lhs[p]];
       }
-      if (db.relation(ind.rhs_rel).Contains(t)) continue;
+      if (db.relation(ind->rhs_rel).Contains(t)) continue;
       if (++added > options.max_tuples) {
         return Status::ResourceExhausted(
             StrCat("IND chase budget of ", options.max_tuples,
                    " tuples exhausted"));
       }
-      std::size_t new_index = db.relation(ind.rhs_rel).size();
-      db.Insert(ind.rhs_rel, std::move(t));
-      worklist.emplace_back(ind.rhs_rel, new_index);
+      std::size_t new_index = db.relation(ind->rhs_rel).size();
+      db.Insert(ind->rhs_rel, std::move(t));
+      worklist.emplace_back(ind->rhs_rel, new_index);
     }
   }
   return added;

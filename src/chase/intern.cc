@@ -1,0 +1,66 @@
+#include "chase/intern.h"
+
+namespace ccfp {
+
+ValueId ValueInterner::Intern(const Value& v) {
+  auto it = ids_.find(v);
+  if (it != ids_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(values_.size());
+  values_.push_back(v);
+  ids_.emplace(v, id);
+  if (v.is_null()) NoteNullLabel(v.null_id());
+  return id;
+}
+
+ValueId ValueInterner::InternFreshNull() {
+  return Intern(Value::Null(next_null_label_));
+}
+
+void ValueInterner::NoteNullLabel(std::uint64_t label) {
+  if (label >= next_null_label_) next_null_label_ = label + 1;
+}
+
+DenseUnionFind::UnionResult DenseUnionFind::Union(
+    ValueId a, ValueId b, const ValueInterner& interner) {
+  UnionResult result;
+  ValueId ra = Find(a), rb = Find(b);
+  if (ra == rb) {
+    result.winner = ra;
+    result.loser = ra;
+    return result;
+  }
+  // Semantic representative of the merged class.
+  ValueId pa = rep_[ra], pb = rep_[rb];
+  bool a_const = interner.is_const(pa);
+  bool b_const = interner.is_const(pb);
+  if (a_const && b_const) {
+    // Distinct classes can only hold distinct constants (a constant has
+    // one id, and an id is in one class) — so this is always a clash.
+    result.clash = true;
+    return result;
+  }
+  ValueId rep;
+  if (a_const) {
+    rep = pa;
+  } else if (b_const) {
+    rep = pb;
+  } else {
+    rep = interner.null_label(pa) < interner.null_label(pb) ? pa : pb;
+  }
+  // Structural union by size; ties break toward the lower root id so the
+  // result is deterministic.
+  if (size_[ra] > size_[rb] || (size_[ra] == size_[rb] && ra < rb)) {
+    result.winner = ra;
+    result.loser = rb;
+  } else {
+    result.winner = rb;
+    result.loser = ra;
+  }
+  parent_[result.loser] = result.winner;
+  size_[result.winner] += size_[result.loser];
+  rep_[result.winner] = rep;
+  result.merged = true;
+  return result;
+}
+
+}  // namespace ccfp

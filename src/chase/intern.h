@@ -1,0 +1,98 @@
+#ifndef CCFP_CHASE_INTERN_H_
+#define CCFP_CHASE_INTERN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/value.h"
+
+namespace ccfp {
+
+/// Dense id of an interned Value inside one chase run.
+using ValueId = std::uint32_t;
+
+/// Interns `Value`s into dense uint32 ids so the chase hot loops work on
+/// flat integer arrays instead of rehashing heap `Value` objects. Ids are
+/// assigned in interning order, so a deterministic input order yields a
+/// deterministic id assignment.
+class ValueInterner {
+ public:
+  /// Returns the id of `v`, interning it on first sight.
+  ValueId Intern(const Value& v);
+
+  /// Interns a fresh labeled null (label = one past the largest label seen
+  /// via `NoteNullLabel` or previous fresh nulls).
+  ValueId InternFreshNull();
+
+  /// Makes sure future fresh nulls are numbered strictly above `label`.
+  void NoteNullLabel(std::uint64_t label);
+
+  const Value& value(ValueId id) const { return values_[id]; }
+  bool is_const(ValueId id) const { return !values_[id].is_null(); }
+  std::uint64_t null_label(ValueId id) const { return values_[id].null_id(); }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<Value> values_;
+  std::unordered_map<Value, ValueId, ValueHash> ids_;
+  std::uint64_t next_null_label_ = 1;
+};
+
+/// Array-based union-find over dense value ids with *iterative path
+/// halving* — no recursion, so arbitrarily long merge chains cannot blow
+/// the stack (the failure mode of the old map-based ValueUnion).
+///
+/// The *structural* union is by class size (smaller class under larger),
+/// which is what keeps the engine's change-propagation near-linear: the
+/// caller re-visits only the losing side, and with union-by-size each
+/// element loses O(log n) times total. The chase's *merge semantics* —
+/// a constant beats a labeled null, between nulls the lower label wins,
+/// two distinct constants clash — live in a per-class representative
+/// (`Rep`), deliberately decoupled from the tree shape so a semantically
+/// dominant value never forces the large class to be the one re-visited.
+class DenseUnionFind {
+ public:
+  struct UnionResult {
+    ValueId winner = 0;   ///< structural winner (root of the merged class)
+    ValueId loser = 0;    ///< structural loser (its refs need re-visiting)
+    bool merged = false;  ///< false when already equal or on clash
+    bool clash = false;   ///< true when two distinct constants met
+  };
+
+  /// Grows the arrays to cover every id the interner has handed out.
+  void EnsureSize(std::size_t n) {
+    while (parent_.size() < n) {
+      ValueId id = static_cast<ValueId>(parent_.size());
+      parent_.push_back(id);
+      size_.push_back(1);
+      rep_.push_back(id);
+    }
+  }
+
+  ValueId Find(ValueId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// The semantically preferred member of x's class: its constant if one
+  /// was merged in, else its lowest-labeled null. This is what the class
+  /// prints as — identical to the naive engine's merge preference.
+  ValueId Rep(ValueId x) { return rep_[Find(x)]; }
+
+  UnionResult Union(ValueId a, ValueId b, const ValueInterner& interner);
+
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<ValueId> parent_;
+  std::vector<std::uint32_t> size_;
+  std::vector<ValueId> rep_;  ///< per root: semantic representative
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_CHASE_INTERN_H_

@@ -21,6 +21,13 @@ class Relation {
   std::size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
 
+  /// Pre-sizes the tuple store and hash index for `n` tuples. The chase
+  /// engines call this before bulk materialization to avoid rehash storms.
+  void Reserve(std::size_t n) {
+    tuples_.reserve(n);
+    index_.reserve(n);
+  }
+
   /// Inserts `t`; returns true if the tuple was new. CHECK-fails on arity
   /// mismatch (arity errors are programming errors, not data errors).
   bool Insert(Tuple t);

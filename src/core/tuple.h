@@ -36,6 +36,24 @@ struct TupleHash {
   }
 };
 
+/// An *interned* tuple: the same sequence, but with every Value replaced by
+/// a dense uint32 id (see chase/intern.h). The delta-driven chase engine
+/// works exclusively on these — hashing is FNV-1a over raw ids, an order of
+/// magnitude cheaper than TupleHash's per-Value hashing. (Projection lives
+/// with the engine, which must canonicalize ids through its union-find.)
+using IdTuple = std::vector<std::uint32_t>;
+
+struct IdTupleHash {
+  std::size_t operator()(const IdTuple& t) const {
+    std::size_t h = 0xCBF29CE484222325ULL;
+    for (std::uint32_t v : t) {
+      h ^= v;
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  }
+};
+
 }  // namespace ccfp
 
 #endif  // CCFP_CORE_TUPLE_H_

@@ -232,6 +232,36 @@ TEST_F(ChaseTest, ChaseAgreesWithIndEngineOnPureInds) {
   }
 }
 
+TEST_F(ChaseTest, DeepNullMergeChainDoesNotOverflowTheStack) {
+  // Regression: pairs unioned in decreasing null order build a
+  // root-under-root parent chain that is only walked when the merged
+  // values are substituted back — at ~120k links the old *recursive*
+  // ValueUnion::Find blew the stack. Both engines must chew through it.
+  constexpr std::uint64_t kChain = 120000;
+  Database db(scheme_);
+  for (std::uint64_t k = kChain; k >= 1; --k) {
+    db.Insert(0, {Value::Int(static_cast<std::int64_t>(k)), Value::Null(k)});
+    db.Insert(0,
+              {Value::Int(static_cast<std::int64_t>(k)), Value::Null(k + 1)});
+  }
+  Chase chase(scheme_, {MakeFd(*scheme_, "R", {"A"}, {"B"})}, {});
+  ChaseOptions options;
+  options.max_steps = 4 * kChain;
+  options.max_tuples = 4 * kChain;
+  for (ChaseEngine engine : {ChaseEngine::kNaive, ChaseEngine::kIncremental}) {
+    options.engine = engine;
+    Result<ChaseResult> result = chase.Run(db, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->outcome, ChaseOutcome::kFixpoint);
+    // Every null collapses into _n1; the pairs dedupe to one tuple per key.
+    EXPECT_EQ(result->db.relation(0).size(), kChain);
+    EXPECT_EQ(result->fd_merges, kChain);
+    for (const Tuple& t : result->db.relation(0).tuples()) {
+      EXPECT_EQ(t[1], Value::Null(1));
+    }
+  }
+}
+
 TEST_F(ChaseTest, ChaseIsDeterministic) {
   // Same input, same output: fresh-null numbering, worklist order, and
   // merge tie-breaking are all deterministic.
@@ -276,6 +306,25 @@ TEST(EmvdChaseTest, IndependentEmvdNotImplied) {
   } else {
     EXPECT_EQ(implied.status().code(), StatusCode::kResourceExhausted);
   }
+}
+
+TEST(EmvdChaseTest, CrossPairWitnessedByLaterTupleIsNotDuplicated) {
+  // Regression for the delta-driven rounds: the cross pair
+  // (t2[XY], t1[XZ]) = (a,b2 | a,c1) is already witnessed by t3 itself,
+  // so only the (t1[XY], t2[XZ]) = (a,b1 | a,c2) witness may be created.
+  // Lazily seeding self-pairs per tuple (instead of for the whole delta
+  // up front) used to spawn a spurious second witness.
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C", "D"}}});
+  Emvd e = MakeEmvd(*scheme, "R", {"A"}, {"B"}, {"C"});
+  Database db(scheme);
+  db.Insert(0, TupleOfInts({1, 10, 100, 1000}));
+  db.Insert(0, TupleOfInts({1, 20, 200, 2000}));
+  db.Insert(0, TupleOfInts({1, 20, 100, 3000}));
+  Result<std::uint64_t> added = EmvdChaseFixpoint(db, {e});
+  ASSERT_TRUE(added.ok()) << added.status();
+  EXPECT_EQ(*added, 1u);
+  EXPECT_EQ(db.relation(0).size(), 4u);
+  EXPECT_TRUE(Satisfies(db, e));
 }
 
 TEST(EmvdChaseTest, FixpointSatisfiesSigma) {
