@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
 #include "bench/reporter.h"
 #include "bench/workloads.h"
 #include "chase/chase.h"
@@ -145,18 +146,5 @@ void EmitJsonReport() {
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  // The JSON report costs real measurement time (the naive engine at 256
-  // levels); skip it for pure introspection runs.
-  bool list_only = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).starts_with("--benchmark_list_tests")) {
-      list_only = true;
-    }
-  }
-  if (!list_only) ccfp::EmitJsonReport();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
 }

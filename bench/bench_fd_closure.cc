@@ -1,9 +1,14 @@
 // E10: the FD substrate — attribute-set closure is (near-)linear in the
 // total size of the FD set, the paper's Section 3 contrast with the
 // PSPACE-complete IND problem ("The FD decision procedure can be
-// implemented ... to run in linear time").
+// implemented ... to run in linear time"). Closure timings are emitted to
+// BENCH_fd_closure.json (entries: n = attribute count, steps = FD count).
+#include <string_view>
+
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+#include "bench/reporter.h"
 #include "core/schema.h"
 #include "fd/closure.h"
 #include "util/rng.h"
@@ -79,7 +84,32 @@ BENCHMARK(BM_FdClosureConstruction)
     ->Range(16, 1024)
     ->Complexity();
 
+/// Writes BENCH_fd_closure.json: per attribute count, the median closure
+/// query time (index prebuilt) and the construction+query time.
+void EmitJsonReport() {
+  BenchReporter reporter("fd_closure");
+  for (std::size_t attrs : {64, 256, 1024, 4096}) {
+    const std::size_t fd_count = attrs * 2;
+    SchemePtr scheme = WideScheme(attrs);
+    std::vector<Fd> fds = RandomFds(attrs, fd_count, 42);
+    FdClosure closure(*scheme, 0, fds);
+    std::vector<AttrId> start = {0};
+    std::uint64_t query_ns = MedianWallNs(9, [&] {
+      benchmark::DoNotOptimize(closure.Closure(start));
+    });
+    std::uint64_t build_ns = MedianWallNs(5, [&] {
+      FdClosure fresh(*scheme, 0, fds);
+      benchmark::DoNotOptimize(fresh.Closure(start));
+    });
+    reporter.Add("closure_query", attrs, query_ns, fd_count);
+    reporter.Add("closure_build_and_query", attrs, build_ns, fd_count);
+  }
+  reporter.WriteFile();
+}
+
 }  // namespace
 }  // namespace ccfp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+}

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
 #include "bench/reporter.h"
 #include "ind/implication.h"
 #include "ind/special.h"
@@ -163,16 +164,5 @@ void EmitJsonReport() {
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  bool list_only = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).starts_with("--benchmark_list_tests")) {
-      list_only = true;
-    }
-  }
-  if (!list_only) ccfp::EmitJsonReport();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
 }

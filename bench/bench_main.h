@@ -1,0 +1,32 @@
+#ifndef CCFP_BENCH_BENCH_MAIN_H_
+#define CCFP_BENCH_BENCH_MAIN_H_
+
+#include <string_view>
+
+#include <benchmark/benchmark.h>
+
+namespace ccfp {
+
+/// Shared main() body for bench binaries that emit a BENCH_*.json report:
+/// runs `emit` first (so the JSON exists even when benchmarks are filtered
+/// out), skipping it for introspection-only invocations
+/// (--benchmark_list_tests), then hands over to google-benchmark.
+template <typename EmitFn>
+int RunBenchMain(int argc, char** argv, EmitFn&& emit) {
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_list_tests")) {
+      list_only = true;
+    }
+  }
+  if (!list_only) emit();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ccfp
+
+#endif  // CCFP_BENCH_BENCH_MAIN_H_

@@ -1,10 +1,18 @@
 // E8: the Theorem 7.1 construction — chase re-derivation of Lemma 7.2 and
-// construction of the Lemma 7.9 witness databases, as n grows.
+// construction of the Lemma 7.9 witness databases, as n grows. The
+// universe sweep over a chased witness is timed under both model-checking
+// engines and emitted to BENCH_section7.json.
+#include <cstdio>
+#include <string_view>
+
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+#include "bench/reporter.h"
 #include "chase/chase.h"
 #include "constructions/section7.h"
 #include "core/satisfies.h"
+#include "util/check.h"
 
 namespace ccfp {
 namespace {
@@ -63,7 +71,50 @@ void BM_Lemma79Witness(benchmark::State& state) {
 
 BENCHMARK(BM_Lemma79Witness)->RangeMultiplier(2)->Range(1, 16);
 
+/// Chases the Section 7 universal model and times SatisfiedSubset over the
+/// bounded sentence universe under both engines; BENCH_section7.json gets
+/// one legacy/interned entry pair per n (steps = universe size).
+void EmitJsonReport() {
+  BenchReporter reporter("section7");
+  for (std::size_t n : {4, 8}) {
+    Section7Construction c = MakeSection7(n);
+    std::vector<Dependency> universe = Section7Universe(c);
+    Chase chase(c.scheme, c.fds, c.inds);
+    Database seed(c.scheme);
+    std::size_t arity = c.scheme->relation(c.f).arity();
+    Tuple t(arity);
+    for (AttrId a = 0; a < arity; ++a) t[a] = Value::Null(a + 1);
+    seed.Insert(c.f, std::move(t));
+    Result<ChaseResult> chased = chase.Run(std::move(seed));
+    CCFP_CHECK(chased.ok());
+    std::uint64_t wall[2] = {0, 0};
+    std::size_t satisfied[2] = {0, 0};
+    for (int engine = 0; engine < 2; ++engine) {
+      SatisfiesOptions options;
+      options.engine = engine == 1 ? SatisfiesEngine::kInterned
+                                   : SatisfiesEngine::kLegacy;
+      wall[engine] = MedianWallNs(5, [&] {
+        satisfied[engine] =
+            SatisfiedSubset(chased->db, universe, options).size();
+      });
+    }
+    CCFP_CHECK(satisfied[0] == satisfied[1]);
+    reporter.Add("universe_sweep_legacy", n, wall[0], universe.size());
+    reporter.Add("universe_sweep_interned", n, wall[1], universe.size());
+    std::fprintf(stderr,
+                 "universe_sweep n=%zu (%zu sentences over %zu tuples): "
+                 "legacy %.2f ms, interned %.2f ms, speedup %.1fx\n",
+                 n, universe.size(), chased->db.TotalTuples(),
+                 wall[0] / 1e6, wall[1] / 1e6,
+                 static_cast<double>(wall[0]) /
+                     static_cast<double>(wall[1] == 0 ? 1 : wall[1]));
+  }
+  reporter.WriteFile();
+}
+
 }  // namespace
 }  // namespace ccfp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+}

@@ -76,10 +76,13 @@ Result<ArmstrongReport> BuildArmstrongDatabase(
 
   Chase chase(scheme, fds, inds);
 
-  // 3. Chase / verify / repair loop.
+  // 3. Chase / verify / repair loop. The chase result stays interned: the
+  // engine's interner feeds straight into the Satisfies / ObeysExactly
+  // verification, so each round interns the seed's values exactly once and
+  // the Database is materialized only for the final report.
   for (int round = 0; round <= options.max_repair_rounds; ++round) {
-    CCFP_ASSIGN_OR_RETURN(ChaseResult chased,
-                          chase.Run(seed, options.chase));
+    CCFP_ASSIGN_OR_RETURN(InternedChaseResult chased,
+                          chase.RunInterned(seed, options.chase));
     if (chased.outcome == ChaseOutcome::kFailed) {
       return Status::Internal(
           "chase failed on an all-null Armstrong seed (constant clash)");
@@ -87,7 +90,7 @@ Result<ArmstrongReport> BuildArmstrongDatabase(
 
     bool repaired = false;
     for (const Dependency& tau : must_fail) {
-      if (!Satisfies(chased.db, tau)) continue;
+      if (!chased.db.Satisfies(tau)) continue;
       // Accidentally satisfied non-consequence: add a targeted seed.
       repaired = true;
       if (tau.is_fd()) {
@@ -115,7 +118,7 @@ Result<ArmstrongReport> BuildArmstrongDatabase(
         return Status::Internal(
             StrCat("Armstrong verification failed: ", *mismatch));
       }
-      ArmstrongReport report(std::move(chased.db));
+      ArmstrongReport report(chased.db.Materialize());
       report.expected = std::move(expected);
       report.repair_rounds = round;
       return report;

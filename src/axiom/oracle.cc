@@ -107,9 +107,9 @@ ImplicationVerdict ChaseOracle::Implies(
 ImplicationVerdict CounterexampleOracle::Implies(
     const std::vector<Dependency>& premises,
     const Dependency& conclusion) const {
-  for (const Database& db : witnesses_) {
-    if (Satisfies(db, conclusion)) continue;
-    if (SatisfiesAll(db, premises)) return ImplicationVerdict::kNotImplied;
+  for (const IdDatabase& db : interned_) {
+    if (db.Satisfies(conclusion)) continue;
+    if (db.SatisfiesAll(premises)) return ImplicationVerdict::kNotImplied;
   }
   return ImplicationVerdict::kUnknown;
 }

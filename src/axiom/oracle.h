@@ -91,17 +91,21 @@ class ChaseOracle : public ImplicationOracle {
 /// when some witness satisfies every premise but violates the conclusion
 /// (a counterexample database), else kUnknown. This is how the paper's own
 /// Figures 6.1 and 7.1–7.5 are used — each figure is a counterexample
-/// certifying a non-implication.
+/// certifying a non-implication. The witnesses are interned once at
+/// construction; every query after that is integer probing against cached
+/// projection partitions (core/interned.h).
 class CounterexampleOracle : public ImplicationOracle {
  public:
-  explicit CounterexampleOracle(std::vector<Database> witnesses)
-      : witnesses_(std::move(witnesses)) {}
+  explicit CounterexampleOracle(const std::vector<Database>& witnesses) {
+    interned_.reserve(witnesses.size());
+    for (const Database& db : witnesses) interned_.emplace_back(db);
+  }
   ImplicationVerdict Implies(const std::vector<Dependency>& premises,
                              const Dependency& conclusion) const override;
   std::string name() const override { return "counterexample-databases"; }
 
  private:
-  std::vector<Database> witnesses_;
+  std::vector<IdDatabase> interned_;
 };
 
 /// Tries each child in order; first non-kUnknown verdict wins.

@@ -4,7 +4,6 @@
 #include <unordered_map>
 
 #include "chase/incremental.h"
-#include "core/satisfies.h"
 #include "util/check.h"
 #include "util/strings.h"
 
@@ -107,6 +106,22 @@ Result<ChaseResult> Chase::Run(Database initial,
                                options);
   }
   return RunNaive(std::move(initial), options);
+}
+
+Result<InternedChaseResult> Chase::RunInterned(
+    Database initial, const ChaseOptions& options) const {
+  if (options.engine == ChaseEngine::kIncremental) {
+    return RunIncrementalChaseInterned(scheme_, fds_, inds_,
+                                       std::move(initial), options);
+  }
+  CCFP_ASSIGN_OR_RETURN(ChaseResult naive,
+                        RunNaive(std::move(initial), options));
+  InternedChaseResult result(IdDatabase(naive.db));
+  result.outcome = naive.outcome;
+  result.fd_merges = naive.fd_merges;
+  result.ind_tuples = naive.ind_tuples;
+  result.steps = naive.steps;
+  return result;
 }
 
 /// The original engine: restart-scan until no rule fires. Kept verbatim
@@ -255,16 +270,17 @@ Result<bool> ChaseImplies(SchemePtr scheme, const std::vector<Fd>& fds,
   }
 
   Chase chase(scheme, fds, inds);
-  CCFP_ASSIGN_OR_RETURN(ChaseResult result, chase.Run(std::move(seed),
-                                                      options));
+  CCFP_ASSIGN_OR_RETURN(InternedChaseResult result,
+                        chase.RunInterned(std::move(seed), options));
   if (result.outcome == ChaseOutcome::kFailed) {
     // Cannot happen from an all-null seed (no constants to clash); if a
     // caller seeds constants via Run directly they handle failure there.
     return Status::Internal("chase failed from an all-null seed");
   }
   // The fixpoint is a universal model of (Sigma, seed): the target holds in
-  // it iff Sigma implies the target.
-  return Satisfies(result.db, target);
+  // it iff Sigma implies the target. The fixpoint is already interned, so
+  // the check is pure integer probing.
+  return result.db.Satisfies(target);
 }
 
 }  // namespace ccfp

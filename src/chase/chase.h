@@ -6,6 +6,7 @@
 
 #include "core/database.h"
 #include "core/dependency.h"
+#include "core/interned.h"
 #include "util/status.h"
 
 namespace ccfp {
@@ -55,6 +56,21 @@ struct ChaseResult {
   explicit ChaseResult(Database database) : db(std::move(database)) {}
 };
 
+/// Chase result kept in id-space: the incremental engine hands over its
+/// interner and canonicalized id-tuples, so verification (Satisfies /
+/// ObeysExactly on the IdDatabase) runs without re-interning a single
+/// Value — the build -> chase -> verify round trip interns values once.
+struct InternedChaseResult {
+  ChaseOutcome outcome = ChaseOutcome::kFixpoint;
+  IdDatabase db;
+  std::uint64_t fd_merges = 0;
+  std::uint64_t ind_tuples = 0;
+  std::uint64_t steps = 0;
+
+  explicit InternedChaseResult(IdDatabase database)
+      : db(std::move(database)) {}
+};
+
 class Chase {
  public:
   /// CHECK-fails if any dependency is invalid for `scheme`.
@@ -69,6 +85,13 @@ class Chase {
   /// `options.engine`; both engines agree on outcome and tuple counts.
   Result<ChaseResult> Run(Database initial,
                           const ChaseOptions& options = {}) const;
+
+  /// Like Run, but keeps the result interned (see InternedChaseResult).
+  /// With the naive engine the result database is interned after the run
+  /// (one extra pass); with the incremental engine the engine's own
+  /// interner is reused at zero conversion cost.
+  Result<InternedChaseResult> RunInterned(
+      Database initial, const ChaseOptions& options = {}) const;
 
  private:
   Result<ChaseResult> RunNaive(Database initial,

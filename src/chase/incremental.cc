@@ -8,7 +8,7 @@
 #include <utility>
 #include <vector>
 
-#include "chase/intern.h"
+#include "core/intern.h"
 #include "util/check.h"
 
 namespace ccfp {
@@ -41,7 +41,7 @@ class Engine {
     }
   }
 
-  Result<ChaseResult> Run(Database initial);
+  Result<InternedChaseResult> Run(Database initial);
 
  private:
   struct RelState {
@@ -275,26 +275,29 @@ class Engine {
     return Status::OK();
   }
 
-  /// Materializes the interned store back into a Database.
-  ChaseResult Finish() {
-    Database out(scheme_);
+  /// Hands the interned store over as an IdDatabase: each alive tuple's
+  /// ids mapped through the union-find to the class representative, the
+  /// interner moved wholesale. No Value is copied or hashed here; callers
+  /// recover the heap Database via IdDatabase::Materialize when needed.
+  InternedChaseResult Finish() {
+    std::vector<std::vector<IdTuple>> tuples(scheme_->size());
     for (RelId rel = 0; rel < scheme_->size(); ++rel) {
       RelState& rs = rels_[rel];
-      Relation& r = out.relation(rel);
-      r.Reserve(rs.tuples.size());
+      tuples[rel].reserve(rs.tuples.size());
       for (std::size_t idx = 0; idx < rs.tuples.size(); ++idx) {
         if (!rs.alive[idx]) continue;
-        Tuple t;
+        IdTuple t;
         t.reserve(rs.tuples[idx].size());
         for (ValueId id : rs.tuples[idx]) {
           // Rep, not Find: the tree root is a structural artifact; the
           // class prints as its constant / lowest-labeled null.
-          t.push_back(interner_.value(uf_.Rep(id)));
+          t.push_back(uf_.Rep(id));
         }
-        out.Insert(rel, std::move(t));
+        tuples[rel].push_back(std::move(t));
       }
     }
-    ChaseResult result(std::move(out));
+    InternedChaseResult result(
+        IdDatabase(scheme_, std::move(interner_), std::move(tuples)));
     result.outcome =
         failed_ ? ChaseOutcome::kFailed : ChaseOutcome::kFixpoint;
     result.fd_merges = fd_merges_;
@@ -328,7 +331,7 @@ class Engine {
   bool failed_ = false;
 };
 
-Result<ChaseResult> Engine::Run(Database initial) {
+Result<InternedChaseResult> Engine::Run(Database initial) {
   for (RelId rel = 0; rel < scheme_->size(); ++rel) {
     const Relation& r = initial.relation(rel);
     rels_[rel].tuples.reserve(r.size());
@@ -356,6 +359,21 @@ Result<ChaseResult> RunIncrementalChase(const SchemePtr& scheme,
                                         const std::vector<Ind>& inds,
                                         Database initial,
                                         const ChaseOptions& options) {
+  Engine engine(scheme, fds, inds, options);
+  CCFP_ASSIGN_OR_RETURN(InternedChaseResult interned,
+                        engine.Run(std::move(initial)));
+  ChaseResult result(interned.db.Materialize());
+  result.outcome = interned.outcome;
+  result.fd_merges = interned.fd_merges;
+  result.ind_tuples = interned.ind_tuples;
+  result.steps = interned.steps;
+  return result;
+}
+
+Result<InternedChaseResult> RunIncrementalChaseInterned(
+    const SchemePtr& scheme, const std::vector<Fd>& fds,
+    const std::vector<Ind>& inds, Database initial,
+    const ChaseOptions& options) {
   Engine engine(scheme, fds, inds, options);
   return engine.Run(std::move(initial));
 }

@@ -16,7 +16,7 @@ namespace ccfp {
 /// change, this engine makes the work proportional to the *actual change*:
 ///
 ///   * all Values are interned into dense uint32 ids; null merging is an
-///     array union-find with iterative path halving (chase/intern.h);
+///     array union-find with iterative path halving (core/intern.h);
 ///   * every FD keeps a persistent lhs-key index (canonical lhs projection
 ///     -> representative tuple) and every IND keeps a persistent set of the
 ///     canonical rhs projections present in its right-hand relation; both
@@ -38,6 +38,16 @@ Result<ChaseResult> RunIncrementalChase(const SchemePtr& scheme,
                                         const std::vector<Ind>& inds,
                                         Database initial,
                                         const ChaseOptions& options);
+
+/// Same engine, but the fixpoint stays interned: the engine's interner and
+/// canonical id-tuples are moved into the returned IdDatabase, so callers
+/// that verify the result (Armstrong builders, ChaseImplies) never hash a
+/// heap Value again. `Materialize()` recovers the exact Database that
+/// RunIncrementalChase would have produced.
+Result<InternedChaseResult> RunIncrementalChaseInterned(
+    const SchemePtr& scheme, const std::vector<Fd>& fds,
+    const std::vector<Ind>& inds, Database initial,
+    const ChaseOptions& options);
 
 }  // namespace ccfp
 

@@ -324,4 +324,25 @@ Mvd MakeMvd(const DatabaseScheme& scheme, const std::string& rel,
   return mvd;
 }
 
+std::vector<AttrId> AppendDistinctAttrs(const std::vector<AttrId>& base,
+                                        const std::vector<AttrId>& extra) {
+  std::vector<AttrId> out = base;
+  for (AttrId a : extra) {
+    if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<AttrId> MvdComplement(const DatabaseScheme& scheme,
+                                  const Mvd& mvd) {
+  std::set<AttrId> in_xy(mvd.x.begin(), mvd.x.end());
+  in_xy.insert(mvd.y.begin(), mvd.y.end());
+  std::vector<AttrId> z;
+  std::size_t arity = scheme.relation(mvd.rel).arity();
+  for (AttrId a = 0; a < arity; ++a) {
+    if (in_xy.count(a) == 0) z.push_back(a);
+  }
+  return z;
+}
+
 }  // namespace ccfp

@@ -182,6 +182,17 @@ Mvd MakeMvd(const DatabaseScheme& scheme, const std::string& rel,
 std::vector<AttrId> AttrIds(const DatabaseScheme& scheme, RelId rel,
                             const std::vector<std::string>& names);
 
+/// `base` followed by the members of `extra` not already present — the
+/// paper's XY / XZ attribute sets as de-duplicated sequences. Shared by
+/// every EMVD checker so all engines probe identical column sequences.
+std::vector<AttrId> AppendDistinctAttrs(const std::vector<AttrId>& base,
+                                        const std::vector<AttrId>& extra);
+
+/// Z = attrs(rel) - X - Y: the complement that turns the full MVD
+/// X ->> Y into the EMVD X ->> Y | Z.
+std::vector<AttrId> MvdComplement(const DatabaseScheme& scheme,
+                                  const Mvd& mvd);
+
 /// Renders an attribute id sequence as "A, B, C".
 std::string AttrNames(const DatabaseScheme& scheme, RelId rel,
                       const std::vector<AttrId>& attrs);

@@ -1,4 +1,4 @@
-#include "chase/intern.h"
+#include "core/intern.h"
 
 namespace ccfp {
 

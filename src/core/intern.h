@@ -1,5 +1,5 @@
-#ifndef CCFP_CHASE_INTERN_H_
-#define CCFP_CHASE_INTERN_H_
+#ifndef CCFP_CORE_INTERN_H_
+#define CCFP_CORE_INTERN_H_
 
 #include <cstdint>
 #include <unordered_map>
@@ -9,13 +9,15 @@
 
 namespace ccfp {
 
-/// Dense id of an interned Value inside one chase run.
+/// Dense id of an interned Value inside one interning scope (a chase run,
+/// an IdDatabase, ...).
 using ValueId = std::uint32_t;
 
-/// Interns `Value`s into dense uint32 ids so the chase hot loops work on
-/// flat integer arrays instead of rehashing heap `Value` objects. Ids are
-/// assigned in interning order, so a deterministic input order yields a
-/// deterministic id assignment.
+/// Interns `Value`s into dense uint32 ids so hot loops (the chase, the
+/// interned model checker in core/interned.h) work on flat integer arrays
+/// instead of rehashing heap `Value` objects. Ids are assigned in interning
+/// order, so a deterministic input order yields a deterministic id
+/// assignment.
 class ValueInterner {
  public:
   /// Returns the id of `v`, interning it on first sight.
@@ -95,4 +97,4 @@ class DenseUnionFind {
 
 }  // namespace ccfp
 
-#endif  // CCFP_CHASE_INTERN_H_
+#endif  // CCFP_CORE_INTERN_H_

@@ -1,0 +1,130 @@
+#ifndef CCFP_CORE_INTERNED_H_
+#define CCFP_CORE_INTERNED_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "core/intern.h"
+#include "core/tuple.h"
+
+namespace ccfp {
+
+/// Structured violation witness in id-space. `tuple_indices` index into
+/// `IdDatabase::relation(rel).tuples()` — which, for an IdDatabase built
+/// from a Database, is position-for-position the source relation's tuple
+/// order, so the witness is directly re-checkable against the original.
+struct IdViolation {
+  RelId rel = 0;
+  std::vector<std::uint32_t> tuple_indices;
+};
+
+/// One relation of an IdDatabase: the tuples as dense ValueId sequences,
+/// plus a lazily-built cache of *projection partitions*. A partition for a
+/// column sequence X assigns every tuple a dense group id such that two
+/// tuples share a group iff they agree on X. Once a partition exists, every
+/// FD/IND/EMVD probe over X is pure integer indexing — no hashing at all —
+/// and the partition is shared across all dependencies mentioning X.
+class IdRelation {
+ public:
+  struct Partition {
+    /// group_of[i]: dense group id of tuple i (groups numbered by first
+    /// occurrence, so ascending group id == ascending first-tuple index).
+    std::vector<std::uint32_t> group_of;
+    std::uint32_t group_count = 0;
+    /// first_of_group[g]: index of the first tuple in group g.
+    std::vector<std::uint32_t> first_of_group;
+    /// Canonical projection key -> group id (used for cross-relation
+    /// probes, e.g. IND left keys against the right relation's partition).
+    std::unordered_map<IdTuple, std::uint32_t, IdTupleHash> key_to_group;
+  };
+
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<IdTuple>& tuples() const { return tuples_; }
+  const IdTuple& tuple(std::uint32_t idx) const { return tuples_[idx]; }
+
+  /// The partition of this relation by the column sequence `cols`, built on
+  /// first use and cached. Not thread-safe (lazy mutable cache).
+  const Partition& partition(const std::vector<AttrId>& cols) const;
+
+ private:
+  friend class IdDatabase;
+
+  std::vector<IdTuple> tuples_;
+  mutable std::map<std::vector<AttrId>, Partition> partitions_;
+};
+
+/// An immutable, fully interned database: every Value is interned into a
+/// dense uint32 id exactly once, after which all model checking
+/// (FD/IND/RD/EMVD/MVD satisfaction, violation witnesses) runs on flat
+/// integer arrays and cached projection partitions. This is the interned
+/// model-checking core behind core/satisfies.h, search/bounded.cc, and the
+/// Armstrong builders: intern once, then every probe is an integer-key
+/// lookup.
+class IdDatabase {
+ public:
+  /// Interns every tuple of `db` (one pass over every Value). Tuple order
+  /// within each relation is preserved 1:1, so indices in an IdViolation
+  /// address `db.relation(rel).tuples()` directly.
+  explicit IdDatabase(const Database& db);
+
+  /// Interns only the relations in `rels` (others stay empty). Used by the
+  /// single-dependency Satisfies fast path so checking one FD does not pay
+  /// for interning unrelated relations.
+  IdDatabase(const Database& db, const std::vector<RelId>& rels);
+
+  /// Adopts pre-interned storage — the chase-exit path: the incremental
+  /// engine hands over its interner and canonicalized id-tuples so a
+  /// build -> chase -> verify round trip interns values exactly once.
+  /// Tuples must be deduplicated and every id must be < interner.size().
+  IdDatabase(SchemePtr scheme, ValueInterner interner,
+             std::vector<std::vector<IdTuple>> tuples);
+
+  const DatabaseScheme& scheme() const { return *scheme_; }
+  const SchemePtr& scheme_ptr() const { return scheme_; }
+  const ValueInterner& interner() const { return interner_; }
+  const IdRelation& relation(RelId rel) const { return relations_[rel]; }
+
+  std::size_t TotalTuples() const;
+
+  /// Model checking in id-space. Semantics identical to the legacy
+  /// Value-hashing checks in core/satisfies.cc (differentially tested).
+  bool Satisfies(const Fd& fd) const;
+  bool Satisfies(const Ind& ind) const;
+  bool Satisfies(const Rd& rd) const;
+  bool Satisfies(const Emvd& emvd) const;
+  bool Satisfies(const Mvd& mvd) const;
+  bool Satisfies(const Dependency& dep) const;
+  bool SatisfiesAll(const std::vector<Dependency>& deps) const;
+
+  /// Violation witness with offending tuple indices, or nullopt if `dep`
+  /// holds. For FDs the two tuples agree on lhs and differ on rhs; for
+  /// INDs/RDs the single tuple is the violator; for EMVDs/MVDs the two
+  /// tuples share the X-group but their (XY, XZ) combination is absent.
+  std::optional<IdViolation> FindViolation(const Dependency& dep) const;
+
+  /// Converts back to a heap-Value Database, preserving tuple order.
+  Database Materialize() const;
+
+ private:
+  void InternRelation(const Database& db, RelId rel);
+  std::optional<IdViolation> FindEmvdViolation(
+      RelId rel, const std::vector<AttrId>& x, const std::vector<AttrId>& y,
+      const std::vector<AttrId>& z) const;
+  bool SatisfiesEmvdOn(RelId rel, const std::vector<AttrId>& x,
+                       const std::vector<AttrId>& y,
+                       const std::vector<AttrId>& z) const;
+
+  SchemePtr scheme_;
+  ValueInterner interner_;
+  std::vector<IdRelation> relations_;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_INTERNED_H_

@@ -9,6 +9,32 @@
 
 namespace ccfp {
 
+namespace {
+
+/// The relations a dependency's satisfaction depends on — the interned
+/// single-dependency fast path interns only these.
+std::vector<RelId> InvolvedRels(const Dependency& dep) {
+  switch (dep.kind()) {
+    case DependencyKind::kFd:
+      return {dep.fd().rel};
+    case DependencyKind::kInd:
+      return {dep.ind().lhs_rel, dep.ind().rhs_rel};
+    case DependencyKind::kRd:
+      return {dep.rd().rel};
+    case DependencyKind::kEmvd:
+      return {dep.emvd().rel};
+    case DependencyKind::kMvd:
+      return {dep.mvd().rel};
+  }
+  return {};
+}
+
+/// --- Legacy engine --------------------------------------------------------
+/// The original heap-Value hashing checks, kept verbatim in behavior as the
+/// differential reference for the interned engine.
+
+namespace legacy {
+
 bool Satisfies(const Database& db, const Fd& fd) {
   const Relation& r = db.relation(fd.rel);
   std::unordered_map<Tuple, Tuple, TupleHash> lhs_to_rhs;
@@ -40,21 +66,13 @@ bool Satisfies(const Database& db, const Rd& rd) {
   return true;
 }
 
-namespace {
-
 // Shared EMVD checker on explicit X/Y/Z attribute sets.
 bool SatisfiesEmvdImpl(const Relation& r, const std::vector<AttrId>& x,
                        const std::vector<AttrId>& y,
                        const std::vector<AttrId>& z) {
   // XY and XZ as de-duplicated sequences (sets in the paper).
-  std::vector<AttrId> xy = x;
-  for (AttrId a : y) {
-    if (std::find(xy.begin(), xy.end(), a) == xy.end()) xy.push_back(a);
-  }
-  std::vector<AttrId> xz = x;
-  for (AttrId a : z) {
-    if (std::find(xz.begin(), xz.end(), a) == xz.end()) xz.push_back(a);
-  }
+  std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
+  std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
   // All (t[XY], t[XZ]) pairs present in r, flattened into one tuple.
   std::unordered_set<Tuple, TupleHash> pairs;
   pairs.reserve(r.size());
@@ -83,75 +101,59 @@ bool SatisfiesEmvdImpl(const Relation& r, const std::vector<AttrId>& x,
   return true;
 }
 
-}  // namespace
-
 bool Satisfies(const Database& db, const Emvd& emvd) {
   return SatisfiesEmvdImpl(db.relation(emvd.rel), emvd.x, emvd.y, emvd.z);
 }
 
 bool Satisfies(const Database& db, const Mvd& mvd) {
   // X ->> Y is the EMVD X ->> Y | Z with Z = attrs - X - Y.
-  std::set<AttrId> in_xy(mvd.x.begin(), mvd.x.end());
-  in_xy.insert(mvd.y.begin(), mvd.y.end());
-  std::vector<AttrId> z;
-  std::size_t arity = db.scheme().relation(mvd.rel).arity();
-  for (AttrId a = 0; a < arity; ++a) {
-    if (in_xy.count(a) == 0) z.push_back(a);
-  }
-  return SatisfiesEmvdImpl(db.relation(mvd.rel), mvd.x, mvd.y, z);
+  return SatisfiesEmvdImpl(db.relation(mvd.rel), mvd.x, mvd.y,
+                           MvdComplement(db.scheme(), mvd));
 }
 
 bool Satisfies(const Database& db, const Dependency& dep) {
   switch (dep.kind()) {
     case DependencyKind::kFd:
-      return Satisfies(db, dep.fd());
+      return legacy::Satisfies(db, dep.fd());
     case DependencyKind::kInd:
-      return Satisfies(db, dep.ind());
+      return legacy::Satisfies(db, dep.ind());
     case DependencyKind::kRd:
-      return Satisfies(db, dep.rd());
+      return legacy::Satisfies(db, dep.rd());
     case DependencyKind::kEmvd:
-      return Satisfies(db, dep.emvd());
+      return legacy::Satisfies(db, dep.emvd());
     case DependencyKind::kMvd:
-      return Satisfies(db, dep.mvd());
+      return legacy::Satisfies(db, dep.mvd());
   }
   return false;
 }
 
-bool SatisfiesAll(const Database& db, const std::vector<Dependency>& deps) {
-  for (const Dependency& dep : deps) {
-    if (!Satisfies(db, dep)) return false;
-  }
-  return true;
-}
-
-std::vector<Dependency> SatisfiedSubset(const Database& db,
-                                        const std::vector<Dependency>& deps) {
-  std::vector<Dependency> out;
-  for (const Dependency& dep : deps) {
-    if (Satisfies(db, dep)) out.push_back(dep);
-  }
-  return out;
-}
-
+/// Legacy witness search; same scan order as the interned engine, so both
+/// report identical offending tuple indices (differentially tested).
 std::optional<Violation> FindViolation(const Database& db,
                                        const Dependency& dep) {
-  if (Satisfies(db, dep)) return std::nullopt;
+  if (legacy::Satisfies(db, dep)) return std::nullopt;
   const DatabaseScheme& scheme = db.scheme();
-  // Re-run the check collecting a witness. Keeping the fast path witness-free
-  // and paying a second pass only on violation keeps Satisfies() lean.
+  Violation v;
+  v.kind = dep.kind();
   switch (dep.kind()) {
     case DependencyKind::kFd: {
       const Fd& fd = dep.fd();
       const Relation& r = db.relation(fd.rel);
-      std::unordered_map<Tuple, const Tuple*, TupleHash> first;
-      for (const Tuple& t : r.tuples()) {
-        Tuple key = ProjectTuple(t, fd.lhs);
-        auto [it, inserted] = first.emplace(std::move(key), &t);
-        if (!inserted &&
-            ProjectTuple(*it->second, fd.rhs) != ProjectTuple(t, fd.rhs)) {
-          return Violation{StrCat(
-              "FD ", dep.ToString(scheme), " violated by tuples ",
-              TupleToString(*it->second), " and ", TupleToString(t))};
+      v.rel = fd.rel;
+      std::unordered_map<Tuple, std::size_t, TupleHash> first;
+      for (std::size_t i = 0; i < r.tuples().size(); ++i) {
+        const Tuple& t = r.tuples()[i];
+        auto [it, inserted] = first.emplace(ProjectTuple(t, fd.lhs), i);
+        if (!inserted) {
+          const Tuple& rep = r.tuples()[it->second];
+          if (ProjectTuple(rep, fd.rhs) != ProjectTuple(t, fd.rhs)) {
+            v.tuple_indices = {it->second, i};
+            v.tuples = {rep, t};
+            v.description = StrCat(
+                "FD ", dep.ToString(scheme), " violated by tuples ",
+                TupleToString(rep), " and ", TupleToString(t));
+            return v;
+          }
         }
       }
       break;
@@ -159,46 +161,237 @@ std::optional<Violation> FindViolation(const Database& db,
     case DependencyKind::kInd: {
       const Ind& ind = dep.ind();
       const Relation& lhs = db.relation(ind.lhs_rel);
+      v.rel = ind.lhs_rel;
       std::unordered_set<Tuple, TupleHash> rhs_proj =
           db.relation(ind.rhs_rel).ProjectSet(ind.rhs);
-      for (const Tuple& t : lhs.tuples()) {
+      for (std::size_t i = 0; i < lhs.tuples().size(); ++i) {
+        const Tuple& t = lhs.tuples()[i];
         Tuple p = ProjectTuple(t, ind.lhs);
         if (rhs_proj.count(p) == 0) {
-          return Violation{StrCat("IND ", dep.ToString(scheme),
-                                  " violated: projection ", TupleToString(p),
-                                  " of tuple ", TupleToString(t),
-                                  " has no counterpart")};
+          v.tuple_indices = {i};
+          v.tuples = {t};
+          v.description = StrCat("IND ", dep.ToString(scheme),
+                                 " violated: projection ", TupleToString(p),
+                                 " of tuple ", TupleToString(t),
+                                 " has no counterpart");
+          return v;
         }
       }
       break;
     }
     case DependencyKind::kRd: {
       const Rd& rd = dep.rd();
-      for (const Tuple& t : db.relation(rd.rel).tuples()) {
+      const Relation& r = db.relation(rd.rel);
+      v.rel = rd.rel;
+      for (std::size_t i = 0; i < r.tuples().size(); ++i) {
+        const Tuple& t = r.tuples()[i];
         if (ProjectTuple(t, rd.lhs) != ProjectTuple(t, rd.rhs)) {
-          return Violation{StrCat("RD ", dep.ToString(scheme),
-                                  " violated by tuple ", TupleToString(t))};
+          v.tuple_indices = {i};
+          v.tuples = {t};
+          v.description = StrCat("RD ", dep.ToString(scheme),
+                                 " violated by tuple ", TupleToString(t));
+          return v;
         }
       }
       break;
     }
     case DependencyKind::kEmvd:
     case DependencyKind::kMvd:
-      return Violation{
+      v.rel = dep.is_emvd() ? dep.emvd().rel : dep.mvd().rel;
+      v.description =
           StrCat(DependencyKindToString(dep.kind()), " ",
                  dep.ToString(scheme), " violated (no tuple witness: the "
-                 "failure is a missing tuple, not a present one)")};
+                 "failure is a missing tuple, not a present one)");
+      return v;
   }
-  return Violation{StrCat(dep.ToString(scheme), " violated")};
+  v.description = StrCat(dep.ToString(scheme), " violated");
+  return v;
+}
+
+}  // namespace legacy
+
+/// Renders an IdViolation into the user-facing Violation, materializing the
+/// offending tuples from the interner.
+Violation RenderViolation(const IdDatabase& db, const Dependency& dep,
+                          const IdViolation& idv) {
+  const DatabaseScheme& scheme = db.scheme();
+  Violation v;
+  v.kind = dep.kind();
+  v.rel = idv.rel;
+  v.tuple_indices.assign(idv.tuple_indices.begin(), idv.tuple_indices.end());
+  for (std::uint32_t idx : idv.tuple_indices) {
+    const IdTuple& it = db.relation(idv.rel).tuple(idx);
+    Tuple t;
+    t.reserve(it.size());
+    for (ValueId id : it) t.push_back(db.interner().value(id));
+    v.tuples.push_back(std::move(t));
+  }
+  switch (dep.kind()) {
+    case DependencyKind::kFd:
+      v.description = StrCat("FD ", dep.ToString(scheme),
+                             " violated by tuples ",
+                             TupleToString(v.tuples[0]), " and ",
+                             TupleToString(v.tuples[1]));
+      break;
+    case DependencyKind::kInd:
+      v.description =
+          StrCat("IND ", dep.ToString(scheme), " violated: projection ",
+                 TupleToString(ProjectTuple(v.tuples[0], dep.ind().lhs)),
+                 " of tuple ", TupleToString(v.tuples[0]),
+                 " has no counterpart");
+      break;
+    case DependencyKind::kRd:
+      v.description = StrCat("RD ", dep.ToString(scheme),
+                             " violated by tuple ",
+                             TupleToString(v.tuples[0]));
+      break;
+    case DependencyKind::kEmvd:
+    case DependencyKind::kMvd:
+      if (v.tuples.size() == 2) {
+        v.description = StrCat(
+            DependencyKindToString(dep.kind()), " ", dep.ToString(scheme),
+            " violated: no tuple combines ", TupleToString(v.tuples[0]),
+            " with ", TupleToString(v.tuples[1]));
+      } else {
+        v.description = StrCat(DependencyKindToString(dep.kind()), " ",
+                               dep.ToString(scheme), " violated");
+      }
+      break;
+  }
+  return v;
+}
+
+}  // namespace
+
+bool Satisfies(const Database& db, const Fd& fd) {
+  return IdDatabase(db, {fd.rel}).Satisfies(fd);
+}
+
+bool Satisfies(const Database& db, const Ind& ind) {
+  return IdDatabase(db, {ind.lhs_rel, ind.rhs_rel}).Satisfies(ind);
+}
+
+bool Satisfies(const Database& db, const Rd& rd) {
+  return IdDatabase(db, {rd.rel}).Satisfies(rd);
+}
+
+bool Satisfies(const Database& db, const Emvd& emvd) {
+  return IdDatabase(db, {emvd.rel}).Satisfies(emvd);
+}
+
+bool Satisfies(const Database& db, const Mvd& mvd) {
+  return IdDatabase(db, {mvd.rel}).Satisfies(mvd);
+}
+
+bool Satisfies(const Database& db, const Dependency& dep,
+               const SatisfiesOptions& options) {
+  if (options.engine == SatisfiesEngine::kLegacy) {
+    return legacy::Satisfies(db, dep);
+  }
+  return IdDatabase(db, InvolvedRels(dep)).Satisfies(dep);
+}
+
+bool SatisfiesAll(const Database& db, const std::vector<Dependency>& deps,
+                  const SatisfiesOptions& options) {
+  if (options.engine == SatisfiesEngine::kLegacy) {
+    for (const Dependency& dep : deps) {
+      if (!legacy::Satisfies(db, dep)) return false;
+    }
+    return true;
+  }
+  IdDatabase id_db(db);
+  return id_db.SatisfiesAll(deps);
+}
+
+std::vector<Dependency> SatisfiedSubset(const Database& db,
+                                        const std::vector<Dependency>& deps,
+                                        const SatisfiesOptions& options) {
+  std::vector<Dependency> out;
+  if (options.engine == SatisfiesEngine::kLegacy) {
+    for (const Dependency& dep : deps) {
+      if (legacy::Satisfies(db, dep)) out.push_back(dep);
+    }
+    return out;
+  }
+  IdDatabase id_db(db);
+  for (const Dependency& dep : deps) {
+    if (id_db.Satisfies(dep)) out.push_back(dep);
+  }
+  return out;
+}
+
+std::optional<Violation> FindViolation(const Database& db,
+                                       const Dependency& dep,
+                                       const SatisfiesOptions& options) {
+  if (options.engine == SatisfiesEngine::kLegacy) {
+    return legacy::FindViolation(db, dep);
+  }
+  IdDatabase id_db(db, InvolvedRels(dep));
+  return FindViolation(id_db, dep);
+}
+
+std::optional<Violation> FindFirstViolation(
+    const Database& db, const std::vector<Dependency>& deps,
+    const SatisfiesOptions& options) {
+  if (options.engine == SatisfiesEngine::kLegacy) {
+    for (std::size_t i = 0; i < deps.size(); ++i) {
+      std::optional<Violation> v = legacy::FindViolation(db, deps[i]);
+      if (v.has_value()) {
+        v->dep_index = i;
+        return v;
+      }
+    }
+    return std::nullopt;
+  }
+  IdDatabase id_db(db);
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    std::optional<Violation> v = FindViolation(id_db, deps[i]);
+    if (v.has_value()) {
+      v->dep_index = i;
+      return v;
+    }
+  }
+  return std::nullopt;
 }
 
 std::optional<std::string> ObeysExactly(
     const Database& db, const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& expected,
+    const SatisfiesOptions& options) {
+  if (options.engine == SatisfiesEngine::kLegacy) {
+    std::unordered_set<Dependency, DependencyHash> expected_set(
+        expected.begin(), expected.end());
+    for (const Dependency& dep : universe) {
+      bool holds = legacy::Satisfies(db, dep);
+      bool should = expected_set.count(dep) > 0;
+      if (holds && !should) {
+        return StrCat("database obeys ", dep.ToString(db.scheme()),
+                      " which is outside the expected set");
+      }
+      if (!holds && should) {
+        return StrCat("database violates ", dep.ToString(db.scheme()),
+                      " which is inside the expected set");
+      }
+    }
+    return std::nullopt;
+  }
+  return ObeysExactly(IdDatabase(db), universe, expected);
+}
+
+std::optional<Violation> FindViolation(const IdDatabase& db,
+                                       const Dependency& dep) {
+  std::optional<IdViolation> idv = db.FindViolation(dep);
+  if (!idv.has_value()) return std::nullopt;
+  return RenderViolation(db, dep, *idv);
+}
+
+std::optional<std::string> ObeysExactly(
+    const IdDatabase& db, const std::vector<Dependency>& universe,
     const std::vector<Dependency>& expected) {
   std::unordered_set<Dependency, DependencyHash> expected_set(
       expected.begin(), expected.end());
   for (const Dependency& dep : universe) {
-    bool holds = Satisfies(db, dep);
+    bool holds = db.Satisfies(dep);
     bool should = expected_set.count(dep) > 0;
     if (holds && !should) {
       return StrCat("database obeys ", dep.ToString(db.scheme()),

@@ -57,6 +57,9 @@ bool LhsSubsumes(const std::vector<AttrId>& small,
 std::vector<Fd> MineFds(const Database& db, RelId rel,
                         const FdMiningOptions& options) {
   const std::size_t arity = db.scheme().relation(rel).arity();
+  // Intern once: candidates sharing a column set hit the same cached
+  // projection partition instead of re-hashing the relation per probe.
+  IdDatabase interned(db, {rel});
   std::vector<Fd> mined;
   ForEachSortedSubset(
       arity, options.max_lhs, options.include_constants,
@@ -66,7 +69,7 @@ std::vector<Fd> MineFds(const Database& db, RelId rel,
             continue;  // trivial
           }
           Fd candidate{rel, lhs, {rhs}};
-          if (!Satisfies(db, candidate)) continue;
+          if (!interned.Satisfies(candidate)) continue;
           mined.push_back(std::move(candidate));
         }
       });
@@ -93,6 +96,7 @@ std::vector<Fd> MineFds(const Database& db, RelId rel,
 std::vector<Ind> MineInds(const Database& db,
                           const IndMiningOptions& options) {
   const DatabaseScheme& scheme = db.scheme();
+  IdDatabase interned(db);
   std::vector<Ind> mined;
   for (std::size_t width = 1; width <= options.max_width; ++width) {
     for (RelId r1 = 0; r1 < scheme.size(); ++r1) {
@@ -108,7 +112,7 @@ std::vector<Ind> MineInds(const Database& db,
                   [&](const std::vector<AttrId>& rhs) {
                     Ind candidate{r1, lhs, r2, rhs};
                     if (IsTrivial(candidate)) return;
-                    if (Satisfies(db, candidate)) {
+                    if (interned.Satisfies(candidate)) {
                       mined.push_back(candidate);
                     }
                   });
@@ -121,6 +125,7 @@ std::vector<Ind> MineInds(const Database& db,
 
 std::vector<Rd> MineRds(const Database& db) {
   const DatabaseScheme& scheme = db.scheme();
+  IdDatabase interned(db);
   std::vector<Rd> mined;
   for (RelId rel = 0; rel < scheme.size(); ++rel) {
     if (db.relation(rel).empty()) continue;  // vacuous RDs are noise
@@ -128,7 +133,7 @@ std::vector<Rd> MineRds(const Database& db) {
     for (AttrId a = 0; a < arity; ++a) {
       for (AttrId b = a + 1; b < arity; ++b) {
         Rd candidate{rel, {a}, {b}};
-        if (Satisfies(db, candidate)) mined.push_back(candidate);
+        if (interned.Satisfies(candidate)) mined.push_back(candidate);
       }
     }
   }

@@ -1,6 +1,9 @@
 #include "search/bounded.h"
 
+#include <algorithm>
 #include <functional>
+#include <memory>
+#include <set>
 
 #include "core/satisfies.h"
 #include "util/check.h"
@@ -9,6 +12,13 @@
 namespace ccfp {
 
 namespace {
+
+/// ------------------------------------------------------------------------
+/// Legacy engine: materialize every candidate database as heap Value
+/// tuples and run the model checker per candidate. Kept as the
+/// differential reference for the id-space engine and as the fallback when
+/// the id-space key tables would not fit.
+/// ------------------------------------------------------------------------
 
 // All tuples over `arity` positions with entries in {0..domain-1}, in
 // lexicographic order.
@@ -47,17 +57,12 @@ std::vector<std::vector<std::size_t>> Combinations(std::size_t n,
   return out;
 }
 
-}  // namespace
-
-Result<BoundedSearchResult> FindCounterexample(
-    SchemePtr scheme, const std::vector<Dependency>& premises,
+Result<BoundedSearchResult> LegacySearch(
+    const SchemePtr& scheme, const std::vector<Dependency>& premises,
     const Dependency& conclusion, const BoundedSearchOptions& options) {
-  for (const Dependency& p : premises) {
-    CCFP_RETURN_NOT_OK(Validate(*scheme, p));
-  }
-  CCFP_RETURN_NOT_OK(Validate(*scheme, conclusion));
-
   BoundedSearchResult result;
+  SatisfiesOptions check;
+  check.engine = SatisfiesEngine::kLegacy;
 
   // Per-relation candidate tuple sets.
   std::vector<std::vector<Tuple>> spaces;
@@ -78,9 +83,9 @@ Result<BoundedSearchResult> FindCounterexample(
         budget_hit = true;
         return true;  // stop
       }
-      if (Satisfies(db, conclusion)) return false;
+      if (Satisfies(db, conclusion, check)) return false;
       for (const Dependency& p : premises) {
-        if (!Satisfies(db, p)) return false;
+        if (!Satisfies(db, p, check)) return false;
       }
       result.counterexample = db;  // copy: db is reused by the recursion
       return true;
@@ -96,6 +101,452 @@ Result<BoundedSearchResult> FindCounterexample(
   rec(0);
   result.exhausted = !budget_hit;
   return result;
+}
+
+/// ------------------------------------------------------------------------
+/// Id-space engine (see bounded.h for the strategy overview). Tuples are
+/// integer codes; each dependency is compiled into a state machine with
+/// precomputed per-code projection keys and O(1) incremental counters.
+/// ------------------------------------------------------------------------
+
+/// Caps the total size of precomputed key tables / counter arrays; beyond
+/// this the searcher falls back to the legacy engine (which is equally
+/// doomed on such spaces, but fails the same way it always did).
+constexpr std::uint64_t kMaxTableEntries = 1u << 24;
+constexpr std::uint64_t kMaxTupleSpace = 1u << 20;
+
+/// Incrementally maintained satisfaction state of one dependency. Include
+/// and Exclude must be called with every code change of every relation the
+/// dependency involves; Exclude must exactly reverse the matching Include.
+class DepState {
+ public:
+  virtual ~DepState() = default;
+  virtual void Include(RelId rel, std::uint32_t code) = 0;
+  virtual void Exclude(RelId rel, std::uint32_t code) = 0;
+  virtual bool Satisfied() const = 0;
+  /// True when a violation can never be cured by inserting more tuples
+  /// (FDs and RDs) — enables mid-relation subtree pruning for premises.
+  virtual bool MonotoneViolation() const { return false; }
+};
+
+/// Precomputes, for every code of relation `rel`'s tuple space, the packed
+/// base-`domain` key of the projection onto `cols`.
+std::vector<std::uint32_t> KeyTable(std::uint64_t space_size,
+                                    std::size_t domain,
+                                    const std::vector<AttrId>& cols,
+                                    const std::vector<std::uint64_t>& pow) {
+  std::vector<std::uint32_t> keys(space_size);
+  for (std::uint64_t code = 0; code < space_size; ++code) {
+    std::uint64_t key = 0;
+    std::uint64_t mult = 1;
+    for (AttrId c : cols) {
+      key += ((code / pow[c]) % domain) * mult;
+      mult *= domain;
+    }
+    keys[code] = static_cast<std::uint32_t>(key);
+  }
+  return keys;
+}
+
+std::uint64_t KeySpace(std::size_t domain, std::size_t width) {
+  std::uint64_t s = 1;
+  for (std::size_t i = 0; i < width; ++i) s *= domain;
+  return s;
+}
+
+class FdState : public DepState {
+ public:
+  FdState(const Fd& fd, std::uint64_t space, std::size_t domain,
+          const std::vector<std::uint64_t>& pow) {
+    std::vector<AttrId> pair_cols = fd.lhs;
+    pair_cols.insert(pair_cols.end(), fd.rhs.begin(), fd.rhs.end());
+    lhs_key_ = KeyTable(space, domain, fd.lhs, pow);
+    pair_key_ = KeyTable(space, domain, pair_cols, pow);
+    distinct_rhs_.assign(KeySpace(domain, fd.lhs.size()), 0);
+    pair_cnt_.assign(KeySpace(domain, pair_cols.size()), 0);
+  }
+
+  void Include(RelId, std::uint32_t code) override {
+    if (pair_cnt_[pair_key_[code]]++ == 0) {
+      if (++distinct_rhs_[lhs_key_[code]] == 2) ++violated_;
+    }
+  }
+  void Exclude(RelId, std::uint32_t code) override {
+    if (--pair_cnt_[pair_key_[code]] == 0) {
+      if (--distinct_rhs_[lhs_key_[code]] == 1) --violated_;
+    }
+  }
+  bool Satisfied() const override { return violated_ == 0; }
+  bool MonotoneViolation() const override { return true; }
+
+ private:
+  std::vector<std::uint32_t> lhs_key_, pair_key_;
+  std::vector<std::uint32_t> distinct_rhs_, pair_cnt_;
+  std::uint64_t violated_ = 0;
+};
+
+class RdState : public DepState {
+ public:
+  RdState(const Rd& rd, std::uint64_t space, std::size_t domain,
+          const std::vector<std::uint64_t>& pow) {
+    bad_.resize(space, 0);
+    for (std::uint64_t code = 0; code < space; ++code) {
+      for (std::size_t i = 0; i < rd.lhs.size(); ++i) {
+        if ((code / pow[rd.lhs[i]]) % domain !=
+            (code / pow[rd.rhs[i]]) % domain) {
+          bad_[code] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  void Include(RelId, std::uint32_t code) override {
+    violated_ += bad_[code];
+  }
+  void Exclude(RelId, std::uint32_t code) override {
+    violated_ -= bad_[code];
+  }
+  bool Satisfied() const override { return violated_ == 0; }
+  bool MonotoneViolation() const override { return true; }
+
+ private:
+  std::vector<std::uint8_t> bad_;
+  std::uint64_t violated_ = 0;
+};
+
+class IndState : public DepState {
+ public:
+  IndState(const Ind& ind, std::uint64_t lhs_space, std::uint64_t rhs_space,
+           std::size_t domain, const std::vector<std::uint64_t>& lhs_pow,
+           const std::vector<std::uint64_t>& rhs_pow)
+      : lhs_rel_(ind.lhs_rel), rhs_rel_(ind.rhs_rel) {
+    lhs_key_ = KeyTable(lhs_space, domain, ind.lhs, lhs_pow);
+    rhs_key_ = KeyTable(rhs_space, domain, ind.rhs, rhs_pow);
+    std::uint64_t keys = KeySpace(domain, ind.width());
+    lhs_cnt_.assign(keys, 0);
+    rhs_cnt_.assign(keys, 0);
+  }
+
+  void Include(RelId rel, std::uint32_t code) override {
+    if (rel == rhs_rel_) {
+      std::uint32_t k = rhs_key_[code];
+      if (rhs_cnt_[k]++ == 0 && lhs_cnt_[k] > 0) --missing_;
+    }
+    if (rel == lhs_rel_) {
+      std::uint32_t k = lhs_key_[code];
+      if (lhs_cnt_[k]++ == 0 && rhs_cnt_[k] == 0) ++missing_;
+    }
+  }
+  void Exclude(RelId rel, std::uint32_t code) override {
+    // Exact reverse order of Include.
+    if (rel == lhs_rel_) {
+      std::uint32_t k = lhs_key_[code];
+      if (--lhs_cnt_[k] == 0 && rhs_cnt_[k] == 0) --missing_;
+    }
+    if (rel == rhs_rel_) {
+      std::uint32_t k = rhs_key_[code];
+      if (--rhs_cnt_[k] == 0 && lhs_cnt_[k] > 0) ++missing_;
+    }
+  }
+  bool Satisfied() const override { return missing_ == 0; }
+
+ private:
+  RelId lhs_rel_, rhs_rel_;
+  std::vector<std::uint32_t> lhs_key_, rhs_key_;
+  std::vector<std::uint32_t> lhs_cnt_, rhs_cnt_;
+  std::uint64_t missing_ = 0;
+};
+
+class EmvdState : public DepState {
+ public:
+  EmvdState(const std::vector<AttrId>& x, const std::vector<AttrId>& y,
+            const std::vector<AttrId>& z, std::uint64_t space,
+            std::size_t domain, const std::vector<std::uint64_t>& pow) {
+    std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
+    std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
+    std::vector<AttrId> pair_cols = xy;
+    pair_cols.insert(pair_cols.end(), xz.begin(), xz.end());
+    x_key_ = KeyTable(space, domain, x, pow);
+    xy_key_ = KeyTable(space, domain, xy, pow);
+    xz_key_ = KeyTable(space, domain, xz, pow);
+    pair_key_ = KeyTable(space, domain, pair_cols, pow);
+    ny_.assign(KeySpace(domain, x.size()), 0);
+    nz_.assign(ny_.size(), 0);
+    np_.assign(ny_.size(), 0);
+    cnt_xy_.assign(KeySpace(domain, xy.size()), 0);
+    cnt_xz_.assign(KeySpace(domain, xz.size()), 0);
+    cnt_pair_.assign(KeySpace(domain, pair_cols.size()), 0);
+  }
+
+  void Include(RelId, std::uint32_t code) override {
+    std::uint32_t g = x_key_[code];
+    bool bad_before = Bad(g);
+    if (cnt_xy_[xy_key_[code]]++ == 0) ++ny_[g];
+    if (cnt_xz_[xz_key_[code]]++ == 0) ++nz_[g];
+    if (cnt_pair_[pair_key_[code]]++ == 0) ++np_[g];
+    violated_ += static_cast<int>(Bad(g)) - static_cast<int>(bad_before);
+  }
+  void Exclude(RelId, std::uint32_t code) override {
+    std::uint32_t g = x_key_[code];
+    bool bad_before = Bad(g);
+    if (--cnt_xy_[xy_key_[code]] == 0) --ny_[g];
+    if (--cnt_xz_[xz_key_[code]] == 0) --nz_[g];
+    if (--cnt_pair_[pair_key_[code]] == 0) --np_[g];
+    violated_ += static_cast<int>(Bad(g)) - static_cast<int>(bad_before);
+  }
+  bool Satisfied() const override { return violated_ == 0; }
+
+ private:
+  /// An X-group is bad iff some (XY, XZ) combination lacks a witness:
+  /// present pairs < distinct-XY * distinct-XZ.
+  bool Bad(std::uint32_t g) const {
+    return static_cast<std::uint64_t>(ny_[g]) * nz_[g] != np_[g];
+  }
+
+  std::vector<std::uint32_t> x_key_, xy_key_, xz_key_, pair_key_;
+  std::vector<std::uint32_t> ny_, nz_, cnt_xy_, cnt_xz_, cnt_pair_;
+  std::vector<std::uint64_t> np_;
+  std::int64_t violated_ = 0;
+};
+
+std::vector<RelId> DepRels(const Dependency& dep) {
+  if (dep.is_ind()) {
+    if (dep.ind().lhs_rel == dep.ind().rhs_rel) return {dep.ind().lhs_rel};
+    return {dep.ind().lhs_rel, dep.ind().rhs_rel};
+  }
+  if (dep.is_fd()) return {dep.fd().rel};
+  if (dep.is_rd()) return {dep.rd().rel};
+  if (dep.is_emvd()) return {dep.emvd().rel};
+  return {dep.mvd().rel};
+}
+
+class IdSpaceSearcher {
+ public:
+  IdSpaceSearcher(SchemePtr scheme, const std::vector<Dependency>& premises,
+                  const Dependency& conclusion,
+                  const BoundedSearchOptions& options)
+      : scheme_(std::move(scheme)), options_(options) {
+    std::size_t n = scheme_->size();
+    // Bail before any multiplication can wrap: with domain <= 2^20 and an
+    // early exit the moment the running product exceeds 2^20, p stays
+    // below 2^40.
+    if (options_.domain_size > kMaxTupleSpace) {
+      feasible_ = false;
+      return;
+    }
+    space_.resize(n);
+    pow_.resize(n);
+    for (RelId rel = 0; rel < n; ++rel) {
+      std::size_t arity = scheme_->relation(rel).arity();
+      pow_[rel].resize(arity);
+      std::uint64_t p = 1;
+      for (std::size_t a = 0; a < arity; ++a) {
+        pow_[rel][a] = p;
+        p *= options_.domain_size;
+        if (p > kMaxTupleSpace) {
+          feasible_ = false;
+          return;
+        }
+      }
+      space_[rel] = p;
+    }
+    // Table budget: a dependency's largest array is the pair-key counter,
+    // whose key space is at most space^2 (the concatenated column lists
+    // never exceed twice the arity); the per-code key tables add O(space).
+    std::uint64_t table_entries = 0;
+    auto dep_cost = [&](const Dependency& dep) {
+      std::uint64_t s = 0;
+      for (RelId rel : DepRels(dep)) s = std::max(s, space_[rel]);
+      return s * s + 4 * s;
+    };
+    for (const Dependency& p : premises) table_entries += dep_cost(p);
+    table_entries += dep_cost(conclusion);
+    if (table_entries > kMaxTableEntries) {
+      feasible_ = false;
+      return;
+    }
+
+    deps_by_rel_.resize(n);
+    monotone_by_rel_.resize(n);
+    final_premises_by_rel_.resize(n);
+    for (const Dependency& p : premises) AddDep(p, /*is_premise=*/true);
+    AddDep(conclusion, /*is_premise=*/false);
+    chosen_.resize(n);
+  }
+
+  bool feasible() const { return feasible_; }
+
+  BoundedSearchResult Run() {
+    Enumerate(0, 0, 0);
+    result_.exhausted = !budget_hit_;
+    return std::move(result_);
+  }
+
+ private:
+  void AddDep(const Dependency& dep, bool is_premise) {
+    std::unique_ptr<DepState> state;
+    switch (dep.kind()) {
+      case DependencyKind::kFd:
+        state = std::make_unique<FdState>(dep.fd(), space_[dep.fd().rel],
+                                          options_.domain_size,
+                                          pow_[dep.fd().rel]);
+        break;
+      case DependencyKind::kInd: {
+        const Ind& ind = dep.ind();
+        state = std::make_unique<IndState>(
+            ind, space_[ind.lhs_rel], space_[ind.rhs_rel],
+            options_.domain_size, pow_[ind.lhs_rel], pow_[ind.rhs_rel]);
+        break;
+      }
+      case DependencyKind::kRd:
+        state = std::make_unique<RdState>(dep.rd(), space_[dep.rd().rel],
+                                          options_.domain_size,
+                                          pow_[dep.rd().rel]);
+        break;
+      case DependencyKind::kEmvd: {
+        const Emvd& e = dep.emvd();
+        state = std::make_unique<EmvdState>(e.x, e.y, e.z, space_[e.rel],
+                                            options_.domain_size,
+                                            pow_[e.rel]);
+        break;
+      }
+      case DependencyKind::kMvd: {
+        const Mvd& m = dep.mvd();
+        state = std::make_unique<EmvdState>(
+            m.x, m.y, MvdComplement(*scheme_, m), space_[m.rel],
+            options_.domain_size, pow_[m.rel]);
+        break;
+      }
+    }
+    std::vector<RelId> rels = DepRels(dep);
+    RelId max_rel = *std::max_element(rels.begin(), rels.end());
+    for (RelId rel : rels) deps_by_rel_[rel].push_back(state.get());
+    if (is_premise) {
+      if (state->MonotoneViolation()) {
+        for (RelId rel : rels) monotone_by_rel_[rel].push_back(state.get());
+      }
+      final_premises_by_rel_[max_rel].push_back(state.get());
+    } else {
+      conclusion_state_ = state.get();
+      conclusion_ready_rel_ = max_rel;
+    }
+    states_.push_back(std::move(state));
+  }
+
+  void IncludeCode(RelId rel, std::uint32_t code) {
+    for (DepState* d : deps_by_rel_[rel]) d->Include(rel, code);
+    chosen_[rel].push_back(code);
+  }
+  void ExcludeCode(RelId rel, std::uint32_t code) {
+    chosen_[rel].pop_back();
+    for (auto it = deps_by_rel_[rel].rbegin();
+         it != deps_by_rel_[rel].rend(); ++it) {
+      (*it)->Exclude(rel, code);
+    }
+  }
+
+  /// Relation `rel`'s tuple set is finalized for this subtree: count the
+  /// partial candidate, apply final premise / conclusion pruning, and
+  /// either descend into the next relation or report the counterexample.
+  void Boundary(RelId rel) {
+    if (++result_.candidates_tested > options_.max_candidates) {
+      budget_hit_ = true;
+      stop_ = true;
+      return;
+    }
+    for (DepState* d : final_premises_by_rel_[rel]) {
+      if (!d->Satisfied()) return;  // premise final and violated: prune
+    }
+    if (rel == conclusion_ready_rel_ && conclusion_state_->Satisfied()) {
+      return;  // conclusion final and satisfied: no completion violates it
+    }
+    if (rel + 1 == scheme_->size()) {
+      // Every premise passed its final check and the conclusion was
+      // violated at its final check: a genuine counterexample.
+      result_.counterexample = BuildDatabase();
+      stop_ = true;
+      return;
+    }
+    Enumerate(rel + 1, 0, 0);
+  }
+
+  /// Pre-order subset DFS over relation `rel`'s tuple-space codes, visiting
+  /// the current subset as a boundary before extending it — the same
+  /// candidate order as the legacy engine's Combinations().
+  void Enumerate(RelId rel, std::uint32_t start, std::size_t count) {
+    if (stop_) return;
+    Boundary(rel);
+    if (stop_ || count >= options_.max_tuples_per_relation) return;
+    std::uint32_t end = static_cast<std::uint32_t>(space_[rel]);
+    for (std::uint32_t code = start; code < end && !stop_; ++code) {
+      IncludeCode(rel, code);
+      bool dead = false;
+      for (DepState* d : monotone_by_rel_[rel]) {
+        if (!d->Satisfied()) {
+          dead = true;  // FD/RD premise violation: monotone, prune subtree
+          break;
+        }
+      }
+      if (!dead) Enumerate(rel, code + 1, count + 1);
+      ExcludeCode(rel, code);
+    }
+  }
+
+  Database BuildDatabase() const {
+    Database db(scheme_);
+    for (RelId rel = 0; rel < scheme_->size(); ++rel) {
+      for (std::uint32_t code : chosen_[rel]) {
+        std::size_t arity = scheme_->relation(rel).arity();
+        Tuple t(arity);
+        std::uint64_t rest = code;
+        for (std::size_t a = 0; a < arity; ++a) {
+          t[a] = Value::Int(
+              static_cast<std::int64_t>(rest % options_.domain_size));
+          rest /= options_.domain_size;
+        }
+        db.Insert(rel, std::move(t));
+      }
+    }
+    return db;
+  }
+
+  SchemePtr scheme_;
+  BoundedSearchOptions options_;
+  bool feasible_ = true;
+
+  std::vector<std::uint64_t> space_;               // per rel: domain^arity
+  std::vector<std::vector<std::uint64_t>> pow_;    // per rel, col: domain^col
+
+  std::vector<std::unique_ptr<DepState>> states_;
+  std::vector<std::vector<DepState*>> deps_by_rel_;
+  std::vector<std::vector<DepState*>> monotone_by_rel_;
+  std::vector<std::vector<DepState*>> final_premises_by_rel_;
+  DepState* conclusion_state_ = nullptr;
+  RelId conclusion_ready_rel_ = 0;
+
+  std::vector<std::vector<std::uint32_t>> chosen_;
+  BoundedSearchResult result_;
+  bool stop_ = false;
+  bool budget_hit_ = false;
+};
+
+}  // namespace
+
+Result<BoundedSearchResult> FindCounterexample(
+    SchemePtr scheme, const std::vector<Dependency>& premises,
+    const Dependency& conclusion, const BoundedSearchOptions& options) {
+  for (const Dependency& p : premises) {
+    CCFP_RETURN_NOT_OK(Validate(*scheme, p));
+  }
+  CCFP_RETURN_NOT_OK(Validate(*scheme, conclusion));
+
+  if (options.engine == BoundedSearchEngine::kIdSpace) {
+    IdSpaceSearcher searcher(scheme, premises, conclusion, options);
+    if (searcher.feasible()) return searcher.Run();
+    // Key tables would not fit: fall through to the legacy engine.
+  }
+  return LegacySearch(scheme, premises, conclusion, options);
 }
 
 bool HasBoundedCounterexample(SchemePtr scheme,

@@ -22,17 +22,61 @@ namespace ccfp {
 /// counterexamples within the bound. The paper's Figures 4.1-7.5 are all
 /// counterexample databases of exactly this kind (hand-built); this module
 /// mechanizes finding small ones.
+///
+/// ## Id-space enumeration strategy (the default engine)
+///
+/// Candidate databases are never materialized as heap `Value` tuples.
+/// A candidate tuple over a relation of arity m is just an integer *code*
+/// in [0, domain^m) (digit i of the code, base `domain_size`, is column i),
+/// and a candidate relation is a subset of codes, enumerated by a DFS that
+/// includes/excludes one code at a time. Before the search starts, every
+/// dependency precomputes, per code, the packed integer keys of the
+/// projections it cares about (FD: lhs and lhs++rhs keys; IND: the two
+/// side keys; EMVD: X, XY, XZ and XY++XZ keys). During the DFS each
+/// dependency maintains *incremental* counters — e.g. an FD keeps, per lhs
+/// key, the number of distinct rhs keys present, and a global count of lhs
+/// keys with >= 2 of them — so including or excluding a tuple is O(deps)
+/// array updates and "does this candidate satisfy d?" is a counter == 0
+/// test. No per-candidate index is ever rebuilt.
+///
+/// The DFS visits relations in scheme order and prunes soundly:
+///   * a premise FD/RD violation is monotone under tuple insertion, so a
+///     subtree is abandoned the moment one fires inside its relation;
+///   * when the last relation a premise mentions is finalized, the premise
+///     is final — if violated, no completion is a counterexample;
+///   * when the last relation the conclusion mentions is finalized and the
+///     conclusion is satisfied, no completion can violate it.
+/// Pruning only removes subtrees that provably contain no counterexample,
+/// so both engines agree on counterexample existence (differentially
+/// tested in tests/bounded_cross_oracle_test.cc).
+enum class BoundedSearchEngine : std::uint8_t {
+  /// Integer-coded DFS with incremental per-dependency counters and sound
+  /// pruning, as described above. The default.
+  kIdSpace = 0,
+  /// The original engine: materialize every candidate as Value tuples and
+  /// call the model checker per candidate. Kept as the differential
+  /// reference and as the fallback when the precomputed key tables would
+  /// not fit in memory.
+  kLegacy = 1,
+};
+
 struct BoundedSearchOptions {
   std::size_t max_tuples_per_relation = 2;
   std::size_t domain_size = 2;
-  /// Overall cap on candidate databases, guarding combinatorial blow-up.
+  /// Overall cap on candidate evaluations, guarding combinatorial blow-up.
+  /// The legacy engine counts complete candidate databases; the id-space
+  /// engine counts *partial* candidates (each relation-subset completion),
+  /// since pruning means most complete candidates are never reached.
   std::uint64_t max_candidates = 1u << 24;
+  BoundedSearchEngine engine = BoundedSearchEngine::kIdSpace;
 };
 
 struct BoundedSearchResult {
   /// A database satisfying every premise and violating the conclusion, if
   /// one exists within the bound.
   std::optional<Database> counterexample;
+  /// Candidate evaluations performed (see BoundedSearchOptions for the
+  /// per-engine meaning).
   std::uint64_t candidates_tested = 0;
   /// True if the whole bounded space was scanned (no counterexample below
   /// the bound); false if max_candidates stopped the search early.

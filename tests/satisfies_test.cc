@@ -127,6 +127,74 @@ TEST_F(SatisfiesTest, FindViolationDescribesInd) {
             std::string::npos);
 }
 
+TEST_F(SatisfiesTest, FdViolationCarriesStructuredWitness) {
+  Database db = Db("R(9, 9, 9)\nR(1, 2, 3)\nR(1, 5, 3)");
+  auto v = FindViolation(db, Dependency(MakeFd(*scheme_, "R", {"A"}, {"B"})));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, DependencyKind::kFd);
+  EXPECT_EQ(v->rel, 0u);
+  ASSERT_EQ(v->tuple_indices, (std::vector<std::size_t>{1, 2}));
+  ASSERT_EQ(v->tuples.size(), 2u);
+  // The witness is genuine: it matches the database tuples and exhibits
+  // the violation (agree on lhs, differ on rhs).
+  EXPECT_EQ(v->tuples[0], db.relation(0).tuples()[1]);
+  EXPECT_EQ(v->tuples[1], db.relation(0).tuples()[2]);
+  EXPECT_EQ(v->tuples[0][0], v->tuples[1][0]);
+  EXPECT_NE(v->tuples[0][1], v->tuples[1][1]);
+}
+
+TEST_F(SatisfiesTest, IndViolationCarriesStructuredWitness) {
+  Database db = Db("R(7, 2, 3)\nR(8, 2, 3)\nS(7, 0)");
+  auto v = FindViolation(
+      db, Dependency(MakeInd(*scheme_, "R", {"A"}, "S", {"D"})));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, DependencyKind::kInd);
+  EXPECT_EQ(v->rel, 0u);  // the lhs relation
+  ASSERT_EQ(v->tuple_indices, (std::vector<std::size_t>{1}));
+  ASSERT_EQ(v->tuples.size(), 1u);
+  EXPECT_EQ(v->tuples[0], db.relation(0).tuples()[1]);
+  EXPECT_EQ(db.relation(1)
+                .ProjectSet({0})
+                .count(ProjectTuple(v->tuples[0], {0})),
+            0u);
+}
+
+TEST_F(SatisfiesTest, EmvdViolationCarriesCombiningPair) {
+  Database open = Db("R(1, 10, 100)\nR(1, 20, 200)");
+  auto v = FindViolation(
+      open, Dependency(MakeEmvd(*scheme_, "R", {"A"}, {"B"}, {"C"})));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, DependencyKind::kEmvd);
+  ASSERT_EQ(v->tuples.size(), 2u);
+  // Same X-group, and no tuple combines t1[XY] with t2[XZ].
+  EXPECT_EQ(v->tuples[0][0], v->tuples[1][0]);
+  EXPECT_NE(v->tuples[0], v->tuples[1]);
+}
+
+TEST_F(SatisfiesTest, FindFirstViolationReportsDependencyIndex) {
+  Database db = Db("R(1, 2, 3)\nR(1, 2, 4)");
+  std::vector<Dependency> deps = {
+      Dependency(MakeFd(*scheme_, "R", {"A"}, {"B"})),  // holds
+      Dependency(MakeFd(*scheme_, "R", {"A"}, {"C"})),  // fails
+  };
+  auto v = FindFirstViolation(db, deps);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->dep_index, 1u);
+  EXPECT_FALSE(FindFirstViolation(db, {deps[0]}).has_value());
+}
+
+TEST_F(SatisfiesTest, LegacyEngineAgreesOnViolationWitness) {
+  Database db = Db("R(1, 2, 3)\nR(1, 5, 3)");
+  Dependency fd(MakeFd(*scheme_, "R", {"A"}, {"B"}));
+  SatisfiesOptions legacy{SatisfiesEngine::kLegacy};
+  auto interned = FindViolation(db, fd);
+  auto reference = FindViolation(db, fd, legacy);
+  ASSERT_TRUE(interned.has_value());
+  ASSERT_TRUE(reference.has_value());
+  EXPECT_EQ(interned->tuple_indices, reference->tuple_indices);
+  EXPECT_EQ(interned->description, reference->description);
+}
+
 TEST_F(SatisfiesTest, ObeysExactlyAcceptsAndRejects) {
   Database db = Db("R(1, 2, 3)\nR(4, 2, 3)");
   std::vector<Dependency> universe = {
