@@ -2,13 +2,18 @@
 // The unary counting engine decides |=fin for cycle families of growing
 // size k in polynomial time, while the same conclusions are unrestrictedly
 // non-implied.
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+#include "bench/reporter.h"
 #include "constructions/section6.h"
 #include "constructions/theorem44.h"
 #include "core/satisfies.h"
 #include "interact/finite_vs_unrestricted.h"
 #include "interact/unary_finite.h"
+#include "util/check.h"
 
 namespace ccfp {
 namespace {
@@ -67,7 +72,37 @@ void BM_PrefixViolationScan(benchmark::State& state) {
 
 BENCHMARK(BM_PrefixViolationScan)->RangeMultiplier(8)->Range(8, 32768);
 
+/// The counting closure on Section 6 cycles (steps = fixpoint rounds) and
+/// the Theorem 4.4 finite/unrestricted separation (steps = 1 separation).
+void EmitJsonReport() {
+  BenchReporter reporter("finite_implication");
+  for (std::size_t k : {16u, 64u}) {
+    Section6Construction c = MakeSection6(k);
+    std::uint64_t rounds = 0;
+    std::uint64_t wall = MedianWallNs(5, [&] {
+      UnaryFiniteImplication engine(c.scheme, c.fds, c.inds);
+      CCFP_CHECK(engine.Implies(c.sigma_target));
+      rounds = engine.rounds();
+    });
+    reporter.Add("unary_finite_cycle", k, wall, rounds);
+  }
+  {
+    Theorem44Gadget g = MakeTheorem44Gadget();
+    std::uint64_t wall = MedianWallNs(5, [&] {
+      FiniteVsUnrestricted verdict = CompareImplication(
+          g.scheme, {g.fd}, {g.ind}, Dependency(g.ind_conclusion));
+      CCFP_CHECK(verdict.finite == ImplicationVerdict::kImplied &&
+                 verdict.unrestricted == ImplicationVerdict::kNotImplied);
+    });
+    reporter.Add("theorem44_separation", 1, wall, 1);
+  }
+  reporter.WriteFile();
+  std::fprintf(stderr, "BENCH_finite_implication.json written\n");
+}
+
 }  // namespace
 }  // namespace ccfp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+}

@@ -1,8 +1,12 @@
 // E3: the polynomial special cases from the end of Section 3 — unary INDs
 // (digraph reachability), typed INDs R[X] <= S[X] (per-name reachability),
 // and width-bounded INDs — against the general BFS on the same instances.
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+#include "bench/reporter.h"
 #include "ind/implication.h"
 #include "ind/special.h"
 #include "util/rng.h"
@@ -138,7 +142,49 @@ void BM_WidthBounded(benchmark::State& state) {
 
 BENCHMARK(BM_WidthBounded)->DenseRange(1, 5);
 
+/// Special-case engines vs the general BFS on one chain size each: the
+/// polynomial fragments the end of Section 3 promises, measured
+/// (steps = relations in the chain).
+void EmitJsonReport() {
+  BenchReporter reporter("ind_special_cases");
+  const std::size_t relations = 64;
+  SchemePtr scheme = ChainScheme(relations, 3);
+  {
+    std::vector<Ind> sigma = RandomUnaryInds(*scheme, relations * 3, 5);
+    Ind target{0, {0}, static_cast<RelId>(relations - 1), {0}};
+    UnaryIndGraph graph(scheme, sigma);
+    std::uint64_t graph_wall =
+        MedianWallNs(9, [&] { graph.Implies(target); });
+    IndImplication engine(scheme, sigma);
+    std::uint64_t bfs_wall =
+        MedianWallNs(9, [&] { engine.Implies(target); });
+    reporter.Add("unary_graph", relations, graph_wall, relations);
+    reporter.Add("unary_general_bfs", relations, bfs_wall, relations);
+  }
+  {
+    std::vector<Ind> sigma;
+    for (std::size_t r = 0; r + 1 < relations; ++r) {
+      sigma.push_back(Ind{static_cast<RelId>(r),
+                          {0, 1, 2},
+                          static_cast<RelId>(r + 1),
+                          {0, 1, 2}});
+    }
+    Ind target{0, {0, 1}, static_cast<RelId>(relations - 1), {0, 1}};
+    std::uint64_t typed_wall =
+        MedianWallNs(9, [&] { TypedIndImplies(*scheme, sigma, target); });
+    IndImplication engine(scheme, sigma);
+    std::uint64_t bfs_wall =
+        MedianWallNs(9, [&] { engine.Implies(target); });
+    reporter.Add("typed", relations, typed_wall, relations);
+    reporter.Add("typed_general_bfs", relations, bfs_wall, relations);
+  }
+  reporter.WriteFile();
+  std::fprintf(stderr, "BENCH_ind_special_cases.json written\n");
+}
+
 }  // namespace
 }  // namespace ccfp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+}

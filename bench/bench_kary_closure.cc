@@ -1,11 +1,16 @@
 // E12: Theorem 5.1 machinery — cost of verifying k-ary closedness of the
 // Section 6 Gamma via counterexample databases, as a function of k. The
 // subset enumeration is the dominating factor: C(|Gamma|, k) blows up.
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
 
 #include "axiom/kary.h"
 #include "axiom/oracle.h"
+#include "bench/bench_main.h"
+#include "bench/reporter.h"
 #include "constructions/section6.h"
+#include "util/check.h"
 
 namespace ccfp {
 namespace {
@@ -52,7 +57,44 @@ void BM_FullEscapeSection6(benchmark::State& state) {
 
 BENCHMARK(BM_FullEscapeSection6)->RangeMultiplier(2)->Range(1, 8);
 
+/// The k-ary closedness sweep (steps = oracle queries — each one a full
+/// witness-database probe through the interned CounterexampleOracle) and
+/// the full escape search per k.
+void EmitJsonReport() {
+  BenchReporter reporter("kary_closure");
+  for (std::size_t k : {1u, 2u}) {
+    Section6Construction c = MakeSection6(k);
+    std::vector<Database> witnesses;
+    for (std::size_t j = 0; j <= k; ++j) {
+      witnesses.push_back(MakeSection6Armstrong(c, j));
+    }
+    CounterexampleOracle oracle(witnesses);
+    std::uint64_t queries = 0;
+    std::uint64_t wall = MedianWallNs(5, [&] {
+      KaryStats stats;
+      auto escape = FindKaryEscape(c.universe, c.gamma, oracle, k, &stats);
+      CCFP_CHECK(!escape.has_value());  // Theorem 6.1: Gamma is k-closed
+      queries = stats.oracle_queries;
+    });
+    reporter.Add("kary_escape_section6", k, wall, queries);
+  }
+  {
+    const std::size_t k = 4;
+    Section6Construction c = MakeSection6(k);
+    UnaryFiniteOracle oracle(c.scheme);
+    std::uint64_t wall = MedianWallNs(5, [&] {
+      auto escape = FindFullEscape(c.universe, c.gamma, oracle);
+      CCFP_CHECK(escape.has_value());  // sigma_k escapes the full closure
+    });
+    reporter.Add("full_escape_section6", k, wall, c.universe.size());
+  }
+  reporter.WriteFile();
+  std::fprintf(stderr, "BENCH_kary_closure.json written\n");
+}
+
 }  // namespace
 }  // namespace ccfp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+}

@@ -1,11 +1,16 @@
 // E4: the Theorem 3.3 PSPACE-hardness reduction — reduction size and
 // end-to-end decision cost as the tape length n grows, cross-checked
 // against direct configuration-space search.
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+#include "bench/reporter.h"
 #include "ind/implication.h"
 #include "lba/lba.h"
 #include "lba/reduction.h"
+#include "util/check.h"
 
 namespace ccfp {
 namespace {
@@ -90,7 +95,42 @@ void BM_DirectLbaSearch(benchmark::State& state) {
 
 BENCHMARK(BM_DirectLbaSearch)->DenseRange(2, 9);
 
+/// Build + decide + direct-search costs for one tape length (steps = INDs
+/// in the reduction — the instance size the PSPACE-hardness argument
+/// charges for).
+void EmitJsonReport() {
+  BenchReporter reporter("lba_reduction");
+  const std::size_t n = 6;
+  std::uint32_t a = 0;
+  LbaMachine machine = MakeEvenAsMachine(&a);
+  std::vector<std::uint32_t> input(n, a);
+  std::uint64_t inds = 0;
+  std::uint64_t build_wall = MedianWallNs(5, [&] {
+    Result<LbaToIndReduction> red = BuildLbaToIndReduction(machine, input);
+    CCFP_CHECK(red.ok());
+    inds = red->sigma.size();
+  });
+  Result<LbaToIndReduction> red = BuildLbaToIndReduction(machine, input);
+  CCFP_CHECK(red.ok());
+  IndImplication engine(red->scheme, red->sigma);
+  std::uint64_t decide_wall = MedianWallNs(5, [&] {
+    Result<IndDecision> decision = engine.Decide(red->target);
+    CCFP_CHECK(decision.ok() && decision->implied);  // n = 6 is even
+  });
+  std::uint64_t direct_wall = MedianWallNs(5, [&] {
+    Result<LbaRunResult> result = LbaAccepts(machine, input);
+    CCFP_CHECK(result.ok() && result->accepts);
+  });
+  reporter.Add("build_reduction", n, build_wall, inds);
+  reporter.Add("decide_reduced", n, decide_wall, inds);
+  reporter.Add("direct_lba_search", n, direct_wall, inds);
+  reporter.WriteFile();
+  std::fprintf(stderr, "BENCH_lba_reduction.json written\n");
+}
+
 }  // namespace
 }  // namespace ccfp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+}

@@ -3,10 +3,15 @@
 // forces the decision procedure through exactly f(m) - 1 expression steps:
 // log f(m) ~ sqrt(m log m), so the step count is superpolynomial in m even
 // though the input is a single IND.
+#include <cstdio>
+
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+#include "bench/reporter.h"
 #include "constructions/permutation_family.h"
 #include "ind/implication.h"
+#include "util/check.h"
 #include "util/landau.h"
 
 namespace ccfp {
@@ -75,7 +80,49 @@ void BM_TranspositionGenerators(benchmark::State& state) {
 
 BENCHMARK(BM_TranspositionGenerators)->DenseRange(3, 7);
 
+/// The superpolynomial Landau instance and the transposition-generator
+/// contrast (steps = BFS expressions visited — the paper's "number of
+/// expression steps").
+void EmitJsonReport() {
+  BenchReporter reporter("permutation_family");
+  for (std::size_t m : {10u, 16u}) {
+    LandauInstance instance = MakeLandauInstance(m);
+    IndImplication engine(instance.family.scheme, {instance.premise});
+    IndDecisionOptions options;
+    options.max_expressions = 1u << 26;
+    std::uint64_t visited = 0;
+    std::uint64_t wall = MedianWallNs(5, [&] {
+      Result<IndDecision> decision = engine.Decide(instance.target, options);
+      CCFP_CHECK(decision.ok() && decision->implied);
+      visited = decision->expressions_visited;
+    });
+    reporter.Add("landau_instance", m, wall, visited);
+  }
+  {
+    const std::size_t m = 6;
+    PermutationFamily family = MakePermutationFamily(m);
+    std::vector<Ind> sigma = family.TranspositionInds();
+    std::vector<std::uint32_t> rev(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      rev[i] = static_cast<std::uint32_t>(m - 1 - i);
+    }
+    Ind target = family.SigmaOf(Permutation::Create(rev).value());
+    IndImplication engine(family.scheme, sigma);
+    std::uint64_t visited = 0;
+    std::uint64_t wall = MedianWallNs(5, [&] {
+      Result<IndDecision> decision = engine.Decide(target);
+      CCFP_CHECK(decision.ok());
+      visited = decision->expressions_visited;
+    });
+    reporter.Add("transposition_generators", m, wall, visited);
+  }
+  reporter.WriteFile();
+  std::fprintf(stderr, "BENCH_permutation_family.json written\n");
+}
+
 }  // namespace
 }  // namespace ccfp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+}

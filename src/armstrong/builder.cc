@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "chase/workspace_chase.h"
 #include "core/satisfies.h"
 #include "util/strings.h"
 
@@ -35,35 +36,56 @@ void SeedGenericTuple(Database& db, RelId rel, std::uint64_t& next_null) {
   db.Insert(rel, std::move(t));
 }
 
-}  // namespace
-
-Result<ArmstrongReport> BuildArmstrongDatabase(
-    SchemePtr scheme, const std::vector<Fd>& fds,
-    const std::vector<Ind>& inds, const std::vector<Dependency>& universe,
-    const ImplicationOracle& oracle, const ArmstrongBuildOptions& options) {
-  // 1. Expected consequence set.
-  std::vector<Dependency> sigma_deps;
-  for (const Fd& fd : fds) sigma_deps.push_back(Dependency(fd));
-  for (const Ind& ind : inds) sigma_deps.push_back(Dependency(ind));
-
-  std::vector<Dependency> expected;
-  std::vector<Dependency> must_fail;
-  for (const Dependency& tau : universe) {
-    ImplicationVerdict verdict = oracle.Implies(sigma_deps, tau);
-    if (verdict == ImplicationVerdict::kUnknown) {
-      return Status::FailedPrecondition(
-          StrCat("oracle '", oracle.name(), "' cannot decide ",
-                 tau.ToString(*scheme)));
-    }
-    if (verdict == ImplicationVerdict::kImplied) {
-      expected.push_back(tau);
-    } else {
-      must_fail.push_back(tau);
-    }
+// Workspace counterparts: the same seeds, born directly in id-space (fresh
+// nulls are new ValueIds; nothing is interned from heap Values).
+void SeedFdViolationWs(InternedWorkspace& ws, const Fd& fd) {
+  std::size_t arity = ws.scheme().relation(fd.rel).arity();
+  IdTuple t1(arity, 0), t2(arity, 0);
+  for (AttrId a = 0; a < arity; ++a) {
+    bool shared =
+        std::find(fd.lhs.begin(), fd.lhs.end(), a) != fd.lhs.end();
+    t1[a] = ws.InternFreshNull();
+    t2[a] = shared ? t1[a] : ws.InternFreshNull();
   }
+  ws.Append(fd.rel, std::move(t1));
+  ws.Append(fd.rel, std::move(t2));
+}
 
-  // 2. Initial seed: two generic tuples per relation + one FD-violating
-  // pair per non-consequence FD.
+void SeedGenericTupleWs(InternedWorkspace& ws, RelId rel) {
+  std::size_t arity = ws.scheme().relation(rel).arity();
+  IdTuple t(arity, 0);
+  for (AttrId a = 0; a < arity; ++a) t[a] = ws.InternFreshNull();
+  ws.Append(rel, std::move(t));
+}
+
+/// Appends the repair seed for an accidentally satisfied non-consequence.
+/// Returns an error for dependency kinds the repair loop cannot target.
+Status AppendRepairSeedWs(InternedWorkspace& ws, const Dependency& tau) {
+  if (tau.is_fd()) {
+    SeedFdViolationWs(ws, tau.fd());
+  } else if (tau.is_ind()) {
+    // A fresh generic tuple in the lhs relation will not have its
+    // projection in the rhs unless Sigma forces it (it does not — tau is
+    // a non-consequence).
+    SeedGenericTupleWs(ws, tau.ind().lhs_rel);
+  } else if (tau.is_rd()) {
+    SeedGenericTupleWs(ws, tau.rd().rel);
+  } else {
+    return Status::Unimplemented(
+        StrCat("cannot repair dependency kind of ",
+               tau.ToString(ws.scheme())));
+  }
+  return Status::OK();
+}
+
+/// The PR 2 flow: re-chase the heap seed database from scratch each round
+/// (one full re-intern per round). Differential reference for kWorkspace.
+Result<ArmstrongReport> BuildLegacy(
+    const SchemePtr& scheme, const std::vector<Fd>& fds,
+    const std::vector<Ind>& inds, const std::vector<Dependency>& universe,
+    std::vector<Dependency> expected,
+    const std::vector<Dependency>& must_fail,
+    const ArmstrongBuildOptions& options) {
   Database seed(scheme);
   std::uint64_t next_null = 1;
   for (RelId rel = 0; rel < scheme->size(); ++rel) {
@@ -76,10 +98,6 @@ Result<ArmstrongReport> BuildArmstrongDatabase(
 
   Chase chase(scheme, fds, inds);
 
-  // 3. Chase / verify / repair loop. The chase result stays interned: the
-  // engine's interner feeds straight into the Satisfies / ObeysExactly
-  // verification, so each round interns the seed's values exactly once and
-  // the Database is materialized only for the final report.
   for (int round = 0; round <= options.max_repair_rounds; ++round) {
     CCFP_ASSIGN_OR_RETURN(InternedChaseResult chased,
                           chase.RunInterned(seed, options.chase));
@@ -96,9 +114,6 @@ Result<ArmstrongReport> BuildArmstrongDatabase(
       if (tau.is_fd()) {
         SeedFdViolation(seed, tau.fd(), next_null);
       } else if (tau.is_ind()) {
-        // A fresh generic tuple in the lhs relation will not have its
-        // projection in the rhs unless Sigma forces it (it does not — tau
-        // is a non-consequence).
         SeedGenericTuple(seed, tau.ind().lhs_rel, next_null);
       } else if (tau.is_rd()) {
         SeedGenericTuple(seed, tau.rd().rel, next_null);
@@ -127,6 +142,98 @@ Result<ArmstrongReport> BuildArmstrongDatabase(
   return Status::Internal(
       StrCat("Armstrong repair did not converge in ",
              options.max_repair_rounds, " rounds"));
+}
+
+/// The workspace flow: one InternedWorkspace carries seed, chase fixpoint,
+/// and verification state across every repair round. Rounds after the
+/// first append only their repair seeds and resume the chase — no value is
+/// re-interned, no partition over an unchanged (relation, column-set) is
+/// rebuilt, and the repaired delta is all the chase re-processes.
+Result<ArmstrongReport> BuildWithWorkspace(
+    const SchemePtr& scheme, const std::vector<Fd>& fds,
+    const std::vector<Ind>& inds, const std::vector<Dependency>& universe,
+    std::vector<Dependency> expected,
+    const std::vector<Dependency>& must_fail,
+    const ArmstrongBuildOptions& options) {
+  InternedWorkspace ws(scheme);
+  for (RelId rel = 0; rel < scheme->size(); ++rel) {
+    SeedGenericTupleWs(ws, rel);
+    SeedGenericTupleWs(ws, rel);
+  }
+  for (const Dependency& tau : must_fail) {
+    if (tau.is_fd()) SeedFdViolationWs(ws, tau.fd());
+  }
+
+  WorkspaceChase chaser(&ws, fds, inds);
+
+  for (int round = 0; round <= options.max_repair_rounds; ++round) {
+    CCFP_ASSIGN_OR_RETURN(WorkspaceChaseStats chased,
+                          chaser.Run(options.chase));
+    if (chased.outcome == ChaseOutcome::kFailed) {
+      return Status::Internal(
+          "chase failed on an all-null Armstrong seed (constant clash)");
+    }
+
+    bool repaired = false;
+    for (const Dependency& tau : must_fail) {
+      if (!ws.Satisfies(tau)) continue;
+      repaired = true;
+      CCFP_RETURN_NOT_OK(AppendRepairSeedWs(ws, tau));
+    }
+
+    if (!repaired) {
+      std::optional<std::string> mismatch =
+          ObeysExactly(ws, universe, expected);
+      if (mismatch.has_value()) {
+        return Status::Internal(
+            StrCat("Armstrong verification failed: ", *mismatch));
+      }
+      ArmstrongReport report(ws.Materialize());
+      report.expected = std::move(expected);
+      report.repair_rounds = round;
+      report.workspace_stats = ws.stats();
+      return report;
+    }
+  }
+  return Status::Internal(
+      StrCat("Armstrong repair did not converge in ",
+             options.max_repair_rounds, " rounds"));
+}
+
+}  // namespace
+
+Result<ArmstrongReport> BuildArmstrongDatabase(
+    SchemePtr scheme, const std::vector<Fd>& fds,
+    const std::vector<Ind>& inds, const std::vector<Dependency>& universe,
+    const ImplicationOracle& oracle, const ArmstrongBuildOptions& options) {
+  // 1. Expected consequence set.
+  std::vector<Dependency> sigma_deps;
+  for (const Fd& fd : fds) sigma_deps.push_back(Dependency(fd));
+  for (const Ind& ind : inds) sigma_deps.push_back(Dependency(ind));
+
+  std::vector<Dependency> expected;
+  std::vector<Dependency> must_fail;
+  for (const Dependency& tau : universe) {
+    ImplicationVerdict verdict = oracle.Implies(sigma_deps, tau);
+    if (verdict == ImplicationVerdict::kUnknown) {
+      return Status::FailedPrecondition(
+          StrCat("oracle '", oracle.name(), "' cannot decide ",
+                 tau.ToString(*scheme)));
+    }
+    if (verdict == ImplicationVerdict::kImplied) {
+      expected.push_back(tau);
+    } else {
+      must_fail.push_back(tau);
+    }
+  }
+
+  // 2-3. Seed, then chase / verify / repair to exactness.
+  if (options.engine == ArmstrongEngine::kLegacy) {
+    return BuildLegacy(scheme, fds, inds, universe, std::move(expected),
+                       must_fail, options);
+  }
+  return BuildWithWorkspace(scheme, fds, inds, universe, std::move(expected),
+                            must_fail, options);
 }
 
 }  // namespace ccfp

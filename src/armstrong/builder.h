@@ -8,6 +8,7 @@
 #include "chase/chase.h"
 #include "core/database.h"
 #include "core/dependency.h"
+#include "core/workspace.h"
 #include "util/status.h"
 
 namespace ccfp {
@@ -26,10 +27,25 @@ namespace ccfp {
 /// fixpoint, verify exactness, and add repair seeds for any dependency that
 /// is accidentally satisfied; repeat to a bounded number of rounds.
 
+/// Which build -> chase -> verify -> repair machinery to run.
+enum class ArmstrongEngine : std::uint8_t {
+  /// One InternedWorkspace threaded through every round: seeds are
+  /// appended in id-space, a resumable WorkspaceChase continues from the
+  /// previous fixpoint (only the repair delta is chased), and verification
+  /// runs on the workspace's cached partitions. Nothing is re-interned
+  /// after round 0. The default.
+  kWorkspace = 0,
+  /// The PR 2 flow: each round re-runs Chase::RunInterned on the heap
+  /// seed database (re-interning it per round) and verifies the resulting
+  /// IdDatabase. Kept as the differential reference.
+  kLegacy = 1,
+};
+
 struct ArmstrongBuildOptions {
   ChaseOptions chase;
   /// Maximum repair rounds before giving up.
   int max_repair_rounds = 8;
+  ArmstrongEngine engine = ArmstrongEngine::kWorkspace;
 };
 
 struct ArmstrongReport {
@@ -37,6 +53,11 @@ struct ArmstrongReport {
   /// Expected consequence set used for verification (subset of universe).
   std::vector<Dependency> expected;
   int repair_rounds = 0;
+  /// Substrate counters at the end of a kWorkspace build (how many
+  /// partitions were extended vs rebuilt, tuples appended, ...); zeroed
+  /// for kLegacy. Lets callers and tests prove the rounds reused one
+  /// workspace instead of re-interning.
+  InternedWorkspace::Stats workspace_stats;
 
   explicit ArmstrongReport(Database database) : db(std::move(database)) {}
 };
@@ -46,7 +67,9 @@ struct ArmstrongReport {
 /// ChaseOracle for unrestricted implication). Fails with
 /// FailedPrecondition if the oracle answers kUnknown on some member, with
 /// ResourceExhausted if the chase diverges, and with Internal if repair
-/// rounds run out.
+/// rounds run out. Both engines produce verified-exact databases; their
+/// tuple contents may differ (the workspace engine keeps chase consequences
+/// across rounds instead of re-deriving them from scratch).
 Result<ArmstrongReport> BuildArmstrongDatabase(
     SchemePtr scheme, const std::vector<Fd>& fds,
     const std::vector<Ind>& inds, const std::vector<Dependency>& universe,

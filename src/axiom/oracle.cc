@@ -107,9 +107,9 @@ ImplicationVerdict ChaseOracle::Implies(
 ImplicationVerdict CounterexampleOracle::Implies(
     const std::vector<Dependency>& premises,
     const Dependency& conclusion) const {
-  for (const IdDatabase& db : interned_) {
-    if (db.Satisfies(conclusion)) continue;
-    if (db.SatisfiesAll(premises)) return ImplicationVerdict::kNotImplied;
+  for (const InternedWorkspace& ws : witnesses_) {
+    if (ws.Satisfies(conclusion)) continue;
+    if (ws.SatisfiesAll(premises)) return ImplicationVerdict::kNotImplied;
   }
   return ImplicationVerdict::kUnknown;
 }

@@ -9,6 +9,7 @@
 #include "core/database.h"
 #include "core/dependency.h"
 #include "core/schema.h"
+#include "core/workspace.h"
 #include "interact/finite_vs_unrestricted.h"
 
 namespace ccfp {
@@ -91,21 +92,33 @@ class ChaseOracle : public ImplicationOracle {
 /// when some witness satisfies every premise but violates the conclusion
 /// (a counterexample database), else kUnknown. This is how the paper's own
 /// Figures 6.1 and 7.1–7.5 are used — each figure is a counterexample
-/// certifying a non-implication. The witnesses are interned once at
-/// construction; every query after that is integer probing against cached
-/// projection partitions (core/interned.h).
+/// certifying a non-implication. Each witness lives in a persistent
+/// InternedWorkspace (core/workspace.h): interned once when added, after
+/// which every query is integer probing against cached projection
+/// partitions, and new witnesses can be appended at any time without
+/// disturbing the compiled state of the existing ones.
 class CounterexampleOracle : public ImplicationOracle {
  public:
   explicit CounterexampleOracle(const std::vector<Database>& witnesses) {
-    interned_.reserve(witnesses.size());
-    for (const Database& db : witnesses) interned_.emplace_back(db);
+    witnesses_.reserve(witnesses.size());
+    for (const Database& db : witnesses) AddWitness(db);
   }
+
+  /// Registers another counterexample database (e.g. one just found by the
+  /// bounded searcher), interning it once into its own workspace.
+  void AddWitness(const Database& db) {
+    witnesses_.emplace_back(db.scheme_ptr());
+    witnesses_.back().AppendDatabase(db);
+  }
+
+  std::size_t witness_count() const { return witnesses_.size(); }
+
   ImplicationVerdict Implies(const std::vector<Dependency>& premises,
                              const Dependency& conclusion) const override;
   std::string name() const override { return "counterexample-databases"; }
 
  private:
-  std::vector<IdDatabase> interned_;
+  std::vector<InternedWorkspace> witnesses_;
 };
 
 /// Tries each child in order; first non-kUnknown verdict wins.

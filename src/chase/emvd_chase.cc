@@ -32,14 +32,16 @@ std::uint64_t MaxNullIdIn(const Database& db) {
   return max_id;
 }
 
-}  // namespace
-
-namespace {
+/// ------------------------------------------------------------------------
+/// Legacy engine: heap-Value projections per pair, kept verbatim as the
+/// differential reference for the workspace engine
+/// (tests/emvd_chase_property_test.cc).
+/// ------------------------------------------------------------------------
 
 /// Per-EMVD state persisted across chase rounds, so each round only joins
 /// the *new* tuples against their X-groups instead of rebuilding the pair
 /// set and the groups from every tuple of the relation.
-struct EmvdState {
+struct LegacyEmvdState {
   std::vector<AttrId> xy;
   std::vector<AttrId> xz;
   /// Every (t1[XY], t2[XZ]) combination already present or witnessed.
@@ -50,17 +52,13 @@ struct EmvdState {
   std::size_t cursor = 0;
 };
 
-}  // namespace
-
-Result<std::uint64_t> EmvdChaseFixpoint(Database& db,
-                                        const std::vector<Emvd>& sigma,
-                                        const EmvdChaseOptions& options) {
-  const DatabaseScheme& scheme = db.scheme();
-  for (const Emvd& e : sigma) CCFP_RETURN_NOT_OK(Validate(scheme, e));
+Result<std::uint64_t> LegacyEmvdChaseFixpoint(
+    Database& db, const std::vector<Emvd>& sigma,
+    const EmvdChaseOptions& options) {
   std::uint64_t next_null = MaxNullIdIn(db) + 1;
   std::uint64_t added = 0;
 
-  std::vector<EmvdState> states(sigma.size());
+  std::vector<LegacyEmvdState> states(sigma.size());
   for (std::size_t i = 0; i < sigma.size(); ++i) {
     states[i].xy = UnionSeq(sigma[i].x, sigma[i].y);
     states[i].xz = UnionSeq(sigma[i].x, sigma[i].z);
@@ -75,7 +73,7 @@ Result<std::uint64_t> EmvdChaseFixpoint(Database& db,
     bool changed = false;
     for (std::size_t ei = 0; ei < sigma.size(); ++ei) {
       const Emvd& e = sigma[ei];
-      EmvdState& state = states[ei];
+      LegacyEmvdState& state = states[ei];
       Relation& r = db.relation(e.rel);
       // Incorporate the delta since this EMVD's last round; witnesses are
       // collected first and inserted after, keeping rounds breadth-first
@@ -142,12 +140,141 @@ Result<std::uint64_t> EmvdChaseFixpoint(Database& db,
   }
 }
 
+/// ------------------------------------------------------------------------
+/// Workspace engine: the same delta-driven round structure, but a pair is
+/// a packed (XY-group, XZ-group) id pair read off the workspace's cached
+/// partitions — which only *extend* across rounds, since the EMVD chase is
+/// append-only — and a witness is assembled directly from stored ValueIds.
+/// No projection Tuple is built or hashed anywhere.
+/// ------------------------------------------------------------------------
+
+/// Per-EMVD state persisted across rounds, in id-space.
+struct WsEmvdState {
+  std::vector<AttrId> xy;
+  std::vector<AttrId> xz;
+  /// Packed (XY group, XZ group) combinations present or witnessed.
+  std::unordered_set<std::uint64_t> pairs;
+  /// Per X-partition group: incorporated tuple slots in that group.
+  std::vector<std::vector<std::uint32_t>> members;
+  /// Slots below this index are incorporated into pairs/members.
+  std::uint32_t cursor = 0;
+};
+
+}  // namespace
+
+Result<std::uint64_t> EmvdChaseFixpointOnWorkspace(
+    InternedWorkspace& ws, const std::vector<Emvd>& sigma,
+    const EmvdChaseOptions& options) {
+  const DatabaseScheme& scheme = ws.scheme();
+  for (const Emvd& e : sigma) CCFP_RETURN_NOT_OK(Validate(scheme, e));
+  std::uint64_t added = 0;
+
+  std::vector<WsEmvdState> states(sigma.size());
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    states[i].xy = UnionSeq(sigma[i].x, sigma[i].y);
+    states[i].xz = UnionSeq(sigma[i].x, sigma[i].z);
+  }
+
+  std::vector<IdTuple> new_tuples;
+  for (std::uint64_t round = 0;; ++round) {
+    if (round >= options.max_rounds) {
+      return Status::ResourceExhausted(
+          StrCat("EMVD chase round budget of ", options.max_rounds,
+                 " exhausted"));
+    }
+    bool changed = false;
+    for (std::size_t ei = 0; ei < sigma.size(); ++ei) {
+      const Emvd& e = sigma[ei];
+      WsEmvdState& state = states[ei];
+      const std::size_t arity = scheme.relation(e.rel).arity();
+      // Extended over the delta only (append-only => epochs never change).
+      const InternedWorkspace::Partition& px = ws.partition(e.rel, e.x);
+      const InternedWorkspace::Partition& pxy =
+          ws.partition(e.rel, state.xy);
+      const InternedWorkspace::Partition& pxz =
+          ws.partition(e.rel, state.xz);
+      std::uint32_t end = static_cast<std::uint32_t>(ws.size(e.rel));
+      new_tuples.clear();
+      // Self-pairs for the whole delta first — mirrors the legacy engine
+      // (a cross pair may be witnessed by a later-index delta tuple).
+      // Dead slots (killed by an earlier FD+IND chase's merges on a shared
+      // workspace) carry kNoGroup and take part in nothing.
+      for (std::uint32_t i = state.cursor; i < end; ++i) {
+        if (px.group_of[i] == InternedWorkspace::kNoGroup) continue;
+        state.pairs.insert(PackIdPair(pxy.group_of[i], pxz.group_of[i]));
+      }
+      if (state.members.size() < px.group_count) {
+        state.members.resize(px.group_count);
+      }
+      for (std::uint32_t i = state.cursor; i < end; ++i) {
+        if (px.group_of[i] == InternedWorkspace::kNoGroup) continue;
+        std::uint32_t gy_i = pxy.group_of[i];
+        std::uint32_t gz_i = pxz.group_of[i];
+        std::vector<std::uint32_t>& members = state.members[px.group_of[i]];
+        for (std::uint32_t j : members) {
+          // Both orientations: (new, old) and (old, new).
+          for (int dir = 0; dir < 2; ++dir) {
+            std::uint32_t gy = dir == 0 ? gy_i : pxy.group_of[j];
+            std::uint32_t gz = dir == 0 ? pxz.group_of[j] : gz_i;
+            if (!state.pairs.insert(PackIdPair(gy, gz)).second) continue;
+            std::uint32_t xy_src = dir == 0 ? i : j;
+            std::uint32_t xz_src = dir == 0 ? j : i;
+            IdTuple t3(arity, 0);
+            // Fresh labels for every position, then overwrite the XY/XZ
+            // ones — byte-for-byte the legacy numbering, so both engines
+            // produce identically-labeled databases.
+            for (std::size_t a = 0; a < arity; ++a) {
+              t3[a] = ws.InternFreshNull();
+            }
+            const IdTuple& txy = ws.tuple(e.rel, xy_src);
+            for (AttrId c : state.xy) t3[c] = txy[c];
+            const IdTuple& txz = ws.tuple(e.rel, xz_src);
+            for (AttrId c : state.xz) t3[c] = txz[c];
+            new_tuples.push_back(std::move(t3));
+          }
+        }
+        members.push_back(i);
+      }
+      state.cursor = end;
+      for (IdTuple& t3 : new_tuples) {
+        if (ws.Append(e.rel, std::move(t3))) {
+          ++added;
+          changed = true;
+        }
+        if (ws.TotalAliveTuples() > options.max_tuples) {
+          return Status::ResourceExhausted(
+              StrCat("EMVD chase tuple budget of ", options.max_tuples,
+                     " exhausted"));
+        }
+      }
+    }
+    if (!changed) return added;
+  }
+}
+
+Result<std::uint64_t> EmvdChaseFixpoint(Database& db,
+                                        const std::vector<Emvd>& sigma,
+                                        const EmvdChaseOptions& options) {
+  const DatabaseScheme& scheme = db.scheme();
+  for (const Emvd& e : sigma) CCFP_RETURN_NOT_OK(Validate(scheme, e));
+  if (options.engine == EmvdChaseEngine::kLegacy) {
+    return LegacyEmvdChaseFixpoint(db, sigma, options);
+  }
+  InternedWorkspace ws(db.scheme_ptr());
+  ws.AppendDatabase(db);
+  Result<std::uint64_t> result =
+      EmvdChaseFixpointOnWorkspace(ws, sigma, options);
+  // Write back on success *and* on budget exhaustion — the legacy engine
+  // mutates in place, so `db` holds the partial chase either way.
+  db = ws.Materialize();
+  return result;
+}
+
 Result<bool> EmvdChaseImplies(SchemePtr scheme,
                               const std::vector<Emvd>& sigma,
                               const Emvd& target,
                               const EmvdChaseOptions& options) {
   CCFP_RETURN_NOT_OK(Validate(*scheme, target));
-  Database db(scheme);
   std::size_t arity = scheme->relation(target.rel).arity();
   std::uint64_t next_null = 1;
   Tuple t1(arity), t2(arity);
@@ -157,13 +284,26 @@ Result<bool> EmvdChaseImplies(SchemePtr scheme,
     t1[a] = Value::Null(next_null++);
     t2[a] = shared ? t1[a] : Value::Null(next_null++);
   }
-  db.Insert(target.rel, std::move(t1));
-  db.Insert(target.rel, std::move(t2));
 
+  if (options.engine == EmvdChaseEngine::kLegacy) {
+    Database db(scheme);
+    db.Insert(target.rel, std::move(t1));
+    db.Insert(target.rel, std::move(t2));
+    CCFP_ASSIGN_OR_RETURN(std::uint64_t added,
+                          EmvdChaseFixpoint(db, sigma, options));
+    (void)added;
+    return Satisfies(db, target);
+  }
+
+  // One workspace carries the whole pipeline: seed, chase, and the final
+  // Satisfies probe all share the interner and the cached partitions.
+  InternedWorkspace ws(std::move(scheme));
+  ws.AppendTuple(target.rel, t1);
+  ws.AppendTuple(target.rel, t2);
   CCFP_ASSIGN_OR_RETURN(std::uint64_t added,
-                        EmvdChaseFixpoint(db, sigma, options));
+                        EmvdChaseFixpointOnWorkspace(ws, sigma, options));
   (void)added;
-  return Satisfies(db, target);
+  return ws.Satisfies(target);
 }
 
 }  // namespace ccfp

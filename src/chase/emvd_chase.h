@@ -6,6 +6,7 @@
 
 #include "core/database.h"
 #include "core/dependency.h"
+#include "core/workspace.h"
 #include "util/status.h"
 
 namespace ccfp {
@@ -15,17 +16,46 @@ namespace ccfp {
 /// dependencies, so the chase may not terminate; all entry points are
 /// budgeted and can return ResourceExhausted ("unknown").
 
+/// Which EMVD chase engine to run.
+enum class EmvdChaseEngine : std::uint8_t {
+  /// Id-space engine on an InternedWorkspace (core/workspace.h): XY/XZ
+  /// projections are dense partition group ids maintained incrementally
+  /// across rounds (the chase is append-only, so partitions only extend),
+  /// the witnessed-pair set is packed 64-bit group-id pairs, and fresh
+  /// labeled nulls are new ValueIds — no heap Tuple is built or hashed per
+  /// pair. The default.
+  kWorkspace = 0,
+  /// The original heap-Value engine (per-pair projected Tuple keys), kept
+  /// as the differential reference (tests/emvd_chase_property_test.cc).
+  kLegacy = 1,
+};
+
 struct EmvdChaseOptions {
   std::uint64_t max_tuples = 1u << 14;
   std::uint64_t max_rounds = 64;
+  EmvdChaseEngine engine = EmvdChaseEngine::kWorkspace;
 };
 
 /// Saturates `db` under the EMVDs: for every violated pair (t1, t2) adds
 /// the witness tuple t3 with t3[XY] = t1[XY], t3[XZ] = t2[XZ] and fresh
 /// labeled nulls elsewhere. Returns tuples added, or ResourceExhausted.
+/// Both engines produce identical databases (same tuples, same null
+/// labels, same order) and hit budget boundaries at the same point; on
+/// ResourceExhausted `db` holds the partial chase so far.
 Result<std::uint64_t> EmvdChaseFixpoint(Database& db,
                                         const std::vector<Emvd>& sigma,
                                         const EmvdChaseOptions& options = {});
+
+/// The id-space core: saturates the tuples already in `ws` (and any the
+/// chase adds) under the EMVDs, entirely in id-space. The workspace is
+/// caller-owned, so repeated chases over a growing instance — or a chase
+/// followed by Satisfies probes — reuse the same interner and partitions.
+/// Requires a workspace with no pending merges (the EMVD chase itself
+/// never merges). Returns tuples added, or ResourceExhausted with the
+/// partial chase left in `ws`.
+Result<std::uint64_t> EmvdChaseFixpointOnWorkspace(
+    InternedWorkspace& ws, const std::vector<Emvd>& sigma,
+    const EmvdChaseOptions& options = {});
 
 /// Semi-decides Sigma |= target by chasing the canonical two-tuple database
 /// of the target (tuples sharing labeled nulls exactly on target.x). Exact

@@ -1,381 +1,49 @@
 #include "chase/incremental.h"
 
-#include <algorithm>
-#include <cstdint>
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
-#include <vector>
 
-#include "core/intern.h"
-#include "util/check.h"
+#include "chase/workspace_chase.h"
+#include "core/workspace.h"
 
 namespace ccfp {
 
-namespace {
+// Since PR 3 the delta-driven engine lives in chase/workspace_chase.{h,cc},
+// hosted on the persistent InternedWorkspace substrate (core/workspace.h) so
+// the same machinery serves one-shot chases here and resumable chases in the
+// Armstrong repair loop. These entry points keep the PR 1 one-shot contract:
+// fresh workspace, one Run, results handed over interned.
 
-struct TupleRef {
-  RelId rel;
-  std::uint32_t idx;
-};
-
-/// Per-run engine state. See incremental.h for the design overview.
-class Engine {
- public:
-  Engine(const SchemePtr& scheme, const std::vector<Fd>& fds,
-         const std::vector<Ind>& inds, const ChaseOptions& options)
-      : scheme_(scheme), fds_(fds), inds_(inds), options_(options) {
-    rels_.resize(scheme_->size());
-    fds_by_rel_.resize(scheme_->size());
-    for (std::uint32_t i = 0; i < fds_.size(); ++i) {
-      fds_by_rel_[fds_[i].rel].push_back(i);
-    }
-    fd_index_.resize(fds_.size());
-    ind_states_.resize(inds_.size());
-    inds_by_lhs_rel_.resize(scheme_->size());
-    inds_by_rhs_rel_.resize(scheme_->size());
-    for (std::uint32_t i = 0; i < inds_.size(); ++i) {
-      inds_by_lhs_rel_[inds_[i].lhs_rel].push_back(i);
-      inds_by_rhs_rel_[inds_[i].rhs_rel].push_back(i);
-    }
-  }
-
-  Result<InternedChaseResult> Run(Database initial);
-
- private:
-  struct RelState {
-    /// Stored value ids. Canonical whenever the tuple is not in the dirty
-    /// queue; possibly stale (pre-merge ids) while queued.
-    std::vector<IdTuple> tuples;
-    std::vector<std::uint8_t> alive;
-    std::vector<std::uint8_t> queued;  ///< in fd_dirty_
-    /// Canonical form -> owning alive tuple (duplicate detection).
-    std::unordered_map<IdTuple, std::uint32_t, IdTupleHash> dedup;
-  };
-
-  struct IndState {
-    /// Canonical rhs projections present in the rhs relation. Insert-only:
-    /// entries whose ids have since been merged away contain non-root ids
-    /// and therefore can never collide with a canonical probe key, so
-    /// stale entries are harmless (and erasure would cost a lookup per
-    /// merge per index).
-    std::unordered_set<IdTuple, IdTupleHash> rhs_keys;
-    /// Lhs tuples whose canonical form changed since the last pass.
-    std::vector<std::uint32_t> dirty;
-    /// Lhs tuples below this index were scanned in earlier passes.
-    std::uint32_t cursor = 0;
-  };
-
-  IdTuple CanonProj(const IdTuple& t, const std::vector<AttrId>& cols) {
-    IdTuple out;
-    out.reserve(cols.size());
-    for (AttrId c : cols) out.push_back(uf_.Find(t[c]));
-    return out;
-  }
-
-  void EnqueueFdDirty(RelId rel, std::uint32_t idx) {
-    RelState& rs = rels_[rel];
-    if (rs.queued[idx]) return;
-    rs.queued[idx] = 1;
-    fd_dirty_.push_back(TupleRef{rel, idx});
-  }
-
-  void RegisterOccurrences(RelId rel, std::uint32_t idx, const IdTuple& t) {
-    if (occurrences_.size() < interner_.size()) {
-      occurrences_.resize(interner_.size());
-    }
-    uf_.EnsureSize(interner_.size());
-    for (ValueId id : t) occurrences_[id].push_back(TupleRef{rel, idx});
-  }
-
-  /// Records t's canonical rhs-side projections in every IND targeting
-  /// `rel`, so IND probes see them without rescanning the relation.
-  void RegisterRhsProjections(RelId rel, const IdTuple& t) {
-    for (std::uint32_t ind_id : inds_by_rhs_rel_[rel]) {
-      ind_states_[ind_id].rhs_keys.insert(CanonProj(t, inds_[ind_id].rhs));
-    }
-  }
-
-  /// Seeds one tuple of the initial database (already deduplicated by
-  /// Relation). Does not count toward ind_tuples.
-  void AdmitLoaded(RelId rel, IdTuple t) {
-    RelState& rs = rels_[rel];
-    std::uint32_t idx = static_cast<std::uint32_t>(rs.tuples.size());
-    rs.dedup.emplace(t, idx);
-    RegisterOccurrences(rel, idx, t);
-    rs.tuples.push_back(std::move(t));
-    rs.alive.push_back(1);
-    rs.queued.push_back(0);
-    ++alive_count_;
-    RegisterRhsProjections(rel, rs.tuples[idx]);
-    EnqueueFdDirty(rel, idx);
-  }
-
-  /// Inserts an IND-generated tuple (ids already canonical).
-  Status InsertGenerated(RelId rel, IdTuple t) {
-    RelState& rs = rels_[rel];
-    std::uint32_t idx = static_cast<std::uint32_t>(rs.tuples.size());
-    auto [it, inserted] = rs.dedup.emplace(std::move(t), idx);
-    if (!inserted) return Status::OK();  // already present; nothing to do
-    RegisterOccurrences(rel, idx, it->first);
-    rs.tuples.push_back(it->first);
-    rs.alive.push_back(1);
-    rs.queued.push_back(0);
-    ++alive_count_;
-    ++ind_tuples_;
-    RegisterRhsProjections(rel, rs.tuples[idx]);
-    EnqueueFdDirty(rel, idx);
-    if (++steps_ > options_.max_steps ||
-        alive_count_ > options_.max_tuples) {
-      return Status::ResourceExhausted("chase budget exhausted");
-    }
-    return Status::OK();
-  }
-
-  /// Re-routes the loser's occurrence list to the winner and dirties every
-  /// tuple that stores the losing id — the delta a merge actually touches.
-  void TouchLoser(ValueId loser, ValueId winner) {
-    std::vector<TupleRef>& from = occurrences_[loser];
-    std::vector<TupleRef>& to = occurrences_[winner];
-    for (const TupleRef& ref : from) EnqueueFdDirty(ref.rel, ref.idx);
-    to.insert(to.end(), from.begin(), from.end());
-    from.clear();
-    from.shrink_to_fit();
-  }
-
-  /// Probes one (canonical, alive) tuple against one FD's persistent
-  /// lhs-key index, merging right-hand sides on a key hit.
-  Status ProbeFd(std::uint32_t fd_id, RelId rel, std::uint32_t idx) {
-    const Fd& fd = fds_[fd_id];
-    RelState& rs = rels_[rel];
-    IdTuple key = CanonProj(rs.tuples[idx], fd.lhs);
-    auto [it, inserted] = fd_index_[fd_id].try_emplace(std::move(key), idx);
-    if (inserted || it->second == idx) return Status::OK();
-    std::uint32_t rep = it->second;
-    const IdTuple& rep_t = rs.tuples[rep];
-    // The entry may be stale: the representative's key can have drifted
-    // since insertion (its ids merged). A drifted rep was dirtied by the
-    // merge and will re-index itself under its new key, so just take over.
-    if (CanonProj(rep_t, fd.lhs) != it->first) {
-      it->second = idx;
-      return Status::OK();
-    }
-    for (AttrId y : fd.rhs) {
-      ValueId a = uf_.Find(rs.tuples[idx][y]);
-      ValueId b = uf_.Find(rep_t[y]);
-      if (a == b) continue;
-      DenseUnionFind::UnionResult u = uf_.Union(a, b, interner_);
-      if (u.clash) {
-        failed_ = true;
-        return Status::OK();
-      }
-      ++fd_merges_;
-      if (++steps_ > options_.max_steps) {
-        return Status::ResourceExhausted("chase step budget exhausted");
-      }
-      TouchLoser(u.loser, u.winner);
-    }
-    return Status::OK();
-  }
-
-  /// Drains the dirty worklist: re-canonicalize, re-deduplicate, and
-  /// re-probe each touched tuple until the FD fixpoint is reached.
-  Status DrainFdDirty() {
-    while (!fd_dirty_.empty() && !failed_) {
-      TupleRef ref = fd_dirty_.front();
-      fd_dirty_.pop_front();
-      RelState& rs = rels_[ref.rel];
-      rs.queued[ref.idx] = 0;
-      if (!rs.alive[ref.idx]) continue;
-      IdTuple& stored = rs.tuples[ref.idx];
-      bool changed = false;
-      for (ValueId id : stored) {
-        if (uf_.Find(id) != id) {
-          changed = true;
-          break;
-        }
-      }
-      if (changed) {
-        auto old_it = rs.dedup.find(stored);
-        if (old_it != rs.dedup.end() && old_it->second == ref.idx) {
-          rs.dedup.erase(old_it);
-        }
-        for (ValueId& id : stored) id = uf_.Find(id);
-        auto [new_it, inserted] = rs.dedup.emplace(stored, ref.idx);
-        if (!inserted) {
-          // Collapsed onto an alive twin; the twin carries all duties.
-          rs.alive[ref.idx] = 0;
-          --alive_count_;
-          continue;
-        }
-        RegisterRhsProjections(ref.rel, stored);
-        for (std::uint32_t ind_id : inds_by_lhs_rel_[ref.rel]) {
-          ind_states_[ind_id].dirty.push_back(ref.idx);
-        }
-      }
-      for (std::uint32_t fd_id : fds_by_rel_[ref.rel]) {
-        CCFP_RETURN_NOT_OK(ProbeFd(fd_id, ref.rel, ref.idx));
-        if (failed_) return Status::OK();
-        if (!rs.alive[ref.idx]) break;  // merged away by its own probe
-      }
-    }
-    return Status::OK();
-  }
-
-  /// Fires one IND on one lhs tuple: if its canonical projection is not
-  /// yet present on the rhs, create the witness with fresh-null padding.
-  Status ProbeInd(std::uint32_t ind_id, std::uint32_t idx, bool* any) {
-    const Ind& ind = inds_[ind_id];
-    RelState& rs = rels_[ind.lhs_rel];
-    if (!rs.alive[idx]) return Status::OK();
-    IdTuple key = CanonProj(rs.tuples[idx], ind.lhs);
-    auto [it, inserted] = ind_states_[ind_id].rhs_keys.insert(std::move(key));
-    if (!inserted) return Status::OK();
-    std::size_t arity = scheme_->relation(ind.rhs_rel).arity();
-    IdTuple fresh(arity, 0);
-    // Fresh labels for every position, then overwrite the constrained ones
-    // — byte-for-byte the naive engine's numbering, so the two engines
-    // produce identically-labeled databases on deterministic inputs.
-    for (std::size_t a = 0; a < arity; ++a) {
-      fresh[a] = interner_.InternFreshNull();
-    }
-    for (std::size_t i = 0; i < ind.width(); ++i) {
-      fresh[ind.rhs[i]] = (*it)[i];
-    }
-    *any = true;
-    return InsertGenerated(ind.rhs_rel, std::move(fresh));
-  }
-
-  /// One pass over the INDs in declaration order — but each IND only looks
-  /// at its delta: tuples beyond its cursor plus tuples whose canonical
-  /// form changed since its last pass.
-  Status IndPass(bool* any) {
-    for (std::uint32_t ind_id = 0; ind_id < inds_.size(); ++ind_id) {
-      const Ind& ind = inds_[ind_id];
-      IndState& is = ind_states_[ind_id];
-      std::uint32_t end =
-          static_cast<std::uint32_t>(rels_[ind.lhs_rel].tuples.size());
-      std::vector<std::uint32_t> touched;
-      touched.swap(is.dirty);
-      std::sort(touched.begin(), touched.end());
-      touched.erase(std::unique(touched.begin(), touched.end()),
-                    touched.end());
-      // Ascending over touched-then-new matches the naive full scan's
-      // tuple order (touched indexes all precede the cursor).
-      for (std::uint32_t idx : touched) {
-        if (idx >= is.cursor) continue;  // the range below covers it
-        CCFP_RETURN_NOT_OK(ProbeInd(ind_id, idx, any));
-      }
-      for (std::uint32_t idx = is.cursor; idx < end; ++idx) {
-        CCFP_RETURN_NOT_OK(ProbeInd(ind_id, idx, any));
-      }
-      is.cursor = end;
-    }
-    return Status::OK();
-  }
-
-  /// Hands the interned store over as an IdDatabase: each alive tuple's
-  /// ids mapped through the union-find to the class representative, the
-  /// interner moved wholesale. No Value is copied or hashed here; callers
-  /// recover the heap Database via IdDatabase::Materialize when needed.
-  InternedChaseResult Finish() {
-    std::vector<std::vector<IdTuple>> tuples(scheme_->size());
-    for (RelId rel = 0; rel < scheme_->size(); ++rel) {
-      RelState& rs = rels_[rel];
-      tuples[rel].reserve(rs.tuples.size());
-      for (std::size_t idx = 0; idx < rs.tuples.size(); ++idx) {
-        if (!rs.alive[idx]) continue;
-        IdTuple t;
-        t.reserve(rs.tuples[idx].size());
-        for (ValueId id : rs.tuples[idx]) {
-          // Rep, not Find: the tree root is a structural artifact; the
-          // class prints as its constant / lowest-labeled null.
-          t.push_back(uf_.Rep(id));
-        }
-        tuples[rel].push_back(std::move(t));
-      }
-    }
-    InternedChaseResult result(
-        IdDatabase(scheme_, std::move(interner_), std::move(tuples)));
-    result.outcome =
-        failed_ ? ChaseOutcome::kFailed : ChaseOutcome::kFixpoint;
-    result.fd_merges = fd_merges_;
-    result.ind_tuples = ind_tuples_;
-    result.steps = steps_;
-    return result;
-  }
-
-  SchemePtr scheme_;
-  const std::vector<Fd>& fds_;
-  const std::vector<Ind>& inds_;
-  const ChaseOptions& options_;
-
-  ValueInterner interner_;
-  DenseUnionFind uf_;
-  std::vector<RelState> rels_;
-  std::vector<std::vector<TupleRef>> occurrences_;  // by ValueId
-
-  std::vector<std::vector<std::uint32_t>> fds_by_rel_;
-  std::vector<std::unordered_map<IdTuple, std::uint32_t, IdTupleHash>>
-      fd_index_;  // per FD: canonical lhs key -> representative tuple
-  std::vector<IndState> ind_states_;
-  std::vector<std::vector<std::uint32_t>> inds_by_lhs_rel_;
-  std::vector<std::vector<std::uint32_t>> inds_by_rhs_rel_;
-
-  std::deque<TupleRef> fd_dirty_;
-  std::uint64_t alive_count_ = 0;
-  std::uint64_t fd_merges_ = 0;
-  std::uint64_t ind_tuples_ = 0;
-  std::uint64_t steps_ = 0;
-  bool failed_ = false;
-};
-
-Result<InternedChaseResult> Engine::Run(Database initial) {
-  for (RelId rel = 0; rel < scheme_->size(); ++rel) {
-    const Relation& r = initial.relation(rel);
-    rels_[rel].tuples.reserve(r.size());
-    for (const Tuple& t : r.tuples()) {
-      IdTuple it;
-      it.reserve(t.size());
-      for (const Value& v : t) it.push_back(interner_.Intern(v));
-      AdmitLoaded(rel, std::move(it));
-    }
-  }
-  while (true) {
-    CCFP_RETURN_NOT_OK(DrainFdDirty());
-    if (failed_) break;
-    bool any = false;
-    CCFP_RETURN_NOT_OK(IndPass(&any));
-    if (!any) break;
-  }
-  return Finish();
+Result<InternedChaseResult> RunIncrementalChaseInterned(
+    const SchemePtr& scheme, const std::vector<Fd>& fds,
+    const std::vector<Ind>& inds, Database initial,
+    const ChaseOptions& options) {
+  InternedWorkspace ws(scheme);
+  ws.AppendDatabase(initial);
+  WorkspaceChase chaser(&ws, fds, inds);
+  CCFP_ASSIGN_OR_RETURN(WorkspaceChaseStats stats, chaser.Run(options));
+  InternedChaseResult result(std::move(ws).ExportIdDatabase());
+  result.outcome = stats.outcome;
+  result.fd_merges = stats.fd_merges;
+  result.ind_tuples = stats.ind_tuples;
+  result.steps = stats.steps;
+  return result;
 }
-
-}  // namespace
 
 Result<ChaseResult> RunIncrementalChase(const SchemePtr& scheme,
                                         const std::vector<Fd>& fds,
                                         const std::vector<Ind>& inds,
                                         Database initial,
                                         const ChaseOptions& options) {
-  Engine engine(scheme, fds, inds, options);
-  CCFP_ASSIGN_OR_RETURN(InternedChaseResult interned,
-                        engine.Run(std::move(initial)));
+  CCFP_ASSIGN_OR_RETURN(
+      InternedChaseResult interned,
+      RunIncrementalChaseInterned(scheme, fds, inds, std::move(initial),
+                                  options));
   ChaseResult result(interned.db.Materialize());
   result.outcome = interned.outcome;
   result.fd_merges = interned.fd_merges;
   result.ind_tuples = interned.ind_tuples;
   result.steps = interned.steps;
   return result;
-}
-
-Result<InternedChaseResult> RunIncrementalChaseInterned(
-    const SchemePtr& scheme, const std::vector<Fd>& fds,
-    const std::vector<Ind>& inds, Database initial,
-    const ChaseOptions& options) {
-  Engine engine(scheme, fds, inds, options);
-  return engine.Run(std::move(initial));
 }
 
 }  // namespace ccfp

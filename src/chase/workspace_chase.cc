@@ -1,0 +1,235 @@
+#include "chase/workspace_chase.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ccfp {
+
+WorkspaceChase::WorkspaceChase(InternedWorkspace* ws, std::vector<Fd> fds,
+                               std::vector<Ind> inds)
+    : ws_(ws), fds_(std::move(fds)), inds_(std::move(inds)) {
+  const DatabaseScheme& scheme = ws_->scheme();
+  for (const Fd& fd : fds_) {
+    Status st = Validate(scheme, fd);
+    CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
+  for (const Ind& ind : inds_) {
+    Status st = Validate(scheme, ind);
+    CCFP_CHECK_MSG(st.ok(), st.ToString().c_str());
+  }
+  std::size_t n = scheme.size();
+  fds_by_rel_.resize(n);
+  for (std::uint32_t i = 0; i < fds_.size(); ++i) {
+    fds_by_rel_[fds_[i].rel].push_back(i);
+  }
+  fd_index_.resize(fds_.size());
+  ind_states_.resize(inds_.size());
+  inds_by_lhs_rel_.resize(n);
+  inds_by_rhs_rel_.resize(n);
+  for (std::uint32_t i = 0; i < inds_.size(); ++i) {
+    inds_by_lhs_rel_[inds_[i].lhs_rel].push_back(i);
+    inds_by_rhs_rel_[inds_[i].rhs_rel].push_back(i);
+  }
+  queued_.resize(n);
+  admitted_.resize(n, 0);
+}
+
+void WorkspaceChase::EnqueueFdDirty(RelId rel, std::uint32_t idx) {
+  std::vector<std::uint8_t>& q = queued_[rel];
+  if (q.size() <= idx) q.resize(ws_->size(rel), 0);
+  if (q[idx]) return;
+  q[idx] = 1;
+  fd_dirty_.push_back(WorkspaceTupleRef{rel, idx});
+}
+
+void WorkspaceChase::RegisterRhsProjections(RelId rel, std::uint32_t idx) {
+  for (std::uint32_t ind_id : inds_by_rhs_rel_[rel]) {
+    ind_states_[ind_id].rhs_keys.insert(
+        ws_->CanonicalProjection(rel, idx, inds_[ind_id].rhs));
+  }
+}
+
+void WorkspaceChase::AdmitSlot(RelId rel, std::uint32_t idx) {
+  RegisterRhsProjections(rel, idx);
+  EnqueueFdDirty(rel, idx);
+  if (admitted_[rel] <= idx) admitted_[rel] = idx + 1;
+}
+
+void WorkspaceChase::AdmitAppended() {
+  for (RelId rel = 0; rel < ws_->scheme().size(); ++rel) {
+    std::uint32_t end = static_cast<std::uint32_t>(ws_->size(rel));
+    for (std::uint32_t idx = admitted_[rel]; idx < end; ++idx) {
+      AdmitSlot(rel, idx);
+    }
+  }
+}
+
+/// Probes one (canonical, alive) slot against one FD's persistent lhs-key
+/// index, merging right-hand sides on a key hit.
+Status WorkspaceChase::ProbeFd(std::uint32_t fd_id, RelId rel,
+                               std::uint32_t idx) {
+  const Fd& fd = fds_[fd_id];
+  IdTuple key = ws_->CanonicalProjection(rel, idx, fd.lhs);
+  auto [it, inserted] = fd_index_[fd_id].try_emplace(std::move(key), idx);
+  if (inserted || it->second == idx) return Status::OK();
+  std::uint32_t rep = it->second;
+  // The entry may be stale: the representative's key can have drifted
+  // since insertion (its ids merged). A drifted rep was dirtied by the
+  // merge and will re-index itself under its new key, so just take over.
+  if (ws_->CanonicalProjection(rel, rep, fd.lhs) != it->first) {
+    it->second = idx;
+    return Status::OK();
+  }
+  const IdTuple& t = ws_->tuple(rel, idx);
+  const IdTuple& rep_t = ws_->tuple(rel, rep);
+  for (AttrId y : fd.rhs) {
+    ValueId a = ws_->Canon(t[y]);
+    ValueId b = ws_->Canon(rep_t[y]);
+    if (a == b) continue;
+    InternedWorkspace::MergeResult u = ws_->MergeValues(a, b);
+    if (u.clash) {
+      failed_ = true;
+      return Status::OK();
+    }
+    ++fd_merges_;
+    // Dirty every slot that stores the losing id — the delta the merge
+    // actually touches — then hand its occurrence list to the winner.
+    // This must happen *before* the budget check: a ResourceExhausted
+    // return with the merge recorded but its slots neither dirtied nor
+    // rerouted would leave the workspace unresumable (stale tuples no
+    // worklist entry will ever revisit).
+    for (const WorkspaceTupleRef& ref : ws_->occurrences(u.loser)) {
+      EnqueueFdDirty(ref.rel, ref.idx);
+    }
+    ws_->RerouteOccurrences(u.loser, u.winner);
+    if (++steps_ > options_->max_steps) {
+      return Status::ResourceExhausted("chase step budget exhausted");
+    }
+  }
+  return Status::OK();
+}
+
+/// Drains the dirty worklist: re-canonicalize, re-deduplicate, and
+/// re-probe each touched slot until the FD fixpoint is reached.
+Status WorkspaceChase::DrainFdDirty() {
+  while (!fd_dirty_.empty() && !failed_) {
+    WorkspaceTupleRef ref = fd_dirty_.front();
+    fd_dirty_.pop_front();
+    queued_[ref.rel][ref.idx] = 0;
+    if (!ws_->alive(ref.rel, ref.idx)) continue;
+    InternedWorkspace::CanonOutcome c =
+        ws_->CanonicalizeTuple(ref.rel, ref.idx);
+    if (c == InternedWorkspace::CanonOutcome::kKilled) continue;
+    if (c == InternedWorkspace::CanonOutcome::kRewritten) {
+      RegisterRhsProjections(ref.rel, ref.idx);
+      for (std::uint32_t ind_id : inds_by_lhs_rel_[ref.rel]) {
+        ind_states_[ind_id].dirty.push_back(ref.idx);
+      }
+    }
+    for (std::uint32_t fd_id : fds_by_rel_[ref.rel]) {
+      Status st = ProbeFd(fd_id, ref.rel, ref.idx);
+      if (!st.ok()) {
+        // Budget tripped mid-slot: requeue so a later Run with a larger
+        // budget re-probes this slot from its first FD (probes are
+        // idempotent once their merge is in the union-find).
+        EnqueueFdDirty(ref.rel, ref.idx);
+        return st;
+      }
+      if (failed_) return Status::OK();
+      if (!ws_->alive(ref.rel, ref.idx)) break;  // merged away by its probe
+    }
+  }
+  return Status::OK();
+}
+
+/// Fires one IND on one lhs slot: if its canonical projection is not yet
+/// present on the rhs, create the witness with fresh-null padding.
+Status WorkspaceChase::ProbeInd(std::uint32_t ind_id, std::uint32_t idx,
+                                bool* any) {
+  const Ind& ind = inds_[ind_id];
+  if (!ws_->alive(ind.lhs_rel, idx)) return Status::OK();
+  IdTuple key = ws_->CanonicalProjection(ind.lhs_rel, idx, ind.lhs);
+  auto [it, inserted] = ind_states_[ind_id].rhs_keys.insert(std::move(key));
+  if (!inserted) return Status::OK();
+  std::size_t arity = ws_->scheme().relation(ind.rhs_rel).arity();
+  IdTuple fresh(arity, 0);
+  // Fresh labels for every position, then overwrite the constrained ones
+  // — byte-for-byte the naive engine's numbering, so all engines produce
+  // identically-labeled databases on deterministic inputs.
+  for (std::size_t a = 0; a < arity; ++a) {
+    fresh[a] = ws_->InternFreshNull();
+  }
+  for (std::size_t i = 0; i < ind.width(); ++i) {
+    fresh[ind.rhs[i]] = (*it)[i];
+  }
+  *any = true;
+  if (ws_->Append(ind.rhs_rel, std::move(fresh))) {
+    std::uint32_t new_idx =
+        static_cast<std::uint32_t>(ws_->size(ind.rhs_rel)) - 1;
+    AdmitSlot(ind.rhs_rel, new_idx);
+    ++ind_tuples_;
+    if (++steps_ > options_->max_steps ||
+        ws_->TotalAliveTuples() > options_->max_tuples) {
+      return Status::ResourceExhausted("chase budget exhausted");
+    }
+  }
+  return Status::OK();
+}
+
+/// One pass over the INDs in declaration order — each IND only looks at
+/// its delta: slots beyond its cursor plus slots whose canonical form
+/// changed since its last pass.
+Status WorkspaceChase::IndPass(bool* any) {
+  for (std::uint32_t ind_id = 0; ind_id < inds_.size(); ++ind_id) {
+    const Ind& ind = inds_[ind_id];
+    IndState& is = ind_states_[ind_id];
+    std::uint32_t end = static_cast<std::uint32_t>(ws_->size(ind.lhs_rel));
+    std::vector<std::uint32_t> touched;
+    touched.swap(is.dirty);
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    // Ascending over touched-then-new matches the naive full scan's tuple
+    // order (touched slots all precede the cursor).
+    for (std::size_t t = 0; t < touched.size(); ++t) {
+      if (touched[t] >= is.cursor) continue;  // the range below covers it
+      Status st = ProbeInd(ind_id, touched[t], any);
+      if (!st.ok()) {
+        // Budget tripped: put the unprocessed tail (and the current slot,
+        // whose probe is idempotent) back on the dirty list so a later
+        // Run with a larger budget resumes where this one stopped. The
+        // cursor was not advanced, so the fresh range re-scans too.
+        is.dirty.insert(is.dirty.end(), touched.begin() + t, touched.end());
+        return st;
+      }
+    }
+    for (std::uint32_t idx = is.cursor; idx < end; ++idx) {
+      CCFP_RETURN_NOT_OK(ProbeInd(ind_id, idx, any));
+    }
+    is.cursor = end;
+  }
+  return Status::OK();
+}
+
+Result<WorkspaceChaseStats> WorkspaceChase::Run(const ChaseOptions& options) {
+  options_ = &options;
+  fd_merges_ = ind_tuples_ = steps_ = 0;
+  AdmitAppended();
+  while (!failed_) {
+    CCFP_RETURN_NOT_OK(DrainFdDirty());
+    if (failed_) break;
+    bool any = false;
+    CCFP_RETURN_NOT_OK(IndPass(&any));
+    if (!any) break;
+  }
+  WorkspaceChaseStats stats;
+  stats.outcome = failed_ ? ChaseOutcome::kFailed : ChaseOutcome::kFixpoint;
+  stats.fd_merges = fd_merges_;
+  stats.ind_tuples = ind_tuples_;
+  stats.steps = steps_;
+  return stats;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,112 @@
+#ifndef CCFP_CHASE_WORKSPACE_CHASE_H_
+#define CCFP_CHASE_WORKSPACE_CHASE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chase/chase.h"
+#include "core/dependency.h"
+#include "core/workspace.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Counters of one WorkspaceChase::Run call (same meanings as ChaseResult).
+struct WorkspaceChaseStats {
+  ChaseOutcome outcome = ChaseOutcome::kFixpoint;
+  std::uint64_t fd_merges = 0;
+  std::uint64_t ind_tuples = 0;
+  std::uint64_t steps = 0;
+};
+
+/// The delta-driven FD+IND chase engine (PR 1/2's incremental engine),
+/// re-hosted on a caller-owned InternedWorkspace — the substrate keeps the
+/// interner, union-find, tuple stores, and occurrence lists; this class
+/// keeps only the rule machinery (per-FD lhs-key indexes, per-IND rhs
+/// projection sets, dirty worklists, admission cursors).
+///
+/// The payoff over the one-shot engine is that the chase is *resumable*:
+/// after Run() reaches a fixpoint, the caller can append more tuples to the
+/// workspace (repair seeds, new probes) and Run() again — only the delta is
+/// chased, nothing is re-interned, and the persistent indexes carry over.
+/// This is what retires the per-round full re-intern in the Armstrong
+/// build -> chase -> verify -> repair loop.
+///
+/// Invariants: the workspace must not be mutated by anyone else between
+/// construction and the last Run() except by appending tuples; after a Run
+/// returns kFixpoint every tuple is canonical, so workspace model checking
+/// (Satisfies / partitions) is valid until the next append.
+class WorkspaceChase {
+ public:
+  /// CHECK-fails if any dependency is invalid for the workspace's scheme.
+  WorkspaceChase(InternedWorkspace* ws, std::vector<Fd> fds,
+                 std::vector<Ind> inds);
+
+  const std::vector<Fd>& fds() const { return fds_; }
+  const std::vector<Ind>& inds() const { return inds_; }
+
+  /// Chases everything appended since the last Run (plus its consequences)
+  /// to a Sigma fixpoint or failure. Budgets apply per call; `max_tuples`
+  /// bounds the workspace's total alive tuples. A kFailed outcome (two
+  /// constants merged) is sticky: the workspace is left mid-chase and
+  /// further Runs return kFailed immediately. A ResourceExhausted return
+  /// leaves the worklists intact (the interrupted slot is requeued), so a
+  /// later Run with a larger budget resumes exactly where this one
+  /// stopped; the workspace must not be model-checked while exhausted
+  /// (tuples may be stale).
+  Result<WorkspaceChaseStats> Run(const ChaseOptions& options);
+
+ private:
+  struct IndState {
+    /// Canonical rhs projections present in the rhs relation. Insert-only:
+    /// entries whose ids have since been merged away contain non-root ids
+    /// and can never collide with a canonical probe key, so stale entries
+    /// are harmless.
+    std::unordered_set<IdTuple, IdTupleHash> rhs_keys;
+    /// Lhs slots whose canonical form changed since the last pass.
+    std::vector<std::uint32_t> dirty;
+    /// Lhs slots below this index were scanned in earlier passes.
+    std::uint32_t cursor = 0;
+  };
+
+  void EnqueueFdDirty(RelId rel, std::uint32_t idx);
+  void RegisterRhsProjections(RelId rel, std::uint32_t idx);
+  /// Takes a freshly appended slot under management: rhs projections into
+  /// every IND targeting its relation, plus an FD-dirty enqueue.
+  void AdmitSlot(RelId rel, std::uint32_t idx);
+  /// Admits every slot appended to the workspace since the last call.
+  void AdmitAppended();
+  Status ProbeFd(std::uint32_t fd_id, RelId rel, std::uint32_t idx);
+  Status DrainFdDirty();
+  Status ProbeInd(std::uint32_t ind_id, std::uint32_t idx, bool* any);
+  Status IndPass(bool* any);
+
+  InternedWorkspace* ws_;
+  std::vector<Fd> fds_;
+  std::vector<Ind> inds_;
+
+  std::vector<std::vector<std::uint32_t>> fds_by_rel_;
+  std::vector<std::unordered_map<IdTuple, std::uint32_t, IdTupleHash>>
+      fd_index_;  // per FD: canonical lhs key -> representative slot
+  std::vector<IndState> ind_states_;
+  std::vector<std::vector<std::uint32_t>> inds_by_lhs_rel_;
+  std::vector<std::vector<std::uint32_t>> inds_by_rhs_rel_;
+
+  std::deque<WorkspaceTupleRef> fd_dirty_;
+  std::vector<std::vector<std::uint8_t>> queued_;  // per rel, per slot
+  std::vector<std::uint32_t> admitted_;            // per rel: admitted prefix
+  bool failed_ = false;
+
+  // Per-Run budget counters (reset by Run).
+  const ChaseOptions* options_ = nullptr;
+  std::uint64_t fd_merges_ = 0;
+  std::uint64_t ind_tuples_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_CHASE_WORKSPACE_CHASE_H_

@@ -10,11 +10,6 @@ namespace ccfp {
 
 namespace {
 
-// Packs two dense group ids into one hashable word.
-std::uint64_t PackPair(std::uint32_t a, std::uint32_t b) {
-  return (static_cast<std::uint64_t>(a) << 32) | b;
-}
-
 }  // namespace
 
 const IdRelation::Partition& IdRelation::partition(
@@ -159,7 +154,7 @@ bool IdDatabase::SatisfiesEmvdOn(RelId rel, const std::vector<AttrId>& x,
       seen_xz[gz] = 1;
       ++nz[g];
     }
-    if (pairs.insert(PackPair(gy, gz)).second) ++np[g];
+    if (pairs.insert(PackIdPair(gy, gz)).second) ++np[g];
   }
   for (std::uint32_t g = 0; g < x_p.group_count; ++g) {
     if (static_cast<std::uint64_t>(ny[g]) * nz[g] != np[g]) return false;
@@ -211,14 +206,14 @@ std::optional<IdViolation> IdDatabase::FindEmvdViolation(
   const IdRelation::Partition& xz_p = r.partition(xz);
   std::unordered_set<std::uint64_t> pairs;
   for (std::uint32_t i = 0; i < r.size(); ++i) {
-    pairs.insert(PackPair(xy_p.group_of[i], xz_p.group_of[i]));
+    pairs.insert(PackIdPair(xy_p.group_of[i], xz_p.group_of[i]));
   }
   // Diagnostics path only: quadratic scan for the first same-group pair
   // whose (XY, XZ) combination has no witness tuple.
   for (std::uint32_t i = 0; i < r.size(); ++i) {
     for (std::uint32_t j = 0; j < r.size(); ++j) {
       if (x_p.group_of[i] != x_p.group_of[j]) continue;
-      if (pairs.count(PackPair(xy_p.group_of[i], xz_p.group_of[j])) == 0) {
+      if (pairs.count(PackIdPair(xy_p.group_of[i], xz_p.group_of[j])) == 0) {
         return IdViolation{rel, {i, j}};
       }
     }

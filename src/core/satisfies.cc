@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/workspace.h"
 #include "util/strings.h"
 
 namespace ccfp {
@@ -385,24 +386,43 @@ std::optional<Violation> FindViolation(const IdDatabase& db,
   return RenderViolation(db, dep, *idv);
 }
 
-std::optional<std::string> ObeysExactly(
-    const IdDatabase& db, const std::vector<Dependency>& universe,
+namespace {
+
+/// Shared body of the interned ObeysExactly overloads: any model exposing
+/// Satisfies(Dependency) and scheme() (IdDatabase, InternedWorkspace).
+template <typename Model>
+std::optional<std::string> ObeysExactlyIn(
+    const Model& model, const std::vector<Dependency>& universe,
     const std::vector<Dependency>& expected) {
   std::unordered_set<Dependency, DependencyHash> expected_set(
       expected.begin(), expected.end());
   for (const Dependency& dep : universe) {
-    bool holds = db.Satisfies(dep);
+    bool holds = model.Satisfies(dep);
     bool should = expected_set.count(dep) > 0;
     if (holds && !should) {
-      return StrCat("database obeys ", dep.ToString(db.scheme()),
+      return StrCat("database obeys ", dep.ToString(model.scheme()),
                     " which is outside the expected set");
     }
     if (!holds && should) {
-      return StrCat("database violates ", dep.ToString(db.scheme()),
+      return StrCat("database violates ", dep.ToString(model.scheme()),
                     " which is inside the expected set");
     }
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> ObeysExactly(
+    const IdDatabase& db, const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& expected) {
+  return ObeysExactlyIn(db, universe, expected);
+}
+
+std::optional<std::string> ObeysExactly(
+    const InternedWorkspace& ws, const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& expected) {
+  return ObeysExactlyIn(ws, universe, expected);
 }
 
 }  // namespace ccfp

@@ -12,6 +12,8 @@
 
 namespace ccfp {
 
+class InternedWorkspace;  // core/workspace.h
+
 /// Which model-checking engine to run.
 enum class SatisfiesEngine : std::uint8_t {
   /// Interns the involved relations into an IdDatabase once, then checks
@@ -103,6 +105,13 @@ std::optional<Violation> FindViolation(const IdDatabase& db,
 
 std::optional<std::string> ObeysExactly(
     const IdDatabase& db, const std::vector<Dependency>& universe,
+    const std::vector<Dependency>& expected);
+
+/// Same check against a persistent workspace (core/workspace.h) — the
+/// Armstrong repair loop verifies each round on the workspace it chased,
+/// reusing its cached partitions. Requires no stale tuples.
+std::optional<std::string> ObeysExactly(
+    const InternedWorkspace& ws, const std::vector<Dependency>& universe,
     const std::vector<Dependency>& expected);
 
 }  // namespace ccfp

@@ -55,6 +55,12 @@ struct IdTupleHash {
   }
 };
 
+/// Packs two dense ids (partition group ids, value ids) into one hashable
+/// word — the EMVD checkers' and the id-space EMVD chase's pair key.
+inline std::uint64_t PackIdPair(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
 }  // namespace ccfp
 
 #endif  // CCFP_CORE_TUPLE_H_

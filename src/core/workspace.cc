@@ -1,0 +1,439 @@
+#include "core/workspace.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace ccfp {
+
+namespace {
+
+}  // namespace
+
+InternedWorkspace::InternedWorkspace(SchemePtr scheme)
+    : scheme_(std::move(scheme)),
+      rels_(scheme_->size()),
+      partitions_(scheme_->size()) {}
+
+ValueId InternedWorkspace::Intern(const Value& v) {
+  std::size_t before = interner_.size();
+  ValueId id = interner_.Intern(v);
+  if (interner_.size() != before) ++stats_.values_interned;
+  return id;
+}
+
+ValueId InternedWorkspace::InternFreshNull() {
+  ++stats_.values_interned;
+  return interner_.InternFreshNull();
+}
+
+void InternedWorkspace::RegisterOccurrences(RelId rel, std::uint32_t idx,
+                                            const IdTuple& t) {
+  if (occurrences_.size() < interner_.size()) {
+    occurrences_.resize(interner_.size());
+  }
+  uf_.EnsureSize(interner_.size());
+  for (ValueId id : t) {
+    occurrences_[id].push_back(WorkspaceTupleRef{rel, idx});
+  }
+}
+
+bool InternedWorkspace::Append(RelId rel, IdTuple t) {
+  RelStore& rs = rels_[rel];
+  std::uint32_t idx = static_cast<std::uint32_t>(rs.tuples.size());
+  auto [it, inserted] = rs.dedup.emplace(std::move(t), idx);
+  if (!inserted) return false;
+  RegisterOccurrences(rel, idx, it->first);
+  rs.tuples.push_back(it->first);
+  rs.alive.push_back(1);
+  ++rs.alive_count;
+  ++total_alive_;
+  ++stats_.tuples_appended;
+  return true;
+}
+
+bool InternedWorkspace::AppendTuple(RelId rel, const Tuple& t) {
+  IdTuple it;
+  it.reserve(t.size());
+  for (const Value& v : t) it.push_back(Intern(v));
+  return Append(rel, std::move(it));
+}
+
+void InternedWorkspace::AppendDatabase(const Database& db) {
+  CCFP_CHECK(db.scheme().size() == scheme_->size());
+  for (RelId rel = 0; rel < scheme_->size(); ++rel) {
+    AppendRelation(db, rel);
+  }
+}
+
+void InternedWorkspace::AppendRelation(const Database& db, RelId rel) {
+  const Relation& r = db.relation(rel);
+  rels_[rel].tuples.reserve(rels_[rel].tuples.size() + r.size());
+  for (const Tuple& t : r.tuples()) AppendTuple(rel, t);
+}
+
+InternedWorkspace::MergeResult InternedWorkspace::MergeValues(ValueId a,
+                                                              ValueId b) {
+  DenseUnionFind::UnionResult u = uf_.Union(a, b, interner_);
+  MergeResult result;
+  result.winner = u.winner;
+  result.loser = u.loser;
+  result.merged = u.merged;
+  result.clash = u.clash;
+  if (u.merged) ++stats_.value_merges;
+  return result;
+}
+
+void InternedWorkspace::RerouteOccurrences(ValueId loser, ValueId winner) {
+  std::vector<WorkspaceTupleRef>& from = occurrences_[loser];
+  std::vector<WorkspaceTupleRef>& to = occurrences_[winner];
+  to.insert(to.end(), from.begin(), from.end());
+  from.clear();
+  from.shrink_to_fit();
+}
+
+InternedWorkspace::CanonOutcome InternedWorkspace::CanonicalizeTuple(
+    RelId rel, std::uint32_t idx) {
+  RelStore& rs = rels_[rel];
+  if (!rs.alive[idx]) return CanonOutcome::kUnchanged;
+  IdTuple& stored = rs.tuples[idx];
+  bool changed = false;
+  for (ValueId id : stored) {
+    if (uf_.Find(id) != id) {
+      changed = true;
+      break;
+    }
+  }
+  if (!changed) return CanonOutcome::kUnchanged;
+  auto old_it = rs.dedup.find(stored);
+  if (old_it != rs.dedup.end() && old_it->second == idx) {
+    rs.dedup.erase(old_it);
+  }
+  for (ValueId& id : stored) id = uf_.Find(id);
+  ++rs.epoch;  // destructive: cached partitions over this relation die
+  auto [new_it, inserted] = rs.dedup.emplace(stored, idx);
+  if (!inserted) {
+    // Collapsed onto an alive twin; the twin carries all duties.
+    rs.alive[idx] = 0;
+    --rs.alive_count;
+    --total_alive_;
+    ++stats_.tuples_killed;
+    return CanonOutcome::kKilled;
+  }
+  return CanonOutcome::kRewritten;
+}
+
+IdTuple InternedWorkspace::CanonicalProjection(
+    RelId rel, std::uint32_t idx, const std::vector<AttrId>& cols) const {
+  const IdTuple& t = rels_[rel].tuples[idx];
+  IdTuple out;
+  out.reserve(cols.size());
+  for (AttrId c : cols) out.push_back(uf_.Find(t[c]));
+  return out;
+}
+
+void InternedWorkspace::ExtendPartition(RelId rel,
+                                        const std::vector<AttrId>& cols,
+                                        CachedPartition& cp) const {
+  const RelStore& rs = rels_[rel];
+  Partition& p = cp.p;
+  std::uint32_t end = static_cast<std::uint32_t>(rs.tuples.size());
+  p.group_of.reserve(end);
+  IdTuple key;
+  key.reserve(cols.size());
+  for (std::uint32_t i = cp.covered; i < end; ++i) {
+    if (!rs.alive[i]) {
+      p.group_of.push_back(kNoGroup);
+      continue;
+    }
+    const IdTuple& t = rs.tuples[i];
+    key.clear();
+    for (AttrId c : cols) key.push_back(t[c]);
+    auto [kit, inserted] = p.key_to_group.emplace(key, p.group_count);
+    if (inserted) {
+      p.first_of_group.push_back(i);
+      ++p.group_count;
+    }
+    p.group_of.push_back(kit->second);
+  }
+  cp.covered = end;
+}
+
+const InternedWorkspace::Partition& InternedWorkspace::partition(
+    RelId rel, const std::vector<AttrId>& cols) const {
+  const RelStore& rs = rels_[rel];
+  auto [it, inserted] = partitions_[rel].try_emplace(cols);
+  CachedPartition& cp = it->second;
+  if (!inserted && cp.epoch == rs.epoch) {
+    if (cp.covered == rs.tuples.size()) {
+      ++stats_.partitions_reused;
+    } else {
+      ++stats_.partitions_extended;
+      ExtendPartition(rel, cols, cp);
+    }
+    return cp.p;
+  }
+  if (!inserted) {
+    ++stats_.partitions_invalidated;
+    cp.p = Partition();
+  }
+  ++stats_.partitions_built;
+  cp.epoch = rs.epoch;
+  cp.covered = 0;
+  ExtendPartition(rel, cols, cp);
+  return cp.p;
+}
+
+bool InternedWorkspace::Satisfies(const Fd& fd) const {
+  const RelStore& rs = rels_[fd.rel];
+  if (rs.alive_count == 0) return true;
+  const Partition& lhs = partition(fd.rel, fd.lhs);
+  const Partition& rhs = partition(fd.rel, fd.rhs);
+  // The FD holds iff the lhs partition refines the rhs partition.
+  std::vector<std::uint32_t> seen(lhs.group_count, UINT32_MAX);
+  for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
+    std::uint32_t g = lhs.group_of[i];
+    if (g == kNoGroup) continue;
+    std::uint32_t h = rhs.group_of[i];
+    if (seen[g] == UINT32_MAX) {
+      seen[g] = h;
+    } else if (seen[g] != h) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool InternedWorkspace::Satisfies(const Ind& ind) const {
+  const RelStore& lhs = rels_[ind.lhs_rel];
+  if (lhs.alive_count == 0) return true;
+  const Partition& lhs_p = partition(ind.lhs_rel, ind.lhs);
+  const Partition& rhs_p = partition(ind.rhs_rel, ind.rhs);
+  IdTuple key;
+  key.reserve(ind.lhs.size());
+  for (std::uint32_t g = 0; g < lhs_p.group_count; ++g) {
+    const IdTuple& t = lhs.tuples[lhs_p.first_of_group[g]];
+    key.clear();
+    for (AttrId c : ind.lhs) key.push_back(t[c]);
+    if (rhs_p.key_to_group.count(key) == 0) return false;
+  }
+  return true;
+}
+
+bool InternedWorkspace::Satisfies(const Rd& rd) const {
+  const RelStore& rs = rels_[rd.rel];
+  for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
+    if (!rs.alive[i]) continue;
+    const IdTuple& t = rs.tuples[i];
+    for (std::size_t k = 0; k < rd.lhs.size(); ++k) {
+      if (t[rd.lhs[k]] != t[rd.rhs[k]]) return false;
+    }
+  }
+  return true;
+}
+
+bool InternedWorkspace::SatisfiesEmvdOn(RelId rel,
+                                        const std::vector<AttrId>& x,
+                                        const std::vector<AttrId>& y,
+                                        const std::vector<AttrId>& z) const {
+  const RelStore& rs = rels_[rel];
+  if (rs.alive_count == 0) return true;
+  std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
+  std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
+  const Partition& x_p = partition(rel, x);
+  const Partition& xy_p = partition(rel, xy);
+  const Partition& xz_p = partition(rel, xz);
+  // Per X-group distinct XY / XZ / (XY, XZ) counts; a group obeys the EMVD
+  // iff pairs == xy_distinct * xz_distinct (XY and XZ refine X).
+  std::vector<std::uint32_t> ny(x_p.group_count, 0);
+  std::vector<std::uint32_t> nz(x_p.group_count, 0);
+  std::vector<std::uint64_t> np(x_p.group_count, 0);
+  std::vector<std::uint8_t> seen_xy(xy_p.group_count, 0);
+  std::vector<std::uint8_t> seen_xz(xz_p.group_count, 0);
+  std::unordered_set<std::uint64_t> pairs;
+  pairs.reserve(rs.alive_count);
+  for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
+    std::uint32_t g = x_p.group_of[i];
+    if (g == kNoGroup) continue;
+    std::uint32_t gy = xy_p.group_of[i];
+    std::uint32_t gz = xz_p.group_of[i];
+    if (!seen_xy[gy]) {
+      seen_xy[gy] = 1;
+      ++ny[g];
+    }
+    if (!seen_xz[gz]) {
+      seen_xz[gz] = 1;
+      ++nz[g];
+    }
+    if (pairs.insert(PackIdPair(gy, gz)).second) ++np[g];
+  }
+  for (std::uint32_t g = 0; g < x_p.group_count; ++g) {
+    if (static_cast<std::uint64_t>(ny[g]) * nz[g] != np[g]) return false;
+  }
+  return true;
+}
+
+bool InternedWorkspace::Satisfies(const Emvd& emvd) const {
+  return SatisfiesEmvdOn(emvd.rel, emvd.x, emvd.y, emvd.z);
+}
+
+bool InternedWorkspace::Satisfies(const Mvd& mvd) const {
+  return SatisfiesEmvdOn(mvd.rel, mvd.x, mvd.y, MvdComplement(*scheme_, mvd));
+}
+
+bool InternedWorkspace::Satisfies(const Dependency& dep) const {
+  switch (dep.kind()) {
+    case DependencyKind::kFd:
+      return Satisfies(dep.fd());
+    case DependencyKind::kInd:
+      return Satisfies(dep.ind());
+    case DependencyKind::kRd:
+      return Satisfies(dep.rd());
+    case DependencyKind::kEmvd:
+      return Satisfies(dep.emvd());
+    case DependencyKind::kMvd:
+      return Satisfies(dep.mvd());
+  }
+  return false;
+}
+
+bool InternedWorkspace::SatisfiesAll(
+    const std::vector<Dependency>& deps) const {
+  for (const Dependency& dep : deps) {
+    if (!Satisfies(dep)) return false;
+  }
+  return true;
+}
+
+std::optional<IdViolation> InternedWorkspace::FindEmvdViolation(
+    RelId rel, const std::vector<AttrId>& x, const std::vector<AttrId>& y,
+    const std::vector<AttrId>& z) const {
+  if (SatisfiesEmvdOn(rel, x, y, z)) return std::nullopt;
+  const RelStore& rs = rels_[rel];
+  std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
+  std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
+  const Partition& x_p = partition(rel, x);
+  const Partition& xy_p = partition(rel, xy);
+  const Partition& xz_p = partition(rel, xz);
+  std::unordered_set<std::uint64_t> pairs;
+  for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
+    if (x_p.group_of[i] == kNoGroup) continue;
+    pairs.insert(PackIdPair(xy_p.group_of[i], xz_p.group_of[i]));
+  }
+  // Diagnostics path only: quadratic scan for the first same-group pair
+  // whose (XY, XZ) combination has no witness tuple.
+  for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
+    if (x_p.group_of[i] == kNoGroup) continue;
+    for (std::uint32_t j = 0; j < rs.tuples.size(); ++j) {
+      if (x_p.group_of[i] != x_p.group_of[j]) continue;
+      if (pairs.count(PackIdPair(xy_p.group_of[i], xz_p.group_of[j])) == 0) {
+        return IdViolation{rel, {i, j}};
+      }
+    }
+  }
+  return IdViolation{rel, {}};  // unreachable if Satisfies was false
+}
+
+std::optional<IdViolation> InternedWorkspace::FindViolation(
+    const Dependency& dep) const {
+  switch (dep.kind()) {
+    case DependencyKind::kFd: {
+      const Fd& fd = dep.fd();
+      const RelStore& rs = rels_[fd.rel];
+      if (rs.alive_count == 0) return std::nullopt;
+      const Partition& lhs = partition(fd.rel, fd.lhs);
+      const Partition& rhs = partition(fd.rel, fd.rhs);
+      std::vector<std::uint32_t> first(lhs.group_count, UINT32_MAX);
+      for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
+        std::uint32_t g = lhs.group_of[i];
+        if (g == kNoGroup) continue;
+        if (first[g] == UINT32_MAX) {
+          first[g] = i;
+        } else if (rhs.group_of[first[g]] != rhs.group_of[i]) {
+          return IdViolation{fd.rel, {first[g], i}};
+        }
+      }
+      return std::nullopt;
+    }
+    case DependencyKind::kInd: {
+      const Ind& ind = dep.ind();
+      const RelStore& lhs = rels_[ind.lhs_rel];
+      const Partition& lhs_p = partition(ind.lhs_rel, ind.lhs);
+      const Partition& rhs_p = partition(ind.rhs_rel, ind.rhs);
+      IdTuple key;
+      // Ascending group id == ascending first-slot index, so the first
+      // missing group's first tuple is the first violating tuple.
+      for (std::uint32_t g = 0; g < lhs_p.group_count; ++g) {
+        const IdTuple& t = lhs.tuples[lhs_p.first_of_group[g]];
+        key.clear();
+        for (AttrId c : ind.lhs) key.push_back(t[c]);
+        if (rhs_p.key_to_group.count(key) == 0) {
+          return IdViolation{ind.lhs_rel, {lhs_p.first_of_group[g]}};
+        }
+      }
+      return std::nullopt;
+    }
+    case DependencyKind::kRd: {
+      const Rd& rd = dep.rd();
+      const RelStore& rs = rels_[rd.rel];
+      for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
+        if (!rs.alive[i]) continue;
+        const IdTuple& t = rs.tuples[i];
+        for (std::size_t k = 0; k < rd.lhs.size(); ++k) {
+          if (t[rd.lhs[k]] != t[rd.rhs[k]]) {
+            return IdViolation{rd.rel, {i}};
+          }
+        }
+      }
+      return std::nullopt;
+    }
+    case DependencyKind::kEmvd:
+      return FindEmvdViolation(dep.emvd().rel, dep.emvd().x, dep.emvd().y,
+                               dep.emvd().z);
+    case DependencyKind::kMvd:
+      return FindEmvdViolation(dep.mvd().rel, dep.mvd().x, dep.mvd().y,
+                               MvdComplement(*scheme_, dep.mvd()));
+  }
+  return std::nullopt;
+}
+
+Database InternedWorkspace::Materialize() const {
+  Database out(scheme_);
+  for (RelId rel = 0; rel < scheme_->size(); ++rel) {
+    const RelStore& rs = rels_[rel];
+    out.relation(rel).Reserve(rs.alive_count);
+    for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
+      if (!rs.alive[i]) continue;
+      Tuple t;
+      t.reserve(rs.tuples[i].size());
+      for (ValueId id : rs.tuples[i]) {
+        t.push_back(interner_.value(uf_.Rep(id)));
+      }
+      out.Insert(rel, std::move(t));
+    }
+  }
+  return out;
+}
+
+IdDatabase InternedWorkspace::ExportIdDatabase() && {
+  std::vector<std::vector<IdTuple>> tuples(scheme_->size());
+  for (RelId rel = 0; rel < scheme_->size(); ++rel) {
+    RelStore& rs = rels_[rel];
+    tuples[rel].reserve(rs.alive_count);
+    for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
+      if (!rs.alive[i]) continue;
+      IdTuple t;
+      t.reserve(rs.tuples[i].size());
+      for (ValueId id : rs.tuples[i]) {
+        // Rep, not Find: the tree root is a structural artifact; the
+        // class prints as its constant / lowest-labeled null.
+        t.push_back(uf_.Rep(id));
+      }
+      tuples[rel].push_back(std::move(t));
+    }
+  }
+  return IdDatabase(scheme_, std::move(interner_), std::move(tuples));
+}
+
+}  // namespace ccfp

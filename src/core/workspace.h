@@ -1,0 +1,263 @@
+#ifndef CCFP_CORE_WORKSPACE_H_
+#define CCFP_CORE_WORKSPACE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "core/intern.h"
+#include "core/interned.h"
+#include "core/tuple.h"
+
+namespace ccfp {
+
+/// A tuple slot inside a workspace: relation + index into its tuple store.
+struct WorkspaceTupleRef {
+  RelId rel = 0;
+  std::uint32_t idx = 0;
+};
+
+/// The persistent interned substrate shared by every engine that used to
+/// re-intern per call: the FD+IND chase (chase/workspace_chase.h), the
+/// EMVD chase (chase/emvd_chase.h), Armstrong build -> chase -> verify ->
+/// repair rounds (armstrong/builder.cc), the counterexample oracle
+/// (axiom/oracle.cc), and dependency mining (mine/discovery.h).
+///
+/// Where `IdDatabase` interns one immutable snapshot and rebuilds all of
+/// its projection partitions per instance, the workspace is *incrementally
+/// maintainable*:
+///
+///   * tuples can be appended at any time (heap Values are interned on
+///     first sight, id-tuples are adopted as-is); duplicates are rejected
+///     against a persistent per-relation dedup index;
+///   * value ids can be merged (the FD chase's null unification) through a
+///     dense union-find with per-id occurrence lists, so only the tuples
+///     that actually store a losing id are re-canonicalized;
+///   * every (relation, column-sequence) projection partition is cached
+///     with an invalidation contract (below): appends *extend* a cached
+///     partition over just the delta, and only a destructive change — a
+///     tuple rewritten or killed by a merge — discards it.
+///
+/// ## Partition invalidation contract
+///
+/// Each relation carries an `epoch` counter, bumped exactly when one of
+/// its tuples is rewritten or killed by `CanonicalizeTuple`. A cached
+/// partition remembers the epoch it was built under plus the prefix of
+/// tuple slots it covers:
+///   * same epoch, same size  -> served as-is (zero work);
+///   * same epoch, new tuples -> extended over the appended suffix only;
+///   * epoch changed          -> rebuilt from scratch.
+/// Appending never invalidates, so append-only workloads (the EMVD chase,
+/// mining, the oracle) pay for each partition row exactly once no matter
+/// how many rounds or probes run over it.
+///
+/// ## Staleness
+///
+/// `MergeValues` leaves the tuples that contain the losing id *stale*
+/// (their stored ids are no longer canonical) until `CanonicalizeTuple` is
+/// called on each — the chase engine drives that through its dirty
+/// worklist so a tuple touched by many merges is re-canonicalized once.
+/// Model checking (`Satisfies` / `FindViolation`) and `partition()` are
+/// only valid when no tuple is stale; every chase entry point restores
+/// that invariant before returning.
+class InternedWorkspace {
+ public:
+  /// Group id assigned to dead (merged-away) tuple slots in partitions.
+  static constexpr std::uint32_t kNoGroup = UINT32_MAX;
+
+  /// Same shape as IdRelation::Partition, over the workspace's tuple
+  /// slots. Dead slots carry kNoGroup and are not counted in any group.
+  struct Partition {
+    std::vector<std::uint32_t> group_of;
+    std::uint32_t group_count = 0;
+    /// first_of_group[g]: slot of the first (alive) tuple in group g;
+    /// ascending group id == ascending first-slot index.
+    std::vector<std::uint32_t> first_of_group;
+    std::unordered_map<IdTuple, std::uint32_t, IdTupleHash> key_to_group;
+  };
+
+  /// Substrate-level maintenance counters, exposed so tests and benches
+  /// can prove reuse (e.g. "repair round 2 extended partitions instead of
+  /// rebuilding them").
+  struct Stats {
+    std::uint64_t partitions_built = 0;     ///< built from scratch
+    std::uint64_t partitions_extended = 0;  ///< refreshed over a delta only
+    std::uint64_t partitions_reused = 0;    ///< served unchanged
+    std::uint64_t partitions_invalidated = 0;  ///< discarded (epoch change)
+    std::uint64_t tuples_appended = 0;
+    std::uint64_t tuples_killed = 0;  ///< merged onto an alive twin
+    std::uint64_t values_interned = 0;
+    std::uint64_t value_merges = 0;
+  };
+
+  explicit InternedWorkspace(SchemePtr scheme);
+
+  const DatabaseScheme& scheme() const { return *scheme_; }
+  const SchemePtr& scheme_ptr() const { return scheme_; }
+  const ValueInterner& interner() const { return interner_; }
+  const Stats& stats() const { return stats_; }
+
+  /// --- value space --------------------------------------------------------
+
+  /// Interns `v` (noting null labels so fresh nulls stay above them).
+  ValueId Intern(const Value& v);
+  /// Interns a fresh labeled null, numbered above every label seen so far.
+  ValueId InternFreshNull();
+  /// Canonical (union-find root) id of `id`.
+  ValueId Canon(ValueId id) const { return uf_.Find(id); }
+  /// Semantic representative of `id`'s class: its constant if one was
+  /// merged in, else its lowest-labeled null.
+  ValueId Rep(ValueId id) const { return uf_.Rep(id); }
+
+  /// --- tuples -------------------------------------------------------------
+
+  /// Appends `t` (ids must come from this workspace's interner). Returns
+  /// true if the tuple was new; duplicates (on raw ids) are rejected.
+  /// Registers per-id occurrences so later merges can find the tuple.
+  bool Append(RelId rel, IdTuple t);
+  /// Interns every Value of `t` and appends.
+  bool AppendTuple(RelId rel, const Tuple& t);
+  /// Appends every tuple of `db` (relations in scheme order, tuples in
+  /// insertion order — the deterministic id assignment the chase relies
+  /// on). The scheme must be the workspace's.
+  void AppendDatabase(const Database& db);
+  /// Appends only relation `rel` of `db` (the single-relation fast path:
+  /// probing one relation's FDs does not pay for interning the others).
+  void AppendRelation(const Database& db, RelId rel);
+
+  /// Number of tuple *slots* in `rel`, dead ones included.
+  std::size_t size(RelId rel) const { return rels_[rel].tuples.size(); }
+  bool alive(RelId rel, std::uint32_t idx) const {
+    return rels_[rel].alive[idx] != 0;
+  }
+  const IdTuple& tuple(RelId rel, std::uint32_t idx) const {
+    return rels_[rel].tuples[idx];
+  }
+  std::size_t AliveTuples(RelId rel) const { return rels_[rel].alive_count; }
+  /// O(1): maintained by Append / CanonicalizeTuple (the chase engines
+  /// consult it per generated tuple for their budget checks).
+  std::size_t TotalAliveTuples() const { return total_alive_; }
+
+  /// --- merging (the chase's equality-generating moves) --------------------
+
+  struct MergeResult {
+    ValueId winner = 0;   ///< structural winner (root of the merged class)
+    ValueId loser = 0;    ///< structural loser; its tuples are now stale
+    bool merged = false;  ///< false when already equal or on clash
+    bool clash = false;   ///< two distinct constants met
+  };
+
+  /// Unions the classes of `a` and `b` under the chase's merge semantics
+  /// (constant beats null, lower label wins between nulls, two constants
+  /// clash). Does NOT rewrite any tuple: every slot listed in
+  /// `occurrences(loser)` is now stale and must be passed to
+  /// `CanonicalizeTuple` (the chase engine enqueues them) before the next
+  /// partition or Satisfies call. Call `RerouteOccurrences` after reading
+  /// the list.
+  MergeResult MergeValues(ValueId a, ValueId b);
+
+  /// Tuple slots whose stored (raw) ids include `id`.
+  const std::vector<WorkspaceTupleRef>& occurrences(ValueId id) const {
+    return occurrences_[id];
+  }
+  /// Splices `loser`'s occurrence list onto `winner`'s (the merged class
+  /// keeps one list; the loser's empties).
+  void RerouteOccurrences(ValueId loser, ValueId winner);
+
+  enum class CanonOutcome : std::uint8_t {
+    kUnchanged = 0,  ///< already canonical (or dead)
+    kRewritten = 1,  ///< ids remapped in place; partitions invalidated
+    kKilled = 2,     ///< canonical form collided with an alive twin
+  };
+
+  /// Re-canonicalizes the slot's stored ids through the union-find,
+  /// re-deduplicates, and bumps the relation's epoch on any change.
+  CanonOutcome CanonicalizeTuple(RelId rel, std::uint32_t idx);
+
+  /// The canonical projection of slot (rel, idx) onto `cols` — ids mapped
+  /// through the union-find, valid even while the slot is stale.
+  IdTuple CanonicalProjection(RelId rel, std::uint32_t idx,
+                              const std::vector<AttrId>& cols) const;
+
+  /// --- partitions ---------------------------------------------------------
+
+  /// The partition of `rel` by the column sequence `cols`, maintained under
+  /// the invalidation contract above. The returned reference stays valid
+  /// across later partition() calls (node-based cache) but its contents are
+  /// refreshed by them. Requires no stale tuples.
+  const Partition& partition(RelId rel, const std::vector<AttrId>& cols) const;
+
+  /// --- model checking -----------------------------------------------------
+  /// Same semantics as IdDatabase / the legacy Value-hashing checks
+  /// (differentially tested); requires no stale tuples.
+
+  bool Satisfies(const Fd& fd) const;
+  bool Satisfies(const Ind& ind) const;
+  bool Satisfies(const Rd& rd) const;
+  bool Satisfies(const Emvd& emvd) const;
+  bool Satisfies(const Mvd& mvd) const;
+  bool Satisfies(const Dependency& dep) const;
+  bool SatisfiesAll(const std::vector<Dependency>& deps) const;
+
+  /// Violation witness with offending tuple slots (see IdViolation; slots
+  /// may skip dead indices), or nullopt if `dep` holds.
+  std::optional<IdViolation> FindViolation(const Dependency& dep) const;
+
+  /// --- export -------------------------------------------------------------
+
+  /// Converts the alive tuples to a heap-Value Database, slot order
+  /// preserved, each id printed as its class's semantic representative.
+  Database Materialize() const;
+
+  /// Hands the alive tuples (ids mapped to representatives) and the
+  /// interner over as an immutable IdDatabase — the zero-copy exit used by
+  /// Chase::RunInterned. The workspace is consumed.
+  IdDatabase ExportIdDatabase() &&;
+
+ private:
+  struct RelStore {
+    std::vector<IdTuple> tuples;
+    std::vector<std::uint8_t> alive;
+    /// Raw-id form -> owning alive slot (duplicate detection).
+    std::unordered_map<IdTuple, std::uint32_t, IdTupleHash> dedup;
+    std::uint64_t epoch = 0;  ///< bumped on rewrite/kill, never on append
+    std::size_t alive_count = 0;
+  };
+
+  struct CachedPartition {
+    std::uint64_t epoch = 0;
+    std::uint32_t covered = 0;  ///< tuple slots incorporated so far
+    Partition p;
+  };
+
+  void RegisterOccurrences(RelId rel, std::uint32_t idx, const IdTuple& t);
+  /// Incorporates slots [from, size) into `cp` (skipping dead ones).
+  void ExtendPartition(RelId rel, const std::vector<AttrId>& cols,
+                       CachedPartition& cp) const;
+  bool SatisfiesEmvdOn(RelId rel, const std::vector<AttrId>& x,
+                       const std::vector<AttrId>& y,
+                       const std::vector<AttrId>& z) const;
+  std::optional<IdViolation> FindEmvdViolation(
+      RelId rel, const std::vector<AttrId>& x, const std::vector<AttrId>& y,
+      const std::vector<AttrId>& z) const;
+
+  SchemePtr scheme_;
+  ValueInterner interner_;
+  mutable DenseUnionFind uf_;  ///< Find path-halves; logically const
+  std::vector<RelStore> rels_;
+  std::size_t total_alive_ = 0;
+  std::vector<std::vector<WorkspaceTupleRef>> occurrences_;  // by ValueId
+  /// Per relation: column sequence -> cached partition. std::map keeps
+  /// Partition references stable across inserts.
+  mutable std::vector<std::map<std::vector<AttrId>, CachedPartition>>
+      partitions_;
+  mutable Stats stats_;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_WORKSPACE_H_

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <functional>
 
-#include "core/satisfies.h"
-
 namespace ccfp {
 
 namespace {
@@ -54,12 +52,11 @@ bool LhsSubsumes(const std::vector<AttrId>& small,
 
 }  // namespace
 
-std::vector<Fd> MineFds(const Database& db, RelId rel,
+std::vector<Fd> MineFds(const InternedWorkspace& ws, RelId rel,
                         const FdMiningOptions& options) {
-  const std::size_t arity = db.scheme().relation(rel).arity();
-  // Intern once: candidates sharing a column set hit the same cached
-  // projection partition instead of re-hashing the relation per probe.
-  IdDatabase interned(db, {rel});
+  const std::size_t arity = ws.scheme().relation(rel).arity();
+  // Candidates sharing a column set hit the same cached projection
+  // partition of the workspace instead of re-hashing the relation.
   std::vector<Fd> mined;
   ForEachSortedSubset(
       arity, options.max_lhs, options.include_constants,
@@ -69,7 +66,7 @@ std::vector<Fd> MineFds(const Database& db, RelId rel,
             continue;  // trivial
           }
           Fd candidate{rel, lhs, {rhs}};
-          if (!interned.Satisfies(candidate)) continue;
+          if (!ws.Satisfies(candidate)) continue;
           mined.push_back(std::move(candidate));
         }
       });
@@ -93,15 +90,21 @@ std::vector<Fd> MineFds(const Database& db, RelId rel,
   return minimal;
 }
 
-std::vector<Ind> MineInds(const Database& db,
+std::vector<Fd> MineFds(const Database& db, RelId rel,
+                        const FdMiningOptions& options) {
+  InternedWorkspace ws(db.scheme_ptr());
+  ws.AppendRelation(db, rel);
+  return MineFds(ws, rel, options);
+}
+
+std::vector<Ind> MineInds(const InternedWorkspace& ws,
                           const IndMiningOptions& options) {
-  const DatabaseScheme& scheme = db.scheme();
-  IdDatabase interned(db);
+  const DatabaseScheme& scheme = ws.scheme();
   std::vector<Ind> mined;
   for (std::size_t width = 1; width <= options.max_width; ++width) {
     for (RelId r1 = 0; r1 < scheme.size(); ++r1) {
       if (scheme.relation(r1).arity() < width) continue;
-      if (options.skip_vacuous && db.relation(r1).empty()) continue;
+      if (options.skip_vacuous && ws.AliveTuples(r1) == 0) continue;
       for (RelId r2 = 0; r2 < scheme.size(); ++r2) {
         if (scheme.relation(r2).arity() < width) continue;
         ForEachSequence(
@@ -112,7 +115,7 @@ std::vector<Ind> MineInds(const Database& db,
                   [&](const std::vector<AttrId>& rhs) {
                     Ind candidate{r1, lhs, r2, rhs};
                     if (IsTrivial(candidate)) return;
-                    if (interned.Satisfies(candidate)) {
+                    if (ws.Satisfies(candidate)) {
                       mined.push_back(candidate);
                     }
                   });
@@ -123,21 +126,33 @@ std::vector<Ind> MineInds(const Database& db,
   return mined;
 }
 
-std::vector<Rd> MineRds(const Database& db) {
-  const DatabaseScheme& scheme = db.scheme();
-  IdDatabase interned(db);
+std::vector<Ind> MineInds(const Database& db,
+                          const IndMiningOptions& options) {
+  InternedWorkspace ws(db.scheme_ptr());
+  ws.AppendDatabase(db);
+  return MineInds(ws, options);
+}
+
+std::vector<Rd> MineRds(const InternedWorkspace& ws) {
+  const DatabaseScheme& scheme = ws.scheme();
   std::vector<Rd> mined;
   for (RelId rel = 0; rel < scheme.size(); ++rel) {
-    if (db.relation(rel).empty()) continue;  // vacuous RDs are noise
+    if (ws.AliveTuples(rel) == 0) continue;  // vacuous RDs are noise
     std::size_t arity = scheme.relation(rel).arity();
     for (AttrId a = 0; a < arity; ++a) {
       for (AttrId b = a + 1; b < arity; ++b) {
         Rd candidate{rel, {a}, {b}};
-        if (interned.Satisfies(candidate)) mined.push_back(candidate);
+        if (ws.Satisfies(candidate)) mined.push_back(candidate);
       }
     }
   }
   return mined;
+}
+
+std::vector<Rd> MineRds(const Database& db) {
+  InternedWorkspace ws(db.scheme_ptr());
+  ws.AppendDatabase(db);
+  return MineRds(ws);
 }
 
 }  // namespace ccfp

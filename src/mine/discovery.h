@@ -6,6 +6,7 @@
 
 #include "core/database.h"
 #include "core/dependency.h"
+#include "core/workspace.h"
 
 namespace ccfp {
 
@@ -15,6 +16,12 @@ namespace ccfp {
 /// (TANE-style FD discovery, SPIDER-style IND discovery) — implemented
 /// here by direct model checking against a bounded candidate universe,
 /// which is exact and adequate for design-time schemas.
+///
+/// Every miner has two entry points: a `Database` convenience overload
+/// that interns into a throwaway workspace, and an `InternedWorkspace`
+/// overload for callers probing the same data repeatedly — mining FDs,
+/// then INDs, then RDs (or re-mining after appends) over one caller-owned
+/// workspace shares every cached projection partition across the calls.
 
 struct FdMiningOptions {
   /// Maximum size of a candidate left-hand side.
@@ -30,6 +37,8 @@ struct FdMiningOptions {
 /// lhs, excluding trivial ones.
 std::vector<Fd> MineFds(const Database& db, RelId rel,
                         const FdMiningOptions& options = {});
+std::vector<Fd> MineFds(const InternedWorkspace& ws, RelId rel,
+                        const FdMiningOptions& options = {});
 
 struct IndMiningOptions {
   /// Maximum IND width to consider (beware: candidates grow like the
@@ -43,10 +52,13 @@ struct IndMiningOptions {
 /// All nontrivial INDs of width <= max_width satisfied by `db`.
 std::vector<Ind> MineInds(const Database& db,
                           const IndMiningOptions& options = {});
+std::vector<Ind> MineInds(const InternedWorkspace& ws,
+                          const IndMiningOptions& options = {});
 
 /// All nontrivial unary RDs satisfied by `db` (empty relations are skipped:
 /// their RDs hold vacuously).
 std::vector<Rd> MineRds(const Database& db);
+std::vector<Rd> MineRds(const InternedWorkspace& ws);
 
 }  // namespace ccfp
 

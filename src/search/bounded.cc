@@ -1,6 +1,7 @@
 #include "search/bounded.h"
 
 #include <algorithm>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <set>
@@ -156,31 +157,30 @@ std::uint64_t KeySpace(std::size_t domain, std::size_t width) {
 
 class FdState : public DepState {
  public:
-  FdState(const Fd& fd, std::uint64_t space, std::size_t domain,
-          const std::vector<std::uint64_t>& pow) {
-    std::vector<AttrId> pair_cols = fd.lhs;
-    pair_cols.insert(pair_cols.end(), fd.rhs.begin(), fd.rhs.end());
-    lhs_key_ = KeyTable(space, domain, fd.lhs, pow);
-    pair_key_ = KeyTable(space, domain, pair_cols, pow);
+  FdState(const Fd& fd, std::size_t domain,
+          const std::vector<std::uint32_t>& lhs_key,
+          const std::vector<std::uint32_t>& pair_key)
+      : lhs_key_(&lhs_key), pair_key_(&pair_key) {
     distinct_rhs_.assign(KeySpace(domain, fd.lhs.size()), 0);
-    pair_cnt_.assign(KeySpace(domain, pair_cols.size()), 0);
+    pair_cnt_.assign(KeySpace(domain, fd.lhs.size() + fd.rhs.size()), 0);
   }
 
   void Include(RelId, std::uint32_t code) override {
-    if (pair_cnt_[pair_key_[code]]++ == 0) {
-      if (++distinct_rhs_[lhs_key_[code]] == 2) ++violated_;
+    if (pair_cnt_[(*pair_key_)[code]]++ == 0) {
+      if (++distinct_rhs_[(*lhs_key_)[code]] == 2) ++violated_;
     }
   }
   void Exclude(RelId, std::uint32_t code) override {
-    if (--pair_cnt_[pair_key_[code]] == 0) {
-      if (--distinct_rhs_[lhs_key_[code]] == 1) --violated_;
+    if (--pair_cnt_[(*pair_key_)[code]] == 0) {
+      if (--distinct_rhs_[(*lhs_key_)[code]] == 1) --violated_;
     }
   }
   bool Satisfied() const override { return violated_ == 0; }
   bool MonotoneViolation() const override { return true; }
 
  private:
-  std::vector<std::uint32_t> lhs_key_, pair_key_;
+  const std::vector<std::uint32_t>* lhs_key_;
+  const std::vector<std::uint32_t>* pair_key_;
   std::vector<std::uint32_t> distinct_rhs_, pair_cnt_;
   std::uint64_t violated_ = 0;
 };
@@ -217,12 +217,13 @@ class RdState : public DepState {
 
 class IndState : public DepState {
  public:
-  IndState(const Ind& ind, std::uint64_t lhs_space, std::uint64_t rhs_space,
-           std::size_t domain, const std::vector<std::uint64_t>& lhs_pow,
-           const std::vector<std::uint64_t>& rhs_pow)
-      : lhs_rel_(ind.lhs_rel), rhs_rel_(ind.rhs_rel) {
-    lhs_key_ = KeyTable(lhs_space, domain, ind.lhs, lhs_pow);
-    rhs_key_ = KeyTable(rhs_space, domain, ind.rhs, rhs_pow);
+  IndState(const Ind& ind, std::size_t domain,
+           const std::vector<std::uint32_t>& lhs_key,
+           const std::vector<std::uint32_t>& rhs_key)
+      : lhs_rel_(ind.lhs_rel),
+        rhs_rel_(ind.rhs_rel),
+        lhs_key_(&lhs_key),
+        rhs_key_(&rhs_key) {
     std::uint64_t keys = KeySpace(domain, ind.width());
     lhs_cnt_.assign(keys, 0);
     rhs_cnt_.assign(keys, 0);
@@ -230,22 +231,22 @@ class IndState : public DepState {
 
   void Include(RelId rel, std::uint32_t code) override {
     if (rel == rhs_rel_) {
-      std::uint32_t k = rhs_key_[code];
+      std::uint32_t k = (*rhs_key_)[code];
       if (rhs_cnt_[k]++ == 0 && lhs_cnt_[k] > 0) --missing_;
     }
     if (rel == lhs_rel_) {
-      std::uint32_t k = lhs_key_[code];
+      std::uint32_t k = (*lhs_key_)[code];
       if (lhs_cnt_[k]++ == 0 && rhs_cnt_[k] == 0) ++missing_;
     }
   }
   void Exclude(RelId rel, std::uint32_t code) override {
     // Exact reverse order of Include.
     if (rel == lhs_rel_) {
-      std::uint32_t k = lhs_key_[code];
+      std::uint32_t k = (*lhs_key_)[code];
       if (--lhs_cnt_[k] == 0 && rhs_cnt_[k] == 0) --missing_;
     }
     if (rel == rhs_rel_) {
-      std::uint32_t k = rhs_key_[code];
+      std::uint32_t k = (*rhs_key_)[code];
       if (--rhs_cnt_[k] == 0 && lhs_cnt_[k] > 0) ++missing_;
     }
   }
@@ -253,46 +254,46 @@ class IndState : public DepState {
 
  private:
   RelId lhs_rel_, rhs_rel_;
-  std::vector<std::uint32_t> lhs_key_, rhs_key_;
+  const std::vector<std::uint32_t>* lhs_key_;
+  const std::vector<std::uint32_t>* rhs_key_;
   std::vector<std::uint32_t> lhs_cnt_, rhs_cnt_;
   std::uint64_t missing_ = 0;
 };
 
 class EmvdState : public DepState {
  public:
-  EmvdState(const std::vector<AttrId>& x, const std::vector<AttrId>& y,
-            const std::vector<AttrId>& z, std::uint64_t space,
-            std::size_t domain, const std::vector<std::uint64_t>& pow) {
-    std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
-    std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
-    std::vector<AttrId> pair_cols = xy;
-    pair_cols.insert(pair_cols.end(), xz.begin(), xz.end());
-    x_key_ = KeyTable(space, domain, x, pow);
-    xy_key_ = KeyTable(space, domain, xy, pow);
-    xz_key_ = KeyTable(space, domain, xz, pow);
-    pair_key_ = KeyTable(space, domain, pair_cols, pow);
+  EmvdState(const std::vector<AttrId>& x, const std::vector<AttrId>& xy,
+            const std::vector<AttrId>& xz, std::size_t pair_width,
+            std::size_t domain, const std::vector<std::uint32_t>& x_key,
+            const std::vector<std::uint32_t>& xy_key,
+            const std::vector<std::uint32_t>& xz_key,
+            const std::vector<std::uint32_t>& pair_key)
+      : x_key_(&x_key),
+        xy_key_(&xy_key),
+        xz_key_(&xz_key),
+        pair_key_(&pair_key) {
     ny_.assign(KeySpace(domain, x.size()), 0);
     nz_.assign(ny_.size(), 0);
     np_.assign(ny_.size(), 0);
     cnt_xy_.assign(KeySpace(domain, xy.size()), 0);
     cnt_xz_.assign(KeySpace(domain, xz.size()), 0);
-    cnt_pair_.assign(KeySpace(domain, pair_cols.size()), 0);
+    cnt_pair_.assign(KeySpace(domain, pair_width), 0);
   }
 
   void Include(RelId, std::uint32_t code) override {
-    std::uint32_t g = x_key_[code];
+    std::uint32_t g = (*x_key_)[code];
     bool bad_before = Bad(g);
-    if (cnt_xy_[xy_key_[code]]++ == 0) ++ny_[g];
-    if (cnt_xz_[xz_key_[code]]++ == 0) ++nz_[g];
-    if (cnt_pair_[pair_key_[code]]++ == 0) ++np_[g];
+    if (cnt_xy_[(*xy_key_)[code]]++ == 0) ++ny_[g];
+    if (cnt_xz_[(*xz_key_)[code]]++ == 0) ++nz_[g];
+    if (cnt_pair_[(*pair_key_)[code]]++ == 0) ++np_[g];
     violated_ += static_cast<int>(Bad(g)) - static_cast<int>(bad_before);
   }
   void Exclude(RelId, std::uint32_t code) override {
-    std::uint32_t g = x_key_[code];
+    std::uint32_t g = (*x_key_)[code];
     bool bad_before = Bad(g);
-    if (--cnt_xy_[xy_key_[code]] == 0) --ny_[g];
-    if (--cnt_xz_[xz_key_[code]] == 0) --nz_[g];
-    if (--cnt_pair_[pair_key_[code]] == 0) --np_[g];
+    if (--cnt_xy_[(*xy_key_)[code]] == 0) --ny_[g];
+    if (--cnt_xz_[(*xz_key_)[code]] == 0) --nz_[g];
+    if (--cnt_pair_[(*pair_key_)[code]] == 0) --np_[g];
     violated_ += static_cast<int>(Bad(g)) - static_cast<int>(bad_before);
   }
   bool Satisfied() const override { return violated_ == 0; }
@@ -304,7 +305,10 @@ class EmvdState : public DepState {
     return static_cast<std::uint64_t>(ny_[g]) * nz_[g] != np_[g];
   }
 
-  std::vector<std::uint32_t> x_key_, xy_key_, xz_key_, pair_key_;
+  const std::vector<std::uint32_t>* x_key_;
+  const std::vector<std::uint32_t>* xy_key_;
+  const std::vector<std::uint32_t>* xz_key_;
+  const std::vector<std::uint32_t>* pair_key_;
   std::vector<std::uint32_t> ny_, nz_, cnt_xy_, cnt_xz_, cnt_pair_;
   std::vector<std::uint64_t> np_;
   std::int64_t violated_ = 0;
@@ -384,19 +388,50 @@ class IdSpaceSearcher {
   }
 
  private:
+  /// The key table for (rel, cols): served from the caller's workspace
+  /// when one was passed (shared across dependencies *and* searches),
+  /// otherwise compiled into this search's private arena.
+  const std::vector<std::uint32_t>& Keys(RelId rel,
+                                         const std::vector<AttrId>& cols) {
+    if (options_.workspace != nullptr) {
+      return options_.workspace->KeyTable(rel, options_.domain_size, cols,
+                                          space_[rel], pow_[rel]);
+    }
+    owned_tables_.push_back(
+        KeyTable(space_[rel], options_.domain_size, cols, pow_[rel]));
+    return owned_tables_.back();
+  }
+
+  std::unique_ptr<DepState> MakeEmvdState(RelId rel,
+                                          const std::vector<AttrId>& x,
+                                          const std::vector<AttrId>& y,
+                                          const std::vector<AttrId>& z) {
+    std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
+    std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
+    std::vector<AttrId> pair_cols = xy;
+    pair_cols.insert(pair_cols.end(), xz.begin(), xz.end());
+    return std::make_unique<EmvdState>(
+        x, xy, xz, pair_cols.size(), options_.domain_size, Keys(rel, x),
+        Keys(rel, xy), Keys(rel, xz), Keys(rel, pair_cols));
+  }
+
   void AddDep(const Dependency& dep, bool is_premise) {
     std::unique_ptr<DepState> state;
     switch (dep.kind()) {
-      case DependencyKind::kFd:
-        state = std::make_unique<FdState>(dep.fd(), space_[dep.fd().rel],
-                                          options_.domain_size,
-                                          pow_[dep.fd().rel]);
+      case DependencyKind::kFd: {
+        const Fd& fd = dep.fd();
+        std::vector<AttrId> pair_cols = fd.lhs;
+        pair_cols.insert(pair_cols.end(), fd.rhs.begin(), fd.rhs.end());
+        state = std::make_unique<FdState>(fd, options_.domain_size,
+                                          Keys(fd.rel, fd.lhs),
+                                          Keys(fd.rel, pair_cols));
         break;
+      }
       case DependencyKind::kInd: {
         const Ind& ind = dep.ind();
-        state = std::make_unique<IndState>(
-            ind, space_[ind.lhs_rel], space_[ind.rhs_rel],
-            options_.domain_size, pow_[ind.lhs_rel], pow_[ind.rhs_rel]);
+        state = std::make_unique<IndState>(ind, options_.domain_size,
+                                           Keys(ind.lhs_rel, ind.lhs),
+                                           Keys(ind.rhs_rel, ind.rhs));
         break;
       }
       case DependencyKind::kRd:
@@ -406,16 +441,12 @@ class IdSpaceSearcher {
         break;
       case DependencyKind::kEmvd: {
         const Emvd& e = dep.emvd();
-        state = std::make_unique<EmvdState>(e.x, e.y, e.z, space_[e.rel],
-                                            options_.domain_size,
-                                            pow_[e.rel]);
+        state = MakeEmvdState(e.rel, e.x, e.y, e.z);
         break;
       }
       case DependencyKind::kMvd: {
         const Mvd& m = dep.mvd();
-        state = std::make_unique<EmvdState>(
-            m.x, m.y, MvdComplement(*scheme_, m), space_[m.rel],
-            options_.domain_size, pow_[m.rel]);
+        state = MakeEmvdState(m.rel, m.x, m.y, MvdComplement(*scheme_, m));
         break;
       }
     }
@@ -518,6 +549,9 @@ class IdSpaceSearcher {
   std::vector<std::uint64_t> space_;               // per rel: domain^arity
   std::vector<std::vector<std::uint64_t>> pow_;    // per rel, col: domain^col
 
+  /// Key tables compiled for this search only (no workspace passed);
+  /// deque so DepState pointers stay stable.
+  std::deque<std::vector<std::uint32_t>> owned_tables_;
   std::vector<std::unique_ptr<DepState>> states_;
   std::vector<std::vector<DepState*>> deps_by_rel_;
   std::vector<std::vector<DepState*>> monotone_by_rel_;
@@ -532,6 +566,25 @@ class IdSpaceSearcher {
 };
 
 }  // namespace
+
+const std::vector<std::uint32_t>& BoundedSearchWorkspace::KeyTable(
+    RelId rel, std::size_t domain, const std::vector<AttrId>& cols,
+    std::uint64_t space_size, const std::vector<std::uint64_t>& pow) {
+  auto [it, inserted] =
+      tables_.try_emplace(std::make_tuple(rel, domain, cols));
+  if (inserted) {
+    ++stats_.tables_built;
+    it->second = ccfp::KeyTable(space_size, domain, cols, pow);
+  } else {
+    // One workspace serves one scheme: a size mismatch means the caller
+    // shared it across schemes, which would otherwise be silent
+    // out-of-bounds indexing in the DepState counters.
+    CCFP_CHECK_MSG(it->second.size() == space_size,
+                   "BoundedSearchWorkspace reused across schemes");
+    ++stats_.tables_reused;
+  }
+  return it->second;
+}
 
 Result<BoundedSearchResult> FindCounterexample(
     SchemePtr scheme, const std::vector<Dependency>& premises,

@@ -2,7 +2,9 @@
 #define CCFP_SEARCH_BOUNDED_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "core/database.h"
@@ -10,6 +12,40 @@
 #include "util/status.h"
 
 namespace ccfp {
+
+/// Caller-owned compile cache for the id-space bounded searcher: the
+/// packed per-code projection-key tables, keyed by (relation, domain,
+/// column sequence). One search compiles a table the first time any
+/// dependency projects that relation onto those columns; every later
+/// dependency — and every later *search over the same scheme* that passes
+/// the same workspace via BoundedSearchOptions::workspace — reuses it.
+/// The k-ary closure fixpoint and the special-case probes fire hundreds
+/// of searches over one scheme, so the tables dominate setup cost there.
+/// Per-search counter state is never cached; only the immutable tables.
+class BoundedSearchWorkspace {
+ public:
+  struct Stats {
+    std::uint64_t tables_built = 0;
+    std::uint64_t tables_reused = 0;
+  };
+
+  /// The key table for projecting relation `rel`'s code space onto `cols`
+  /// under `domain`; built on first use. `space_size` and `pow` must be
+  /// the ones the searcher derived for (rel, domain) — i.e. always pass
+  /// the same scheme with the same workspace. The reference stays valid
+  /// for the workspace's lifetime.
+  const std::vector<std::uint32_t>& KeyTable(
+      RelId rel, std::size_t domain, const std::vector<AttrId>& cols,
+      std::uint64_t space_size, const std::vector<std::uint64_t>& pow);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::map<std::tuple<RelId, std::size_t, std::vector<AttrId>>,
+           std::vector<std::uint32_t>>
+      tables_;
+  Stats stats_;
+};
 
 /// Exhaustive bounded-model search: enumerate every database over the
 /// scheme whose relations each have at most `max_tuples_per_relation`
@@ -69,6 +105,10 @@ struct BoundedSearchOptions {
   /// since pruning means most complete candidates are never reached.
   std::uint64_t max_candidates = 1u << 24;
   BoundedSearchEngine engine = BoundedSearchEngine::kIdSpace;
+  /// Optional caller-owned compile cache shared across searches over the
+  /// same scheme (see BoundedSearchWorkspace). Null: each search compiles
+  /// its own tables. Not owned; must outlive the search.
+  BoundedSearchWorkspace* workspace = nullptr;
 };
 
 struct BoundedSearchResult {

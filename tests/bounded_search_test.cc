@@ -31,6 +31,37 @@ TEST_F(BoundedSearchTest, FindsFdCounterexample) {
   EXPECT_FALSE(Satisfies(db, Dep("R: B -> A")));
 }
 
+TEST_F(BoundedSearchTest, SharedWorkspaceReusesCompiledTables) {
+  // Two searches over the same scheme through one caller-owned workspace:
+  // identical verdicts, and the second search compiles nothing new where
+  // the first already projected the same (relation, columns).
+  BoundedSearchWorkspace workspace;
+  BoundedSearchOptions options;
+  options.workspace = &workspace;
+  Result<BoundedSearchResult> first = FindCounterexample(
+      scheme_, {Dep("R: A -> B")}, Dep("R: B -> A"), options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(first->counterexample.has_value());
+  std::uint64_t built_after_first = workspace.stats().tables_built;
+  EXPECT_GT(built_after_first, 0u);
+
+  // Swapped roles reuse both FD tables (lhs/pair column sets coincide
+  // with the first search's), so no new table is compiled.
+  Result<BoundedSearchResult> second = FindCounterexample(
+      scheme_, {Dep("R: B -> A")}, Dep("R: A -> B"), options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ASSERT_TRUE(second->counterexample.has_value());
+  EXPECT_GT(workspace.stats().tables_reused, 0u);
+
+  // And the workspace must not change what is found.
+  Result<BoundedSearchResult> plain = FindCounterexample(
+      scheme_, {Dep("R: A -> B")}, Dep("R: B -> A"));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(plain->counterexample.has_value());
+  EXPECT_EQ(plain->candidates_tested, first->candidates_tested);
+  EXPECT_TRUE(*plain->counterexample == *first->counterexample);
+}
+
 TEST_F(BoundedSearchTest, ExhaustsOnActualImplication) {
   Result<BoundedSearchResult> result = FindCounterexample(
       scheme_, {Dep("R: A -> B")}, Dep("R: A -> B"));

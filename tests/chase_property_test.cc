@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "chase/chase.h"
+#include "chase/workspace_chase.h"
 #include "core/satisfies.h"
 #include "interact/unary_finite.h"
 #include "search/bounded.h"
@@ -254,6 +255,88 @@ TEST_P(ChasePropertyTest, ChaseImpliesAgreesAcrossEngines) {
         << target.ToString(*instance.scheme);
     if (!via_inc.ok()) continue;
     EXPECT_EQ(*via_inc, *via_naive) << target.ToString(*instance.scheme);
+  }
+}
+
+TEST_P(ChasePropertyTest, ResumingAfterBudgetExhaustionReachesAModel) {
+  // Drip-feed the step budget: run WorkspaceChase with a tiny per-call
+  // budget, re-running on ResourceExhausted until it reports a fixpoint.
+  // This pins the resume contract — an exhausted return must leave the
+  // worklists (dirty queue, IND dirty lists, cursors) in a state a later
+  // Run can pick up without losing merges or probes. A lost merge leaves
+  // stale tuples no worklist entry ever revisits, and the "fixpoint" then
+  // fails to satisfy Sigma — which is exactly what we check. (Literal
+  // database equality with the one-shot engine is NOT required: the
+  // interruption point legitimately reorders FD-drain vs IND-pass work,
+  // so the fixpoints agree only up to null renaming.)
+  AcyclicInstance instance = MakeAcyclic(GetParam(), 3, 3, false);
+  Database seed(instance.scheme);
+  SplitMix64 rng(GetParam() * 97 + 3);
+  std::uint64_t next_null = 1;
+  for (RelId rel = 0; rel < instance.scheme->size(); ++rel) {
+    for (int i = 0; i < 3; ++i) {
+      Tuple t;
+      for (std::size_t a = 0; a < 3; ++a) {
+        // Occasional shared nulls so FD merges actually fire.
+        if (rng.Chance(1, 3) && next_null > 1) {
+          t.push_back(Value::Null(1 + rng.Below(next_null - 1)));
+        } else {
+          t.push_back(Value::Null(next_null++));
+        }
+      }
+      seed.Insert(rel, std::move(t));
+    }
+  }
+
+  Chase chase(instance.scheme, instance.fds, instance.inds);
+  Result<ChaseResult> one_shot = chase.Run(seed);
+  ASSERT_TRUE(one_shot.ok()) << one_shot.status();
+  ASSERT_EQ(one_shot->outcome, ChaseOutcome::kFixpoint);
+
+  InternedWorkspace ws(instance.scheme);
+  ws.AppendDatabase(seed);
+  WorkspaceChase chaser(&ws, instance.fds, instance.inds);
+  ChaseOptions drip;
+  drip.max_steps = 2;
+  int runs = 0;
+  while (true) {
+    ASSERT_LT(runs++, 10000) << "drip-fed chase failed to converge";
+    Result<WorkspaceChaseStats> stats = chaser.Run(drip);
+    if (stats.ok()) {
+      ASSERT_EQ(stats->outcome, ChaseOutcome::kFixpoint);
+      break;
+    }
+    ASSERT_EQ(stats.status().code(), StatusCode::kResourceExhausted)
+        << stats.status();
+  }
+  // The resumed fixpoint must be a genuine Sigma-model, checked both on
+  // the workspace (cached partitions over canonical ids — stale tuples
+  // would poison these) and independently on the materialized heap
+  // database through the legacy checker.
+  Database materialized = ws.Materialize();
+  SatisfiesOptions legacy;
+  legacy.engine = SatisfiesEngine::kLegacy;
+  for (const Fd& fd : instance.fds) {
+    EXPECT_TRUE(ws.Satisfies(fd))
+        << Dependency(fd).ToString(*instance.scheme) << " after " << runs
+        << " drip-fed runs";
+    EXPECT_TRUE(Satisfies(materialized, Dependency(fd), legacy))
+        << Dependency(fd).ToString(*instance.scheme);
+  }
+  for (const Ind& ind : instance.inds) {
+    EXPECT_TRUE(ws.Satisfies(ind))
+        << Dependency(ind).ToString(*instance.scheme) << " after " << runs
+        << " drip-fed runs";
+    EXPECT_TRUE(Satisfies(materialized, Dependency(ind), legacy))
+        << Dependency(ind).ToString(*instance.scheme);
+  }
+  // And it still contains everything the one-shot fixpoint derived from
+  // the same seed, size-wise within the renaming: both are finite chase
+  // fixpoints of (seed, Sigma), so neither can be empty where the other
+  // is populated.
+  for (RelId rel = 0; rel < instance.scheme->size(); ++rel) {
+    EXPECT_EQ(materialized.relation(rel).empty(),
+              one_shot->db.relation(rel).empty());
   }
 }
 

@@ -144,6 +144,23 @@ TEST_F(MineTest, MinedDependenciesHoldOnRandomDatabases) {
   }
 }
 
+TEST_F(MineTest, WorkspaceOverloadsMatchAndReusePartitions) {
+  Database db = Db("R(1, 10, 5)\nR(2, 20, 5)\nR(3, 20, 5)\nS(10, 1)");
+  InternedWorkspace ws(scheme_);
+  ws.AppendDatabase(db);
+  // Same results as the Database overloads...
+  EXPECT_EQ(MineFds(ws, 0), MineFds(db, 0));
+  IndMiningOptions ind_options;
+  ind_options.max_width = 2;
+  EXPECT_EQ(MineInds(ws, ind_options), MineInds(db, ind_options));
+  EXPECT_EQ(MineRds(ws), MineRds(db));
+  // ...with all three sweeps sharing one workspace: nothing was interned
+  // twice, and repeated probes of a column set reused its partition.
+  EXPECT_EQ(ws.stats().tuples_appended, db.TotalTuples());
+  EXPECT_GT(ws.stats().partitions_reused, 0u);
+  EXPECT_EQ(ws.stats().partitions_invalidated, 0u);
+}
+
 // An RD is strictly stronger than its FD+IND consequences: separating
 // database (the paper: nontrivial RDs are not equivalent to FD+IND sets).
 TEST_F(MineTest, RdStrictlyStrongerThanConsequences) {
