@@ -1,13 +1,15 @@
 // The Section 4 story: FDs and INDs interact. Propositions 4.1-4.3 derive
 // new FDs, INDs, and repeating dependencies; Theorem 4.4 separates finite
-// from unrestricted implication.
+// from unrestricted implication. The ImplicationSolver façade surfaces all
+// of it through one entry point: the staged mixed pipeline re-derives the
+// propositions (with stage-by-stage reports), and the semantics option
+// exhibits the Theorem 4.4 split on the unary fragment.
 #include <iostream>
 
-#include "chase/chase.h"
 #include "constructions/theorem44.h"
 #include "core/satisfies.h"
-#include "interact/finite_vs_unrestricted.h"
 #include "interact/rules.h"
+#include "solve/solver.h"
 
 int main() {
   using namespace ccfp;
@@ -24,52 +26,65 @@ int main() {
             << "\n  " << Dependency(ind_xz).ToString(*scheme) << "\n  "
             << Dependency(fd).ToString(*scheme) << "\n\n";
 
-  // Proposition 4.1: pull the FD back through the IND.
+  // Propositions 4.1-4.3, applied syntactically.
   Fd pullback = ApplyPullback(*scheme, ind_xy, fd).value();
   std::cout << "Prop 4.1 (pullback):   "
             << Dependency(pullback).ToString(*scheme) << "\n";
-
-  // Proposition 4.2: collect the two INDs into a wider one.
   Ind collected = ApplyCollection(*scheme, ind_xy, ind_xz, fd).value();
   std::cout << "Prop 4.2 (collection): "
             << Dependency(collected).ToString(*scheme) << "\n";
-
-  // Proposition 4.3: the degenerate case yields a repeating dependency —
-  // a sentence NOT expressible by FDs and INDs.
   Rd rd = DeriveRd(*scheme, ind_xy, ind_xz_same, fd).value();
   std::cout << "Prop 4.3 (repeating):  " << Dependency(rd).ToString(*scheme)
             << "   [with both INDs sharing the right-hand side]\n\n";
 
-  // All three re-derived semantically by the chase.
+  // All three re-derived semantically through the façade. Each query is a
+  // mixed-fragment instance, so the solver runs its staged pipeline:
+  // sound interaction rules first, then the chase proof — the stage
+  // reports show which stage was decisive.
+  ImplicationSolver solver(
+      scheme, {Dependency(fd), Dependency(ind_xy), Dependency(ind_xz)});
   for (const Dependency& target :
        {Dependency(pullback), Dependency(collected)}) {
-    Result<bool> implied = ChaseImplies(
-        scheme, {fd}, {ind_xy, ind_xz}, target);
-    std::cout << "chase confirms " << target.ToString(*scheme) << ": "
-              << (implied.ok() && *implied ? "implied" : "NOT implied")
-              << "\n";
+    Verdict verdict = solver.Solve(target).value();
+    std::cout << "solver on " << target.ToString(*scheme) << ":\n"
+              << verdict.ToString(*scheme) << "\n\n";
   }
-  Result<bool> rd_implied =
-      ChaseImplies(scheme, {fd}, {ind_xy, ind_xz_same}, Dependency(rd));
-  std::cout << "chase confirms " << Dependency(rd).ToString(*scheme) << ": "
-            << (rd_implied.ok() && *rd_implied ? "implied" : "NOT implied")
-            << "\n\n";
+  ImplicationSolver rd_solver(
+      scheme,
+      {Dependency(fd), Dependency(ind_xy), Dependency(ind_xz_same)});
+  Verdict rd_verdict = rd_solver.Solve(Dependency(rd)).value();
+  std::cout << "solver on " << Dependency(rd).ToString(*scheme) << ":\n"
+            << rd_verdict.ToString(*scheme) << "\n\n";
 
-  // Theorem 4.4: finite and unrestricted implication differ.
+  // Theorem 4.4: finite and unrestricted implication differ. The gadget
+  // is unary, so BOTH semantics have exact engines — ask the same solver
+  // question twice, varying only the semantics option.
   Theorem44Gadget g = MakeTheorem44Gadget();
   std::cout << "Theorem 4.4 gadget: Sigma = { "
             << Dependency(g.fd).ToString(*g.scheme) << " ;  "
             << Dependency(g.ind).ToString(*g.scheme) << " }\n";
+  std::vector<Dependency> gadget_sigma = {Dependency(g.fd),
+                                          Dependency(g.ind)};
   for (const Dependency& target :
        {Dependency(g.ind_conclusion), Dependency(g.fd_conclusion)}) {
-    FiniteVsUnrestricted verdict =
-        CompareImplication(g.scheme, {g.fd}, {g.ind}, target);
+    SolveOptions finite_opts;
+    finite_opts.semantics = ImplicationSemantics::kFinite;
+    Verdict finite =
+        SolveImplication(g.scheme, gadget_sigma, target, Budget(),
+                         finite_opts)
+            .value();
+    Verdict unrestricted =
+        SolveImplication(g.scheme, gadget_sigma, target).value();
     std::cout << "  " << target.ToString(*g.scheme)
               << "\n    finite:       "
-              << ImplicationVerdictToString(verdict.finite) << "  ["
-              << verdict.finite_engine << "]\n    unrestricted: "
-              << ImplicationVerdictToString(verdict.unrestricted) << "  ["
-              << verdict.unrestricted_engine << "]\n";
+              << ImplicationVerdictToString(finite.outcome) << "  ["
+              << finite.engine << "]\n    unrestricted: "
+              << ImplicationVerdictToString(unrestricted.outcome) << "  ["
+              << unrestricted.engine << "]\n";
+    if (!unrestricted.stages.empty() &&
+        !unrestricted.stages.front().note.empty()) {
+      std::cout << "    note: " << unrestricted.stages.front().note << "\n";
+    }
   }
 
   std::cout << "\nWhy no finite counterexample exists: every finite prefix "

@@ -1,13 +1,15 @@
 // Quickstart: model the paper's running example — "every manager is an
 // employee of the department they manage" — check a database against the
-// constraints, and ask the implication engine what else must hold.
+// constraints, then ask the ONE implication front door, ImplicationSolver,
+// what else must hold. The solver classifies each query's fragment
+// (pure-FD / pure-IND / unary / mixed), routes it to the right engine, and
+// returns a three-valued Verdict with checkable evidence.
 #include <cstdio>
 #include <iostream>
 
 #include "core/parser.h"
 #include "core/satisfies.h"
-#include "fd/closure.h"
-#include "ind/implication.h"
+#include "solve/solver.h"
 
 int main() {
   using namespace ccfp;
@@ -48,32 +50,36 @@ EMP("Galois", "Analysis", 90)
   auto violation = FindViolation(bad, constraints[0]);
   std::cout << "\nBroken database: " << violation->description << "\n";
 
-  // 5. Implication: what do the declared INDs entail?
-  std::vector<Ind> inds;
-  for (const Dependency& dep : constraints) {
-    if (dep.is_ind()) inds.push_back(dep.ind());
-  }
-  IndImplication engine(scheme, inds);
-  Ind query = MakeInd(*scheme, "MGR", {"NAME"}, "EMP", {"NAME"});
-  IndDecisionOptions options;
-  options.want_proof = true;
-  IndDecision decision = engine.Decide(query, options).value();
-  std::cout << "\nDoes every manager name appear as an employee name?\n  "
-            << Dependency(query).ToString(*scheme) << " : "
-            << (decision.implied ? "implied" : "not implied") << "\n";
-  if (decision.proof.has_value()) {
-    std::cout << "Proof (IND1/IND2/IND3 system of the paper):\n"
-              << decision.proof->ToString();
-  }
+  // 5. Implication through the façade: one solver per constraint set, one
+  // Solve call per query, one Budget vocabulary for every engine behind
+  // it. The solver routes each query by fragment.
+  ImplicationSolver solver(scheme, constraints);
+  Budget budget;  // steps / tuples / expressions, all defaulted
 
-  // 6. FD reasoning on the employee relation.
-  std::vector<Fd> fds;
-  for (const Dependency& dep : constraints) {
-    if (dep.is_fd()) fds.push_back(dep.fd());
-  }
+  // A mixed-fragment query (IND target, FD+IND sigma): does every manager
+  // name appear as an employee name?
+  Ind ind_query = MakeInd(*scheme, "MGR", {"NAME"}, "EMP", {"NAME"});
+  Verdict ind_verdict = solver.Solve(Dependency(ind_query), budget).value();
+  std::cout << "\n" << Dependency(ind_query).ToString(*scheme) << "\n"
+            << ind_verdict.ToString(*scheme) << "\n";
+
+  // An FD query on the employee relation. Sigma mixes FDs and INDs, so
+  // this routes through the staged pipeline too; the pure-FD fast path
+  // would fire if sigma held only FDs.
   Fd fd_query = MakeFd(*scheme, "EMP", {"NAME"}, {"SALARY"});
-  std::cout << "\nEMP: NAME -> SALARY is "
-            << (FdImplies(*scheme, fds, fd_query) ? "implied" : "not implied")
-            << " by the declared FDs.\n";
+  Verdict fd_verdict = solver.Solve(Dependency(fd_query), budget).value();
+  std::cout << "\n" << Dependency(fd_query).ToString(*scheme) << "\n"
+            << fd_verdict.ToString(*scheme) << "\n";
+
+  // A non-consequence: the verdict comes back kNotImplied with a concrete
+  // counterexample database, already verified by Satisfies.
+  Ind bogus = MakeInd(*scheme, "EMP", {"NAME"}, "MGR", {"NAME"});
+  Verdict bogus_verdict = solver.Solve(Dependency(bogus), budget).value();
+  std::cout << "\n" << Dependency(bogus).ToString(*scheme) << "\n"
+            << bogus_verdict.ToString(*scheme) << "\n";
+  if (bogus_verdict.counterexample.has_value()) {
+    std::cout << "Counterexample database:\n"
+              << bogus_verdict.counterexample->ToString();
+  }
   return 0;
 }

@@ -57,7 +57,7 @@ AUDIT[ORDER_ID, CUST_ID, ITEM_ID] <= ORDERS[ORDER_ID, CUST_ID, ITEM_ID]
           .ind();
   std::cout << "\nNot derived: "
             << Dependency(not_derived).ToString(*scheme) << " -> "
-            << (engine.Implies(not_derived) ? "implied" : "not implied")
+            << (*engine.Implies(not_derived) ? "implied" : "not implied")
             << "\n";
 
   // The Rule (*) construction (Theorem 3.1) double-checks and also yields

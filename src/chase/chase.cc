@@ -224,10 +224,8 @@ Result<ChaseResult> Chase::RunNaive(Database initial,
   return result;
 }
 
-Result<bool> ChaseImplies(SchemePtr scheme, const std::vector<Fd>& fds,
-                          const std::vector<Ind>& inds,
-                          const Dependency& target,
-                          const ChaseOptions& options) {
+Result<Database> MakeCanonicalSeed(SchemePtr scheme,
+                                   const Dependency& target) {
   CCFP_RETURN_NOT_OK(Validate(*scheme, target));
   Database seed(scheme);
   std::uint64_t next_null = 1;
@@ -268,7 +266,14 @@ Result<bool> ChaseImplies(SchemePtr scheme, const std::vector<Fd>& fds,
       return Status::Unimplemented(
           "ChaseImplies supports FD, IND, and RD targets");
   }
+  return seed;
+}
 
+Result<bool> ChaseImplies(SchemePtr scheme, const std::vector<Fd>& fds,
+                          const std::vector<Ind>& inds,
+                          const Dependency& target,
+                          const ChaseOptions& options) {
+  CCFP_ASSIGN_OR_RETURN(Database seed, MakeCanonicalSeed(scheme, target));
   Chase chase(scheme, fds, inds);
   CCFP_ASSIGN_OR_RETURN(InternedChaseResult result,
                         chase.RunInterned(std::move(seed), options));
@@ -281,6 +286,60 @@ Result<bool> ChaseImplies(SchemePtr scheme, const std::vector<Fd>& fds,
   // it iff Sigma implies the target. The fixpoint is already interned, so
   // the check is pure integer probing.
   return result.db.Satisfies(target);
+}
+
+Result<ChaseImplication> ChaseImplies(SchemePtr scheme,
+                                      const std::vector<Fd>& fds,
+                                      const std::vector<Ind>& inds,
+                                      const Dependency& target,
+                                      const Budget& budget,
+                                      ChaseEngine engine) {
+  CCFP_ASSIGN_OR_RETURN(Database seed, MakeCanonicalSeed(scheme, target));
+  Chase chase(scheme, fds, inds);
+  ChaseOptions options = ChaseOptions::FromBudget(budget, engine);
+  Result<InternedChaseResult> run =
+      chase.RunInterned(std::move(seed), options);
+  ChaseImplication out;
+  if (!run.ok()) {
+    if (run.status().code() != StatusCode::kResourceExhausted) {
+      return run.status();
+    }
+    // Budget exhaustion is the kUnknown verdict, not an error. The
+    // engine's counters are lost on the error path, so charge the full
+    // allowance on both metered axes (the convention every solver stage
+    // follows: exhaustion consumed the whole slice, as an upper bound).
+    out.used.steps = budget.steps;
+    out.used.tuples = budget.tuples;
+    return out;
+  }
+  if (run->outcome == ChaseOutcome::kFailed) {
+    return Status::Internal("chase failed from an all-null seed");
+  }
+  out.fd_merges = run->fd_merges;
+  out.ind_tuples = run->ind_tuples;
+  out.steps = run->steps;
+  out.used.steps = run->steps;
+  out.used.tuples = run->ind_tuples;
+  if (run->db.Satisfies(target)) {
+    out.verdict = ImplicationVerdict::kImplied;
+    return out;
+  }
+  // The fixpoint refutes the target; re-check it against sigma in
+  // id-space before handing it out as evidence (a fixpoint violating its
+  // own sigma would be an engine bug, not a counterexample).
+  for (const Fd& fd : fds) {
+    if (!run->db.Satisfies(fd)) {
+      return Status::Internal("chase fixpoint violates a sigma FD");
+    }
+  }
+  for (const Ind& ind : inds) {
+    if (!run->db.Satisfies(ind)) {
+      return Status::Internal("chase fixpoint violates a sigma IND");
+    }
+  }
+  out.verdict = ImplicationVerdict::kNotImplied;
+  out.counterexample = run->db.Materialize();
+  return out;
 }
 
 }  // namespace ccfp

@@ -4,9 +4,13 @@
 #include <cstdint>
 #include <vector>
 
+#include <optional>
+
 #include "core/database.h"
 #include "core/dependency.h"
 #include "core/interned.h"
+#include "core/verdict.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace ccfp {
@@ -37,6 +41,17 @@ struct ChaseOptions {
   std::uint64_t max_steps = 1u << 20;
   std::uint64_t max_tuples = 1u << 18;
   ChaseEngine engine = ChaseEngine::kIncremental;
+
+  /// Maps the shared Budget vocabulary onto the chase's knobs
+  /// (steps -> max_steps, tuples -> max_tuples).
+  static ChaseOptions FromBudget(const Budget& budget,
+                                 ChaseEngine engine = ChaseEngine::kIncremental) {
+    ChaseOptions options;
+    options.max_steps = budget.steps;
+    options.max_tuples = budget.tuples;
+    options.engine = engine;
+    return options;
+  }
 };
 
 enum class ChaseOutcome : std::uint8_t {
@@ -102,19 +117,59 @@ class Chase {
   std::vector<Ind> inds_;
 };
 
+/// The canonical (universal-model) seed database for an implication query
+/// on `target`:
+///   * FD R: X -> Y  — two tuples agreeing (same nulls) on X;
+///   * IND R[X] <= S[Y] — one all-fresh tuple in R;
+///   * RD R[X = Y] — one all-fresh tuple in R.
+/// Unimplemented for EMVD/MVD targets. Exposed so budget-staged drivers
+/// (solve/solver.h) can seed their own workspace and chase resumably.
+Result<Database> MakeCanonicalSeed(SchemePtr scheme,
+                                   const Dependency& target);
+
 /// Semi-decision of unrestricted implication Sigma |= target for FD+IND
 /// Sigma and an FD / IND / RD target, by chasing the canonical database of
-/// the target (the standard universal-model argument):
-///   * FD R: X -> Y  — seed two tuples agreeing (same nulls) on X;
-///   * IND R[X] <= S[Y] — seed one all-fresh tuple in R;
-///   * RD R[X = Y] — seed one all-fresh tuple in R.
-/// If the chase reaches a fixpoint, the answer is exact: target holds in
-/// the chased database iff Sigma |= target. Budget exhaustion returns
+/// the target (the standard universal-model argument). If the chase
+/// reaches a fixpoint, the answer is exact: target holds in the chased
+/// database iff Sigma |= target. Budget exhaustion returns
 /// ResourceExhausted (unknown) — unavoidable, by undecidability.
+///
+/// Deprecated entry point: prefer the Budget overload below (three-valued,
+/// with evidence) or ImplicationSolver::Solve for fragment routing.
 Result<bool> ChaseImplies(SchemePtr scheme, const std::vector<Fd>& fds,
                           const std::vector<Ind>& inds,
                           const Dependency& target,
                           const ChaseOptions& options = {});
+
+/// Verdict-vocabulary outcome of a chase-based implication query.
+struct ChaseImplication {
+  /// kUnknown iff the chase exhausted its budget before a fixpoint.
+  ImplicationVerdict verdict = ImplicationVerdict::kUnknown;
+  /// Chase counters — the "proof trace" of a kImplied verdict (the
+  /// universal-model argument: target holds in the chased fixpoint).
+  std::uint64_t fd_merges = 0;
+  std::uint64_t ind_tuples = 0;
+  std::uint64_t steps = 0;
+  /// The chased fixpoint when kNotImplied: a concrete finite database
+  /// satisfying Sigma (re-checked in id-space before it is attached) and
+  /// violating the target.
+  std::optional<Database> counterexample;
+  /// Budget consumed (steps + tuples generated). On a kUnknown verdict
+  /// the engine's exact counters are lost, so the full allowance is
+  /// charged on both axes (an upper bound — the shared convention for
+  /// exhausted stages).
+  BudgetUse used;
+};
+
+/// Budget-vocabulary ChaseImplies: never errors on exhaustion (that is the
+/// kUnknown verdict); error statuses are reserved for invalid inputs.
+Result<ChaseImplication> ChaseImplies(SchemePtr scheme,
+                                      const std::vector<Fd>& fds,
+                                      const std::vector<Ind>& inds,
+                                      const Dependency& target,
+                                      const Budget& budget,
+                                      ChaseEngine engine =
+                                          ChaseEngine::kIncremental);
 
 }  // namespace ccfp
 

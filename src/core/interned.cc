@@ -4,11 +4,31 @@
 #include <set>
 #include <unordered_set>
 
+#include "core/model_check.h"
 #include "util/check.h"
 
 namespace ccfp {
 
 namespace {
+
+/// Partition provider over the immutable snapshot (every slot alive); the
+/// shared id-space checks in core/model_check.h run on it.
+struct IdDatabaseProvider {
+  const IdDatabase& db;
+
+  std::uint32_t SlotCount(RelId rel) const {
+    return static_cast<std::uint32_t>(db.relation(rel).size());
+  }
+  std::size_t AliveCount(RelId rel) const { return db.relation(rel).size(); }
+  bool Alive(RelId, std::uint32_t) const { return true; }
+  const IdTuple& Slot(RelId rel, std::uint32_t idx) const {
+    return db.relation(rel).tuple(idx);
+  }
+  const IdRelation::Partition& Partition(
+      RelId rel, const std::vector<AttrId>& cols) const {
+    return db.relation(rel).partition(cols);
+  }
+};
 
 }  // namespace
 
@@ -77,114 +97,31 @@ std::size_t IdDatabase::TotalTuples() const {
 }
 
 bool IdDatabase::Satisfies(const Fd& fd) const {
-  const IdRelation& r = relations_[fd.rel];
-  if (r.empty()) return true;
-  const IdRelation::Partition& lhs = r.partition(fd.lhs);
-  const IdRelation::Partition& rhs = r.partition(fd.rhs);
-  // The FD holds iff the lhs partition refines the rhs partition.
-  std::vector<std::uint32_t> seen(lhs.group_count, UINT32_MAX);
-  for (std::uint32_t i = 0; i < r.size(); ++i) {
-    std::uint32_t g = lhs.group_of[i];
-    std::uint32_t h = rhs.group_of[i];
-    if (seen[g] == UINT32_MAX) {
-      seen[g] = h;
-    } else if (seen[g] != h) {
-      return false;
-    }
-  }
-  return true;
+  return model_check::SatisfiesFd(IdDatabaseProvider{*this}, fd);
 }
 
 bool IdDatabase::Satisfies(const Ind& ind) const {
-  const IdRelation& lhs = relations_[ind.lhs_rel];
-  if (lhs.empty()) return true;
-  const IdRelation::Partition& lhs_p = lhs.partition(ind.lhs);
-  const IdRelation::Partition& rhs_p =
-      relations_[ind.rhs_rel].partition(ind.rhs);
-  IdTuple key;
-  key.reserve(ind.lhs.size());
-  for (std::uint32_t g = 0; g < lhs_p.group_count; ++g) {
-    const IdTuple& t = lhs.tuple(lhs_p.first_of_group[g]);
-    key.clear();
-    for (AttrId c : ind.lhs) key.push_back(t[c]);
-    if (rhs_p.key_to_group.count(key) == 0) return false;
-  }
-  return true;
+  return model_check::SatisfiesInd(IdDatabaseProvider{*this}, ind);
 }
 
 bool IdDatabase::Satisfies(const Rd& rd) const {
-  const IdRelation& r = relations_[rd.rel];
-  for (const IdTuple& t : r.tuples()) {
-    for (std::size_t i = 0; i < rd.lhs.size(); ++i) {
-      if (t[rd.lhs[i]] != t[rd.rhs[i]]) return false;
-    }
-  }
-  return true;
-}
-
-bool IdDatabase::SatisfiesEmvdOn(RelId rel, const std::vector<AttrId>& x,
-                                 const std::vector<AttrId>& y,
-                                 const std::vector<AttrId>& z) const {
-  const IdRelation& r = relations_[rel];
-  if (r.empty()) return true;
-  std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
-  std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
-  const IdRelation::Partition& x_p = r.partition(x);
-  const IdRelation::Partition& xy_p = r.partition(xy);
-  const IdRelation::Partition& xz_p = r.partition(xz);
-  // Per X-group distinct XY / XZ / (XY, XZ) counts. XY refines X, so an XY
-  // group belongs to exactly one X group (likewise XZ and pairs) — the
-  // group obeys the EMVD iff pairs == xy_distinct * xz_distinct.
-  std::vector<std::uint32_t> ny(x_p.group_count, 0);
-  std::vector<std::uint32_t> nz(x_p.group_count, 0);
-  std::vector<std::uint64_t> np(x_p.group_count, 0);
-  std::vector<std::uint8_t> seen_xy(xy_p.group_count, 0);
-  std::vector<std::uint8_t> seen_xz(xz_p.group_count, 0);
-  std::unordered_set<std::uint64_t> pairs;
-  pairs.reserve(r.size());
-  for (std::uint32_t i = 0; i < r.size(); ++i) {
-    std::uint32_t g = x_p.group_of[i];
-    std::uint32_t gy = xy_p.group_of[i];
-    std::uint32_t gz = xz_p.group_of[i];
-    if (!seen_xy[gy]) {
-      seen_xy[gy] = 1;
-      ++ny[g];
-    }
-    if (!seen_xz[gz]) {
-      seen_xz[gz] = 1;
-      ++nz[g];
-    }
-    if (pairs.insert(PackIdPair(gy, gz)).second) ++np[g];
-  }
-  for (std::uint32_t g = 0; g < x_p.group_count; ++g) {
-    if (static_cast<std::uint64_t>(ny[g]) * nz[g] != np[g]) return false;
-  }
-  return true;
+  return model_check::SatisfiesRd(IdDatabaseProvider{*this}, rd);
 }
 
 bool IdDatabase::Satisfies(const Emvd& emvd) const {
-  return SatisfiesEmvdOn(emvd.rel, emvd.x, emvd.y, emvd.z);
+  return model_check::SatisfiesEmvdOn(IdDatabaseProvider{*this}, emvd.rel,
+                                      emvd.x, emvd.y, emvd.z);
 }
 
 bool IdDatabase::Satisfies(const Mvd& mvd) const {
-  return SatisfiesEmvdOn(mvd.rel, mvd.x, mvd.y,
-                         MvdComplement(*scheme_, mvd));
+  return model_check::SatisfiesEmvdOn(IdDatabaseProvider{*this}, mvd.rel,
+                                      mvd.x, mvd.y,
+                                      MvdComplement(*scheme_, mvd));
 }
 
 bool IdDatabase::Satisfies(const Dependency& dep) const {
-  switch (dep.kind()) {
-    case DependencyKind::kFd:
-      return Satisfies(dep.fd());
-    case DependencyKind::kInd:
-      return Satisfies(dep.ind());
-    case DependencyKind::kRd:
-      return Satisfies(dep.rd());
-    case DependencyKind::kEmvd:
-      return Satisfies(dep.emvd());
-    case DependencyKind::kMvd:
-      return Satisfies(dep.mvd());
-  }
-  return false;
+  return model_check::SatisfiesDependency(IdDatabaseProvider{*this},
+                                          *scheme_, dep);
 }
 
 bool IdDatabase::SatisfiesAll(const std::vector<Dependency>& deps) const {
@@ -194,94 +131,10 @@ bool IdDatabase::SatisfiesAll(const std::vector<Dependency>& deps) const {
   return true;
 }
 
-std::optional<IdViolation> IdDatabase::FindEmvdViolation(
-    RelId rel, const std::vector<AttrId>& x, const std::vector<AttrId>& y,
-    const std::vector<AttrId>& z) const {
-  if (SatisfiesEmvdOn(rel, x, y, z)) return std::nullopt;
-  const IdRelation& r = relations_[rel];
-  std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
-  std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
-  const IdRelation::Partition& x_p = r.partition(x);
-  const IdRelation::Partition& xy_p = r.partition(xy);
-  const IdRelation::Partition& xz_p = r.partition(xz);
-  std::unordered_set<std::uint64_t> pairs;
-  for (std::uint32_t i = 0; i < r.size(); ++i) {
-    pairs.insert(PackIdPair(xy_p.group_of[i], xz_p.group_of[i]));
-  }
-  // Diagnostics path only: quadratic scan for the first same-group pair
-  // whose (XY, XZ) combination has no witness tuple.
-  for (std::uint32_t i = 0; i < r.size(); ++i) {
-    for (std::uint32_t j = 0; j < r.size(); ++j) {
-      if (x_p.group_of[i] != x_p.group_of[j]) continue;
-      if (pairs.count(PackIdPair(xy_p.group_of[i], xz_p.group_of[j])) == 0) {
-        return IdViolation{rel, {i, j}};
-      }
-    }
-  }
-  return IdViolation{rel, {}};  // unreachable if Satisfies was false
-}
-
 std::optional<IdViolation> IdDatabase::FindViolation(
     const Dependency& dep) const {
-  switch (dep.kind()) {
-    case DependencyKind::kFd: {
-      const Fd& fd = dep.fd();
-      const IdRelation& r = relations_[fd.rel];
-      if (r.empty()) return std::nullopt;
-      const IdRelation::Partition& lhs = r.partition(fd.lhs);
-      const IdRelation::Partition& rhs = r.partition(fd.rhs);
-      std::vector<std::uint32_t> first(lhs.group_count, UINT32_MAX);
-      for (std::uint32_t i = 0; i < r.size(); ++i) {
-        std::uint32_t g = lhs.group_of[i];
-        if (first[g] == UINT32_MAX) {
-          first[g] = i;
-        } else if (rhs.group_of[first[g]] != rhs.group_of[i]) {
-          return IdViolation{fd.rel, {first[g], i}};
-        }
-      }
-      return std::nullopt;
-    }
-    case DependencyKind::kInd: {
-      const Ind& ind = dep.ind();
-      const IdRelation& lhs = relations_[ind.lhs_rel];
-      const IdRelation::Partition& lhs_p = lhs.partition(ind.lhs);
-      const IdRelation::Partition& rhs_p =
-          relations_[ind.rhs_rel].partition(ind.rhs);
-      IdTuple key;
-      // Ascending group id == ascending first-occurrence index, so the
-      // first missing group's first tuple is the first violating tuple —
-      // identical to a legacy front-to-back scan.
-      for (std::uint32_t g = 0; g < lhs_p.group_count; ++g) {
-        const IdTuple& t = lhs.tuple(lhs_p.first_of_group[g]);
-        key.clear();
-        for (AttrId c : ind.lhs) key.push_back(t[c]);
-        if (rhs_p.key_to_group.count(key) == 0) {
-          return IdViolation{ind.lhs_rel, {lhs_p.first_of_group[g]}};
-        }
-      }
-      return std::nullopt;
-    }
-    case DependencyKind::kRd: {
-      const Rd& rd = dep.rd();
-      const IdRelation& r = relations_[rd.rel];
-      for (std::uint32_t i = 0; i < r.size(); ++i) {
-        const IdTuple& t = r.tuple(i);
-        for (std::size_t k = 0; k < rd.lhs.size(); ++k) {
-          if (t[rd.lhs[k]] != t[rd.rhs[k]]) {
-            return IdViolation{rd.rel, {i}};
-          }
-        }
-      }
-      return std::nullopt;
-    }
-    case DependencyKind::kEmvd:
-      return FindEmvdViolation(dep.emvd().rel, dep.emvd().x, dep.emvd().y,
-                               dep.emvd().z);
-    case DependencyKind::kMvd:
-      return FindEmvdViolation(dep.mvd().rel, dep.mvd().x, dep.mvd().y,
-                               MvdComplement(*scheme_, dep.mvd()));
-  }
-  return std::nullopt;
+  return model_check::FindViolation(IdDatabaseProvider{*this}, *scheme_,
+                                    dep);
 }
 
 Database IdDatabase::Materialize() const {

@@ -94,6 +94,8 @@ class IdDatabase {
 
   /// Model checking in id-space. Semantics identical to the legacy
   /// Value-hashing checks in core/satisfies.cc (differentially tested).
+  /// One shared implementation serves this class and InternedWorkspace via
+  /// the partition-provider templates in core/model_check.h.
   bool Satisfies(const Fd& fd) const;
   bool Satisfies(const Ind& ind) const;
   bool Satisfies(const Rd& rd) const;
@@ -113,12 +115,6 @@ class IdDatabase {
 
  private:
   void InternRelation(const Database& db, RelId rel);
-  std::optional<IdViolation> FindEmvdViolation(
-      RelId rel, const std::vector<AttrId>& x, const std::vector<AttrId>& y,
-      const std::vector<AttrId>& z) const;
-  bool SatisfiesEmvdOn(RelId rel, const std::vector<AttrId>& x,
-                       const std::vector<AttrId>& y,
-                       const std::vector<AttrId>& z) const;
 
   SchemePtr scheme_;
   ValueInterner interner_;

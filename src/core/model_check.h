@@ -1,0 +1,258 @@
+#ifndef CCFP_CORE_MODEL_CHECK_H_
+#define CCFP_CORE_MODEL_CHECK_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/dependency.h"
+#include "core/intern.h"
+#include "core/interned.h"
+#include "core/tuple.h"
+
+namespace ccfp {
+namespace model_check {
+
+/// The one id-space model-checking implementation, shared by the two
+/// interned substrates via a *partition provider*:
+///
+///   * `IdDatabase` (core/interned.h) — an immutable snapshot; every slot
+///     is alive;
+///   * `InternedWorkspace` (core/workspace.h) — the mutable chase
+///     substrate, whose partitions carry kNoGroup dead slots for tuples
+///     merged away mid-chase.
+///
+/// A provider exposes the slot store and cached projection partitions:
+///
+///   std::uint32_t SlotCount(RelId) const;      // slots, dead included
+///   std::size_t AliveCount(RelId) const;       // alive slots only
+///   bool Alive(RelId, std::uint32_t) const;
+///   const IdTuple& Slot(RelId, std::uint32_t) const;
+///   const P& Partition(RelId, const std::vector<AttrId>&) const;
+///
+/// where P has `group_of` / `group_count` / `first_of_group` /
+/// `key_to_group` (IdRelation::Partition and InternedWorkspace::Partition
+/// are layout-identical). Dead slots are those whose `group_of` entry is
+/// `kDeadGroup`; providers without dead slots simply never produce it.
+///
+/// Both substrates are pinned by the differential suites
+/// (tests/satisfies_property_test.cc, tests/emvd_chase_property_test.cc),
+/// which rely on the witness order being identical across engines: every
+/// scan below walks slots front-to-back, so the first violation reported
+/// matches a legacy front-to-back scan.
+inline constexpr std::uint32_t kDeadGroup = UINT32_MAX;
+
+template <typename Provider>
+bool SatisfiesFd(const Provider& p, const Fd& fd) {
+  if (p.AliveCount(fd.rel) == 0) return true;
+  const auto& lhs = p.Partition(fd.rel, fd.lhs);
+  const auto& rhs = p.Partition(fd.rel, fd.rhs);
+  // The FD holds iff the lhs partition refines the rhs partition.
+  std::vector<std::uint32_t> seen(lhs.group_count, UINT32_MAX);
+  std::uint32_t n = p.SlotCount(fd.rel);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t g = lhs.group_of[i];
+    if (g == kDeadGroup) continue;
+    std::uint32_t h = rhs.group_of[i];
+    if (seen[g] == UINT32_MAX) {
+      seen[g] = h;
+    } else if (seen[g] != h) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename Provider>
+bool SatisfiesInd(const Provider& p, const Ind& ind) {
+  if (p.AliveCount(ind.lhs_rel) == 0) return true;
+  const auto& lhs_p = p.Partition(ind.lhs_rel, ind.lhs);
+  const auto& rhs_p = p.Partition(ind.rhs_rel, ind.rhs);
+  IdTuple key;
+  key.reserve(ind.lhs.size());
+  for (std::uint32_t g = 0; g < lhs_p.group_count; ++g) {
+    const IdTuple& t = p.Slot(ind.lhs_rel, lhs_p.first_of_group[g]);
+    key.clear();
+    for (AttrId c : ind.lhs) key.push_back(t[c]);
+    if (rhs_p.key_to_group.count(key) == 0) return false;
+  }
+  return true;
+}
+
+template <typename Provider>
+bool SatisfiesRd(const Provider& p, const Rd& rd) {
+  std::uint32_t n = p.SlotCount(rd.rel);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!p.Alive(rd.rel, i)) continue;
+    const IdTuple& t = p.Slot(rd.rel, i);
+    for (std::size_t k = 0; k < rd.lhs.size(); ++k) {
+      if (t[rd.lhs[k]] != t[rd.rhs[k]]) return false;
+    }
+  }
+  return true;
+}
+
+template <typename Provider>
+bool SatisfiesEmvdOn(const Provider& p, RelId rel,
+                     const std::vector<AttrId>& x,
+                     const std::vector<AttrId>& y,
+                     const std::vector<AttrId>& z) {
+  if (p.AliveCount(rel) == 0) return true;
+  std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
+  std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
+  const auto& x_p = p.Partition(rel, x);
+  const auto& xy_p = p.Partition(rel, xy);
+  const auto& xz_p = p.Partition(rel, xz);
+  // Per X-group distinct XY / XZ / (XY, XZ) counts. XY refines X, so an XY
+  // group belongs to exactly one X group (likewise XZ and pairs) — the
+  // group obeys the EMVD iff pairs == xy_distinct * xz_distinct.
+  std::vector<std::uint32_t> ny(x_p.group_count, 0);
+  std::vector<std::uint32_t> nz(x_p.group_count, 0);
+  std::vector<std::uint64_t> np(x_p.group_count, 0);
+  std::vector<std::uint8_t> seen_xy(xy_p.group_count, 0);
+  std::vector<std::uint8_t> seen_xz(xz_p.group_count, 0);
+  std::unordered_set<std::uint64_t> pairs;
+  pairs.reserve(p.AliveCount(rel));
+  std::uint32_t n = p.SlotCount(rel);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t g = x_p.group_of[i];
+    if (g == kDeadGroup) continue;
+    std::uint32_t gy = xy_p.group_of[i];
+    std::uint32_t gz = xz_p.group_of[i];
+    if (!seen_xy[gy]) {
+      seen_xy[gy] = 1;
+      ++ny[g];
+    }
+    if (!seen_xz[gz]) {
+      seen_xz[gz] = 1;
+      ++nz[g];
+    }
+    if (pairs.insert(PackIdPair(gy, gz)).second) ++np[g];
+  }
+  for (std::uint32_t g = 0; g < x_p.group_count; ++g) {
+    if (static_cast<std::uint64_t>(ny[g]) * nz[g] != np[g]) return false;
+  }
+  return true;
+}
+
+template <typename Provider>
+bool SatisfiesDependency(const Provider& p, const DatabaseScheme& scheme,
+                         const Dependency& dep) {
+  switch (dep.kind()) {
+    case DependencyKind::kFd:
+      return SatisfiesFd(p, dep.fd());
+    case DependencyKind::kInd:
+      return SatisfiesInd(p, dep.ind());
+    case DependencyKind::kRd:
+      return SatisfiesRd(p, dep.rd());
+    case DependencyKind::kEmvd:
+      return SatisfiesEmvdOn(p, dep.emvd().rel, dep.emvd().x, dep.emvd().y,
+                             dep.emvd().z);
+    case DependencyKind::kMvd:
+      return SatisfiesEmvdOn(p, dep.mvd().rel, dep.mvd().x, dep.mvd().y,
+                             MvdComplement(scheme, dep.mvd()));
+  }
+  return false;
+}
+
+template <typename Provider>
+std::optional<IdViolation> FindEmvdViolation(const Provider& p, RelId rel,
+                                             const std::vector<AttrId>& x,
+                                             const std::vector<AttrId>& y,
+                                             const std::vector<AttrId>& z) {
+  if (SatisfiesEmvdOn(p, rel, x, y, z)) return std::nullopt;
+  std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
+  std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
+  const auto& x_p = p.Partition(rel, x);
+  const auto& xy_p = p.Partition(rel, xy);
+  const auto& xz_p = p.Partition(rel, xz);
+  std::uint32_t n = p.SlotCount(rel);
+  std::unordered_set<std::uint64_t> pairs;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (x_p.group_of[i] == kDeadGroup) continue;
+    pairs.insert(PackIdPair(xy_p.group_of[i], xz_p.group_of[i]));
+  }
+  // Diagnostics path only: quadratic scan for the first same-group pair
+  // whose (XY, XZ) combination has no witness tuple.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (x_p.group_of[i] == kDeadGroup) continue;
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (x_p.group_of[i] != x_p.group_of[j]) continue;
+      if (pairs.count(PackIdPair(xy_p.group_of[i], xz_p.group_of[j])) == 0) {
+        return IdViolation{rel, {i, j}};
+      }
+    }
+  }
+  return IdViolation{rel, {}};  // unreachable if Satisfies was false
+}
+
+template <typename Provider>
+std::optional<IdViolation> FindViolation(const Provider& p,
+                                         const DatabaseScheme& scheme,
+                                         const Dependency& dep) {
+  switch (dep.kind()) {
+    case DependencyKind::kFd: {
+      const Fd& fd = dep.fd();
+      if (p.AliveCount(fd.rel) == 0) return std::nullopt;
+      const auto& lhs = p.Partition(fd.rel, fd.lhs);
+      const auto& rhs = p.Partition(fd.rel, fd.rhs);
+      std::vector<std::uint32_t> first(lhs.group_count, UINT32_MAX);
+      std::uint32_t n = p.SlotCount(fd.rel);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t g = lhs.group_of[i];
+        if (g == kDeadGroup) continue;
+        if (first[g] == UINT32_MAX) {
+          first[g] = i;
+        } else if (rhs.group_of[first[g]] != rhs.group_of[i]) {
+          return IdViolation{fd.rel, {first[g], i}};
+        }
+      }
+      return std::nullopt;
+    }
+    case DependencyKind::kInd: {
+      const Ind& ind = dep.ind();
+      const auto& lhs_p = p.Partition(ind.lhs_rel, ind.lhs);
+      const auto& rhs_p = p.Partition(ind.rhs_rel, ind.rhs);
+      IdTuple key;
+      // Ascending group id == ascending first-slot index, so the first
+      // missing group's first tuple is the first violating tuple —
+      // identical to a legacy front-to-back scan.
+      for (std::uint32_t g = 0; g < lhs_p.group_count; ++g) {
+        const IdTuple& t = p.Slot(ind.lhs_rel, lhs_p.first_of_group[g]);
+        key.clear();
+        for (AttrId c : ind.lhs) key.push_back(t[c]);
+        if (rhs_p.key_to_group.count(key) == 0) {
+          return IdViolation{ind.lhs_rel, {lhs_p.first_of_group[g]}};
+        }
+      }
+      return std::nullopt;
+    }
+    case DependencyKind::kRd: {
+      const Rd& rd = dep.rd();
+      std::uint32_t n = p.SlotCount(rd.rel);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!p.Alive(rd.rel, i)) continue;
+        const IdTuple& t = p.Slot(rd.rel, i);
+        for (std::size_t k = 0; k < rd.lhs.size(); ++k) {
+          if (t[rd.lhs[k]] != t[rd.rhs[k]]) {
+            return IdViolation{rd.rel, {i}};
+          }
+        }
+      }
+      return std::nullopt;
+    }
+    case DependencyKind::kEmvd:
+      return FindEmvdViolation(p, dep.emvd().rel, dep.emvd().x,
+                               dep.emvd().y, dep.emvd().z);
+    case DependencyKind::kMvd:
+      return FindEmvdViolation(p, dep.mvd().rel, dep.mvd().x, dep.mvd().y,
+                               MvdComplement(scheme, dep.mvd()));
+  }
+  return std::nullopt;
+}
+
+}  // namespace model_check
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_MODEL_CHECK_H_

@@ -1,0 +1,28 @@
+#include "core/verdict.h"
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+const char* ImplicationVerdictToString(ImplicationVerdict verdict) {
+  switch (verdict) {
+    case ImplicationVerdict::kImplied:
+      return "implied";
+    case ImplicationVerdict::kNotImplied:
+      return "not implied";
+    case ImplicationVerdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::string StageReport::ToString() const {
+  std::string out = StrCat(stage, engine.empty() ? "" : " [", engine,
+                           engine.empty() ? "" : "]", ": ",
+                           ImplicationVerdictToString(verdict));
+  if (!note.empty()) out += StrCat(" (", note, ")");
+  out += StrCat(" {", used.ToString(), "}");
+  return out;
+}
+
+}  // namespace ccfp

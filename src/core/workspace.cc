@@ -3,11 +3,37 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/model_check.h"
 #include "util/check.h"
 
 namespace ccfp {
 
 namespace {
+
+/// Partition provider over the mutable substrate; dead (merged-away)
+/// slots surface as kNoGroup == model_check::kDeadGroup entries, which
+/// the shared checks in core/model_check.h skip.
+struct WorkspaceProvider {
+  const InternedWorkspace& ws;
+
+  std::uint32_t SlotCount(RelId rel) const {
+    return static_cast<std::uint32_t>(ws.size(rel));
+  }
+  std::size_t AliveCount(RelId rel) const { return ws.AliveTuples(rel); }
+  bool Alive(RelId rel, std::uint32_t idx) const {
+    return ws.alive(rel, idx);
+  }
+  const IdTuple& Slot(RelId rel, std::uint32_t idx) const {
+    return ws.tuple(rel, idx);
+  }
+  const InternedWorkspace::Partition& Partition(
+      RelId rel, const std::vector<AttrId>& cols) const {
+    return ws.partition(rel, cols);
+  }
+};
+
+static_assert(InternedWorkspace::kNoGroup == model_check::kDeadGroup,
+              "workspace dead-slot sentinel must match the shared checks");
 
 }  // namespace
 
@@ -186,116 +212,31 @@ const InternedWorkspace::Partition& InternedWorkspace::partition(
 }
 
 bool InternedWorkspace::Satisfies(const Fd& fd) const {
-  const RelStore& rs = rels_[fd.rel];
-  if (rs.alive_count == 0) return true;
-  const Partition& lhs = partition(fd.rel, fd.lhs);
-  const Partition& rhs = partition(fd.rel, fd.rhs);
-  // The FD holds iff the lhs partition refines the rhs partition.
-  std::vector<std::uint32_t> seen(lhs.group_count, UINT32_MAX);
-  for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
-    std::uint32_t g = lhs.group_of[i];
-    if (g == kNoGroup) continue;
-    std::uint32_t h = rhs.group_of[i];
-    if (seen[g] == UINT32_MAX) {
-      seen[g] = h;
-    } else if (seen[g] != h) {
-      return false;
-    }
-  }
-  return true;
+  return model_check::SatisfiesFd(WorkspaceProvider{*this}, fd);
 }
 
 bool InternedWorkspace::Satisfies(const Ind& ind) const {
-  const RelStore& lhs = rels_[ind.lhs_rel];
-  if (lhs.alive_count == 0) return true;
-  const Partition& lhs_p = partition(ind.lhs_rel, ind.lhs);
-  const Partition& rhs_p = partition(ind.rhs_rel, ind.rhs);
-  IdTuple key;
-  key.reserve(ind.lhs.size());
-  for (std::uint32_t g = 0; g < lhs_p.group_count; ++g) {
-    const IdTuple& t = lhs.tuples[lhs_p.first_of_group[g]];
-    key.clear();
-    for (AttrId c : ind.lhs) key.push_back(t[c]);
-    if (rhs_p.key_to_group.count(key) == 0) return false;
-  }
-  return true;
+  return model_check::SatisfiesInd(WorkspaceProvider{*this}, ind);
 }
 
 bool InternedWorkspace::Satisfies(const Rd& rd) const {
-  const RelStore& rs = rels_[rd.rel];
-  for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
-    if (!rs.alive[i]) continue;
-    const IdTuple& t = rs.tuples[i];
-    for (std::size_t k = 0; k < rd.lhs.size(); ++k) {
-      if (t[rd.lhs[k]] != t[rd.rhs[k]]) return false;
-    }
-  }
-  return true;
-}
-
-bool InternedWorkspace::SatisfiesEmvdOn(RelId rel,
-                                        const std::vector<AttrId>& x,
-                                        const std::vector<AttrId>& y,
-                                        const std::vector<AttrId>& z) const {
-  const RelStore& rs = rels_[rel];
-  if (rs.alive_count == 0) return true;
-  std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
-  std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
-  const Partition& x_p = partition(rel, x);
-  const Partition& xy_p = partition(rel, xy);
-  const Partition& xz_p = partition(rel, xz);
-  // Per X-group distinct XY / XZ / (XY, XZ) counts; a group obeys the EMVD
-  // iff pairs == xy_distinct * xz_distinct (XY and XZ refine X).
-  std::vector<std::uint32_t> ny(x_p.group_count, 0);
-  std::vector<std::uint32_t> nz(x_p.group_count, 0);
-  std::vector<std::uint64_t> np(x_p.group_count, 0);
-  std::vector<std::uint8_t> seen_xy(xy_p.group_count, 0);
-  std::vector<std::uint8_t> seen_xz(xz_p.group_count, 0);
-  std::unordered_set<std::uint64_t> pairs;
-  pairs.reserve(rs.alive_count);
-  for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
-    std::uint32_t g = x_p.group_of[i];
-    if (g == kNoGroup) continue;
-    std::uint32_t gy = xy_p.group_of[i];
-    std::uint32_t gz = xz_p.group_of[i];
-    if (!seen_xy[gy]) {
-      seen_xy[gy] = 1;
-      ++ny[g];
-    }
-    if (!seen_xz[gz]) {
-      seen_xz[gz] = 1;
-      ++nz[g];
-    }
-    if (pairs.insert(PackIdPair(gy, gz)).second) ++np[g];
-  }
-  for (std::uint32_t g = 0; g < x_p.group_count; ++g) {
-    if (static_cast<std::uint64_t>(ny[g]) * nz[g] != np[g]) return false;
-  }
-  return true;
+  return model_check::SatisfiesRd(WorkspaceProvider{*this}, rd);
 }
 
 bool InternedWorkspace::Satisfies(const Emvd& emvd) const {
-  return SatisfiesEmvdOn(emvd.rel, emvd.x, emvd.y, emvd.z);
+  return model_check::SatisfiesEmvdOn(WorkspaceProvider{*this}, emvd.rel,
+                                      emvd.x, emvd.y, emvd.z);
 }
 
 bool InternedWorkspace::Satisfies(const Mvd& mvd) const {
-  return SatisfiesEmvdOn(mvd.rel, mvd.x, mvd.y, MvdComplement(*scheme_, mvd));
+  return model_check::SatisfiesEmvdOn(WorkspaceProvider{*this}, mvd.rel,
+                                      mvd.x, mvd.y,
+                                      MvdComplement(*scheme_, mvd));
 }
 
 bool InternedWorkspace::Satisfies(const Dependency& dep) const {
-  switch (dep.kind()) {
-    case DependencyKind::kFd:
-      return Satisfies(dep.fd());
-    case DependencyKind::kInd:
-      return Satisfies(dep.ind());
-    case DependencyKind::kRd:
-      return Satisfies(dep.rd());
-    case DependencyKind::kEmvd:
-      return Satisfies(dep.emvd());
-    case DependencyKind::kMvd:
-      return Satisfies(dep.mvd());
-  }
-  return false;
+  return model_check::SatisfiesDependency(WorkspaceProvider{*this}, *scheme_,
+                                          dep);
 }
 
 bool InternedWorkspace::SatisfiesAll(
@@ -306,96 +247,9 @@ bool InternedWorkspace::SatisfiesAll(
   return true;
 }
 
-std::optional<IdViolation> InternedWorkspace::FindEmvdViolation(
-    RelId rel, const std::vector<AttrId>& x, const std::vector<AttrId>& y,
-    const std::vector<AttrId>& z) const {
-  if (SatisfiesEmvdOn(rel, x, y, z)) return std::nullopt;
-  const RelStore& rs = rels_[rel];
-  std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
-  std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
-  const Partition& x_p = partition(rel, x);
-  const Partition& xy_p = partition(rel, xy);
-  const Partition& xz_p = partition(rel, xz);
-  std::unordered_set<std::uint64_t> pairs;
-  for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
-    if (x_p.group_of[i] == kNoGroup) continue;
-    pairs.insert(PackIdPair(xy_p.group_of[i], xz_p.group_of[i]));
-  }
-  // Diagnostics path only: quadratic scan for the first same-group pair
-  // whose (XY, XZ) combination has no witness tuple.
-  for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
-    if (x_p.group_of[i] == kNoGroup) continue;
-    for (std::uint32_t j = 0; j < rs.tuples.size(); ++j) {
-      if (x_p.group_of[i] != x_p.group_of[j]) continue;
-      if (pairs.count(PackIdPair(xy_p.group_of[i], xz_p.group_of[j])) == 0) {
-        return IdViolation{rel, {i, j}};
-      }
-    }
-  }
-  return IdViolation{rel, {}};  // unreachable if Satisfies was false
-}
-
 std::optional<IdViolation> InternedWorkspace::FindViolation(
     const Dependency& dep) const {
-  switch (dep.kind()) {
-    case DependencyKind::kFd: {
-      const Fd& fd = dep.fd();
-      const RelStore& rs = rels_[fd.rel];
-      if (rs.alive_count == 0) return std::nullopt;
-      const Partition& lhs = partition(fd.rel, fd.lhs);
-      const Partition& rhs = partition(fd.rel, fd.rhs);
-      std::vector<std::uint32_t> first(lhs.group_count, UINT32_MAX);
-      for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
-        std::uint32_t g = lhs.group_of[i];
-        if (g == kNoGroup) continue;
-        if (first[g] == UINT32_MAX) {
-          first[g] = i;
-        } else if (rhs.group_of[first[g]] != rhs.group_of[i]) {
-          return IdViolation{fd.rel, {first[g], i}};
-        }
-      }
-      return std::nullopt;
-    }
-    case DependencyKind::kInd: {
-      const Ind& ind = dep.ind();
-      const RelStore& lhs = rels_[ind.lhs_rel];
-      const Partition& lhs_p = partition(ind.lhs_rel, ind.lhs);
-      const Partition& rhs_p = partition(ind.rhs_rel, ind.rhs);
-      IdTuple key;
-      // Ascending group id == ascending first-slot index, so the first
-      // missing group's first tuple is the first violating tuple.
-      for (std::uint32_t g = 0; g < lhs_p.group_count; ++g) {
-        const IdTuple& t = lhs.tuples[lhs_p.first_of_group[g]];
-        key.clear();
-        for (AttrId c : ind.lhs) key.push_back(t[c]);
-        if (rhs_p.key_to_group.count(key) == 0) {
-          return IdViolation{ind.lhs_rel, {lhs_p.first_of_group[g]}};
-        }
-      }
-      return std::nullopt;
-    }
-    case DependencyKind::kRd: {
-      const Rd& rd = dep.rd();
-      const RelStore& rs = rels_[rd.rel];
-      for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
-        if (!rs.alive[i]) continue;
-        const IdTuple& t = rs.tuples[i];
-        for (std::size_t k = 0; k < rd.lhs.size(); ++k) {
-          if (t[rd.lhs[k]] != t[rd.rhs[k]]) {
-            return IdViolation{rd.rel, {i}};
-          }
-        }
-      }
-      return std::nullopt;
-    }
-    case DependencyKind::kEmvd:
-      return FindEmvdViolation(dep.emvd().rel, dep.emvd().x, dep.emvd().y,
-                               dep.emvd().z);
-    case DependencyKind::kMvd:
-      return FindEmvdViolation(dep.mvd().rel, dep.mvd().x, dep.mvd().y,
-                               MvdComplement(*scheme_, dep.mvd()));
-  }
-  return std::nullopt;
+  return model_check::FindViolation(WorkspaceProvider{*this}, *scheme_, dep);
 }
 
 Database InternedWorkspace::Materialize() const {

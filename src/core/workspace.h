@@ -193,7 +193,9 @@ class InternedWorkspace {
 
   /// --- model checking -----------------------------------------------------
   /// Same semantics as IdDatabase / the legacy Value-hashing checks
-  /// (differentially tested); requires no stale tuples.
+  /// (differentially tested); requires no stale tuples. One shared
+  /// implementation serves this class and IdDatabase via the
+  /// partition-provider templates in core/model_check.h.
 
   bool Satisfies(const Fd& fd) const;
   bool Satisfies(const Ind& ind) const;
@@ -238,12 +240,6 @@ class InternedWorkspace {
   /// Incorporates slots [from, size) into `cp` (skipping dead ones).
   void ExtendPartition(RelId rel, const std::vector<AttrId>& cols,
                        CachedPartition& cp) const;
-  bool SatisfiesEmvdOn(RelId rel, const std::vector<AttrId>& x,
-                       const std::vector<AttrId>& y,
-                       const std::vector<AttrId>& z) const;
-  std::optional<IdViolation> FindEmvdViolation(
-      RelId rel, const std::vector<AttrId>& x, const std::vector<AttrId>& y,
-      const std::vector<AttrId>& z) const;
 
   SchemePtr scheme_;
   ValueInterner interner_;

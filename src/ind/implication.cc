@@ -175,10 +175,10 @@ Result<IndDecision> IndImplication::Decide(
   return decision;
 }
 
-bool IndImplication::Implies(const Ind& target) const {
-  Result<IndDecision> decision = Decide(target);
-  CCFP_CHECK_MSG(decision.ok(), decision.status().ToString().c_str());
-  return decision->implied;
+Result<bool> IndImplication::Implies(const Ind& target,
+                                     const IndDecisionOptions& options) const {
+  CCFP_ASSIGN_OR_RETURN(IndDecision decision, Decide(target, options));
+  return decision.implied;
 }
 
 namespace {

@@ -9,6 +9,7 @@
 #include "core/dependency.h"
 #include "core/schema.h"
 #include "ind/proof.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace ccfp {
@@ -39,6 +40,16 @@ struct IndDecisionOptions {
   /// expressions. The expression space is exponential in the IND width
   /// (the root of the PSPACE-hardness), so a budget is mandatory API.
   std::uint64_t max_expressions = 1u << 22;
+
+  /// Maps the shared Budget vocabulary onto the BFS knob
+  /// (expressions -> max_expressions).
+  static IndDecisionOptions FromBudget(const Budget& budget,
+                                       bool want_proof = false) {
+    IndDecisionOptions options;
+    options.want_proof = want_proof;
+    options.max_expressions = budget.expressions;
+    return options;
+  }
 };
 
 /// Outcome of one implication query.
@@ -75,9 +86,17 @@ class IndImplication {
   Result<IndDecision> Decide(const Ind& target,
                              const IndDecisionOptions& options = {}) const;
 
-  /// Convenience: Decide with default options, CHECK-failing on budget
-  /// exhaustion (for callers with known-small instances).
-  bool Implies(const Ind& target) const;
+  /// Budget-vocabulary overload.
+  Result<IndDecision> Decide(const Ind& target, const Budget& budget,
+                             bool want_proof = false) const {
+    return Decide(target, IndDecisionOptions::FromBudget(budget, want_proof));
+  }
+
+  /// Convenience: Decide reduced to its boolean answer. Like every other
+  /// engine, budget exhaustion is a ResourceExhausted *status*, never an
+  /// abort — callers with known-small instances just dereference.
+  Result<bool> Implies(const Ind& target,
+                       const IndDecisionOptions& options = {}) const;
 
   /// Enumerates every IND of width <= max_width over the scheme implied by
   /// Sigma (including trivial ones): lambda+ restricted to small widths.

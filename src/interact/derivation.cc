@@ -54,6 +54,12 @@ MixedDerivation::MixedDerivation(SchemePtr scheme,
 
 MixedDerivation::MixedDerivation(SchemePtr scheme,
                                  std::vector<Dependency> sigma,
+                                 const Budget& budget)
+    : MixedDerivation(std::move(scheme), std::move(sigma),
+                      Options::FromBudget(budget)) {}
+
+MixedDerivation::MixedDerivation(SchemePtr scheme,
+                                 std::vector<Dependency> sigma,
                                  Options options)
     : scheme_(std::move(scheme)), options_(options) {
   for (Dependency& dep : sigma) {
@@ -260,7 +266,14 @@ bool MixedDerivation::Derives(const Dependency& target) const {
       return FdImplies(*scheme_, fds_, target.fd());
     case DependencyKind::kInd: {
       IndImplication engine(scheme_, inds_);
-      return engine.Implies(target.ind());
+      // The BFS draws on this engine's own budget knob (the expression
+      // walk is work of the same kind as deriving sentences). Exhausting
+      // it answers "not derived" — sound, since this engine is
+      // necessarily incomplete anyway (Theorem 7.1).
+      IndDecisionOptions options;
+      options.max_expressions = options_.max_dependencies;
+      Result<bool> implied = engine.Implies(target.ind(), options);
+      return implied.ok() && *implied;
     }
     case DependencyKind::kRd: {
       for (const Rd& unary : SplitRd(target.rd())) {

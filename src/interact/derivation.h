@@ -8,6 +8,7 @@
 
 #include "core/dependency.h"
 #include "core/schema.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace ccfp {
@@ -35,6 +36,15 @@ class MixedDerivation {
     /// saturation finite.
     std::size_t max_ind_width = 3;
     std::uint64_t max_dependencies = 1u << 14;
+
+    /// Maps the shared Budget vocabulary onto the saturation's knob
+    /// (expressions -> max_dependencies; rounds and IND width are shape
+    /// parameters of the rule arsenal, not resource budgets).
+    static Options FromBudget(const Budget& budget) {
+      Options options;
+      options.max_dependencies = budget.expressions;
+      return options;
+    }
   };
 
   /// One line of the saturation trace, for explainability.
@@ -54,6 +64,14 @@ class MixedDerivation {
   /// default member initializers cannot be a default argument in its own
   /// enclosing class).
   MixedDerivation(SchemePtr scheme, std::vector<Dependency> sigma);
+  /// Budget-vocabulary overload.
+  MixedDerivation(SchemePtr scheme, std::vector<Dependency> sigma,
+                  const Budget& budget);
+
+  /// Derived sentences so far (for BudgetUse reporting).
+  std::uint64_t dependency_count() const {
+    return fds_.size() + inds_.size() + rds_.size();
+  }
 
   /// Runs the saturation to fixpoint (or budget). Idempotent.
   Status Saturate();

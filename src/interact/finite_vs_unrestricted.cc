@@ -7,18 +7,6 @@
 
 namespace ccfp {
 
-const char* ImplicationVerdictToString(ImplicationVerdict verdict) {
-  switch (verdict) {
-    case ImplicationVerdict::kImplied:
-      return "implied";
-    case ImplicationVerdict::kNotImplied:
-      return "not implied";
-    case ImplicationVerdict::kUnknown:
-      return "unknown";
-  }
-  return "?";
-}
-
 namespace {
 
 bool AllUnary(const std::vector<Fd>& fds, const std::vector<Ind>& inds,
@@ -94,6 +82,15 @@ FiniteVsUnrestricted CompareImplication(SchemePtr scheme,
     out.finite_engine = "no exact finite engine for this fragment";
   }
   return out;
+}
+
+FiniteVsUnrestricted CompareImplication(SchemePtr scheme,
+                                        const std::vector<Fd>& fds,
+                                        const std::vector<Ind>& inds,
+                                        const Dependency& target,
+                                        const Budget& budget) {
+  return CompareImplication(std::move(scheme), fds, inds, target,
+                            ChaseOptions::FromBudget(budget));
 }
 
 }  // namespace ccfp

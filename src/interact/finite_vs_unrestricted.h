@@ -7,18 +7,10 @@
 #include "chase/chase.h"
 #include "core/dependency.h"
 #include "core/schema.h"
+#include "core/verdict.h"
+#include "util/budget.h"
 
 namespace ccfp {
-
-/// Three-valued verdict for an implication query. FD+IND implication is
-/// undecidable in general, so engines may have to answer "unknown".
-enum class ImplicationVerdict : std::uint8_t {
-  kImplied,
-  kNotImplied,
-  kUnknown,
-};
-
-const char* ImplicationVerdictToString(ImplicationVerdict verdict);
 
 /// Side-by-side answers for |= and |=fin, exhibiting the paper's Section 4
 /// phenomenon that the two notions differ for FDs and INDs taken together.
@@ -42,6 +34,14 @@ FiniteVsUnrestricted CompareImplication(SchemePtr scheme,
                                         const std::vector<Ind>& inds,
                                         const Dependency& target,
                                         const ChaseOptions& options = {});
+
+/// Budget-vocabulary overload (the chase stage maps Budget::steps/tuples
+/// onto its step/tuple caps). Prefer this in new code.
+FiniteVsUnrestricted CompareImplication(SchemePtr scheme,
+                                        const std::vector<Fd>& fds,
+                                        const std::vector<Ind>& inds,
+                                        const Dependency& target,
+                                        const Budget& budget);
 
 }  // namespace ccfp
 

@@ -602,16 +602,19 @@ Result<BoundedSearchResult> FindCounterexample(
   return LegacySearch(scheme, premises, conclusion, options);
 }
 
-bool HasBoundedCounterexample(SchemePtr scheme,
-                              const std::vector<Dependency>& premises,
-                              const Dependency& conclusion,
-                              const BoundedSearchOptions& options) {
-  Result<BoundedSearchResult> result =
-      FindCounterexample(std::move(scheme), premises, conclusion, options);
-  CCFP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
-  CCFP_CHECK_MSG(result->exhausted || result->counterexample.has_value(),
-                 "bounded search budget exhausted without a verdict");
-  return result->counterexample.has_value();
+Result<bool> HasBoundedCounterexample(SchemePtr scheme,
+                                      const std::vector<Dependency>& premises,
+                                      const Dependency& conclusion,
+                                      const BoundedSearchOptions& options) {
+  CCFP_ASSIGN_OR_RETURN(
+      BoundedSearchResult result,
+      FindCounterexample(std::move(scheme), premises, conclusion, options));
+  if (result.counterexample.has_value()) return true;
+  if (!result.exhausted) {
+    return Status::ResourceExhausted(
+        "bounded search budget exhausted without a verdict");
+  }
+  return false;
 }
 
 }  // namespace ccfp

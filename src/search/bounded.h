@@ -9,6 +9,7 @@
 
 #include "core/database.h"
 #include "core/dependency.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace ccfp {
@@ -109,6 +110,16 @@ struct BoundedSearchOptions {
   /// same scheme (see BoundedSearchWorkspace). Null: each search compiles
   /// its own tables. Not owned; must outlive the search.
   BoundedSearchWorkspace* workspace = nullptr;
+
+  /// Maps the shared Budget vocabulary onto the search's candidate cap
+  /// (steps -> max_candidates). The shape knobs (tuples per relation,
+  /// domain size) describe the search *space*, not a resource budget, and
+  /// keep their defaults.
+  static BoundedSearchOptions FromBudget(const Budget& budget) {
+    BoundedSearchOptions options;
+    options.max_candidates = budget.steps;
+    return options;
+  }
 };
 
 struct BoundedSearchResult {
@@ -130,12 +141,14 @@ Result<BoundedSearchResult> FindCounterexample(
     SchemePtr scheme, const std::vector<Dependency>& premises,
     const Dependency& conclusion, const BoundedSearchOptions& options = {});
 
-/// Convenience: true iff a counterexample exists within the bound.
-/// CHECK-fails on search-budget exhaustion (raise max_candidates).
-bool HasBoundedCounterexample(SchemePtr scheme,
-                              const std::vector<Dependency>& premises,
-                              const Dependency& conclusion,
-                              const BoundedSearchOptions& options = {});
+/// Convenience: true iff a counterexample exists within the bound. Like
+/// every other entry point, budget exhaustion without a verdict (the scan
+/// stopped early and found nothing) is a ResourceExhausted *status*, never
+/// an abort — raise max_candidates and retry.
+Result<bool> HasBoundedCounterexample(SchemePtr scheme,
+                                      const std::vector<Dependency>& premises,
+                                      const Dependency& conclusion,
+                                      const BoundedSearchOptions& options = {});
 
 }  // namespace ccfp
 

@@ -1,0 +1,622 @@
+#include "solve/solver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "chase/chase.h"
+#include "chase/ind_chase.h"
+#include "core/workspace.h"
+#include "fd/closure.h"
+#include "ind/special.h"
+#include "interact/unary_finite.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+const char* ImplicationFragmentToString(ImplicationFragment fragment) {
+  switch (fragment) {
+    case ImplicationFragment::kPureFd:
+      return "pure-fd";
+    case ImplicationFragment::kPureInd:
+      return "pure-ind";
+    case ImplicationFragment::kUnary:
+      return "unary";
+    case ImplicationFragment::kMixed:
+      return "mixed";
+    case ImplicationFragment::kUnsupported:
+      return "unsupported";
+  }
+  return "?";
+}
+
+const char* ImplicationSemanticsToString(ImplicationSemantics semantics) {
+  switch (semantics) {
+    case ImplicationSemantics::kUnrestricted:
+      return "unrestricted";
+    case ImplicationSemantics::kFinite:
+      return "finite";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The sigma-shape facts classification routes on; computed once by the
+/// solver constructor and by the free ClassifyImplicationFragment.
+struct SigmaFacts {
+  bool all_fd = true;
+  bool all_ind = true;
+  bool all_unary = true;
+  bool has_other = false;
+};
+
+SigmaFacts ComputeSigmaFacts(const DatabaseScheme& scheme,
+                             const std::vector<Dependency>& sigma) {
+  SigmaFacts f;
+  for (const Dependency& dep : sigma) {
+    if (IsTrivial(scheme, dep)) continue;
+    switch (dep.kind()) {
+      case DependencyKind::kFd:
+        f.all_ind = false;
+        // Empty-lhs (constant-column) FDs re-introduce FD/IND interaction
+        // and fall out of the unary fragment here too: 0 != 1.
+        if (dep.fd().lhs.size() != 1 || dep.fd().rhs.size() != 1) {
+          f.all_unary = false;
+        }
+        break;
+      case DependencyKind::kInd:
+        f.all_fd = false;
+        if (dep.ind().width() != 1) f.all_unary = false;
+        break;
+      case DependencyKind::kRd:
+        f.all_fd = false;
+        f.all_ind = false;
+        f.all_unary = false;
+        break;
+      default:
+        f.has_other = true;
+        break;
+    }
+  }
+  return f;
+}
+
+ImplicationFragment ClassifyWithFacts(const SigmaFacts& f,
+                                      const Dependency& target) {
+  if (f.has_other || target.is_emvd() || target.is_mvd()) {
+    return ImplicationFragment::kUnsupported;
+  }
+  if (target.is_fd() && f.all_fd) return ImplicationFragment::kPureFd;
+  if (target.is_ind() && f.all_ind) return ImplicationFragment::kPureInd;
+  bool unary_target =
+      (target.is_fd() && target.fd().lhs.size() == 1 &&
+       target.fd().rhs.size() == 1) ||
+      (target.is_ind() && target.ind().width() == 1);
+  if (unary_target && f.all_unary) {
+    return ImplicationFragment::kUnary;
+  }
+  return ImplicationFragment::kMixed;
+}
+
+/// The pure-FD counterexample: two tuples over the target's relation that
+/// agree exactly on the closure of the target's lhs (the Armstrong-style
+/// two-tuple argument — any sigma FD whose lhs is inside the closure has
+/// its rhs inside it too, so it holds; the target's rhs escapes it).
+/// `closure` must be sorted (AttributeClosure returns it sorted).
+Database FdCounterexample(SchemePtr scheme, const Fd& target,
+                          const std::vector<AttrId>& closure) {
+  Database db(scheme);
+  std::size_t arity = scheme->relation(target.rel).arity();
+  Tuple t1(arity), t2(arity);
+  for (AttrId a = 0; a < arity; ++a) {
+    bool shared = std::binary_search(closure.begin(), closure.end(), a);
+    t1[a] = Value::Int(static_cast<std::int64_t>(a));
+    t2[a] = shared ? t1[a]
+                   : Value::Int(static_cast<std::int64_t>(arity + a));
+  }
+  db.Insert(target.rel, std::move(t1));
+  db.Insert(target.rel, std::move(t2));
+  return db;
+}
+
+/// Folds a finished stage into the verdict's totals.
+void PushStage(Verdict& v, StageReport r) {
+  v.used.Add(r.used);
+  v.stages.push_back(std::move(r));
+}
+
+/// Deadline gate between stages: appends a skipped-stage report and
+/// updates the reason when the budget's wall-clock deadline has passed.
+bool DeadlineExpired(const Budget& budget, Verdict& v, const char* stage) {
+  if (!budget.Expired()) return false;
+  StageReport r{stage, "", ImplicationVerdict::kUnknown,
+                "skipped: budget deadline passed", {}};
+  PushStage(v, std::move(r));
+  v.reason = "budget deadline passed before the stages were exhausted";
+  return true;
+}
+
+}  // namespace
+
+ImplicationFragment ClassifyImplicationFragment(
+    const DatabaseScheme& scheme, const std::vector<Dependency>& sigma,
+    const Dependency& target) {
+  return ClassifyWithFacts(ComputeSigmaFacts(scheme, sigma), target);
+}
+
+std::string Verdict::ToString(const DatabaseScheme& scheme) const {
+  std::string out =
+      StrCat(ImplicationVerdictToString(outcome), "  [fragment: ",
+             ImplicationFragmentToString(fragment), ", semantics: ",
+             ImplicationSemanticsToString(semantics), "]");
+  if (!engine.empty()) out += StrCat("\n  engine: ", engine);
+  if (!reason.empty()) out += StrCat("\n  reason: ", reason);
+  if (!ind_chain.empty()) {
+    out += StrCat("\n  chain:  ",
+                  JoinMapped(ind_chain, " -> ", [&](const IndExpression& e) {
+                    return e.ToString(scheme);
+                  }));
+  }
+  if (!derivation_trace.empty()) {
+    out += StrCat("\n  trace:  ", derivation_trace.size(),
+                  " interaction-rule applications");
+  }
+  if (counterexample.has_value()) {
+    out += StrCat("\n  counterexample: ", counterexample->TotalTuples(),
+                  " tuples", counterexample_verified ? " (verified)" : "");
+  }
+  for (const StageReport& r : stages) {
+    out += StrCat("\n  stage: ", r.ToString());
+  }
+  return out;
+}
+
+ImplicationSolver::ImplicationSolver(SchemePtr scheme,
+                                     std::vector<Dependency> sigma,
+                                     SolveOptions options)
+    : scheme_(std::move(scheme)),
+      sigma_(std::move(sigma)),
+      options_(options) {
+  for (const Dependency& dep : sigma_) {
+    Status st = Validate(*scheme_, dep);
+    if (!st.ok()) {
+      sigma_valid_ = false;
+      sigma_error_ = st.ToString();
+      return;
+    }
+  }
+  SigmaFacts facts = ComputeSigmaFacts(*scheme_, sigma_);
+  all_fd_ = facts.all_fd;
+  all_ind_ = facts.all_ind;
+  all_unary_ = facts.all_unary;
+  has_other_ = facts.has_other;
+  for (const Dependency& dep : sigma_) {
+    if (IsTrivial(*scheme_, dep)) continue;
+    nontrivial_.push_back(dep);
+    if (dep.is_fd()) {
+      fds_.push_back(dep.fd());
+    } else if (dep.is_ind()) {
+      inds_.push_back(dep.ind());
+    } else if (dep.is_rd()) {
+      rds_.push_back(dep.rd());
+    }
+  }
+}
+
+ImplicationFragment ImplicationSolver::Classify(
+    const Dependency& target) const {
+  SigmaFacts facts;
+  facts.all_fd = all_fd_;
+  facts.all_ind = all_ind_;
+  facts.all_unary = all_unary_;
+  facts.has_other = has_other_;
+  return ClassifyWithFacts(facts, target);
+}
+
+Status ImplicationSolver::ValidateInputs(const Dependency& target) const {
+  if (!sigma_valid_) {
+    return Status::InvalidArgument(StrCat("invalid sigma: ", sigma_error_));
+  }
+  return Validate(*scheme_, target);
+}
+
+Result<Verdict> ImplicationSolver::Solve(const Dependency& target,
+                                         const Budget& budget) {
+  CCFP_RETURN_NOT_OK(ValidateInputs(target));
+  Verdict v;
+  v.semantics = options_.semantics;
+  v.fragment = Classify(target);
+
+  if (IsTrivial(*scheme_, target)) {
+    v.outcome = ImplicationVerdict::kImplied;
+    v.engine = "trivial";
+    PushStage(v, StageReport{"decide", "trivial",
+                             ImplicationVerdict::kImplied,
+                             "target holds in every database", {}});
+    return v;
+  }
+
+  switch (v.fragment) {
+    case ImplicationFragment::kPureFd:
+      SolvePureFd(target, budget, v);
+      break;
+    case ImplicationFragment::kPureInd:
+      SolvePureInd(target, budget, v);
+      break;
+    case ImplicationFragment::kUnary:
+      SolveUnary(target, budget, v);
+      break;
+    case ImplicationFragment::kMixed:
+      SolveMixed(target, budget, v);
+      break;
+    case ImplicationFragment::kUnsupported:
+      SolveUnsupported(target, budget, v);
+      break;
+  }
+  if (v.outcome == ImplicationVerdict::kUnknown && v.reason.empty()) {
+    v.reason = "every stage exhausted its budget without a verdict";
+  }
+  return v;
+}
+
+bool ImplicationSolver::AttachCounterexample(Database db,
+                                            const Dependency& target,
+                                            Verdict& v,
+                                            StageReport& report) {
+  // Evidence check on an interned substrate: the candidate is interned
+  // exactly once, after which every sigma member and the target probe
+  // cached projection partitions. The check always runs — it is what
+  // makes a search-found candidate decisive; want_counterexample only
+  // controls whether the database itself is handed to the caller.
+  InternedWorkspace ws(scheme_);
+  ws.AppendDatabase(db);
+  bool genuine = !ws.Satisfies(target) && ws.SatisfiesAll(nontrivial_);
+  if (genuine) {
+    if (!report.note.empty()) report.note += "; ";
+    report.note += "counterexample verified by Satisfies";
+    if (options_.want_counterexample) {
+      v.counterexample = std::move(db);
+      v.counterexample_verified = true;
+    }
+  } else {
+    // Defensive: a non-genuine candidate indicates an engine bug; report
+    // it loudly instead of attaching bad evidence.
+    if (!report.note.empty()) report.note += "; ";
+    report.note += "candidate counterexample FAILED verification (dropped)";
+    if (!v.reason.empty()) v.reason += "; ";
+    v.reason += "a candidate counterexample failed verification";
+  }
+  return genuine;
+}
+
+void ImplicationSolver::SolvePureFd(const Dependency& target,
+                                    const Budget& budget, Verdict& v) {
+  (void)budget;  // attribute closure is linear; no budget axis applies
+  const Fd& fd = target.fd();
+  StageReport r{"decide", "fd-closure (Beeri-Bernstein)",
+                ImplicationVerdict::kUnknown, "", {}};
+  std::vector<AttrId> closure =
+      AttributeClosure(*scheme_, fd.rel, fds_, fd.lhs);
+  v.fd_closure = closure;
+  r.used.expressions = closure.size();
+  bool implied = true;
+  for (AttrId a : fd.rhs) {
+    if (!std::binary_search(closure.begin(), closure.end(), a)) {
+      implied = false;
+      break;
+    }
+  }
+  v.engine = r.engine;
+  if (implied) {
+    v.outcome = ImplicationVerdict::kImplied;
+    r.verdict = ImplicationVerdict::kImplied;
+    r.note = "target rhs inside the lhs closure";
+  } else {
+    v.outcome = ImplicationVerdict::kNotImplied;
+    r.verdict = ImplicationVerdict::kNotImplied;
+    if (options_.want_counterexample) {
+      AttachCounterexample(FdCounterexample(scheme_, fd, closure), target,
+                           v, r);
+    }
+  }
+  PushStage(v, std::move(r));
+}
+
+void ImplicationSolver::SolvePureInd(const Dependency& target,
+                                     const Budget& budget, Verdict& v) {
+  const Ind& ind = target.ind();
+
+  // Special-case engines (end of Section 3) when no proof is requested:
+  // width-1 queries are digraph reachability, typed queries per-name-set
+  // reachability — both polynomial and exact.
+  bool all_unary_inds = ind.width() == 1 && all_unary_;
+  bool all_typed = IsTypedInd(*scheme_, ind);
+  if (all_typed) {
+    for (const Ind& member : inds_) {
+      if (!IsTypedInd(*scheme_, member)) {
+        all_typed = false;
+        break;
+      }
+    }
+  }
+
+  StageReport r{"decide", "", ImplicationVerdict::kUnknown, "", {}};
+  ImplicationVerdict decided = ImplicationVerdict::kUnknown;
+  if (!options_.want_proof && all_unary_inds) {
+    UnaryIndGraph graph(scheme_, inds_);
+    decided = graph.Implies(ind) ? ImplicationVerdict::kImplied
+                                 : ImplicationVerdict::kNotImplied;
+    r.engine = "unary-ind-graph (digraph reachability)";
+  } else if (!options_.want_proof && all_typed) {
+    Result<bool> typed = TypedIndImplies(*scheme_, inds_, ind);
+    if (typed.ok()) {
+      decided = *typed ? ImplicationVerdict::kImplied
+                       : ImplicationVerdict::kNotImplied;
+      r.engine = "typed-ind-reachability";
+    }
+  }
+  if (decided == ImplicationVerdict::kUnknown && r.engine.empty()) {
+    // The general Corollary 3.2 BFS, with proof extraction on demand.
+    r.engine = "ind-bfs (Corollary 3.2)";
+    IndImplication engine(scheme_, inds_);
+    Result<IndDecision> decision =
+        engine.Decide(ind, budget, options_.want_proof);
+    if (!decision.ok()) {
+      r.note = decision.status().ToString();
+      r.used.expressions = budget.expressions;
+      v.reason = StrCat("IND expression budget exhausted (",
+                        budget.expressions, " expressions)");
+      PushStage(v, std::move(r));
+      return;
+    }
+    r.used.expressions = decision->expressions_visited;
+    decided = decision->implied ? ImplicationVerdict::kImplied
+                                : ImplicationVerdict::kNotImplied;
+    if (decision->implied && options_.want_proof) {
+      v.ind_chain = decision->chain;
+      v.ind_proof = std::move(decision->proof);
+      r.note = StrCat("IND1/2/3 proof checked, chain length ",
+                      decision->chain_length);
+    }
+  }
+
+  v.engine = r.engine;
+  v.outcome = decided;
+  r.verdict = decided;
+  bool want_evidence = decided == ImplicationVerdict::kNotImplied &&
+                       options_.want_counterexample;
+  PushStage(v, std::move(r));
+  if (!want_evidence) return;
+  if (DeadlineExpired(budget, v, "evidence")) return;
+
+  // Counterexample evidence via the Rule (*) construction (Theorem 3.1):
+  // finite and unrestricted implication coincide for INDs, and the
+  // saturated Rule (*) database is a finite witness of the failure.
+  StageReport e{"evidence", "rule-star-chase (Theorem 3.1)",
+                ImplicationVerdict::kNotImplied, "", {}};
+  IndChaseOptions copts;
+  copts.max_tuples = budget.tuples;
+  Result<IndChaseResult> witness =
+      IndChaseDecide(scheme_, inds_, ind, copts);
+  if (!witness.ok()) {
+    e.note = StrCat("no witness within the tuple budget: ",
+                    witness.status().ToString());
+    v.reason =
+        "decision is exact; counterexample construction exceeded the "
+        "tuple budget";
+  } else if (witness->implied) {
+    e.note = "Rule (*) chase disagrees with the BFS decision";
+    v.reason = "internal inconsistency between IND engines";
+  } else {
+    e.used.tuples = witness->tuples_added;
+    AttachCounterexample(std::move(witness->db), target, v, e);
+  }
+  PushStage(v, std::move(e));
+}
+
+void ImplicationSolver::SolveUnary(const Dependency& target,
+                                   const Budget& budget, Verdict& v) {
+  StageReport r{"decide", "", ImplicationVerdict::kUnknown, "", {}};
+  bool implied = false;
+  if (options_.semantics == ImplicationSemantics::kFinite) {
+    r.engine = "unary-finite-counting (KCV rules)";
+    UnaryFiniteImplication finite(scheme_, fds_, inds_);
+    implied = finite.Implies(target);
+  } else {
+    r.engine = "unary-non-interaction (KCV)";
+    UnaryUnrestrictedImplication engine(scheme_, fds_, inds_);
+    implied = engine.Implies(target);
+  }
+  v.engine = r.engine;
+  v.outcome = implied ? ImplicationVerdict::kImplied
+                      : ImplicationVerdict::kNotImplied;
+  r.verdict = v.outcome;
+  bool want_evidence = !implied && options_.want_counterexample;
+  if (!implied &&
+      options_.semantics == ImplicationSemantics::kUnrestricted &&
+      UnaryFiniteImplication(scheme_, fds_, inds_).Implies(target)) {
+    // The Theorem 4.4 separation: every counterexample is infinite.
+    r.note =
+        "finitely implied — only infinite counterexamples exist "
+        "(Theorem 4.4)";
+    want_evidence = false;
+  }
+  PushStage(v, std::move(r));
+  if (!want_evidence) return;
+  if (DeadlineExpired(budget, v, "evidence")) return;
+  // Best-effort finite witness (|=fin also fails, so one exists — though
+  // possibly above the bounded-search shape). The decision is already
+  // exact, so this garnish gets a small slice: a full scan that finds
+  // nothing would buy nothing.
+  SearchStage(target, budget.Split(8), v);
+}
+
+void ImplicationSolver::SolveMixed(const Dependency& target,
+                                   const Budget& budget, Verdict& v) {
+  Budget slice = budget.Split(3);
+  std::vector<std::string> unknown_notes;
+  if (DeadlineExpired(budget, v, "derivation")) return;
+
+  // --- Stage 1: sound interaction rules (necessarily incomplete) --------
+  {
+    StageReport r{"derivation", "mixed-derivation (Props 4.1-4.3)",
+                  ImplicationVerdict::kUnknown, "", {}};
+    MixedDerivation derivation(scheme_, nontrivial_,
+                               MixedDerivation::Options::FromBudget(slice));
+    Status st = derivation.Saturate();
+    r.used.expressions = derivation.dependency_count();
+    if (st.ok() && derivation.Derives(target)) {
+      r.verdict = ImplicationVerdict::kImplied;
+      v.outcome = ImplicationVerdict::kImplied;
+      v.engine = r.engine;
+      if (options_.want_proof) v.derivation_trace = derivation.trace();
+      r.note = StrCat(derivation.trace().size(),
+                      " interaction-rule applications");
+      PushStage(v, std::move(r));
+      return;
+    }
+    r.note = st.ok() ? "target not derivable by the sound rules"
+                     : st.ToString();
+    unknown_notes.push_back(StrCat("derivation: ", r.note));
+    PushStage(v, std::move(r));
+  }
+  if (DeadlineExpired(budget, v, "chase")) return;
+
+  // --- Stage 2: budgeted chase proof (universal model) ------------------
+  if (!rds_.empty()) {
+    StageReport r{"chase", "", ImplicationVerdict::kUnknown,
+                  "skipped: RD hypotheses are outside the chase's rule "
+                  "arsenal",
+                  {}};
+    unknown_notes.push_back("chase: skipped (RD hypotheses)");
+    PushStage(v, std::move(r));
+  } else {
+    StageReport r{"chase", "workspace-chase (universal model)",
+                  ImplicationVerdict::kUnknown, "", {}};
+    Result<Database> seed = MakeCanonicalSeed(scheme_, target);
+    if (!seed.ok()) {
+      r.note = seed.status().ToString();
+      unknown_notes.push_back(StrCat("chase: ", r.note));
+      PushStage(v, std::move(r));
+    } else {
+      // One workspace carries the chase and — on refutation — the
+      // evidence check: the fixpoint is verified in id-space without
+      // re-interning, then materialized once for the caller.
+      InternedWorkspace ws(scheme_);
+      ws.AppendDatabase(*seed);
+      WorkspaceChase chase(&ws, fds_, inds_);
+      Result<WorkspaceChaseStats> run =
+          chase.Run(ChaseOptions::FromBudget(slice));
+      if (!run.ok()) {
+        r.note = run.status().ToString();
+        r.used.steps = slice.steps;
+        unknown_notes.push_back(StrCat("chase: ", r.note));
+        PushStage(v, std::move(r));
+      } else if (run->outcome == ChaseOutcome::kFailed) {
+        r.note = "chase failed from an all-null seed (engine bug)";
+        unknown_notes.push_back(StrCat("chase: ", r.note));
+        PushStage(v, std::move(r));
+      } else {
+        r.used.steps = run->steps;
+        r.used.tuples = run->ind_tuples;
+        v.chase_stats = *run;
+        bool holds = ws.Satisfies(target);
+        v.engine = r.engine;
+        if (holds) {
+          v.outcome = ImplicationVerdict::kImplied;
+          r.verdict = ImplicationVerdict::kImplied;
+          r.note = "target holds in the chased fixpoint";
+          PushStage(v, std::move(r));
+          return;
+        }
+        v.outcome = ImplicationVerdict::kNotImplied;
+        r.verdict = ImplicationVerdict::kNotImplied;
+        if (options_.want_counterexample) {
+          // The fixpoint satisfies sigma by construction; re-check in
+          // id-space on the same workspace (nothing re-interned).
+          bool genuine =
+              !ws.Satisfies(target) && ws.SatisfiesAll(nontrivial_);
+          if (genuine) {
+            v.counterexample = ws.Materialize();
+            v.counterexample_verified = true;
+            r.note = "chased fixpoint is the counterexample (verified "
+                     "in-workspace)";
+          } else {
+            r.note = "fixpoint failed its sigma re-check (engine bug)";
+          }
+        }
+        PushStage(v, std::move(r));
+        return;
+      }
+    }
+  }
+  if (DeadlineExpired(budget, v, "search")) return;
+
+  // --- Stage 3: bounded counterexample search ---------------------------
+  SearchStage(target, slice, v);
+  if (v.outcome == ImplicationVerdict::kUnknown) {
+    unknown_notes.push_back("search: no counterexample within the bound");
+    v.reason = StrCat("undecidable fragment — ",
+                      JoinStrings(unknown_notes, "; "));
+  }
+}
+
+void ImplicationSolver::SolveUnsupported(const Dependency& target,
+                                         const Budget& budget, Verdict& v) {
+  SearchStage(target, budget, v);
+  if (v.outcome == ImplicationVerdict::kUnknown) {
+    v.reason =
+        "no exact engine covers EMVD/MVD sentences; bounded search found "
+        "no counterexample within the bound";
+  }
+}
+
+void ImplicationSolver::SearchStage(const Dependency& target,
+                                    const Budget& budget, Verdict& v) {
+  StageReport r{"search", "bounded-search (id-space)",
+                ImplicationVerdict::kUnknown, "", {}};
+  BoundedSearchOptions opts = BoundedSearchOptions::FromBudget(budget);
+  opts.max_tuples_per_relation = options_.search_max_tuples_per_relation;
+  opts.domain_size = options_.search_domain_size;
+  opts.workspace = &search_ws_;
+  Result<BoundedSearchResult> search =
+      FindCounterexample(scheme_, nontrivial_, target, opts);
+  if (!search.ok()) {
+    r.note = search.status().ToString();
+    PushStage(v, std::move(r));
+    return;
+  }
+  r.used.steps = search->candidates_tested;
+  if (search->counterexample.has_value()) {
+    bool undecided = v.outcome == ImplicationVerdict::kUnknown;
+    bool genuine =
+        AttachCounterexample(std::move(*search->counterexample), target, v,
+                             r);
+    if (genuine) {
+      r.verdict = ImplicationVerdict::kNotImplied;
+      if (undecided) {
+        v.outcome = ImplicationVerdict::kNotImplied;
+        if (v.engine.empty()) v.engine = r.engine;
+      }
+    }
+  } else {
+    r.note = search->exhausted
+                 ? StrCat("no counterexample with <= ",
+                          opts.max_tuples_per_relation,
+                          " tuples per relation over a ",
+                          opts.domain_size, "-value domain")
+                 : "candidate budget exhausted before the bound";
+  }
+  PushStage(v, std::move(r));
+}
+
+Result<Verdict> SolveImplication(SchemePtr scheme,
+                                 std::vector<Dependency> sigma,
+                                 const Dependency& target,
+                                 const Budget& budget,
+                                 SolveOptions options) {
+  ImplicationSolver solver(std::move(scheme), std::move(sigma), options);
+  return solver.Solve(target, budget);
+}
+
+}  // namespace ccfp

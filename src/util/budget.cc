@@ -1,0 +1,55 @@
+#include "util/budget.h"
+
+#include <limits>
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+std::string BudgetUse::ToString() const {
+  return StrCat("steps=", steps, " tuples=", tuples,
+                " expressions=", expressions);
+}
+
+Budget Budget::Unlimited() {
+  Budget b;
+  b.steps = std::numeric_limits<std::uint64_t>::max();
+  b.tuples = std::numeric_limits<std::uint64_t>::max();
+  b.expressions = std::numeric_limits<std::uint64_t>::max();
+  return b;
+}
+
+Budget Budget::Tiny() {
+  Budget b;
+  b.steps = 8;
+  b.tuples = 8;
+  b.expressions = 8;
+  return b;
+}
+
+Budget Budget::WithTimeLimit(std::chrono::milliseconds limit) {
+  Budget b;
+  b.deadline = std::chrono::steady_clock::now() + limit;
+  return b;
+}
+
+Budget Budget::Split(unsigned parts) const {
+  if (parts <= 1) return *this;
+  Budget share = *this;
+  auto divide = [parts](std::uint64_t amount) {
+    std::uint64_t slice = amount / parts;
+    return slice == 0 ? std::uint64_t{1} : slice;
+  };
+  share.steps = divide(steps);
+  share.tuples = divide(tuples);
+  share.expressions = divide(expressions);
+  return share;
+}
+
+std::string Budget::ToString() const {
+  return StrCat("steps=", steps, " tuples=", tuples,
+                " expressions=", expressions,
+                " deadline=", deadline.has_value() ? "set" : "none");
+}
+
+}  // namespace ccfp

@@ -1,0 +1,90 @@
+#ifndef CCFP_UTIL_BUDGET_H_
+#define CCFP_UTIL_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ccfp {
+
+/// How much of a Budget an engine (or one solver stage) actually consumed.
+/// The counters mirror Budget's resource axes; engines fill in the ones
+/// they meter and leave the rest at zero.
+struct BudgetUse {
+  std::uint64_t steps = 0;        ///< rule firings / merges / candidates
+  std::uint64_t tuples = 0;       ///< tuples materialized or held alive
+  std::uint64_t expressions = 0;  ///< BFS nodes / derived sentences
+
+  BudgetUse& Add(const BudgetUse& other) {
+    steps += other.steps;
+    tuples += other.tuples;
+    expressions += other.expressions;
+    return *this;
+  }
+
+  /// "steps=12 tuples=3 expressions=0".
+  std::string ToString() const;
+};
+
+/// The one budget vocabulary shared by every implication engine. The
+/// implication problem for FDs and INDs together is undecidable, and even
+/// the decidable fragments are PSPACE-hard, so every entry point is
+/// budgeted — but before this type each engine grew its own `max_*` knob
+/// (ChaseOptions::max_steps/max_tuples, IndDecisionOptions::max_expressions,
+/// BoundedSearchOptions::max_candidates, MixedDerivation's
+/// max_dependencies) with incompatible defaults and outcome encodings.
+/// A Budget names the three resource axes those knobs actually meter, plus
+/// an optional wall-clock deadline:
+///
+///   * `steps`       — rule firings: chase merges/generations, bounded-
+///                     search candidate evaluations;
+///   * `tuples`      — materialized tuples a chase may hold alive;
+///   * `expressions` — graph nodes: IND-BFS expressions, derived sentences
+///                     of the saturation engine;
+///   * `deadline`    — a steady-clock instant after which multi-stage
+///                     drivers (the ImplicationSolver) stop launching new
+///                     stages. Engines themselves are CPU-bounded by the
+///                     counters; the deadline is checked at stage
+///                     boundaries, not inside hot loops.
+///
+/// Exhausting a Budget is never an error and never aborts: engines report
+/// ResourceExhausted / Verdict::kUnknown and leave resumable state where
+/// they support it (WorkspaceChase).
+struct Budget {
+  std::uint64_t steps = 1ull << 20;
+  std::uint64_t tuples = 1ull << 18;
+  std::uint64_t expressions = 1ull << 22;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  /// The default budget: matches the historical per-engine defaults.
+  static Budget Default() { return Budget{}; }
+
+  /// Effectively unbounded counters (UINT64_MAX), no deadline. For callers
+  /// that know their instance is small and want exactness or bust.
+  static Budget Unlimited();
+
+  /// A deliberately tiny budget, for exercising exhaustion paths.
+  static Budget Tiny();
+
+  /// Default counters plus a deadline `limit` from now.
+  static Budget WithTimeLimit(std::chrono::milliseconds limit);
+
+  /// Staged allocation: an even share of every counter for one of `parts`
+  /// sequential stages (each at least 1 so a stage can always fire once);
+  /// the deadline — a point in time, not a rate — is shared unchanged.
+  Budget Split(unsigned parts) const;
+
+  /// True iff a deadline is set and has passed.
+  bool Expired() const {
+    return deadline.has_value() &&
+           std::chrono::steady_clock::now() >= *deadline;
+  }
+
+  /// "steps=1048576 tuples=262144 expressions=4194304 deadline=none".
+  std::string ToString() const;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_UTIL_BUDGET_H_

@@ -176,9 +176,10 @@ TEST_P(BoundedCrossOracleTest, PureFdSearchMatchesClosureOracle) {
   std::vector<Dependency> premises;
   for (const Fd& fd : sigma) premises.push_back(Dependency(fd));
   bool implied = FdImplies(*scheme, sigma, target);
-  bool has_counterexample =
+  Result<bool> has_counterexample =
       HasBoundedCounterexample(scheme, premises, Dependency(target));
-  EXPECT_EQ(implied, !has_counterexample);
+  ASSERT_TRUE(has_counterexample.ok()) << has_counterexample.status();
+  EXPECT_EQ(implied, !*has_counterexample);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BoundedCrossOracleTest,

@@ -164,7 +164,7 @@ TEST_F(BoundedSearchTest, AgreesWithIndEngineOnUnaryInstances) {
   for (const char* text :
        {"R[A] <= S[D]", "R[B] <= S[C]", "S[D] <= R[A]", "R[A] <= S[C]"}) {
     Dependency target = Dep(text);
-    bool implied = engine.Implies(target.ind());
+    bool implied = *engine.Implies(target.ind());
     Result<BoundedSearchResult> result =
         FindCounterexample(scheme_, premises, target);
     ASSERT_TRUE(result.ok());

@@ -101,7 +101,7 @@ TEST(Section7Test, Lemma76IndConsequencesAreLambdaPlus) {
     ASSERT_NE(verdict, ImplicationVerdict::kUnknown)
         << tau.ToString(*c.scheme);
     EXPECT_EQ(verdict == ImplicationVerdict::kImplied,
-              lambda_engine.Implies(tau.ind()))
+              *lambda_engine.Implies(tau.ind()))
         << tau.ToString(*c.scheme);
   }
 }
@@ -203,7 +203,7 @@ TEST(Section7Test, Lemma78NoMixedConsequencesSneakIn) {
     } else if (tau.is_fd()) {
       structural = FdImplies(*c.scheme, phi_minus_sigma, tau.fd());
     } else if (tau.is_ind()) {
-      structural = ind_engine.Implies(tau.ind());
+      structural = *ind_engine.Implies(tau.ind());
     }
     EXPECT_EQ(verdict == ImplicationVerdict::kImplied, structural)
         << tau.ToString(*c.scheme);
@@ -229,7 +229,7 @@ TEST(Section7Test, GammaClosedUnderKaryImplication) {
     } else if (tau.is_fd()) {
       in = FdImplies(*c.scheme, c.phi, tau.fd());
     } else if (tau.is_ind()) {
-      in = lambda_engine.Implies(tau.ind());
+      in = *lambda_engine.Implies(tau.ind());
     }
     if (in && !(tau.is_fd() && tau.fd() == c.sigma)) gamma.push_back(tau);
   }

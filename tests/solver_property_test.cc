@@ -1,0 +1,260 @@
+// Verdict-consistency properties of the ImplicationSolver façade:
+//   (a) on each fragment's native instances the solver agrees with the
+//       legacy entry point for that fragment (FdImplies, the IND BFS, the
+//       unary engines, ChaseImplies);
+//   (b) monotonicity — a decisive verdict (kImplied / kNotImplied) never
+//       flips under a larger Budget; only kUnknown may resolve;
+//   (c) every attached counterexample is genuine (re-checked with the
+//       legacy Value-hashing model checker).
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "core/satisfies.h"
+#include "fd/closure.h"
+#include "ind/implication.h"
+#include "interact/unary_finite.h"
+#include "solve/solver.h"
+#include "util/rng.h"
+
+namespace ccfp {
+namespace {
+
+void ExpectCounterexampleGenuine(const Verdict& v,
+                                 const std::vector<Dependency>& sigma,
+                                 const Dependency& target,
+                                 const DatabaseScheme& scheme) {
+  if (!v.counterexample.has_value()) return;
+  SatisfiesOptions legacy{SatisfiesEngine::kLegacy};
+  for (const Dependency& dep : sigma) {
+    if (IsTrivial(scheme, dep)) continue;
+    EXPECT_TRUE(Satisfies(*v.counterexample, dep, legacy))
+        << "counterexample violates sigma member "
+        << dep.ToString(scheme);
+  }
+  EXPECT_FALSE(Satisfies(*v.counterexample, target, legacy))
+      << "counterexample satisfies the target "
+      << target.ToString(scheme);
+}
+
+/// Monotonicity: solve under a tiny budget and under the default budget;
+/// a decisive tiny-budget verdict must be preserved.
+void ExpectMonotone(ImplicationSolver& solver, const Dependency& target,
+                    const DatabaseScheme& scheme) {
+  Result<Verdict> small = solver.Solve(target, Budget::Tiny());
+  Result<Verdict> large = solver.Solve(target, Budget());
+  ASSERT_TRUE(small.ok()) << small.status();
+  ASSERT_TRUE(large.ok()) << large.status();
+  if (small->outcome != ImplicationVerdict::kUnknown) {
+    EXPECT_EQ(small->outcome, large->outcome)
+        << "verdict flipped under a larger budget for "
+        << target.ToString(scheme);
+  }
+}
+
+class SolverPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+// --- (a) pure-FD agreement with FdImplies -------------------------------
+
+TEST_P(SolverPropertyTest, PureFdAgreesWithClosure) {
+  SplitMix64 rng(GetParam() * 77 + 5);
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C", "D"}}});
+  std::vector<Fd> fds;
+  std::vector<Dependency> sigma;
+  for (int i = 0; i < 4; ++i) {
+    AttrId x = static_cast<AttrId>(rng.Below(4));
+    AttrId y = static_cast<AttrId>(rng.Below(4));
+    if (x == y) continue;
+    Fd fd{0, {x}, {y}};
+    if (rng.Chance(1, 3)) fd.lhs.push_back(static_cast<AttrId>((y + 1) % 4));
+    if (fd.lhs.size() == 2 && fd.lhs[0] == fd.lhs[1]) fd.lhs.pop_back();
+    fds.push_back(fd);
+    sigma.push_back(Dependency(fd));
+  }
+  ImplicationSolver solver(scheme, sigma);
+  for (int t = 0; t < 6; ++t) {
+    AttrId x = static_cast<AttrId>(rng.Below(4));
+    AttrId y = static_cast<AttrId>(rng.Below(4));
+    if (x == y) continue;
+    Fd target{0, {x}, {y}};
+    Verdict v = solver.Solve(Dependency(target)).value();
+    EXPECT_EQ(v.implied(), FdImplies(*scheme, fds, target))
+        << Dependency(target).ToString(*scheme);
+    EXPECT_NE(v.outcome, ImplicationVerdict::kUnknown);
+    ExpectCounterexampleGenuine(v, sigma, Dependency(target), *scheme);
+    ExpectMonotone(solver, Dependency(target), *scheme);
+  }
+}
+
+// --- (a) pure-IND agreement with the Corollary 3.2 BFS ------------------
+
+TEST_P(SolverPropertyTest, PureIndAgreesWithBfs) {
+  SplitMix64 rng(GetParam() * 131 + 7);
+  std::size_t relations = 3;
+  std::vector<std::pair<std::string, std::vector<std::string>>> rels;
+  for (std::size_t r = 0; r < relations; ++r) {
+    rels.emplace_back("R" + std::to_string(r),
+                      std::vector<std::string>{"A", "B", "C"});
+  }
+  SchemePtr scheme = MakeScheme(rels);
+  std::vector<Ind> inds;
+  std::vector<Dependency> sigma;
+  std::size_t count = 2 + rng.Below(3);
+  for (std::size_t i = 0; i < count; ++i) {
+    RelId r1 = static_cast<RelId>(rng.Below(relations));
+    RelId r2 = static_cast<RelId>(rng.Below(relations));
+    std::size_t width = 1 + rng.Below(2);
+    std::vector<AttrId> all = {0, 1, 2};
+    std::swap(all[rng.Below(3)], all[2]);
+    std::vector<AttrId> lhs(all.begin(), all.begin() + width);
+    std::swap(all[rng.Below(3)], all[2]);
+    std::vector<AttrId> rhs(all.begin(), all.begin() + width);
+    inds.push_back(Ind{r1, lhs, r2, rhs});
+    sigma.push_back(Dependency(inds.back()));
+  }
+  ImplicationSolver solver(scheme, sigma);
+  IndImplication engine(scheme, inds);
+  for (int t = 0; t < 5; ++t) {
+    RelId r1 = static_cast<RelId>(rng.Below(relations));
+    RelId r2 = static_cast<RelId>(rng.Below(relations));
+    AttrId a = static_cast<AttrId>(rng.Below(3));
+    AttrId b = static_cast<AttrId>(rng.Below(3));
+    Ind target{r1, {a}, r2, {b}};
+    if (!Validate(*scheme, target).ok()) continue;
+    Verdict v = solver.Solve(Dependency(target)).value();
+    Result<bool> via_bfs = engine.Implies(target);
+    ASSERT_TRUE(via_bfs.ok()) << via_bfs.status();
+    EXPECT_NE(v.outcome, ImplicationVerdict::kUnknown);
+    EXPECT_EQ(v.implied(), *via_bfs)
+        << Dependency(target).ToString(*scheme);
+    ExpectCounterexampleGenuine(v, sigma, Dependency(target), *scheme);
+    ExpectMonotone(solver, Dependency(target), *scheme);
+  }
+}
+
+// --- (a) unary agreement with both unary engines ------------------------
+
+TEST_P(SolverPropertyTest, UnaryAgreesWithBothSemantics) {
+  SplitMix64 rng(GetParam() * 17 + 29);
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+  std::vector<Fd> fds;
+  std::vector<Ind> inds;
+  std::vector<Dependency> sigma;
+  for (int i = 0; i < 4; ++i) {
+    if (rng.Chance(1, 2)) {
+      RelId rel = static_cast<RelId>(rng.Below(2));
+      AttrId x = static_cast<AttrId>(rng.Below(2));
+      Fd fd{rel, {x}, {static_cast<AttrId>(1 - x)}};
+      fds.push_back(fd);
+      sigma.push_back(Dependency(fd));
+    } else {
+      RelId r1 = static_cast<RelId>(rng.Below(2));
+      RelId r2 = static_cast<RelId>(rng.Below(2));
+      Ind ind{r1,
+              {static_cast<AttrId>(rng.Below(2))},
+              r2,
+              {static_cast<AttrId>(rng.Below(2))}};
+      if (!Validate(*scheme, ind).ok() || IsTrivial(ind)) continue;
+      inds.push_back(ind);
+      sigma.push_back(Dependency(ind));
+    }
+  }
+  if (fds.empty() || inds.empty()) return;  // pure fragments covered above
+  UnaryFiniteImplication finite(scheme, fds, inds);
+  UnaryUnrestrictedImplication unrestricted(scheme, fds, inds);
+  SolveOptions finite_opts;
+  finite_opts.semantics = ImplicationSemantics::kFinite;
+  ImplicationSolver finite_solver(scheme, sigma, finite_opts);
+  ImplicationSolver unrestricted_solver(scheme, sigma);
+  for (int t = 0; t < 6; ++t) {
+    RelId rel = static_cast<RelId>(rng.Below(2));
+    AttrId x = static_cast<AttrId>(rng.Below(2));
+    Dependency target =
+        rng.Chance(1, 2)
+            ? Dependency(Fd{rel, {x}, {static_cast<AttrId>(1 - x)}})
+            : Dependency(Ind{rel,
+                             {x},
+                             static_cast<RelId>(rng.Below(2)),
+                             {static_cast<AttrId>(rng.Below(2))}});
+    if (!Validate(*scheme, target).ok()) continue;
+    if (ClassifyImplicationFragment(*scheme, sigma, target) !=
+        ImplicationFragment::kUnary) {
+      continue;  // e.g. trivial-after-filter sigma demotes to pure
+    }
+    Verdict vf = finite_solver.Solve(target).value();
+    Verdict vu = unrestricted_solver.Solve(target).value();
+    EXPECT_EQ(vf.implied(), finite.Implies(target))
+        << target.ToString(*scheme);
+    EXPECT_EQ(vu.implied(), unrestricted.Implies(target))
+        << target.ToString(*scheme);
+    ExpectCounterexampleGenuine(vu, sigma, target, *scheme);
+    ExpectMonotone(unrestricted_solver, target, *scheme);
+  }
+}
+
+// --- (a) mixed agreement with ChaseImplies on acyclic instances ---------
+
+TEST_P(SolverPropertyTest, MixedAgreesWithChaseOnAcyclic) {
+  SplitMix64 rng(GetParam() * 313 + 11);
+  // Acyclic IND graph (forward edges only): the chase terminates, so the
+  // legacy semi-decision is exact and the solver must match it.
+  std::size_t relations = 3;
+  std::vector<std::pair<std::string, std::vector<std::string>>> rels;
+  for (std::size_t r = 0; r < relations; ++r) {
+    rels.emplace_back("R" + std::to_string(r),
+                      std::vector<std::string>{"A", "B", "C"});
+  }
+  SchemePtr scheme = MakeScheme(rels);
+  std::vector<Fd> fds;
+  std::vector<Ind> inds;
+  std::vector<Dependency> sigma;
+  for (std::size_t r = 0; r < relations; ++r) {
+    AttrId x = static_cast<AttrId>(rng.Below(3));
+    AttrId y = static_cast<AttrId>(rng.Below(3));
+    if (x == y) continue;
+    fds.push_back(Fd{static_cast<RelId>(r), {x}, {y}});
+    sigma.push_back(Dependency(fds.back()));
+  }
+  for (int i = 0; i < 3; ++i) {
+    RelId r1 = static_cast<RelId>(rng.Below(relations - 1));
+    RelId r2 =
+        static_cast<RelId>(r1 + 1 + rng.Below(relations - r1 - 1));
+    std::size_t width = 1 + rng.Below(2);
+    std::vector<AttrId> all = {0, 1, 2};
+    std::swap(all[rng.Below(3)], all[2]);
+    std::vector<AttrId> lhs(all.begin(), all.begin() + width);
+    std::swap(all[rng.Below(3)], all[2]);
+    std::vector<AttrId> rhs(all.begin(), all.begin() + width);
+    inds.push_back(Ind{r1, lhs, r2, rhs});
+    sigma.push_back(Dependency(inds.back()));
+  }
+  if (fds.empty() || inds.empty()) return;
+  ImplicationSolver solver(scheme, sigma);
+  for (int t = 0; t < 5; ++t) {
+    RelId rel = static_cast<RelId>(rng.Below(relations));
+    AttrId x = static_cast<AttrId>(rng.Below(3));
+    AttrId y = static_cast<AttrId>(rng.Below(3));
+    if (x == y) continue;
+    Dependency target =
+        rng.Chance(1, 2)
+            ? Dependency(Fd{rel, {x}, {y}})
+            : Dependency(
+                  Ind{rel, {x}, static_cast<RelId>(rng.Below(relations)),
+                      {y}});
+    if (!Validate(*scheme, target).ok()) continue;
+    Result<bool> via_chase = ChaseImplies(scheme, fds, inds, target);
+    if (!via_chase.ok()) continue;  // budget (should not happen: acyclic)
+    Verdict v = solver.Solve(target).value();
+    EXPECT_NE(v.outcome, ImplicationVerdict::kUnknown)
+        << target.ToString(*scheme);
+    EXPECT_EQ(v.implied(), *via_chase) << target.ToString(*scheme);
+    ExpectCounterexampleGenuine(v, sigma, target, *scheme);
+    ExpectMonotone(solver, target, *scheme);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace ccfp
