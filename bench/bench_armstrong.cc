@@ -84,11 +84,56 @@ void BM_BuildMixedArmstrong(benchmark::State& state) {
 
 BENCHMARK(BM_BuildMixedArmstrong)->DenseRange(2, 5);
 
+/// The multi-round verify-dominated workload: an ArmstrongSession whose
+/// sentence universe grows one member per Extend — the k-ary-hierarchy /
+/// interactive-schema-design shape, where after every extension the
+/// session re-establishes exactness over the entire universe so far.
+/// Emits a fullsweep/incremental entry pair; the per-round re-sweeps are
+/// exactly what ArmstrongVerifyEngine::kIncremental retires (watchers
+/// answer old members from counters, only the delta is re-processed).
+void EmitSessionReport(BenchReporter& reporter) {
+  const std::size_t arity = 10;
+  std::vector<std::string> attrs;
+  for (std::size_t i = 0; i < arity; ++i) attrs.push_back(StrCat("A", i));
+  SchemePtr scheme = MakeScheme({{"R", attrs}});
+  UniverseOptions options;
+  options.max_fd_lhs = 2;
+  options.include_inds = false;
+  std::vector<Dependency> universe = EnumerateUniverse(*scheme, options);
+  std::vector<Fd> fds = {Fd{0, {0}, {1}}, Fd{0, {1}, {2}}};
+  FdOracle oracle(scheme);
+
+  std::uint64_t wall[2] = {0, 0};
+  for (int engine = 0; engine < 2; ++engine) {
+    ArmstrongBuildOptions build;
+    build.verify = engine == 1 ? ArmstrongVerifyEngine::kIncremental
+                               : ArmstrongVerifyEngine::kFullSweep;
+    wall[engine] = MedianWallNs(3, [&] {
+      ArmstrongSession session(scheme, fds, {}, &oracle, build);
+      for (const Dependency& tau : universe) {
+        Status st = session.Extend({tau});
+        CCFP_CHECK(st.ok());
+      }
+    });
+  }
+  reporter.Add("session_fd_arity10_fullsweep", universe.size(), wall[0],
+               universe.size());
+  reporter.Add("session_fd_arity10_incremental", universe.size(), wall[1],
+               universe.size());
+  std::fprintf(stderr,
+               "session_fd_arity10 (universe %zu, one member per round): "
+               "fullsweep %.2f ms, incremental %.2f ms, speedup %.2fx\n",
+               universe.size(), wall[0] / 1e6, wall[1] / 1e6,
+               static_cast<double>(wall[0]) /
+                   static_cast<double>(wall[1] == 0 ? 1 : wall[1]));
+}
+
 /// Times both Armstrong engines on the two recorded workloads and emits
 /// one legacy/workspace entry pair each (steps = universe size decided and
 /// verified per build).
 void EmitJsonReport() {
   BenchReporter reporter("armstrong");
+  EmitSessionReport(reporter);
   struct Workload {
     const char* name;
     std::size_t n;

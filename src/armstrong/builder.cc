@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <unordered_set>
 
-#include "chase/workspace_chase.h"
 #include "core/satisfies.h"
 #include "util/strings.h"
 
@@ -144,96 +143,152 @@ Result<ArmstrongReport> BuildLegacy(
              options.max_repair_rounds, " rounds"));
 }
 
-/// The workspace flow: one InternedWorkspace carries seed, chase fixpoint,
-/// and verification state across every repair round. Rounds after the
-/// first append only their repair seeds and resume the chase — no value is
-/// re-interned, no partition over an unchanged (relation, column-set) is
-/// rebuilt, and the repaired delta is all the chase re-processes.
-Result<ArmstrongReport> BuildWithWorkspace(
-    const SchemePtr& scheme, const std::vector<Fd>& fds,
-    const std::vector<Ind>& inds, const std::vector<Dependency>& universe,
-    std::vector<Dependency> expected,
-    const std::vector<Dependency>& must_fail,
-    const ArmstrongBuildOptions& options) {
-  InternedWorkspace ws(scheme);
-  for (RelId rel = 0; rel < scheme->size(); ++rel) {
-    SeedGenericTupleWs(ws, rel);
-    SeedGenericTupleWs(ws, rel);
-  }
-  for (const Dependency& tau : must_fail) {
-    if (tau.is_fd()) SeedFdViolationWs(ws, tau.fd());
-  }
+}  // namespace
 
-  WorkspaceChase chaser(&ws, fds, inds);
+ArmstrongSession::ArmstrongSession(SchemePtr scheme, std::vector<Fd> fds,
+                                   std::vector<Ind> inds,
+                                   const ImplicationOracle* oracle,
+                                   const ArmstrongBuildOptions& options)
+    : scheme_(std::move(scheme)),
+      fds_(std::move(fds)),
+      inds_(std::move(inds)),
+      oracle_(oracle),
+      options_(options),
+      ws_(scheme_),
+      chaser_(&ws_, fds_, inds_) {
+  for (const Fd& fd : fds_) sigma_deps_.push_back(Dependency(fd));
+  for (const Ind& ind : inds_) sigma_deps_.push_back(Dependency(ind));
+  for (RelId rel = 0; rel < scheme_->size(); ++rel) {
+    SeedGenericTupleWs(ws_, rel);
+    SeedGenericTupleWs(ws_, rel);
+  }
+  // A session exists to be extended round after round — the shape where
+  // watchers amortize. One-shot callers resolve kAuto to kFullSweep
+  // before constructing one (see BuildArmstrongDatabase).
+  if (options_.verify == ArmstrongVerifyEngine::kAuto) {
+    options_.verify = ArmstrongVerifyEngine::kIncremental;
+  }
+  if (options_.verify == ArmstrongVerifyEngine::kIncremental) {
+    verifier_ = std::make_unique<IncrementalVerifier>(&ws_);
+  }
+}
 
-  for (int round = 0; round <= options.max_repair_rounds; ++round) {
+Status ArmstrongSession::VerifyExactness() {
+  // Cached WatchIds: the incremental re-check is pure counter reads.
+  std::optional<std::string> mismatch =
+      verifier_ ? ObeysExactlyWatchedIds(*verifier_, universe_,
+                                         universe_expected_, universe_ids_)
+                : ObeysExactly(ws_, universe_, expected_);
+  if (mismatch.has_value()) {
+    return Status::Internal(
+        StrCat("Armstrong verification failed: ", *mismatch));
+  }
+  return Status::OK();
+}
+
+Status ArmstrongSession::ChaseVerifyRepair() {
+  for (int round = 0; round <= options_.max_repair_rounds; ++round) {
     CCFP_ASSIGN_OR_RETURN(WorkspaceChaseStats chased,
-                          chaser.Run(options.chase));
+                          chaser_.Run(options_.chase));
     if (chased.outcome == ChaseOutcome::kFailed) {
       return Status::Internal(
           "chase failed on an all-null Armstrong seed (constant clash)");
     }
+    if (round > 0) ++repair_rounds_;
 
     bool repaired = false;
-    for (const Dependency& tau : must_fail) {
-      if (!ws.Satisfies(tau)) continue;
+    for (std::size_t i = 0; i < must_fail_.size(); ++i) {
+      // The incremental engine answers from watcher counters updated by
+      // this round's chase delta; the sweep engine re-scans.
+      bool satisfied = verifier_ ? verifier_->Satisfies(must_fail_ids_[i])
+                                 : ws_.Satisfies(must_fail_[i]);
+      if (!satisfied) continue;
       repaired = true;
-      CCFP_RETURN_NOT_OK(AppendRepairSeedWs(ws, tau));
+      CCFP_RETURN_NOT_OK(AppendRepairSeedWs(ws_, must_fail_[i]));
     }
-
-    if (!repaired) {
-      std::optional<std::string> mismatch =
-          ObeysExactly(ws, universe, expected);
-      if (mismatch.has_value()) {
-        return Status::Internal(
-            StrCat("Armstrong verification failed: ", *mismatch));
-      }
-      ArmstrongReport report(ws.Materialize());
-      report.expected = std::move(expected);
-      report.repair_rounds = round;
-      report.workspace_stats = ws.stats();
-      return report;
-    }
+    if (!repaired) return VerifyExactness();
   }
   return Status::Internal(
       StrCat("Armstrong repair did not converge in ",
-             options.max_repair_rounds, " rounds"));
+             options_.max_repair_rounds, " rounds"));
 }
 
-}  // namespace
+Status ArmstrongSession::Extend(const std::vector<Dependency>& delta) {
+  for (const Dependency& tau : delta) {
+    if (known_.count(tau) > 0) continue;  // already classified
+    ImplicationVerdict verdict = oracle_->Implies(sigma_deps_, tau);
+    if (verdict == ImplicationVerdict::kUnknown) {
+      // Nothing recorded for tau yet, so this particular failure is
+      // retryable (e.g. with a better-budgeted oracle).
+      return Status::FailedPrecondition(
+          StrCat("oracle '", oracle_->name(), "' cannot decide ",
+                 tau.ToString(*scheme_)));
+    }
+    known_.insert(tau);
+    universe_.push_back(tau);
+    bool implied = verdict == ImplicationVerdict::kImplied;
+    universe_expected_.push_back(implied);
+    if (verifier_) universe_ids_.push_back(verifier_->Watch(tau));
+    if (implied) {
+      expected_.push_back(tau);
+    } else {
+      must_fail_.push_back(tau);
+      if (verifier_) must_fail_ids_.push_back(universe_ids_.back());
+      if (tau.is_fd()) SeedFdViolationWs(ws_, tau.fd());
+    }
+  }
+  return ChaseVerifyRepair();
+}
 
 Result<ArmstrongReport> BuildArmstrongDatabase(
     SchemePtr scheme, const std::vector<Fd>& fds,
     const std::vector<Ind>& inds, const std::vector<Dependency>& universe,
     const ImplicationOracle& oracle, const ArmstrongBuildOptions& options) {
-  // 1. Expected consequence set.
-  std::vector<Dependency> sigma_deps;
-  for (const Fd& fd : fds) sigma_deps.push_back(Dependency(fd));
-  for (const Ind& ind : inds) sigma_deps.push_back(Dependency(ind));
-
-  std::vector<Dependency> expected;
-  std::vector<Dependency> must_fail;
-  for (const Dependency& tau : universe) {
-    ImplicationVerdict verdict = oracle.Implies(sigma_deps, tau);
-    if (verdict == ImplicationVerdict::kUnknown) {
-      return Status::FailedPrecondition(
-          StrCat("oracle '", oracle.name(), "' cannot decide ",
-                 tau.ToString(*scheme)));
-    }
-    if (verdict == ImplicationVerdict::kImplied) {
-      expected.push_back(tau);
-    } else {
-      must_fail.push_back(tau);
-    }
-  }
-
-  // 2-3. Seed, then chase / verify / repair to exactness.
   if (options.engine == ArmstrongEngine::kLegacy) {
+    // 1. Expected consequence set.
+    std::vector<Dependency> sigma_deps;
+    for (const Fd& fd : fds) sigma_deps.push_back(Dependency(fd));
+    for (const Ind& ind : inds) sigma_deps.push_back(Dependency(ind));
+
+    std::vector<Dependency> expected;
+    std::vector<Dependency> must_fail;
+    for (const Dependency& tau : universe) {
+      ImplicationVerdict verdict = oracle.Implies(sigma_deps, tau);
+      if (verdict == ImplicationVerdict::kUnknown) {
+        return Status::FailedPrecondition(
+            StrCat("oracle '", oracle.name(), "' cannot decide ",
+                   tau.ToString(*scheme)));
+      }
+      if (verdict == ImplicationVerdict::kImplied) {
+        expected.push_back(tau);
+      } else {
+        must_fail.push_back(tau);
+      }
+    }
+    // 2-3. Seed, then chase / verify / repair to exactness.
     return BuildLegacy(scheme, fds, inds, universe, std::move(expected),
                        must_fail, options);
   }
-  return BuildWithWorkspace(scheme, fds, inds, universe, std::move(expected),
-                            must_fail, options);
+
+  // The workspace flow is a one-Extend session: one InternedWorkspace
+  // carries seed, chase fixpoint, and verification state across every
+  // repair round. Rounds after the first append only their repair seeds
+  // and resume the chase — no value is re-interned, no partition is ever
+  // rebuilt, and the repaired delta is all the chase (and, under
+  // kIncremental, the verifier) re-processes. A one-shot build verifies
+  // the universe essentially once, so kAuto picks the sweep here —
+  // watchers would be compiled for a single read.
+  ArmstrongBuildOptions resolved = options;
+  if (resolved.verify == ArmstrongVerifyEngine::kAuto) {
+    resolved.verify = ArmstrongVerifyEngine::kFullSweep;
+  }
+  ArmstrongSession session(scheme, fds, inds, &oracle, resolved);
+  CCFP_RETURN_NOT_OK(session.Extend(universe));
+  ArmstrongReport report(session.Snapshot());
+  report.expected = session.expected();
+  report.repair_rounds = session.repair_rounds();
+  report.workspace_stats = session.workspace_stats();
+  return report;
 }
 
 }  // namespace ccfp

@@ -2,14 +2,18 @@
 #define CCFP_ARMSTRONG_BUILDER_H_
 
 #include <cstdint>
+#include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "axiom/oracle.h"
 #include "chase/chase.h"
+#include "chase/workspace_chase.h"
 #include "core/database.h"
 #include "core/dependency.h"
 #include "core/workspace.h"
 #include "util/status.h"
+#include "verify/verifier.h"
 
 namespace ccfp {
 
@@ -37,8 +41,29 @@ enum class ArmstrongEngine : std::uint8_t {
   kWorkspace = 0,
   /// The PR 2 flow: each round re-runs Chase::RunInterned on the heap
   /// seed database (re-interning it per round) and verifies the resulting
-  /// IdDatabase. Kept as the differential reference.
+  /// IdDatabase. Kept as the differential reference. Always verifies by
+  /// full sweep (ArmstrongVerifyEngine does not apply).
   kLegacy = 1,
+};
+
+/// How the kWorkspace engine establishes truth each round.
+enum class ArmstrongVerifyEngine : std::uint8_t {
+  /// Pick per entry point: ArmstrongSession resolves to kIncremental
+  /// (multi-round sessions amortize the watcher build many times over —
+  /// ~6x end-to-end on the recorded session workload), the one-shot
+  /// BuildArmstrongDatabase to kFullSweep (a single-round build verifies
+  /// once, and one sweep is cheaper than compiling watchers it would
+  /// never reuse). The default.
+  kAuto = 0,
+  /// Incremental dependency watchers (verify/verifier.h) consume the
+  /// workspace change feed: each round re-checks only what that round's
+  /// chase delta actually touched, and the exactness check is counter
+  /// reads instead of a universe sweep.
+  kIncremental = 1,
+  /// The PR 2–4 behavior: every verification is a full partition-backed
+  /// sweep (`Satisfies` / `ObeysExactly`). Kept as the differential
+  /// reference for the watchers.
+  kFullSweep = 2,
 };
 
 struct ArmstrongBuildOptions {
@@ -46,6 +71,7 @@ struct ArmstrongBuildOptions {
   /// Maximum repair rounds before giving up.
   int max_repair_rounds = 8;
   ArmstrongEngine engine = ArmstrongEngine::kWorkspace;
+  ArmstrongVerifyEngine verify = ArmstrongVerifyEngine::kAuto;
 };
 
 struct ArmstrongReport {
@@ -75,6 +101,82 @@ Result<ArmstrongReport> BuildArmstrongDatabase(
     const std::vector<Ind>& inds, const std::vector<Dependency>& universe,
     const ImplicationOracle& oracle,
     const ArmstrongBuildOptions& options = {});
+
+/// A *multi-round* Armstrong construction: one persistent workspace, chase,
+/// and verifier maintained while the sentence universe grows — the shape of
+/// the paper's k-ary hierarchy experiments (grow the universe one lattice
+/// level, or even one sentence, at a time) and of interactive schema-design
+/// sessions.
+///
+/// Each `Extend(delta)` classifies the new members through the oracle,
+/// appends targeted violation seeds for the new non-consequences, resumes
+/// the chase over just that delta, runs the usual repair loop, and
+/// re-verifies exactness over the *entire universe so far* — so after
+/// every Extend the session again holds a verified-exact Armstrong
+/// database for (Sigma, universe). With
+/// `ArmstrongVerifyEngine::kIncremental` the re-verification costs
+/// O(delta + new members), not O(universe * database): old members'
+/// watchers answer from counters, and only the new members pay an O(n)
+/// initialization. `kFullSweep` re-sweeps the whole universe per Extend
+/// (the differential reference and the pre-PR 5 cost model).
+class ArmstrongSession {
+ public:
+  /// Seeds two generic tuples per relation (the builder's base seeds).
+  /// `oracle` must outlive the session.
+  ArmstrongSession(SchemePtr scheme, std::vector<Fd> fds,
+                   std::vector<Ind> inds, const ImplicationOracle* oracle,
+                   const ArmstrongBuildOptions& options = {});
+
+  /// Grows the universe by `delta` (members already known are skipped),
+  /// re-establishes exactness, and reports the same failure modes as
+  /// BuildArmstrongDatabase. On an error the session may be left
+  /// partially extended; discard it rather than Extend further.
+  Status Extend(const std::vector<Dependency>& delta);
+
+  const DatabaseScheme& scheme() const { return *scheme_; }
+  const std::vector<Dependency>& universe() const { return universe_; }
+  const std::vector<Dependency>& expected() const { return expected_; }
+  /// Total repair rounds across every Extend so far.
+  int repair_rounds() const { return repair_rounds_; }
+  const InternedWorkspace::Stats& workspace_stats() const {
+    return ws_.stats();
+  }
+  const InternedWorkspace& workspace() const { return ws_; }
+
+  /// The current Armstrong database (alive tuples, slot order preserved).
+  Database Snapshot() const { return ws_.Materialize(); }
+
+ private:
+  /// The build loop body: chase to fixpoint, re-check every current
+  /// non-consequence, seed repairs, repeat; then re-verify exactness.
+  Status ChaseVerifyRepair();
+  /// Exactness over the whole universe, dispatched on options_.verify.
+  Status VerifyExactness();
+
+  SchemePtr scheme_;
+  std::vector<Fd> fds_;
+  std::vector<Ind> inds_;
+  const ImplicationOracle* oracle_;
+  ArmstrongBuildOptions options_;
+
+  InternedWorkspace ws_;
+  WorkspaceChase chaser_;
+  /// Present iff options_.verify == kIncremental.
+  std::unique_ptr<IncrementalVerifier> verifier_;
+
+  std::vector<Dependency> sigma_deps_;  ///< fds_ + inds_ for the oracle
+  std::vector<Dependency> universe_;
+  std::vector<Dependency> expected_;
+  std::vector<Dependency> must_fail_;
+  /// Watch handles parallel to universe_ / must_fail_ (kIncremental only)
+  /// — cached so re-verification rounds are pure counter reads, not
+  /// dependency-hash lookups.
+  std::vector<WatchId> universe_ids_;
+  std::vector<bool> universe_expected_;  ///< parallel to universe_
+  std::vector<WatchId> must_fail_ids_;
+  std::unordered_set<Dependency, DependencyHash> known_;
+  int repair_rounds_ = 0;
+};
 
 }  // namespace ccfp
 

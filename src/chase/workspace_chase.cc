@@ -34,6 +34,7 @@ WorkspaceChase::WorkspaceChase(InternedWorkspace* ws, std::vector<Fd> fds,
   }
   queued_.resize(n);
   admitted_.resize(n, 0);
+  admit_cursor_.resize(n, 0);
 }
 
 void WorkspaceChase::EnqueueFdDirty(RelId rel, std::uint32_t idx) {
@@ -59,10 +60,17 @@ void WorkspaceChase::AdmitSlot(RelId rel, std::uint32_t idx) {
 
 void WorkspaceChase::AdmitAppended() {
   for (RelId rel = 0; rel < ws_->scheme().size(); ++rel) {
-    std::uint32_t end = static_cast<std::uint32_t>(ws_->size(rel));
-    for (std::uint32_t idx = admitted_[rel]; idx < end; ++idx) {
-      AdmitSlot(rel, idx);
+    const std::vector<WorkspaceEvent>& log = ws_->events(rel);
+    for (std::uint64_t seq = admit_cursor_[rel]; seq < log.size(); ++seq) {
+      const WorkspaceEvent& ev = log[seq];
+      // The chase's own appends were admitted inline (ProbeInd) and its
+      // own rewrites/kills are tracked by the dirty worklists; only
+      // appends published by outside parties are news.
+      if (ev.kind == WorkspaceEventKind::kAppend && ev.idx >= admitted_[rel]) {
+        AdmitSlot(rel, ev.idx);
+      }
     }
+    admit_cursor_[rel] = log.size();
   }
 }
 
@@ -223,6 +231,12 @@ Result<WorkspaceChaseStats> WorkspaceChase::Run(const ChaseOptions& options) {
     bool any = false;
     CCFP_RETURN_NOT_OK(IndPass(&any));
     if (!any) break;
+  }
+  // Everything published so far — including this Run's own appends,
+  // rewrites, and kills — is incorporated; expose that via the cursor so
+  // mid-chase verifiers know the chase is caught up with the feed.
+  for (RelId rel = 0; rel < ws_->scheme().size(); ++rel) {
+    admit_cursor_[rel] = ws_->EventCount(rel);
   }
   WorkspaceChaseStats stats;
   stats.outcome = failed_ ? ChaseOutcome::kFailed : ChaseOutcome::kFixpoint;

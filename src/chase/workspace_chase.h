@@ -39,6 +39,15 @@ struct WorkspaceChaseStats {
 /// construction and the last Run() except by appending tuples; after a Run
 /// returns kFixpoint every tuple is canonical, so workspace model checking
 /// (Satisfies / partitions) is valid until the next append.
+///
+/// The chase is itself a consumer of the workspace *change feed*: between
+/// Runs it admits outside appends by replaying the feed from its cursor
+/// (`event_cursor`), and its own merges surface as rewrite/kill events
+/// other consumers can replay. In particular, an
+/// IncrementalVerifier (verify/verifier.h) attached to the same workspace
+/// can verify *mid-chase* — after any Run that reaches kFixpoint — in
+/// time proportional to that Run's delta: surgical partition repair means
+/// the fixpoint's merges no longer invalidate a single cached partition.
 class WorkspaceChase {
  public:
   /// CHECK-fails if any dependency is invalid for the workspace's scheme.
@@ -47,6 +56,14 @@ class WorkspaceChase {
 
   const std::vector<Fd>& fds() const { return fds_; }
   const std::vector<Ind>& inds() const { return inds_; }
+
+  /// The chase's position in `rel`'s change feed: every event with a
+  /// lower sequence number is incorporated into its rule indexes. After a
+  /// Run returns kFixpoint this equals the workspace's EventCount(rel);
+  /// a ResourceExhausted Run may leave it behind (the next Run resumes).
+  std::uint64_t event_cursor(RelId rel) const {
+    return admit_cursor_[rel];
+  }
 
   /// Chases everything appended since the last Run (plus its consequences)
   /// to a Sigma fixpoint or failure. Budgets apply per call; `max_tuples`
@@ -77,7 +94,9 @@ class WorkspaceChase {
   /// Takes a freshly appended slot under management: rhs projections into
   /// every IND targeting its relation, plus an FD-dirty enqueue.
   void AdmitSlot(RelId rel, std::uint32_t idx);
-  /// Admits every slot appended to the workspace since the last call.
+  /// Replays the change feed from the admission cursors, admitting every
+  /// append published since the last call (rewrites/kills are the chase's
+  /// own moves and already tracked by its worklists).
   void AdmitAppended();
   Status ProbeFd(std::uint32_t fd_id, RelId rel, std::uint32_t idx);
   Status DrainFdDirty();
@@ -98,6 +117,7 @@ class WorkspaceChase {
   std::deque<WorkspaceTupleRef> fd_dirty_;
   std::vector<std::vector<std::uint8_t>> queued_;  // per rel, per slot
   std::vector<std::uint32_t> admitted_;            // per rel: admitted prefix
+  std::vector<std::uint64_t> admit_cursor_;        // per rel: feed position
   bool failed_ = false;
 
   // Per-Run budget counters (reset by Run).

@@ -45,8 +45,11 @@ const IdRelation::Partition& IdRelation::partition(
     for (AttrId c : cols) key.push_back(tuples_[i][c]);
     auto [kit, inserted] = p.key_to_group.emplace(key, p.group_count);
     if (inserted) {
-      p.first_of_group.push_back(i);
+      p.group_size.push_back(1);
       ++p.group_count;
+      ++p.alive_groups;
+    } else {
+      ++p.group_size[kit->second];
     }
     p.group_of.push_back(kit->second);
   }

@@ -36,8 +36,14 @@ class IdRelation {
     /// occurrence, so ascending group id == ascending first-tuple index).
     std::vector<std::uint32_t> group_of;
     std::uint32_t group_count = 0;
-    /// first_of_group[g]: index of the first tuple in group g.
-    std::vector<std::uint32_t> first_of_group;
+    /// Number of groups with at least one member. Always == group_count
+    /// for the immutable substrate; InternedWorkspace's repairs can
+    /// tombstone groups, and the shared checks (core/model_check.h) read
+    /// this field on either substrate.
+    std::uint32_t alive_groups = 0;
+    /// group_size[g]: members of group g (never 0 here; a workspace
+    /// partition can carry tombstoned groups of size 0).
+    std::vector<std::uint32_t> group_size;
     /// Canonical projection key -> group id (used for cross-relation
     /// probes, e.g. IND left keys against the right relation's partition).
     std::unordered_map<IdTuple, std::uint32_t, IdTupleHash> key_to_group;

@@ -31,10 +31,15 @@ namespace model_check {
 ///   const IdTuple& Slot(RelId, std::uint32_t) const;
 ///   const P& Partition(RelId, const std::vector<AttrId>&) const;
 ///
-/// where P has `group_of` / `group_count` / `first_of_group` /
-/// `key_to_group` (IdRelation::Partition and InternedWorkspace::Partition
-/// are layout-identical). Dead slots are those whose `group_of` entry is
-/// `kDeadGroup`; providers without dead slots simply never produce it.
+/// where P has `group_of` / `group_count` / `group_size` / `alive_groups`
+/// / `key_to_group` (IdRelation::Partition and InternedWorkspace::
+/// Partition are field-compatible). Dead slots are those whose `group_of`
+/// entry is `kDeadGroup`; providers without dead slots simply never
+/// produce it. A workspace partition that went through surgical repair
+/// can additionally carry *tombstoned* groups (`group_size == 0`) whose
+/// `key_to_group` entry lingers — every check below treats a key hit on a
+/// tombstone as a miss, and none relies on group ids being in
+/// first-occurrence order (repairs keep ids stable rather than sorted).
 ///
 /// Both substrates are pinned by the differential suites
 /// (tests/satisfies_property_test.cc, tests/emvd_chase_property_test.cc),
@@ -64,18 +69,24 @@ bool SatisfiesFd(const Provider& p, const Fd& fd) {
   return true;
 }
 
+/// True iff `key` names a group with at least one alive member of `p`
+/// (tombstoned groups left behind by surgical repair do not count).
+template <typename P>
+bool HasAliveGroup(const P& p, const IdTuple& key) {
+  auto it = p.key_to_group.find(key);
+  return it != p.key_to_group.end() && p.group_size[it->second] > 0;
+}
+
 template <typename Provider>
 bool SatisfiesInd(const Provider& p, const Ind& ind) {
   if (p.AliveCount(ind.lhs_rel) == 0) return true;
   const auto& lhs_p = p.Partition(ind.lhs_rel, ind.lhs);
   const auto& rhs_p = p.Partition(ind.rhs_rel, ind.rhs);
-  IdTuple key;
-  key.reserve(ind.lhs.size());
-  for (std::uint32_t g = 0; g < lhs_p.group_count; ++g) {
-    const IdTuple& t = p.Slot(ind.lhs_rel, lhs_p.first_of_group[g]);
-    key.clear();
-    for (AttrId c : ind.lhs) key.push_back(t[c]);
-    if (rhs_p.key_to_group.count(key) == 0) return false;
+  // Each alive lhs group's key IS the projection of its members onto
+  // ind.lhs — probe it into the rhs partition directly.
+  for (const auto& [key, g] : lhs_p.key_to_group) {
+    if (lhs_p.group_size[g] == 0) continue;  // tombstone
+    if (!HasAliveGroup(rhs_p, key)) return false;
   }
   return true;
 }
@@ -215,15 +226,21 @@ std::optional<IdViolation> FindViolation(const Provider& p,
       const auto& lhs_p = p.Partition(ind.lhs_rel, ind.lhs);
       const auto& rhs_p = p.Partition(ind.rhs_rel, ind.rhs);
       IdTuple key;
-      // Ascending group id == ascending first-slot index, so the first
-      // missing group's first tuple is the first violating tuple —
-      // identical to a legacy front-to-back scan.
-      for (std::uint32_t g = 0; g < lhs_p.group_count; ++g) {
-        const IdTuple& t = p.Slot(ind.lhs_rel, lhs_p.first_of_group[g]);
+      // Front-to-back over slots, probing each group once — the first
+      // slot of the first missing group in slot order is the witness,
+      // identical to a legacy front-to-back scan (and independent of the
+      // group numbering, which repairs do not keep sorted).
+      std::vector<std::uint8_t> checked(lhs_p.group_count, 0);
+      std::uint32_t n = p.SlotCount(ind.lhs_rel);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t g = lhs_p.group_of[i];
+        if (g == kDeadGroup || checked[g]) continue;
+        checked[g] = 1;
+        const IdTuple& t = p.Slot(ind.lhs_rel, i);
         key.clear();
         for (AttrId c : ind.lhs) key.push_back(t[c]);
-        if (rhs_p.key_to_group.count(key) == 0) {
-          return IdViolation{ind.lhs_rel, {lhs_p.first_of_group[g]}};
+        if (!HasAliveGroup(rhs_p, key)) {
+          return IdViolation{ind.lhs_rel, {i}};
         }
       }
       return std::nullopt;

@@ -197,13 +197,61 @@ std::optional<Violation> FindViolation(const Database& db,
       break;
     }
     case DependencyKind::kEmvd:
-    case DependencyKind::kMvd:
+    case DependencyKind::kMvd: {
+      // Same witness as the interned engine's FindEmvdViolation: the
+      // first slot pair (i, j) in the same X-group whose (XY, XZ)
+      // combination no tuple witnesses, in the identical scan order.
+      const std::vector<AttrId>& x =
+          dep.is_emvd() ? dep.emvd().x : dep.mvd().x;
+      const std::vector<AttrId>& y =
+          dep.is_emvd() ? dep.emvd().y : dep.mvd().y;
+      std::vector<AttrId> z = dep.is_emvd()
+                                  ? dep.emvd().z
+                                  : MvdComplement(scheme, dep.mvd());
       v.rel = dep.is_emvd() ? dep.emvd().rel : dep.mvd().rel;
-      v.description =
-          StrCat(DependencyKindToString(dep.kind()), " ",
-                 dep.ToString(scheme), " violated (no tuple witness: the "
-                 "failure is a missing tuple, not a present one)");
+      const Relation& r = db.relation(v.rel);
+      std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
+      std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
+      std::unordered_set<Tuple, TupleHash> pairs;
+      pairs.reserve(r.size());
+      for (const Tuple& t : r.tuples()) {
+        Tuple combo = ProjectTuple(t, xy);
+        Tuple xz_part = ProjectTuple(t, xz);
+        combo.insert(combo.end(), xz_part.begin(), xz_part.end());
+        pairs.insert(std::move(combo));
+      }
+      std::vector<Tuple> proj_x, proj_xy, proj_xz;
+      proj_x.reserve(r.size());
+      proj_xy.reserve(r.size());
+      proj_xz.reserve(r.size());
+      for (const Tuple& t : r.tuples()) {
+        proj_x.push_back(ProjectTuple(t, x));
+        proj_xy.push_back(ProjectTuple(t, xy));
+        proj_xz.push_back(ProjectTuple(t, xz));
+      }
+      for (std::size_t i = 0; i < r.tuples().size(); ++i) {
+        for (std::size_t j = 0; j < r.tuples().size(); ++j) {
+          if (proj_x[i] != proj_x[j]) continue;
+          Tuple need = proj_xy[i];
+          need.insert(need.end(), proj_xz[j].begin(), proj_xz[j].end());
+          if (pairs.count(need) == 0) {
+            v.tuple_indices = {i, j};
+            v.tuples = {r.tuples()[i], r.tuples()[j]};
+            v.description = StrCat(
+                DependencyKindToString(dep.kind()), " ",
+                dep.ToString(scheme), " violated: no tuple combines ",
+                TupleToString(r.tuples()[i]), " with ",
+                TupleToString(r.tuples()[j]));
+            return v;
+          }
+        }
+      }
+      // Unreachable if Satisfies was false; mirrors the interned
+      // fallback of an empty witness.
+      v.description = StrCat(DependencyKindToString(dep.kind()), " ",
+                             dep.ToString(scheme), " violated");
       return v;
+    }
   }
   v.description = StrCat(dep.ToString(scheme), " violated");
   return v;

@@ -66,8 +66,8 @@ struct Violation {
   /// FD — two tuples agreeing on lhs and differing on rhs; IND — one tuple
   /// whose projection is missing from the rhs relation; RD — one tuple with
   /// t[X] != t[Y]; EMVD/MVD — two same-X-group tuples whose (XY, XZ)
-  /// combination no tuple witnesses (interned engine only; the legacy
-  /// engine reports EMVD/MVD violations without a witness).
+  /// combination no tuple witnesses. All five kinds carry identical
+  /// witnesses across both engines (differentially tested).
   std::vector<std::size_t> tuple_indices;
   /// Copies of the tuples at `tuple_indices`, in the same order.
   std::vector<Tuple> tuples;

@@ -45,13 +45,22 @@ InternedWorkspace::InternedWorkspace(SchemePtr scheme)
 ValueId InternedWorkspace::Intern(const Value& v) {
   std::size_t before = interner_.size();
   ValueId id = interner_.Intern(v);
-  if (interner_.size() != before) ++stats_.values_interned;
+  if (interner_.size() != before) {
+    ++stats_.values_interned;
+    // Every handed-out id is immediately Canon/Merge/occurrences-safe,
+    // whether or not it ever lands in a tuple.
+    uf_.EnsureSize(interner_.size());
+    occurrences_.resize(interner_.size());
+  }
   return id;
 }
 
 ValueId InternedWorkspace::InternFreshNull() {
   ++stats_.values_interned;
-  return interner_.InternFreshNull();
+  ValueId id = interner_.InternFreshNull();
+  uf_.EnsureSize(interner_.size());
+  occurrences_.resize(interner_.size());
+  return id;
 }
 
 void InternedWorkspace::RegisterOccurrences(RelId rel, std::uint32_t idx,
@@ -76,6 +85,7 @@ bool InternedWorkspace::Append(RelId rel, IdTuple t) {
   ++rs.alive_count;
   ++total_alive_;
   ++stats_.tuples_appended;
+  rs.feed.push_back(WorkspaceEvent{WorkspaceEventKind::kAppend, idx});
   return true;
 }
 
@@ -119,6 +129,46 @@ void InternedWorkspace::RerouteOccurrences(ValueId loser, ValueId winner) {
   from.shrink_to_fit();
 }
 
+void InternedWorkspace::RepairPartitionsForRewrite(RelId rel,
+                                                   std::uint32_t idx) {
+  const IdTuple& t = rels_[rel].tuples[idx];
+  IdTuple key;
+  for (auto& [cols, cp] : partitions_[rel]) {
+    if (cp.covered <= idx) continue;  // the extension will pick it up
+    Partition& p = cp.p;
+    std::uint32_t g = p.group_of[idx];
+    key.clear();
+    key.reserve(cols.size());
+    for (AttrId c : cols) key.push_back(t[c]);
+    auto [kit, inserted] = p.key_to_group.emplace(key, p.group_count);
+    std::uint32_t g2 = kit->second;
+    if (!inserted && g2 == g) continue;  // projection unchanged
+    if (--p.group_size[g] == 0) --p.alive_groups;  // tombstone
+    if (inserted) {
+      p.group_size.push_back(1);
+      ++p.group_count;
+      ++p.alive_groups;
+    } else if (++p.group_size[g2] == 1) {
+      ++p.alive_groups;  // rejoined a tombstoned group
+    }
+    p.group_of[idx] = g2;
+    ++stats_.partition_slots_repaired;
+  }
+}
+
+void InternedWorkspace::RepairPartitionsForKill(RelId rel,
+                                                std::uint32_t idx) {
+  for (auto& [cols, cp] : partitions_[rel]) {
+    if (cp.covered <= idx) continue;
+    Partition& p = cp.p;
+    std::uint32_t g = p.group_of[idx];
+    if (g == kNoGroup) continue;
+    if (--p.group_size[g] == 0) --p.alive_groups;
+    p.group_of[idx] = kNoGroup;
+    ++stats_.partition_slots_repaired;
+  }
+}
+
 InternedWorkspace::CanonOutcome InternedWorkspace::CanonicalizeTuple(
     RelId rel, std::uint32_t idx) {
   RelStore& rs = rels_[rel];
@@ -137,7 +187,6 @@ InternedWorkspace::CanonOutcome InternedWorkspace::CanonicalizeTuple(
     rs.dedup.erase(old_it);
   }
   for (ValueId& id : stored) id = uf_.Find(id);
-  ++rs.epoch;  // destructive: cached partitions over this relation die
   auto [new_it, inserted] = rs.dedup.emplace(stored, idx);
   if (!inserted) {
     // Collapsed onto an alive twin; the twin carries all duties.
@@ -145,8 +194,12 @@ InternedWorkspace::CanonOutcome InternedWorkspace::CanonicalizeTuple(
     --rs.alive_count;
     --total_alive_;
     ++stats_.tuples_killed;
+    RepairPartitionsForKill(rel, idx);
+    rs.feed.push_back(WorkspaceEvent{WorkspaceEventKind::kKill, idx});
     return CanonOutcome::kKilled;
   }
+  RepairPartitionsForRewrite(rel, idx);
+  rs.feed.push_back(WorkspaceEvent{WorkspaceEventKind::kRewrite, idx});
   return CanonOutcome::kRewritten;
 }
 
@@ -178,12 +231,26 @@ void InternedWorkspace::ExtendPartition(RelId rel,
     for (AttrId c : cols) key.push_back(t[c]);
     auto [kit, inserted] = p.key_to_group.emplace(key, p.group_count);
     if (inserted) {
-      p.first_of_group.push_back(i);
+      p.group_size.push_back(1);
       ++p.group_count;
+      ++p.alive_groups;
+    } else if (++p.group_size[kit->second] == 1) {
+      ++p.alive_groups;  // a canonical twin re-populating a tombstone
     }
     p.group_of.push_back(kit->second);
   }
   cp.covered = end;
+}
+
+void InternedWorkspace::ExtendAllPartitions(RelId rel) const {
+  const RelStore& rs = rels_[rel];
+  for (auto& [cols, cp] : partitions_[rel]) {
+    if (cp.covered == rs.tuples.size()) {
+      continue;  // already current; repairs keep covered slots right
+    }
+    ++stats_.partitions_extended;
+    ExtendPartition(rel, cols, cp);
+  }
 }
 
 const InternedWorkspace::Partition& InternedWorkspace::partition(
@@ -191,7 +258,7 @@ const InternedWorkspace::Partition& InternedWorkspace::partition(
   const RelStore& rs = rels_[rel];
   auto [it, inserted] = partitions_[rel].try_emplace(cols);
   CachedPartition& cp = it->second;
-  if (!inserted && cp.epoch == rs.epoch) {
+  if (!inserted) {
     if (cp.covered == rs.tuples.size()) {
       ++stats_.partitions_reused;
     } else {
@@ -200,13 +267,7 @@ const InternedWorkspace::Partition& InternedWorkspace::partition(
     }
     return cp.p;
   }
-  if (!inserted) {
-    ++stats_.partitions_invalidated;
-    cp.p = Partition();
-  }
   ++stats_.partitions_built;
-  cp.epoch = rs.epoch;
-  cp.covered = 0;
   ExtendPartition(rel, cols, cp);
   return cp.p;
 }

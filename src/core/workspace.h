@@ -21,11 +21,31 @@ struct WorkspaceTupleRef {
   std::uint32_t idx = 0;
 };
 
+/// One entry of a relation's change feed (see InternedWorkspace). The
+/// feed is the replication log of the tuple store: every mutation that can
+/// change a model-checking verdict is exactly one event.
+enum class WorkspaceEventKind : std::uint8_t {
+  /// A new alive slot appeared at `idx` (Append / AppendTuple).
+  kAppend = 0,
+  /// Slot `idx`'s stored ids were remapped in place by CanonicalizeTuple
+  /// (a merge made them non-canonical). Its projections may have changed.
+  kRewrite = 1,
+  /// Slot `idx` was killed: its canonical form collided with an alive
+  /// twin, which carries all duties from now on.
+  kKill = 2,
+};
+
+struct WorkspaceEvent {
+  WorkspaceEventKind kind = WorkspaceEventKind::kAppend;
+  std::uint32_t idx = 0;
+};
+
 /// The persistent interned substrate shared by every engine that used to
 /// re-intern per call: the FD+IND chase (chase/workspace_chase.h), the
 /// EMVD chase (chase/emvd_chase.h), Armstrong build -> chase -> verify ->
 /// repair rounds (armstrong/builder.cc), the counterexample oracle
-/// (axiom/oracle.cc), and dependency mining (mine/discovery.h).
+/// (axiom/oracle.cc), dependency mining (mine/discovery.h), and the
+/// incremental dependency watchers (verify/verifier.h).
 ///
 /// Where `IdDatabase` interns one immutable snapshot and rebuilds all of
 /// its projection partitions per instance, the workspace is *incrementally
@@ -38,22 +58,54 @@ struct WorkspaceTupleRef {
 ///     dense union-find with per-id occurrence lists, so only the tuples
 ///     that actually store a losing id are re-canonicalized;
 ///   * every (relation, column-sequence) projection partition is cached
-///     with an invalidation contract (below): appends *extend* a cached
-///     partition over just the delta, and only a destructive change — a
-///     tuple rewritten or killed by a merge — discards it.
+///     and *maintained*: appends extend it over just the delta, and a
+///     merge-driven rewrite or kill repairs only the touched groups
+///     (surgical split/merge — partitions are never rebuilt from scratch
+///     once compiled, and group ids are stable for the workspace's
+///     lifetime);
+///   * every mutation is published on a per-relation *change feed* with
+///     stable sequence numbers, so mid-stream verifiers
+///     (verify/verifier.h) and resumable engines can consume the delta
+///     from a cursor instead of re-scanning the store.
 ///
-/// ## Partition invalidation contract
+/// ## Change feed
 ///
-/// Each relation carries an `epoch` counter, bumped exactly when one of
-/// its tuples is rewritten or killed by `CanonicalizeTuple`. A cached
-/// partition remembers the epoch it was built under plus the prefix of
-/// tuple slots it covers:
-///   * same epoch, same size  -> served as-is (zero work);
-///   * same epoch, new tuples -> extended over the appended suffix only;
-///   * epoch changed          -> rebuilt from scratch.
-/// Appending never invalidates, so append-only workloads (the EMVD chase,
-/// mining, the oracle) pay for each partition row exactly once no matter
-/// how many rounds or probes run over it.
+/// Each relation owns an append-only event log. `EventCount(rel)` is the
+/// current sequence number; `events(rel)[s]` is the event with sequence
+/// `s` (never mutated once published). A consumer that remembers a cursor
+/// `c` can reconstruct every verdict-relevant mutation since by replaying
+/// `events(rel)[c .. EventCount(rel))`:
+///   * kAppend  — slot born alive at idx;
+///   * kRewrite — slot idx's ids remapped (consumers that cached its old
+///                projections must re-read them);
+///   * kKill    — slot idx died (an identical alive twin remains).
+/// A slot appears at most once per kind run: append, then any number of
+/// rewrites, then at most one kill. Events are published *after* the
+/// mutation (and its partition repair) is applied, so a consumer reading
+/// the log sees store state at least as new as the event.
+///
+/// ## Partition maintenance contract
+///
+/// A cached partition covers a prefix of the relation's slots:
+///   * same size            -> served as-is (zero work);
+///   * new tuples appended  -> extended over the appended suffix only;
+///   * a covered slot rewritten/killed -> repaired in place at mutation
+///     time: the slot leaves its old group (which may become an empty
+///     *tombstone* — group ids are never reused or renumbered) and, for a
+///     rewrite, joins the group of its new key (created on demand).
+/// `group_size[g]` counts the alive covered members of `g`;
+/// `alive_groups` counts the groups with `group_size > 0`. Tombstoned
+/// groups keep their `key_to_group` entry: a stale key contains at least
+/// one merged-away (non-root) id in the changed column, so it can never
+/// collide with a canonical probe key; probes must still treat a hit on a
+/// `group_size == 0` group as a miss (see core/model_check.h). Repairs
+/// keep group ids stable, NOT sorted: nothing may assume group ids follow
+/// first-occurrence slot order.
+///
+/// Appending never disturbs existing groups, so append-only workloads
+/// (the EMVD chase, mining, the oracle) pay for each partition row exactly
+/// once no matter how many rounds or probes run over it; merge-heavy
+/// chases pay per (touched slot, cached column-set), never per relation.
 ///
 /// ## Staleness
 ///
@@ -61,9 +113,10 @@ struct WorkspaceTupleRef {
 /// (their stored ids are no longer canonical) until `CanonicalizeTuple` is
 /// called on each — the chase engine drives that through its dirty
 /// worklist so a tuple touched by many merges is re-canonicalized once.
-/// Model checking (`Satisfies` / `FindViolation`) and `partition()` are
-/// only valid when no tuple is stale; every chase entry point restores
-/// that invariant before returning.
+/// Model checking (`Satisfies` / `FindViolation`), `partition()`, and
+/// feed consumption (verify/verifier.h CatchUp) are only valid when no
+/// tuple is stale; every chase entry point restores that invariant before
+/// returning.
 class InternedWorkspace {
  public:
   /// Group id assigned to dead (merged-away) tuple slots in partitions.
@@ -74,9 +127,11 @@ class InternedWorkspace {
   struct Partition {
     std::vector<std::uint32_t> group_of;
     std::uint32_t group_count = 0;
-    /// first_of_group[g]: slot of the first (alive) tuple in group g;
-    /// ascending group id == ascending first-slot index.
-    std::vector<std::uint32_t> first_of_group;
+    /// Number of groups with at least one alive covered member. Equal to
+    /// group_count until a repair tombstones a group.
+    std::uint32_t alive_groups = 0;
+    /// group_size[g]: alive covered members of group g (0 = tombstone).
+    std::vector<std::uint32_t> group_size;
     std::unordered_map<IdTuple, std::uint32_t, IdTupleHash> key_to_group;
   };
 
@@ -87,7 +142,12 @@ class InternedWorkspace {
     std::uint64_t partitions_built = 0;     ///< built from scratch
     std::uint64_t partitions_extended = 0;  ///< refreshed over a delta only
     std::uint64_t partitions_reused = 0;    ///< served unchanged
-    std::uint64_t partitions_invalidated = 0;  ///< discarded (epoch change)
+    /// Discarded whole. Always 0 since surgical repair replaced epoch
+    /// invalidation (PR 5); kept so stat-schema consumers can assert it.
+    std::uint64_t partitions_invalidated = 0;
+    /// Per-(slot, cached partition) surgical group repairs (split/merge/
+    /// tombstone) applied by rewrites and kills.
+    std::uint64_t partition_slots_repaired = 0;
     std::uint64_t tuples_appended = 0;
     std::uint64_t tuples_killed = 0;  ///< merged onto an alive twin
     std::uint64_t values_interned = 0;
@@ -142,6 +202,22 @@ class InternedWorkspace {
   /// consult it per generated tuple for their budget checks).
   std::size_t TotalAliveTuples() const { return total_alive_; }
 
+  /// --- change feed --------------------------------------------------------
+
+  /// Sequence number one past the last event published for `rel` (== the
+  /// number of events so far). Monotone; a consumer's cursor into the
+  /// feed is a value previously returned by this.
+  std::uint64_t EventCount(RelId rel) const {
+    return rels_[rel].feed.size();
+  }
+  /// The full event log of `rel`; entries [cursor, EventCount(rel)) are
+  /// the delta a consumer at `cursor` has not seen. Entries are never
+  /// mutated once published; the reference is invalidated by the next
+  /// mutation of `rel` (vector growth), so consume before mutating.
+  const std::vector<WorkspaceEvent>& events(RelId rel) const {
+    return rels_[rel].feed;
+  }
+
   /// --- merging (the chase's equality-generating moves) --------------------
 
   struct MergeResult {
@@ -170,12 +246,13 @@ class InternedWorkspace {
 
   enum class CanonOutcome : std::uint8_t {
     kUnchanged = 0,  ///< already canonical (or dead)
-    kRewritten = 1,  ///< ids remapped in place; partitions invalidated
+    kRewritten = 1,  ///< ids remapped in place; partitions repaired
     kKilled = 2,     ///< canonical form collided with an alive twin
   };
 
   /// Re-canonicalizes the slot's stored ids through the union-find,
-  /// re-deduplicates, and bumps the relation's epoch on any change.
+  /// re-deduplicates, surgically repairs every cached partition over the
+  /// relation, and publishes the rewrite/kill on the change feed.
   CanonOutcome CanonicalizeTuple(RelId rel, std::uint32_t idx);
 
   /// The canonical projection of slot (rel, idx) onto `cols` — ids mapped
@@ -186,16 +263,24 @@ class InternedWorkspace {
   /// --- partitions ---------------------------------------------------------
 
   /// The partition of `rel` by the column sequence `cols`, maintained under
-  /// the invalidation contract above. The returned reference stays valid
-  /// across later partition() calls (node-based cache) but its contents are
-  /// refreshed by them. Requires no stale tuples.
+  /// the contract above. The returned reference stays valid across later
+  /// partition() calls (node-based cache) and its group ids are stable for
+  /// the workspace's lifetime; its contents are refreshed by later calls.
+  /// Requires no stale tuples.
   const Partition& partition(RelId rel, const std::vector<AttrId>& cols) const;
+
+  /// Extends every cached partition of `rel` over the appended suffix in
+  /// one map traversal — the bulk-refresh used by feed consumers
+  /// (verify/verifier.h) before replaying events, cheaper than a
+  /// per-column-set `partition()` lookup when many sets are cached.
+  void ExtendAllPartitions(RelId rel) const;
 
   /// --- model checking -----------------------------------------------------
   /// Same semantics as IdDatabase / the legacy Value-hashing checks
   /// (differentially tested); requires no stale tuples. One shared
   /// implementation serves this class and IdDatabase via the
-  /// partition-provider templates in core/model_check.h.
+  /// partition-provider templates in core/model_check.h. For watcher-based
+  /// delta-driven verdicts over the same workspace see verify/verifier.h.
 
   bool Satisfies(const Fd& fd) const;
   bool Satisfies(const Ind& ind) const;
@@ -226,12 +311,12 @@ class InternedWorkspace {
     std::vector<std::uint8_t> alive;
     /// Raw-id form -> owning alive slot (duplicate detection).
     std::unordered_map<IdTuple, std::uint32_t, IdTupleHash> dedup;
-    std::uint64_t epoch = 0;  ///< bumped on rewrite/kill, never on append
+    /// The relation's change feed (sequence number == vector index).
+    std::vector<WorkspaceEvent> feed;
     std::size_t alive_count = 0;
   };
 
   struct CachedPartition {
-    std::uint64_t epoch = 0;
     std::uint32_t covered = 0;  ///< tuple slots incorporated so far
     Partition p;
   };
@@ -240,6 +325,12 @@ class InternedWorkspace {
   /// Incorporates slots [from, size) into `cp` (skipping dead ones).
   void ExtendPartition(RelId rel, const std::vector<AttrId>& cols,
                        CachedPartition& cp) const;
+  /// Surgical repair of every cached partition covering slot (rel, idx)
+  /// after its stored ids changed: leave the old group (tombstoning it if
+  /// emptied) and join/create the group of the new projection key.
+  void RepairPartitionsForRewrite(RelId rel, std::uint32_t idx);
+  /// Same, after the slot was killed: leave the old group only.
+  void RepairPartitionsForKill(RelId rel, std::uint32_t idx);
 
   SchemePtr scheme_;
   ValueInterner interner_;

@@ -201,6 +201,8 @@ ImplicationSolver::ImplicationSolver(SchemePtr scheme,
       rds_.push_back(dep.rd());
     }
   }
+  witness_cache_ = std::make_unique<WitnessCache>(
+      scheme_, nontrivial_, options_.use_witness_cache ? 8 : 0);
 }
 
 ImplicationFragment ImplicationSolver::Classify(
@@ -244,12 +246,16 @@ Result<Verdict> ImplicationSolver::Solve(const Dependency& target,
       SolvePureInd(target, budget, v);
       break;
     case ImplicationFragment::kUnary:
+      // The decision engines are exact and cheap; the cache cannot beat
+      // them, so it is not consulted for the *verdict* here.
       SolveUnary(target, budget, v);
       break;
     case ImplicationFragment::kMixed:
+      if (ProbeWitnessCache(target, v)) break;
       SolveMixed(target, budget, v);
       break;
     case ImplicationFragment::kUnsupported:
+      if (ProbeWitnessCache(target, v)) break;
       SolveUnsupported(target, budget, v);
       break;
   }
@@ -259,21 +265,46 @@ Result<Verdict> ImplicationSolver::Solve(const Dependency& target,
   return v;
 }
 
+bool ImplicationSolver::ProbeWitnessCache(const Dependency& target,
+                                          Verdict& v) {
+  if (!options_.use_witness_cache || witness_cache_->size() == 0) {
+    return false;
+  }
+  const Database* hit = witness_cache_->Refute(target);
+  if (hit == nullptr) return false;
+  // The cached database satisfies sigma (verified on admission) and its
+  // watcher just confirmed it violates the target — a complete
+  // refutation replayed for free, before any engine runs.
+  v.outcome = ImplicationVerdict::kNotImplied;
+  v.engine = "witness-cache (replayed refutation)";
+  StageReport r{"witness-cache", v.engine, ImplicationVerdict::kNotImplied,
+                "a counterexample from an earlier Solve over this sigma "
+                "violates the target",
+                {}};
+  if (options_.want_counterexample) {
+    v.counterexample = *hit;
+    v.counterexample_verified = true;
+  }
+  PushStage(v, std::move(r));
+  return true;
+}
+
 bool ImplicationSolver::AttachCounterexample(Database db,
                                             const Dependency& target,
                                             Verdict& v,
                                             StageReport& report) {
-  // Evidence check on an interned substrate: the candidate is interned
-  // exactly once, after which every sigma member and the target probe
-  // cached projection partitions. The check always runs — it is what
-  // makes a search-found candidate decisive; want_counterexample only
-  // controls whether the database itself is handed to the caller.
-  InternedWorkspace ws(scheme_);
-  ws.AppendDatabase(db);
-  bool genuine = !ws.Satisfies(target) && ws.SatisfiesAll(nontrivial_);
+  // Evidence check through incremental watchers (verify/witness_cache.h):
+  // the candidate is interned exactly once into a cache entry, sigma and
+  // the target are watched, and — when the cache is enabled — the entry
+  // is retained so later Solves over this sigma can replay it. The check
+  // always runs — it is what makes a search-found candidate decisive;
+  // want_counterexample only controls whether the database itself is
+  // handed to the caller.
+  bool genuine = false;
+  witness_cache_->Admit(db, target, &genuine);
   if (genuine) {
     if (!report.note.empty()) report.note += "; ";
-    report.note += "counterexample verified by Satisfies";
+    report.note += "counterexample verified through watchers";
     if (options_.want_counterexample) {
       v.counterexample = std::move(db);
       v.counterexample_verified = true;
@@ -531,9 +562,26 @@ void ImplicationSolver::SolveMixed(const Dependency& target,
         }
         v.outcome = ImplicationVerdict::kNotImplied;
         r.verdict = ImplicationVerdict::kNotImplied;
-        if (options_.want_counterexample) {
-          // The fixpoint satisfies sigma by construction; re-check in
-          // id-space on the same workspace (nothing re-interned).
+        if (options_.use_witness_cache) {
+          // The fixpoint satisfies sigma by construction; verify it
+          // through watchers and hand it to the witness cache so later
+          // Solves over this sigma can replay the refutation.
+          bool genuine = false;
+          Database fixpoint = ws.Materialize();
+          witness_cache_->Admit(fixpoint, target, &genuine);
+          if (genuine) {
+            if (options_.want_counterexample) {
+              v.counterexample = std::move(fixpoint);
+              v.counterexample_verified = true;
+            }
+            r.note = "chased fixpoint is the counterexample (verified "
+                     "through watchers)";
+          } else {
+            r.note = "fixpoint failed its sigma re-check (engine bug)";
+          }
+        } else if (options_.want_counterexample) {
+          // Cache off: verify in id-space on the chase's own workspace
+          // (nothing re-interned).
           bool genuine =
               !ws.Satisfies(target) && ws.SatisfiesAll(nontrivial_);
           if (genuine) {

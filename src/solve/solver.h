@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "chase/workspace_chase.h"
 #include "core/database.h"
 #include "core/dependency.h"
@@ -16,6 +18,7 @@
 #include "search/bounded.h"
 #include "util/budget.h"
 #include "util/status.h"
+#include "verify/witness_cache.h"
 
 namespace ccfp {
 
@@ -75,6 +78,14 @@ struct SolveOptions {
   /// are enumerated, not a resource budget — Budget::steps caps the scan).
   std::size_t search_max_tuples_per_relation = 2;
   std::size_t search_domain_size = 2;
+  /// Replay verified counterexample databases from earlier Solve calls
+  /// against later targets over the same sigma *before any engine runs*
+  /// (verify/witness_cache.h). Only the inexact routes (unary evidence,
+  /// mixed, unsupported) consult the cache — the linear exact engines
+  /// produce richer evidence than a replay would. Refutations from every
+  /// route feed it. Off => counterexamples are still verified through
+  /// one-shot watchers, just not retained.
+  bool use_witness_cache = true;
 };
 
 /// The three-valued answer of one Solve call, with checkable evidence:
@@ -190,10 +201,15 @@ class ImplicationSolver {
   /// verifies) a counterexample.
   void SearchStage(const Dependency& target, const Budget& budget,
                    Verdict& v);
-  /// Verifies `db` against sigma and the target on a fresh interned
-  /// workspace. Returns true iff genuine; attaches the database to `v`
-  /// only when `want_counterexample` is also set (verification alone
-  /// decides the verdict — evidence attachment is optional).
+  /// Tries to answer kNotImplied from the witness cache (a database from
+  /// an earlier Solve that satisfies sigma and violates `target`). On a
+  /// hit fills the verdict (stage "witness-cache") and returns true.
+  bool ProbeWitnessCache(const Dependency& target, Verdict& v);
+  /// Verifies `db` against sigma and the target through incremental
+  /// watchers (and offers it to the witness cache for later Solves).
+  /// Returns true iff genuine; attaches the database to `v` only when
+  /// `want_counterexample` is also set (verification alone decides the
+  /// verdict — evidence attachment is optional).
   bool AttachCounterexample(Database db, const Dependency& target,
                             Verdict& v, StageReport& report);
 
@@ -217,6 +233,10 @@ class ImplicationSolver {
   /// Compiled-table cache shared by every refutation search this solver
   /// runs (the scheme is fixed, so the tables are reusable by contract).
   BoundedSearchWorkspace search_ws_;
+  /// Verified counterexamples from earlier Solves, replayed against later
+  /// targets over the same sigma (capacity 0 when use_witness_cache is
+  /// off — it then only serves as the watcher-based evidence checker).
+  std::unique_ptr<WitnessCache> witness_cache_;
 };
 
 /// One-shot façade over a temporary solver:

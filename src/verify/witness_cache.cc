@@ -1,0 +1,66 @@
+#include "verify/witness_cache.h"
+
+#include <utility>
+
+namespace ccfp {
+
+WitnessCache::WitnessCache(SchemePtr scheme, std::vector<Dependency> sigma,
+                           std::size_t capacity)
+    : scheme_(std::move(scheme)),
+      sigma_(std::move(sigma)),
+      capacity_(capacity) {}
+
+bool WitnessCache::Admit(const Database& db, const Dependency& target,
+                         bool* violates_target) {
+  // Identical witness already cached? Its sigma check stands; answer the
+  // target probe from the existing entry's watchers instead of
+  // re-interning (Materialize round-trips make duplicates common).
+  for (std::unique_ptr<Entry>& e : entries_) {
+    if (e->db == db) {
+      if (violates_target != nullptr) {
+        *violates_target = !e->verifier.Satisfies(e->verifier.Watch(target));
+      }
+      return true;
+    }
+  }
+  auto entry = std::make_unique<Entry>(scheme_);
+  entry->ws.AppendDatabase(db);
+  bool sigma_ok = true;
+  for (const Dependency& dep : sigma_) {
+    if (!entry->verifier.Satisfies(entry->verifier.Watch(dep))) {
+      sigma_ok = false;
+      break;
+    }
+  }
+  if (violates_target != nullptr) {
+    *violates_target =
+        sigma_ok &&
+        !entry->verifier.Satisfies(entry->verifier.Watch(target));
+  }
+  if (!sigma_ok) {
+    ++stats_.rejected;
+    return false;
+  }
+  if (capacity_ == 0) return false;
+  if (entries_.size() >= capacity_) {
+    entries_.pop_front();
+    ++stats_.evicted;
+  }
+  entry->db = db;  // copied only when actually retained
+  entries_.push_back(std::move(entry));
+  ++stats_.admitted;
+  return true;
+}
+
+const Database* WitnessCache::Refute(const Dependency& target) {
+  ++stats_.probes;
+  for (std::unique_ptr<Entry>& entry : entries_) {
+    if (!entry->verifier.Satisfies(entry->verifier.Watch(target))) {
+      ++stats_.hits;
+      return &entry->db;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace ccfp

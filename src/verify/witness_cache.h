@@ -1,0 +1,89 @@
+#ifndef CCFP_VERIFY_WITNESS_CACHE_H_
+#define CCFP_VERIFY_WITNESS_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "core/workspace.h"
+#include "verify/verifier.h"
+
+namespace ccfp {
+
+/// A cache of *verified counterexample databases* over one fixed sigma.
+///
+/// A refutation found while deciding `sigma |= tau1` is evidence against
+/// every later target it happens to violate: any finite database that
+/// satisfies sigma and violates tau proves sigma does not imply tau —
+/// under unrestricted AND finite semantics, for every fragment. The
+/// ImplicationSolver keeps one of these per solver so repeated negative
+/// queries over the same sigma become near-free replays instead of fresh
+/// chase/search runs (open ROADMAP item; the same trick
+/// CounterexampleOracle plays for the k-ary closure machinery, here with
+/// incremental watchers instead of sweeps).
+///
+/// Each entry pins its database in a persistent InternedWorkspace with an
+/// IncrementalVerifier watching sigma (verified satisfied on admission)
+/// — probing a new target against an entry registers one watcher on the
+/// already-interned data, and probing a repeated target is a counter
+/// read.
+class WitnessCache {
+ public:
+  struct Stats {
+    std::uint64_t admitted = 0;   ///< entries accepted (sigma verified)
+    std::uint64_t rejected = 0;   ///< candidates that failed sigma
+    std::uint64_t evicted = 0;    ///< entries dropped at capacity
+    std::uint64_t probes = 0;     ///< Refute calls
+    std::uint64_t hits = 0;       ///< Refute calls answered from cache
+  };
+
+  /// `sigma` should be the solver's non-trivial members; `capacity` bounds
+  /// the number of cached databases (oldest evicted first).
+  WitnessCache(SchemePtr scheme, std::vector<Dependency> sigma,
+               std::size_t capacity = 8);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Offers `db` to the cache. The database is interned into a fresh
+  /// workspace and sigma is verified through watchers; a candidate that
+  /// fails sigma is rejected (and counted — callers treat that as "not a
+  /// genuine counterexample"). Returns whether the entry was admitted.
+  /// `violates_target`, if non-null, receives whether `db` also violates
+  /// `target` — the full genuineness check callers need, at no extra
+  /// cost. A duplicate of a cached database is re-verified but not
+  /// stored twice.
+  bool Admit(const Database& db, const Dependency& target,
+             bool* violates_target);
+
+  /// A cached database violating `target`, or nullptr. Every cached
+  /// entry satisfies sigma by construction, so a hit is a complete,
+  /// already-verified refutation of `sigma |= target`.
+  const Database* Refute(const Dependency& target);
+
+ private:
+  struct Entry {
+    /// Filled only when the entry is retained; verification runs on the
+    /// interned `ws` copy alone.
+    Database db;
+    InternedWorkspace ws;
+    IncrementalVerifier verifier;
+
+    explicit Entry(SchemePtr scheme)
+        : db(scheme), ws(std::move(scheme)), verifier(&ws) {}
+  };
+
+  SchemePtr scheme_;
+  std::vector<Dependency> sigma_;
+  std::size_t capacity_;
+  std::deque<std::unique_ptr<Entry>> entries_;
+  Stats stats_;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_VERIFY_WITNESS_CACHE_H_

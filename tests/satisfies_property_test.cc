@@ -163,13 +163,10 @@ TEST_P(SatisfiesPropertyTest, EnginesAgreeOnFindViolation) {
     if (!a.has_value()) continue;
     EXPECT_EQ(a->kind, dep.kind());
     EXPECT_EQ(a->rel, b->rel);
-    // FD/IND/RD witnesses scan front-to-back in both engines, so the
+    // Witnesses of every kind scan front-to-back in both engines, so the
     // reported indices must be identical, not merely both valid.
-    if (dep.is_fd() || dep.is_ind() || dep.is_rd()) {
-      EXPECT_EQ(a->tuple_indices, b->tuple_indices)
-          << dep.ToString(*scheme);
-      EXPECT_EQ(a->description, b->description);
-    }
+    EXPECT_EQ(a->tuple_indices, b->tuple_indices) << dep.ToString(*scheme);
+    EXPECT_EQ(a->description, b->description);
   }
 }
 
@@ -214,14 +211,36 @@ TEST_P(SatisfiesPropertyTest, ViolationWitnessesAreGenuine) {
       }
       case DependencyKind::kEmvd:
       case DependencyKind::kMvd: {
-        // Interned engine: two same-X-group tuples whose combination is
-        // missing.
+        // Two same-X-group tuples whose (XY, XZ) combination no tuple of
+        // the relation witnesses.
         const std::vector<AttrId>& x =
             dep.is_emvd() ? dep.emvd().x : dep.mvd().x;
-        if (v->tuples.size() == 2) {
-          EXPECT_EQ(ProjectTuple(v->tuples[0], x),
-                    ProjectTuple(v->tuples[1], x));
+        const std::vector<AttrId>& y =
+            dep.is_emvd() ? dep.emvd().y : dep.mvd().y;
+        std::vector<AttrId> z = dep.is_emvd()
+                                    ? dep.emvd().z
+                                    : MvdComplement(*scheme, dep.mvd());
+        ASSERT_EQ(v->tuples.size(), 2u) << dep.ToString(*scheme);
+        EXPECT_EQ(ProjectTuple(v->tuples[0], x),
+                  ProjectTuple(v->tuples[1], x));
+        std::vector<AttrId> xy = AppendDistinctAttrs(x, y);
+        std::vector<AttrId> xz = AppendDistinctAttrs(x, z);
+        Tuple need = ProjectTuple(v->tuples[0], xy);
+        Tuple xz_part = ProjectTuple(v->tuples[1], xz);
+        need.insert(need.end(), xz_part.begin(), xz_part.end());
+        bool witnessed = false;
+        for (const Tuple& t : r.tuples()) {
+          Tuple combo = ProjectTuple(t, xy);
+          Tuple t_xz = ProjectTuple(t, xz);
+          combo.insert(combo.end(), t_xz.begin(), t_xz.end());
+          if (combo == need) {
+            witnessed = true;
+            break;
+          }
         }
+        EXPECT_FALSE(witnessed)
+            << "the reported (XY, XZ) combination is present, so the "
+               "witness pair does not violate " << dep.ToString(*scheme);
         break;
       }
     }
