@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace ccfp {
 
 namespace {
@@ -30,9 +34,23 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+std::uint64_t BenchReporter::PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kilobytes
+#endif
+#else
+  return 0;
+#endif
+}
+
 void BenchReporter::Add(const std::string& name, std::uint64_t n,
                         std::uint64_t wall_ns, std::uint64_t steps) {
-  entries_.push_back(Entry{name, n, wall_ns, steps});
+  entries_.push_back(Entry{name, n, wall_ns, steps, PeakRssBytes()});
 }
 
 std::string BenchReporter::ToJson() const {
@@ -43,7 +61,8 @@ std::string BenchReporter::ToJson() const {
     if (i > 0) out += ", ";
     out += "{\"name\": \"" + JsonEscape(e.name) + "\", \"n\": " +
            std::to_string(e.n) + ", \"wall_ns\": " + std::to_string(e.wall_ns) +
-           ", \"steps\": " + std::to_string(e.steps) + "}";
+           ", \"steps\": " + std::to_string(e.steps) +
+           ", \"peak_rss_bytes\": " + std::to_string(e.peak_rss_bytes) + "}";
   }
   out += "]}\n";
   return out;

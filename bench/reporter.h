@@ -14,7 +14,8 @@ namespace ccfp {
 ///
 /// Schema:
 ///   {"bench": "chase",
-///    "entries": [{"name": "...", "n": 32, "wall_ns": 123456, "steps": 17},
+///    "entries": [{"name": "...", "n": 32, "wall_ns": 123456, "steps": 17,
+///                 "peak_rss_bytes": 1048576},
 ///                ...]}
 class BenchReporter {
  public:
@@ -23,9 +24,17 @@ class BenchReporter {
 
   /// Records one measurement. `n` is the workload size parameter and
   /// `steps` a workload-defined work counter (chase steps, tuples, nodes
-  /// visited, ...) so throughput can be derived from wall time.
+  /// visited, ...) so throughput can be derived from wall time. The
+  /// process's peak RSS at Add time is stamped onto the entry — the
+  /// physical complement of the logical byte accounting in
+  /// util/memory_budget.h (0 where the platform cannot report it).
   void Add(const std::string& name, std::uint64_t n, std::uint64_t wall_ns,
            std::uint64_t steps);
+
+  /// Current process peak resident set size in bytes (getrusage), or 0 if
+  /// unavailable. Monotone over the process lifetime: entries added later
+  /// report at least the peak of everything run before them.
+  static std::uint64_t PeakRssBytes();
 
   /// Serializes all entries; stable field order, no external deps.
   std::string ToJson() const;
@@ -40,6 +49,7 @@ class BenchReporter {
     std::uint64_t n = 0;
     std::uint64_t wall_ns = 0;
     std::uint64_t steps = 0;
+    std::uint64_t peak_rss_bytes = 0;
   };
 
   std::string bench_;

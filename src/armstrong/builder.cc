@@ -173,6 +173,29 @@ ArmstrongSession::ArmstrongSession(SchemePtr scheme, std::vector<Fd> fds,
   }
 }
 
+ArmstrongSession::ArmstrongSession(InternedWorkspace ws, std::vector<Fd> fds,
+                                   std::vector<Ind> inds,
+                                   const ImplicationOracle* oracle,
+                                   const ArmstrongBuildOptions& options)
+    : scheme_(ws.scheme_ptr()),
+      fds_(std::move(fds)),
+      inds_(std::move(inds)),
+      oracle_(oracle),
+      options_(options),
+      ws_(std::move(ws)),
+      chaser_(&ws_, fds_, inds_) {
+  for (const Fd& fd : fds_) sigma_deps_.push_back(Dependency(fd));
+  for (const Ind& ind : inds_) sigma_deps_.push_back(Dependency(ind));
+  // No seeding: the adopted workspace already carries the seeds (and
+  // every chase consequence and repair) of the session that saved it.
+  if (options_.verify == ArmstrongVerifyEngine::kAuto) {
+    options_.verify = ArmstrongVerifyEngine::kIncremental;
+  }
+  if (options_.verify == ArmstrongVerifyEngine::kIncremental) {
+    verifier_ = std::make_unique<IncrementalVerifier>(&ws_);
+  }
+}
+
 Status ArmstrongSession::VerifyExactness() {
   // Cached WatchIds: the incremental re-check is pure counter reads.
   std::optional<std::string> mismatch =
@@ -237,7 +260,13 @@ Status ArmstrongSession::Extend(const std::vector<Dependency>& delta) {
       if (tau.is_fd()) SeedFdViolationWs(ws_, tau.fd());
     }
   }
-  return ChaseVerifyRepair();
+  CCFP_RETURN_NOT_OK(ChaseVerifyRepair());
+  // Every registered consumer (the chaser, and the verifier when present)
+  // sits at the feed tip after a successful round, so the retained event
+  // window trims to nothing here — the feed stays O(in-flight delta) no
+  // matter how many Extends the session lives through.
+  ws_.CompactFeeds();
+  return Status::OK();
 }
 
 Result<ArmstrongReport> BuildArmstrongDatabase(

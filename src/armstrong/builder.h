@@ -127,6 +127,18 @@ class ArmstrongSession {
                    std::vector<Ind> inds, const ImplicationOracle* oracle,
                    const ArmstrongBuildOptions& options = {});
 
+  /// Warm-start from a restored workspace (core/snapshot.h): the interned
+  /// tuples, value table, union-find, and cached partitions are adopted
+  /// as-is — nothing is re-interned and no base seeds are added. `ws`
+  /// must be over the same scheme the snapshot was taken with and at a
+  /// chase fixpoint (the state a session leaves behind after a successful
+  /// Extend). Universe classification is not part of the workspace;
+  /// re-Extend with the universe to rebuild it — watchers then build
+  /// straight from the adopted data.
+  ArmstrongSession(InternedWorkspace ws, std::vector<Fd> fds,
+                   std::vector<Ind> inds, const ImplicationOracle* oracle,
+                   const ArmstrongBuildOptions& options = {});
+
   /// Grows the universe by `delta` (members already known are skipped),
   /// re-establishes exactness, and reports the same failure modes as
   /// BuildArmstrongDatabase. On an error the session may be left

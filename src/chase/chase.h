@@ -40,15 +40,25 @@ enum class ChaseEngine : std::uint8_t {
 struct ChaseOptions {
   std::uint64_t max_steps = 1u << 20;
   std::uint64_t max_tuples = 1u << 18;
+  /// Ceiling on the workspace's live logical bytes (util/memory_budget.h);
+  /// the workspace-backed engine checks it at periodic checkpoints and
+  /// stops resumably with ResourceExhausted when exceeded.
+  std::uint64_t max_bytes = UINT64_MAX;
+  /// Wall-clock deadline, honored inside FD-fixpoint inner loops (not
+  /// just at round boundaries) by the workspace-backed engine.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
   ChaseEngine engine = ChaseEngine::kIncremental;
 
   /// Maps the shared Budget vocabulary onto the chase's knobs
-  /// (steps -> max_steps, tuples -> max_tuples).
+  /// (steps -> max_steps, tuples -> max_tuples, bytes -> max_bytes,
+  /// deadline -> deadline).
   static ChaseOptions FromBudget(const Budget& budget,
                                  ChaseEngine engine = ChaseEngine::kIncremental) {
     ChaseOptions options;
     options.max_steps = budget.steps;
     options.max_tuples = budget.tuples;
+    options.max_bytes = budget.bytes;
+    options.deadline = budget.deadline;
     options.engine = engine;
     return options;
   }

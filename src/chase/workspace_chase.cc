@@ -1,9 +1,11 @@
 #include "chase/workspace_chase.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace ccfp {
 
@@ -35,6 +37,25 @@ WorkspaceChase::WorkspaceChase(InternedWorkspace* ws, std::vector<Fd> fds,
   queued_.resize(n);
   admitted_.resize(n, 0);
   admit_cursor_.resize(n, 0);
+  feed_cursor_ = ws_->RegisterFeedCursor();
+}
+
+WorkspaceChase::~WorkspaceChase() { ws_->ReleaseFeedCursor(feed_cursor_); }
+
+Status WorkspaceChase::BudgetCheckpoint() {
+  if (FaultFires(FaultSite::kEngineExhaust)) {
+    return Status::ResourceExhausted("injected chase exhaustion");
+  }
+  if ((checkpoint_tick_++ & 63) != 0) return Status::OK();
+  if (options_->deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *options_->deadline) {
+    return Status::ResourceExhausted("chase deadline exceeded");
+  }
+  if (options_->max_bytes != UINT64_MAX &&
+      ws_->MemoryUsage().Total() > options_->max_bytes) {
+    return Status::ResourceExhausted("chase byte ceiling exceeded");
+  }
+  return Status::OK();
 }
 
 void WorkspaceChase::EnqueueFdDirty(RelId rel, std::uint32_t idx) {
@@ -60,17 +81,30 @@ void WorkspaceChase::AdmitSlot(RelId rel, std::uint32_t idx) {
 
 void WorkspaceChase::AdmitAppended() {
   for (RelId rel = 0; rel < ws_->scheme().size(); ++rel) {
-    const std::vector<WorkspaceEvent>& log = ws_->events(rel);
-    for (std::uint64_t seq = admit_cursor_[rel]; seq < log.size(); ++seq) {
-      const WorkspaceEvent& ev = log[seq];
-      // The chase's own appends were admitted inline (ProbeInd) and its
-      // own rewrites/kills are tracked by the dirty worklists; only
-      // appends published by outside parties are news.
-      if (ev.kind == WorkspaceEventKind::kAppend && ev.idx >= admitted_[rel]) {
-        AdmitSlot(rel, ev.idx);
+    std::uint64_t end = ws_->EventCount(rel);
+    if (admit_cursor_[rel] < ws_->FeedBase(rel)) {
+      // Behind the compaction horizon (a forced TrimFeedTo outran us):
+      // the feed delta is gone, but between Runs outside parties only
+      // append, so scanning the unadmitted slot suffix recovers exactly
+      // the lost events.
+      std::uint32_t size = static_cast<std::uint32_t>(ws_->size(rel));
+      for (std::uint32_t idx = admitted_[rel]; idx < size; ++idx) {
+        AdmitSlot(rel, idx);
+      }
+    } else {
+      for (std::uint64_t seq = admit_cursor_[rel]; seq < end; ++seq) {
+        const WorkspaceEvent& ev = ws_->event(rel, seq);
+        // The chase's own appends were admitted inline (ProbeInd) and its
+        // own rewrites/kills are tracked by the dirty worklists; only
+        // appends published by outside parties are news.
+        if (ev.kind == WorkspaceEventKind::kAppend &&
+            ev.idx >= admitted_[rel]) {
+          AdmitSlot(rel, ev.idx);
+        }
       }
     }
-    admit_cursor_[rel] = log.size();
+    admit_cursor_[rel] = end;
+    ws_->AdvanceFeedCursor(feed_cursor_, rel, end);
   }
 }
 
@@ -123,6 +157,10 @@ Status WorkspaceChase::ProbeFd(std::uint32_t fd_id, RelId rel,
 /// re-probe each touched slot until the FD fixpoint is reached.
 Status WorkspaceChase::DrainFdDirty() {
   while (!fd_dirty_.empty() && !failed_) {
+    // Checked per slot, *inside* the FD fixpoint: one huge round can no
+    // longer blow past the deadline or the byte ceiling unobserved.
+    // Checking before the pop keeps exhaustion trivially resumable.
+    CCFP_RETURN_NOT_OK(BudgetCheckpoint());
     WorkspaceTupleRef ref = fd_dirty_.front();
     fd_dirty_.pop_front();
     queued_[ref.rel][ref.idx] = 0;
@@ -158,9 +196,16 @@ Status WorkspaceChase::ProbeInd(std::uint32_t ind_id, std::uint32_t idx,
                                 bool* any) {
   const Ind& ind = inds_[ind_id];
   if (!ws_->alive(ind.lhs_rel, idx)) return Status::OK();
+  CCFP_RETURN_NOT_OK(BudgetCheckpoint());
   IdTuple key = ws_->CanonicalProjection(ind.lhs_rel, idx, ind.lhs);
   auto [it, inserted] = ind_states_[ind_id].rhs_keys.insert(std::move(key));
   if (!inserted) return Status::OK();
+  if (FaultFires(FaultSite::kArenaAppend)) {
+    // The arena refused to grow. Un-register the key so a resumed Run
+    // re-probes this slot and creates the witness then.
+    ind_states_[ind_id].rhs_keys.erase(it);
+    return Status::ResourceExhausted("injected arena allocation failure");
+  }
   std::size_t arity = ws_->scheme().relation(ind.rhs_rel).arity();
   IdTuple fresh(arity, 0);
   // Fresh labels for every position, then overwrite the constrained ones
@@ -234,9 +279,11 @@ Result<WorkspaceChaseStats> WorkspaceChase::Run(const ChaseOptions& options) {
   }
   // Everything published so far — including this Run's own appends,
   // rewrites, and kills — is incorporated; expose that via the cursor so
-  // mid-chase verifiers know the chase is caught up with the feed.
+  // mid-chase verifiers know the chase is caught up with the feed, and
+  // advance the registered cursor so compaction can reclaim the prefix.
   for (RelId rel = 0; rel < ws_->scheme().size(); ++rel) {
     admit_cursor_[rel] = ws_->EventCount(rel);
+    ws_->AdvanceFeedCursor(feed_cursor_, rel, admit_cursor_[rel]);
   }
   WorkspaceChaseStats stats;
   stats.outcome = failed_ ? ChaseOutcome::kFailed : ChaseOutcome::kFixpoint;

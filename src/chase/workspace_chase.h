@@ -53,6 +53,12 @@ class WorkspaceChase {
   /// CHECK-fails if any dependency is invalid for the workspace's scheme.
   WorkspaceChase(InternedWorkspace* ws, std::vector<Fd> fds,
                  std::vector<Ind> inds);
+  /// Releases the chase's registered feed cursor (so it stops pinning
+  /// compaction). The workspace must outlive the chase.
+  ~WorkspaceChase();
+
+  WorkspaceChase(const WorkspaceChase&) = delete;
+  WorkspaceChase& operator=(const WorkspaceChase&) = delete;
 
   const std::vector<Fd>& fds() const { return fds_; }
   const std::vector<Ind>& inds() const { return inds_; }
@@ -89,6 +95,11 @@ class WorkspaceChase {
     std::uint32_t cursor = 0;
   };
 
+  /// Periodic budget checkpoint for the inner loops: consults the
+  /// kEngineExhaust fault site every call and, every 64th call, the
+  /// wall-clock deadline and the workspace byte ceiling. Returning
+  /// ResourceExhausted here is always resumable (callers requeue).
+  Status BudgetCheckpoint();
   void EnqueueFdDirty(RelId rel, std::uint32_t idx);
   void RegisterRhsProjections(RelId rel, std::uint32_t idx);
   /// Takes a freshly appended slot under management: rhs projections into
@@ -118,6 +129,7 @@ class WorkspaceChase {
   std::vector<std::vector<std::uint8_t>> queued_;  // per rel, per slot
   std::vector<std::uint32_t> admitted_;            // per rel: admitted prefix
   std::vector<std::uint64_t> admit_cursor_;        // per rel: feed position
+  InternedWorkspace::FeedCursorId feed_cursor_ = 0;  ///< pins compaction
   bool failed_ = false;
 
   // Per-Run budget counters (reset by Run).
@@ -125,6 +137,7 @@ class WorkspaceChase {
   std::uint64_t fd_merges_ = 0;
   std::uint64_t ind_tuples_ = 0;
   std::uint64_t steps_ = 0;
+  std::uint64_t checkpoint_tick_ = 0;
 };
 
 }  // namespace ccfp

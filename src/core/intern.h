@@ -36,6 +36,8 @@ class ValueInterner {
   std::size_t size() const { return values_.size(); }
 
  private:
+  friend class WorkspaceSnapshotAccess;  ///< serialization (core/snapshot.h)
+
   std::vector<Value> values_;
   std::unordered_map<Value, ValueId, ValueHash> ids_;
   std::uint64_t next_null_label_ = 1;
@@ -90,6 +92,8 @@ class DenseUnionFind {
   std::size_t size() const { return parent_.size(); }
 
  private:
+  friend class WorkspaceSnapshotAccess;  ///< serialization (core/snapshot.h)
+
   std::vector<ValueId> parent_;
   std::vector<std::uint32_t> size_;
   std::vector<ValueId> rep_;  ///< per root: semantic representative

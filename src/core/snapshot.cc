@@ -1,0 +1,521 @@
+#include "core/snapshot.h"
+
+#include <cstddef>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "util/fault.h"
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+constexpr char kMagic[6] = {'C', 'C', 'F', 'P', 'W', 'S'};
+constexpr std::size_t kHeaderBytes =
+    sizeof(kMagic) + sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+
+/// Little-endian, byte-at-a-time writer: portable and alias-free.
+class Writer {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    out_.append(s);
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader; every primitive either succeeds or trips the
+/// sticky truncation flag (checked once by the caller via Ok()).
+class Reader {
+ public:
+  explicit Reader(std::string_view in) : in_(in) {}
+
+  std::uint8_t U8() {
+    if (pos_ >= in_.size()) {
+      truncated_ = true;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(in_[pos_++]);
+  }
+  std::uint32_t U32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{U8()} << (8 * i);
+    return v;
+  }
+  std::uint64_t U64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{U8()} << (8 * i);
+    return v;
+  }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  std::string Str() {
+    std::uint64_t n = U64();
+    if (n > in_.size() - pos_ || truncated_) {
+      truncated_ = true;
+      return {};
+    }
+    std::string s(in_.substr(pos_, static_cast<std::size_t>(n)));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  /// Guards a forthcoming sequence of `count` items of >= `item_bytes`
+  /// each, so corrupt counts fail fast instead of driving huge loops.
+  bool Fits(std::uint64_t count, std::uint64_t item_bytes) {
+    if (truncated_ || count > (in_.size() - pos_) / item_bytes) {
+      truncated_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool Ok() const { return !truncated_; }
+  bool AtEnd() const { return pos_ == in_.size(); }
+
+ private:
+  std::string_view in_;
+  std::size_t pos_ = 0;
+  bool truncated_ = false;
+};
+
+std::uint64_t SchemeFingerprint(const DatabaseScheme& scheme) {
+  return Fnv1a64(scheme.ToString());
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument(StrCat("workspace snapshot: ", what));
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The one friend of InternedWorkspace / ValueInterner / DenseUnionFind:
+/// all field-level serialization lives here so the classes themselves
+/// expose nothing extra.
+class WorkspaceSnapshotAccess {
+ public:
+  static void SerializePayload(
+      const InternedWorkspace& ws,
+      const std::vector<std::vector<std::uint64_t>>& cursors, Writer& w) {
+    w.U64(SchemeFingerprint(*ws.scheme_));
+
+    // Interner: values in id order + the fresh-null watermark.
+    const ValueInterner& in = ws.interner_;
+    w.U64(in.values_.size());
+    for (const Value& v : in.values_) {
+      w.U8(static_cast<std::uint8_t>(v.kind()));
+      if (v.is_str()) {
+        w.Str(v.as_str());
+      } else {
+        w.I64(v.is_null() ? static_cast<std::int64_t>(v.null_id())
+                          : v.as_int());
+      }
+    }
+    w.U64(in.next_null_label_);
+
+    // Union-find (sized to the interner by EnsureSize on every intern).
+    const DenseUnionFind& uf = ws.uf_;
+    w.U64(uf.parent_.size());
+    for (ValueId p : uf.parent_) w.U32(p);
+    for (std::uint32_t s : uf.size_) w.U32(s);
+    for (ValueId r : uf.rep_) w.U32(r);
+
+    // Relation stores: slots + alive flags + retained feed. The dedup
+    // index is content-determined and rebuilt at load.
+    w.U64(ws.rels_.size());
+    for (RelId rel = 0; rel < ws.rels_.size(); ++rel) {
+      const auto& rs = ws.rels_[rel];
+      w.U64(rs.tuples.size());
+      for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
+        for (ValueId id : rs.tuples[i]) w.U32(id);
+        w.U8(rs.alive[i]);
+      }
+      w.U64(rs.feed_base);
+      w.U64(rs.feed.size());
+      for (const WorkspaceEvent& e : rs.feed) {
+        w.U8(static_cast<std::uint8_t>(e.kind));
+        w.U32(e.idx);
+      }
+    }
+
+    // Occurrence lists, exactly: their order drives deterministic chase
+    // worklists, so a rebuild is not equivalent.
+    w.U64(ws.occurrences_.size());
+    for (const auto& occ : ws.occurrences_) {
+      w.U64(occ.size());
+      for (const WorkspaceTupleRef& ref : occ) {
+        w.U32(ref.rel);
+        w.U32(ref.idx);
+      }
+    }
+
+    // Compiled partitions: the warm-start capital. Group ids (including
+    // tombstones) restore bit-for-bit so downstream consumers that cached
+    // group ids stay correct.
+    for (RelId rel = 0; rel < ws.rels_.size(); ++rel) {
+      const auto& cache = ws.partitions_[rel];
+      w.U64(cache.size());
+      for (const auto& [cols, cp] : cache) {
+        w.U64(cols.size());
+        for (AttrId c : cols) w.U32(c);
+        w.U32(cp.covered);
+        const InternedWorkspace::Partition& p = cp.p;
+        w.U64(p.group_of.size());
+        for (std::uint32_t g : p.group_of) w.U32(g);
+        w.U32(p.group_count);
+        w.U32(p.alive_groups);
+        w.U64(p.group_size.size());
+        for (std::uint32_t s : p.group_size) w.U32(s);
+        w.U64(p.key_to_group.size());
+        for (const auto& [key, g] : p.key_to_group) {
+          for (ValueId id : key) w.U32(id);
+          w.U32(g);
+        }
+      }
+    }
+
+    // Substrate stats, so a restored session's counters are continuous.
+    const InternedWorkspace::Stats& st = ws.stats_;
+    w.U64(st.partitions_built);
+    w.U64(st.partitions_extended);
+    w.U64(st.partitions_reused);
+    w.U64(st.partitions_invalidated);
+    w.U64(st.partition_slots_repaired);
+    w.U64(st.tuples_appended);
+    w.U64(st.tuples_killed);
+    w.U64(st.values_interned);
+    w.U64(st.value_merges);
+    w.U64(st.feed_compactions);
+    w.U64(st.feed_events_compacted);
+
+    // Caller-supplied consumer cursors (verifier feed positions, ...).
+    w.U64(cursors.size());
+    for (const auto& c : cursors) {
+      w.U64(c.size());
+      for (std::uint64_t s : c) w.U64(s);
+    }
+  }
+
+  static Result<RestoredWorkspace> DeserializePayload(SchemePtr scheme,
+                                                      std::string_view in) {
+    Reader r(in);
+    if (r.U64() != SchemeFingerprint(*scheme)) {
+      return Corrupt("scheme fingerprint mismatch");
+    }
+
+    RestoredWorkspace out{InternedWorkspace(scheme), {}};
+    InternedWorkspace& ws = out.ws;
+
+    // Interner.
+    std::uint64_t n_values = r.U64();
+    if (!r.Fits(n_values, 9)) return Corrupt("value table truncated");
+    ValueInterner& interner = ws.interner_;
+    interner.values_.reserve(static_cast<std::size_t>(n_values));
+    for (std::uint64_t i = 0; i < n_values; ++i) {
+      std::uint8_t kind = r.U8();
+      Value v;
+      switch (kind) {
+        case static_cast<std::uint8_t>(Value::Kind::kNull):
+          v = Value::Null(static_cast<std::uint64_t>(r.I64()));
+          break;
+        case static_cast<std::uint8_t>(Value::Kind::kInt):
+          v = Value::Int(r.I64());
+          break;
+        case static_cast<std::uint8_t>(Value::Kind::kStr):
+          v = Value::Str(r.Str());
+          break;
+        default:
+          return Corrupt("bad value kind");
+      }
+      if (!r.Ok()) return Corrupt("value table truncated");
+      ValueId id = static_cast<ValueId>(interner.values_.size());
+      interner.ids_.emplace(v, id);
+      interner.values_.push_back(std::move(v));
+    }
+    if (interner.ids_.size() != interner.values_.size()) {
+      return Corrupt("duplicate value in interner table");
+    }
+    interner.next_null_label_ = r.U64();
+
+    // Union-find.
+    std::uint64_t n_uf = r.U64();
+    if (n_uf != n_values) return Corrupt("union-find size mismatch");
+    if (!r.Fits(n_uf, 12)) return Corrupt("union-find truncated");
+    DenseUnionFind& uf = ws.uf_;
+    uf.parent_.reserve(n_uf);
+    uf.size_.reserve(n_uf);
+    uf.rep_.reserve(n_uf);
+    for (std::uint64_t i = 0; i < n_uf; ++i) uf.parent_.push_back(r.U32());
+    for (std::uint64_t i = 0; i < n_uf; ++i) uf.size_.push_back(r.U32());
+    for (std::uint64_t i = 0; i < n_uf; ++i) uf.rep_.push_back(r.U32());
+    for (std::uint64_t i = 0; i < n_uf; ++i) {
+      if (uf.parent_[i] >= n_uf || uf.rep_[i] >= n_uf) {
+        return Corrupt("union-find id out of range");
+      }
+    }
+
+    // Relation stores.
+    if (r.U64() != scheme->size()) return Corrupt("relation count mismatch");
+    for (RelId rel = 0; rel < scheme->size(); ++rel) {
+      auto& rs = ws.rels_[rel];
+      std::uint64_t arity = scheme->relation(rel).arity();
+      std::uint64_t n_slots = r.U64();
+      if (!r.Fits(n_slots, arity * 4 + 1)) {
+        return Corrupt("tuple store truncated");
+      }
+      rs.tuples.reserve(static_cast<std::size_t>(n_slots));
+      rs.alive.reserve(static_cast<std::size_t>(n_slots));
+      for (std::uint64_t i = 0; i < n_slots; ++i) {
+        IdTuple t;
+        t.reserve(static_cast<std::size_t>(arity));
+        for (std::uint64_t c = 0; c < arity; ++c) {
+          ValueId id = r.U32();
+          if (id >= n_values) return Corrupt("tuple id out of range");
+          t.push_back(id);
+        }
+        std::uint8_t alive = r.U8();
+        if (alive > 1) return Corrupt("bad alive flag");
+        ws.tuple_id_cells_ += t.size();
+        rs.tuples.push_back(std::move(t));
+        rs.alive.push_back(alive);
+        if (alive) {
+          ++rs.alive_count;
+          ++ws.total_alive_;
+        }
+      }
+      // Rebuild the dedup index over alive slots (content-determined).
+      for (std::uint32_t i = 0; i < rs.tuples.size(); ++i) {
+        if (!rs.alive[i]) continue;
+        auto [it, inserted] = rs.dedup.emplace(rs.tuples[i], i);
+        if (!inserted) return Corrupt("duplicate alive tuple");
+      }
+      rs.feed_base = r.U64();
+      std::uint64_t n_events = r.U64();
+      if (!r.Fits(n_events, 5)) return Corrupt("feed truncated");
+      rs.feed.reserve(static_cast<std::size_t>(n_events));
+      for (std::uint64_t i = 0; i < n_events; ++i) {
+        std::uint8_t kind = r.U8();
+        std::uint32_t idx = r.U32();
+        if (kind > 2 || idx >= rs.tuples.size()) {
+          return Corrupt("bad feed event");
+        }
+        rs.feed.push_back(WorkspaceEvent{
+            static_cast<WorkspaceEventKind>(kind), idx});
+      }
+    }
+
+    // Occurrences (exact).
+    std::uint64_t n_occ = r.U64();
+    if (n_occ != n_values) return Corrupt("occurrence table size mismatch");
+    ws.occurrences_.resize(static_cast<std::size_t>(n_occ));
+    for (std::uint64_t i = 0; i < n_occ; ++i) {
+      std::uint64_t n_refs = r.U64();
+      if (!r.Fits(n_refs, 8)) return Corrupt("occurrences truncated");
+      auto& occ = ws.occurrences_[static_cast<std::size_t>(i)];
+      occ.reserve(static_cast<std::size_t>(n_refs));
+      for (std::uint64_t j = 0; j < n_refs; ++j) {
+        WorkspaceTupleRef ref;
+        ref.rel = r.U32();
+        ref.idx = r.U32();
+        if (ref.rel >= scheme->size() ||
+            ref.idx >= ws.rels_[ref.rel].tuples.size()) {
+          return Corrupt("occurrence ref out of range");
+        }
+        occ.push_back(ref);
+      }
+      ws.occurrence_refs_ += n_refs;
+    }
+
+    // Partitions.
+    for (RelId rel = 0; rel < scheme->size(); ++rel) {
+      std::uint64_t n_cached = r.U64();
+      std::uint64_t arity = scheme->relation(rel).arity();
+      if (!r.Fits(n_cached, 8)) return Corrupt("partition cache truncated");
+      for (std::uint64_t k = 0; k < n_cached; ++k) {
+        std::uint64_t n_cols = r.U64();
+        if (n_cols > arity) return Corrupt("partition columns out of range");
+        std::vector<AttrId> cols;
+        cols.reserve(static_cast<std::size_t>(n_cols));
+        for (std::uint64_t c = 0; c < n_cols; ++c) {
+          AttrId a = r.U32();
+          if (a >= arity) return Corrupt("partition column out of range");
+          cols.push_back(a);
+        }
+        InternedWorkspace::CachedPartition cp;
+        cp.covered = r.U32();
+        if (cp.covered > ws.rels_[rel].tuples.size()) {
+          return Corrupt("partition covers unknown slots");
+        }
+        InternedWorkspace::Partition& p = cp.p;
+        std::uint64_t n_groupof = r.U64();
+        if (n_groupof != cp.covered) {
+          return Corrupt("partition group_of size mismatch");
+        }
+        if (!r.Fits(n_groupof, 4)) return Corrupt("partition truncated");
+        p.group_of.reserve(static_cast<std::size_t>(n_groupof));
+        for (std::uint64_t i = 0; i < n_groupof; ++i) {
+          p.group_of.push_back(r.U32());
+        }
+        p.group_count = r.U32();
+        p.alive_groups = r.U32();
+        std::uint64_t n_sizes = r.U64();
+        if (n_sizes != p.group_count) {
+          return Corrupt("partition group_size mismatch");
+        }
+        if (!r.Fits(n_sizes, 4)) return Corrupt("partition truncated");
+        p.group_size.reserve(static_cast<std::size_t>(n_sizes));
+        for (std::uint64_t i = 0; i < n_sizes; ++i) {
+          p.group_size.push_back(r.U32());
+        }
+        for (std::uint32_t g : p.group_of) {
+          if (g != InternedWorkspace::kNoGroup && g >= p.group_count) {
+            return Corrupt("partition group id out of range");
+          }
+        }
+        std::uint64_t n_keys = r.U64();
+        if (!r.Fits(n_keys, n_cols * 4 + 4)) {
+          return Corrupt("partition keys truncated");
+        }
+        for (std::uint64_t i = 0; i < n_keys; ++i) {
+          IdTuple key;
+          key.reserve(static_cast<std::size_t>(n_cols));
+          for (std::uint64_t c = 0; c < n_cols; ++c) key.push_back(r.U32());
+          std::uint32_t g = r.U32();
+          if (g >= p.group_count) {
+            return Corrupt("partition key group out of range");
+          }
+          if (!p.key_to_group.emplace(std::move(key), g).second) {
+            return Corrupt("duplicate partition key");
+          }
+        }
+        if (!ws.partitions_[rel].emplace(std::move(cols), std::move(cp))
+                 .second) {
+          return Corrupt("duplicate partition column set");
+        }
+      }
+    }
+
+    // Stats.
+    InternedWorkspace::Stats& st = ws.stats_;
+    st.partitions_built = r.U64();
+    st.partitions_extended = r.U64();
+    st.partitions_reused = r.U64();
+    st.partitions_invalidated = r.U64();
+    st.partition_slots_repaired = r.U64();
+    st.tuples_appended = r.U64();
+    st.tuples_killed = r.U64();
+    st.values_interned = r.U64();
+    st.value_merges = r.U64();
+    st.feed_compactions = r.U64();
+    st.feed_events_compacted = r.U64();
+
+    // Consumer cursors.
+    std::uint64_t n_cursors = r.U64();
+    if (!r.Fits(n_cursors, 8)) return Corrupt("cursors truncated");
+    out.consumer_cursors.reserve(static_cast<std::size_t>(n_cursors));
+    for (std::uint64_t i = 0; i < n_cursors; ++i) {
+      std::uint64_t n = r.U64();
+      if (!r.Fits(n, 8)) return Corrupt("cursors truncated");
+      std::vector<std::uint64_t> c;
+      c.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t j = 0; j < n; ++j) c.push_back(r.U64());
+      out.consumer_cursors.push_back(std::move(c));
+    }
+
+    if (!r.Ok()) return Corrupt("payload truncated");
+    if (!r.AtEnd()) return Corrupt("trailing bytes after payload");
+    return out;
+  }
+};
+
+std::string SerializeWorkspace(
+    const InternedWorkspace& ws,
+    const std::vector<std::vector<std::uint64_t>>& consumer_cursors) {
+  Writer payload_writer;
+  WorkspaceSnapshotAccess::SerializePayload(ws, consumer_cursors,
+                                            payload_writer);
+  std::string payload = payload_writer.Take();
+
+  Writer w;
+  for (char c : kMagic) w.U8(static_cast<std::uint8_t>(c));
+  w.U32(kWorkspaceSnapshotVersion);
+  w.U64(payload.size());
+  w.U64(Fnv1a64(payload));
+  std::string out = w.Take();
+  out += payload;
+  return out;
+}
+
+Result<RestoredWorkspace> DeserializeWorkspace(SchemePtr scheme,
+                                               std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes) return Corrupt("shorter than header");
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) {
+    if (bytes[i] != kMagic[i]) return Corrupt("bad magic");
+  }
+  Reader header(bytes.substr(sizeof(kMagic), kHeaderBytes - sizeof(kMagic)));
+  std::uint32_t version = header.U32();
+  if (version != kWorkspaceSnapshotVersion) {
+    return Corrupt(StrCat("unsupported version ", version));
+  }
+  std::uint64_t payload_size = header.U64();
+  std::uint64_t checksum = header.U64();
+  std::string_view payload = bytes.substr(kHeaderBytes);
+  if (payload.size() != payload_size) {
+    return Corrupt("payload size mismatch");
+  }
+  if (Fnv1a64(payload) != checksum) return Corrupt("checksum mismatch");
+  return WorkspaceSnapshotAccess::DeserializePayload(std::move(scheme),
+                                                     payload);
+}
+
+Status SaveWorkspaceSnapshot(
+    const InternedWorkspace& ws, const std::string& path,
+    const std::vector<std::vector<std::uint64_t>>& consumer_cursors) {
+  std::string bytes = SerializeWorkspace(ws, consumer_cursors);
+  if (FaultInjector* fi = InstalledFaultInjector()) {
+    if (fi->ShouldFail(FaultSite::kSnapshotCorrupt)) fi->CorruptBytes(bytes);
+    if (fi->ShouldFail(FaultSite::kSnapshotTruncate)) {
+      fi->TruncateBytes(bytes);
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound(StrCat("cannot open ", path));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::Internal(StrCat("short write to ", path));
+  return Status::OK();
+}
+
+Result<RestoredWorkspace> LoadWorkspaceSnapshot(SchemePtr scheme,
+                                                const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound(StrCat("cannot open ", path));
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in && !in.eof()) return Status::Internal(StrCat("read error ", path));
+  return DeserializeWorkspace(std::move(scheme), bytes);
+}
+
+}  // namespace ccfp

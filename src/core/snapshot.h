@@ -1,0 +1,99 @@
+#ifndef CCFP_CORE_SNAPSHOT_H_
+#define CCFP_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/workspace.h"
+#include "util/status.h"
+
+namespace ccfp {
+
+/// Versioned, checksummed serialization of an InternedWorkspace — the
+/// persistence layer that lets a restarted ArmstrongSession or solver
+/// warm-start with no re-interning.
+///
+/// ## What a snapshot carries
+///
+/// The *entire* mutable substrate, bit-for-bit restorable:
+///   * the value interner (values in id order + the fresh-null watermark),
+///     so restored ids mean exactly what they meant;
+///   * the union-find arrays (parent/size/rep), preserving both the merge
+///     classes and their semantic representatives;
+///   * every relation's tuple slots with alive flags, its compaction
+///     horizon, and its retained change feed — dedup indexes are rebuilt
+///     from the alive slots at load;
+///   * the per-id occurrence lists, serialized *exactly* (not rebuilt):
+///     their order feeds the chase's deterministic dirty worklists, and a
+///     rebuild could reorder them;
+///   * every compiled projection partition, including tombstoned groups
+///     and stable group ids — the capital a warm start is meant to keep;
+///   * the substrate Stats, so a restored session reports continuously;
+///   * caller-supplied consumer cursors (e.g. a verifier's per-relation
+///     feed positions), so delta consumers resume where they stopped.
+///
+/// Registered feed cursors are NOT serialized: they belong to live
+/// consumer objects, which are gone after a restart and re-register.
+///
+/// ## Wire format (version 1)
+///
+///   magic "CCFPWS" | u32 version | u64 payload_size | u64 fnv1a64(payload)
+///   | payload
+///
+/// All integers little-endian, written byte-by-byte (no aliasing, no
+/// endianness traps under the sanitizers). The payload opens with a
+/// fingerprint of the scheme (relation/attribute names), and load rejects
+/// a snapshot taken under a different scheme. Any damage — bad magic,
+/// unknown version, size mismatch, checksum mismatch, out-of-bounds ids,
+/// truncation anywhere — yields InvalidArgument, never a crash and never
+/// a half-restored workspace.
+///
+/// `SaveWorkspaceSnapshot` consults the installed FaultInjector
+/// (util/fault.h) at FaultSite::kSnapshotCorrupt / kSnapshotTruncate and
+/// deliberately damages the bytes it writes when a fault fires, so the
+/// property suites can pin that a damaged file is always rejected.
+
+/// A deserialized snapshot: the workspace plus the consumer cursors the
+/// saver embedded (same order they were passed; each is a per-relation
+/// sequence vector).
+struct RestoredWorkspace {
+  InternedWorkspace ws;
+  std::vector<std::vector<std::uint64_t>> consumer_cursors;
+};
+
+/// Serializes `ws` (plus optional consumer cursors) to an in-memory blob
+/// in the wire format above.
+std::string SerializeWorkspace(
+    const InternedWorkspace& ws,
+    const std::vector<std::vector<std::uint64_t>>& consumer_cursors = {});
+
+/// Parses and validates `bytes`; on success the returned workspace is
+/// observably identical to the serialized one (same ids, same partitions
+/// with the same group ids, same feed window, same stats). `scheme` must
+/// match the saved fingerprint.
+Result<RestoredWorkspace> DeserializeWorkspace(SchemePtr scheme,
+                                               std::string_view bytes);
+
+/// Serializes and writes to `path` (atomically enough for tests: write to
+/// `path` directly; callers needing crash-safe rename own that policy).
+/// Injected kSnapshotCorrupt / kSnapshotTruncate faults damage the bytes
+/// *before* the write, simulating a torn or bit-rotted file.
+Status SaveWorkspaceSnapshot(
+    const InternedWorkspace& ws, const std::string& path,
+    const std::vector<std::vector<std::uint64_t>>& consumer_cursors = {});
+
+/// Reads `path` and deserializes. NotFound if the file cannot be read.
+Result<RestoredWorkspace> LoadWorkspaceSnapshot(SchemePtr scheme,
+                                                const std::string& path);
+
+/// FNV-1a 64 over `bytes` — the snapshot checksum, exposed for tests.
+std::uint64_t Fnv1a64(std::string_view bytes);
+
+/// The current wire-format version.
+inline constexpr std::uint32_t kWorkspaceSnapshotVersion = 1;
+
+}  // namespace ccfp
+
+#endif  // CCFP_CORE_SNAPSHOT_H_

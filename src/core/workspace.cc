@@ -72,6 +72,7 @@ void InternedWorkspace::RegisterOccurrences(RelId rel, std::uint32_t idx,
   for (ValueId id : t) {
     occurrences_[id].push_back(WorkspaceTupleRef{rel, idx});
   }
+  occurrence_refs_ += t.size();
 }
 
 bool InternedWorkspace::Append(RelId rel, IdTuple t) {
@@ -80,6 +81,7 @@ bool InternedWorkspace::Append(RelId rel, IdTuple t) {
   auto [it, inserted] = rs.dedup.emplace(std::move(t), idx);
   if (!inserted) return false;
   RegisterOccurrences(rel, idx, it->first);
+  tuple_id_cells_ += it->first.size();
   rs.tuples.push_back(it->first);
   rs.alive.push_back(1);
   ++rs.alive_count;
@@ -270,6 +272,114 @@ const InternedWorkspace::Partition& InternedWorkspace::partition(
   ++stats_.partitions_built;
   ExtendPartition(rel, cols, cp);
   return cp.p;
+}
+
+const WorkspaceEvent& InternedWorkspace::event(RelId rel,
+                                               std::uint64_t seq) const {
+  const RelStore& rs = rels_[rel];
+  CCFP_CHECK(seq >= rs.feed_base && "event below the compaction horizon");
+  CCFP_CHECK(seq - rs.feed_base < rs.feed.size());
+  return rs.feed[static_cast<std::size_t>(seq - rs.feed_base)];
+}
+
+InternedWorkspace::FeedCursorId InternedWorkspace::RegisterFeedCursor()
+    const {
+  for (FeedCursorId id = 0; id < cursors_.size(); ++id) {
+    if (!cursors_[id].active) {
+      cursors_[id].active = true;
+      cursors_[id].pos.assign(scheme_->size(), 0);
+      return id;
+    }
+  }
+  FeedCursor c;
+  c.active = true;
+  c.pos.assign(scheme_->size(), 0);
+  cursors_.push_back(std::move(c));
+  return static_cast<FeedCursorId>(cursors_.size() - 1);
+}
+
+void InternedWorkspace::AdvanceFeedCursor(FeedCursorId id, RelId rel,
+                                          std::uint64_t seq) const {
+  CCFP_CHECK(id < cursors_.size() && cursors_[id].active);
+  CCFP_CHECK(seq <= EventCount(rel));
+  std::uint64_t& pos = cursors_[id].pos[rel];
+  if (seq > pos) pos = seq;  // monotone: replays may re-announce old seqs
+}
+
+std::uint64_t InternedWorkspace::FeedCursorPosition(FeedCursorId id,
+                                                    RelId rel) const {
+  CCFP_CHECK(id < cursors_.size() && cursors_[id].active);
+  return cursors_[id].pos[rel];
+}
+
+void InternedWorkspace::ReleaseFeedCursor(FeedCursorId id) const {
+  if (id < cursors_.size()) cursors_[id].active = false;
+}
+
+std::size_t InternedWorkspace::RegisteredFeedCursors() const {
+  std::size_t n = 0;
+  for (const FeedCursor& c : cursors_) n += c.active ? 1 : 0;
+  return n;
+}
+
+std::uint64_t InternedWorkspace::CompactFeed(RelId rel) {
+  std::uint64_t horizon = EventCount(rel);
+  for (const FeedCursor& c : cursors_) {
+    if (c.active) horizon = std::min(horizon, c.pos[rel]);
+  }
+  return TrimFeedTo(rel, horizon);
+}
+
+std::uint64_t InternedWorkspace::CompactFeeds() {
+  std::uint64_t dropped = 0;
+  for (RelId rel = 0; rel < scheme_->size(); ++rel) {
+    dropped += CompactFeed(rel);
+  }
+  return dropped;
+}
+
+std::uint64_t InternedWorkspace::TrimFeedTo(RelId rel,
+                                            std::uint64_t horizon) {
+  RelStore& rs = rels_[rel];
+  horizon = std::min(horizon, EventCount(rel));
+  if (horizon <= rs.feed_base) return 0;
+  std::uint64_t dropped = horizon - rs.feed_base;
+  rs.feed.erase(rs.feed.begin(),
+                rs.feed.begin() + static_cast<std::ptrdiff_t>(dropped));
+  rs.feed_base = horizon;
+  ++stats_.feed_compactions;
+  stats_.feed_events_compacted += dropped;
+  return dropped;
+}
+
+MemoryBreakdown InternedWorkspace::MemoryUsage() const {
+  MemoryBreakdown mb;
+  mb.tuple_store =
+      tuple_id_cells_ * sizeof(ValueId) +
+      static_cast<std::uint64_t>(stats_.tuples_appended) *
+          (sizeof(IdTuple) + sizeof(std::uint8_t));
+  mb.occurrences = occurrence_refs_ * sizeof(WorkspaceTupleRef) +
+                   memory::VectorBytes(occurrences_);
+  mb.interner =
+      static_cast<std::uint64_t>(interner_.size()) *
+      (sizeof(Value) + sizeof(std::pair<Value, ValueId>) +
+       memory::kHashNodeOverhead +  // interner values_ + ids_ map
+       3 * sizeof(std::uint32_t));  // union-find parent/size/rep
+  for (RelId rel = 0; rel < scheme_->size(); ++rel) {
+    const RelStore& rs = rels_[rel];
+    std::uint64_t arity = scheme_->relation(rel).arity();
+    mb.dedup_index +=
+        memory::IdKeyMapBytes(rs.dedup, arity * sizeof(ValueId));
+    mb.feed += memory::VectorBytes(rs.feed);
+    for (const auto& [cols, cp] : partitions_[rel]) {
+      const Partition& p = cp.p;
+      mb.partitions +=
+          memory::VectorBytes(p.group_of) + memory::VectorBytes(p.group_size) +
+          memory::IdKeyMapBytes(p.key_to_group,
+                                cols.size() * sizeof(ValueId));
+    }
+  }
+  return mb;
 }
 
 bool InternedWorkspace::Satisfies(const Fd& fd) const {

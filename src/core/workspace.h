@@ -12,6 +12,7 @@
 #include "core/intern.h"
 #include "core/interned.h"
 #include "core/tuple.h"
+#include "util/memory_budget.h"
 
 namespace ccfp {
 
@@ -84,6 +85,22 @@ struct WorkspaceEvent {
 /// mutation (and its partition repair) is applied, so a consumer reading
 /// the log sees store state at least as new as the event.
 ///
+/// ### Compaction
+///
+/// Sequence numbers are *stable forever*, but the events themselves are
+/// retained only back to a per-relation *compaction horizon*
+/// `FeedBase(rel)`: long-lived consumers register a cursor
+/// (`RegisterFeedCursor`) and advance it as they consume
+/// (`AdvanceFeedCursor`), and `CompactFeed(s)` trims the prefix every
+/// registered cursor has passed. `event(rel, seq)` serves any retained
+/// sequence; asking for a trimmed one is a programming error
+/// (CCFP_CHECK). A consumer that finds its cursor *behind* the horizon —
+/// possible only via the forced `TrimFeedTo` path, since CompactFeed
+/// never outruns a registered cursor — must rebuild its state from the
+/// alive ranks instead of replaying (verify/verifier.h does exactly
+/// that). With no cursors registered, CompactFeed trims everything: a
+/// workspace used purely for model checking carries no log at all.
+///
 /// ## Partition maintenance contract
 ///
 /// A cached partition covers a prefix of the relation's slots:
@@ -152,7 +169,12 @@ class InternedWorkspace {
     std::uint64_t tuples_killed = 0;  ///< merged onto an alive twin
     std::uint64_t values_interned = 0;
     std::uint64_t value_merges = 0;
+    std::uint64_t feed_compactions = 0;       ///< trims that dropped events
+    std::uint64_t feed_events_compacted = 0;  ///< events dropped in total
   };
+
+  /// Handle to a registered change-feed cursor (see RegisterFeedCursor).
+  using FeedCursorId = std::uint32_t;
 
   explicit InternedWorkspace(SchemePtr scheme);
 
@@ -205,18 +227,57 @@ class InternedWorkspace {
   /// --- change feed --------------------------------------------------------
 
   /// Sequence number one past the last event published for `rel` (== the
-  /// number of events so far). Monotone; a consumer's cursor into the
-  /// feed is a value previously returned by this.
+  /// number of events published so far, trimmed ones included). Monotone;
+  /// a consumer's cursor into the feed is a value previously returned by
+  /// this.
   std::uint64_t EventCount(RelId rel) const {
-    return rels_[rel].feed.size();
+    return rels_[rel].feed_base + rels_[rel].feed.size();
   }
-  /// The full event log of `rel`; entries [cursor, EventCount(rel)) are
-  /// the delta a consumer at `cursor` has not seen. Entries are never
-  /// mutated once published; the reference is invalidated by the next
-  /// mutation of `rel` (vector growth), so consume before mutating.
+  /// The compaction horizon of `rel`: the lowest sequence number still
+  /// retained. 0 until a compaction trims the feed.
+  std::uint64_t FeedBase(RelId rel) const { return rels_[rel].feed_base; }
+  /// The event with sequence `seq`; requires FeedBase(rel) <= seq <
+  /// EventCount(rel). Never mutated once published.
+  const WorkspaceEvent& event(RelId rel, std::uint64_t seq) const;
+  /// The *retained* event window of `rel`: entry `i` has sequence
+  /// FeedBase(rel) + i. Entries are never mutated once published; the
+  /// reference is invalidated by the next mutation or compaction of
+  /// `rel`, so consume before mutating.
   const std::vector<WorkspaceEvent>& events(RelId rel) const {
     return rels_[rel].feed;
   }
+
+  /// Registers a long-lived feed consumer (a chase admit cursor, a
+  /// verifier, a miner). The cursor starts at sequence 0 on every
+  /// relation — holding the entire retained feed — and pins compaction:
+  /// CompactFeed never trims past the minimum registered position.
+  /// Registry maintenance is const (like union-find path halving): it is
+  /// consumer bookkeeping, not observable tuple/feed state, so read-only
+  /// consumers (the verifier) can register too.
+  FeedCursorId RegisterFeedCursor() const;
+  /// Records that cursor `id` has consumed `rel`'s events below `seq`.
+  /// Monotone per (cursor, rel); `seq` may not exceed EventCount(rel).
+  void AdvanceFeedCursor(FeedCursorId id, RelId rel,
+                         std::uint64_t seq) const;
+  /// Retained position of cursor `id` on `rel`.
+  std::uint64_t FeedCursorPosition(FeedCursorId id, RelId rel) const;
+  /// Unregisters `id`; it no longer pins compaction. Safe on an already
+  /// released id (so owners can release on destruction unconditionally).
+  void ReleaseFeedCursor(FeedCursorId id) const;
+  /// Number of currently registered cursors.
+  std::size_t RegisteredFeedCursors() const;
+
+  /// Trims `rel`'s feed prefix below the minimum registered cursor (or
+  /// the whole feed when no cursor is registered). Returns the number of
+  /// events dropped. Cheap when there is nothing to trim.
+  std::uint64_t CompactFeed(RelId rel);
+  /// CompactFeed over every relation; returns the total dropped.
+  std::uint64_t CompactFeeds();
+  /// Forced trim of `rel`'s feed below `horizon` (clamped to
+  /// [FeedBase, EventCount]), *ignoring* registered cursors — the
+  /// operator/test path that strands slow consumers behind the horizon so
+  /// their rebuild path can be exercised. Returns the events dropped.
+  std::uint64_t TrimFeedTo(RelId rel, std::uint64_t horizon);
 
   /// --- merging (the chase's equality-generating moves) --------------------
 
@@ -294,6 +355,15 @@ class InternedWorkspace {
   /// may skip dead indices), or nullopt if `dep` holds.
   std::optional<IdViolation> FindViolation(const Dependency& dep) const;
 
+  /// --- memory -------------------------------------------------------------
+
+  /// Logical bytes of live substrate state, by component (see
+  /// util/memory_budget.h for what "logical" means). O(#relations +
+  /// #cached partitions): the per-tuple and per-occurrence sums are
+  /// maintained incrementally, so engines can afford to call this at
+  /// periodic budget checkpoints.
+  MemoryBreakdown MemoryUsage() const;
+
   /// --- export -------------------------------------------------------------
 
   /// Converts the alive tuples to a heap-Value Database, slot order
@@ -306,14 +376,23 @@ class InternedWorkspace {
   IdDatabase ExportIdDatabase() &&;
 
  private:
+  friend class WorkspaceSnapshotAccess;
+
   struct RelStore {
     std::vector<IdTuple> tuples;
     std::vector<std::uint8_t> alive;
     /// Raw-id form -> owning alive slot (duplicate detection).
     std::unordered_map<IdTuple, std::uint32_t, IdTupleHash> dedup;
-    /// The relation's change feed (sequence number == vector index).
+    /// The relation's retained change feed: entry i has sequence
+    /// feed_base + i (the prefix below feed_base was compacted away).
     std::vector<WorkspaceEvent> feed;
+    std::uint64_t feed_base = 0;
     std::size_t alive_count = 0;
+  };
+
+  struct FeedCursor {
+    bool active = false;
+    std::vector<std::uint64_t> pos;  ///< per relation
   };
 
   struct CachedPartition {
@@ -338,6 +417,12 @@ class InternedWorkspace {
   std::vector<RelStore> rels_;
   std::size_t total_alive_ = 0;
   std::vector<std::vector<WorkspaceTupleRef>> occurrences_;  // by ValueId
+  mutable std::vector<FeedCursor> cursors_;  ///< by id; logically const
+  /// Maintained sums for O(1)-amortized MemoryUsage: total id cells
+  /// stored across all tuple slots, and total occurrence refs (constant
+  /// under RerouteOccurrences, which splices without copying growth).
+  std::uint64_t tuple_id_cells_ = 0;
+  std::uint64_t occurrence_refs_ = 0;
   /// Per relation: column sequence -> cached partition. std::map keeps
   /// Partition references stable across inserts.
   mutable std::vector<std::map<std::vector<AttrId>, CachedPartition>>

@@ -58,10 +58,54 @@ std::vector<std::vector<std::size_t>> Combinations(std::size_t n,
   return out;
 }
 
+std::uint64_t SatMul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > ~std::uint64_t{0} / a) return ~std::uint64_t{0};
+  return a * b;
+}
+
+std::uint64_t SatAdd(std::uint64_t a, std::uint64_t b) {
+  return a > ~std::uint64_t{0} - b ? ~std::uint64_t{0} : a + b;
+}
+
+/// Logical bytes LegacySearch materializes up front: the per-relation
+/// Value tuple spaces plus every subset index list (Combinations output).
+/// Saturating arithmetic — a saturated estimate certainly busts any real
+/// ceiling.
+std::uint64_t LegacyMaterializationBytes(const DatabaseScheme& scheme,
+                                         const BoundedSearchOptions& options) {
+  std::uint64_t bytes = 0;
+  for (RelId rel = 0; rel < scheme.size(); ++rel) {
+    std::size_t arity = scheme.relation(rel).arity();
+    std::uint64_t space = 1;
+    for (std::size_t a = 0; a < arity; ++a) {
+      space = SatMul(space, options.domain_size);
+    }
+    bytes = SatAdd(bytes, SatMul(space, SatMul(arity, sizeof(Value))));
+    // Subsets of size <= k: sum_i C(space, i) lists holding sum_i i *
+    // C(space, i) indexes.
+    std::uint64_t binom = 1, subsets = 1, indexes = 0;
+    for (std::uint64_t i = 1;
+         i <= options.max_tuples_per_relation && i <= space; ++i) {
+      binom = SatMul(binom, space - i + 1) / i;
+      subsets = SatAdd(subsets, binom);
+      indexes = SatAdd(indexes, SatMul(binom, i));
+    }
+    bytes = SatAdd(bytes, SatMul(subsets, sizeof(std::vector<std::size_t>)));
+    bytes = SatAdd(bytes, SatMul(indexes, sizeof(std::size_t)));
+  }
+  return bytes;
+}
+
 Result<BoundedSearchResult> LegacySearch(
     const SchemePtr& scheme, const std::vector<Dependency>& premises,
     const Dependency& conclusion, const BoundedSearchOptions& options) {
   BoundedSearchResult result;
+  if (LegacyMaterializationBytes(*scheme, options) > options.max_bytes) {
+    // Over the byte ceiling before the first candidate: no verdict, and
+    // refusing to allocate is the whole point.
+    result.exhausted = false;
+    return result;
+  }
   SatisfiesOptions check;
   check.engine = SatisfiesEngine::kLegacy;
 
@@ -367,6 +411,14 @@ class IdSpaceSearcher {
     for (const Dependency& p : premises) table_entries += dep_cost(p);
     table_entries += dep_cost(conclusion);
     if (table_entries > kMaxTableEntries) {
+      feasible_ = false;
+      return;
+    }
+    // The byte ceiling bounds the same materialization (every table /
+    // counter entry is one uint32). Infeasible here falls through to the
+    // legacy engine, which runs its own estimate against the same ceiling
+    // and declines too if it cannot fit.
+    if (table_entries * sizeof(std::uint32_t) > options_.max_bytes) {
       feasible_ = false;
       return;
     }

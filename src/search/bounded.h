@@ -105,6 +105,14 @@ struct BoundedSearchOptions {
   /// engine counts *partial* candidates (each relation-subset completion),
   /// since pruning means most complete candidates are never reached.
   std::uint64_t max_candidates = 1u << 24;
+  /// Ceiling on the logical bytes a search may *materialize up front*
+  /// (precomputed key tables, counter arrays, legacy tuple spaces and
+  /// subset lists — the search's only growing allocations). Each engine
+  /// estimates its materialization before allocating and, over the
+  /// ceiling, declines to run: the search returns `exhausted == false`
+  /// with no counterexample, which the entry points surface as
+  /// ResourceExhausted — an unknown, never a wrong answer.
+  std::uint64_t max_bytes = UINT64_MAX;
   BoundedSearchEngine engine = BoundedSearchEngine::kIdSpace;
   /// Optional caller-owned compile cache shared across searches over the
   /// same scheme (see BoundedSearchWorkspace). Null: each search compiles
@@ -112,12 +120,13 @@ struct BoundedSearchOptions {
   BoundedSearchWorkspace* workspace = nullptr;
 
   /// Maps the shared Budget vocabulary onto the search's candidate cap
-  /// (steps -> max_candidates). The shape knobs (tuples per relation,
-  /// domain size) describe the search *space*, not a resource budget, and
-  /// keep their defaults.
+  /// (steps -> max_candidates) and byte ceiling. The shape knobs (tuples
+  /// per relation, domain size) describe the search *space*, not a
+  /// resource budget, and keep their defaults.
   static BoundedSearchOptions FromBudget(const Budget& budget) {
     BoundedSearchOptions options;
     options.max_candidates = budget.steps;
+    options.max_bytes = budget.bytes;
     return options;
   }
 };

@@ -33,6 +33,12 @@ Budget Budget::WithTimeLimit(std::chrono::milliseconds limit) {
   return b;
 }
 
+Budget Budget::WithByteCeiling(std::uint64_t limit) {
+  Budget b;
+  b.bytes = limit;
+  return b;
+}
+
 Budget Budget::Split(unsigned parts) const {
   if (parts <= 1) return *this;
   Budget share = *this;
@@ -48,7 +54,10 @@ Budget Budget::Split(unsigned parts) const {
 
 std::string Budget::ToString() const {
   return StrCat("steps=", steps, " tuples=", tuples,
-                " expressions=", expressions,
+                " expressions=", expressions, " bytes=",
+                bytes == std::numeric_limits<std::uint64_t>::max()
+                    ? std::string("none")
+                    : StrCat(bytes),
                 " deadline=", deadline.has_value() ? "set" : "none");
 }
 

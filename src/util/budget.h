@@ -42,11 +42,17 @@ struct BudgetUse {
 ///   * `tuples`      — materialized tuples a chase may hold alive;
 ///   * `expressions` — graph nodes: IND-BFS expressions, derived sentences
 ///                     of the saturation engine;
+///   * `bytes`       — a ceiling on *live* logical bytes (workspace +
+///                     watcher state, metered via util/memory_budget.h).
+///                     Unlike the counters above it is not consumed: it
+///                     bounds resident state, so Split() shares it
+///                     unchanged, like the deadline. Engines check it at
+///                     periodic checkpoints and return ResourceExhausted
+///                     with resumable state when live bytes exceed it.
 ///   * `deadline`    — a steady-clock instant after which multi-stage
 ///                     drivers (the ImplicationSolver) stop launching new
-///                     stages. Engines themselves are CPU-bounded by the
-///                     counters; the deadline is checked at stage
-///                     boundaries, not inside hot loops.
+///                     stages and engines that meter it (WorkspaceChase
+///                     FD-fixpoint inner loops) stop mid-round.
 ///
 /// Exhausting a Budget is never an error and never aborts: engines report
 /// ResourceExhausted / Verdict::kUnknown and leave resumable state where
@@ -55,6 +61,7 @@ struct Budget {
   std::uint64_t steps = 1ull << 20;
   std::uint64_t tuples = 1ull << 18;
   std::uint64_t expressions = 1ull << 22;
+  std::uint64_t bytes = UINT64_MAX;
   std::optional<std::chrono::steady_clock::time_point> deadline;
 
   /// The default budget: matches the historical per-engine defaults.
@@ -70,9 +77,13 @@ struct Budget {
   /// Default counters plus a deadline `limit` from now.
   static Budget WithTimeLimit(std::chrono::milliseconds limit);
 
+  /// Default counters plus a ceiling of `limit` live logical bytes.
+  static Budget WithByteCeiling(std::uint64_t limit);
+
   /// Staged allocation: an even share of every counter for one of `parts`
   /// sequential stages (each at least 1 so a stage can always fire once);
-  /// the deadline — a point in time, not a rate — is shared unchanged.
+  /// the deadline and the byte ceiling — limits on shared state, not
+  /// consumable rates — pass through unchanged.
   Budget Split(unsigned parts) const;
 
   /// True iff a deadline is set and has passed.

@@ -1,0 +1,93 @@
+#include "util/fault.h"
+
+namespace ccfp {
+
+namespace {
+
+FaultInjector* g_injector = nullptr;
+
+}  // namespace
+
+const char* FaultSiteToString(FaultSite site) {
+  switch (site) {
+    case FaultSite::kArenaAppend:
+      return "ArenaAppend";
+    case FaultSite::kWatcherGrow:
+      return "WatcherGrow";
+    case FaultSite::kEngineExhaust:
+      return "EngineExhaust";
+    case FaultSite::kSnapshotCorrupt:
+      return "SnapshotCorrupt";
+    case FaultSite::kSnapshotTruncate:
+      return "SnapshotTruncate";
+  }
+  return "?";
+}
+
+void FaultInjector::Arm(FaultSite site, std::uint64_t countdown) {
+  Slot& s = slots_[Index(site)];
+  s.armed = true;
+  s.periodic = false;
+  s.remaining = countdown;
+}
+
+void FaultInjector::ArmEvery(FaultSite site, std::uint64_t period) {
+  Slot& s = slots_[Index(site)];
+  s.armed = true;
+  s.periodic = true;
+  s.period = period == 0 ? 1 : period;
+  s.remaining = s.period - 1;
+}
+
+void FaultInjector::Disarm(FaultSite site) {
+  slots_[Index(site)].armed = false;
+}
+
+bool FaultInjector::ShouldFail(FaultSite site) {
+  Slot& s = slots_[Index(site)];
+  ++s.probes;
+  if (!s.armed) return false;
+  if (s.remaining > 0) {
+    --s.remaining;
+    return false;
+  }
+  ++s.fired;
+  if (s.periodic) {
+    s.remaining = s.period - 1;
+  } else {
+    s.armed = false;
+  }
+  return true;
+}
+
+std::uint64_t FaultInjector::NextRandom() {
+  // SplitMix64 (same generator as util/rng.h, re-stated here so the
+  // injector has no dependency on test-only headers).
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+void FaultInjector::CorruptBytes(std::string& bytes) {
+  if (bytes.empty()) return;
+  std::uint64_t r = NextRandom();
+  std::size_t pos = static_cast<std::size_t>(r % bytes.size());
+  bytes[pos] = static_cast<char>(bytes[pos] ^ (1u << ((r >> 32) % 8)));
+}
+
+void FaultInjector::TruncateBytes(std::string& bytes) {
+  if (bytes.empty()) return;
+  bytes.resize(static_cast<std::size_t>(NextRandom() % bytes.size()));
+}
+
+FaultInjector* InstalledFaultInjector() { return g_injector; }
+
+ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector)
+    : previous_(g_injector) {
+  g_injector = injector;
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() { g_injector = previous_; }
+
+}  // namespace ccfp

@@ -1,0 +1,15 @@
+#include "util/memory_budget.h"
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+std::string MemoryBreakdown::ToString() const {
+  return StrCat("tuple_store=", tuple_store, " dedup=", dedup_index,
+                " occurrences=", occurrences, " feed=", feed,
+                " partitions=", partitions, " interner=", interner,
+                " watchers=", watchers, " other=", other,
+                " total=", Total());
+}
+
+}  // namespace ccfp

@@ -6,6 +6,8 @@
 
 #include "core/tuple.h"
 #include "util/check.h"
+#include "util/fault.h"
+#include "util/memory_budget.h"
 #include "util/strings.h"
 
 namespace ccfp {
@@ -79,6 +81,9 @@ class PairKeyMap {
       i = (i + 1) & mask;
     }
   }
+
+  /// Logical bytes of the slot table (the map is its only allocation).
+  std::uint64_t bytes() const { return slots_.size() * sizeof(Slot); }
 
  private:
   struct Slot {
@@ -156,6 +161,48 @@ struct IncrementalVerifier::GroupCounter {
     group_of.assign(n, kNone);
     for (std::uint32_t i = 0; i < n; ++i) Apply(i);
   }
+
+  std::uint64_t bytes() const {
+    return memory::VectorBytes(group_of) + memory::VectorBytes(group_size) +
+           key_to_gid.bytes();
+  }
+};
+
+/// The shared alive-group ledger of one (relation, column sequence): the
+/// per-slot counted group and per-group alive member counts, held ONCE no
+/// matter how many IND sides project these columns. Replaying the feed
+/// through `Apply` fires born/died callbacks into the subscribed
+/// IndWatchers exactly at 0 <-> 1 alive-count transitions — the only
+/// events an IND verdict depends on — so the per-watcher footprint shrinks
+/// from two O(relation) seen arrays per IND to O(groups) link arrays.
+/// `slot_group` is the idempotence memory: Apply reads the final partition
+/// group of a slot, so replaying a delta (or every slot, for a horizon
+/// rebuild) moves each slot at most once and intermediate transitions
+/// telescope away.
+struct IncrementalVerifier::GroupTracker {
+  struct Sub {
+    IndWatcher* w = nullptr;
+    bool is_lhs = false;
+  };
+
+  RelId rel = 0;
+  const InternedWorkspace::Partition* p = nullptr;
+  std::vector<std::uint32_t> slot_group;  ///< per slot; kNone = not counted
+  std::vector<std::uint32_t> cnt;         ///< per group: alive members
+  std::vector<Sub> subs;
+
+  void Apply(const InternedWorkspace& ws, std::uint32_t idx);
+
+  void Init(const InternedWorkspace& ws) {
+    std::uint32_t n = static_cast<std::uint32_t>(ws.size(rel));
+    slot_group.assign(n, kNone);
+    for (std::uint32_t i = 0; i < n; ++i) Apply(ws, i);
+  }
+
+  std::uint64_t bytes() const {
+    return memory::VectorBytes(slot_group) + memory::VectorBytes(cnt) +
+           memory::VectorBytes(subs);
+  }
 };
 
 /// ---------------------------------------------------------------------------
@@ -174,6 +221,9 @@ struct IncrementalVerifier::Watcher {
   virtual void OnEvent(const InternedWorkspace& ws, RelId rel,
                        const WorkspaceEvent& ev) = 0;
   virtual bool ok() const = 0;
+  /// Live logical bytes of this watcher's private state (shared counters
+  /// and trackers are accounted once, by the verifier).
+  virtual std::uint64_t bytes() const { return 0; }
 };
 
 /// FD X -> Y via the refinement criterion: X -> Y holds iff |pi_X| ==
@@ -192,130 +242,149 @@ struct IncrementalVerifier::FdWatcher : Watcher {
   bool ok() const override { return *lhs_alive == *comb_alive; }
 };
 
-/// IND R[X] <= S[Y]: watcher-side alive-member counts per lhs / rhs
-/// partition group, with a lazily resolved 1:1 key link between lhs and
-/// rhs groups. `missing` counts alive lhs groups without an alive rhs
-/// witness; the IND holds iff it is zero.
+/// IND R[X] <= S[Y]: both sides read the shared GroupTrackers of
+/// (R, X) and (S, Y); the watcher itself holds only the lazily resolved
+/// 1:1 structural key link between lhs and rhs groups plus `missing`, the
+/// count of alive lhs groups without an alive rhs witness (the IND holds
+/// iff it is zero). Links are permanent: partition group ids are stable
+/// and key -> group is injective, so a link resolved from either side
+/// (whichever group is born later) never needs revisiting.
+///
+/// The degenerate self-IND R[X] <= R[X] is trivially satisfied and sharing
+/// one tracker for both roles would double-count transitions, so it is
+/// special-cased at Watch time: no trackers, `missing` stays 0.
 struct IncrementalVerifier::IndWatcher : Watcher {
   Ind ind;
+  bool trivial = false;  ///< R[X] <= R[X]: identical sides, always holds
   const InternedWorkspace::Partition* lhs_p = nullptr;
   const InternedWorkspace::Partition* rhs_p = nullptr;
-  std::vector<std::uint32_t> seen_l;  ///< per lhs_rel slot: counted group
-  std::vector<std::uint32_t> seen_r;  ///< per rhs_rel slot: counted group
-  std::vector<std::uint32_t> lcnt;    ///< per lhs group: alive members
-  std::vector<std::uint32_t> rcnt;    ///< per rhs group: alive members
-  std::vector<std::uint32_t> l2r;     ///< lhs group -> same-key rhs group
-  std::vector<std::uint32_t> r2l;     ///< rhs group -> same-key lhs group
+  GroupTracker* lt = nullptr;
+  GroupTracker* rt = nullptr;
+  std::vector<std::uint32_t> l2r;  ///< lhs group -> same-key rhs group
+  std::vector<std::uint32_t> r2l;  ///< rhs group -> same-key lhs group
   std::uint64_t missing = 0;
   IdTuple key;  ///< scratch
 
   IndWatcher(Dependency d, Ind i) : Watcher(std::move(d)), ind(std::move(i)) {}
 
+  static std::uint32_t CntOf(const GroupTracker* t, std::uint32_t g) {
+    return g < t->cnt.size() ? t->cnt[g] : 0;
+  }
+
   std::uint32_t Witness(std::uint32_t g) const {
-    return (g < l2r.size() && l2r[g] != kNone) ? rcnt[l2r[g]] : 0;
+    return (g < l2r.size() && l2r[g] != kNone) ? CntOf(rt, l2r[g]) : 0;
   }
 
-  void LhsAdd(const InternedWorkspace& ws, std::uint32_t g,
-              std::uint32_t idx) {
-    if (g == kNone) return;
-    EnsureCounts(lcnt, g + 1);
+  /// Lhs group `g` went 0 -> 1 alive members (witnessed by slot `idx`).
+  void OnLhsBorn(const InternedWorkspace& ws, std::uint32_t g,
+                 std::uint32_t idx) {
     EnsureGroups(l2r, g + 1);
-    if (lcnt[g]++ == 0) {
-      if (l2r[g] == kNone) {
-        BuildKey(ws.tuple(ind.lhs_rel, idx), ind.lhs, key);
-        std::uint32_t h = GroupOfKey(*rhs_p, key);
-        if (h != kNone) {
-          l2r[g] = h;
-          EnsureGroups(r2l, h + 1);
-          EnsureCounts(rcnt, h + 1);
-          r2l[h] = g;
-        }
+    if (l2r[g] == kNone) {
+      BuildKey(ws.tuple(ind.lhs_rel, idx), ind.lhs, key);
+      std::uint32_t h = GroupOfKey(*rhs_p, key);
+      if (h != kNone) {
+        l2r[g] = h;
+        EnsureGroups(r2l, h + 1);
+        r2l[h] = g;
       }
-      if (Witness(g) == 0) ++missing;
     }
+    if (Witness(g) == 0) ++missing;
   }
 
-  void LhsRemove(std::uint32_t g) {
-    if (g == kNone) return;
-    if (--lcnt[g] == 0 && Witness(g) == 0) --missing;
+  /// Lhs group `g` went 1 -> 0 alive members.
+  void OnLhsDied(std::uint32_t g) {
+    if (Witness(g) == 0) --missing;
   }
 
-  void RhsAdd(const InternedWorkspace& ws, std::uint32_t h,
-              std::uint32_t idx) {
-    if (h == kNone) return;
-    EnsureCounts(rcnt, h + 1);
+  /// Rhs group `h` went 0 -> 1 alive members (witnessed by slot `idx`).
+  void OnRhsBorn(const InternedWorkspace& ws, std::uint32_t h,
+                 std::uint32_t idx) {
     EnsureGroups(r2l, h + 1);
-    if (rcnt[h]++ == 0) {
-      if (r2l[h] == kNone) {
-        BuildKey(ws.tuple(ind.rhs_rel, idx), ind.rhs, key);
-        std::uint32_t g = GroupOfKey(*lhs_p, key);
-        if (g != kNone) {
-          r2l[h] = g;
-          EnsureGroups(l2r, g + 1);
-          EnsureCounts(lcnt, g + 1);
-          l2r[g] = h;
-        }
+    if (r2l[h] == kNone) {
+      BuildKey(ws.tuple(ind.rhs_rel, idx), ind.rhs, key);
+      std::uint32_t g = GroupOfKey(*lhs_p, key);
+      if (g != kNone) {
+        r2l[h] = g;
+        EnsureGroups(l2r, g + 1);
+        l2r[g] = h;
       }
-      std::uint32_t g = r2l[h];
-      if (g != kNone && lcnt[g] > 0) --missing;  // witness went 0 -> 1
     }
+    std::uint32_t g = r2l[h];
+    if (g != kNone && CntOf(lt, g) > 0) --missing;  // witness went 0 -> 1
   }
 
-  void RhsRemove(std::uint32_t h) {
-    if (h == kNone) return;
-    if (--rcnt[h] == 0) {
-      std::uint32_t g = h < r2l.size() ? r2l[h] : kNone;
-      if (g != kNone && lcnt[g] > 0) ++missing;  // witness went 1 -> 0
-    }
-  }
-
-  void LhsEvent(const InternedWorkspace& ws, const WorkspaceEvent& ev) {
-    EnsureGroups(seen_l, ws.size(ind.lhs_rel));
-    std::uint32_t now = lhs_p->group_of[ev.idx];
-    std::uint32_t was = seen_l[ev.idx];
-    if (was == now) return;
-    LhsRemove(was);
-    LhsAdd(ws, now, ev.idx);
-    seen_l[ev.idx] = now;
-  }
-
-  void RhsEvent(const InternedWorkspace& ws, const WorkspaceEvent& ev) {
-    EnsureGroups(seen_r, ws.size(ind.rhs_rel));
-    std::uint32_t now = rhs_p->group_of[ev.idx];
-    std::uint32_t was = seen_r[ev.idx];
-    if (was == now) return;
-    RhsRemove(was);
-    RhsAdd(ws, now, ev.idx);
-    seen_r[ev.idx] = now;
+  /// Rhs group `h` went 1 -> 0 alive members.
+  void OnRhsDied(std::uint32_t h) {
+    std::uint32_t g = h < r2l.size() ? r2l[h] : kNone;
+    if (g != kNone && CntOf(lt, g) > 0) ++missing;  // witness went 1 -> 0
   }
 
   void Init(const InternedWorkspace& ws) override {
+    if (trivial) return;
+    // The shared trackers are already caught up (Watch aligns the cursors
+    // first), so only the watcher-private links and `missing` need
+    // building. Every alive lhs group has an alive slot whose current
+    // projection is the group's key, so one scan resolves all links.
     std::uint32_t nl = static_cast<std::uint32_t>(ws.size(ind.lhs_rel));
-    EnsureGroups(seen_l, nl);
     for (std::uint32_t i = 0; i < nl; ++i) {
       std::uint32_t g = lhs_p->group_of[i];
       if (g == kNone) continue;
-      LhsAdd(ws, g, i);
-      seen_l[i] = g;
-    }
-    std::uint32_t nr = static_cast<std::uint32_t>(ws.size(ind.rhs_rel));
-    EnsureGroups(seen_r, nr);
-    for (std::uint32_t i = 0; i < nr; ++i) {
-      std::uint32_t h = rhs_p->group_of[i];
+      EnsureGroups(l2r, g + 1);
+      if (l2r[g] != kNone) continue;
+      BuildKey(ws.tuple(ind.lhs_rel, i), ind.lhs, key);
+      std::uint32_t h = GroupOfKey(*rhs_p, key);
       if (h == kNone) continue;
-      RhsAdd(ws, h, i);
-      seen_r[i] = h;
+      l2r[g] = h;
+      EnsureGroups(r2l, h + 1);
+      r2l[h] = g;
+    }
+    for (std::uint32_t g = 0;
+         g < static_cast<std::uint32_t>(lt->cnt.size()); ++g) {
+      if (lt->cnt[g] > 0 && Witness(g) == 0) ++missing;
     }
   }
 
-  void OnEvent(const InternedWorkspace& ws, RelId rel,
-               const WorkspaceEvent& ev) override {
-    if (rel == ind.lhs_rel) LhsEvent(ws, ev);
-    if (rel == ind.rhs_rel) RhsEvent(ws, ev);
-  }
+  // Transitions arrive through the trackers' callbacks, not the feed.
+  void OnEvent(const InternedWorkspace&, RelId,
+               const WorkspaceEvent&) override {}
 
   bool ok() const override { return missing == 0; }
+
+  std::uint64_t bytes() const override {
+    return memory::VectorBytes(l2r) + memory::VectorBytes(r2l) +
+           memory::VectorBytes(key);
+  }
 };
+
+void IncrementalVerifier::GroupTracker::Apply(const InternedWorkspace& ws,
+                                              std::uint32_t idx) {
+  if (slot_group.size() <= idx) slot_group.resize(idx + 1, kNone);
+  std::uint32_t now = p->group_of[idx];
+  std::uint32_t was = slot_group[idx];
+  if (was == now) return;
+  if (was != kNone && --cnt[was] == 0) {
+    for (const Sub& s : subs) {
+      if (s.is_lhs) {
+        s.w->OnLhsDied(was);
+      } else {
+        s.w->OnRhsDied(was);
+      }
+    }
+  }
+  if (now != kNone) {
+    EnsureCounts(cnt, now + 1);
+    if (cnt[now]++ == 0) {
+      for (const Sub& s : subs) {
+        if (s.is_lhs) {
+          s.w->OnLhsBorn(ws, now, idx);
+        } else {
+          s.w->OnRhsBorn(ws, now, idx);
+        }
+      }
+    }
+  }
+  slot_group[idx] = now;
+}
 
 /// RD: per-slot violation flags; no partitions at all.
 struct IncrementalVerifier::RdWatcher : Watcher {
@@ -361,6 +430,10 @@ struct IncrementalVerifier::RdWatcher : Watcher {
   }
 
   bool ok() const override { return violators == 0; }
+
+  std::uint64_t bytes() const override {
+    return memory::VectorBytes(state);
+  }
 };
 
 /// EMVD X ->> Y | Z (MVDs are converted at Watch time): per X-group
@@ -465,6 +538,15 @@ struct IncrementalVerifier::EmvdWatcher : Watcher {
   }
 
   bool ok() const override { return violated == 0; }
+
+  std::uint64_t bytes() const override {
+    return memory::VectorBytes(seen_x) + memory::VectorBytes(seen_xy) +
+           memory::VectorBytes(seen_xz) + memory::VectorBytes(ycnt) +
+           memory::VectorBytes(zcnt) + memory::VectorBytes(xs) +
+           static_cast<std::uint64_t>(pair_cnt.size()) *
+               (sizeof(std::pair<std::uint64_t, std::uint32_t>) +
+                memory::kHashNodeOverhead);
+  }
 };
 
 /// ---------------------------------------------------------------------------
@@ -474,15 +556,22 @@ IncrementalVerifier::IncrementalVerifier(const InternedWorkspace* ws)
     : ws_(ws),
       by_rel_(ws->scheme().size()),
       counters_by_rel_(ws->scheme().size()),
+      trackers_by_rel_(ws->scheme().size()),
       cursor_(ws->scheme().size(), 0) {
   // Watchers created later initialize from current state; everything that
-  // already happened is their baseline, not a delta to replay.
+  // already happened is their baseline, not a delta to replay. The
+  // registered cursor tells the workspace the same thing, so compaction
+  // is never pinned behind events this verifier will never read.
+  feed_cursor_ = ws_->RegisterFeedCursor();
   for (RelId rel = 0; rel < ws_->scheme().size(); ++rel) {
     cursor_[rel] = ws_->EventCount(rel);
+    ws_->AdvanceFeedCursor(feed_cursor_, rel, cursor_[rel]);
   }
 }
 
-IncrementalVerifier::~IncrementalVerifier() = default;
+IncrementalVerifier::~IncrementalVerifier() {
+  ws_->ReleaseFeedCursor(feed_cursor_);
+}
 
 const InternedWorkspace::Partition* IncrementalVerifier::RegisterColset(
     RelId rel, std::vector<AttrId> cols) {
@@ -519,6 +608,22 @@ IncrementalVerifier::CountSource IncrementalVerifier::RegisterCountSet(
   return CountSource{&raw->alive_groups, &raw->group_of};
 }
 
+IncrementalVerifier::GroupTracker* IncrementalVerifier::RegisterTracker(
+    RelId rel, const std::vector<AttrId>& cols) {
+  auto key = std::make_pair(rel, cols);
+  auto it = tracker_index_.find(key);
+  if (it != tracker_index_.end()) return it->second;
+  auto gt = std::make_unique<GroupTracker>();
+  gt->rel = rel;
+  gt->p = RegisterColset(rel, cols);
+  gt->Init(*ws_);  // no subscribers yet: no callbacks fire
+  GroupTracker* raw = gt.get();
+  trackers_.push_back(std::move(gt));
+  trackers_by_rel_[rel].push_back(raw);
+  tracker_index_.emplace(std::move(key), raw);
+  return raw;
+}
+
 void IncrementalVerifier::Subscribe(RelId rel, WatchId id) {
   by_rel_[rel].push_back(id);
 }
@@ -548,10 +653,19 @@ WatchId IncrementalVerifier::Watch(const Dependency& dep) {
     case DependencyKind::kInd: {
       const Ind& ind = dep.ind();
       auto w = std::make_unique<IndWatcher>(dep, ind);
+      if (ind.lhs_rel == ind.rhs_rel && ind.lhs == ind.rhs) {
+        // Both sides are the same projection: trivially satisfied, and
+        // sharing one tracker for both roles would double-count.
+        w->trivial = true;
+        watchers_.push_back(std::move(w));
+        break;
+      }
       w->lhs_p = RegisterColset(ind.lhs_rel, ind.lhs);
       w->rhs_p = RegisterColset(ind.rhs_rel, ind.rhs);
-      Subscribe(ind.lhs_rel, id);
-      if (ind.rhs_rel != ind.lhs_rel) Subscribe(ind.rhs_rel, id);
+      w->lt = RegisterTracker(ind.lhs_rel, ind.lhs);
+      w->rt = RegisterTracker(ind.rhs_rel, ind.rhs);
+      w->lt->subs.push_back(GroupTracker::Sub{w.get(), true});
+      w->rt->subs.push_back(GroupTracker::Sub{w.get(), false});
       watchers_.push_back(std::move(w));
       break;
     }
@@ -592,36 +706,107 @@ const Dependency& IncrementalVerifier::dependency(WatchId id) const {
   return watchers_[id]->dep;
 }
 
-void IncrementalVerifier::CatchUp() {
-  for (RelId rel = 0; rel < ws_->scheme().size(); ++rel) {
-    if (cursor_[rel] == ws_->EventCount(rel)) continue;
-    // Partitions first: event handlers read group ids for event slots, so
-    // every cached partition over the relation must cover the store.
-    ws_->ExtendAllPartitions(rel);
-    const std::vector<WorkspaceEvent>& log = ws_->events(rel);
-    const std::vector<WatchId>& subs = by_rel_[rel];
-    const std::vector<GroupCounter*>& gcs = counters_by_rel_[rel];
-    std::uint64_t from = cursor_[rel];
-    stats_.events_consumed += log.size() - from;
-    // Consumer-outer iteration: each counter / watcher replays the whole
-    // delta with its own state hot instead of being re-fetched per event,
-    // and counters run in creation order so composed layers read
-    // already-caught-up sources.
+void IncrementalVerifier::CatchUpRelation(RelId rel) {
+  std::uint64_t end = ws_->EventCount(rel);
+  if (cursor_[rel] == end) return;
+  // Partitions first: event handlers read group ids for event slots, so
+  // every cached partition over the relation must cover the store.
+  ws_->ExtendAllPartitions(rel);
+  const std::vector<WatchId>& subs = by_rel_[rel];
+  const std::vector<GroupCounter*>& gcs = counters_by_rel_[rel];
+  const std::vector<GroupTracker*>& gts = trackers_by_rel_[rel];
+  std::uint64_t base = ws_->FeedBase(rel);
+  if (cursor_[rel] < base) {
+    // A forced trim (TrimFeedTo) stranded this cursor behind the
+    // compaction horizon. No abort: every update path is idempotent given
+    // its per-slot "what I counted" memory, so re-applying all slots
+    // against the caught-up partitions recovers exactly the missed
+    // transitions — lost intermediate events telescope away.
+    std::uint32_t n = static_cast<std::uint32_t>(ws_->size(rel));
     for (GroupCounter* gc : gcs) {
-      for (std::uint64_t seq = from; seq < log.size(); ++seq) {
+      for (std::uint32_t i = 0; i < n; ++i) gc->Apply(i);
+    }
+    for (GroupTracker* gt : gts) {
+      for (std::uint32_t i = 0; i < n; ++i) gt->Apply(*ws_, i);
+    }
+    WorkspaceEvent ev{WorkspaceEventKind::kRewrite, 0};
+    for (WatchId w : subs) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        ev.idx = i;
+        watchers_[w]->OnEvent(*ws_, rel, ev);
+      }
+    }
+    ++stats_.horizon_rebuilds;
+  } else {
+    const std::vector<WorkspaceEvent>& log = ws_->events(rel);
+    std::uint64_t from = cursor_[rel] - base;
+    stats_.events_consumed += log.size() - from;
+    // Consumer-outer iteration: each counter / tracker / watcher replays
+    // the whole delta with its own state hot instead of being re-fetched
+    // per event, and counters run in creation order so composed layers
+    // read already-caught-up sources. Trackers run after counters and
+    // before the subscribed watchers.
+    for (GroupCounter* gc : gcs) {
+      for (std::uint64_t i = from; i < log.size(); ++i) {
         ++stats_.watcher_events;
-        gc->Apply(log[seq].idx);
+        gc->Apply(log[i].idx);
+      }
+    }
+    for (GroupTracker* gt : gts) {
+      for (std::uint64_t i = from; i < log.size(); ++i) {
+        ++stats_.watcher_events;
+        gt->Apply(*ws_, log[i].idx);
       }
     }
     for (WatchId w : subs) {
-      for (std::uint64_t seq = from; seq < log.size(); ++seq) {
+      for (std::uint64_t i = from; i < log.size(); ++i) {
         ++stats_.watcher_events;
-        watchers_[w]->OnEvent(*ws_, rel, log[seq]);
+        watchers_[w]->OnEvent(*ws_, rel, log[i]);
       }
     }
-    cursor_[rel] = log.size();
-    ++stats_.catch_ups;
   }
+  cursor_[rel] = end;
+  ws_->AdvanceFeedCursor(feed_cursor_, rel, end);
+  ++stats_.catch_ups;
+}
+
+void IncrementalVerifier::CatchUp() {
+  for (RelId rel = 0; rel < ws_->scheme().size(); ++rel) {
+    CatchUpRelation(rel);
+  }
+}
+
+Status IncrementalVerifier::CatchUp(const Budget& budget) {
+  for (RelId rel = 0; rel < ws_->scheme().size(); ++rel) {
+    if (cursor_[rel] == ws_->EventCount(rel)) continue;
+    if (FaultFires(FaultSite::kWatcherGrow)) {
+      return Status::ResourceExhausted(
+          "injected watcher growth failure during CatchUp");
+    }
+    if (budget.Expired()) {
+      return Status::ResourceExhausted("verifier CatchUp deadline exceeded");
+    }
+    if (budget.bytes != UINT64_MAX &&
+        ws_->MemoryUsage().Total() + MemoryBytes() > budget.bytes) {
+      return Status::ResourceExhausted("verifier byte ceiling exceeded");
+    }
+    CatchUpRelation(rel);
+  }
+  return Status::OK();
+}
+
+std::uint64_t IncrementalVerifier::MemoryBytes() const {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<GroupCounter>& gc : counters_) {
+    total += gc->bytes();
+  }
+  for (const std::unique_ptr<GroupTracker>& gt : trackers_) {
+    total += gt->bytes();
+  }
+  for (const std::unique_ptr<Watcher>& w : watchers_) {
+    total += w->bytes();
+  }
+  return total;
 }
 
 bool IncrementalVerifier::Satisfies(WatchId id) {

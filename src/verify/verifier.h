@@ -13,6 +13,8 @@
 #include "core/dependency.h"
 #include "core/interned.h"
 #include "core/workspace.h"
+#include "util/budget.h"
+#include "util/status.h"
 
 namespace ccfp {
 
@@ -46,9 +48,13 @@ using WatchId = std::size_t;
 ///     costs two array reads plus one open-addressed integer-map op per
 ///     event, and counters are shared across every FD whose lhs or
 ///     lhs-union-rhs lands on the same attribute set.
-///   * IND R[X] <= S[Y]: per-slot group tracking on both sides plus a
-///     lazily resolved group-to-group key link; `missing` counts alive
-///     lhs groups without an alive rhs witness.
+///   * IND R[X] <= S[Y]: both sides read a shared *group tracker* — one
+///     per (relation, column sequence), holding the per-slot counted
+///     group and per-group alive counts ONCE for every IND that projects
+///     the same columns on either side — plus a lazily resolved
+///     group-to-group key link per watcher; `missing` counts alive lhs
+///     groups without an alive rhs witness. (The per-watcher per-slot
+///     seen arrays this replaces were the biggest per-watcher line item.)
 ///   * RD: per-slot violation flags.
 ///   * EMVD/MVD: per-X-group distinct-XY / distinct-XZ / distinct-pair
 ///     counters (the group obeys the dependency iff ny * nz == np).
@@ -66,6 +72,20 @@ using WatchId = std::size_t;
 /// notification beyond the feed. Watching the same dependency twice
 /// returns the same WatchId (dedup by structural equality), so candidate
 /// sweeps that revisit lattice levels reuse watcher state.
+///
+/// ## Compaction and memory
+///
+/// The verifier registers a feed cursor with the workspace (released on
+/// destruction), so ordinary `CompactFeed` calls never trim events it has
+/// not replayed. If a *forced* trim (`TrimFeedTo`) strands its cursor
+/// behind the compaction horizon anyway, CatchUp does not abort: it
+/// rebuilds that relation's counters by re-applying every slot from the
+/// alive ranks (all update paths are idempotent given their "what I
+/// counted" memory) and counts the recovery in `stats().horizon_rebuilds`.
+/// `MemoryBytes()` reports the watcher-side live state, and the budgeted
+/// `CatchUp(Budget)` overload returns ResourceExhausted at the byte
+/// ceiling mid-stream (resumable: a later CatchUp finishes the replay;
+/// verdicts must not be read before one completes).
 class IncrementalVerifier {
  public:
   struct Stats {
@@ -73,6 +93,7 @@ class IncrementalVerifier {
     std::uint64_t events_consumed = 0;  ///< feed entries read
     std::uint64_t watcher_events = 0;   ///< (event, subscribed watcher) pairs
     std::uint64_t sweep_fallbacks = 0;  ///< FindViolation sweep delegations
+    std::uint64_t horizon_rebuilds = 0; ///< relations rebuilt from ranks
   };
 
   /// The verifier holds `ws` by pointer; it must outlive the verifier.
@@ -81,8 +102,10 @@ class IncrementalVerifier {
 
   IncrementalVerifier(const IncrementalVerifier&) = delete;
   IncrementalVerifier& operator=(const IncrementalVerifier&) = delete;
-  IncrementalVerifier(IncrementalVerifier&&) = default;
-  IncrementalVerifier& operator=(IncrementalVerifier&&) = default;
+  /// Not movable: the verifier owns a registered feed cursor and its
+  /// watchers hold stable interior pointers.
+  IncrementalVerifier(IncrementalVerifier&&) = delete;
+  IncrementalVerifier& operator=(IncrementalVerifier&&) = delete;
 
   const InternedWorkspace& workspace() const { return *ws_; }
   const Stats& stats() const { return stats_; }
@@ -98,8 +121,23 @@ class IncrementalVerifier {
 
   /// Consumes every unseen change-feed event, updating the affected
   /// watchers; O(delta). Called implicitly by the query methods, so
-  /// explicit calls are only needed for timing control.
+  /// explicit calls are only needed for timing control. A relation whose
+  /// cursor fell behind the compaction horizon is rebuilt from alive
+  /// ranks instead (O(relation), counted in stats().horizon_rebuilds).
   void CatchUp();
+
+  /// Budgeted CatchUp: between relations, checks `budget.bytes` against
+  /// the combined workspace + watcher live bytes (and consults the
+  /// kWatcherGrow fault site), returning ResourceExhausted mid-stream.
+  /// Resumable — a later CatchUp (either overload) finishes the replay —
+  /// but verdicts are undefined until one completes without exhausting.
+  Status CatchUp(const Budget& budget);
+
+  /// Live logical bytes of watcher-side state: shared group counters and
+  /// trackers, per-watcher link arrays and flags (see
+  /// util/memory_budget.h; the workspace's own bytes are reported by
+  /// InternedWorkspace::MemoryUsage).
+  std::uint64_t MemoryBytes() const;
 
   /// Current verdict for one watched dependency; O(1) after CatchUp.
   bool Satisfies(WatchId id);
@@ -119,6 +157,7 @@ class IncrementalVerifier {
   struct RdWatcher;
   struct EmvdWatcher;
   struct GroupCounter;
+  struct GroupTracker;
 
   /// What a column set's grouping looks like to a consumer: the alive
   /// distinct-group count and the per-slot group ids — served either by a
@@ -134,7 +173,16 @@ class IncrementalVerifier {
   /// recursively (prefix x last column); created on first use, then
   /// maintained from the feed. `cols` must be sorted and duplicate-free.
   CountSource RegisterCountSet(RelId rel, std::vector<AttrId> cols);
+  /// The shared alive-group tracker of `rel` projected on the column
+  /// *sequence* `cols` (order significant — it names the IND key link);
+  /// created on first use, maintained from the feed, shared by every IND
+  /// side over the same (rel, cols).
+  GroupTracker* RegisterTracker(RelId rel, const std::vector<AttrId>& cols);
   void Subscribe(RelId rel, WatchId id);
+  /// Replays `rel`'s retained feed suffix from cursor_[rel] (or rebuilds
+  /// from alive ranks when the cursor is behind the horizon) and advances
+  /// the cursor.
+  void CatchUpRelation(RelId rel);
 
   const InternedWorkspace* ws_;
   std::vector<std::unique_ptr<Watcher>> watchers_;
@@ -142,11 +190,16 @@ class IncrementalVerifier {
   std::vector<std::unique_ptr<GroupCounter>> counters_;
   std::map<std::pair<RelId, std::vector<AttrId>>, GroupCounter*>
       counter_index_;
+  std::vector<std::unique_ptr<GroupTracker>> trackers_;
+  std::map<std::pair<RelId, std::vector<AttrId>>, GroupTracker*>
+      tracker_index_;
   std::vector<std::vector<WatchId>> by_rel_;  ///< feed subscribers per rel
   /// Creation order == composition order: a counter's sources precede it,
   /// so replaying a delta counter-by-counter is topologically sound.
   std::vector<std::vector<GroupCounter*>> counters_by_rel_;
+  std::vector<std::vector<GroupTracker*>> trackers_by_rel_;
   std::vector<std::uint64_t> cursor_;         ///< feed cursor per rel
+  InternedWorkspace::FeedCursorId feed_cursor_ = 0;  ///< pins compaction
   Stats stats_;
 };
 

@@ -10,16 +10,26 @@ WitnessCache::WitnessCache(SchemePtr scheme, std::vector<Dependency> sigma,
       sigma_(std::move(sigma)),
       capacity_(capacity) {}
 
+void WitnessCache::Touch(std::size_t i) {
+  if (i + 1 == entries_.size()) return;
+  std::unique_ptr<Entry> e = std::move(entries_[i]);
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+  entries_.push_back(std::move(e));
+}
+
 bool WitnessCache::Admit(const Database& db, const Dependency& target,
                          bool* violates_target) {
   // Identical witness already cached? Its sigma check stands; answer the
   // target probe from the existing entry's watchers instead of
-  // re-interning (Materialize round-trips make duplicates common).
-  for (std::unique_ptr<Entry>& e : entries_) {
+  // re-interning (Materialize round-trips make duplicates common), and
+  // refresh its recency — being re-offered is a use.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry* e = entries_[i].get();
     if (e->db == db) {
       if (violates_target != nullptr) {
         *violates_target = !e->verifier.Satisfies(e->verifier.Watch(target));
       }
+      Touch(i);
       return true;
     }
   }
@@ -54,12 +64,14 @@ bool WitnessCache::Admit(const Database& db, const Dependency& target,
 
 const Database* WitnessCache::Refute(const Dependency& target) {
   ++stats_.probes;
-  for (std::unique_ptr<Entry>& entry : entries_) {
-    if (!entry->verifier.Satisfies(entry->verifier.Watch(target))) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i]->verifier.Satisfies(entries_[i]->verifier.Watch(target))) {
       ++stats_.hits;
-      return &entry->db;
+      Touch(i);
+      return &entries_.back()->db;
     }
   }
+  ++stats_.misses;
   return nullptr;
 }
 

@@ -39,10 +39,14 @@ class WitnessCache {
     std::uint64_t evicted = 0;    ///< entries dropped at capacity
     std::uint64_t probes = 0;     ///< Refute calls
     std::uint64_t hits = 0;       ///< Refute calls answered from cache
+    std::uint64_t misses = 0;     ///< Refute calls no entry answered
   };
 
   /// `sigma` should be the solver's non-trivial members; `capacity` bounds
-  /// the number of cached databases (oldest evicted first).
+  /// the number of cached databases (least-recently-used evicted first —
+  /// a hit or duplicate re-admission refreshes an entry's recency, so a
+  /// witness that keeps refuting new targets stays resident while
+  /// one-shot witnesses age out).
   WitnessCache(SchemePtr scheme, std::vector<Dependency> sigma,
                std::size_t capacity = 8);
 
@@ -77,9 +81,13 @@ class WitnessCache {
         : db(scheme), ws(std::move(scheme)), verifier(&ws) {}
   };
 
+  /// Moves entries_[i] to the back (most-recently-used position).
+  void Touch(std::size_t i);
+
   SchemePtr scheme_;
   std::vector<Dependency> sigma_;
   std::size_t capacity_;
+  /// LRU order: front = coldest (next eviction), back = hottest.
   std::deque<std::unique_ptr<Entry>> entries_;
   Stats stats_;
 };

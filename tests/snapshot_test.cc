@@ -1,0 +1,250 @@
+// Unit tests for the workspace snapshot layer (core/snapshot.h): the
+// round-trip contract (a restored workspace is observably identical,
+// including its warm partition capital), the damage contract (every
+// single-bit flip and every truncation is InvalidArgument, never a crash
+// or a half-restored workspace), the file round-trip, and the injected
+// save-side faults (util/fault.h) the recovery suites lean on.
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/workspace.h"
+#include "tests/trace_util.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace ccfp {
+namespace {
+
+using testutil::AppendRandomTuple;
+using testutil::MergeRandomValues;
+using testutil::RandomUniverse;
+
+SchemePtr TwoRelScheme() {
+  return MakeScheme({{"R0", {"A", "B", "C"}}, {"R1", {"A", "B"}}});
+}
+
+/// A small but non-trivial workspace: appends, merges (kills + rewrites),
+/// and partitions compiled through the sweep engine — every serialized
+/// section is exercised.
+InternedWorkspace PopulatedWorkspace(const SchemePtr& scheme,
+                                     std::vector<Dependency>* deps_out) {
+  SplitMix64 rng(2026);
+  InternedWorkspace ws(scheme);
+  std::vector<ValueId> pool;
+  for (int i = 0; i < 12; ++i) AppendRandomTuple(ws, rng, pool);
+  for (int i = 0; i < 4; ++i) MergeRandomValues(ws, rng, pool);
+  for (int i = 0; i < 6; ++i) AppendRandomTuple(ws, rng, pool);
+  std::vector<Dependency> deps = RandomUniverse(scheme, rng, 8);
+  for (const Dependency& dep : deps) ws.Satisfies(dep);  // compile partitions
+  if (deps_out != nullptr) *deps_out = std::move(deps);
+  return ws;
+}
+
+/// Observable equality: same materialization, same feed window, same
+/// verdicts and witnesses, same substrate counters.
+void ExpectObservablyEqual(const InternedWorkspace& a,
+                           const InternedWorkspace& b,
+                           const std::vector<Dependency>& deps) {
+  EXPECT_EQ(a.Materialize().ToString(), b.Materialize().ToString());
+  for (RelId rel = 0; rel < a.scheme().size(); ++rel) {
+    EXPECT_EQ(a.EventCount(rel), b.EventCount(rel));
+    EXPECT_EQ(a.FeedBase(rel), b.FeedBase(rel));
+  }
+  for (const Dependency& dep : deps) {
+    EXPECT_EQ(a.Satisfies(dep), b.Satisfies(dep))
+        << dep.ToString(a.scheme());
+    std::optional<IdViolation> va = a.FindViolation(dep);
+    std::optional<IdViolation> vb = b.FindViolation(dep);
+    ASSERT_EQ(va.has_value(), vb.has_value()) << dep.ToString(a.scheme());
+    if (va.has_value()) {
+      EXPECT_EQ(va->rel, vb->rel);
+      EXPECT_EQ(va->tuple_indices, vb->tuple_indices);
+    }
+  }
+  EXPECT_EQ(a.stats().tuples_appended, b.stats().tuples_appended);
+  EXPECT_EQ(a.stats().tuples_killed, b.stats().tuples_killed);
+  EXPECT_EQ(a.stats().values_interned, b.stats().values_interned);
+  EXPECT_EQ(a.stats().value_merges, b.stats().value_merges);
+  EXPECT_EQ(a.stats().partitions_built, b.stats().partitions_built);
+  EXPECT_EQ(a.MemoryUsage().tuple_store, b.MemoryUsage().tuple_store);
+  EXPECT_EQ(a.MemoryUsage().occurrences, b.MemoryUsage().occurrences);
+}
+
+TEST(SnapshotTest, EmptyWorkspaceRoundTrip) {
+  SchemePtr scheme = TwoRelScheme();
+  InternedWorkspace ws(scheme);
+  Result<RestoredWorkspace> restored =
+      DeserializeWorkspace(scheme, SerializeWorkspace(ws));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(restored->consumer_cursors.empty());
+  ExpectObservablyEqual(ws, restored->ws, {});
+}
+
+TEST(SnapshotTest, PopulatedRoundTripIsObservablyIdentical) {
+  SchemePtr scheme = TwoRelScheme();
+  std::vector<Dependency> deps;
+  InternedWorkspace ws = PopulatedWorkspace(scheme, &deps);
+
+  std::vector<std::vector<std::uint64_t>> cursors = {
+      {ws.EventCount(0), ws.EventCount(1)}, {3, 0}};
+  std::string blob = SerializeWorkspace(ws, cursors);
+  Result<RestoredWorkspace> restored = DeserializeWorkspace(scheme, blob);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->consumer_cursors, cursors);
+  ExpectObservablyEqual(ws, restored->ws, deps);
+}
+
+TEST(SnapshotTest, RestoredPartitionsAreWarmCapital) {
+  // Re-checking a dependency whose partition came from the snapshot must
+  // reuse it — no rebuild, or the warm start is warm in name only.
+  SchemePtr scheme = TwoRelScheme();
+  std::vector<Dependency> deps;
+  InternedWorkspace ws = PopulatedWorkspace(scheme, &deps);
+  Result<RestoredWorkspace> restored =
+      DeserializeWorkspace(scheme, SerializeWorkspace(ws));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  std::uint64_t built_before = restored->ws.stats().partitions_built;
+  for (const Dependency& dep : deps) restored->ws.Satisfies(dep);
+  EXPECT_EQ(restored->ws.stats().partitions_built, built_before)
+      << "restored partitions were rebuilt instead of reused";
+}
+
+TEST(SnapshotTest, SchemeMismatchRejected) {
+  SchemePtr scheme = TwoRelScheme();
+  InternedWorkspace ws(scheme);
+  std::string blob = SerializeWorkspace(ws);
+  SchemePtr other = MakeScheme({{"S0", {"A", "B", "C"}}, {"S1", {"A", "B"}}});
+  Result<RestoredWorkspace> restored = DeserializeWorkspace(other, blob);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, EverySingleBitFlipRejected) {
+  // The whole blob is covered: magic/version/size by explicit checks,
+  // the checksum field and every payload byte by FNV mismatch. No flip
+  // may be silently accepted.
+  SchemePtr scheme = TwoRelScheme();
+  std::vector<Dependency> deps;
+  InternedWorkspace ws = PopulatedWorkspace(scheme, &deps);
+  std::string blob = SerializeWorkspace(ws, {{1, 2}});
+
+  for (std::size_t off = 0; off < blob.size(); ++off) {
+    std::string damaged = blob;
+    damaged[off] = static_cast<char>(damaged[off] ^ (1 << (off % 8)));
+    Result<RestoredWorkspace> restored = DeserializeWorkspace(scheme, damaged);
+    ASSERT_FALSE(restored.ok()) << "bit flip at offset " << off
+                                << " was accepted";
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument)
+        << "offset " << off << ": " << restored.status();
+  }
+}
+
+TEST(SnapshotTest, EveryTruncationRejected) {
+  SchemePtr scheme = TwoRelScheme();
+  InternedWorkspace ws = PopulatedWorkspace(scheme, nullptr);
+  std::string blob = SerializeWorkspace(ws);
+
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    Result<RestoredWorkspace> restored =
+        DeserializeWorkspace(scheme, std::string_view(blob).substr(0, len));
+    ASSERT_FALSE(restored.ok()) << "truncation to " << len << " bytes "
+                                << "was accepted";
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_TRUE(DeserializeWorkspace(scheme, blob).ok());
+}
+
+TEST(SnapshotTest, TrailingBytesRejected) {
+  SchemePtr scheme = TwoRelScheme();
+  InternedWorkspace ws = PopulatedWorkspace(scheme, nullptr);
+  std::string blob = SerializeWorkspace(ws) + std::string(1, '\0');
+  Result<RestoredWorkspace> restored = DeserializeWorkspace(scheme, blob);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  SchemePtr scheme = TwoRelScheme();
+  std::vector<Dependency> deps;
+  InternedWorkspace ws = PopulatedWorkspace(scheme, &deps);
+  std::string path = ::testing::TempDir() + "/ccfp_snapshot_roundtrip.bin";
+
+  ASSERT_TRUE(SaveWorkspaceSnapshot(ws, path, {{7}}).ok());
+  Result<RestoredWorkspace> restored = LoadWorkspaceSnapshot(scheme, path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->consumer_cursors,
+            (std::vector<std::vector<std::uint64_t>>{{7}}));
+  ExpectObservablyEqual(ws, restored->ws, deps);
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  SchemePtr scheme = TwoRelScheme();
+  Result<RestoredWorkspace> restored = LoadWorkspaceSnapshot(
+      scheme, ::testing::TempDir() + "/ccfp_snapshot_does_not_exist.bin");
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, InjectedCorruptionIsDetectedAtLoad) {
+  // The save-side kSnapshotCorrupt fault simulates bit rot between save
+  // and load: the save itself succeeds, the load must reject.
+  SchemePtr scheme = TwoRelScheme();
+  InternedWorkspace ws = PopulatedWorkspace(scheme, nullptr);
+  std::string path = ::testing::TempDir() + "/ccfp_snapshot_corrupt.bin";
+
+  FaultInjector fi(99);
+  fi.Arm(FaultSite::kSnapshotCorrupt, 0);
+  {
+    ScopedFaultInjector scope(&fi);
+    ASSERT_TRUE(SaveWorkspaceSnapshot(ws, path).ok());
+  }
+  EXPECT_EQ(fi.fired(FaultSite::kSnapshotCorrupt), 1u);
+  Result<RestoredWorkspace> restored = LoadWorkspaceSnapshot(scheme, path);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, InjectedTruncationIsDetectedAtLoad) {
+  // kSnapshotTruncate simulates the torn partial write of a crash
+  // mid-save.
+  SchemePtr scheme = TwoRelScheme();
+  InternedWorkspace ws = PopulatedWorkspace(scheme, nullptr);
+  std::string path = ::testing::TempDir() + "/ccfp_snapshot_truncated.bin";
+
+  FaultInjector fi(7);
+  fi.Arm(FaultSite::kSnapshotTruncate, 0);
+  {
+    ScopedFaultInjector scope(&fi);
+    ASSERT_TRUE(SaveWorkspaceSnapshot(ws, path).ok());
+  }
+  EXPECT_EQ(fi.fired(FaultSite::kSnapshotTruncate), 1u);
+  Result<RestoredWorkspace> restored = LoadWorkspaceSnapshot(scheme, path);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotTest, UnarmedInjectorIsInvisible) {
+  // An installed but unarmed injector must not perturb the bytes.
+  SchemePtr scheme = TwoRelScheme();
+  std::vector<Dependency> deps;
+  InternedWorkspace ws = PopulatedWorkspace(scheme, &deps);
+  std::string path = ::testing::TempDir() + "/ccfp_snapshot_unarmed.bin";
+
+  FaultInjector fi(1);
+  {
+    ScopedFaultInjector scope(&fi);
+    ASSERT_TRUE(SaveWorkspaceSnapshot(ws, path).ok());
+  }
+  Result<RestoredWorkspace> restored = LoadWorkspaceSnapshot(scheme, path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ExpectObservablyEqual(ws, restored->ws, deps);
+}
+
+}  // namespace
+}  // namespace ccfp
