@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/satisfies.h"
+#include "util/check.h"
 #include "util/strings.h"
 
 namespace ccfp {
@@ -196,6 +197,56 @@ ArmstrongSession::ArmstrongSession(InternedWorkspace ws, std::vector<Fd> fds,
   }
 }
 
+ArmstrongSession::ArmstrongSession(InternedWorkspace ws,
+                                   SessionClassificationRecord record,
+                                   std::vector<Fd> fds, std::vector<Ind> inds,
+                                   const ImplicationOracle* oracle,
+                                   const ArmstrongBuildOptions& options)
+    : ArmstrongSession(std::move(ws), std::move(fds), std::move(inds), oracle,
+                       options) {
+  // Adopt the persisted classification verbatim: zero oracle calls. The
+  // workspace already satisfies exactness for this universe (it was
+  // checkpointed by a session that verified it), so no chase or repair is
+  // needed here either — the next Extend picks up where the saver left
+  // off. Fresh watchers start at feed cursor 0; when the adopted feed is
+  // compacted past that (the normal case), they rebuild their counters
+  // from the alive ranks — the same proven path every strayed consumer
+  // takes.
+  CCFP_CHECK(record.universe.size() == record.expected.size());
+  for (std::size_t i = 0; i < record.universe.size(); ++i) {
+    const Dependency& tau = record.universe[i];
+    bool implied = record.expected[i];
+    known_.insert(tau);
+    universe_.push_back(tau);
+    universe_expected_.push_back(implied);
+    if (verifier_) universe_ids_.push_back(verifier_->Watch(tau));
+    if (implied) {
+      expected_.push_back(tau);
+    } else {
+      // No violation seeding: the adopted workspace already carries the
+      // seeds and repairs of the session that saved it.
+      must_fail_.push_back(tau);
+      if (verifier_) must_fail_ids_.push_back(universe_ids_.back());
+    }
+  }
+}
+
+Status ArmstrongSession::Checkpoint() {
+  SnapshotChainWriter* chain = options_.checkpoint.chain;
+  if (chain == nullptr) return Status::OK();
+  SessionClassificationRecord record;
+  record.universe = universe_;
+  record.expected = universe_expected_;
+  // One cursor vector: the feed tip per relation. A warm start's fresh
+  // consumers begin at the tip (or rebuild from ranks), so this is the
+  // only position worth persisting.
+  std::vector<std::uint64_t> tip(scheme_->size());
+  for (RelId rel = 0; rel < scheme_->size(); ++rel) {
+    tip[rel] = ws_.EventCount(rel);
+  }
+  return chain->Save(ws_, {std::move(tip)}, SerializeSessionRecord(record));
+}
+
 Status ArmstrongSession::VerifyExactness() {
   // Cached WatchIds: the incremental re-check is pure counter reads.
   std::optional<std::string> mismatch =
@@ -261,11 +312,30 @@ Status ArmstrongSession::Extend(const std::vector<Dependency>& delta) {
     }
   }
   CCFP_RETURN_NOT_OK(ChaseVerifyRepair());
-  // Every registered consumer (the chaser, and the verifier when present)
-  // sits at the feed tip after a successful round, so the retained event
-  // window trims to nothing here — the feed stays O(in-flight delta) no
-  // matter how many Extends the session lives through.
-  ws_.CompactFeeds();
+  // Background maintenance is cadence-driven, not per-Extend: both
+  // decisions read measured state (MemoryUsage) against the configured
+  // byte thresholds. With the default thresholds of 0 every Extend still
+  // compacts and (when a chain is configured) checkpoints — the tightest
+  // bound, and the pre-checkpoint behavior for the feed.
+  //
+  // Order matters: compact *before* snapshotting, so the TrimFeedTo
+  // journal entries ride in the same delta record and a restored
+  // workspace's retained feed window matches the live one exactly. Every
+  // registered consumer (the chaser, and the verifier when present) sits
+  // at the feed tip after a successful round, so compaction trims the
+  // whole retained window.
+  MemoryBreakdown usage = ws_.MemoryUsage();
+  if (usage.feed >= options_.checkpoint.compact_feed_bytes) {
+    ws_.CompactFeeds();
+  }
+  if (options_.checkpoint.chain != nullptr &&
+      (!ws_.journal_enabled() ||
+       ws_.JournalBytes() >= options_.checkpoint.snapshot_journal_bytes)) {
+    // A failed checkpoint (e.g. an injected crash) leaves the session
+    // valid and the journal intact; the error is surfaced so the caller
+    // can retry Checkpoint() or keep extending and retry later.
+    CCFP_RETURN_NOT_OK(Checkpoint());
+  }
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include "chase/workspace_chase.h"
 #include "core/database.h"
 #include "core/dependency.h"
+#include "core/snapshot.h"
 #include "core/workspace.h"
 #include "util/status.h"
 #include "verify/verifier.h"
@@ -66,12 +67,32 @@ enum class ArmstrongVerifyEngine : std::uint8_t {
   kFullSweep = 2,
 };
 
+/// Background persistence cadence for an ArmstrongSession. Both triggers
+/// are *byte thresholds against measured state* (MemoryUsage), not
+/// per-Extend rituals: a session extending by tiny deltas does not pay a
+/// compaction scan or a snapshot write per call, and a session ingesting
+/// a huge delta checkpoints as soon as the in-flight state warrants it.
+struct SessionCheckpointOptions {
+  /// Compact the change feeds when the retained event window exceeds this
+  /// many logical bytes (MemoryUsage().feed). 0 = compact after every
+  /// Extend (the pre-checkpoint behavior, and the tightest bound).
+  std::uint64_t compact_feed_bytes = 0;
+  /// Write a chain record when the retained mutation journal exceeds this
+  /// many logical bytes (MemoryUsage().journal). 0 = checkpoint after
+  /// every Extend. Ignored when `chain` is null.
+  std::uint64_t snapshot_journal_bytes = 0;
+  /// Where checkpoints go. Null (default) disables persistence entirely;
+  /// the writer must outlive the session.
+  SnapshotChainWriter* chain = nullptr;
+};
+
 struct ArmstrongBuildOptions {
   ChaseOptions chase;
   /// Maximum repair rounds before giving up.
   int max_repair_rounds = 8;
   ArmstrongEngine engine = ArmstrongEngine::kWorkspace;
   ArmstrongVerifyEngine verify = ArmstrongVerifyEngine::kAuto;
+  SessionCheckpointOptions checkpoint;
 };
 
 struct ArmstrongReport {
@@ -138,6 +159,28 @@ class ArmstrongSession {
   ArmstrongSession(InternedWorkspace ws, std::vector<Fd> fds,
                    std::vector<Ind> inds, const ImplicationOracle* oracle,
                    const ArmstrongBuildOptions& options = {});
+
+  /// Warm-start *without replay*: adopts the workspace AND the persisted
+  /// universe classification (the `aux` record a checkpointing session
+  /// wrote — see Checkpoint and SessionClassificationRecord). The session
+  /// is immediately in the state the saver left it in: universe, expected
+  /// set, and repair targets are rebuilt with zero oracle calls, and
+  /// under kIncremental the watchers initialize straight from the adopted
+  /// substrate. `record` must come from the same save as `ws`.
+  ArmstrongSession(InternedWorkspace ws, SessionClassificationRecord record,
+                   std::vector<Fd> fds, std::vector<Ind> inds,
+                   const ImplicationOracle* oracle,
+                   const ArmstrongBuildOptions& options = {});
+
+  /// Writes one chain record (base or delta, per the writer's fold
+  /// policy) carrying the workspace, the verifier-equivalent feed
+  /// cursors, and the universe classification. No-op without a configured
+  /// `options.checkpoint.chain`. Extend calls this automatically when the
+  /// journal threshold trips; callers may also invoke it directly (e.g.
+  /// right before shutdown). On failure — including an injected crash —
+  /// the session stays valid and the journal is retained, so a retry
+  /// writes a superset record at the same chain position.
+  Status Checkpoint();
 
   /// Grows the universe by `delta` (members already known are skipped),
   /// re-establishes exactness, and reports the same failure modes as

@@ -1,6 +1,10 @@
 #include "core/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstddef>
+#include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <utility>
@@ -15,6 +19,12 @@ namespace {
 constexpr char kMagic[6] = {'C', 'C', 'F', 'P', 'W', 'S'};
 constexpr std::size_t kHeaderBytes =
     sizeof(kMagic) + sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+/// Byte offset of the header checksum — a record's identity (BlobId).
+constexpr std::size_t kChecksumOffset =
+    sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+constexpr char kSessionMagic[6] = {'C', 'C', 'F', 'P', 'S', 'R'};
+constexpr std::uint32_t kSessionRecordVersion = 1;
 
 /// Little-endian, byte-at-a-time writer: portable and alias-free.
 class Writer {
@@ -27,7 +37,7 @@ class Writer {
     for (int i = 0; i < 8; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
   }
   void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
-  void Str(const std::string& s) {
+  void Str(std::string_view s) {
     U64(s.size());
     out_.append(s);
   }
@@ -64,7 +74,7 @@ class Reader {
   std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
   std::string Str() {
     std::uint64_t n = U64();
-    if (n > in_.size() - pos_ || truncated_) {
+    if (truncated_ || n > in_.size() - pos_) {
       truncated_ = true;
       return {};
     }
@@ -100,6 +110,161 @@ Status Corrupt(const std::string& what) {
   return Status::InvalidArgument(StrCat("workspace snapshot: ", what));
 }
 
+/// Wraps a payload in the versioned, checksummed header.
+std::string EncodeRecord(std::string payload) {
+  Writer w;
+  for (char c : kMagic) w.U8(static_cast<std::uint8_t>(c));
+  w.U32(kWorkspaceSnapshotVersion);
+  w.U64(payload.size());
+  w.U64(Fnv1a64(payload));
+  std::string out = w.Take();
+  out += payload;
+  return out;
+}
+
+/// A record's identity: its header checksum, read straight off the blob.
+std::uint64_t BlobId(std::string_view bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::uint64_t{static_cast<std::uint8_t>(bytes[kChecksumOffset + i])}
+         << (8 * i);
+  }
+  return v;
+}
+
+struct RecordView {
+  std::string_view payload;
+  std::uint64_t checksum = 0;
+};
+
+/// Validates magic, version, size, and checksum; returns the payload.
+Result<RecordView> CheckRecord(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes) return Corrupt("shorter than header");
+  for (std::size_t i = 0; i < sizeof(kMagic); ++i) {
+    if (bytes[i] != kMagic[i]) return Corrupt("bad magic");
+  }
+  Reader header(bytes.substr(sizeof(kMagic), kHeaderBytes - sizeof(kMagic)));
+  std::uint32_t version = header.U32();
+  if (version != kWorkspaceSnapshotVersion) {
+    return Corrupt(StrCat("unsupported version ", version));
+  }
+  std::uint64_t payload_size = header.U64();
+  std::uint64_t checksum = header.U64();
+  std::string_view payload = bytes.substr(kHeaderBytes);
+  if (payload.size() != payload_size) {
+    return Corrupt("payload size mismatch");
+  }
+  if (Fnv1a64(payload) != checksum) return Corrupt("checksum mismatch");
+  return RecordView{payload, checksum};
+}
+
+/// --- file plumbing --------------------------------------------------------
+
+Status WriteFileRaw(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound(StrCat("cannot open ", path));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::Internal(StrCat("short write to ", path));
+  return Status::OK();
+}
+
+Result<std::string> ReadFileRaw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound(StrCat("cannot open ", path));
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in && !in.eof()) return Status::Internal(StrCat("read error ", path));
+  return bytes;
+}
+
+std::string DirnameOf(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status FsyncFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::Internal(StrCat("cannot open for fsync ", path));
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Internal(StrCat("fsync failed ", path));
+  return Status::OK();
+}
+
+/// Best-effort: some filesystems reject directory fsync; the file itself
+/// is already durable at this point.
+void FsyncDir(const std::string& dir) {
+  int flags = O_RDONLY;
+#ifdef O_DIRECTORY
+  flags |= O_DIRECTORY;
+#endif
+  int fd = ::open(dir.c_str(), flags);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Writes one serialized record to `path` under `write`, consulting the
+/// installed FaultInjector at every crash instant (see the policy table in
+/// core/snapshot.h). Under the atomic policy a failure — injected or real
+/// — leaves `path` untouched except for the one instant *after* the
+/// rename, where the new record is already in place but the caller sees
+/// Internal (and must treat the save as failed).
+Status WriteSnapshotBlob(std::string bytes, const std::string& path,
+                         const SnapshotWriteOptions& write) {
+  FaultInjector* fi = InstalledFaultInjector();
+  if (!write.atomic) {
+    // Legacy direct write: injected damage lands in the target file and
+    // the save still reports success — bit rot the loader must detect.
+    if (fi != nullptr) {
+      if (fi->ShouldFail(FaultSite::kSnapshotCorrupt)) {
+        fi->CorruptBytes(bytes);
+      }
+      if (fi->ShouldFail(FaultSite::kSnapshotTruncate)) {
+        fi->TruncateBytes(bytes);
+      }
+    }
+    return WriteFileRaw(path, bytes);
+  }
+
+  // Atomic policy: all damage is confined to the temp file, and a damaged
+  // temp write "crashes" before the rename — the target keeps old state.
+  std::string tmp = StrCat(path, ".tmp");
+  bool torn = false;
+  if (fi != nullptr) {
+    if (fi->ShouldFail(FaultSite::kSnapshotCorrupt)) {
+      fi->CorruptBytes(bytes);
+      torn = true;
+    }
+    if (fi->ShouldFail(FaultSite::kSnapshotTruncate)) {
+      fi->TruncateBytes(bytes);
+      torn = true;
+    }
+  }
+  CCFP_RETURN_NOT_OK(WriteFileRaw(tmp, bytes));
+  if (torn) {
+    return Status::Internal(
+        StrCat("crash during snapshot temp write (fault injection): ", tmp));
+  }
+  if (fi != nullptr && fi->ShouldFail(FaultSite::kSnapshotFsync)) {
+    return Status::Internal(
+        StrCat("crash before snapshot fsync (fault injection): ", tmp));
+  }
+  if (write.durable) CCFP_RETURN_NOT_OK(FsyncFile(tmp));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal(StrCat("rename failed ", tmp, " -> ", path));
+  }
+  if (fi != nullptr && fi->ShouldFail(FaultSite::kSnapshotRename)) {
+    return Status::Internal(
+        StrCat("crash after snapshot rename (fault injection): ", path));
+  }
+  if (write.durable) FsyncDir(DirnameOf(path));
+  return Status::OK();
+}
+
 }  // namespace
 
 std::uint64_t Fnv1a64(std::string_view bytes) {
@@ -118,21 +283,15 @@ class WorkspaceSnapshotAccess {
  public:
   static void SerializePayload(
       const InternedWorkspace& ws,
-      const std::vector<std::vector<std::uint64_t>>& cursors, Writer& w) {
+      const std::vector<std::vector<std::uint64_t>>& cursors,
+      std::string_view aux, Writer& w) {
+    w.U8(kSnapshotRecordFull);
     w.U64(SchemeFingerprint(*ws.scheme_));
 
     // Interner: values in id order + the fresh-null watermark.
     const ValueInterner& in = ws.interner_;
     w.U64(in.values_.size());
-    for (const Value& v : in.values_) {
-      w.U8(static_cast<std::uint8_t>(v.kind()));
-      if (v.is_str()) {
-        w.Str(v.as_str());
-      } else {
-        w.I64(v.is_null() ? static_cast<std::int64_t>(v.null_id())
-                          : v.as_int());
-      }
-    }
+    for (const Value& v : in.values_) SerializeValue(v, w);
     w.U64(in.next_null_label_);
 
     // Union-find (sized to the interner by EnsureSize on every intern).
@@ -211,21 +370,23 @@ class WorkspaceSnapshotAccess {
     w.U64(st.feed_events_compacted);
 
     // Caller-supplied consumer cursors (verifier feed positions, ...).
-    w.U64(cursors.size());
-    for (const auto& c : cursors) {
-      w.U64(c.size());
-      for (std::uint64_t s : c) w.U64(s);
-    }
+    SerializeCursors(cursors, w);
+    w.Str(aux);
   }
 
-  static Result<RestoredWorkspace> DeserializePayload(SchemePtr scheme,
-                                                      std::string_view in) {
+  static Result<RestoredWorkspace> DeserializePayload(
+      SchemePtr scheme, std::string_view in, std::uint64_t checksum) {
     Reader r(in);
+    std::uint8_t kind = r.U8();
+    if (kind == kSnapshotRecordDelta) {
+      return Corrupt("expected a full record, found a delta");
+    }
+    if (kind != kSnapshotRecordFull) return Corrupt("bad record kind");
     if (r.U64() != SchemeFingerprint(*scheme)) {
       return Corrupt("scheme fingerprint mismatch");
     }
 
-    RestoredWorkspace out{InternedWorkspace(scheme), {}};
+    RestoredWorkspace out{InternedWorkspace(scheme), {}, {}, 0};
     InternedWorkspace& ws = out.ws;
 
     // Interner.
@@ -234,21 +395,8 @@ class WorkspaceSnapshotAccess {
     ValueInterner& interner = ws.interner_;
     interner.values_.reserve(static_cast<std::size_t>(n_values));
     for (std::uint64_t i = 0; i < n_values; ++i) {
-      std::uint8_t kind = r.U8();
       Value v;
-      switch (kind) {
-        case static_cast<std::uint8_t>(Value::Kind::kNull):
-          v = Value::Null(static_cast<std::uint64_t>(r.I64()));
-          break;
-        case static_cast<std::uint8_t>(Value::Kind::kInt):
-          v = Value::Int(r.I64());
-          break;
-        case static_cast<std::uint8_t>(Value::Kind::kStr):
-          v = Value::Str(r.Str());
-          break;
-        default:
-          return Corrupt("bad value kind");
-      }
+      CCFP_RETURN_NOT_OK(DeserializeValue(r, v));
       if (!r.Ok()) return Corrupt("value table truncated");
       ValueId id = static_cast<ValueId>(interner.values_.size());
       interner.ids_.emplace(v, id);
@@ -316,13 +464,13 @@ class WorkspaceSnapshotAccess {
       if (!r.Fits(n_events, 5)) return Corrupt("feed truncated");
       rs.feed.reserve(static_cast<std::size_t>(n_events));
       for (std::uint64_t i = 0; i < n_events; ++i) {
-        std::uint8_t kind = r.U8();
+        std::uint8_t ekind = r.U8();
         std::uint32_t idx = r.U32();
-        if (kind > 2 || idx >= rs.tuples.size()) {
+        if (ekind > 2 || idx >= rs.tuples.size()) {
           return Corrupt("bad feed event");
         }
         rs.feed.push_back(WorkspaceEvent{
-            static_cast<WorkspaceEventKind>(kind), idx});
+            static_cast<WorkspaceEventKind>(ekind), idx});
       }
     }
 
@@ -431,91 +579,610 @@ class WorkspaceSnapshotAccess {
     st.feed_compactions = r.U64();
     st.feed_events_compacted = r.U64();
 
-    // Consumer cursors.
+    // Consumer cursors + aux.
+    CCFP_RETURN_NOT_OK(DeserializeCursors(r, out.consumer_cursors));
+    out.aux = r.Str();
+
+    if (!r.Ok()) return Corrupt("payload truncated");
+    if (!r.AtEnd()) return Corrupt("trailing bytes after payload");
+
+    // This record is now the workspace's chain identity: a delta record
+    // linking to `checksum` extends exactly this state.
+    out.snapshot_id = checksum;
+    ws.MarkJournalPersisted(checksum);
+    return out;
+  }
+
+  static void SerializeDeltaPayload(
+      const InternedWorkspace& ws,
+      const std::vector<std::vector<std::uint64_t>>& cursors,
+      std::string_view aux, Writer& w) {
+    w.U8(kSnapshotRecordDelta);
+    w.U64(SchemeFingerprint(*ws.scheme_));
+    w.U64(ws.snapshot_base_id_);
+
+    // Interner growth since the base: values [from, size()).
+    const ValueInterner& in = ws.interner_;
+    std::uint64_t from = ws.journal_values_base_;
+    w.U64(from);
+    w.U64(in.values_.size());
+    for (std::uint64_t i = from; i < in.values_.size(); ++i) {
+      SerializeValue(in.values_[static_cast<std::size_t>(i)], w);
+    }
+    w.U64(in.next_null_label_);
+
+    // The retained mutation journal, per-op minimal encoding.
+    w.U64(ws.journal_.size());
+    for (const WorkspaceJournalEntry& e : ws.journal_) {
+      w.U8(static_cast<std::uint8_t>(e.op));
+      switch (e.op) {
+        case WorkspaceJournalEntry::Op::kAppend:
+          w.U32(e.rel);
+          w.U64(e.ids.size());
+          for (ValueId id : e.ids) w.U32(id);
+          break;
+        case WorkspaceJournalEntry::Op::kMerge:
+        case WorkspaceJournalEntry::Op::kReroute:
+          w.U32(e.a);
+          w.U32(e.b);
+          break;
+        case WorkspaceJournalEntry::Op::kCanonicalize:
+          w.U32(e.rel);
+          w.U32(e.idx);
+          break;
+        case WorkspaceJournalEntry::Op::kTrim:
+          w.U32(e.rel);
+          w.U64(e.horizon);
+          break;
+      }
+    }
+
+    SerializeCursors(cursors, w);
+    w.Str(aux);
+  }
+
+  static Result<WorkspaceDeltaInfo> ApplyDeltaPayload(InternedWorkspace& ws,
+                                                      std::string_view in,
+                                                      std::uint64_t checksum) {
+    Reader r(in);
+    std::uint8_t kind = r.U8();
+    if (kind == kSnapshotRecordFull) {
+      return Corrupt("expected a delta record, found a full record");
+    }
+    if (kind != kSnapshotRecordDelta) return Corrupt("bad record kind");
+    if (r.U64() != SchemeFingerprint(*ws.scheme_)) {
+      return Corrupt("scheme fingerprint mismatch");
+    }
+
+    // Linkage is validated *before* any mutation: a stale delta (left
+    // behind by a fold) must leave the workspace untouched so chain loads
+    // can treat it as end-of-chain.
+    std::uint64_t base_id = r.U64();
+    if (!ws.HasSnapshotBase() || base_id != ws.SnapshotBaseId()) {
+      return Status::FailedPrecondition(StrCat(
+          "workspace snapshot: delta links to record ", base_id,
+          " but the workspace is at record ", ws.SnapshotBaseId()));
+    }
+
+    // Decode everything up front (so damage is caught while the workspace
+    // is still intact where possible; replay failures below mean the
+    // record lied about its base and the workspace must be discarded).
+    std::uint64_t values_from = r.U64();
+    std::uint64_t values_to = r.U64();
+    if (values_from != ws.interner_.size() || values_to < values_from) {
+      return Corrupt("delta interner watermark inconsistent with base");
+    }
+    std::uint64_t growth = values_to - values_from;
+    if (!r.Fits(growth, 9)) return Corrupt("delta value table truncated");
+    std::vector<Value> new_values;
+    new_values.reserve(static_cast<std::size_t>(growth));
+    for (std::uint64_t i = 0; i < growth; ++i) {
+      Value v;
+      CCFP_RETURN_NOT_OK(DeserializeValue(r, v));
+      if (!r.Ok()) return Corrupt("delta value table truncated");
+      new_values.push_back(std::move(v));
+    }
+    std::uint64_t next_null_label = r.U64();
+
+    std::uint64_t n_journal = r.U64();
+    if (!r.Fits(n_journal, 1)) return Corrupt("delta journal truncated");
+    std::vector<WorkspaceJournalEntry> entries;
+    entries.reserve(static_cast<std::size_t>(n_journal));
+    for (std::uint64_t i = 0; i < n_journal; ++i) {
+      WorkspaceJournalEntry e;
+      std::uint8_t op = r.U8();
+      if (op > static_cast<std::uint8_t>(WorkspaceJournalEntry::Op::kTrim)) {
+        return Corrupt("bad journal op");
+      }
+      e.op = static_cast<WorkspaceJournalEntry::Op>(op);
+      switch (e.op) {
+        case WorkspaceJournalEntry::Op::kAppend: {
+          e.rel = r.U32();
+          if (e.rel >= ws.scheme_->size()) {
+            return Corrupt("journal relation out of range");
+          }
+          std::uint64_t n_ids = r.U64();
+          if (n_ids != ws.scheme_->relation(e.rel).arity() ||
+              !r.Fits(n_ids, 4)) {
+            return Corrupt("journal append arity mismatch");
+          }
+          e.ids.reserve(static_cast<std::size_t>(n_ids));
+          for (std::uint64_t j = 0; j < n_ids; ++j) {
+            ValueId id = r.U32();
+            if (id >= values_to) return Corrupt("journal id out of range");
+            e.ids.push_back(id);
+          }
+          break;
+        }
+        case WorkspaceJournalEntry::Op::kMerge:
+        case WorkspaceJournalEntry::Op::kReroute:
+          e.a = r.U32();
+          e.b = r.U32();
+          if (e.a >= values_to || e.b >= values_to) {
+            return Corrupt("journal id out of range");
+          }
+          break;
+        case WorkspaceJournalEntry::Op::kCanonicalize:
+          e.rel = r.U32();
+          e.idx = r.U32();
+          if (e.rel >= ws.scheme_->size()) {
+            return Corrupt("journal relation out of range");
+          }
+          break;
+        case WorkspaceJournalEntry::Op::kTrim:
+          e.rel = r.U32();
+          e.horizon = r.U64();
+          if (e.rel >= ws.scheme_->size()) {
+            return Corrupt("journal relation out of range");
+          }
+          break;
+      }
+      entries.push_back(std::move(e));
+    }
+
+    WorkspaceDeltaInfo info;
+    info.base_id = base_id;
+    info.id = checksum;
+    CCFP_RETURN_NOT_OK(DeserializeCursors(r, info.consumer_cursors));
+    info.aux = r.Str();
+    if (!r.Ok()) return Corrupt("delta payload truncated");
+    if (!r.AtEnd()) return Corrupt("trailing bytes after delta payload");
+
+    // --- mutation begins; any failure below poisons the workspace ---
+
+    // Interner growth (ids must extend the table exactly).
+    ValueInterner& interner = ws.interner_;
+    for (Value& v : new_values) {
+      ValueId id = static_cast<ValueId>(interner.values_.size());
+      if (!interner.ids_.emplace(v, id).second) {
+        return Corrupt("delta value already interned in base");
+      }
+      interner.values_.push_back(std::move(v));
+    }
+    if (next_null_label < interner.next_null_label_) {
+      return Corrupt("delta null watermark went backwards");
+    }
+    interner.next_null_label_ = next_null_label;
+    ws.uf_.EnsureSize(interner.values_.size());
+    ws.occurrences_.resize(interner.values_.size());
+    ws.stats_.values_interned += growth;
+
+    // Replay the journal through the public mutation API with journaling
+    // suppressed (the replayed entries are already persisted).
+    bool was_enabled = ws.journal_enabled_;
+    ws.journal_enabled_ = false;
+    Status replay = ReplayJournal(ws, entries);
+    ws.journal_enabled_ = was_enabled;
+    CCFP_RETURN_NOT_OK(replay);
+
+    ws.MarkJournalPersisted(checksum);
+    return info;
+  }
+
+ private:
+  static void SerializeValue(const Value& v, Writer& w) {
+    w.U8(static_cast<std::uint8_t>(v.kind()));
+    if (v.is_str()) {
+      w.Str(v.as_str());
+    } else {
+      w.I64(v.is_null() ? static_cast<std::int64_t>(v.null_id())
+                        : v.as_int());
+    }
+  }
+
+  static Status DeserializeValue(Reader& r, Value& out) {
+    std::uint8_t kind = r.U8();
+    switch (kind) {
+      case static_cast<std::uint8_t>(Value::Kind::kNull):
+        out = Value::Null(static_cast<std::uint64_t>(r.I64()));
+        return Status::OK();
+      case static_cast<std::uint8_t>(Value::Kind::kInt):
+        out = Value::Int(r.I64());
+        return Status::OK();
+      case static_cast<std::uint8_t>(Value::Kind::kStr):
+        out = Value::Str(r.Str());
+        return Status::OK();
+      default:
+        return Corrupt("bad value kind");
+    }
+  }
+
+  static void SerializeCursors(
+      const std::vector<std::vector<std::uint64_t>>& cursors, Writer& w) {
+    w.U64(cursors.size());
+    for (const auto& c : cursors) {
+      w.U64(c.size());
+      for (std::uint64_t s : c) w.U64(s);
+    }
+  }
+
+  static Status DeserializeCursors(
+      Reader& r, std::vector<std::vector<std::uint64_t>>& out) {
     std::uint64_t n_cursors = r.U64();
     if (!r.Fits(n_cursors, 8)) return Corrupt("cursors truncated");
-    out.consumer_cursors.reserve(static_cast<std::size_t>(n_cursors));
+    out.reserve(static_cast<std::size_t>(n_cursors));
     for (std::uint64_t i = 0; i < n_cursors; ++i) {
       std::uint64_t n = r.U64();
       if (!r.Fits(n, 8)) return Corrupt("cursors truncated");
       std::vector<std::uint64_t> c;
       c.reserve(static_cast<std::size_t>(n));
       for (std::uint64_t j = 0; j < n; ++j) c.push_back(r.U64());
-      out.consumer_cursors.push_back(std::move(c));
+      out.push_back(std::move(c));
     }
+    return Status::OK();
+  }
 
-    if (!r.Ok()) return Corrupt("payload truncated");
-    if (!r.AtEnd()) return Corrupt("trailing bytes after payload");
-    return out;
+  /// Replays decoded journal entries through the public mutators. Every
+  /// entry was recorded because it *changed* state, so a replay that
+  /// reports "no change" means the delta does not actually extend this
+  /// base — corruption the checksum cannot catch.
+  static Status ReplayJournal(
+      InternedWorkspace& ws,
+      const std::vector<WorkspaceJournalEntry>& entries) {
+    for (const WorkspaceJournalEntry& e : entries) {
+      switch (e.op) {
+        case WorkspaceJournalEntry::Op::kAppend:
+          if (!ws.Append(e.rel, e.ids)) {
+            return Corrupt("delta append inconsistent with base");
+          }
+          break;
+        case WorkspaceJournalEntry::Op::kMerge:
+          if (!ws.MergeValues(e.a, e.b).merged) {
+            return Corrupt("delta merge inconsistent with base");
+          }
+          break;
+        case WorkspaceJournalEntry::Op::kReroute:
+          ws.RerouteOccurrences(e.a, e.b);
+          break;
+        case WorkspaceJournalEntry::Op::kCanonicalize:
+          if (e.idx >= ws.size(e.rel)) {
+            return Corrupt("delta canonicalize slot out of range");
+          }
+          if (ws.CanonicalizeTuple(e.rel, e.idx) ==
+              InternedWorkspace::CanonOutcome::kUnchanged) {
+            return Corrupt("delta canonicalize inconsistent with base");
+          }
+          break;
+        case WorkspaceJournalEntry::Op::kTrim:
+          if (ws.TrimFeedTo(e.rel, e.horizon) == 0) {
+            return Corrupt("delta feed trim inconsistent with base");
+          }
+          break;
+      }
+    }
+    return Status::OK();
   }
 };
 
 std::string SerializeWorkspace(
     const InternedWorkspace& ws,
-    const std::vector<std::vector<std::uint64_t>>& consumer_cursors) {
+    const std::vector<std::vector<std::uint64_t>>& consumer_cursors,
+    std::string_view aux) {
   Writer payload_writer;
-  WorkspaceSnapshotAccess::SerializePayload(ws, consumer_cursors,
+  WorkspaceSnapshotAccess::SerializePayload(ws, consumer_cursors, aux,
                                             payload_writer);
-  std::string payload = payload_writer.Take();
+  return EncodeRecord(payload_writer.Take());
+}
 
-  Writer w;
-  for (char c : kMagic) w.U8(static_cast<std::uint8_t>(c));
-  w.U32(kWorkspaceSnapshotVersion);
-  w.U64(payload.size());
-  w.U64(Fnv1a64(payload));
-  std::string out = w.Take();
-  out += payload;
-  return out;
+Result<std::string> SerializeWorkspaceDelta(
+    const InternedWorkspace& ws,
+    const std::vector<std::vector<std::uint64_t>>& consumer_cursors,
+    std::string_view aux) {
+  if (!ws.journal_enabled()) {
+    return Status::FailedPrecondition(
+        "workspace snapshot: delta save requires EnableJournal()");
+  }
+  if (!ws.HasSnapshotBase()) {
+    return Status::FailedPrecondition(
+        "workspace snapshot: delta save requires a persisted base record");
+  }
+  Writer payload_writer;
+  WorkspaceSnapshotAccess::SerializeDeltaPayload(ws, consumer_cursors, aux,
+                                                 payload_writer);
+  return EncodeRecord(payload_writer.Take());
 }
 
 Result<RestoredWorkspace> DeserializeWorkspace(SchemePtr scheme,
                                                std::string_view bytes) {
-  if (bytes.size() < kHeaderBytes) return Corrupt("shorter than header");
-  for (std::size_t i = 0; i < sizeof(kMagic); ++i) {
-    if (bytes[i] != kMagic[i]) return Corrupt("bad magic");
-  }
-  Reader header(bytes.substr(sizeof(kMagic), kHeaderBytes - sizeof(kMagic)));
-  std::uint32_t version = header.U32();
-  if (version != kWorkspaceSnapshotVersion) {
-    return Corrupt(StrCat("unsupported version ", version));
-  }
-  std::uint64_t payload_size = header.U64();
-  std::uint64_t checksum = header.U64();
-  std::string_view payload = bytes.substr(kHeaderBytes);
-  if (payload.size() != payload_size) {
-    return Corrupt("payload size mismatch");
-  }
-  if (Fnv1a64(payload) != checksum) return Corrupt("checksum mismatch");
-  return WorkspaceSnapshotAccess::DeserializePayload(std::move(scheme),
-                                                     payload);
+  CCFP_ASSIGN_OR_RETURN(RecordView record, CheckRecord(bytes));
+  return WorkspaceSnapshotAccess::DeserializePayload(
+      std::move(scheme), record.payload, record.checksum);
+}
+
+Result<WorkspaceDeltaInfo> ApplyWorkspaceDelta(InternedWorkspace& ws,
+                                               std::string_view bytes) {
+  CCFP_ASSIGN_OR_RETURN(RecordView record, CheckRecord(bytes));
+  return WorkspaceSnapshotAccess::ApplyDeltaPayload(ws, record.payload,
+                                                    record.checksum);
 }
 
 Status SaveWorkspaceSnapshot(
     const InternedWorkspace& ws, const std::string& path,
-    const std::vector<std::vector<std::uint64_t>>& consumer_cursors) {
+    const std::vector<std::vector<std::uint64_t>>& consumer_cursors,
+    const SnapshotWriteOptions& write) {
   std::string bytes = SerializeWorkspace(ws, consumer_cursors);
-  if (FaultInjector* fi = InstalledFaultInjector()) {
-    if (fi->ShouldFail(FaultSite::kSnapshotCorrupt)) fi->CorruptBytes(bytes);
-    if (fi->ShouldFail(FaultSite::kSnapshotTruncate)) {
-      fi->TruncateBytes(bytes);
-    }
-  }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::NotFound(StrCat("cannot open ", path));
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) return Status::Internal(StrCat("short write to ", path));
+  std::uint64_t id = BlobId(bytes);
+  CCFP_RETURN_NOT_OK(WriteSnapshotBlob(std::move(bytes), path, write));
+  ws.MarkJournalPersisted(id);
   return Status::OK();
 }
 
 Result<RestoredWorkspace> LoadWorkspaceSnapshot(SchemePtr scheme,
                                                 const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound(StrCat("cannot open ", path));
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (!in && !in.eof()) return Status::Internal(StrCat("read error ", path));
+  CCFP_ASSIGN_OR_RETURN(std::string bytes, ReadFileRaw(path));
   return DeserializeWorkspace(std::move(scheme), bytes);
+}
+
+/// --- snapshot chains ------------------------------------------------------
+
+SnapshotChainWriter::SnapshotChainWriter(std::string prefix,
+                                         SnapshotChainPolicy policy,
+                                         SnapshotWriteOptions write)
+    : prefix_(std::move(prefix)), policy_(policy), write_(write) {}
+
+std::string SnapshotChainWriter::BasePath() const {
+  return StrCat(prefix_, ".base");
+}
+
+std::string SnapshotChainWriter::DeltaPath(std::size_t k) const {
+  return StrCat(prefix_, ".delta.", k);
+}
+
+Status SnapshotChainWriter::Save(
+    const InternedWorkspace& ws,
+    const std::vector<std::vector<std::uint64_t>>& consumer_cursors,
+    std::string_view aux) {
+  bool fold =
+      !has_base_ || !ws.journal_enabled() || !ws.HasSnapshotBase() ||
+      ws.SnapshotBaseId() != tip_id_ || deltas_ >= policy_.max_deltas ||
+      (policy_.fold_delta_percent > 0 &&
+       delta_bytes_ * 100 > base_bytes_ * policy_.fold_delta_percent);
+  return fold ? SaveBase(ws, consumer_cursors, aux)
+              : SaveDelta(ws, consumer_cursors, aux);
+}
+
+void SnapshotChainWriter::Adopt(const RestoredChain& chain) {
+  has_base_ = true;
+  deltas_ = chain.deltas_applied;
+  tip_id_ = chain.restored.snapshot_id;
+  base_bytes_ = chain.base_bytes;
+  delta_bytes_ = chain.delta_bytes;
+}
+
+Status SnapshotChainWriter::SaveBase(
+    const InternedWorkspace& ws,
+    const std::vector<std::vector<std::uint64_t>>& cursors,
+    std::string_view aux) {
+  std::string bytes = SerializeWorkspace(ws, cursors, aux);
+  std::uint64_t id = BlobId(bytes);
+  std::uint64_t n_bytes = bytes.size();
+  CCFP_RETURN_NOT_OK(WriteSnapshotBlob(std::move(bytes), BasePath(), write_));
+  // Best-effort unlink of the previous chain's deltas. A crash before (or
+  // during) this loop leaves delta files whose base link no longer
+  // matches the new base's identity — loads treat them as end-of-chain,
+  // so stale records can never be replayed onto the wrong base.
+  for (std::size_t k = 1; std::remove(DeltaPath(k).c_str()) == 0; ++k) {
+  }
+  has_base_ = true;
+  deltas_ = 0;
+  tip_id_ = id;
+  base_bytes_ = n_bytes;
+  delta_bytes_ = 0;
+  ws.MarkJournalPersisted(id);
+  ws.EnableJournal();
+  return Status::OK();
+}
+
+Status SnapshotChainWriter::SaveDelta(
+    const InternedWorkspace& ws,
+    const std::vector<std::vector<std::uint64_t>>& cursors,
+    std::string_view aux) {
+  CCFP_ASSIGN_OR_RETURN(std::string bytes,
+                        SerializeWorkspaceDelta(ws, cursors, aux));
+  std::uint64_t id = BlobId(bytes);
+  std::uint64_t n_bytes = bytes.size();
+  // A failed (or crashed) delta save keeps the journal: the retry below
+  // rewrites the same chain position with a superset journal linked to
+  // the same base, so nothing is lost and nothing is double-applied.
+  CCFP_RETURN_NOT_OK(
+      WriteSnapshotBlob(std::move(bytes), DeltaPath(deltas_ + 1), write_));
+  ++deltas_;
+  tip_id_ = id;
+  delta_bytes_ += n_bytes;
+  ws.MarkJournalPersisted(id);
+  return Status::OK();
+}
+
+Result<RestoredChain> LoadSnapshotChain(SchemePtr scheme,
+                                        const std::string& prefix) {
+  std::string base_path = StrCat(prefix, ".base");
+  CCFP_ASSIGN_OR_RETURN(std::string base_bytes, ReadFileRaw(base_path));
+  CCFP_ASSIGN_OR_RETURN(RestoredWorkspace restored,
+                        DeserializeWorkspace(scheme, base_bytes));
+  RestoredChain chain{std::move(restored), 0, base_bytes.size(), 0};
+  for (std::size_t k = 1;; ++k) {
+    Result<std::string> delta_bytes = ReadFileRaw(StrCat(prefix, ".delta.", k));
+    if (!delta_bytes.ok()) break;  // end of chain on disk
+    Result<WorkspaceDeltaInfo> info =
+        ApplyWorkspaceDelta(chain.restored.ws, *delta_bytes);
+    if (!info.ok()) {
+      if (info.status().code() == StatusCode::kFailedPrecondition) {
+        // A stale record from before a fold: its base link does not match
+        // the running tip. The chain ends here; the workspace is intact.
+        break;
+      }
+      return info.status();
+    }
+    chain.restored.consumer_cursors = std::move(info->consumer_cursors);
+    chain.restored.aux = std::move(info->aux);
+    chain.restored.snapshot_id = info->id;
+    chain.delta_bytes += delta_bytes->size();
+    ++chain.deltas_applied;
+  }
+  // The restored workspace continues the chain: journal from the tip.
+  chain.restored.ws.EnableJournal();
+  return chain;
+}
+
+/// --- session classification records ---------------------------------------
+
+namespace {
+
+Status BadRecord(const std::string& what) {
+  return Status::InvalidArgument(StrCat("session record: ", what));
+}
+
+void WriteAttrs(const std::vector<AttrId>& attrs, Writer& w) {
+  w.U64(attrs.size());
+  for (AttrId a : attrs) w.U32(a);
+}
+
+std::vector<AttrId> ReadAttrs(Reader& r) {
+  std::uint64_t n = r.U64();
+  if (!r.Fits(n, 4)) return {};
+  std::vector<AttrId> attrs;
+  attrs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) attrs.push_back(r.U32());
+  return attrs;
+}
+
+}  // namespace
+
+std::string SerializeSessionRecord(const SessionClassificationRecord& record) {
+  Writer w;
+  for (char c : kSessionMagic) w.U8(static_cast<std::uint8_t>(c));
+  w.U32(kSessionRecordVersion);
+  w.U64(record.universe.size());
+  for (std::size_t i = 0; i < record.universe.size(); ++i) {
+    const Dependency& dep = record.universe[i];
+    w.U8(static_cast<std::uint8_t>(dep.kind()));
+    switch (dep.kind()) {
+      case DependencyKind::kFd:
+        w.U32(dep.fd().rel);
+        WriteAttrs(dep.fd().lhs, w);
+        WriteAttrs(dep.fd().rhs, w);
+        break;
+      case DependencyKind::kInd:
+        w.U32(dep.ind().lhs_rel);
+        WriteAttrs(dep.ind().lhs, w);
+        w.U32(dep.ind().rhs_rel);
+        WriteAttrs(dep.ind().rhs, w);
+        break;
+      case DependencyKind::kRd:
+        w.U32(dep.rd().rel);
+        WriteAttrs(dep.rd().lhs, w);
+        WriteAttrs(dep.rd().rhs, w);
+        break;
+      case DependencyKind::kEmvd:
+        w.U32(dep.emvd().rel);
+        WriteAttrs(dep.emvd().x, w);
+        WriteAttrs(dep.emvd().y, w);
+        WriteAttrs(dep.emvd().z, w);
+        break;
+      case DependencyKind::kMvd:
+        w.U32(dep.mvd().rel);
+        WriteAttrs(dep.mvd().x, w);
+        WriteAttrs(dep.mvd().y, w);
+        break;
+    }
+    w.U8(record.expected[i] ? 1 : 0);
+  }
+  return w.Take();
+}
+
+Result<SessionClassificationRecord> DeserializeSessionRecord(
+    const DatabaseScheme& scheme, std::string_view bytes) {
+  Reader r(bytes);
+  for (char c : kSessionMagic) {
+    if (r.U8() != static_cast<std::uint8_t>(c)) return BadRecord("bad magic");
+  }
+  if (r.U32() != kSessionRecordVersion) {
+    return BadRecord("unsupported version");
+  }
+  std::uint64_t n = r.U64();
+  if (!r.Fits(n, 2)) return BadRecord("truncated");
+  SessionClassificationRecord out;
+  out.universe.reserve(static_cast<std::size_t>(n));
+  out.expected.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint8_t kind = r.U8();
+    std::optional<Dependency> dep;
+    switch (kind) {
+      case static_cast<std::uint8_t>(DependencyKind::kFd): {
+        Fd fd;
+        fd.rel = r.U32();
+        fd.lhs = ReadAttrs(r);
+        fd.rhs = ReadAttrs(r);
+        dep = Dependency(std::move(fd));
+        break;
+      }
+      case static_cast<std::uint8_t>(DependencyKind::kInd): {
+        Ind ind;
+        ind.lhs_rel = r.U32();
+        ind.lhs = ReadAttrs(r);
+        ind.rhs_rel = r.U32();
+        ind.rhs = ReadAttrs(r);
+        dep = Dependency(std::move(ind));
+        break;
+      }
+      case static_cast<std::uint8_t>(DependencyKind::kRd): {
+        Rd rd;
+        rd.rel = r.U32();
+        rd.lhs = ReadAttrs(r);
+        rd.rhs = ReadAttrs(r);
+        dep = Dependency(std::move(rd));
+        break;
+      }
+      case static_cast<std::uint8_t>(DependencyKind::kEmvd): {
+        Emvd emvd;
+        emvd.rel = r.U32();
+        emvd.x = ReadAttrs(r);
+        emvd.y = ReadAttrs(r);
+        emvd.z = ReadAttrs(r);
+        dep = Dependency(std::move(emvd));
+        break;
+      }
+      case static_cast<std::uint8_t>(DependencyKind::kMvd): {
+        Mvd mvd;
+        mvd.rel = r.U32();
+        mvd.x = ReadAttrs(r);
+        mvd.y = ReadAttrs(r);
+        dep = Dependency(std::move(mvd));
+        break;
+      }
+      default:
+        return BadRecord("bad dependency kind");
+    }
+    std::uint8_t expected = r.U8();
+    if (expected > 1) return BadRecord("bad verdict flag");
+    if (!r.Ok()) return BadRecord("truncated");
+    CCFP_RETURN_NOT_OK(Validate(scheme, *dep));
+    out.universe.push_back(std::move(*dep));
+    out.expected.push_back(expected != 0);
+  }
+  if (!r.Ok()) return BadRecord("truncated");
+  if (!r.AtEnd()) return BadRecord("trailing bytes");
+  return out;
 }
 
 }  // namespace ccfp

@@ -15,7 +15,7 @@ namespace ccfp {
 /// persistence layer that lets a restarted ArmstrongSession or solver
 /// warm-start with no re-interning.
 ///
-/// ## What a snapshot carries
+/// ## What a full snapshot carries
 ///
 /// The *entire* mutable substrate, bit-for-bit restorable:
 ///   * the value interner (values in id order + the fresh-null watermark),
@@ -32,67 +32,260 @@ namespace ccfp {
 ///     and stable group ids — the capital a warm start is meant to keep;
 ///   * the substrate Stats, so a restored session reports continuously;
 ///   * caller-supplied consumer cursors (e.g. a verifier's per-relation
-///     feed positions), so delta consumers resume where they stopped.
+///     feed positions), so delta consumers resume where they stopped;
+///   * an opaque caller `aux` record (e.g. an ArmstrongSession's universe
+///     classification — see SessionClassificationRecord).
 ///
 /// Registered feed cursors are NOT serialized: they belong to live
 /// consumer objects, which are gone after a restart and re-register.
 ///
-/// ## Wire format (version 1)
+/// ## Wire format (version 2)
 ///
 ///   magic "CCFPWS" | u32 version | u64 payload_size | u64 fnv1a64(payload)
 ///   | payload
 ///
 /// All integers little-endian, written byte-by-byte (no aliasing, no
-/// endianness traps under the sanitizers). The payload opens with a
-/// fingerprint of the scheme (relation/attribute names), and load rejects
-/// a snapshot taken under a different scheme. Any damage — bad magic,
-/// unknown version, size mismatch, checksum mismatch, out-of-bounds ids,
-/// truncation anywhere — yields InvalidArgument, never a crash and never
-/// a half-restored workspace.
+/// endianness traps under the sanitizers). The payload opens with a record
+/// kind byte — full (0) or delta (1) — followed by a fingerprint of the
+/// scheme; load rejects a snapshot taken under a different scheme. Any
+/// damage — bad magic, unknown version, size mismatch, checksum mismatch,
+/// out-of-bounds ids, truncation anywhere — yields InvalidArgument, never
+/// a crash and never a half-restored workspace.
 ///
-/// `SaveWorkspaceSnapshot` consults the installed FaultInjector
-/// (util/fault.h) at FaultSite::kSnapshotCorrupt / kSnapshotTruncate and
-/// deliberately damages the bytes it writes when a fault fires, so the
-/// property suites can pin that a damaged file is always rejected.
+/// A record's *identity* is its header checksum (fnv1a64 of the payload).
+/// A delta record embeds the identity of its predecessor, so a chain of
+/// records is hash-linked: a delta left behind by a crashed fold can never
+/// be mistaken for part of the new chain.
+///
+/// ## Delta records
+///
+/// A delta serializes only what changed since the last persisted record:
+/// the interner growth (new values + the fresh-null watermark) and the
+/// workspace's retained mutation journal (see
+/// InternedWorkspace::EnableJournal). Applying a delta replays the journal
+/// through the public mutation API, which reproduces the observable state
+/// exactly — tuple slots, occurrence order, feed windows, stats — and
+/// repairs/extends the restored base's compiled partitions along the way.
+/// Saving a quiescent session is therefore O(in-flight delta), not
+/// O(state).
+///
+/// ## Crash safety (SnapshotWriteOptions)
+///
+/// The default write policy is atomic-and-durable: serialize to
+/// `<path>.tmp`, fsync, rename over `path`, fsync the directory. A crash
+/// at any byte offset leaves `path` holding either the complete previous
+/// snapshot or the complete new one — never a torn file on the primary
+/// path. The installed FaultInjector (util/fault.h) is consulted so every
+/// crash instant is testable deterministically:
+///   * kSnapshotCorrupt / kSnapshotTruncate — the temp write is torn (the
+///     damaged bytes go to the temp file, the save fails before the
+///     rename, the target keeps the old state). Under the non-atomic
+///     legacy policy (`atomic = false`) the damage is written straight to
+///     `path` and the save still reports success — bit rot the *loader*
+///     must detect.
+///   * kSnapshotFsync — crash before the temp file is durable: the save
+///     fails, the target keeps the old state.
+///   * kSnapshotRename — crash immediately *after* the rename lands: the
+///     target holds the new snapshot, but the saver never observed
+///     success (so callers must treat the save as failed and may retry).
 
-/// A deserialized snapshot: the workspace plus the consumer cursors the
-/// saver embedded (same order they were passed; each is a per-relation
-/// sequence vector).
+/// How snapshot bytes reach the filesystem.
+struct SnapshotWriteOptions {
+  /// Write to `<path>.tmp`, fsync, rename — the crash-safe default. When
+  /// false, bytes are written straight to `path` (the legacy policy the
+  /// bit-rot tests use: injected damage lands in the target file and the
+  /// save still reports success).
+  bool atomic = true;
+  /// fsync the temp file before the rename and the directory after it.
+  /// Leave on outside of tests.
+  bool durable = true;
+};
+
+/// A deserialized snapshot: the workspace plus the consumer cursors and
+/// the opaque aux record the saver embedded.
 struct RestoredWorkspace {
   InternedWorkspace ws;
   std::vector<std::vector<std::uint64_t>> consumer_cursors;
+  /// The saver's opaque record (empty if none was passed).
+  std::string aux;
+  /// The record's identity (header checksum) — what the next delta in a
+  /// chain must link to.
+  std::uint64_t snapshot_id = 0;
 };
 
-/// Serializes `ws` (plus optional consumer cursors) to an in-memory blob
-/// in the wire format above.
+/// What ApplyWorkspaceDelta decoded from one delta record.
+struct WorkspaceDeltaInfo {
+  std::uint64_t base_id = 0;  ///< predecessor record this delta extends
+  std::uint64_t id = 0;       ///< this record's identity
+  std::vector<std::vector<std::uint64_t>> consumer_cursors;
+  std::string aux;
+};
+
+/// Serializes `ws` (plus optional consumer cursors and an opaque aux
+/// record) as a *full* record in the wire format above.
 std::string SerializeWorkspace(
     const InternedWorkspace& ws,
-    const std::vector<std::vector<std::uint64_t>>& consumer_cursors = {});
+    const std::vector<std::vector<std::uint64_t>>& consumer_cursors = {},
+    std::string_view aux = {});
 
-/// Parses and validates `bytes`; on success the returned workspace is
-/// observably identical to the serialized one (same ids, same partitions
-/// with the same group ids, same feed window, same stats). `scheme` must
-/// match the saved fingerprint.
+/// Serializes the changes since the last persisted record — the interner
+/// growth plus the retained mutation journal — as a *delta* record linked
+/// to `ws.SnapshotBaseId()`. FailedPrecondition unless the workspace has
+/// journaling enabled and a persisted base to link to.
+Result<std::string> SerializeWorkspaceDelta(
+    const InternedWorkspace& ws,
+    const std::vector<std::vector<std::uint64_t>>& consumer_cursors = {},
+    std::string_view aux = {});
+
+/// Parses and validates a *full* record; on success the returned workspace
+/// is observably identical to the serialized one (same ids, same
+/// partitions with the same group ids, same feed window, same stats) and
+/// carries the record's identity as its snapshot base (so a delta chain
+/// can continue from it). `scheme` must match the saved fingerprint.
 Result<RestoredWorkspace> DeserializeWorkspace(SchemePtr scheme,
                                                std::string_view bytes);
 
-/// Serializes and writes to `path` (atomically enough for tests: write to
-/// `path` directly; callers needing crash-safe rename own that policy).
-/// Injected kSnapshotCorrupt / kSnapshotTruncate faults damage the bytes
-/// *before* the write, simulating a torn or bit-rotted file.
+/// Validates a *delta* record against `ws` and replays it: applies the
+/// interner growth, then the journal through the public mutation API, and
+/// re-bases the workspace's snapshot identity onto this record.
+/// FailedPrecondition when the delta's base link does not match
+/// `ws.SnapshotBaseId()` (a stale record from before a fold) — `ws` is
+/// untouched in that case. InvalidArgument on damage; the workspace may
+/// then be half-applied and must be discarded (chain loads discard the
+/// whole restore).
+Result<WorkspaceDeltaInfo> ApplyWorkspaceDelta(InternedWorkspace& ws,
+                                               std::string_view bytes);
+
+/// Serializes a full record and writes it to `path` under `write` (atomic
+/// + durable by default; see SnapshotWriteOptions). On success the
+/// workspace's journal is marked persisted, so a subsequent delta save
+/// serializes only later mutations.
 Status SaveWorkspaceSnapshot(
     const InternedWorkspace& ws, const std::string& path,
-    const std::vector<std::vector<std::uint64_t>>& consumer_cursors = {});
+    const std::vector<std::vector<std::uint64_t>>& consumer_cursors = {},
+    const SnapshotWriteOptions& write = {});
 
-/// Reads `path` and deserializes. NotFound if the file cannot be read.
+/// Reads `path` and deserializes a full record. NotFound if the file
+/// cannot be read.
 Result<RestoredWorkspace> LoadWorkspaceSnapshot(SchemePtr scheme,
                                                 const std::string& path);
+
+/// When a chain folds its deltas back into a full base snapshot.
+struct SnapshotChainPolicy {
+  /// Fold after this many deltas (each load replays every delta, so this
+  /// caps restore cost).
+  std::size_t max_deltas = 8;
+  /// Fold when cumulative on-disk delta bytes exceed this percentage of
+  /// the base's bytes (0 disables the byte trigger).
+  std::uint32_t fold_delta_percent = 50;
+};
+
+/// A chain restored from disk: the replayed workspace plus enough
+/// bookkeeping for a SnapshotChainWriter to continue the chain.
+struct RestoredChain {
+  RestoredWorkspace restored;  ///< cursors/aux are the *tip* record's
+  std::size_t deltas_applied = 0;
+  std::uint64_t base_bytes = 0;
+  std::uint64_t delta_bytes = 0;  ///< cumulative on-disk delta bytes
+};
+
+/// Owns the on-disk layout of one snapshot chain: `<prefix>.base` plus
+/// `<prefix>.delta.1`, `<prefix>.delta.2`, ... Every record is written
+/// under the configured SnapshotWriteOptions (atomic + durable by
+/// default), and the workspace's journal is marked persisted only after a
+/// durable success — a save that fails (or "crashes" via the injector)
+/// keeps the journal, and the retried save simply rewrites a superset
+/// record at the same chain position.
+///
+/// `Save` writes a full base on the first call (enabling the workspace's
+/// journal for subsequent deltas), a delta while the fold policy allows,
+/// and folds the chain back into a fresh base when it does not. Folding
+/// is crash-safe by linkage: the new base is renamed into place first and
+/// stale delta files are deleted best-effort afterwards — a crash in
+/// between leaves deltas whose base link no longer matches, which loads
+/// treat as end-of-chain.
+class SnapshotChainWriter {
+ public:
+  explicit SnapshotChainWriter(std::string prefix,
+                               SnapshotChainPolicy policy = {},
+                               SnapshotWriteOptions write = {});
+
+  /// Writes the next chain record for `ws` (base or delta per the policy
+  /// above). On success the workspace journal is marked persisted.
+  Status Save(const InternedWorkspace& ws,
+              const std::vector<std::vector<std::uint64_t>>&
+                  consumer_cursors = {},
+              std::string_view aux = {});
+
+  /// Continues a chain restored by LoadSnapshotChain: the next Save
+  /// appends a delta after the restored tip instead of rewriting a base.
+  void Adopt(const RestoredChain& chain);
+
+  const std::string& prefix() const { return prefix_; }
+  bool has_base() const { return has_base_; }
+  std::size_t delta_count() const { return deltas_; }
+  std::uint64_t tip_id() const { return tip_id_; }
+
+  std::string BasePath() const;
+  std::string DeltaPath(std::size_t k) const;  ///< k = 1, 2, ...
+
+ private:
+  Status SaveBase(const InternedWorkspace& ws,
+                  const std::vector<std::vector<std::uint64_t>>& cursors,
+                  std::string_view aux);
+  Status SaveDelta(const InternedWorkspace& ws,
+                   const std::vector<std::vector<std::uint64_t>>& cursors,
+                   std::string_view aux);
+
+  std::string prefix_;
+  SnapshotChainPolicy policy_;
+  SnapshotWriteOptions write_;
+  bool has_base_ = false;
+  std::size_t deltas_ = 0;
+  std::uint64_t tip_id_ = 0;
+  std::uint64_t base_bytes_ = 0;
+  std::uint64_t delta_bytes_ = 0;
+};
+
+/// Loads `<prefix>.base` and replays every linked `<prefix>.delta.k` in
+/// order (`LoadChain` of the chain layout above). A delta whose base link
+/// does not match the running tip — a stale leftover from before a fold —
+/// ends the chain; a damaged record fails the whole load with
+/// InvalidArgument. The restored workspace has journaling enabled and its
+/// snapshot identity at the chain tip, ready for a SnapshotChainWriter
+/// (`Adopt`) to continue.
+Result<RestoredChain> LoadSnapshotChain(SchemePtr scheme,
+                                        const std::string& prefix);
+
+/// The universe classification an ArmstrongSession persists alongside its
+/// workspace (as the chain records' `aux` payload) so a warm start skips
+/// the oracle re-classification replay entirely: every universe member in
+/// classification order, with its oracle verdict.
+struct SessionClassificationRecord {
+  std::vector<Dependency> universe;
+  std::vector<bool> expected;  ///< parallel to universe
+};
+
+/// Serializes `record` to a self-describing byte string (its own magic +
+/// version; integrity is the enclosing snapshot record's checksum).
+std::string SerializeSessionRecord(const SessionClassificationRecord& record);
+
+/// Parses and validates a session record against `scheme` (every
+/// dependency is Validate()d). InvalidArgument on damage.
+Result<SessionClassificationRecord> DeserializeSessionRecord(
+    const DatabaseScheme& scheme, std::string_view bytes);
 
 /// FNV-1a 64 over `bytes` — the snapshot checksum, exposed for tests.
 std::uint64_t Fnv1a64(std::string_view bytes);
 
-/// The current wire-format version.
-inline constexpr std::uint32_t kWorkspaceSnapshotVersion = 1;
+/// The current wire-format version. Version 2 added the record kind byte,
+/// delta records, and the aux record; load rejects other versions (a
+/// snapshot is a cache of capital, not a system of record).
+inline constexpr std::uint32_t kWorkspaceSnapshotVersion = 2;
+
+/// Record kind byte at the start of every payload.
+inline constexpr std::uint8_t kSnapshotRecordFull = 0;
+inline constexpr std::uint8_t kSnapshotRecordDelta = 1;
 
 }  // namespace ccfp
 

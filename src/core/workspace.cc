@@ -75,11 +75,26 @@ void InternedWorkspace::RegisterOccurrences(RelId rel, std::uint32_t idx,
   occurrence_refs_ += t.size();
 }
 
+void InternedWorkspace::JournalRecord(WorkspaceJournalEntry e) const {
+  if (!journal_enabled_) return;
+  journal_bytes_ += sizeof(WorkspaceJournalEntry) +
+                    static_cast<std::uint64_t>(e.ids.size()) *
+                        sizeof(ValueId);
+  journal_.push_back(std::move(e));
+}
+
 bool InternedWorkspace::Append(RelId rel, IdTuple t) {
   RelStore& rs = rels_[rel];
   std::uint32_t idx = static_cast<std::uint32_t>(rs.tuples.size());
   auto [it, inserted] = rs.dedup.emplace(std::move(t), idx);
   if (!inserted) return false;
+  if (journal_enabled_) {
+    WorkspaceJournalEntry e;
+    e.op = WorkspaceJournalEntry::Op::kAppend;
+    e.rel = rel;
+    e.ids = it->first;
+    JournalRecord(std::move(e));
+  }
   RegisterOccurrences(rel, idx, it->first);
   tuple_id_cells_ += it->first.size();
   rs.tuples.push_back(it->first);
@@ -119,11 +134,27 @@ InternedWorkspace::MergeResult InternedWorkspace::MergeValues(ValueId a,
   result.loser = u.loser;
   result.merged = u.merged;
   result.clash = u.clash;
-  if (u.merged) ++stats_.value_merges;
+  if (u.merged) {
+    ++stats_.value_merges;
+    if (journal_enabled_) {
+      WorkspaceJournalEntry e;
+      e.op = WorkspaceJournalEntry::Op::kMerge;
+      e.a = a;
+      e.b = b;
+      JournalRecord(std::move(e));
+    }
+  }
   return result;
 }
 
 void InternedWorkspace::RerouteOccurrences(ValueId loser, ValueId winner) {
+  if (journal_enabled_) {
+    WorkspaceJournalEntry e;
+    e.op = WorkspaceJournalEntry::Op::kReroute;
+    e.a = loser;
+    e.b = winner;
+    JournalRecord(std::move(e));
+  }
   std::vector<WorkspaceTupleRef>& from = occurrences_[loser];
   std::vector<WorkspaceTupleRef>& to = occurrences_[winner];
   to.insert(to.end(), from.begin(), from.end());
@@ -184,6 +215,13 @@ InternedWorkspace::CanonOutcome InternedWorkspace::CanonicalizeTuple(
     }
   }
   if (!changed) return CanonOutcome::kUnchanged;
+  if (journal_enabled_) {
+    WorkspaceJournalEntry e;
+    e.op = WorkspaceJournalEntry::Op::kCanonicalize;
+    e.rel = rel;
+    e.idx = idx;
+    JournalRecord(std::move(e));
+  }
   auto old_it = rs.dedup.find(stored);
   if (old_it != rs.dedup.end() && old_it->second == idx) {
     rs.dedup.erase(old_it);
@@ -349,11 +387,19 @@ std::uint64_t InternedWorkspace::TrimFeedTo(RelId rel,
   rs.feed_base = horizon;
   ++stats_.feed_compactions;
   stats_.feed_events_compacted += dropped;
+  if (journal_enabled_) {
+    WorkspaceJournalEntry e;
+    e.op = WorkspaceJournalEntry::Op::kTrim;
+    e.rel = rel;
+    e.horizon = horizon;
+    JournalRecord(std::move(e));
+  }
   return dropped;
 }
 
 MemoryBreakdown InternedWorkspace::MemoryUsage() const {
   MemoryBreakdown mb;
+  mb.journal = journal_bytes_;
   mb.tuple_store =
       tuple_id_cells_ * sizeof(ValueId) +
       static_cast<std::uint64_t>(stats_.tuples_appended) *

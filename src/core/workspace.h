@@ -41,6 +41,31 @@ struct WorkspaceEvent {
   std::uint32_t idx = 0;
 };
 
+/// One entry of the opt-in mutation journal (EnableJournal): the logical
+/// operation log delta snapshots serialize (core/snapshot.h wire format
+/// v2). Replaying retained entries through the public mutation API
+/// reproduces the workspace's *observable* state exactly — including
+/// occurrence-list order (which drives deterministic chase worklists) and
+/// per-relation feed windows. The change feed alone cannot: its events
+/// carry no payloads, and a value merge between tuple-less ids publishes
+/// no event at all.
+struct WorkspaceJournalEntry {
+  enum class Op : std::uint8_t {
+    kAppend = 0,        ///< Append(rel, ids) inserted a new slot
+    kMerge = 1,         ///< MergeValues(a, b) actually merged
+    kReroute = 2,       ///< RerouteOccurrences(loser, winner)
+    kCanonicalize = 3,  ///< CanonicalizeTuple(rel, idx) changed the slot
+    kTrim = 4,          ///< TrimFeedTo(rel, horizon) dropped events
+  };
+  Op op = Op::kAppend;
+  std::uint32_t rel = 0;      ///< kAppend / kCanonicalize / kTrim
+  std::uint32_t idx = 0;      ///< kCanonicalize: the slot
+  ValueId a = 0;              ///< kMerge: a; kReroute: loser
+  ValueId b = 0;              ///< kMerge: b; kReroute: winner
+  std::uint64_t horizon = 0;  ///< kTrim: the (clamped) new feed base
+  IdTuple ids;                ///< kAppend: the raw stored ids
+};
+
 /// The persistent interned substrate shared by every engine that used to
 /// re-intern per call: the FD+IND chase (chase/workspace_chase.h), the
 /// EMVD chase (chase/emvd_chase.h), Armstrong build -> chase -> verify ->
@@ -279,6 +304,49 @@ class InternedWorkspace {
   /// their rebuild path can be exercised. Returns the events dropped.
   std::uint64_t TrimFeedTo(RelId rel, std::uint64_t horizon);
 
+  /// --- mutation journal (incremental persistence) -------------------------
+  ///
+  /// Off by default (hot paths and non-persisting sessions pay nothing —
+  /// every mutator's journal hook is one branch on a bool). A session
+  /// that persists through delta snapshots (core/snapshot.h) enables the
+  /// journal once; from then on every state-changing mutation appends one
+  /// entry, and a delta snapshot serializes exactly the retained suffix
+  /// plus the interner growth since the last persisted record. After a
+  /// record is durably written, `MarkJournalPersisted` drops the suffix —
+  /// so a quiescent session's journal, like its compacted feed, stays
+  /// O(in-flight delta).
+
+  /// Turns journaling on (idempotent). Entries accrue from this point.
+  /// Const like the cursor registry: persistence bookkeeping, enabled
+  /// from const save/restore paths.
+  void EnableJournal() const { journal_enabled_ = true; }
+  bool journal_enabled() const { return journal_enabled_; }
+  /// The retained (not yet persisted) entries, oldest first.
+  const std::vector<WorkspaceJournalEntry>& journal() const {
+    return journal_;
+  }
+  /// Logical bytes of the retained journal (MemoryUsage().journal).
+  std::uint64_t JournalBytes() const { return journal_bytes_; }
+  /// Interner size at the last persisted record: values [this, size())
+  /// are the growth a delta snapshot must carry.
+  std::uint64_t JournalValuesBase() const { return journal_values_base_; }
+  /// Identity (header checksum) of the last chain record this state was
+  /// persisted as / restored from; a delta snapshot links to it.
+  std::uint64_t SnapshotBaseId() const { return snapshot_base_id_; }
+  bool HasSnapshotBase() const { return has_snapshot_base_; }
+  /// Called by the snapshot layer after the retained journal was durably
+  /// persisted as (or restored from) chain record `id`: drops the
+  /// retained entries and re-bases the chain identity. Const like the
+  /// cursor registry — persistence bookkeeping, not observable
+  /// tuple/feed state (saves take a const workspace).
+  void MarkJournalPersisted(std::uint64_t id) const {
+    journal_.clear();
+    journal_bytes_ = 0;
+    journal_values_base_ = interner_.size();
+    snapshot_base_id_ = id;
+    has_snapshot_base_ = true;
+  }
+
   /// --- merging (the chase's equality-generating moves) --------------------
 
   struct MergeResult {
@@ -401,6 +469,8 @@ class InternedWorkspace {
   };
 
   void RegisterOccurrences(RelId rel, std::uint32_t idx, const IdTuple& t);
+  /// Appends `e` to the mutation journal when journaling is on.
+  void JournalRecord(WorkspaceJournalEntry e) const;
   /// Incorporates slots [from, size) into `cp` (skipping dead ones).
   void ExtendPartition(RelId rel, const std::vector<AttrId>& cols,
                        CachedPartition& cp) const;
@@ -428,6 +498,15 @@ class InternedWorkspace {
   mutable std::vector<std::map<std::vector<AttrId>, CachedPartition>>
       partitions_;
   mutable Stats stats_;
+  /// Mutation journal (see EnableJournal). Mutable for the same reason as
+  /// cursors_: persistence bookkeeping updated from const save paths
+  /// (MarkJournalPersisted) and suppressed during const-disabled replay.
+  mutable bool journal_enabled_ = false;
+  mutable std::vector<WorkspaceJournalEntry> journal_;
+  mutable std::uint64_t journal_bytes_ = 0;
+  mutable std::uint64_t journal_values_base_ = 0;
+  mutable std::uint64_t snapshot_base_id_ = 0;
+  mutable bool has_snapshot_base_ = false;
 };
 
 }  // namespace ccfp

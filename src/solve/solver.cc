@@ -225,6 +225,12 @@ Status ImplicationSolver::ValidateInputs(const Dependency& target) const {
 Result<Verdict> ImplicationSolver::Solve(const Dependency& target,
                                          const Budget& budget) {
   CCFP_RETURN_NOT_OK(ValidateInputs(target));
+  // The cache's pinned workspaces are live solver state, so they count
+  // against the query's byte ceiling like everything else: shrink the
+  // cache (coldest witness first) before running the stages under it.
+  if (options_.use_witness_cache && budget.bytes != UINT64_MAX) {
+    witness_cache_->EnforceByteCeiling(budget.bytes);
+  }
   Verdict v;
   v.semantics = options_.semantics;
   v.fragment = Classify(target);

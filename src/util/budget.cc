@@ -43,6 +43,7 @@ Budget Budget::Split(unsigned parts) const {
   if (parts <= 1) return *this;
   Budget share = *this;
   auto divide = [parts](std::uint64_t amount) {
+    if (amount == 0) return std::uint64_t{0};  // drained stays drained
     std::uint64_t slice = amount / parts;
     return slice == 0 ? std::uint64_t{1} : slice;
   };

@@ -81,9 +81,14 @@ struct Budget {
   static Budget WithByteCeiling(std::uint64_t limit);
 
   /// Staged allocation: an even share of every counter for one of `parts`
-  /// sequential stages (each at least 1 so a stage can always fire once);
-  /// the deadline and the byte ceiling — limits on shared state, not
-  /// consumable rates — pass through unchanged.
+  /// sequential stages; the deadline and the byte ceiling — limits on
+  /// shared state, not consumable rates — pass through unchanged.
+  ///
+  /// Drained-share semantics: a *nonzero* counter splits to at least 1
+  /// (so a stage handed a sliver can always fire once), but a counter
+  /// already at 0 splits to 0 — a fully drained budget must hand every
+  /// stage a drained share, not resurrect one step per stage. Engines
+  /// treat a 0 counter as immediate ResourceExhausted.
   Budget Split(unsigned parts) const;
 
   /// True iff a deadline is set and has passed.

@@ -20,6 +20,10 @@ const char* FaultSiteToString(FaultSite site) {
       return "SnapshotCorrupt";
     case FaultSite::kSnapshotTruncate:
       return "SnapshotTruncate";
+    case FaultSite::kSnapshotFsync:
+      return "SnapshotFsync";
+    case FaultSite::kSnapshotRename:
+      return "SnapshotRename";
   }
   return "?";
 }

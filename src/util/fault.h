@@ -29,9 +29,17 @@ enum class FaultSite : std::uint8_t {
   /// Snapshot serialization: the written bytes are truncated at a seeded
   /// offset — the partial-write crash a restore must survive.
   kSnapshotTruncate = 4,
+  /// Atomic snapshot write (core/snapshot.h SnapshotWriter): the process
+  /// dies before the temp file is fsynced — the temp file may be torn,
+  /// the target path still holds the previous snapshot.
+  kSnapshotFsync = 5,
+  /// Atomic snapshot write: the process dies immediately *after* the
+  /// rename lands — the target path holds the complete new snapshot, but
+  /// the saver never observed success.
+  kSnapshotRename = 6,
 };
 
-inline constexpr std::size_t kFaultSiteCount = 5;
+inline constexpr std::size_t kFaultSiteCount = 7;
 
 const char* FaultSiteToString(FaultSite site);
 

@@ -7,9 +7,9 @@ namespace ccfp {
 std::string MemoryBreakdown::ToString() const {
   return StrCat("tuple_store=", tuple_store, " dedup=", dedup_index,
                 " occurrences=", occurrences, " feed=", feed,
-                " partitions=", partitions, " interner=", interner,
-                " watchers=", watchers, " other=", other,
-                " total=", Total());
+                " journal=", journal, " partitions=", partitions,
+                " interner=", interner, " watchers=", watchers,
+                " other=", other, " total=", Total());
 }
 
 }  // namespace ccfp

@@ -30,14 +30,15 @@ struct MemoryBreakdown {
   std::uint64_t dedup_index = 0;   ///< per-relation duplicate tables
   std::uint64_t occurrences = 0;   ///< per-value-id occurrence lists
   std::uint64_t feed = 0;          ///< retained change-feed events
+  std::uint64_t journal = 0;       ///< retained mutation-journal entries
   std::uint64_t partitions = 0;    ///< cached projection partitions
   std::uint64_t interner = 0;      ///< value table + id map + union-find
   std::uint64_t watchers = 0;      ///< verifier trackers/counters/watchers
   std::uint64_t other = 0;         ///< engine-local state (worklists, ...)
 
   std::uint64_t Total() const {
-    return tuple_store + dedup_index + occurrences + feed + partitions +
-           interner + watchers + other;
+    return tuple_store + dedup_index + occurrences + feed + journal +
+           partitions + interner + watchers + other;
   }
 
   MemoryBreakdown& Add(const MemoryBreakdown& o) {
@@ -45,6 +46,7 @@ struct MemoryBreakdown {
     dedup_index += o.dedup_index;
     occurrences += o.occurrences;
     feed += o.feed;
+    journal += o.journal;
     partitions += o.partitions;
     interner += o.interner;
     watchers += o.watchers;

@@ -1,20 +1,59 @@
 #include "verify/witness_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace ccfp {
 
 WitnessCache::WitnessCache(SchemePtr scheme, std::vector<Dependency> sigma,
-                           std::size_t capacity)
+                           std::size_t capacity,
+                           std::size_t max_watches_per_entry)
     : scheme_(std::move(scheme)),
       sigma_(std::move(sigma)),
-      capacity_(capacity) {}
+      capacity_(capacity),
+      // The reset path re-registers sigma, so the cap must leave room for
+      // sigma plus at least one probed target.
+      max_watches_per_entry_(
+          std::max(max_watches_per_entry, sigma_.size() + 1)) {}
 
 void WitnessCache::Touch(std::size_t i) {
   if (i + 1 == entries_.size()) return;
   std::unique_ptr<Entry> e = std::move(entries_[i]);
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
   entries_.push_back(std::move(e));
+}
+
+IncrementalVerifier& WitnessCache::ProbeVerifier(Entry& e) {
+  if (e.verifier->watch_count() >= max_watches_per_entry_) {
+    // The watcher set has absorbed max_watches distinct targets; rebuild
+    // it fresh over sigma alone. The pinned workspace (with its compiled
+    // partitions) stays, so re-registering is the cheap part of the
+    // original admission, and the verdicts are unchanged — only cold
+    // per-target counters are dropped.
+    e.verifier = std::make_unique<IncrementalVerifier>(&e.ws);
+    for (const Dependency& dep : sigma_) e.verifier->Watch(dep);
+    ++stats_.watcher_resets;
+  }
+  return *e.verifier;
+}
+
+std::uint64_t WitnessCache::MemoryBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) {
+    MemoryBreakdown mb = e->ws.MemoryUsage();
+    // The pinned heap Database copy mirrors the workspace's tuple store;
+    // count it as a second tuple store rather than walking heap Values.
+    total += mb.Total() + mb.tuple_store + e->verifier->MemoryBytes();
+  }
+  return total;
+}
+
+void WitnessCache::EnforceByteCeiling(std::uint64_t limit) {
+  while (!entries_.empty() && MemoryBytes() > limit) {
+    entries_.pop_front();
+    ++stats_.evicted;
+    ++stats_.byte_evictions;
+  }
 }
 
 bool WitnessCache::Admit(const Database& db, const Dependency& target,
@@ -27,7 +66,8 @@ bool WitnessCache::Admit(const Database& db, const Dependency& target,
     Entry* e = entries_[i].get();
     if (e->db == db) {
       if (violates_target != nullptr) {
-        *violates_target = !e->verifier.Satisfies(e->verifier.Watch(target));
+        IncrementalVerifier& v = ProbeVerifier(*e);
+        *violates_target = !v.Satisfies(v.Watch(target));
       }
       Touch(i);
       return true;
@@ -37,7 +77,7 @@ bool WitnessCache::Admit(const Database& db, const Dependency& target,
   entry->ws.AppendDatabase(db);
   bool sigma_ok = true;
   for (const Dependency& dep : sigma_) {
-    if (!entry->verifier.Satisfies(entry->verifier.Watch(dep))) {
+    if (!entry->verifier->Satisfies(entry->verifier->Watch(dep))) {
       sigma_ok = false;
       break;
     }
@@ -45,7 +85,7 @@ bool WitnessCache::Admit(const Database& db, const Dependency& target,
   if (violates_target != nullptr) {
     *violates_target =
         sigma_ok &&
-        !entry->verifier.Satisfies(entry->verifier.Watch(target));
+        !entry->verifier->Satisfies(entry->verifier->Watch(target));
   }
   if (!sigma_ok) {
     ++stats_.rejected;
@@ -65,7 +105,8 @@ bool WitnessCache::Admit(const Database& db, const Dependency& target,
 const Database* WitnessCache::Refute(const Dependency& target) {
   ++stats_.probes;
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (!entries_[i]->verifier.Satisfies(entries_[i]->verifier.Watch(target))) {
+    IncrementalVerifier& v = ProbeVerifier(*entries_[i]);
+    if (!v.Satisfies(v.Watch(target))) {
       ++stats_.hits;
       Touch(i);
       return &entries_.back()->db;

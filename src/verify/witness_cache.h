@@ -40,6 +40,11 @@ class WitnessCache {
     std::uint64_t probes = 0;     ///< Refute calls
     std::uint64_t hits = 0;       ///< Refute calls answered from cache
     std::uint64_t misses = 0;     ///< Refute calls no entry answered
+    /// Per-entry verifiers rebuilt because their watcher set hit the
+    /// watch cap (see the constructor) — the bound on per-entry growth.
+    std::uint64_t watcher_resets = 0;
+    /// Entries dropped by EnforceByteCeiling (counted in `evicted` too).
+    std::uint64_t byte_evictions = 0;
   };
 
   /// `sigma` should be the solver's non-trivial members; `capacity` bounds
@@ -47,11 +52,32 @@ class WitnessCache {
   /// a hit or duplicate re-admission refreshes an entry's recency, so a
   /// witness that keeps refuting new targets stays resident while
   /// one-shot witnesses age out).
+  ///
+  /// `max_watches_per_entry` bounds the *per-entry* watcher growth: every
+  /// distinct probed target registers one watcher on every cached entry,
+  /// and the verifier has no unwatch, so an unbounded probe stream would
+  /// otherwise grow every entry without limit. When an entry reaches the
+  /// cap, its verifier is rebuilt fresh over sigma alone (cheap — the
+  /// workspace's partitions are already compiled, and sigma's verdicts
+  /// are re-established from them) and probed targets re-register on
+  /// demand, trading the coldest watchers for bounded memory.
   WitnessCache(SchemePtr scheme, std::vector<Dependency> sigma,
-               std::size_t capacity = 8);
+               std::size_t capacity = 8,
+               std::size_t max_watches_per_entry = 64);
 
   const Stats& stats() const { return stats_; }
   std::size_t size() const { return entries_.size(); }
+
+  /// Logical bytes of live cache state: per entry, the pinned workspace,
+  /// the pinned heap Database copy, and the verifier's watcher state —
+  /// the number EnforceByteCeiling compares against `Budget::bytes`.
+  std::uint64_t MemoryBytes() const;
+
+  /// Evicts coldest-first until MemoryBytes() <= `limit` (the solver
+  /// calls this with the query's `Budget::bytes` ceiling so the cache is
+  /// counted against the caller's live-state budget rather than growing
+  /// beside it). May empty the cache entirely.
+  void EnforceByteCeiling(std::uint64_t limit);
 
   /// Offers `db` to the cache. The database is interned into a fresh
   /// workspace and sigma is verified through watchers; a candidate that
@@ -75,18 +101,26 @@ class WitnessCache {
     /// interned `ws` copy alone.
     Database db;
     InternedWorkspace ws;
-    IncrementalVerifier verifier;
+    /// Behind a unique_ptr so the watch-cap reset can rebuild it (the
+    /// verifier itself is non-movable — it registers a feed cursor).
+    std::unique_ptr<IncrementalVerifier> verifier;
 
     explicit Entry(SchemePtr scheme)
-        : db(scheme), ws(std::move(scheme)), verifier(&ws) {}
+        : db(scheme),
+          ws(std::move(scheme)),
+          verifier(std::make_unique<IncrementalVerifier>(&ws)) {}
   };
 
   /// Moves entries_[i] to the back (most-recently-used position).
   void Touch(std::size_t i);
+  /// The entry's verifier, rebuilt fresh over sigma when its watcher set
+  /// has reached max_watches_per_entry (see the constructor).
+  IncrementalVerifier& ProbeVerifier(Entry& e);
 
   SchemePtr scheme_;
   std::vector<Dependency> sigma_;
   std::size_t capacity_;
+  std::size_t max_watches_per_entry_;
   /// LRU order: front = coldest (next eviction), back = hottest.
   std::deque<std::unique_ptr<Entry>> entries_;
   Stats stats_;

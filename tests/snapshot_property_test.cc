@@ -124,13 +124,18 @@ TEST_P(SnapshotPropertyTest, InjectedSaveFaultsAlwaysRejectedAtLoad) {
 
   std::string path = ::testing::TempDir() + "/ccfp_snapshot_prop_" +
                      std::to_string(GetParam()) + ".bin";
+  // Non-atomic legacy policy: the damage must reach the target file (the
+  // atomic default confines it to the temp file and fails the save —
+  // snapshot_crash_property_test exercises that side).
+  SnapshotWriteOptions direct;
+  direct.atomic = false;
   FaultInjector fi(GetParam());
   FaultSite site = rng.Chance(1, 2) ? FaultSite::kSnapshotCorrupt
                                     : FaultSite::kSnapshotTruncate;
   fi.Arm(site, 0);
   {
     ScopedFaultInjector scope(&fi);
-    ASSERT_TRUE(SaveWorkspaceSnapshot(ws, path).ok());
+    ASSERT_TRUE(SaveWorkspaceSnapshot(ws, path, {}, direct).ok());
   }
   ASSERT_EQ(fi.fired(site), 1u);
   Result<RestoredWorkspace> damaged = LoadWorkspaceSnapshot(scheme, path);

@@ -192,17 +192,21 @@ TEST(SnapshotTest, MissingFileIsNotFound) {
 }
 
 TEST(SnapshotTest, InjectedCorruptionIsDetectedAtLoad) {
-  // The save-side kSnapshotCorrupt fault simulates bit rot between save
-  // and load: the save itself succeeds, the load must reject.
+  // The save-side kSnapshotCorrupt fault under the *non-atomic* legacy
+  // policy simulates bit rot between save and load: the save itself
+  // succeeds, the load must reject. (Under the atomic default the damage
+  // never reaches the target — snapshot_crash_property_test covers that.)
   SchemePtr scheme = TwoRelScheme();
   InternedWorkspace ws = PopulatedWorkspace(scheme, nullptr);
   std::string path = ::testing::TempDir() + "/ccfp_snapshot_corrupt.bin";
+  SnapshotWriteOptions direct;
+  direct.atomic = false;
 
   FaultInjector fi(99);
   fi.Arm(FaultSite::kSnapshotCorrupt, 0);
   {
     ScopedFaultInjector scope(&fi);
-    ASSERT_TRUE(SaveWorkspaceSnapshot(ws, path).ok());
+    ASSERT_TRUE(SaveWorkspaceSnapshot(ws, path, {}, direct).ok());
   }
   EXPECT_EQ(fi.fired(FaultSite::kSnapshotCorrupt), 1u);
   Result<RestoredWorkspace> restored = LoadWorkspaceSnapshot(scheme, path);
@@ -211,17 +215,19 @@ TEST(SnapshotTest, InjectedCorruptionIsDetectedAtLoad) {
 }
 
 TEST(SnapshotTest, InjectedTruncationIsDetectedAtLoad) {
-  // kSnapshotTruncate simulates the torn partial write of a crash
-  // mid-save.
+  // kSnapshotTruncate under the non-atomic legacy policy simulates the
+  // torn partial write of a crash mid-save reaching the target file.
   SchemePtr scheme = TwoRelScheme();
   InternedWorkspace ws = PopulatedWorkspace(scheme, nullptr);
   std::string path = ::testing::TempDir() + "/ccfp_snapshot_truncated.bin";
+  SnapshotWriteOptions direct;
+  direct.atomic = false;
 
   FaultInjector fi(7);
   fi.Arm(FaultSite::kSnapshotTruncate, 0);
   {
     ScopedFaultInjector scope(&fi);
-    ASSERT_TRUE(SaveWorkspaceSnapshot(ws, path).ok());
+    ASSERT_TRUE(SaveWorkspaceSnapshot(ws, path, {}, direct).ok());
   }
   EXPECT_EQ(fi.fired(FaultSite::kSnapshotTruncate), 1u);
   Result<RestoredWorkspace> restored = LoadWorkspaceSnapshot(scheme, path);

@@ -212,6 +212,41 @@ inline void CheckAgreement(const InternedWorkspace& ws,
   }
 }
 
+/// Asserts two workspaces are *observably* equivalent: same materialized
+/// database, same raw stored ids and alive flags per slot, and the same
+/// retained feed windows. Deliberately does NOT compare the union-find
+/// arrays or the partition-maintenance stats: a journal-replayed
+/// workspace takes its own path-halving history (fewer Finds than the
+/// live one ran), and its consumers compile partitions on their own
+/// schedule — neither is observable through verdicts, witnesses, or
+/// exports, which is the equivalence the snapshot layer promises.
+inline void ExpectObservablyEquivalent(const InternedWorkspace& a,
+                                       const InternedWorkspace& b) {
+  ASSERT_EQ(a.scheme().size(), b.scheme().size());
+  EXPECT_EQ(a.Materialize().ToString(), b.Materialize().ToString());
+  for (RelId rel = 0; rel < a.scheme().size(); ++rel) {
+    ASSERT_EQ(a.size(rel), b.size(rel)) << "slot count, rel " << rel;
+    EXPECT_EQ(a.AliveTuples(rel), b.AliveTuples(rel));
+    ASSERT_EQ(a.FeedBase(rel), b.FeedBase(rel)) << "feed horizon";
+    ASSERT_EQ(a.EventCount(rel), b.EventCount(rel)) << "feed tip";
+    for (std::uint64_t s = a.FeedBase(rel); s < a.EventCount(rel); ++s) {
+      EXPECT_EQ(a.event(rel, s).kind, b.event(rel, s).kind);
+      EXPECT_EQ(a.event(rel, s).idx, b.event(rel, s).idx);
+    }
+    for (std::uint32_t i = 0; i < a.size(rel); ++i) {
+      ASSERT_EQ(a.alive(rel, i), b.alive(rel, i)) << "slot " << i;
+      ASSERT_EQ(a.tuple(rel, i), b.tuple(rel, i))
+          << "raw stored ids, rel " << rel << " slot " << i;
+    }
+  }
+  // Mutation counters are part of the replayed history (unlike the
+  // partition counters, which track each side's own query schedule).
+  EXPECT_EQ(a.stats().tuples_appended, b.stats().tuples_appended);
+  EXPECT_EQ(a.stats().tuples_killed, b.stats().tuples_killed);
+  EXPECT_EQ(a.stats().value_merges, b.stats().value_merges);
+  EXPECT_EQ(a.stats().values_interned, b.stats().values_interned);
+}
+
 }  // namespace testutil
 }  // namespace ccfp
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "util/budget.h"
 #include "util/permutation.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -181,6 +182,43 @@ TEST(Uint128Test, ToStringSmallAndLarge) {
   EXPECT_EQ(Uint128ToString(12345), "12345");
   unsigned __int128 big = static_cast<unsigned __int128>(1) << 100;
   EXPECT_EQ(Uint128ToString(big), "1267650600228229401496703205376");
+}
+
+// --- Budget ----------------------------------------------------------------
+
+TEST(BudgetTest, SplitSharesEveryCounterWithAFloorOfOne) {
+  Budget b;
+  b.steps = 10;
+  b.tuples = 3;
+  b.expressions = 100;
+  Budget share = b.Split(4);
+  EXPECT_EQ(share.steps, 2u);
+  EXPECT_EQ(share.expressions, 25u);
+  // A nonzero counter smaller than the part count still yields a sliver
+  // of 1: every stage can fire at least once.
+  EXPECT_EQ(share.tuples, 1u);
+  // Byte ceiling and deadline bound *shared* state, not consumable
+  // rates: they pass through unchanged.
+  EXPECT_EQ(share.bytes, b.bytes);
+  EXPECT_EQ(share.deadline, b.deadline);
+}
+
+TEST(BudgetTest, SplitOfADrainedCounterStaysDrained) {
+  // The regression this pins: the floor-of-one used to apply to drained
+  // counters too, so splitting an exhausted budget resurrected one step
+  // per stage and a hard stop leaked extra work downstream. A counter
+  // at 0 must split to 0 (engines treat 0 as immediate exhaustion).
+  Budget drained;
+  drained.steps = 0;
+  drained.tuples = 0;
+  drained.expressions = 5;
+  Budget share = drained.Split(8);
+  EXPECT_EQ(share.steps, 0u);
+  EXPECT_EQ(share.tuples, 0u);
+  EXPECT_EQ(share.expressions, 1u);
+  // Splitting the drained share again keeps it drained.
+  EXPECT_EQ(share.Split(3).steps, 0u);
+  EXPECT_EQ(share.Split(3).expressions, 1u);
 }
 
 // --- RNG -------------------------------------------------------------------

@@ -282,6 +282,90 @@ TEST(WitnessCacheTest, AdmitsVerifiesAndReplays) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(WitnessCacheTest, WatchCapBoundsPerEntryWatcherGrowth) {
+  // Every distinct probed target registers a watcher on every cached
+  // entry and the verifier has no unwatch, so a long-lived solver
+  // probing many targets used to grow each entry's watcher set without
+  // bound. The cap forces a fresh rebuild over sigma instead; verdicts
+  // must be unaffected across resets.
+  SchemePtr scheme = TwoColScheme();
+  std::vector<Dependency> sigma = {Dependency(Fd{0, {0}, {1}})};
+  WitnessCache cache(scheme, sigma, 2, /*max_watches_per_entry=*/2);
+
+  Database good(scheme);  // satisfies A -> B, violates plenty else
+  good.Insert(0, {Value::Int(1), Value::Int(9)});
+  good.Insert(0, {Value::Int(2), Value::Int(9)});
+  bool violates = false;
+  ASSERT_TRUE(cache.Admit(good, Dependency(Fd{0, {1}, {0}}), &violates));
+  ASSERT_TRUE(violates);
+
+  struct Probe {
+    Dependency target;
+    bool refuted;
+  };
+  std::vector<Probe> probes = {
+      {Dependency(Fd{0, {1}, {0}}), true},      // 9 -> {1, 2}
+      {Dependency(Fd{0, {}, {0}}), true},       // A not constant
+      {Dependency(Fd{0, {}, {1}}), false},      // B constant
+      {Dependency(Fd{0, {}, {0, 1}}), true},
+      {Dependency(Fd{0, {1}, {0, 1}}), true},
+      {Dependency(Fd{0, {0, 1}, {0}}), false},  // trivial
+      {Dependency(Fd{0, {0}, {0, 1}}), false},  // equivalent to sigma
+      {Dependency(Ind{0, {0}, 0, {1}}), true},  // {1,2} not in {9}
+      {Dependency(Ind{0, {1}, 0, {0}}), true},  // {9} not in {1,2}
+  };
+  for (int round = 0; round < 3; ++round) {
+    for (const Probe& probe : probes) {
+      EXPECT_EQ(cache.Refute(probe.target) != nullptr, probe.refuted)
+          << probe.target.ToString(*scheme) << " round " << round;
+    }
+  }
+  // Nine distinct targets against a cap of two forced resets; memory
+  // stayed bounded instead of accreting one watcher per target forever.
+  EXPECT_GT(cache.stats().watcher_resets, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(WitnessCacheTest, ByteCeilingEvictsColdestUntilUnderBudget) {
+  SchemePtr scheme = TwoColScheme();
+  std::vector<Dependency> sigma = {Dependency(Fd{0, {0}, {1}})};
+  WitnessCache cache(scheme, sigma, 4);
+  Dependency target(Fd{0, {1}, {0}});
+  bool violates = false;
+  for (int k = 0; k < 3; ++k) {
+    Database db(scheme);
+    db.Insert(0, {Value::Int(10 + k), Value::Int(7)});
+    db.Insert(0, {Value::Int(20 + k), Value::Int(7)});
+    ASSERT_TRUE(cache.Admit(db, target, &violates));
+    ASSERT_TRUE(violates);
+  }
+  ASSERT_EQ(cache.size(), 3u);
+  std::uint64_t bytes = cache.MemoryBytes();
+  ASSERT_GT(bytes, 0u);
+
+  // A ceiling at the live footprint evicts nothing.
+  cache.EnforceByteCeiling(bytes);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().byte_evictions, 0u);
+
+  // Below it, coldest entries go first until the cache fits.
+  cache.EnforceByteCeiling(bytes - 1);
+  EXPECT_LT(cache.size(), 3u);
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_GT(cache.stats().byte_evictions, 0u);
+  EXPECT_LE(cache.MemoryBytes(), bytes - 1);
+  // The survivors still answer.
+  EXPECT_NE(cache.Refute(target), nullptr);
+
+  // A zero ceiling empties the cache; probes miss but stay well-defined.
+  cache.EnforceByteCeiling(0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.MemoryBytes(), 0u);
+  EXPECT_EQ(cache.Refute(target), nullptr);
+  EXPECT_EQ(cache.stats().evicted, cache.stats().byte_evictions)
+      << "capacity never overflowed, so every eviction is a byte eviction";
+}
+
 TEST(WitnessCacheTest, SolverReplaysRefutationsAcrossSolves) {
   // Mixed-fragment sigma; the first Solve pays the staged pipeline, the
   // second is answered from the witness cache before any engine runs.
