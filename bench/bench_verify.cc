@@ -12,9 +12,11 @@
 #include "bench/reporter.h"
 #include "chase/workspace_chase.h"
 #include "core/workspace.h"
+#include "util/budget.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "util/task_pool.h"
 #include "verify/verifier.h"
 
 namespace ccfp {
@@ -184,10 +186,69 @@ void BenchChaseRounds(BenchReporter& reporter) {
                    static_cast<double>(wall[1] == 0 ? 1 : wall[1]));
 }
 
+/// Workload C: sequential-vs-parallel CatchUp pairs — the append-rounds
+/// workload drained via CatchUp() (the baseline entry) and via
+/// CatchUpParallel at 1/2/4/8 executors (AddThreaded entries). Scaling is
+/// hardware-bound: on a single-core host every thread count times roughly
+/// like the baseline plus fan-out overhead.
+void BenchParallelCatchUp(BenchReporter& reporter) {
+  const std::size_t arity = 10;
+  const std::size_t base = 3000;
+  const std::size_t rounds = 160;
+  const std::size_t delta = 2;
+  std::vector<Dependency> universe = FdUniverse(arity);
+  SchemePtr scheme = MakeSingleRelationScheme(arity);
+  std::uint64_t checks = universe.size() * rounds;
+
+  auto run = [&](TaskPool* pool) {
+    SplitMix64 rng(7);
+    InternedWorkspace ws(scheme);
+    for (std::size_t i = 0; i < base; ++i) {
+      AppendRandomTuple(ws, rng, arity, 800);
+    }
+    IncrementalVerifier verifier(&ws);
+    std::vector<WatchId> ids;
+    for (const Dependency& dep : universe) {
+      ids.push_back(verifier.Watch(dep));
+    }
+    std::size_t satisfied = 0;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (std::size_t d = 0; d < delta; ++d) {
+        AppendRandomTuple(ws, rng, arity, 800);
+      }
+      if (pool != nullptr) {
+        Status st = verifier.CatchUpParallel(Budget::Unlimited(), *pool);
+        CCFP_CHECK(st.ok());
+      } else {
+        verifier.CatchUp();
+      }
+      for (WatchId id : ids) satisfied += verifier.Satisfies(id);
+    }
+    benchmark::DoNotOptimize(satisfied);
+  };
+
+  std::uint64_t seq_wall = MedianWallNs(3, [&] { run(nullptr); });
+  reporter.Add("catchup_sequential", universe.size(), seq_wall, checks);
+  std::fprintf(stderr, "catchup (universe %zu): sequential %.2f ms\n",
+               universe.size(), seq_wall / 1e6);
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    TaskPool pool(threads);
+    std::uint64_t wall = MedianWallNs(3, [&] { run(&pool); });
+    reporter.AddThreaded("catchup_parallel", universe.size(), wall, checks,
+                         threads);
+    std::fprintf(stderr,
+                 "catchup parallel t=%u: %.2f ms (%.2fx vs sequential)\n",
+                 threads, wall / 1e6,
+                 static_cast<double>(seq_wall) /
+                     static_cast<double>(wall == 0 ? 1 : wall));
+  }
+}
+
 void EmitJsonReport() {
   BenchReporter reporter("verify");
   BenchAppendRounds(reporter);
   BenchChaseRounds(reporter);
+  BenchParallelCatchUp(reporter);
   reporter.WriteFile();
 }
 

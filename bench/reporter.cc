@@ -50,7 +50,14 @@ std::uint64_t BenchReporter::PeakRssBytes() {
 
 void BenchReporter::Add(const std::string& name, std::uint64_t n,
                         std::uint64_t wall_ns, std::uint64_t steps) {
-  entries_.push_back(Entry{name, n, wall_ns, steps, PeakRssBytes()});
+  entries_.push_back(Entry{name, n, wall_ns, steps, PeakRssBytes(), 0});
+}
+
+void BenchReporter::AddThreaded(const std::string& name, std::uint64_t n,
+                                std::uint64_t wall_ns, std::uint64_t steps,
+                                unsigned threads) {
+  entries_.push_back(
+      Entry{name, n, wall_ns, steps, PeakRssBytes(), threads});
 }
 
 std::string BenchReporter::ToJson() const {
@@ -62,7 +69,9 @@ std::string BenchReporter::ToJson() const {
     out += "{\"name\": \"" + JsonEscape(e.name) + "\", \"n\": " +
            std::to_string(e.n) + ", \"wall_ns\": " + std::to_string(e.wall_ns) +
            ", \"steps\": " + std::to_string(e.steps) +
-           ", \"peak_rss_bytes\": " + std::to_string(e.peak_rss_bytes) + "}";
+           ", \"peak_rss_bytes\": " + std::to_string(e.peak_rss_bytes);
+    if (e.threads != 0) out += ", \"threads\": " + std::to_string(e.threads);
+    out += "}";
   }
   out += "]}\n";
   return out;

@@ -17,6 +17,9 @@ namespace ccfp {
 ///    "entries": [{"name": "...", "n": 32, "wall_ns": 123456, "steps": 17,
 ///                 "peak_rss_bytes": 1048576},
 ///                ...]}
+///
+/// Entries recorded via AddThreaded additionally carry
+/// `"threads": <count>` (omitted entirely for plain Add entries).
 class BenchReporter {
  public:
   /// `bench` names the output file: BENCH_<bench>.json.
@@ -30,6 +33,14 @@ class BenchReporter {
   /// util/memory_budget.h (0 where the platform cannot report it).
   void Add(const std::string& name, std::uint64_t n, std::uint64_t wall_ns,
            std::uint64_t steps);
+
+  /// Like Add, but stamps an executor thread count onto the entry (for
+  /// sequential-vs-parallel pairs). `threads` must be >= 1; plain Add
+  /// leaves the field out of the JSON entirely, so existing reports and
+  /// their diff tooling are unaffected.
+  void AddThreaded(const std::string& name, std::uint64_t n,
+                   std::uint64_t wall_ns, std::uint64_t steps,
+                   unsigned threads);
 
   /// Current process peak resident set size in bytes (getrusage), or 0 if
   /// unavailable. Monotone over the process lifetime: entries added later
@@ -50,6 +61,7 @@ class BenchReporter {
     std::uint64_t wall_ns = 0;
     std::uint64_t steps = 0;
     std::uint64_t peak_rss_bytes = 0;
+    unsigned threads = 0;  ///< 0 = unset; omitted from the JSON
   };
 
   std::string bench_;

@@ -12,6 +12,7 @@
 #include "core/verdict.h"
 #include "util/budget.h"
 #include "util/status.h"
+#include "util/task_pool.h"
 
 namespace ccfp {
 
@@ -48,6 +49,13 @@ struct ChaseOptions {
   /// just at round boundaries) by the workspace-backed engine.
   std::optional<std::chrono::steady_clock::time_point> deadline;
   ChaseEngine engine = ChaseEngine::kIncremental;
+  /// Workspace-backed engine only: executors for the parallel FD-fixpoint
+  /// probe rounds (see WorkspaceChase). 1 = fully sequential; chase
+  /// outcomes are byte-identical at every value. Ignored when `pool` set.
+  unsigned threads = 1;
+  /// Workspace-backed engine only: run probe rounds on this caller-owned
+  /// pool instead of a transient one per Run. Not owned.
+  TaskPool* pool = nullptr;
 
   /// Maps the shared Budget vocabulary onto the chase's knobs
   /// (steps -> max_steps, tuples -> max_tuples, bytes -> max_bytes,

@@ -4,7 +4,7 @@ namespace ccfp {
 
 namespace {
 
-FaultInjector* g_injector = nullptr;
+std::atomic<FaultInjector*> g_injector{nullptr};
 
 }  // namespace
 
@@ -29,44 +29,53 @@ const char* FaultSiteToString(FaultSite site) {
 }
 
 void FaultInjector::Arm(FaultSite site, std::uint64_t countdown) {
+  std::lock_guard<std::mutex> lock(mu_);
   Slot& s = slots_[Index(site)];
-  s.armed = true;
   s.periodic = false;
   s.remaining = countdown;
+  s.armed.store(true, std::memory_order_release);
 }
 
 void FaultInjector::ArmEvery(FaultSite site, std::uint64_t period) {
+  std::lock_guard<std::mutex> lock(mu_);
   Slot& s = slots_[Index(site)];
-  s.armed = true;
   s.periodic = true;
   s.period = period == 0 ? 1 : period;
   s.remaining = s.period - 1;
+  s.armed.store(true, std::memory_order_release);
 }
 
 void FaultInjector::Disarm(FaultSite site) {
-  slots_[Index(site)].armed = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_[Index(site)].armed.store(false, std::memory_order_release);
 }
 
 bool FaultInjector::ShouldFail(FaultSite site) {
   Slot& s = slots_[Index(site)];
-  ++s.probes;
-  if (!s.armed) return false;
+  s.probes.fetch_add(1, std::memory_order_relaxed);
+  if (!s.armed.load(std::memory_order_acquire)) return false;
+  // Armed: advance the schedule under the lock so exactly one concurrent
+  // prober observes the firing probe.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!s.armed.load(std::memory_order_relaxed)) return false;
   if (s.remaining > 0) {
     --s.remaining;
     return false;
   }
-  ++s.fired;
+  s.fired.fetch_add(1, std::memory_order_relaxed);
   if (s.periodic) {
     s.remaining = s.period - 1;
   } else {
-    s.armed = false;
+    s.armed.store(false, std::memory_order_release);
   }
   return true;
 }
 
 std::uint64_t FaultInjector::NextRandom() {
   // SplitMix64 (same generator as util/rng.h, re-stated here so the
-  // injector has no dependency on test-only headers).
+  // injector has no dependency on test-only headers). Serialized so
+  // concurrent consumers each draw a distinct value.
+  std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
@@ -85,13 +94,17 @@ void FaultInjector::TruncateBytes(std::string& bytes) {
   bytes.resize(static_cast<std::size_t>(NextRandom() % bytes.size()));
 }
 
-FaultInjector* InstalledFaultInjector() { return g_injector; }
-
-ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector)
-    : previous_(g_injector) {
-  g_injector = injector;
+FaultInjector* InstalledFaultInjector() {
+  return g_injector.load(std::memory_order_acquire);
 }
 
-ScopedFaultInjector::~ScopedFaultInjector() { g_injector = previous_; }
+ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector)
+    : previous_(g_injector.load(std::memory_order_acquire)) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() {
+  g_injector.store(previous_, std::memory_order_release);
+}
 
 }  // namespace ccfp

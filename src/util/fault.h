@@ -2,7 +2,9 @@
 #define CCFP_UTIL_FAULT_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace ccfp {
@@ -49,10 +51,12 @@ const char* FaultSiteToString(FaultSite site);
 /// failure schedules, so every recovery path is reproducible under ctest
 /// and the sanitizers.
 ///
-/// The injector is process-global (the library is single-threaded by
-/// design): install one with ScopedFaultInjector for the duration of a
-/// test body. When none is installed every `FaultFires` check is one
-/// pointer load.
+/// The injector is process-global: install one with ScopedFaultInjector
+/// for the duration of a test body. When none is installed every
+/// `FaultFires` check is one atomic pointer load. Probes are thread-safe
+/// (parallel engine workers hit the same sites concurrently): counters are
+/// atomics, and schedule state is advanced under a per-injector mutex, so
+/// a one-shot site fires on exactly one thread.
 class FaultInjector {
  public:
   explicit FaultInjector(std::uint64_t seed) : state_(seed ^ kGolden) {}
@@ -73,10 +77,10 @@ class FaultInjector {
 
   /// Probes seen / faults fired at `site` so far (test assertions).
   std::uint64_t probes(FaultSite site) const {
-    return slots_[Index(site)].probes;
+    return slots_[Index(site)].probes.load(std::memory_order_relaxed);
   }
   std::uint64_t fired(FaultSite site) const {
-    return slots_[Index(site)].fired;
+    return slots_[Index(site)].fired.load(std::memory_order_relaxed);
   }
 
   /// Deterministically damages a serialized blob: flips one bit of one
@@ -95,18 +99,23 @@ class FaultInjector {
   static constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
 
   struct Slot {
-    bool armed = false;
+    /// Fast-path gate: unarmed probes take one relaxed load + one relaxed
+    /// increment and never touch the mutex.
+    std::atomic<bool> armed{false};
     bool periodic = false;
     std::uint64_t remaining = 0;  ///< probes until the next firing
     std::uint64_t period = 0;
-    std::uint64_t probes = 0;
-    std::uint64_t fired = 0;
+    std::atomic<std::uint64_t> probes{0};
+    std::atomic<std::uint64_t> fired{0};
   };
 
   static std::size_t Index(FaultSite site) {
     return static_cast<std::size_t>(site);
   }
 
+  /// Guards schedule mutation (arming and countdown advance) and the
+  /// SplitMix64 stream.
+  std::mutex mu_;
   std::uint64_t state_;
   std::array<Slot, kFaultSiteCount> slots_;
 };

@@ -1,0 +1,74 @@
+// Perf smoke test (ctest -L smoke) for the parallel bounded search: on a
+// deep full-scan workload, the kParallel engine at 4 executors must not be
+// meaningfully slower than the sequential kIdSpace engine. The guard is
+// deliberately tolerant — CI hosts may expose a single core, where every
+// thread count degrades to the sequential traversal plus pool overhead —
+// so it catches pathologies (lock convulsions, per-boundary allocation,
+// busy-wait storms), not missing speedups. Everything stays well under a
+// second.
+#include <algorithm>
+#include <chrono>
+#include <gtest/gtest.h>
+
+#include "core/dependency.h"
+#include "search/bounded.h"
+#include "util/check.h"
+
+namespace ccfp {
+namespace {
+
+std::uint64_t MedianRunNs(const SchemePtr& scheme,
+                          const std::vector<Dependency>& premises,
+                          const Dependency& conclusion,
+                          const BoundedSearchOptions& options) {
+  std::uint64_t samples[3];
+  for (int i = 0; i < 3; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    Result<BoundedSearchResult> result =
+        FindCounterexample(scheme, premises, conclusion, options);
+    auto stop = std::chrono::steady_clock::now();
+    CCFP_CHECK(result.ok());
+    CCFP_CHECK(result->exhausted);
+    CCFP_CHECK(!result->counterexample.has_value());
+    samples[i] = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count());
+  }
+  std::sort(std::begin(samples), std::end(samples));
+  return samples[1];
+}
+
+TEST(ParallelSmokeTest, ParallelSearchNotSlowerThanSequential) {
+  // {A -> B, B -> C} |= A -> C at domain 3, <= 3 tuples: implied, so both
+  // engines scan the full bounded space (thousands of boundaries).
+  SchemePtr scheme = MakeScheme({{"R", {"A", "B", "C"}}});
+  std::vector<Dependency> premises = {
+      Dependency(MakeFd(*scheme, "R", {"A"}, {"B"})),
+      Dependency(MakeFd(*scheme, "R", {"B"}, {"C"}))};
+  Dependency conclusion(MakeFd(*scheme, "R", {"A"}, {"C"}));
+
+  BoundedSearchOptions sequential;
+  sequential.engine = BoundedSearchEngine::kIdSpace;
+  sequential.domain_size = 3;
+  sequential.max_tuples_per_relation = 3;
+
+  BoundedSearchOptions parallel = sequential;
+  parallel.engine = BoundedSearchEngine::kParallel;
+  parallel.threads = 4;
+
+  std::uint64_t seq_ns =
+      MedianRunNs(scheme, premises, conclusion, sequential);
+  std::uint64_t par_ns = MedianRunNs(scheme, premises, conclusion, parallel);
+
+  // Single-core tolerance: parallel may pay the pool plus per-task scratch
+  // setup, but must stay within 1.5x of sequential plus a 50 ms floor for
+  // scheduler noise on loaded CI machines.
+  EXPECT_LT(par_ns, seq_ns + seq_ns / 2 + 50'000'000ull)
+      << "parallel(4) " << par_ns / 1e6 << " ms vs sequential "
+      << seq_ns / 1e6 << " ms — fork/join overhead pathology";
+  EXPECT_LT(seq_ns, 1'000'000'000ull);
+  EXPECT_LT(par_ns, 1'000'000'000ull);
+}
+
+}  // namespace
+}  // namespace ccfp
