@@ -1,0 +1,191 @@
+// E15: the concurrent solver service (service/service.h). BENCH_service.json
+// records two families:
+//
+//   * startup pairs — `startup_private/<n>` is the full cost of standing up
+//     a private substrate over n warm tuples (interning, sigma
+//     verification, premine partition compilation: SolverCore::Build);
+//     `startup_shared/<n>` is opening the Nth session against a service
+//     whose core is already built (a copy-on-write fork). The gap is the
+//     capital the shared core amortizes across sessions.
+//   * solve throughput — `solve_throughput/t<k>` drives k caller threads,
+//     each with its own session over one shared core, through a fixed
+//     mixed-fragment query stream at TaskPool width k (AddThreaded entries
+//     at t=1/2/4/8; steps = queries answered).
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_main.h"
+#include "bench/reporter.h"
+#include "core/database.h"
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "service/service.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace ccfp {
+namespace {
+
+SchemePtr BenchScheme() {
+  return MakeScheme({{"R", {"A", "B", "C"}}, {"S", {"D", "E"}}});
+}
+
+std::vector<Dependency> BenchSigma() {
+  return {Dependency(Fd{0, {0}, {1}}), Dependency(Fd{0, {1}, {2}}),
+          Dependency(Ind{0, {0}, 1, {0}})};
+}
+
+/// n tuples with skewed key reuse, so the premined projections have
+/// non-trivial partitions (the compilation the shared core amortizes).
+Database WarmData(const SchemePtr& scheme, std::size_t n) {
+  SplitMix64 rng(n * 7919 + 3);
+  Database db(scheme);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t a = static_cast<std::int64_t>(i);
+    std::int64_t b = static_cast<std::int64_t>(rng.Below(n / 4 + 1));
+    db.Insert(0, {Value::Int(a), Value::Int(b), Value::Int(b % 7)});
+    db.Insert(1, {Value::Int(a), Value::Int(b)});
+  }
+  return db;
+}
+
+/// Mixed-fragment targets (non-unary, so they route through the
+/// chase/search race rather than the unary decision engines).
+std::vector<Dependency> QueryMix() {
+  return {
+      Dependency(Fd{0, {0}, {1, 2}}),  // implied (A->B->C)
+      Dependency(Fd{0, {2}, {0, 1}}),  // refuted
+      Dependency(Fd{0, {1}, {0, 2}}),  // refuted (B -> A fails)
+      Dependency(Fd{0, {0, 1}, {2}}),  // implied
+  };
+}
+
+std::uint64_t RunSessions(SolverService& service,
+                          const std::vector<SolverService::SessionId>& ids,
+                          std::size_t rounds) {
+  std::vector<Dependency> queries = QueryMix();
+  std::vector<std::thread> callers;
+  callers.reserve(ids.size());
+  for (SolverService::SessionId id : ids) {
+    callers.emplace_back([&service, &queries, id, rounds] {
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (const Dependency& q : queries) {
+          Result<Verdict> v = service.Solve(id, q);
+          CCFP_CHECK(v.ok());
+          CCFP_CHECK(v->outcome != ImplicationVerdict::kUnknown);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  return ids.size() * rounds * queries.size();
+}
+
+void EmitJsonReport() {
+  BenchReporter reporter("service");
+  SchemePtr scheme = BenchScheme();
+
+  // Startup pairs: private substrate build vs shared-core session fork.
+  for (std::size_t n : {256u, 1024u, 4096u}) {
+    Database warm = WarmData(scheme, n);
+    std::uint64_t private_ns = MedianWallNs(5, [&] {
+      Result<std::shared_ptr<const SolverCore>> core =
+          SolverCore::Build(scheme, BenchSigma(), &warm);
+      CCFP_CHECK(core.ok());
+      benchmark::DoNotOptimize(core);
+    });
+
+    SolverService service;
+    Result<SolverService::SessionId> first = service.OpenMine(scheme, warm);
+    CCFP_CHECK(first.ok());  // pays the build; later opens fork it
+    std::uint64_t shared_ns = MedianWallNs(5, [&] {
+      Result<SolverService::SessionId> id = service.OpenMine(scheme, warm);
+      CCFP_CHECK(id.ok());
+      CCFP_CHECK(service.Close(*id).ok());
+    });
+    reporter.Add(StrCat("startup_private/", n), n, private_ns,
+                 warm.TotalTuples());
+    reporter.Add(StrCat("startup_shared/", n), n, shared_ns,
+                 warm.TotalTuples());
+    std::fprintf(stderr,
+                 "n=%zu: private build %.1f us, shared open %.1f us "
+                 "(%.0fx cheaper)\n",
+                 n, private_ns / 1e3, shared_ns / 1e3,
+                 static_cast<double>(private_ns) /
+                     static_cast<double>(shared_ns ? shared_ns : 1));
+  }
+
+  // Throughput at t caller threads == t pool workers, one session each.
+  constexpr std::size_t kRounds = 64;
+  for (unsigned t : {1u, 2u, 4u, 8u}) {
+    SolverService::Options options;
+    options.threads = t;
+    SolverService service(options);
+    std::vector<SolverService::SessionId> ids;
+    for (unsigned s = 0; s < t; ++s) {
+      Result<SolverService::SessionId> id =
+          service.OpenSolve(scheme, BenchSigma());
+      CCFP_CHECK(id.ok());
+      ids.push_back(*id);
+    }
+    std::uint64_t queries = 0;
+    std::uint64_t wall_ns = MedianWallNs(
+        3, [&] { queries = RunSessions(service, ids, kRounds); });
+    reporter.AddThreaded(StrCat("solve_throughput/t", t), queries, wall_ns,
+                         queries, t);
+    std::fprintf(stderr,
+                 "t=%u: %llu queries in %.1f ms (%.0f q/s)\n", t,
+                 static_cast<unsigned long long>(queries), wall_ns / 1e6,
+                 queries / (wall_ns / 1e9));
+  }
+
+  reporter.WriteFile();
+}
+
+void BM_SharedSessionOpen(benchmark::State& state) {
+  SchemePtr scheme = BenchScheme();
+  Database warm = WarmData(scheme, static_cast<std::size_t>(state.range(0)));
+  SolverService service;
+  Result<SolverService::SessionId> first = service.OpenMine(scheme, warm);
+  CCFP_CHECK(first.ok());
+  for (auto _ : state) {
+    Result<SolverService::SessionId> id = service.OpenMine(scheme, warm);
+    CCFP_CHECK(id.ok());
+    CCFP_CHECK(service.Close(*id).ok());
+  }
+}
+
+BENCHMARK(BM_SharedSessionOpen)->Range(256, 4096);
+
+void BM_ServiceSolve(benchmark::State& state) {
+  SchemePtr scheme = BenchScheme();
+  SolverService::Options options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  SolverService service(options);
+  std::vector<SolverService::SessionId> ids;
+  for (std::int64_t s = 0; s < state.range(0); ++s) {
+    Result<SolverService::SessionId> id =
+        service.OpenSolve(scheme, BenchSigma());
+    CCFP_CHECK(id.ok());
+    ids.push_back(*id);
+  }
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    queries += RunSessions(service, ids, 8);
+  }
+  state.counters["queries"] = static_cast<double>(queries);
+}
+
+BENCHMARK(BM_ServiceSolve)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace ccfp
+
+int main(int argc, char** argv) {
+  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+}

@@ -56,6 +56,12 @@ struct ChaseOptions {
   /// Workspace-backed engine only: run probe rounds on this caller-owned
   /// pool instead of a transient one per Run. Not owned.
   TaskPool* pool = nullptr;
+  /// Optional cooperative cancellation token (not owned): the workspace
+  /// engine polls `cancel->exhausted()` at every budget checkpoint and
+  /// stops resumably with ResourceExhausted once another racer marked it.
+  /// The chase never charges this meter — it is a pure kill switch for
+  /// first-verdict-wins races (solve/solver.h).
+  SharedBudgetMeter* cancel = nullptr;
 
   /// Maps the shared Budget vocabulary onto the chase's knobs
   /// (steps -> max_steps, tuples -> max_tuples, bytes -> max_bytes,

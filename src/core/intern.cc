@@ -3,9 +3,13 @@
 namespace ccfp {
 
 ValueId ValueInterner::Intern(const Value& v) {
+  if (base_ != nullptr) {
+    auto bit = base_->ids.find(v);
+    if (bit != base_->ids.end()) return bit->second;
+  }
   auto it = ids_.find(v);
   if (it != ids_.end()) return it->second;
-  ValueId id = static_cast<ValueId>(values_.size());
+  ValueId id = base_size_ + static_cast<ValueId>(values_.size());
   values_.push_back(v);
   ids_.emplace(v, id);
   if (v.is_null()) NoteNullLabel(v.null_id());
@@ -14,6 +18,30 @@ ValueId ValueInterner::Intern(const Value& v) {
 
 ValueId ValueInterner::InternFreshNull() {
   return Intern(Value::Null(next_null_label_));
+}
+
+bool ValueInterner::InternNew(const Value& v) {
+  if (base_ != nullptr && base_->ids.count(v) != 0) return false;
+  ValueId id = base_size_ + static_cast<ValueId>(values_.size());
+  if (!ids_.emplace(v, id).second) return false;
+  values_.push_back(v);
+  return true;
+}
+
+void ValueInterner::Freeze() {
+  if (values_.empty() && base_ != nullptr) return;  // nothing new to seal
+  auto frozen = std::make_shared<Frozen>();
+  frozen->values.reserve(size());
+  if (base_ != nullptr) frozen->values = base_->values;
+  for (Value& v : values_) frozen->values.push_back(std::move(v));
+  frozen->ids.reserve(frozen->values.size());
+  for (ValueId id = 0; id < frozen->values.size(); ++id) {
+    frozen->ids.emplace(frozen->values[id], id);
+  }
+  base_size_ = static_cast<ValueId>(frozen->values.size());
+  base_ = std::move(frozen);
+  values_.clear();
+  ids_.clear();
 }
 
 void ValueInterner::NoteNullLabel(std::uint64_t label) {

@@ -2,6 +2,7 @@
 #define CCFP_CORE_INTERN_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +19,18 @@ using ValueId = std::uint32_t;
 /// instead of rehashing heap `Value` objects. Ids are assigned in interning
 /// order, so a deterministic input order yields a deterministic id
 /// assignment.
+///
+/// ## Shared frozen base (copy-on-write extension)
+///
+/// `Freeze()` seals the current contents into an immutable, reference-
+/// counted base table. A frozen interner keeps interning: new values land
+/// in a local extension whose ids continue the dense sequence, and lookups
+/// probe the base first (ids never change across a freeze). Copying a
+/// frozen interner copies only the local extension and a refcount bump on
+/// the base — the substrate trick behind InternedWorkspace::Fork(), where
+/// the Nth session over a scheme shares one value table instead of
+/// duplicating it. Freezing is a representation change only: every public
+/// observation (ids, values, size, the null watermark) is unaffected.
 class ValueInterner {
  public:
   /// Returns the id of `v`, interning it on first sight.
@@ -30,14 +43,43 @@ class ValueInterner {
   /// Makes sure future fresh nulls are numbered strictly above `label`.
   void NoteNullLabel(std::uint64_t label);
 
-  const Value& value(ValueId id) const { return values_[id]; }
-  bool is_const(ValueId id) const { return !values_[id].is_null(); }
-  std::uint64_t null_label(ValueId id) const { return values_[id].null_id(); }
-  std::size_t size() const { return values_.size(); }
+  /// Seals the current contents (base + local extension) into a new
+  /// immutable shared base; the local extension empties. Idempotent when
+  /// nothing was interned since the last freeze. O(size) once; every
+  /// subsequent copy of this interner is O(local extension).
+  void Freeze();
+
+  /// True when a frozen base is attached (size of the base table is
+  /// `base_size()`; local ids start there).
+  bool has_shared_base() const { return base_ != nullptr; }
+  std::size_t base_size() const { return base_size_; }
+
+  const Value& value(ValueId id) const {
+    return id < base_size_ ? base_->values[id] : values_[id - base_size_];
+  }
+  bool is_const(ValueId id) const { return !value(id).is_null(); }
+  std::uint64_t null_label(ValueId id) const { return value(id).null_id(); }
+  std::size_t size() const { return base_size_ + values_.size(); }
 
  private:
   friend class WorkspaceSnapshotAccess;  ///< serialization (core/snapshot.h)
 
+  /// The sealed table: values in id order plus their reverse index.
+  /// Immutable after construction; shared across forks by shared_ptr.
+  struct Frozen {
+    std::vector<Value> values;
+    std::unordered_map<Value, ValueId, ValueHash> ids;
+  };
+
+  /// Snapshot-restore append: interns `v` asserting it is unseen. Returns
+  /// false (without interning) when `v` is already present in the base or
+  /// the local extension — restore paths treat that as corruption. Does
+  /// not touch the null watermark (restores set it explicitly).
+  bool InternNew(const Value& v);
+
+  std::shared_ptr<const Frozen> base_;  ///< null until the first Freeze
+  ValueId base_size_ = 0;               ///< == base_->values.size()
+  /// Local extension: entry i holds the value with id base_size_ + i.
   std::vector<Value> values_;
   std::unordered_map<Value, ValueId, ValueHash> ids_;
   std::uint64_t next_null_label_ = 1;

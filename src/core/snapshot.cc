@@ -1,10 +1,12 @@
 #include "core/snapshot.h"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iterator>
 #include <utility>
@@ -101,10 +103,6 @@ class Reader {
   std::size_t pos_ = 0;
   bool truncated_ = false;
 };
-
-std::uint64_t SchemeFingerprint(const DatabaseScheme& scheme) {
-  return Fnv1a64(scheme.ToString());
-}
 
 Status Corrupt(const std::string& what) {
   return Status::InvalidArgument(StrCat("workspace snapshot: ", what));
@@ -276,6 +274,10 @@ std::uint64_t Fnv1a64(std::string_view bytes) {
   return h;
 }
 
+std::uint64_t SchemeFingerprint(const DatabaseScheme& scheme) {
+  return Fnv1a64(scheme.ToString());
+}
+
 /// The one friend of InternedWorkspace / ValueInterner / DenseUnionFind:
 /// all field-level serialization lives here so the classes themselves
 /// expose nothing extra.
@@ -288,10 +290,11 @@ class WorkspaceSnapshotAccess {
     w.U8(kSnapshotRecordFull);
     w.U64(SchemeFingerprint(*ws.scheme_));
 
-    // Interner: values in id order + the fresh-null watermark.
+    // Interner: values in id order + the fresh-null watermark. Indexed
+    // access spans a frozen shared base and the local extension alike.
     const ValueInterner& in = ws.interner_;
-    w.U64(in.values_.size());
-    for (const Value& v : in.values_) SerializeValue(v, w);
+    w.U64(in.size());
+    for (ValueId i = 0; i < in.size(); ++i) SerializeValue(in.value(i), w);
     w.U64(in.next_null_label_);
 
     // Union-find (sized to the interner by EnsureSize on every intern).
@@ -398,12 +401,9 @@ class WorkspaceSnapshotAccess {
       Value v;
       CCFP_RETURN_NOT_OK(DeserializeValue(r, v));
       if (!r.Ok()) return Corrupt("value table truncated");
-      ValueId id = static_cast<ValueId>(interner.values_.size());
-      interner.ids_.emplace(v, id);
-      interner.values_.push_back(std::move(v));
-    }
-    if (interner.ids_.size() != interner.values_.size()) {
-      return Corrupt("duplicate value in interner table");
+      if (!interner.InternNew(v)) {
+        return Corrupt("duplicate value in interner table");
+      }
     }
     interner.next_null_label_ = r.U64();
 
@@ -605,9 +605,9 @@ class WorkspaceSnapshotAccess {
     const ValueInterner& in = ws.interner_;
     std::uint64_t from = ws.journal_values_base_;
     w.U64(from);
-    w.U64(in.values_.size());
-    for (std::uint64_t i = from; i < in.values_.size(); ++i) {
-      SerializeValue(in.values_[static_cast<std::size_t>(i)], w);
+    w.U64(in.size());
+    for (std::uint64_t i = from; i < in.size(); ++i) {
+      SerializeValue(in.value(static_cast<ValueId>(i)), w);
     }
     w.U64(in.next_null_label_);
 
@@ -753,18 +753,16 @@ class WorkspaceSnapshotAccess {
     // Interner growth (ids must extend the table exactly).
     ValueInterner& interner = ws.interner_;
     for (Value& v : new_values) {
-      ValueId id = static_cast<ValueId>(interner.values_.size());
-      if (!interner.ids_.emplace(v, id).second) {
+      if (!interner.InternNew(v)) {
         return Corrupt("delta value already interned in base");
       }
-      interner.values_.push_back(std::move(v));
     }
     if (next_null_label < interner.next_null_label_) {
       return Corrupt("delta null watermark went backwards");
     }
     interner.next_null_label_ = next_null_label;
-    ws.uf_.EnsureSize(interner.values_.size());
-    ws.occurrences_.resize(interner.values_.size());
+    ws.uf_.EnsureSize(interner.size());
+    ws.occurrences_.resize(interner.size());
     ws.stats_.values_interned += growth;
 
     // Replay the journal through the public mutation API with journaling
@@ -935,6 +933,82 @@ Result<RestoredWorkspace> LoadWorkspaceSnapshot(SchemePtr scheme,
 
 /// --- snapshot chains ------------------------------------------------------
 
+SnapshotChainLock::SnapshotChainLock(SnapshotChainLock&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      adopted_stale_(other.adopted_stale_) {
+  other.fd_ = -1;
+  other.adopted_stale_ = false;
+}
+
+SnapshotChainLock& SnapshotChainLock::operator=(
+    SnapshotChainLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    adopted_stale_ = other.adopted_stale_;
+    other.fd_ = -1;
+    other.adopted_stale_ = false;
+  }
+  return *this;
+}
+
+std::string SnapshotChainLock::LockPath(const std::string& prefix) {
+  return StrCat(prefix, ".lock");
+}
+
+Status SnapshotChainLock::Acquire(const std::string& prefix) {
+  Release();
+  std::string path = LockPath(prefix);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal(StrCat("cannot open chain lock ", path));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    // Held by a live process (or another open lock in this one). Read its
+    // pid stamp for the diagnostic; the stamp is advisory, the flock is
+    // the lock.
+    char stamp[32] = {};
+    ssize_t n = ::pread(fd, stamp, sizeof(stamp) - 1, 0);
+    ::close(fd);
+    long holder = n > 0 ? std::atol(stamp) : 0;
+    return Status::FailedPrecondition(
+        StrCat("snapshot chain ", prefix, " is locked by live pid ",
+               holder > 0 ? static_cast<std::uint64_t>(holder) : 0));
+  }
+  // We hold the flock. A leftover pid stamp means the previous holder died
+  // without a clean Release (the kernel dropped its flock at exit) — the
+  // chain's in-flight record may be a retry candidate, so surface it.
+  char stamp[32] = {};
+  ssize_t n = ::pread(fd, stamp, sizeof(stamp) - 1, 0);
+  long stale = n > 0 ? std::atol(stamp) : 0;
+  adopted_stale_ = stale > 0 && stale != static_cast<long>(::getpid());
+  std::string mine = StrCat(static_cast<std::uint64_t>(::getpid()), "\n");
+  if (::ftruncate(fd, 0) != 0 ||
+      ::pwrite(fd, mine.data(), mine.size(), 0) !=
+          static_cast<ssize_t>(mine.size())) {
+    ::close(fd);
+    return Status::Internal(StrCat("cannot stamp chain lock ", path));
+  }
+  fd_ = fd;
+  path_ = std::move(path);
+  return Status::OK();
+}
+
+void SnapshotChainLock::Release() {
+  if (fd_ < 0) return;
+  // Clear the stamp before unlocking so the next acquirer can tell a clean
+  // handover from a crashed holder. The file itself stays: unlinking would
+  // let a racing acquirer lock a dead inode while a third creates a fresh
+  // one, yielding two "holders".
+  (void)::ftruncate(fd_, 0);
+  (void)::flock(fd_, LOCK_UN);
+  ::close(fd_);
+  fd_ = -1;
+  adopted_stale_ = false;
+}
+
 SnapshotChainWriter::SnapshotChainWriter(std::string prefix,
                                          SnapshotChainPolicy policy,
                                          SnapshotWriteOptions write)
@@ -952,6 +1026,12 @@ Status SnapshotChainWriter::Save(
     const InternedWorkspace& ws,
     const std::vector<std::vector<std::uint64_t>>& consumer_cursors,
     std::string_view aux) {
+  // Exclusive chains take the cross-process lock lazily, on the first
+  // record actually written — constructing a writer is free and never
+  // contends. A failed acquisition writes nothing.
+  if (policy_.exclusive && !lock_.held()) {
+    CCFP_RETURN_NOT_OK(lock_.Acquire(prefix_));
+  }
   bool fold =
       !has_base_ || !ws.journal_enabled() || !ws.HasSnapshotBase() ||
       ws.SnapshotBaseId() != tip_id_ || deltas_ >= policy_.max_deltas ||

@@ -178,6 +178,56 @@ struct SnapshotChainPolicy {
   /// Fold when cumulative on-disk delta bytes exceed this percentage of
   /// the base's bytes (0 disables the byte trigger).
   std::uint32_t fold_delta_percent = 50;
+  /// Acquire a cross-process advisory lock (see SnapshotChainLock) on the
+  /// chain prefix before the first Save, and fail FailedPrecondition if
+  /// another live process holds it. Off by default: single-process callers
+  /// (and the crash tests, which deliberately interleave two writers) get
+  /// the historical free-for-all; the solver service turns it on so two
+  /// service processes can never interleave writes on one session's chain.
+  bool exclusive = false;
+};
+
+/// Cross-process advisory lock on a snapshot chain prefix, backed by
+/// `flock(2)` on `<prefix>.lock`.
+///
+/// flock locks are owned by the open file description, so the kernel
+/// releases them when the holder exits *for any reason* — a crashed
+/// writer can never wedge a chain. The lock file itself is left in place
+/// on release (unlinking would race a concurrent acquirer onto a dead
+/// inode); instead the holder stamps its pid into the file and truncates
+/// the stamp away on clean release. A successful acquisition that finds a
+/// foreign pid stamp therefore proves the previous holder died while
+/// holding the lock — surfaced as `adopted_stale()` so callers can log
+/// the takeover or distrust in-flight partial state.
+class SnapshotChainLock {
+ public:
+  SnapshotChainLock() = default;
+  ~SnapshotChainLock() { Release(); }
+  SnapshotChainLock(SnapshotChainLock&& other) noexcept;
+  SnapshotChainLock& operator=(SnapshotChainLock&& other) noexcept;
+  SnapshotChainLock(const SnapshotChainLock&) = delete;
+  SnapshotChainLock& operator=(const SnapshotChainLock&) = delete;
+
+  /// Acquires `<prefix>.lock` without blocking. FailedPrecondition when
+  /// another live process (or another open lock in this process) holds
+  /// it — the message names the holder's pid stamp. Any prior lock this
+  /// object held is released first.
+  Status Acquire(const std::string& prefix);
+
+  /// Unlocks and clears the pid stamp. Safe to call when not held.
+  void Release();
+
+  bool held() const { return fd_ >= 0; }
+  /// True when the acquisition found a live pid stamp from a holder that
+  /// died without releasing (the kernel had already dropped its flock).
+  bool adopted_stale() const { return adopted_stale_; }
+
+  static std::string LockPath(const std::string& prefix);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  bool adopted_stale_ = false;
 };
 
 /// A chain restored from disk: the replayed workspace plus enough
@@ -225,6 +275,9 @@ class SnapshotChainWriter {
   bool has_base() const { return has_base_; }
   std::size_t delta_count() const { return deltas_; }
   std::uint64_t tip_id() const { return tip_id_; }
+  /// The chain lock (held iff the policy is exclusive and a Save has
+  /// succeeded in acquiring it; see SnapshotChainLock for staleness).
+  const SnapshotChainLock& lock() const { return lock_; }
 
   std::string BasePath() const;
   std::string DeltaPath(std::size_t k) const;  ///< k = 1, 2, ...
@@ -240,6 +293,7 @@ class SnapshotChainWriter {
   std::string prefix_;
   SnapshotChainPolicy policy_;
   SnapshotWriteOptions write_;
+  SnapshotChainLock lock_;
   bool has_base_ = false;
   std::size_t deltas_ = 0;
   std::uint64_t tip_id_ = 0;
@@ -277,6 +331,11 @@ Result<SessionClassificationRecord> DeserializeSessionRecord(
 
 /// FNV-1a 64 over `bytes` — the snapshot checksum, exposed for tests.
 std::uint64_t Fnv1a64(std::string_view bytes);
+
+/// Stable fingerprint of a scheme (Fnv1a64 over its canonical ToString).
+/// The snapshot header's compatibility check, and the service layer's
+/// sharding/routing key (service/service.h).
+std::uint64_t SchemeFingerprint(const DatabaseScheme& scheme);
 
 /// The current wire-format version. Version 2 added the record kind byte,
 /// delta records, and the aux record; load rejects other versions (a

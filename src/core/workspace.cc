@@ -404,6 +404,26 @@ std::uint64_t InternedWorkspace::TrimFeedTo(RelId rel,
   return dropped;
 }
 
+void InternedWorkspace::SealSharedBase() {
+  interner_.Freeze();
+  CompactFeeds();
+}
+
+InternedWorkspace InternedWorkspace::Fork() const {
+  InternedWorkspace fork = *this;
+  // Session-local state must not leak into the overlay: the base's
+  // registered cursors belong to the base's consumers, and persistence
+  // identity is per session.
+  fork.cursors_.clear();
+  fork.journal_enabled_ = false;
+  fork.journal_.clear();
+  fork.journal_bytes_ = 0;
+  fork.journal_values_base_ = fork.interner_.size();
+  fork.snapshot_base_id_ = 0;
+  fork.has_snapshot_base_ = false;
+  return fork;
+}
+
 MemoryBreakdown InternedWorkspace::MemoryUsage() const {
   MemoryBreakdown mb;
   mb.journal = journal_bytes_;

@@ -443,6 +443,30 @@ class InternedWorkspace {
   /// periodic budget checkpoints.
   MemoryBreakdown MemoryUsage() const;
 
+  /// --- shared core (fork semantics) ---------------------------------------
+  ///
+  /// A long-lived *base* workspace can be sealed once and then forked per
+  /// session: `SealSharedBase` freezes the interner's value tables into an
+  /// immutable refcounted base (core/intern.h) and compacts the feeds, and
+  /// `Fork` produces an independent overlay workspace that shares that
+  /// base — so the Nth session over a warmed scheme pays zero re-interning
+  /// of the base values and inherits every compiled projection partition
+  /// instead of rebuilding it (the forked stats_ carry over, letting
+  /// callers assert a zero `values_interned` / `partitions_built` delta).
+
+  /// Seals this workspace as a shareable base: freezes the interner and
+  /// compacts all feeds. Idempotent. The workspace stays fully usable
+  /// (and mutable) afterwards, but a typical base is left untouched and
+  /// only forked from.
+  void SealSharedBase();
+
+  /// An independent copy sharing the frozen interner base (cheap after
+  /// SealSharedBase; a deep copy of tuples/partitions either way).
+  /// Session-local state that must not leak across sessions is reset:
+  /// registered feed cursors, the mutation journal, and the snapshot-chain
+  /// identity. Stats counters are inherited so reuse deltas read zero.
+  InternedWorkspace Fork() const;
+
   /// --- export -------------------------------------------------------------
 
   /// Converts the alive tuples to a heap-Value Database, slot order

@@ -124,7 +124,8 @@ Result<BoundedSearchResult> LegacySearch(
   bool budget_hit = false;
   std::function<bool(RelId)> rec = [&](RelId rel) -> bool {
     if (rel == scheme->size()) {
-      if (++result.candidates_tested > options.max_candidates) {
+      if (++result.candidates_tested > options.max_candidates ||
+          (options.cancel != nullptr && options.cancel->exhausted())) {
         budget_hit = true;
         return true;  // stop
       }
@@ -578,6 +579,13 @@ class IdSpaceSearcher {
   /// partial candidate, apply final premise / conclusion pruning, and
   /// either descend into the next relation or report the counterexample.
   void Boundary(RelId rel) {
+    if (options_.cancel != nullptr && options_.cancel->exhausted()) {
+      // Cancelled by a racing probe: stop with no verdict (the caller
+      // surfaces this as exhaustion, never as "no counterexample").
+      budget_hit_ = true;
+      stop_ = true;
+      return;
+    }
     if (control_ != nullptr) {
       // A strictly lower-indexed sibling holds the winning counterexample:
       // nothing this task could find can win the reduction, so abandon.
@@ -694,8 +702,8 @@ Result<BoundedSearchResult> ParallelSearch(
     const SchemePtr& scheme, const std::vector<Dependency>& premises,
     const Dependency& conclusion, const BoundedSearchOptions& options) {
   // All per-task searchers compile through one shared key-table cache so
-  // the tables are built once; the cache map is not thread-safe, which is
-  // why construction stays on this thread and tasks only read the tables.
+  // the tables are built once; construction stays on this thread and the
+  // tasks only read the (immutable, stably-referenced) tables.
   BoundedSearchWorkspace local_workspace;
   BoundedSearchOptions task_options = options;
   if (task_options.workspace == nullptr) {
@@ -762,6 +770,10 @@ Result<BoundedSearchResult> ParallelSearch(
     result.counterexample = searchers[best]->TakeCounterexample();
   }
   result.exhausted = !meter.exhausted();
+  if (options.cancel != nullptr && options.cancel->exhausted()) {
+    // Cancelled mid-scan: whatever was not found cannot be ruled out.
+    result.exhausted = false;
+  }
   return result;
 }
 
@@ -770,6 +782,10 @@ Result<BoundedSearchResult> ParallelSearch(
 const std::vector<std::uint32_t>& BoundedSearchWorkspace::KeyTable(
     RelId rel, std::size_t domain, const std::vector<AttrId>& cols,
     std::uint64_t space_size, const std::vector<std::uint64_t>& pow) {
+  // Whole-call lock: tables are compiled during searcher setup, never in
+  // enumeration hot loops, and the node-based map keeps handed-out
+  // references valid across later inserts.
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] =
       tables_.try_emplace(std::make_tuple(rel, domain, cols));
   if (inserted) {
@@ -794,6 +810,12 @@ Result<BoundedSearchResult> FindCounterexample(
   }
   CCFP_RETURN_NOT_OK(Validate(*scheme, conclusion));
 
+  if (options.cancel != nullptr && options.cancel->exhausted()) {
+    // Cancelled before the first candidate: unknown, zero work.
+    BoundedSearchResult cancelled;
+    cancelled.exhausted = false;
+    return cancelled;
+  }
   if (options.engine == BoundedSearchEngine::kParallel) {
     return ParallelSearch(scheme, premises, conclusion, options);
   }

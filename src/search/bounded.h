@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <tuple>
 #include <vector>
@@ -24,6 +25,13 @@ namespace ccfp {
 /// The k-ary closure fixpoint and the special-case probes fire hundreds
 /// of searches over one scheme, so the tables dominate setup cost there.
 /// Per-search counter state is never cached; only the immutable tables.
+///
+/// Thread-safe: KeyTable serializes concurrent callers behind a mutex
+/// (tables are compiled during searcher *setup*, not in enumeration hot
+/// loops, so one lock per table lookup is cheap), and a handed-out table
+/// reference stays valid and immutable for the workspace's lifetime
+/// (node-based map) — so many sessions of a solver service can share one
+/// per-scheme workspace.
 class BoundedSearchWorkspace {
  public:
   struct Stats {
@@ -40,9 +48,14 @@ class BoundedSearchWorkspace {
       RelId rel, std::size_t domain, const std::vector<AttrId>& cols,
       std::uint64_t space_size, const std::vector<std::uint64_t>& pow);
 
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of the counters (by value: safe against concurrent builds).
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::tuple<RelId, std::size_t, std::vector<AttrId>>,
            std::vector<std::uint32_t>>
       tables_;
@@ -136,6 +149,12 @@ struct BoundedSearchOptions {
   /// kParallel only: run on this caller-owned pool instead of spinning up
   /// a transient one per search. Not owned; must outlive the search.
   TaskPool* pool = nullptr;
+  /// Optional cooperative cancellation token (not owned): the engines
+  /// poll `cancel->exhausted()` at candidate checkpoints and stop early
+  /// with `exhausted == false` (surfaced as ResourceExhausted — unknown,
+  /// never a wrong answer) once another racer marked it. The search never
+  /// charges this meter.
+  SharedBudgetMeter* cancel = nullptr;
 
   /// Maps the shared Budget vocabulary onto the search's candidate cap
   /// (steps -> max_candidates) and byte ceiling. The shape knobs (tuples

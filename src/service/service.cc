@@ -1,0 +1,548 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+WitnessCache::Stats SumWitness(const WitnessCache::Stats& a,
+                               const WitnessCache::Stats& b) {
+  WitnessCache::Stats s = a;
+  s.admitted += b.admitted;
+  s.rejected += b.rejected;
+  s.evicted += b.evicted;
+  s.probes += b.probes;
+  s.hits += b.hits;
+  s.misses += b.misses;
+  s.watcher_resets += b.watcher_resets;
+  s.byte_evictions += b.byte_evictions;
+  return s;
+}
+
+}  // namespace
+
+/// Bounded in-flight op count: admission is an atomic increment checked
+/// against the ceiling; over-admission immediately backs out. No queueing
+/// — the caller gets ResourceExhausted and decides whether to retry.
+class SolverService::InflightGuard {
+ public:
+  InflightGuard(std::atomic<std::size_t>& count, std::size_t limit)
+      : count_(count) {
+    admitted_ = count_.fetch_add(1, std::memory_order_relaxed) < limit;
+    if (!admitted_) count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  ~InflightGuard() {
+    if (admitted_) count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+  bool admitted() const { return admitted_; }
+
+ private:
+  std::atomic<std::size_t>& count_;
+  bool admitted_ = false;
+};
+
+SolverService::SolverService() : SolverService(Options()) {}
+
+SolverService::SolverService(Options options) : options_(std::move(options)) {
+  unsigned threads = options_.threads != 0
+                         ? options_.threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  pool_ = std::make_unique<TaskPool>(threads);
+  // Two service processes must never interleave one session's chain.
+  options_.chain_policy.exclusive = true;
+  std::size_t shards = std::max<std::size_t>(1, options_.shards);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  stats_.pool_threads = threads;
+}
+
+SolverService::~SolverService() = default;
+
+std::size_t SolverService::ShardOf(const DatabaseScheme& scheme) const {
+  return SchemeFingerprint(scheme) % shards_.size();
+}
+
+std::string SolverService::ChainPrefix(SessionId id) const {
+  return StrCat(options_.spill_dir, "/session_", id);
+}
+
+Result<std::shared_ptr<const SolverCore>> SolverService::AcquireCore(
+    SchemePtr scheme, std::vector<Dependency> sigma, const Database* warm) {
+  std::uint64_t identity = SolverCore::Identity(*scheme, sigma, warm);
+  {
+    std::lock_guard<std::mutex> lock(cores_mu_);
+    auto it = cores_.find(identity);
+    if (it != cores_.end()) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.core_reuses;
+      return it->second;
+    }
+  }
+  // Build outside the registry lock (warm-up can be expensive); a racing
+  // duplicate build is wasted work, not a correctness problem — first
+  // insert wins and both callers share it.
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<const SolverCore> core,
+                        SolverCore::Build(std::move(scheme), std::move(sigma),
+                                          warm));
+  std::lock_guard<std::mutex> lock(cores_mu_);
+  auto [it, inserted] = cores_.emplace(identity, core);
+  if (!inserted) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.core_reuses;
+  }
+  return it->second;
+}
+
+Result<SolverService::SessionId> SolverService::Admit(
+    std::shared_ptr<Session> session) {
+  if (resident_.fetch_add(1, std::memory_order_relaxed) >=
+      options_.max_sessions) {
+    resident_.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_capacity;
+    return Status::ResourceExhausted(
+        StrCat("session capacity (", options_.max_sessions,
+               ") reached; close or evict a session first"));
+  }
+  session->meter = std::make_unique<SharedBudgetMeter>(
+      Budget::Unlimited(), options_.session_step_ceiling);
+  std::size_t shard_index = session->core->fingerprint() % shards_.size();
+  Shard& shard = *shards_[shard_index];
+  SessionId id;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    id = shard.next++ * shards_.size() + shard_index;
+    shard.sessions.emplace(id, std::move(session));
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.sessions_opened;
+  return id;
+}
+
+Result<std::shared_ptr<SolverService::Session>> SolverService::Find(
+    SessionId id) const {
+  const Shard& shard = *shards_[id % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) {
+    return Status::NotFound(StrCat("no session ", id));
+  }
+  return it->second;
+}
+
+void SolverService::ProvisionSolver(Session& s) {
+  SolveOptions o = options_.solve;
+  o.shared_search_tables = &s.core->search_tables();
+  o.pool = options_.race_mixed_route ? pool_.get() : nullptr;
+  if (options_.share_witness_cache) {
+    o.shared_witness_cache = &s.core->witness_cache();
+  } else {
+    // A private cache per session keeps evidence bit-reproducible; owning
+    // it here (instead of inside the solver) surfaces its counters in
+    // SessionStats and lets eviction drop it with the solver.
+    s.private_cache = std::make_unique<WitnessCache>(
+        s.core->scheme_ptr(), s.core->sigma(),
+        o.use_witness_cache ? std::size_t{8} : std::size_t{0});
+    o.shared_witness_cache = s.private_cache.get();
+  }
+  s.solver = std::make_unique<ImplicationSolver>(s.core->scheme_ptr(),
+                                                 s.core->sigma(), o);
+}
+
+Result<SolverService::SessionId> SolverService::OpenSolve(
+    SchemePtr scheme, std::vector<Dependency> sigma) {
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<const SolverCore> core,
+                        AcquireCore(std::move(scheme), std::move(sigma),
+                                    nullptr));
+  auto session = std::make_shared<Session>();
+  session->kind = SessionKind::kSolve;
+  session->stats.kind = SessionKind::kSolve;
+  session->core = std::move(core);
+  ProvisionSolver(*session);
+  return Admit(std::move(session));
+}
+
+Result<SolverService::SessionId> SolverService::OpenMine(
+    SchemePtr scheme, const Database& data) {
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<const SolverCore> core,
+                        AcquireCore(std::move(scheme), {}, &data));
+  auto session = std::make_shared<Session>();
+  session->kind = SessionKind::kMine;
+  session->stats.kind = SessionKind::kMine;
+  session->core = std::move(core);
+  session->mine_ws =
+      std::make_unique<InternedWorkspace>(session->core->ForkWorkspace());
+  return Admit(std::move(session));
+}
+
+Result<SolverService::SessionId> SolverService::OpenArmstrong(
+    SchemePtr scheme, std::vector<Fd> fds, std::vector<Ind> inds,
+    ArmstrongBuildOptions build) {
+  std::vector<Dependency> sigma;
+  sigma.reserve(fds.size() + inds.size());
+  for (const Fd& fd : fds) sigma.emplace_back(fd);
+  for (const Ind& ind : inds) sigma.emplace_back(ind);
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<const SolverCore> core,
+                        AcquireCore(scheme, std::move(sigma), nullptr));
+  auto session = std::make_shared<Session>();
+  session->kind = SessionKind::kArmstrong;
+  session->stats.kind = SessionKind::kArmstrong;
+  session->core = std::move(core);
+  session->fds = std::move(fds);
+  session->inds = std::move(inds);
+  session->build = build;
+  // The session owns its oracle (the builder only borrows it).
+  session->oracle =
+      std::make_unique<ChaseOracle>(scheme, session->build.chase);
+  session->armstrong = std::make_unique<ArmstrongSession>(
+      std::move(scheme), session->fds, session->inds, session->oracle.get(),
+      session->build);
+  return Admit(std::move(session));
+}
+
+void SolverService::ChargeLocked(Session& s, std::uint64_t steps) {
+  ++s.stats.ops;
+  if (!s.meter->Charge(steps == 0 ? 1 : steps)) {
+    s.stats.budget_exhausted = true;
+  }
+  s.stats.steps_used = s.meter->used();
+}
+
+void SolverService::FoldLiveStatsLocked(Session& s) const {
+  // Witness counters do not survive a dropped private cache; accumulate.
+  if (s.private_cache != nullptr) {
+    s.stats.witness = SumWitness(s.stats.witness, s.private_cache->stats());
+  }
+  // Substrate deltas DO survive (workspace stats ride the snapshot), so
+  // they are overwritten, not summed.
+  if (s.mine_ws != nullptr) {
+    s.stats.values_interned = s.mine_ws->stats().values_interned -
+                              s.core->base_stats().values_interned;
+    s.stats.partitions_built = s.mine_ws->stats().partitions_built -
+                               s.core->base_stats().partitions_built;
+  }
+  if (s.armstrong != nullptr) {
+    s.stats.values_interned = s.armstrong->workspace_stats().values_interned;
+    s.stats.partitions_built =
+        s.armstrong->workspace_stats().partitions_built;
+  }
+}
+
+SolverService::SessionStats SolverService::SnapshotStatsLocked(
+    Session& s) const {
+  SessionStats out = s.stats;
+  out.evicted = s.evicted;
+  if (options_.share_witness_cache && s.kind == SessionKind::kSolve) {
+    out.witness = s.core->witness_cache().stats();
+  } else if (s.private_cache != nullptr) {
+    out.witness = SumWitness(out.witness, s.private_cache->stats());
+  }
+  if (s.mine_ws != nullptr) {
+    out.values_interned = s.mine_ws->stats().values_interned -
+                          s.core->base_stats().values_interned;
+    out.partitions_built = s.mine_ws->stats().partitions_built -
+                           s.core->base_stats().partitions_built;
+  }
+  if (s.armstrong != nullptr) {
+    out.values_interned = s.armstrong->workspace_stats().values_interned;
+    out.partitions_built = s.armstrong->workspace_stats().partitions_built;
+  }
+  return out;
+}
+
+Status SolverService::ReviveLocked(Session& s) {
+  switch (s.kind) {
+    case SessionKind::kSolve:
+      // Pure capital: rebuild the engines over the shared core. The
+      // private witness cache restarts cold (its counters were folded).
+      ProvisionSolver(s);
+      break;
+    case SessionKind::kMine: {
+      CCFP_ASSIGN_OR_RETURN(
+          RestoredChain chain,
+          LoadSnapshotChain(s.core->scheme_ptr(), s.chain->prefix()));
+      s.mine_ws =
+          std::make_unique<InternedWorkspace>(std::move(chain.restored.ws));
+      s.chain->Adopt(chain);
+      break;
+    }
+    case SessionKind::kArmstrong: {
+      CCFP_ASSIGN_OR_RETURN(
+          RestoredChain chain,
+          LoadSnapshotChain(s.core->scheme_ptr(), s.chain->prefix()));
+      CCFP_ASSIGN_OR_RETURN(
+          SessionClassificationRecord record,
+          DeserializeSessionRecord(s.core->scheme(), chain.restored.aux));
+      s.chain->Adopt(chain);
+      s.oracle = std::make_unique<ChaseOracle>(s.core->scheme_ptr(),
+                                               s.build.chase);
+      // Warm start without replay: workspace + classification adopted,
+      // zero oracle calls, zero re-interning.
+      s.armstrong = std::make_unique<ArmstrongSession>(
+          std::move(chain.restored.ws), std::move(record), s.fds, s.inds,
+          s.oracle.get(), s.build);
+      break;
+    }
+  }
+  s.evicted = false;
+  ++s.stats.revivals;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.sessions_revived;
+  return Status::OK();
+}
+
+Result<Verdict> SolverService::Solve(SessionId id, const Dependency& target,
+                                     const Budget& budget) {
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  if (s->kind != SessionKind::kSolve) {
+    return Status::FailedPrecondition(
+        StrCat("session ", id, " is not a solve session"));
+  }
+  InflightGuard guard(inflight_, options_.max_inflight);
+  if (!guard.admitted()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_inflight;
+    return Status::ResourceExhausted(
+        StrCat("in-flight op ceiling (", options_.max_inflight,
+               ") reached; retry"));
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->evicted) CCFP_RETURN_NOT_OK(ReviveLocked(*s));
+  if (s->meter->exhausted()) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.rejected_budget;
+    return Status::ResourceExhausted(
+        StrCat("session ", id, " exhausted its lifetime step ceiling"));
+  }
+  CCFP_ASSIGN_OR_RETURN(Verdict v, s->solver->Solve(target, budget));
+  ChargeLocked(*s, v.used.steps);
+  return v;
+}
+
+Status SolverService::Append(SessionId id, const Database& delta) {
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  if (s->kind != SessionKind::kMine) {
+    return Status::FailedPrecondition(
+        StrCat("session ", id, " is not a mining session"));
+  }
+  InflightGuard guard(inflight_, options_.max_inflight);
+  if (!guard.admitted()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_inflight;
+    return Status::ResourceExhausted("in-flight op ceiling reached; retry");
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->evicted) CCFP_RETURN_NOT_OK(ReviveLocked(*s));
+  if (s->meter->exhausted()) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.rejected_budget;
+    return Status::ResourceExhausted(
+        StrCat("session ", id, " exhausted its lifetime step ceiling"));
+  }
+  std::uint64_t before = s->mine_ws->stats().tuples_appended;
+  s->mine_ws->AppendDatabase(delta);
+  ChargeLocked(*s, s->mine_ws->stats().tuples_appended - before);
+  return Status::OK();
+}
+
+Result<std::vector<Fd>> SolverService::MineSessionFds(
+    SessionId id, RelId rel, const FdMiningOptions& fd) {
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  if (s->kind != SessionKind::kMine) {
+    return Status::FailedPrecondition(
+        StrCat("session ", id, " is not a mining session"));
+  }
+  InflightGuard guard(inflight_, options_.max_inflight);
+  if (!guard.admitted()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_inflight;
+    return Status::ResourceExhausted("in-flight op ceiling reached; retry");
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->evicted) CCFP_RETURN_NOT_OK(ReviveLocked(*s));
+  if (rel >= s->core->scheme().size()) {
+    return Status::InvalidArgument(StrCat("no relation ", rel));
+  }
+  std::vector<Fd> out = MineFds(*s->mine_ws, rel, fd);
+  ChargeLocked(*s, s->mine_ws->TotalAliveTuples());
+  return out;
+}
+
+Result<std::vector<Ind>> SolverService::MineSessionInds(
+    SessionId id, const IndMiningOptions& ind) {
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  if (s->kind != SessionKind::kMine) {
+    return Status::FailedPrecondition(
+        StrCat("session ", id, " is not a mining session"));
+  }
+  InflightGuard guard(inflight_, options_.max_inflight);
+  if (!guard.admitted()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_inflight;
+    return Status::ResourceExhausted("in-flight op ceiling reached; retry");
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->evicted) CCFP_RETURN_NOT_OK(ReviveLocked(*s));
+  std::vector<Ind> out = MineInds(*s->mine_ws, ind);
+  ChargeLocked(*s, s->mine_ws->TotalAliveTuples());
+  return out;
+}
+
+Result<std::vector<Rd>> SolverService::MineSessionRds(SessionId id) {
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  if (s->kind != SessionKind::kMine) {
+    return Status::FailedPrecondition(
+        StrCat("session ", id, " is not a mining session"));
+  }
+  InflightGuard guard(inflight_, options_.max_inflight);
+  if (!guard.admitted()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_inflight;
+    return Status::ResourceExhausted("in-flight op ceiling reached; retry");
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->evicted) CCFP_RETURN_NOT_OK(ReviveLocked(*s));
+  std::vector<Rd> out = MineRds(*s->mine_ws);
+  ChargeLocked(*s, s->mine_ws->TotalAliveTuples());
+  return out;
+}
+
+Status SolverService::Extend(SessionId id,
+                             const std::vector<Dependency>& delta) {
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  if (s->kind != SessionKind::kArmstrong) {
+    return Status::FailedPrecondition(
+        StrCat("session ", id, " is not an Armstrong session"));
+  }
+  InflightGuard guard(inflight_, options_.max_inflight);
+  if (!guard.admitted()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected_inflight;
+    return Status::ResourceExhausted("in-flight op ceiling reached; retry");
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->evicted) CCFP_RETURN_NOT_OK(ReviveLocked(*s));
+  if (s->meter->exhausted()) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.rejected_budget;
+    return Status::ResourceExhausted(
+        StrCat("session ", id, " exhausted its lifetime step ceiling"));
+  }
+  std::uint64_t before = s->armstrong->workspace_stats().tuples_appended;
+  CCFP_RETURN_NOT_OK(s->armstrong->Extend(delta));
+  ChargeLocked(*s, delta.size() + s->armstrong->workspace_stats().tuples_appended -
+                       before);
+  return Status::OK();
+}
+
+Result<Database> SolverService::ArmstrongDatabase(SessionId id) {
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  if (s->kind != SessionKind::kArmstrong) {
+    return Status::FailedPrecondition(
+        StrCat("session ", id, " is not an Armstrong session"));
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->evicted) CCFP_RETURN_NOT_OK(ReviveLocked(*s));
+  return s->armstrong->Snapshot();
+}
+
+Status SolverService::Evict(SessionId id) {
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->evicted) return Status::OK();
+  bool needs_spill = s->kind != SessionKind::kSolve;
+  if (needs_spill) {
+    if (options_.spill_dir.empty()) {
+      return Status::FailedPrecondition(
+          "session eviction needs Options::spill_dir");
+    }
+    if (s->chain == nullptr) {
+      s->chain = std::make_unique<SnapshotChainWriter>(ChainPrefix(id),
+                                                       options_.chain_policy);
+    }
+  }
+  switch (s->kind) {
+    case SessionKind::kSolve:
+      break;  // pure capital; nothing to persist
+    case SessionKind::kMine:
+      CCFP_RETURN_NOT_OK(s->chain->Save(*s->mine_ws));
+      break;
+    case SessionKind::kArmstrong: {
+      // Persist the workspace AND the universe classification so revival
+      // replays zero oracle calls.
+      SessionClassificationRecord record;
+      record.universe = s->armstrong->universe();
+      const std::vector<Dependency>& expected = s->armstrong->expected();
+      record.expected.reserve(record.universe.size());
+      for (const Dependency& member : record.universe) {
+        record.expected.push_back(
+            std::find(expected.begin(), expected.end(), member) !=
+            expected.end());
+      }
+      CCFP_RETURN_NOT_OK(s->chain->Save(s->armstrong->workspace(), {},
+                                        SerializeSessionRecord(record)));
+      break;
+    }
+  }
+  FoldLiveStatsLocked(*s);
+  s->solver.reset();
+  s->private_cache.reset();
+  s->mine_ws.reset();
+  s->armstrong.reset();
+  s->oracle.reset();
+  s->evicted = true;
+  ++s->stats.evictions;
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  ++stats_.sessions_evicted;
+  return Status::OK();
+}
+
+Status SolverService::Close(SessionId id) {
+  Shard& shard = *shards_[id % shards_.size()];
+  std::shared_ptr<Session> s;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.sessions.find(id);
+    if (it == shard.sessions.end()) {
+      return Status::NotFound(StrCat("no session ", id));
+    }
+    s = std::move(it->second);
+    shard.sessions.erase(it);
+  }
+  resident_.fetch_sub(1, std::memory_order_relaxed);
+  // An in-flight op on another thread still holds its shared_ptr; the
+  // session object dies when the last op returns.
+  return Status::OK();
+}
+
+Result<SolverService::SessionStats> SolverService::Stats(
+    SessionId id) const {
+  CCFP_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, Find(id));
+  std::lock_guard<std::mutex> lock(s->mu);
+  return SnapshotStatsLocked(*s);
+}
+
+SolverService::ServiceStats SolverService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(cores_mu_);
+    out.cores = cores_.size();
+  }
+  out.sessions_resident = resident_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace ccfp

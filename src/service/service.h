@@ -1,0 +1,270 @@
+#ifndef CCFP_SERVICE_SERVICE_H_
+#define CCFP_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "armstrong/builder.h"
+#include "axiom/oracle.h"
+#include "core/database.h"
+#include "core/dependency.h"
+#include "core/schema.h"
+#include "core/snapshot.h"
+#include "mine/discovery.h"
+#include "service/shared_core.h"
+#include "solve/solver.h"
+#include "util/budget.h"
+#include "util/status.h"
+#include "util/task_pool.h"
+
+namespace ccfp {
+
+/// A multi-session front end over the solving engines: many concurrent
+/// implication, mining, and Armstrong sessions served from shared
+/// immutable cores (service/shared_core.h) on one work-stealing TaskPool.
+///
+/// ## Architecture
+///
+///   * **Cores** are deduplicated by SolverCore::Identity — the Nth
+///     session over a (scheme, sigma, warm data) triple adopts the
+///     existing core and pays zero re-interning and zero partition
+///     compilation (provable from SessionStats deltas).
+///   * **Sessions** live in shards keyed by the core's scheme
+///     fingerprint; a SessionId encodes its shard (`id % shard_count`),
+///     so routing a call touches one shard mutex, never a global one.
+///     Ops on distinct sessions run concurrently (callers may invoke the
+///     service from many threads); ops on one session serialize on its
+///     own mutex.
+///   * **Budgets**: each session carries a lifetime step ceiling through
+///     a SharedBudgetMeter. Every op's measured consumption is charged
+///     after the fact; once the meter trips, further ops are refused with
+///     ResourceExhausted — the op that crossed the line still returns its
+///     (correct) verdict. Exhaustion is an admission outcome, never a
+///     wrong answer.
+///   * **Admission control**: a bounded in-flight op count and a bounded
+///     resident session count; both overflows are ResourceExhausted with
+///     a reason, never queueing and never degraded results.
+///   * **Eviction/revival**: Evict spills a session's state to its
+///     snapshot chain under `spill_dir` (mining: the forked workspace;
+///     Armstrong: workspace + universe classification as the chain's aux
+///     record; solve sessions are pure capital and just drop their
+///     engines) and frees the memory. The next op on an evicted session
+///     revives it transparently — warm-starting from the chain with zero
+///     re-interning and zero oracle replay. Chains are written under the
+///     exclusive cross-process lock (SnapshotChainPolicy::exclusive).
+///
+/// ## Determinism
+///
+/// By default every solve session gets a *private* witness cache, so its
+/// verdicts AND evidence are bit-identical to a standalone sequential
+/// ImplicationSolver no matter how many siblings run beside it (the
+/// mixed-route chase/search race preserves this — see SolveOptions::pool).
+/// `Options::share_witness_cache` opts a service into cross-session
+/// replay: verdicts stay exact, but which cached witness answers first
+/// becomes history-dependent.
+class SolverService {
+ public:
+  using SessionId = std::uint64_t;
+
+  struct Options {
+    /// TaskPool width. 0 = one worker per hardware thread.
+    unsigned threads = 0;
+    /// Session shard count (fixed at construction).
+    std::size_t shards = 4;
+    /// Resident (non-closed) session ceiling; Open beyond it is refused.
+    std::size_t max_sessions = 64;
+    /// Concurrent in-flight op ceiling across all sessions.
+    std::size_t max_inflight = 64;
+    /// Lifetime step ceiling per session (charged per op, post hoc).
+    std::uint64_t session_step_ceiling = UINT64_MAX;
+    /// Where evicted sessions spill their snapshot chains. Empty
+    /// disables Evict for stateful sessions (FailedPrecondition).
+    std::string spill_dir;
+    /// Fold policy for spill chains; `exclusive` is forced on so two
+    /// service processes can never interleave one session's chain.
+    SnapshotChainPolicy chain_policy;
+    /// Share one witness cache per core across its solve sessions (see
+    /// the determinism note above). Off by default.
+    bool share_witness_cache = false;
+    /// Race the mixed route's chase and search probes on the pool.
+    /// Verdict- and evidence-preserving; off only to pin down timing.
+    bool race_mixed_route = true;
+    /// Base solve options for solve sessions (semantics, evidence,
+    /// search shape). The shared-substrate hooks are overwritten per
+    /// session.
+    SolveOptions solve;
+  };
+
+  enum class SessionKind : std::uint8_t { kSolve = 0, kMine = 1, kArmstrong = 2 };
+
+  /// Per-session counters, self-contained (safe to read after Close).
+  struct SessionStats {
+    SessionKind kind = SessionKind::kSolve;
+    bool evicted = false;
+    bool budget_exhausted = false;
+    std::uint64_t ops = 0;
+    std::uint64_t steps_used = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t revivals = 0;
+    /// Substrate deltas over the shared core's sealed baseline — the
+    /// shared-core reuse proof: a session that only reads warm state
+    /// shows 0 for both.
+    std::uint64_t values_interned = 0;
+    std::uint64_t partitions_built = 0;
+    /// The session's effective witness cache counters (private cache:
+    /// exactly this session's traffic; shared cache: the core-wide
+    /// counters this session contributed to).
+    WitnessCache::Stats witness;
+  };
+
+  struct ServiceStats {
+    std::size_t cores = 0;            ///< distinct substrates built
+    std::uint64_t core_reuses = 0;    ///< sessions that adopted an existing core
+    std::size_t sessions_resident = 0;
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_evicted = 0;
+    std::uint64_t sessions_revived = 0;
+    std::uint64_t rejected_inflight = 0;
+    std::uint64_t rejected_capacity = 0;
+    std::uint64_t rejected_budget = 0;
+    unsigned pool_threads = 0;
+  };
+
+  SolverService();  ///< all-default Options
+  explicit SolverService(Options options);
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// --- admission ------------------------------------------------------
+
+  /// An implication session over (scheme, sigma). The Nth open over equal
+  /// inputs shares the first's core.
+  Result<SessionId> OpenSolve(SchemePtr scheme,
+                              std::vector<Dependency> sigma);
+  /// A mining session over `data`. The data is interned once, into the
+  /// shared core; the session forks a copy-on-write overlay over it and
+  /// may append private deltas.
+  Result<SessionId> OpenMine(SchemePtr scheme, const Database& data);
+  /// An Armstrong construction session for (fds, inds), oracle-backed by
+  /// a chase over the shared core's scheme.
+  Result<SessionId> OpenArmstrong(SchemePtr scheme, std::vector<Fd> fds,
+                                  std::vector<Ind> inds,
+                                  ArmstrongBuildOptions build = {});
+
+  /// --- session ops (concurrent across sessions) -----------------------
+
+  /// Decides sigma |= target within `budget` on the session's solver.
+  Result<Verdict> Solve(SessionId id, const Dependency& target,
+                        const Budget& budget = Budget());
+
+  /// Appends `delta`'s tuples into the mining session's private overlay.
+  Status Append(SessionId id, const Database& delta);
+  Result<std::vector<Fd>> MineSessionFds(SessionId id, RelId rel,
+                                         const FdMiningOptions& fd = {});
+  Result<std::vector<Ind>> MineSessionInds(SessionId id,
+                                           const IndMiningOptions& ind = {});
+  Result<std::vector<Rd>> MineSessionRds(SessionId id);
+
+  /// Grows the Armstrong session's universe (builder.h semantics).
+  Status Extend(SessionId id, const std::vector<Dependency>& delta);
+  /// The session's current verified-exact Armstrong database.
+  Result<Database> ArmstrongDatabase(SessionId id);
+
+  /// --- lifecycle ------------------------------------------------------
+
+  /// Spills the session to its snapshot chain (stateful kinds) and frees
+  /// its live engines. The next op revives it transparently.
+  Status Evict(SessionId id);
+  /// Removes the session. Its spill chain (if any) is left on disk.
+  Status Close(SessionId id);
+
+  Result<SessionStats> Stats(SessionId id) const;
+  ServiceStats stats() const;
+
+  TaskPool& pool() { return *pool_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  /// The shard a scheme routes to — exposed so tests can pin collisions.
+  std::size_t ShardOf(const DatabaseScheme& scheme) const;
+
+ private:
+  struct Session {
+    SessionKind kind = SessionKind::kSolve;
+    std::shared_ptr<const SolverCore> core;
+    /// Serializes ops on this session (ops across sessions run truly
+    /// concurrently on the shared caches' internal locks).
+    std::mutex mu;
+
+    /// Live engine state; null while evicted.
+    std::unique_ptr<ImplicationSolver> solver;       // kSolve
+    std::unique_ptr<WitnessCache> private_cache;     // kSolve, default mode
+    std::unique_ptr<InternedWorkspace> mine_ws;      // kMine
+    std::unique_ptr<ArmstrongSession> armstrong;     // kArmstrong
+    std::unique_ptr<ChaseOracle> oracle;             // kArmstrong
+    std::vector<Fd> fds;                             // kArmstrong params
+    std::vector<Ind> inds;
+    ArmstrongBuildOptions build;
+
+    /// Lifetime budget; MarkExhausted is sticky across ops.
+    std::unique_ptr<SharedBudgetMeter> meter;
+    std::unique_ptr<SnapshotChainWriter> chain;
+
+    bool evicted = false;
+    SessionStats stats;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<SessionId, std::shared_ptr<Session>> sessions;
+    std::uint64_t next = 0;
+  };
+
+  /// Bounded in-flight op count, RAII style.
+  class InflightGuard;
+
+  /// The deduplicating core registry.
+  Result<std::shared_ptr<const SolverCore>> AcquireCore(
+      SchemePtr scheme, std::vector<Dependency> sigma, const Database* warm);
+
+  Result<SessionId> Admit(std::shared_ptr<Session> session);
+  Result<std::shared_ptr<Session>> Find(SessionId id) const;
+
+  /// Builds (or rebuilds, on revival) a solve session's engines over its
+  /// core. Requires session->mu held.
+  void ProvisionSolver(Session& s);
+  /// Revives an evicted session from its spill chain. Requires s.mu held.
+  Status ReviveLocked(Session& s);
+  /// Charges `steps` against the session meter and folds exhaustion into
+  /// its stats. Requires s.mu held.
+  void ChargeLocked(Session& s, std::uint64_t steps);
+  /// The session's stats plus the deltas derivable only from live state
+  /// (witness counters, substrate deltas). Requires s.mu held.
+  SessionStats SnapshotStatsLocked(Session& s) const;
+  /// Folds the session's live-derived counters into its persistent stats
+  /// (called right before live engines are dropped). Requires s.mu held.
+  void FoldLiveStatsLocked(Session& s) const;
+  std::string ChainPrefix(SessionId id) const;
+
+  Options options_;
+  std::unique_ptr<TaskPool> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex cores_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const SolverCore>> cores_;
+
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> resident_{0};
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_SERVICE_SERVICE_H_

@@ -201,8 +201,10 @@ ImplicationSolver::ImplicationSolver(SchemePtr scheme,
       rds_.push_back(dep.rd());
     }
   }
-  witness_cache_ = std::make_unique<WitnessCache>(
-      scheme_, nontrivial_, options_.use_witness_cache ? 8 : 0);
+  if (options_.shared_witness_cache == nullptr) {
+    witness_cache_ = std::make_unique<WitnessCache>(
+        scheme_, nontrivial_, options_.use_witness_cache ? 8 : 0);
+  }
 }
 
 ImplicationFragment ImplicationSolver::Classify(
@@ -229,7 +231,7 @@ Result<Verdict> ImplicationSolver::Solve(const Dependency& target,
   // against the query's byte ceiling like everything else: shrink the
   // cache (coldest witness first) before running the stages under it.
   if (options_.use_witness_cache && budget.bytes != UINT64_MAX) {
-    witness_cache_->EnforceByteCeiling(budget.bytes);
+    cache().EnforceByteCeiling(budget.bytes);
   }
   Verdict v;
   v.semantics = options_.semantics;
@@ -273,10 +275,10 @@ Result<Verdict> ImplicationSolver::Solve(const Dependency& target,
 
 bool ImplicationSolver::ProbeWitnessCache(const Dependency& target,
                                           Verdict& v) {
-  if (!options_.use_witness_cache || witness_cache_->size() == 0) {
+  if (!options_.use_witness_cache || cache().size() == 0) {
     return false;
   }
-  const Database* hit = witness_cache_->Refute(target);
+  std::shared_ptr<const Database> hit = cache().Refute(target);
   if (hit == nullptr) return false;
   // The cached database satisfies sigma (verified on admission) and its
   // watcher just confirmed it violates the target — a complete
@@ -306,8 +308,7 @@ bool ImplicationSolver::AttachCounterexample(Database db,
   // always runs — it is what makes a search-found candidate decisive;
   // want_counterexample only controls whether the database itself is
   // handed to the caller.
-  bool genuine = false;
-  witness_cache_->Admit(db, target, &genuine);
+  bool genuine = cache().Admit(db, target).genuine;
   if (genuine) {
     if (!report.note.empty()) report.note += "; ";
     report.note += "counterexample verified through watchers";
@@ -519,100 +520,177 @@ void ImplicationSolver::SolveMixed(const Dependency& target,
   }
   if (DeadlineExpired(budget, v, "chase")) return;
 
-  // --- Stage 2: budgeted chase proof (universal model) ------------------
-  if (!rds_.empty()) {
-    StageReport r{"chase", "", ImplicationVerdict::kUnknown,
-                  "skipped: RD hypotheses are outside the chase's rule "
-                  "arsenal",
-                  {}};
-    unknown_notes.push_back("chase: skipped (RD hypotheses)");
-    PushStage(v, std::move(r));
-  } else {
-    StageReport r{"chase", "workspace-chase (universal model)",
-                  ImplicationVerdict::kUnknown, "", {}};
-    Result<Database> seed = MakeCanonicalSeed(scheme_, target);
-    if (!seed.ok()) {
-      r.note = seed.status().ToString();
-      unknown_notes.push_back(StrCat("chase: ", r.note));
+  // --- Stages 2+3: chase proof and bounded refutation search ------------
+  // With a pool, the two probes race (first decisive verdict wins, the
+  // loser is cancelled); otherwise they run in pipeline order. Verdicts
+  // and evidence are identical either way — see SolveOptions::pool.
+  bool raced = false;
+  if (options_.pool != nullptr && rds_.empty()) {
+    raced = SolveMixedRaced(target, slice, unknown_notes, v);
+    if (raced && v.outcome != ImplicationVerdict::kUnknown) return;
+  }
+  if (!raced) {
+    // --- Stage 2: budgeted chase proof (universal model) ----------------
+    if (!rds_.empty()) {
+      StageReport r{"chase", "", ImplicationVerdict::kUnknown,
+                    "skipped: RD hypotheses are outside the chase's rule "
+                    "arsenal",
+                    {}};
+      unknown_notes.push_back("chase: skipped (RD hypotheses)");
       PushStage(v, std::move(r));
     } else {
-      // One workspace carries the chase and — on refutation — the
-      // evidence check: the fixpoint is verified in id-space without
-      // re-interning, then materialized once for the caller.
-      InternedWorkspace ws(scheme_);
-      ws.AppendDatabase(*seed);
-      WorkspaceChase chase(&ws, fds_, inds_);
-      Result<WorkspaceChaseStats> run =
-          chase.Run(ChaseOptions::FromBudget(slice));
-      if (!run.ok()) {
-        r.note = run.status().ToString();
-        r.used.steps = slice.steps;
-        unknown_notes.push_back(StrCat("chase: ", r.note));
-        PushStage(v, std::move(r));
-      } else if (run->outcome == ChaseOutcome::kFailed) {
-        r.note = "chase failed from an all-null seed (engine bug)";
+      Result<Database> seed = MakeCanonicalSeed(scheme_, target);
+      if (!seed.ok()) {
+        StageReport r{"chase", "workspace-chase (universal model)",
+                      ImplicationVerdict::kUnknown,
+                      seed.status().ToString(),
+                      {}};
         unknown_notes.push_back(StrCat("chase: ", r.note));
         PushStage(v, std::move(r));
       } else {
-        r.used.steps = run->steps;
-        r.used.tuples = run->ind_tuples;
-        v.chase_stats = *run;
-        bool holds = ws.Satisfies(target);
-        v.engine = r.engine;
-        if (holds) {
-          v.outcome = ImplicationVerdict::kImplied;
-          r.verdict = ImplicationVerdict::kImplied;
-          r.note = "target holds in the chased fixpoint";
-          PushStage(v, std::move(r));
-          return;
-        }
-        v.outcome = ImplicationVerdict::kNotImplied;
-        r.verdict = ImplicationVerdict::kNotImplied;
-        if (options_.use_witness_cache) {
-          // The fixpoint satisfies sigma by construction; verify it
-          // through watchers and hand it to the witness cache so later
-          // Solves over this sigma can replay the refutation.
-          bool genuine = false;
-          Database fixpoint = ws.Materialize();
-          witness_cache_->Admit(fixpoint, target, &genuine);
-          if (genuine) {
-            if (options_.want_counterexample) {
-              v.counterexample = std::move(fixpoint);
-              v.counterexample_verified = true;
-            }
-            r.note = "chased fixpoint is the counterexample (verified "
-                     "through watchers)";
-          } else {
-            r.note = "fixpoint failed its sigma re-check (engine bug)";
-          }
-        } else if (options_.want_counterexample) {
-          // Cache off: verify in id-space on the chase's own workspace
-          // (nothing re-interned).
-          bool genuine =
-              !ws.Satisfies(target) && ws.SatisfiesAll(nontrivial_);
-          if (genuine) {
-            v.counterexample = ws.Materialize();
-            v.counterexample_verified = true;
-            r.note = "chased fixpoint is the counterexample (verified "
-                     "in-workspace)";
-          } else {
-            r.note = "fixpoint failed its sigma re-check (engine bug)";
-          }
-        }
-        PushStage(v, std::move(r));
-        return;
+        // One workspace carries the chase and — on refutation — the
+        // evidence check: the fixpoint is verified in id-space without
+        // re-interning, then materialized once for the caller.
+        InternedWorkspace ws(scheme_);
+        ws.AppendDatabase(*seed);
+        WorkspaceChase chase(&ws, fds_, inds_);
+        Result<WorkspaceChaseStats> run =
+            chase.Run(ChaseOptions::FromBudget(slice));
+        if (FinishChase(target, slice, ws, run, unknown_notes, v)) return;
       }
     }
-  }
-  if (DeadlineExpired(budget, v, "search")) return;
+    if (DeadlineExpired(budget, v, "search")) return;
 
-  // --- Stage 3: bounded counterexample search ---------------------------
-  SearchStage(target, slice, v);
+    // --- Stage 3: bounded counterexample search -------------------------
+    SearchStage(target, slice, v);
+  }
   if (v.outcome == ImplicationVerdict::kUnknown) {
     unknown_notes.push_back("search: no counterexample within the bound");
     v.reason = StrCat("undecidable fragment — ",
                       JoinStrings(unknown_notes, "; "));
   }
+}
+
+bool ImplicationSolver::SolveMixedRaced(const Dependency& target,
+                                        const Budget& slice,
+                                        std::vector<std::string>& unknown_notes,
+                                        Verdict& v) {
+  Result<Database> seed = MakeCanonicalSeed(scheme_, target);
+  if (!seed.ok()) return false;  // the sequential path reports the failure
+
+  // Sticky first-verdict-wins flag (never charged, only marked): the
+  // chase becoming decisive kills the search probe. The chase itself is
+  // never cancelled — whether it converges within its budget share must
+  // not depend on timing, or verdicts would differ run to run.
+  Budget unmetered;
+  unmetered.deadline.reset();
+  SharedBudgetMeter cancel(unmetered, UINT64_MAX);
+
+  InternedWorkspace ws(scheme_);
+  ws.AppendDatabase(*seed);
+  WorkspaceChase chase(&ws, fds_, inds_);
+  ChaseOptions chase_options = ChaseOptions::FromBudget(slice);
+
+  BoundedSearchOptions search_opts = MakeSearchOptions(slice);
+  search_opts.cancel = &cancel;
+
+  std::optional<Result<WorkspaceChaseStats>> chase_run;
+  std::optional<Result<BoundedSearchResult>> search_run;
+  {
+    TaskGroup group(options_.pool);
+    group.Spawn([&] {
+      chase_run.emplace(chase.Run(chase_options));
+      if (chase_run->ok() &&
+          (*chase_run)->outcome == ChaseOutcome::kFixpoint) {
+        // Decisive either way (the fixpoint proves or refutes): the
+        // search probe's answer is moot, stop paying for it.
+        cancel.MarkExhausted();
+      }
+    });
+    group.Spawn([&] {
+      search_run.emplace(
+          FindCounterexample(scheme_, nontrivial_, target, search_opts));
+    });
+    group.Wait();
+  }
+
+  // Deterministic reduction on the joining thread, chase first — exactly
+  // the sequential stage order, so stage reports, evidence, and witness-
+  // cache traffic match the pipeline bit for bit. All cache interaction
+  // happens below, never inside the tasks.
+  if (FinishChase(target, slice, ws, *chase_run, unknown_notes, v)) {
+    return true;  // search result (possibly cancelled) is discarded
+  }
+  FinishSearch(target, search_opts, std::move(*search_run), v);
+  return true;
+}
+
+bool ImplicationSolver::FinishChase(const Dependency& target,
+                                    const Budget& slice,
+                                    InternedWorkspace& ws,
+                                    const Result<WorkspaceChaseStats>& run,
+                                    std::vector<std::string>& unknown_notes,
+                                    Verdict& v) {
+  StageReport r{"chase", "workspace-chase (universal model)",
+                ImplicationVerdict::kUnknown, "", {}};
+  if (!run.ok()) {
+    r.note = run.status().ToString();
+    r.used.steps = slice.steps;
+    unknown_notes.push_back(StrCat("chase: ", r.note));
+    PushStage(v, std::move(r));
+    return false;
+  }
+  if (run->outcome == ChaseOutcome::kFailed) {
+    r.note = "chase failed from an all-null seed (engine bug)";
+    unknown_notes.push_back(StrCat("chase: ", r.note));
+    PushStage(v, std::move(r));
+    return false;
+  }
+  r.used.steps = run->steps;
+  r.used.tuples = run->ind_tuples;
+  v.chase_stats = *run;
+  bool holds = ws.Satisfies(target);
+  v.engine = r.engine;
+  if (holds) {
+    v.outcome = ImplicationVerdict::kImplied;
+    r.verdict = ImplicationVerdict::kImplied;
+    r.note = "target holds in the chased fixpoint";
+    PushStage(v, std::move(r));
+    return true;
+  }
+  v.outcome = ImplicationVerdict::kNotImplied;
+  r.verdict = ImplicationVerdict::kNotImplied;
+  if (options_.use_witness_cache) {
+    // The fixpoint satisfies sigma by construction; verify it through
+    // watchers and hand it to the witness cache so later Solves over
+    // this sigma can replay the refutation.
+    Database fixpoint = ws.Materialize();
+    bool genuine = cache().Admit(fixpoint, target).genuine;
+    if (genuine) {
+      if (options_.want_counterexample) {
+        v.counterexample = std::move(fixpoint);
+        v.counterexample_verified = true;
+      }
+      r.note = "chased fixpoint is the counterexample (verified "
+               "through watchers)";
+    } else {
+      r.note = "fixpoint failed its sigma re-check (engine bug)";
+    }
+  } else if (options_.want_counterexample) {
+    // Cache off: verify in id-space on the chase's own workspace
+    // (nothing re-interned).
+    bool genuine = !ws.Satisfies(target) && ws.SatisfiesAll(nontrivial_);
+    if (genuine) {
+      v.counterexample = ws.Materialize();
+      v.counterexample_verified = true;
+      r.note = "chased fixpoint is the counterexample (verified "
+               "in-workspace)";
+    } else {
+      r.note = "fixpoint failed its sigma re-check (engine bug)";
+    }
+  }
+  PushStage(v, std::move(r));
+  return true;
 }
 
 void ImplicationSolver::SolveUnsupported(const Dependency& target,
@@ -625,16 +703,30 @@ void ImplicationSolver::SolveUnsupported(const Dependency& target,
   }
 }
 
-void ImplicationSolver::SearchStage(const Dependency& target,
-                                    const Budget& budget, Verdict& v) {
-  StageReport r{"search", "bounded-search (id-space)",
-                ImplicationVerdict::kUnknown, "", {}};
+BoundedSearchOptions ImplicationSolver::MakeSearchOptions(
+    const Budget& budget) {
   BoundedSearchOptions opts = BoundedSearchOptions::FromBudget(budget);
   opts.max_tuples_per_relation = options_.search_max_tuples_per_relation;
   opts.domain_size = options_.search_domain_size;
-  opts.workspace = &search_ws_;
-  Result<BoundedSearchResult> search =
-      FindCounterexample(scheme_, nontrivial_, target, opts);
+  opts.workspace = options_.shared_search_tables != nullptr
+                       ? options_.shared_search_tables
+                       : &search_ws_;
+  return opts;
+}
+
+void ImplicationSolver::SearchStage(const Dependency& target,
+                                    const Budget& budget, Verdict& v) {
+  BoundedSearchOptions opts = MakeSearchOptions(budget);
+  FinishSearch(target, opts,
+               FindCounterexample(scheme_, nontrivial_, target, opts), v);
+}
+
+void ImplicationSolver::FinishSearch(const Dependency& target,
+                                     const BoundedSearchOptions& opts,
+                                     Result<BoundedSearchResult> search,
+                                     Verdict& v) {
+  StageReport r{"search", "bounded-search (id-space)",
+                ImplicationVerdict::kUnknown, "", {}};
   if (!search.ok()) {
     r.note = search.status().ToString();
     PushStage(v, std::move(r));

@@ -18,6 +18,7 @@
 #include "search/bounded.h"
 #include "util/budget.h"
 #include "util/status.h"
+#include "util/task_pool.h"
 #include "verify/witness_cache.h"
 
 namespace ccfp {
@@ -86,6 +87,33 @@ struct SolveOptions {
   /// route feed it. Off => counterexamples are still verified through
   /// one-shot watchers, just not retained.
   bool use_witness_cache = true;
+
+  /// --- shared-substrate hooks (service/shared_core.h) -----------------
+  /// All non-owned and optional; null means the solver provisions its own
+  /// private state (the classic standalone behavior).
+
+  /// Cache shared across solvers over the *same sigma* (thread-safe; the
+  /// caller guarantees the sigma match — the service keys cores by
+  /// scheme+sigma identity). When set, the solver allocates no private
+  /// cache: replays, admissions, and evidence checks all go through the
+  /// shared one. Note shared replay makes *evidence* (which cached
+  /// witness answers first) dependent on sibling-session history; callers
+  /// that need bit-reproducible evidence keep this null.
+  WitnessCache* shared_witness_cache = nullptr;
+  /// Compiled search key tables shared across solvers over the *same
+  /// scheme* (thread-safe). When set, the per-solver table cache is
+  /// bypassed — the Nth session's searches compile nothing.
+  BoundedSearchWorkspace* shared_search_tables = nullptr;
+  /// When set, the mixed route races its chase proof probe against its
+  /// bounded-search refutation probe on this pool (first decisive verdict
+  /// wins; the loser is cancelled through a sticky exhausted flag).
+  /// Verdicts and evidence are identical to the sequential pipeline at
+  /// every pool width: the chase is never cancelled (its convergence
+  /// within its budget share cannot depend on timing), a decisive chase
+  /// cancels the search and discards its result (sequentially the search
+  /// would never have run), and a surviving search result is reduced on
+  /// the joining thread.
+  TaskPool* pool = nullptr;
 };
 
 /// The three-valued answer of one Solve call, with checkable evidence:
@@ -201,6 +229,25 @@ class ImplicationSolver {
   /// verifies) a counterexample.
   void SearchStage(const Dependency& target, const Budget& budget,
                    Verdict& v);
+  /// Stages 2+3 of the mixed route raced on options_.pool (see
+  /// SolveOptions::pool). Returns false when the race could not start
+  /// (no canonical seed) — the sequential path then reports the failure.
+  bool SolveMixedRaced(const Dependency& target, const Budget& slice,
+                       std::vector<std::string>& unknown_notes, Verdict& v);
+  /// Folds a finished chase probe into the verdict (the shared tail of
+  /// the sequential and raced stage 2). True iff decisive.
+  bool FinishChase(const Dependency& target, const Budget& slice,
+                   InternedWorkspace& ws,
+                   const Result<WorkspaceChaseStats>& run,
+                   std::vector<std::string>& unknown_notes, Verdict& v);
+  /// Folds a finished search probe into the verdict (the shared tail of
+  /// SearchStage and the raced stage 3); runs the evidence check.
+  void FinishSearch(const Dependency& target,
+                    const BoundedSearchOptions& opts,
+                    Result<BoundedSearchResult> search, Verdict& v);
+  /// The search options every refutation scan uses (budget + shape +
+  /// the effective compiled-table cache).
+  BoundedSearchOptions MakeSearchOptions(const Budget& budget);
   /// Tries to answer kNotImplied from the witness cache (a database from
   /// an earlier Solve that satisfies sigma and violates `target`). On a
   /// hit fills the verdict (stage "witness-cache") and returns true.
@@ -232,11 +279,20 @@ class ImplicationSolver {
 
   /// Compiled-table cache shared by every refutation search this solver
   /// runs (the scheme is fixed, so the tables are reusable by contract).
+  /// Bypassed when options_.shared_search_tables is set.
   BoundedSearchWorkspace search_ws_;
   /// Verified counterexamples from earlier Solves, replayed against later
   /// targets over the same sigma (capacity 0 when use_witness_cache is
   /// off — it then only serves as the watcher-based evidence checker).
+  /// Null when options_.shared_witness_cache supplies the cache instead.
   std::unique_ptr<WitnessCache> witness_cache_;
+
+  /// The effective witness cache (shared when provided, else private).
+  WitnessCache& cache() {
+    return options_.shared_witness_cache != nullptr
+               ? *options_.shared_witness_cache
+               : *witness_cache_;
+  }
 };
 
 /// One-shot façade over a temporary solver:

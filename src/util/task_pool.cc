@@ -116,10 +116,16 @@ void TaskGroup::Spawn(std::function<void()> fn) {
   pending_.fetch_add(1, std::memory_order_relaxed);
   pool_->Submit([this, fn = std::move(fn)] {
     fn();
+    // The joiner may observe pending_ == 0 and destroy the (usually
+    // stack-allocated) group the instant the decrement below lands, so
+    // everything needed afterwards must be read BEFORE it. The pool
+    // itself outlives the task: ~TaskPool joins this worker, and a
+    // caller helping in Wait holds the pool alive by construction.
+    TaskPool* pool = pool_;
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last task out: wake the joiner (it may be asleep in Wait).
-      std::lock_guard<std::mutex> lock(pool_->wake_mu_);
-      pool_->wake_cv_.notify_all();
+      std::lock_guard<std::mutex> lock(pool->wake_mu_);
+      pool->wake_cv_.notify_all();
     }
   });
 }

@@ -37,7 +37,13 @@ IncrementalVerifier& WitnessCache::ProbeVerifier(Entry& e) {
   return *e.verifier;
 }
 
+bool WitnessCache::EntryViolates(Entry& e, const Dependency& target) {
+  IncrementalVerifier& v = ProbeVerifier(e);
+  return !v.Satisfies(v.Watch(target));
+}
+
 std::uint64_t WitnessCache::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t total = 0;
   for (const auto& e : entries_) {
     MemoryBreakdown mb = e->ws.MemoryUsage();
@@ -48,31 +54,52 @@ std::uint64_t WitnessCache::MemoryBytes() const {
   return total;
 }
 
-void WitnessCache::EnforceByteCeiling(std::uint64_t limit) {
-  while (!entries_.empty() && MemoryBytes() > limit) {
+std::uint64_t WitnessCache::EnforceByteCeiling(std::uint64_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped = 0;
+  // Inline byte accounting (MemoryBytes would deadlock on mu_).
+  auto bytes = [this]() {
+    std::uint64_t total = 0;
+    for (const auto& e : entries_) {
+      MemoryBreakdown mb = e->ws.MemoryUsage();
+      total += mb.Total() + mb.tuple_store + e->verifier->MemoryBytes();
+    }
+    return total;
+  };
+  while (!entries_.empty() && bytes() > limit) {
     entries_.pop_front();
     ++stats_.evicted;
     ++stats_.byte_evictions;
+    ++dropped;
   }
+  return dropped;
 }
 
-bool WitnessCache::Admit(const Database& db, const Dependency& target,
-                         bool* violates_target) {
-  // Identical witness already cached? Its sigma check stands; answer the
-  // target probe from the existing entry's watchers instead of
-  // re-interning (Materialize round-trips make duplicates common), and
-  // refresh its recency — being re-offered is a use.
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    Entry* e = entries_[i].get();
-    if (e->db == db) {
-      if (violates_target != nullptr) {
-        IncrementalVerifier& v = ProbeVerifier(*e);
-        *violates_target = !v.Satisfies(v.Watch(target));
+WitnessCache::AdmitOutcome WitnessCache::Admit(const Database& db,
+                                               const Dependency& target) {
+  AdmitOutcome out;
+  std::uint64_t scan_generation = 0;
+  {
+    // Phase 1 (locked): identical witness already cached? Its sigma check
+    // stands; answer the target probe from the existing entry's watchers
+    // instead of re-interning (Materialize round-trips make duplicates
+    // common), and refresh its recency — being re-offered is a use.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      Entry* e = entries_[i].get();
+      if (*e->db == db) {
+        out.admitted = true;
+        out.genuine = EntryViolates(*e, target);
+        Touch(i);
+        return out;
       }
-      Touch(i);
-      return true;
     }
+    scan_generation = generation_;
   }
+
+  // Phase 2 (unlocked): the expensive part — intern the candidate into a
+  // private workspace and verify sigma + the target through watchers.
+  // Other threads admit and probe concurrently.
   auto entry = std::make_unique<Entry>(scheme_);
   entry->ws.AppendDatabase(db);
   bool sigma_ok = true;
@@ -82,34 +109,50 @@ bool WitnessCache::Admit(const Database& db, const Dependency& target,
       break;
     }
   }
-  if (violates_target != nullptr) {
-    *violates_target =
-        sigma_ok &&
-        !entry->verifier->Satisfies(entry->verifier->Watch(target));
-  }
+  out.genuine =
+      sigma_ok && !entry->verifier->Satisfies(entry->verifier->Watch(target));
   if (!sigma_ok) {
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.rejected;
-    return false;
+    return out;
   }
-  if (capacity_ == 0) return false;
+  if (capacity_ == 0) return out;  // verify-only mode: nothing retained
+
+  // Phase 3 (locked): re-validate the duplicate scan against entries
+  // inserted since phase 1 (their generation stamp exceeds the snapshot),
+  // then insert under capacity.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation_ != scan_generation) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      Entry* e = entries_[i].get();
+      if (e->generation > scan_generation && *e->db == db) {
+        out.admitted = true;
+        Touch(i);
+        return out;
+      }
+    }
+  }
   if (entries_.size() >= capacity_) {
     entries_.pop_front();
     ++stats_.evicted;
   }
-  entry->db = db;  // copied only when actually retained
+  entry->db = std::make_shared<const Database>(db);  // copied when retained
+  entry->generation = ++generation_;
   entries_.push_back(std::move(entry));
   ++stats_.admitted;
-  return true;
+  out.admitted = true;
+  return out;
 }
 
-const Database* WitnessCache::Refute(const Dependency& target) {
+std::shared_ptr<const Database> WitnessCache::Refute(
+    const Dependency& target) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.probes;
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    IncrementalVerifier& v = ProbeVerifier(*entries_[i]);
-    if (!v.Satisfies(v.Watch(target))) {
+    if (EntryViolates(*entries_[i], target)) {
       ++stats_.hits;
       Touch(i);
-      return &entries_.back()->db;
+      return entries_.back()->db;
     }
   }
   ++stats_.misses;

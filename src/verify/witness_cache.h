@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/database.h"
@@ -31,6 +32,19 @@ namespace ccfp {
 /// — probing a new target against an entry registers one watcher on the
 /// already-interned data, and probing a repeated target is a counter
 /// read.
+///
+/// ## Thread safety
+///
+/// Safe for concurrent readers and writers: all cache state sits behind
+/// one mutex (probes mutate — Watch registers watchers — so there is no
+/// read-only fast path to speak of), and the expensive part of an
+/// admission (interning the candidate and verifying sigma on a private
+/// workspace) runs *outside* the lock. A cache-wide generation counter,
+/// stamped onto each entry at insertion, lets the admission re-validate
+/// its duplicate scan after relocking: only entries inserted since the
+/// scan (entry generation > the scan's snapshot) must be re-checked.
+/// Refute hands back a shared_ptr so a hit stays alive even if the entry
+/// is evicted the instant the lock drops.
 class WitnessCache {
  public:
   struct Stats {
@@ -45,6 +59,17 @@ class WitnessCache {
     std::uint64_t watcher_resets = 0;
     /// Entries dropped by EnforceByteCeiling (counted in `evicted` too).
     std::uint64_t byte_evictions = 0;
+  };
+
+  /// The full answer to "offer this database as a witness against
+  /// `target`" (see Admit).
+  struct AdmitOutcome {
+    /// The database is resident after the call (newly inserted, or a
+    /// duplicate whose recency was refreshed). Always false at capacity 0.
+    bool admitted = false;
+    /// The database satisfies sigma AND violates the target — the
+    /// genuineness check callers need before attaching it as evidence.
+    bool genuine = false;
   };
 
   /// `sigma` should be the solver's non-trivial members; `capacity` bounds
@@ -65,8 +90,15 @@ class WitnessCache {
                std::size_t capacity = 8,
                std::size_t max_watches_per_entry = 64);
 
-  const Stats& stats() const { return stats_; }
-  std::size_t size() const { return entries_.size(); }
+  /// Snapshot of the counters (by value: safe against concurrent use).
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
   /// Logical bytes of live cache state: per entry, the pinned workspace,
   /// the pinned heap Database copy, and the verifier's watcher state —
@@ -76,38 +108,40 @@ class WitnessCache {
   /// Evicts coldest-first until MemoryBytes() <= `limit` (the solver
   /// calls this with the query's `Budget::bytes` ceiling so the cache is
   /// counted against the caller's live-state budget rather than growing
-  /// beside it). May empty the cache entirely.
-  void EnforceByteCeiling(std::uint64_t limit);
+  /// beside it). May empty the cache entirely. Returns the number of
+  /// entries dropped (service stats surface it per session).
+  std::uint64_t EnforceByteCeiling(std::uint64_t limit);
 
   /// Offers `db` to the cache. The database is interned into a fresh
   /// workspace and sigma is verified through watchers; a candidate that
   /// fails sigma is rejected (and counted — callers treat that as "not a
-  /// genuine counterexample"). Returns whether the entry was admitted.
-  /// `violates_target`, if non-null, receives whether `db` also violates
-  /// `target` — the full genuineness check callers need, at no extra
-  /// cost. A duplicate of a cached database is re-verified but not
-  /// stored twice.
-  bool Admit(const Database& db, const Dependency& target,
-             bool* violates_target);
+  /// genuine counterexample"). A duplicate of a cached database is
+  /// re-verified but not stored twice. The outcome carries both the
+  /// residency answer and whether `db` genuinely refutes `target`.
+  AdmitOutcome Admit(const Database& db, const Dependency& target);
 
-  /// A cached database violating `target`, or nullptr. Every cached
-  /// entry satisfies sigma by construction, so a hit is a complete,
-  /// already-verified refutation of `sigma |= target`.
-  const Database* Refute(const Dependency& target);
+  /// A cached database violating `target`, or null. Every cached entry
+  /// satisfies sigma by construction, so a hit is a complete,
+  /// already-verified refutation of `sigma |= target`. The pointer keeps
+  /// the database alive independently of later evictions.
+  std::shared_ptr<const Database> Refute(const Dependency& target);
 
  private:
   struct Entry {
-    /// Filled only when the entry is retained; verification runs on the
-    /// interned `ws` copy alone.
-    Database db;
+    /// Set only when the entry is retained; verification runs on the
+    /// interned `ws` copy alone. shared so Refute hits outlive eviction.
+    std::shared_ptr<const Database> db;
     InternedWorkspace ws;
     /// Behind a unique_ptr so the watch-cap reset can rebuild it (the
     /// verifier itself is non-movable — it registers a feed cursor).
     std::unique_ptr<IncrementalVerifier> verifier;
+    /// Cache generation at insertion (see the thread-safety note): an
+    /// admission's post-verify re-scan only re-checks entries stamped
+    /// after its pre-verify scan.
+    std::uint64_t generation = 0;
 
     explicit Entry(SchemePtr scheme)
-        : db(scheme),
-          ws(std::move(scheme)),
+        : ws(std::move(scheme)),
           verifier(std::make_unique<IncrementalVerifier>(&ws)) {}
   };
 
@@ -116,13 +150,19 @@ class WitnessCache {
   /// The entry's verifier, rebuilt fresh over sigma when its watcher set
   /// has reached max_watches_per_entry (see the constructor).
   IncrementalVerifier& ProbeVerifier(Entry& e);
+  /// Whether the entry's pinned database violates `target`, through its
+  /// (possibly rebuilt) verifier. Requires mu_ held.
+  bool EntryViolates(Entry& e, const Dependency& target);
 
   SchemePtr scheme_;
   std::vector<Dependency> sigma_;
   std::size_t capacity_;
   std::size_t max_watches_per_entry_;
+  mutable std::mutex mu_;
   /// LRU order: front = coldest (next eviction), back = hottest.
   std::deque<std::unique_ptr<Entry>> entries_;
+  /// Bumped on every insertion; stamps Entry::generation.
+  std::uint64_t generation_ = 0;
   Stats stats_;
 };
 

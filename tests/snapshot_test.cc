@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -250,6 +252,78 @@ TEST(SnapshotTest, UnarmedInjectorIsInvisible) {
   Result<RestoredWorkspace> restored = LoadWorkspaceSnapshot(scheme, path);
   ASSERT_TRUE(restored.ok()) << restored.status();
   ExpectObservablyEqual(ws, restored->ws, deps);
+}
+
+TEST(SnapshotChainLockTest, ExcludesSecondHolderUntilReleased) {
+  std::string prefix = ::testing::TempDir() + "/ccfp_chain_lock_excl";
+  std::remove(SnapshotChainLock::LockPath(prefix).c_str());
+
+  SnapshotChainLock a;
+  ASSERT_TRUE(a.Acquire(prefix).ok());
+  EXPECT_TRUE(a.held());
+  EXPECT_FALSE(a.adopted_stale());
+
+  // flock ownership follows the open file description, so a second open
+  // in the same process contends exactly like another process would.
+  SnapshotChainLock b;
+  Status contested = b.Acquire(prefix);
+  ASSERT_FALSE(contested.ok());
+  EXPECT_EQ(contested.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(contested.message().find("locked by live pid"),
+            std::string::npos);
+  EXPECT_FALSE(b.held());
+
+  a.Release();
+  EXPECT_FALSE(a.held());
+  // A clean release clears the pid stamp: the takeover is not "stale".
+  ASSERT_TRUE(b.Acquire(prefix).ok());
+  EXPECT_FALSE(b.adopted_stale());
+}
+
+TEST(SnapshotChainLockTest, DetectsStaleStampFromDeadHolder) {
+  std::string prefix = ::testing::TempDir() + "/ccfp_chain_lock_stale";
+  std::string lock_path = SnapshotChainLock::LockPath(prefix);
+  // A dead holder: its pid stamp is on disk but the kernel dropped its
+  // flock when it exited — simulated by writing the stamp with no lock.
+  {
+    std::ofstream out(lock_path, std::ios::trunc);
+    out << 999999 << "\n";
+  }
+  SnapshotChainLock lock;
+  ASSERT_TRUE(lock.Acquire(prefix).ok());
+  EXPECT_TRUE(lock.adopted_stale());
+  lock.Release();
+
+  // The adoption re-stamped and then cleanly cleared; a fresh acquisition
+  // sees nothing stale.
+  ASSERT_TRUE(lock.Acquire(prefix).ok());
+  EXPECT_FALSE(lock.adopted_stale());
+}
+
+TEST(SnapshotChainLockTest, ExclusiveWriterLocksOnFirstSave) {
+  SchemePtr scheme = TwoRelScheme();
+  InternedWorkspace ws = PopulatedWorkspace(scheme, nullptr);
+  std::string prefix = ::testing::TempDir() + "/ccfp_chain_lock_writer";
+  std::remove(SnapshotChainLock::LockPath(prefix).c_str());
+
+  SnapshotChainPolicy exclusive;
+  exclusive.exclusive = true;
+  SnapshotChainWriter first(prefix, exclusive);
+  EXPECT_FALSE(first.lock().held());  // construction never contends
+  ASSERT_TRUE(first.Save(ws).ok());
+  EXPECT_TRUE(first.lock().held());
+
+  // A second exclusive writer on the same chain is refused before it
+  // writes a byte; a default (non-exclusive) writer keeps the historical
+  // free-for-all the crash-interleaving tests rely on.
+  SnapshotChainWriter second(prefix, exclusive);
+  Status refused = second.Save(ws);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(second.has_base());
+
+  SnapshotChainWriter carefree(prefix);
+  EXPECT_TRUE(carefree.Save(ws).ok());
 }
 
 }  // namespace

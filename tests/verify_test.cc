@@ -257,17 +257,18 @@ TEST(WitnessCacheTest, AdmitsVerifiesAndReplays) {
   good.Insert(0, {Value::Int(1), Value::Int(9)});
   good.Insert(0, {Value::Int(2), Value::Int(9)});
   Dependency target(Fd{0, {1}, {0}});
-  bool violates = false;
-  EXPECT_TRUE(cache.Admit(good, target, &violates));
-  EXPECT_TRUE(violates);
+  WitnessCache::AdmitOutcome out = cache.Admit(good, target);
+  EXPECT_TRUE(out.admitted);
+  EXPECT_TRUE(out.genuine);
   EXPECT_EQ(cache.size(), 1u);
 
   // Violates sigma: rejected, and its target flag is not misreported.
   Database bad(scheme);
   bad.Insert(0, {Value::Int(1), Value::Int(2)});
   bad.Insert(0, {Value::Int(1), Value::Int(3)});
-  EXPECT_FALSE(cache.Admit(bad, target, &violates));
-  EXPECT_FALSE(violates);
+  out = cache.Admit(bad, target);
+  EXPECT_FALSE(out.admitted);
+  EXPECT_FALSE(out.genuine);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.stats().rejected, 1u);
 
@@ -278,7 +279,8 @@ TEST(WitnessCacheTest, AdmitsVerifiesAndReplays) {
   EXPECT_EQ(cache.stats().hits, 1u);
 
   // Duplicate admission does not grow the cache.
-  EXPECT_TRUE(cache.Admit(good, target, &violates));
+  out = cache.Admit(good, target);
+  EXPECT_TRUE(out.admitted);
   EXPECT_EQ(cache.size(), 1u);
 }
 
@@ -295,9 +297,9 @@ TEST(WitnessCacheTest, WatchCapBoundsPerEntryWatcherGrowth) {
   Database good(scheme);  // satisfies A -> B, violates plenty else
   good.Insert(0, {Value::Int(1), Value::Int(9)});
   good.Insert(0, {Value::Int(2), Value::Int(9)});
-  bool violates = false;
-  ASSERT_TRUE(cache.Admit(good, Dependency(Fd{0, {1}, {0}}), &violates));
-  ASSERT_TRUE(violates);
+  WitnessCache::AdmitOutcome out = cache.Admit(good, Dependency(Fd{0, {1}, {0}}));
+  ASSERT_TRUE(out.admitted);
+  ASSERT_TRUE(out.genuine);
 
   struct Probe {
     Dependency target;
@@ -331,13 +333,13 @@ TEST(WitnessCacheTest, ByteCeilingEvictsColdestUntilUnderBudget) {
   std::vector<Dependency> sigma = {Dependency(Fd{0, {0}, {1}})};
   WitnessCache cache(scheme, sigma, 4);
   Dependency target(Fd{0, {1}, {0}});
-  bool violates = false;
   for (int k = 0; k < 3; ++k) {
     Database db(scheme);
     db.Insert(0, {Value::Int(10 + k), Value::Int(7)});
     db.Insert(0, {Value::Int(20 + k), Value::Int(7)});
-    ASSERT_TRUE(cache.Admit(db, target, &violates));
-    ASSERT_TRUE(violates);
+    WitnessCache::AdmitOutcome out = cache.Admit(db, target);
+    ASSERT_TRUE(out.admitted);
+    ASSERT_TRUE(out.genuine);
   }
   ASSERT_EQ(cache.size(), 3u);
   std::uint64_t bytes = cache.MemoryBytes();
