@@ -91,7 +91,7 @@ BENCHMARK(BM_BuildMixedArmstrong)->DenseRange(2, 5);
 /// Emits a fullsweep/incremental entry pair; the per-round re-sweeps are
 /// exactly what ArmstrongVerifyEngine::kIncremental retires (watchers
 /// answer old members from counters, only the delta is re-processed).
-void EmitSessionReport(BenchReporter& reporter) {
+void EmitSessionReport(BenchReporter& reporter, bool smoke) {
   const std::size_t arity = 10;
   std::vector<std::string> attrs;
   for (std::size_t i = 0; i < arity; ++i) attrs.push_back(StrCat("A", i));
@@ -108,7 +108,7 @@ void EmitSessionReport(BenchReporter& reporter) {
     ArmstrongBuildOptions build;
     build.verify = engine == 1 ? ArmstrongVerifyEngine::kIncremental
                                : ArmstrongVerifyEngine::kFullSweep;
-    wall[engine] = MedianWallNs(3, [&] {
+    wall[engine] = MedianWallNs(smoke ? 1 : 3, [&] {
       ArmstrongSession session(scheme, fds, {}, &oracle, build);
       for (const Dependency& tau : universe) {
         Status st = session.Extend({tau});
@@ -131,9 +131,9 @@ void EmitSessionReport(BenchReporter& reporter) {
 /// Times both Armstrong engines on the two recorded workloads and emits
 /// one legacy/workspace entry pair each (steps = universe size decided and
 /// verified per build).
-void EmitJsonReport() {
+void EmitJsonReport(bool smoke) {
   BenchReporter reporter("armstrong");
-  EmitSessionReport(reporter);
+  EmitSessionReport(reporter, smoke);
   struct Workload {
     const char* name;
     std::size_t n;
@@ -182,6 +182,7 @@ void EmitJsonReport() {
     workloads.push_back(std::move(w));
   }
 
+  if (smoke) workloads.erase(workloads.begin() + 1, workloads.end());
   for (const Workload& w : workloads) {
     // The FD-only workload uses the closure oracle so the measured cost is
     // the build -> chase -> verify loop itself, not universe
@@ -196,7 +197,7 @@ void EmitJsonReport() {
       ArmstrongBuildOptions options;
       options.engine = engine == 1 ? ArmstrongEngine::kWorkspace
                                    : ArmstrongEngine::kLegacy;
-      wall[engine] = MedianWallNs(5, [&] {
+      wall[engine] = MedianWallNs(smoke ? 1 : 5, [&] {
         Result<ArmstrongReport> report = BuildArmstrongDatabase(
             w.scheme, w.fds, w.inds, w.universe, oracle, options);
         CCFP_CHECK(report.ok());
@@ -219,5 +220,6 @@ void EmitJsonReport() {
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+  return ccfp::RunBenchMain(argc, argv,
+                            [](bool smoke) { ccfp::EmitJsonReport(smoke); });
 }

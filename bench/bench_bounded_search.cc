@@ -123,7 +123,7 @@ BENCHMARK(BM_BoundedSearch)
 /// Times each workload under both engines and writes
 /// BENCH_bounded_search.json (entries: n = domain size, steps = candidate
 /// evaluations of that engine).
-void EmitJsonReport() {
+void EmitJsonReport(bool smoke) {
   BenchReporter reporter("bounded_search");
   std::vector<Workload> workloads = {
       TransitiveFdWorkload(3, 3),
@@ -131,13 +131,14 @@ void EmitJsonReport() {
       Theorem44Workload(3, 3),
       ProductPruningWorkload(3, 3),
   };
+  if (smoke) workloads.erase(workloads.begin() + 1, workloads.end());
   for (const Workload& w : workloads) {
     std::uint64_t wall[2] = {0, 0};
     std::uint64_t candidates[2] = {0, 0};
     for (int engine = 0; engine < 2; ++engine) {
       BoundedSearchEngine e = engine == 1 ? BoundedSearchEngine::kIdSpace
                                           : BoundedSearchEngine::kLegacy;
-      wall[engine] = MedianWallNs(5, [&] {
+      wall[engine] = MedianWallNs(smoke ? 1 : 5, [&] {
         RunOnce(w, e, &candidates[engine]);
       });
     }
@@ -162,7 +163,7 @@ void EmitJsonReport() {
     // host all counts time roughly like the baseline plus pool overhead.
     for (unsigned threads : {1u, 2u, 4u, 8u}) {
       std::uint64_t parallel_candidates = 0;
-      std::uint64_t parallel_wall = MedianWallNs(5, [&] {
+      std::uint64_t parallel_wall = MedianWallNs(smoke ? 1 : 5, [&] {
         RunOnce(w, BoundedSearchEngine::kParallel, &parallel_candidates,
                 threads);
       });
@@ -187,5 +188,6 @@ void EmitJsonReport() {
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+  return ccfp::RunBenchMain(argc, argv,
+                            [](bool smoke) { ccfp::EmitJsonReport(smoke); });
 }

@@ -98,19 +98,20 @@ BENCHMARK(BM_ChaseOnProposition41);
 /// Arsenal-vs-chase pair on the Section 7 family (the ablation's
 /// headline): steps = interaction-rule firings for the arsenal, chase
 /// steps for the chase.
-void EmitJsonReport() {
+void EmitJsonReport(bool smoke) {
   BenchReporter reporter("derivation");
   for (std::size_t n : {2u, 4u}) {
+    if (smoke && n != 2) continue;
     Section7Construction c = MakeSection7(n);
     std::uint64_t arsenal_steps = 0;
-    std::uint64_t arsenal_wall = MedianWallNs(5, [&] {
+    std::uint64_t arsenal_wall = MedianWallNs(smoke ? 1 : 5, [&] {
       MixedDerivation engine(c.scheme, c.SigmaDeps());
       CCFP_CHECK(engine.Saturate().ok());
       CCFP_CHECK(!engine.Derives(Dependency(c.sigma)));  // Theorem 7.1
       arsenal_steps = engine.trace().size();
     });
     std::uint64_t chase_steps = 0;
-    std::uint64_t chase_wall = MedianWallNs(5, [&] {
+    std::uint64_t chase_wall = MedianWallNs(smoke ? 1 : 5, [&] {
       Result<bool> implied =
           ChaseImplies(c.scheme, c.fds, c.inds, Dependency(c.sigma));
       CCFP_CHECK(implied.ok() && *implied);  // Lemma 7.2
@@ -132,5 +133,6 @@ void EmitJsonReport() {
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+  return ccfp::RunBenchMain(argc, argv,
+                            [](bool smoke) { ccfp::EmitJsonReport(smoke); });
 }

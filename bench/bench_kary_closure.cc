@@ -60,7 +60,7 @@ BENCHMARK(BM_FullEscapeSection6)->RangeMultiplier(2)->Range(1, 8);
 /// The k-ary closedness sweep (steps = oracle queries — each one a full
 /// witness-database probe through the interned CounterexampleOracle) and
 /// the full escape search per k.
-void EmitJsonReport() {
+void EmitJsonReport(bool smoke) {
   BenchReporter reporter("kary_closure");
   for (std::size_t k : {1u, 2u}) {
     Section6Construction c = MakeSection6(k);
@@ -70,7 +70,7 @@ void EmitJsonReport() {
     }
     CounterexampleOracle oracle(witnesses);
     std::uint64_t queries = 0;
-    std::uint64_t wall = MedianWallNs(5, [&] {
+    std::uint64_t wall = MedianWallNs(smoke ? 1 : 5, [&] {
       KaryStats stats;
       auto escape = FindKaryEscape(c.universe, c.gamma, oracle, k, &stats);
       CCFP_CHECK(!escape.has_value());  // Theorem 6.1: Gamma is k-closed
@@ -82,7 +82,7 @@ void EmitJsonReport() {
     const std::size_t k = 4;
     Section6Construction c = MakeSection6(k);
     UnaryFiniteOracle oracle(c.scheme);
-    std::uint64_t wall = MedianWallNs(5, [&] {
+    std::uint64_t wall = MedianWallNs(smoke ? 1 : 5, [&] {
       auto escape = FindFullEscape(c.universe, c.gamma, oracle);
       CCFP_CHECK(escape.has_value());  // sigma_k escapes the full closure
     });
@@ -96,5 +96,6 @@ void EmitJsonReport() {
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+  return ccfp::RunBenchMain(argc, argv,
+                            [](bool smoke) { ccfp::EmitJsonReport(smoke); });
 }

@@ -98,14 +98,14 @@ BENCHMARK(BM_DirectLbaSearch)->DenseRange(2, 9);
 /// Build + decide + direct-search costs for one tape length (steps = INDs
 /// in the reduction — the instance size the PSPACE-hardness argument
 /// charges for).
-void EmitJsonReport() {
+void EmitJsonReport(bool smoke) {
   BenchReporter reporter("lba_reduction");
   const std::size_t n = 6;
   std::uint32_t a = 0;
   LbaMachine machine = MakeEvenAsMachine(&a);
   std::vector<std::uint32_t> input(n, a);
   std::uint64_t inds = 0;
-  std::uint64_t build_wall = MedianWallNs(5, [&] {
+  std::uint64_t build_wall = MedianWallNs(smoke ? 1 : 5, [&] {
     Result<LbaToIndReduction> red = BuildLbaToIndReduction(machine, input);
     CCFP_CHECK(red.ok());
     inds = red->sigma.size();
@@ -113,11 +113,11 @@ void EmitJsonReport() {
   Result<LbaToIndReduction> red = BuildLbaToIndReduction(machine, input);
   CCFP_CHECK(red.ok());
   IndImplication engine(red->scheme, red->sigma);
-  std::uint64_t decide_wall = MedianWallNs(5, [&] {
+  std::uint64_t decide_wall = MedianWallNs(smoke ? 1 : 5, [&] {
     Result<IndDecision> decision = engine.Decide(red->target);
     CCFP_CHECK(decision.ok() && decision->implied);  // n = 6 is even
   });
-  std::uint64_t direct_wall = MedianWallNs(5, [&] {
+  std::uint64_t direct_wall = MedianWallNs(smoke ? 1 : 5, [&] {
     Result<LbaRunResult> result = LbaAccepts(machine, input);
     CCFP_CHECK(result.ok() && result->accepts);
   });
@@ -132,5 +132,6 @@ void EmitJsonReport() {
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+  return ccfp::RunBenchMain(argc, argv,
+                            [](bool smoke) { ccfp::EmitJsonReport(smoke); });
 }

@@ -8,18 +8,29 @@
 namespace ccfp {
 
 /// Shared main() body for bench binaries that emit a BENCH_*.json report:
-/// runs `emit` first (so the JSON exists even when benchmarks are filtered
-/// out), skipping it for introspection-only invocations
+/// runs `emit(smoke)` first (so the JSON exists even when benchmarks are
+/// filtered out), skipping it for introspection-only invocations
 /// (--benchmark_list_tests), then hands over to google-benchmark.
+///
+/// `--smoke` runs emit in smoke mode and exits without entering
+/// google-benchmark at all: every workload shrinks to a tiny n and a
+/// single rep, so the binary finishes in well under a second while still
+/// driving the full measurement + reporting path. The `check-bench` ctest
+/// entries run exactly this — bench bit-rot (a workload drifting out of
+/// sync with the library API, a CHECK tripping on a changed verdict)
+/// fails the suite instead of rotting silently until the next manual run.
 template <typename EmitFn>
 int RunBenchMain(int argc, char** argv, EmitFn&& emit) {
   bool list_only = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).starts_with("--benchmark_list_tests")) {
-      list_only = true;
+    std::string_view arg(argv[i]);
+    if (arg.starts_with("--benchmark_list_tests")) list_only = true;
+    if (arg == "--smoke") {
+      emit(/*smoke=*/true);
+      return 0;
     }
   }
-  if (!list_only) emit();
+  if (!list_only) emit(/*smoke=*/false);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

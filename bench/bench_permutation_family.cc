@@ -83,15 +83,16 @@ BENCHMARK(BM_TranspositionGenerators)->DenseRange(3, 7);
 /// The superpolynomial Landau instance and the transposition-generator
 /// contrast (steps = BFS expressions visited — the paper's "number of
 /// expression steps").
-void EmitJsonReport() {
+void EmitJsonReport(bool smoke) {
   BenchReporter reporter("permutation_family");
   for (std::size_t m : {10u, 16u}) {
+    if (smoke && m != 10) continue;
     LandauInstance instance = MakeLandauInstance(m);
     IndImplication engine(instance.family.scheme, {instance.premise});
     IndDecisionOptions options;
     options.max_expressions = 1u << 26;
     std::uint64_t visited = 0;
-    std::uint64_t wall = MedianWallNs(5, [&] {
+    std::uint64_t wall = MedianWallNs(smoke ? 1 : 5, [&] {
       Result<IndDecision> decision = engine.Decide(instance.target, options);
       CCFP_CHECK(decision.ok() && decision->implied);
       visited = decision->expressions_visited;
@@ -109,7 +110,7 @@ void EmitJsonReport() {
     Ind target = family.SigmaOf(Permutation::Create(rev).value());
     IndImplication engine(family.scheme, sigma);
     std::uint64_t visited = 0;
-    std::uint64_t wall = MedianWallNs(5, [&] {
+    std::uint64_t wall = MedianWallNs(smoke ? 1 : 5, [&] {
       Result<IndDecision> decision = engine.Decide(target);
       CCFP_CHECK(decision.ok());
       visited = decision->expressions_visited;
@@ -124,5 +125,6 @@ void EmitJsonReport() {
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+  return ccfp::RunBenchMain(argc, argv,
+                            [](bool smoke) { ccfp::EmitJsonReport(smoke); });
 }

@@ -74,9 +74,10 @@ BENCHMARK(BM_Lemma79Witness)->RangeMultiplier(2)->Range(1, 16);
 /// Chases the Section 7 universal model and times SatisfiedSubset over the
 /// bounded sentence universe under both engines; BENCH_section7.json gets
 /// one legacy/interned entry pair per n (steps = universe size).
-void EmitJsonReport() {
+void EmitJsonReport(bool smoke) {
   BenchReporter reporter("section7");
   for (std::size_t n : {4, 8}) {
+    if (smoke && n != 4) continue;
     Section7Construction c = MakeSection7(n);
     std::vector<Dependency> universe = Section7Universe(c);
     Chase chase(c.scheme, c.fds, c.inds);
@@ -93,7 +94,7 @@ void EmitJsonReport() {
       SatisfiesOptions options;
       options.engine = engine == 1 ? SatisfiesEngine::kInterned
                                    : SatisfiesEngine::kLegacy;
-      wall[engine] = MedianWallNs(5, [&] {
+      wall[engine] = MedianWallNs(smoke ? 1 : 5, [&] {
         satisfied[engine] =
             SatisfiedSubset(chased->db, universe, options).size();
       });
@@ -116,5 +117,6 @@ void EmitJsonReport() {
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+  return ccfp::RunBenchMain(argc, argv,
+                            [](bool smoke) { ccfp::EmitJsonReport(smoke); });
 }

@@ -86,14 +86,15 @@ std::uint64_t RunSessions(SolverService& service,
   return ids.size() * rounds * queries.size();
 }
 
-void EmitJsonReport() {
+void EmitJsonReport(bool smoke) {
   BenchReporter reporter("service");
   SchemePtr scheme = BenchScheme();
 
   // Startup pairs: private substrate build vs shared-core session fork.
   for (std::size_t n : {256u, 1024u, 4096u}) {
+    if (smoke && n != 256) continue;
     Database warm = WarmData(scheme, n);
-    std::uint64_t private_ns = MedianWallNs(5, [&] {
+    std::uint64_t private_ns = MedianWallNs(smoke ? 1 : 5, [&] {
       Result<std::shared_ptr<const SolverCore>> core =
           SolverCore::Build(scheme, BenchSigma(), &warm);
       CCFP_CHECK(core.ok());
@@ -103,7 +104,7 @@ void EmitJsonReport() {
     SolverService service;
     Result<SolverService::SessionId> first = service.OpenMine(scheme, warm);
     CCFP_CHECK(first.ok());  // pays the build; later opens fork it
-    std::uint64_t shared_ns = MedianWallNs(5, [&] {
+    std::uint64_t shared_ns = MedianWallNs(smoke ? 1 : 5, [&] {
       Result<SolverService::SessionId> id = service.OpenMine(scheme, warm);
       CCFP_CHECK(id.ok());
       CCFP_CHECK(service.Close(*id).ok());
@@ -123,6 +124,7 @@ void EmitJsonReport() {
   // Throughput at t caller threads == t pool workers, one session each.
   constexpr std::size_t kRounds = 64;
   for (unsigned t : {1u, 2u, 4u, 8u}) {
+    if (smoke && t != 1) continue;
     SolverService::Options options;
     options.threads = t;
     SolverService service(options);
@@ -135,7 +137,7 @@ void EmitJsonReport() {
     }
     std::uint64_t queries = 0;
     std::uint64_t wall_ns = MedianWallNs(
-        3, [&] { queries = RunSessions(service, ids, kRounds); });
+        smoke ? 1 : 3, [&] { queries = RunSessions(service, ids, kRounds); });
     reporter.AddThreaded(StrCat("solve_throughput/t", t), queries, wall_ns,
                          queries, t);
     std::fprintf(stderr,
@@ -187,5 +189,6 @@ BENCHMARK(BM_ServiceSolve)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+  return ccfp::RunBenchMain(argc, argv,
+                            [](bool smoke) { ccfp::EmitJsonReport(smoke); });
 }

@@ -89,10 +89,11 @@ InternedWorkspace BuildWorkspace(const SchemePtr& scheme, std::size_t n,
 
 constexpr std::size_t kDeltaBatchOps = 16;
 
-void EmitJsonReport() {
+void EmitJsonReport(bool smoke) {
   BenchReporter reporter("snapshot");
   SchemePtr scheme = BenchScheme();
   for (std::size_t n : {256u, 1024u, 4096u}) {
+    if (smoke && n != 256) continue;
     SplitMix64 rng(n * 9176 + 5);
     std::vector<ValueId> pool;
     InternedWorkspace ws = BuildWorkspace(scheme, n, rng, pool);
@@ -100,8 +101,8 @@ void EmitJsonReport() {
     // Full pair: serialize / restore the whole substrate.
     std::string full = SerializeWorkspace(ws);
     std::uint64_t full_save_ns =
-        MedianWallNs(5, [&] { benchmark::DoNotOptimize(SerializeWorkspace(ws)); });
-    std::uint64_t full_load_ns = MedianWallNs(5, [&] {
+        MedianWallNs(smoke ? 1 : 5, [&] { benchmark::DoNotOptimize(SerializeWorkspace(ws)); });
+    std::uint64_t full_load_ns = MedianWallNs(smoke ? 1 : 5, [&] {
       Result<RestoredWorkspace> r = DeserializeWorkspace(scheme, full);
       CCFP_CHECK(r.ok());
     });
@@ -119,7 +120,7 @@ void EmitJsonReport() {
     Result<std::string> delta = SerializeWorkspaceDelta(ws);
     CCFP_CHECK(delta.ok());
     std::uint64_t delta_save_ns = MedianWallNs(
-        5, [&] { benchmark::DoNotOptimize(SerializeWorkspaceDelta(ws)); });
+        smoke ? 1 : 5, [&] { benchmark::DoNotOptimize(SerializeWorkspaceDelta(ws)); });
     reporter.Add(StrCat("delta_save/", n), n, delta_save_ns, delta->size());
 
     // Chain restore: base plus four batch deltas, replayed by LoadChain.
@@ -133,7 +134,7 @@ void EmitJsonReport() {
       MutateBatch(chain_ws, rng, chain_pool, kDeltaBatchOps);
       CCFP_CHECK(writer.Save(chain_ws).ok());
     }
-    std::uint64_t chain_load_ns = MedianWallNs(5, [&] {
+    std::uint64_t chain_load_ns = MedianWallNs(smoke ? 1 : 5, [&] {
       Result<RestoredChain> chain = LoadSnapshotChain(scheme, prefix);
       CCFP_CHECK(chain.ok());
       chain_bytes = chain->base_bytes + chain->delta_bytes;
@@ -198,5 +199,6 @@ BENCHMARK(BM_DeltaSerialize)->Range(256, 4096);
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+  return ccfp::RunBenchMain(argc, argv,
+                            [](bool smoke) { ccfp::EmitJsonReport(smoke); });
 }

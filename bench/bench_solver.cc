@@ -139,16 +139,16 @@ BENCHMARK(BM_LegacyMixedChase);
 
 /// JSON pairs: facade vs legacy per fragment (steps = chain length), plus
 /// the staged-pipeline entries.
-void EmitJsonReport() {
+void EmitJsonReport(bool smoke) {
   BenchReporter reporter("solver");
   const std::size_t k = 64;
   {
     FdChain c = MakeFdChain(k);
     ImplicationSolver solver(c.scheme, c.sigma);
     std::uint64_t facade_wall = MedianWallNs(
-        9, [&] { solver.Solve(Dependency(c.target)).value(); });
+        smoke ? 1 : 9, [&] { solver.Solve(Dependency(c.target)).value(); });
     std::uint64_t legacy_wall =
-        MedianWallNs(9, [&] { FdImplies(*c.scheme, c.fds, c.target); });
+        MedianWallNs(smoke ? 1 : 9, [&] { FdImplies(*c.scheme, c.fds, c.target); });
     reporter.Add("pure_fd_facade", k, facade_wall, k);
     reporter.Add("pure_fd_legacy", k, legacy_wall, k);
   }
@@ -159,9 +159,9 @@ void EmitJsonReport() {
     IndDecisionOptions options;
     options.want_proof = true;
     std::uint64_t facade_wall = MedianWallNs(
-        9, [&] { solver.Solve(Dependency(c.target)).value(); });
+        smoke ? 1 : 9, [&] { solver.Solve(Dependency(c.target)).value(); });
     std::uint64_t legacy_wall =
-        MedianWallNs(9, [&] { engine.Decide(c.target, options).value(); });
+        MedianWallNs(smoke ? 1 : 9, [&] { engine.Decide(c.target, options).value(); });
     reporter.Add("pure_ind_facade", k, facade_wall, k);
     reporter.Add("pure_ind_legacy", k, legacy_wall, k);
   }
@@ -187,8 +187,8 @@ void EmitJsonReport() {
     finite.semantics = ImplicationSemantics::kFinite;
     ImplicationSolver solver(scheme, sigma, finite);
     std::uint64_t facade_wall =
-        MedianWallNs(9, [&] { solver.Solve(target).value(); });
-    std::uint64_t legacy_wall = MedianWallNs(9, [&] {
+        MedianWallNs(smoke ? 1 : 9, [&] { solver.Solve(target).value(); });
+    std::uint64_t legacy_wall = MedianWallNs(smoke ? 1 : 9, [&] {
       UnaryFiniteImplication engine(scheme, fds, inds);
       engine.Implies(target);
     });
@@ -199,15 +199,15 @@ void EmitJsonReport() {
     MixedInstance m = MakeMixed();
     ImplicationSolver solver(m.scheme, m.sigma);
     std::uint64_t derivation_wall = MedianWallNs(
-        9, [&] { solver.Solve(Dependency(m.derivable)).value(); });
-    std::uint64_t legacy_wall = MedianWallNs(9, [&] {
+        smoke ? 1 : 9, [&] { solver.Solve(Dependency(m.derivable)).value(); });
+    std::uint64_t legacy_wall = MedianWallNs(smoke ? 1 : 9, [&] {
       ChaseImplies(m.scheme, m.fds, m.inds, Dependency(m.derivable))
           .value();
     });
     // A refuted query drives the full pipeline to the chase stage.
     Dependency refuted(Fd{0, {1}, {0}});
     std::uint64_t pipeline_wall =
-        MedianWallNs(9, [&] { solver.Solve(refuted).value(); });
+        MedianWallNs(smoke ? 1 : 9, [&] { solver.Solve(refuted).value(); });
     reporter.Add("mixed_derivable_facade", 1, derivation_wall, 1);
     reporter.Add("mixed_chase_legacy", 1, legacy_wall, 1);
     reporter.Add("mixed_refuted_pipeline_facade", 1, pipeline_wall, 1);
@@ -220,5 +220,6 @@ void EmitJsonReport() {
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+  return ccfp::RunBenchMain(argc, argv,
+                            [](bool smoke) { ccfp::EmitJsonReport(smoke); });
 }

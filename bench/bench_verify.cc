@@ -67,10 +67,10 @@ void AppendRandomTuple(InternedWorkspace& ws, SplitMix64& rng,
 /// Workload A: an append-only verify loop — R rounds of "append a small
 /// delta, then re-establish every universe member's verdict". This is the
 /// Armstrong/mining access pattern with no merges involved.
-void BenchAppendRounds(BenchReporter& reporter) {
+void BenchAppendRounds(BenchReporter& reporter, bool smoke) {
   const std::size_t arity = 10;
-  const std::size_t base = 3000;
-  const std::size_t rounds = 160;
+  const std::size_t base = smoke ? 64 : 3000;
+  const std::size_t rounds = smoke ? 4 : 160;
   const std::size_t delta = 2;
   std::vector<Dependency> universe = FdUniverse(arity);
   SchemePtr scheme = MakeSingleRelationScheme(arity);
@@ -78,7 +78,7 @@ void BenchAppendRounds(BenchReporter& reporter) {
   std::uint64_t wall[2] = {0, 0};
   std::uint64_t checks = universe.size() * rounds;
   for (int engine = 0; engine < 2; ++engine) {
-    wall[engine] = MedianWallNs(3, [&] {
+    wall[engine] = MedianWallNs(smoke ? 1 : 3, [&] {
       SplitMix64 rng(7);
       InternedWorkspace ws(scheme);
       for (std::size_t i = 0; i < base; ++i) {
@@ -125,10 +125,10 @@ void BenchAppendRounds(BenchReporter& reporter) {
 /// the fixpoint. Before PR 5 each round's merges invalidated every cached
 /// partition; now the sweep pays a per-round re-scan and the watchers pay
 /// only the delta.
-void BenchChaseRounds(BenchReporter& reporter) {
+void BenchChaseRounds(BenchReporter& reporter, bool smoke) {
   const std::size_t arity = 8;
-  const std::size_t base = 2000;
-  const std::size_t rounds = 192;
+  const std::size_t base = smoke ? 64 : 2000;
+  const std::size_t rounds = smoke ? 4 : 192;
   std::vector<Dependency> universe = FdUniverse(arity);
   SchemePtr scheme = MakeSingleRelationScheme(arity);
   std::vector<Fd> sigma = {Fd{0, {0}, {1}}, Fd{0, {1}, {2}}};
@@ -136,7 +136,7 @@ void BenchChaseRounds(BenchReporter& reporter) {
   std::uint64_t wall[2] = {0, 0};
   std::uint64_t checks = universe.size() * rounds;
   for (int engine = 0; engine < 2; ++engine) {
-    wall[engine] = MedianWallNs(3, [&] {
+    wall[engine] = MedianWallNs(smoke ? 1 : 3, [&] {
       InternedWorkspace ws(scheme);
       for (std::size_t i = 0; i < base; ++i) {
         IdTuple t(arity, 0);
@@ -191,10 +191,10 @@ void BenchChaseRounds(BenchReporter& reporter) {
 /// CatchUpParallel at 1/2/4/8 executors (AddThreaded entries). Scaling is
 /// hardware-bound: on a single-core host every thread count times roughly
 /// like the baseline plus fan-out overhead.
-void BenchParallelCatchUp(BenchReporter& reporter) {
+void BenchParallelCatchUp(BenchReporter& reporter, bool smoke) {
   const std::size_t arity = 10;
-  const std::size_t base = 3000;
-  const std::size_t rounds = 160;
+  const std::size_t base = smoke ? 64 : 3000;
+  const std::size_t rounds = smoke ? 4 : 160;
   const std::size_t delta = 2;
   std::vector<Dependency> universe = FdUniverse(arity);
   SchemePtr scheme = MakeSingleRelationScheme(arity);
@@ -227,13 +227,13 @@ void BenchParallelCatchUp(BenchReporter& reporter) {
     benchmark::DoNotOptimize(satisfied);
   };
 
-  std::uint64_t seq_wall = MedianWallNs(3, [&] { run(nullptr); });
+  std::uint64_t seq_wall = MedianWallNs(smoke ? 1 : 3, [&] { run(nullptr); });
   reporter.Add("catchup_sequential", universe.size(), seq_wall, checks);
   std::fprintf(stderr, "catchup (universe %zu): sequential %.2f ms\n",
                universe.size(), seq_wall / 1e6);
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     TaskPool pool(threads);
-    std::uint64_t wall = MedianWallNs(3, [&] { run(&pool); });
+    std::uint64_t wall = MedianWallNs(smoke ? 1 : 3, [&] { run(&pool); });
     reporter.AddThreaded("catchup_parallel", universe.size(), wall, checks,
                          threads);
     std::fprintf(stderr,
@@ -244,11 +244,11 @@ void BenchParallelCatchUp(BenchReporter& reporter) {
   }
 }
 
-void EmitJsonReport() {
+void EmitJsonReport(bool smoke) {
   BenchReporter reporter("verify");
-  BenchAppendRounds(reporter);
-  BenchChaseRounds(reporter);
-  BenchParallelCatchUp(reporter);
+  BenchAppendRounds(reporter, smoke);
+  BenchChaseRounds(reporter, smoke);
+  BenchParallelCatchUp(reporter, smoke);
   reporter.WriteFile();
 }
 
@@ -278,5 +278,6 @@ BENCHMARK(BM_VerifyAppendRound);
 }  // namespace ccfp
 
 int main(int argc, char** argv) {
-  return ccfp::RunBenchMain(argc, argv, [] { ccfp::EmitJsonReport(); });
+  return ccfp::RunBenchMain(argc, argv,
+                            [](bool smoke) { ccfp::EmitJsonReport(smoke); });
 }

@@ -388,51 +388,29 @@ class IdSpaceSearcher {
                   const BoundedSearchOptions& options)
       : scheme_(std::move(scheme)), options_(options) {
     std::size_t n = scheme_->size();
-    // Bail before any multiplication can wrap: with domain <= 2^20 and an
-    // early exit the moment the running product exceeds 2^20, p stays
-    // below 2^40.
-    if (options_.domain_size > kMaxTupleSpace) {
+    // One shared feasibility predicate with the pre-run estimate API
+    // (EstimateBoundedSearch): the tuple spaces and key tables must fit
+    // the hard caps and the byte ceiling. Infeasible here falls through
+    // to the legacy engine, which runs its own estimate against the same
+    // ceiling and declines too if it cannot fit.
+    BoundedSearchEstimate estimate =
+        EstimateBoundedSearch(*scheme_, premises, conclusion, options_);
+    if (!estimate.id_space_feasible) {
       feasible_ = false;
       return;
     }
     space_.resize(n);
     pow_.resize(n);
     for (RelId rel = 0; rel < n; ++rel) {
+      // Cannot wrap: the estimate capped every space at kMaxTupleSpace.
       std::size_t arity = scheme_->relation(rel).arity();
       pow_[rel].resize(arity);
       std::uint64_t p = 1;
       for (std::size_t a = 0; a < arity; ++a) {
         pow_[rel][a] = p;
         p *= options_.domain_size;
-        if (p > kMaxTupleSpace) {
-          feasible_ = false;
-          return;
-        }
       }
       space_[rel] = p;
-    }
-    // Table budget: a dependency's largest array is the pair-key counter,
-    // whose key space is at most space^2 (the concatenated column lists
-    // never exceed twice the arity); the per-code key tables add O(space).
-    std::uint64_t table_entries = 0;
-    auto dep_cost = [&](const Dependency& dep) {
-      std::uint64_t s = 0;
-      for (RelId rel : DepRels(dep)) s = std::max(s, space_[rel]);
-      return s * s + 4 * s;
-    };
-    for (const Dependency& p : premises) table_entries += dep_cost(p);
-    table_entries += dep_cost(conclusion);
-    if (table_entries > kMaxTableEntries) {
-      feasible_ = false;
-      return;
-    }
-    // The byte ceiling bounds the same materialization (every table /
-    // counter entry is one uint32). Infeasible here falls through to the
-    // legacy engine, which runs its own estimate against the same ceiling
-    // and declines too if it cannot fit.
-    if (table_entries * sizeof(std::uint32_t) > options_.max_bytes) {
-      feasible_ = false;
-      return;
     }
 
     deps_by_rel_.resize(n);
@@ -778,6 +756,60 @@ Result<BoundedSearchResult> ParallelSearch(
 }
 
 }  // namespace
+
+BoundedSearchEstimate EstimateBoundedSearch(
+    const DatabaseScheme& scheme, const std::vector<Dependency>& premises,
+    const Dependency& conclusion, const BoundedSearchOptions& options) {
+  BoundedSearchEstimate est;
+  // Per-relation tuple-space sizes (domain^arity), saturating.
+  std::vector<std::uint64_t> space(scheme.size(), 1);
+  bool spaces_fit = options.domain_size <= kMaxTupleSpace;
+  for (RelId rel = 0; rel < scheme.size(); ++rel) {
+    std::size_t arity = scheme.relation(rel).arity();
+    for (std::size_t a = 0; a < arity; ++a) {
+      space[rel] = SatMul(space[rel], options.domain_size);
+    }
+    if (space[rel] > kMaxTupleSpace) spaces_fit = false;
+  }
+  // Id-space table budget: a dependency's largest array is the pair-key
+  // counter, whose key space is at most space^2 (the concatenated column
+  // lists never exceed twice the arity); the per-code key tables add
+  // O(space).
+  auto dep_cost = [&](const Dependency& dep) {
+    std::uint64_t s = 0;
+    for (RelId rel : DepRels(dep)) s = std::max(s, space[rel]);
+    return SatAdd(SatMul(s, s), SatMul(4, s));
+  };
+  for (const Dependency& p : premises) {
+    est.table_entries = SatAdd(est.table_entries, dep_cost(p));
+  }
+  est.table_entries = SatAdd(est.table_entries, dep_cost(conclusion));
+  est.table_bytes = SatMul(est.table_entries, sizeof(std::uint32_t));
+  est.id_space_feasible = spaces_fit &&
+                          est.table_entries <= kMaxTableEntries &&
+                          est.table_bytes <= options.max_bytes;
+  est.legacy_bytes = LegacyMaterializationBytes(scheme, options);
+  est.legacy_feasible = est.legacy_bytes <= options.max_bytes;
+  // Candidate bound: relation `rel` contributes S_rel subsets of size <=
+  // max_tuples_per_relation of its tuple space, and the subset DFS visits
+  // one boundary per combination of subsets chosen for relations 0..rel —
+  // sum over rel of prod_{r <= rel} S_r boundaries with no pruning (the
+  // engines only ever test fewer; the legacy engine's complete-candidate
+  // count is the last prefix product, also below this sum).
+  std::uint64_t prefix = 1;
+  for (RelId rel = 0; rel < scheme.size(); ++rel) {
+    std::uint64_t binom = 1, subsets = 1;
+    for (std::uint64_t i = 1;
+         i <= options.max_tuples_per_relation && i <= space[rel]; ++i) {
+      binom = SatMul(binom, space[rel] - i + 1) / i;
+      subsets = SatAdd(subsets, binom);
+    }
+    prefix = SatMul(prefix, subsets);
+    est.candidate_bound = SatAdd(est.candidate_bound, prefix);
+  }
+  if (scheme.size() == 0) est.candidate_bound = 1;
+  return est;
+}
 
 const std::vector<std::uint32_t>& BoundedSearchWorkspace::KeyTable(
     RelId rel, std::size_t domain, const std::vector<AttrId>& cols,

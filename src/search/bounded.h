@@ -168,6 +168,44 @@ struct BoundedSearchOptions {
   }
 };
 
+/// Static pre-run estimate of what one search shape would cost, computed
+/// from the scheme, the dependency set, and the shape/byte knobs alone —
+/// no tables are compiled and no candidates enumerated. The refutation
+/// portfolio (search/portfolio.h) uses this to order its shape ladder and
+/// to *skip* rungs that could never run (counted, never silently), and the
+/// id-space searcher itself uses the same estimate as its feasibility
+/// gate, so "the estimate says infeasible" and "the engine would decline"
+/// are one predicate. All arithmetic saturates at UINT64_MAX: a saturated
+/// estimate certainly busts any real cap.
+struct BoundedSearchEstimate {
+  /// The id-space engine would run this shape: every tuple space and the
+  /// compiled key tables fit its hard caps and `options.max_bytes`.
+  bool id_space_feasible = false;
+  /// The legacy fallback's up-front materialization fits
+  /// `options.max_bytes` (the legacy engine has no other gate).
+  bool legacy_feasible = false;
+  /// Key-table + counter entries the id-space engine would compile.
+  std::uint64_t table_entries = 0;
+  /// ... in bytes (each entry is one uint32).
+  std::uint64_t table_bytes = 0;
+  /// Bytes the legacy engine would materialize (tuple spaces + subsets).
+  std::uint64_t legacy_bytes = 0;
+  /// Upper bound on the candidates a full scan can test: the number of
+  /// subset-DFS boundary visits with no pruning (the engines only ever
+  /// test fewer). Doubles as the shape's ladder-ordering cost.
+  std::uint64_t candidate_bound = 0;
+
+  /// Some engine would run this shape.
+  bool feasible() const { return id_space_feasible || legacy_feasible; }
+};
+
+/// Estimates the cost of searching one shape (see BoundedSearchEstimate).
+/// Only `options.max_tuples_per_relation`, `domain_size`, and `max_bytes`
+/// are consulted.
+BoundedSearchEstimate EstimateBoundedSearch(
+    const DatabaseScheme& scheme, const std::vector<Dependency>& premises,
+    const Dependency& conclusion, const BoundedSearchOptions& options);
+
 struct BoundedSearchResult {
   /// A database satisfying every premise and violating the conclusion, if
   /// one exists within the bound.

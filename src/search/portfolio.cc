@@ -1,0 +1,242 @@
+#include "search/portfolio.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace ccfp {
+
+namespace {
+
+/// Ladder ordering: cheapest candidate space first; ties broken by the
+/// smaller shape (fewer tuples, then fewer values) so the base shape —
+/// minimal on both axes — always sorts first and the order is total.
+struct LadderEntry {
+  SearchShape shape;
+  std::uint64_t cost = 0;
+
+  bool operator<(const LadderEntry& other) const {
+    if (cost != other.cost) return cost < other.cost;
+    if (shape.max_tuples_per_relation != other.shape.max_tuples_per_relation) {
+      return shape.max_tuples_per_relation < other.shape.max_tuples_per_relation;
+    }
+    return shape.domain_size < other.shape.domain_size;
+  }
+};
+
+BoundedSearchOptions ShapeOptions(const SearchShape& shape,
+                                  std::uint64_t max_bytes) {
+  BoundedSearchOptions o;
+  o.max_tuples_per_relation = shape.max_tuples_per_relation;
+  o.domain_size = shape.domain_size;
+  o.max_bytes = max_bytes;
+  return o;
+}
+
+}  // namespace
+
+std::string SearchShape::ToString() const {
+  return StrCat(max_tuples_per_relation, " tuples/relation over a ",
+                domain_size, "-value domain");
+}
+
+const char* RungStatusToString(RungStatus status) {
+  switch (status) {
+    case RungStatus::kFullScan:
+      return "full-scan";
+    case RungStatus::kBudget:
+      return "budget";
+    case RungStatus::kFound:
+      return "found";
+    case RungStatus::kSkipped:
+      return "skipped";
+    case RungStatus::kSuperseded:
+      return "superseded";
+  }
+  return "unknown";
+}
+
+RefutationPortfolio::RefutationPortfolio(SchemePtr scheme,
+                                         std::vector<Dependency> premises,
+                                         Dependency conclusion,
+                                         PortfolioOptions options)
+    : scheme_(std::move(scheme)),
+      premises_(std::move(premises)),
+      conclusion_(std::move(conclusion)),
+      options_(options) {
+  // Build the ladder eagerly: the candidate-space bound of a shape depends
+  // only on the scheme and the dependency set, never on the run budget, so
+  // the cost ordering is fixed at construction and every Run sees it.
+  std::vector<LadderEntry> entries;
+  entries.reserve((options_.tuple_growth + 1) * (options_.domain_growth + 1));
+  for (std::size_t dt = 0; dt <= options_.tuple_growth; ++dt) {
+    for (std::size_t dd = 0; dd <= options_.domain_growth; ++dd) {
+      SearchShape shape;
+      shape.max_tuples_per_relation = options_.base.max_tuples_per_relation + dt;
+      shape.domain_size = options_.base.domain_size + dd;
+      LadderEntry entry;
+      entry.shape = shape;
+      entry.cost = EstimateBoundedSearch(*scheme_, premises_, conclusion_,
+                                         ShapeOptions(shape, UINT64_MAX))
+                       .candidate_bound;
+      entries.push_back(entry);
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  const std::size_t rungs =
+      std::min(entries.size(), std::max<std::size_t>(options_.max_rungs, 1));
+  ladder_.reserve(rungs);
+  costs_.reserve(rungs);
+  for (std::size_t i = 0; i < rungs; ++i) {
+    ladder_.push_back(entries[i].shape);
+    costs_.push_back(entries[i].cost);
+  }
+}
+
+Result<PortfolioResult> RefutationPortfolio::Run(const Budget& budget) {
+  for (const Dependency& p : premises_) {
+    CCFP_RETURN_NOT_OK(Validate(*scheme_, p));
+  }
+  CCFP_RETURN_NOT_OK(Validate(*scheme_, conclusion_));
+
+  const std::size_t n = ladder_.size();
+  PortfolioResult out;
+  out.rungs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.rungs[i].shape = ladder_[i];
+
+  // Feasibility against *this* run's byte ceiling. A grown rung only runs
+  // on the id-space engine: the legacy fallback materializes its tuple
+  // spaces up front, so letting it loose on a grown shape under the
+  // default (unlimited) byte ceiling would allocate without bound. Rung 0
+  // keeps the classic fixed-shape behavior exactly, legacy fallback
+  // included, so a portfolio sweep never regresses the old search.
+  std::vector<std::uint64_t> funded_costs = costs_;
+  for (std::size_t i = 1; i < n; ++i) {
+    BoundedSearchEstimate estimate = EstimateBoundedSearch(
+        *scheme_, premises_, conclusion_, ShapeOptions(ladder_[i], budget.bytes));
+    if (!estimate.id_space_feasible) {
+      funded_costs[i] = 0;  // infeasible rungs ask nothing of the ladder budget
+      out.rungs[i].note =
+          StrCat("skipped: compiled tables for ", ladder_[i].ToString(),
+                 " exceed the id-space caps or the byte ceiling (",
+                 estimate.table_bytes, " table bytes)");
+    }
+  }
+
+  const std::vector<Budget> shares = budget.SplitLadder(funded_costs);
+  std::vector<std::size_t> live;
+  live.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.rungs[i].share = shares[i].steps;
+    if (i > 0 && funded_costs[i] == 0) {
+      // Note already set: statically infeasible.
+      continue;
+    }
+    if (i > 0 && shares[i].steps == 0) {
+      out.rungs[i].note =
+          StrCat("skipped: candidate budget drained by smaller shapes (",
+                 ladder_[i].ToString(), " needs up to ", costs_[i],
+                 " candidates)");
+      continue;
+    }
+    live.push_back(i);
+  }
+
+  // Per-rung sticky cancel meters, chained under the caller's outer token
+  // (never charged — each rung's deterministic ceiling is its share).
+  Budget unmetered = Budget::Unlimited();
+  unmetered.deadline.reset();
+  std::vector<std::unique_ptr<SharedBudgetMeter>> meters(n);
+  for (std::size_t i : live) {
+    meters[i] =
+        std::make_unique<SharedBudgetMeter>(unmetered, UINT64_MAX, options_.cancel);
+  }
+
+  BoundedSearchWorkspace local_workspace;
+  BoundedSearchWorkspace* workspace =
+      options_.workspace != nullptr ? options_.workspace : &local_workspace;
+
+  std::vector<std::optional<Result<BoundedSearchResult>>> raw(n);
+  auto run_rung = [&](std::size_t i) {
+    BoundedSearchOptions o = ShapeOptions(ladder_[i], budget.bytes);
+    o.max_candidates = shares[i].steps;
+    o.workspace = workspace;
+    o.cancel = meters[i].get();
+    raw[i] = FindCounterexample(scheme_, premises_, conclusion_, o);
+    if (raw[i]->ok() && (*raw[i])->counterexample.has_value()) {
+      // A find at rung i supersedes every *higher* rung; lower rungs keep
+      // running — a smaller shape may hold the witness that sequentially
+      // wins, and determinism demands it gets to finish.
+      for (std::size_t j : live) {
+        if (j > i) meters[j]->MarkExhausted();
+      }
+    }
+  };
+
+  if (options_.pool != nullptr && live.size() > 1) {
+    TaskGroup group(options_.pool);
+    for (std::size_t i : live) {
+      group.Spawn([&run_rung, i] { run_rung(i); });
+    }
+    group.Wait();
+  } else {
+    for (std::size_t i : live) {
+      run_rung(i);
+      if (raw[i]->ok() && (*raw[i])->counterexample.has_value()) break;
+    }
+  }
+
+  // Reduction (joining thread, ladder order): the winner is the lowest
+  // live rung with a raw find; every rung above it is rewritten to
+  // kSuperseded with zeroed counters — exactly the report a sequential
+  // sweep produces by never launching them — so the result is
+  // bit-identical at every pool width.
+  for (std::size_t i : live) {
+    if (raw[i].has_value() && raw[i]->ok() && (*raw[i])->counterexample.has_value()) {
+      out.winner = i;
+      break;
+    }
+  }
+  std::size_t largest_scanned_rung = PortfolioResult::kNoRung;
+  for (std::size_t i = 0; i < n; ++i) {
+    RungReport& rung = out.rungs[i];
+    if (rung.status == RungStatus::kSkipped && std::find(live.begin(), live.end(), i) == live.end()) {
+      ++out.rungs_skipped;
+      continue;
+    }
+    if (out.winner != PortfolioResult::kNoRung && i > out.winner) {
+      rung.status = RungStatus::kSuperseded;
+      rung.candidates_tested = 0;
+      rung.note = "superseded: a counterexample surfaced at a smaller shape";
+      continue;
+    }
+    // A live rung at or below the winner always ran (sequential sweeps
+    // only break *after* the winning rung).
+    CCFP_RETURN_NOT_OK(raw[i]->status());
+    const BoundedSearchResult& result = **raw[i];
+    rung.candidates_tested = result.candidates_tested;
+    out.candidates_tested += result.candidates_tested;
+    if (i == out.winner) {
+      rung.status = RungStatus::kFound;
+      rung.note = StrCat("counterexample found at ", ladder_[i].ToString());
+      out.counterexample = (*raw[i])->counterexample;
+    } else if (result.exhausted) {
+      rung.status = RungStatus::kFullScan;
+      rung.note = StrCat("full scan: no counterexample with <= ",
+                         ladder_[i].ToString());
+      ++out.rungs_scanned;
+      largest_scanned_rung = i;  // ladder order is cost order
+    } else {
+      rung.status = RungStatus::kBudget;
+      rung.note = StrCat("stopped early: candidate share of ", rung.share,
+                         " drained at ", ladder_[i].ToString());
+    }
+  }
+  if (largest_scanned_rung != PortfolioResult::kNoRung) {
+    out.largest_scanned = ladder_[largest_scanned_rung];
+  }
+  return out;
+}
+
+}  // namespace ccfp

@@ -1,0 +1,175 @@
+#ifndef CCFP_SEARCH_PORTFOLIO_H_
+#define CCFP_SEARCH_PORTFOLIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/dependency.h"
+#include "search/bounded.h"
+#include "util/budget.h"
+#include "util/status.h"
+#include "util/task_pool.h"
+
+namespace ccfp {
+
+/// One rung of the refutation ladder: which candidate databases a bounded
+/// search enumerates (tuples per relation, value-domain size). A shape
+/// describes the search *space*; the candidate budget caps the scan.
+struct SearchShape {
+  std::size_t max_tuples_per_relation = 2;
+  std::size_t domain_size = 2;
+
+  bool operator==(const SearchShape& other) const {
+    return max_tuples_per_relation == other.max_tuples_per_relation &&
+           domain_size == other.domain_size;
+  }
+
+  /// "3 tuples/relation over a 2-value domain".
+  std::string ToString() const;
+};
+
+struct PortfolioOptions {
+  /// Rung 0 — always present, always first, never pre-skipped, and funded
+  /// before any grown shape sees a step, so a portfolio sweep decides
+  /// everything a single fixed-shape search would (see Budget::SplitLadder).
+  SearchShape base;
+  /// How far the ladder grows each axis beyond the base shape: candidate
+  /// rungs are every (t, d) with base.t <= t <= base.t + tuple_growth and
+  /// base.d <= d <= base.d + domain_growth.
+  std::size_t tuple_growth = 2;
+  std::size_t domain_growth = 2;
+  /// Ladder truncation after cost-ordering (>= 1; clamped). 1 degenerates
+  /// to the classic fixed-shape search.
+  std::size_t max_rungs = 6;
+  /// Compiled key tables shared across rungs *and* across searches over
+  /// the same scheme (the table key includes the domain, so every shape
+  /// caches cleanly side by side). Null: the portfolio compiles into a
+  /// private per-run workspace shared by its rungs. Not owned.
+  BoundedSearchWorkspace* workspace = nullptr;
+  /// Run the rungs as stealable tasks on this pool (not owned). Null: a
+  /// sequential ladder sweep on the caller, lowest rung first, stopping at
+  /// the first find. Results are bit-identical either way — see Run().
+  TaskPool* pool = nullptr;
+  /// Outer cooperative-cancellation token (not owned; may be null): the
+  /// portfolio chains one child meter per rung under it, so marking it
+  /// (e.g. the mixed route's chase turning decisive) drains every rung at
+  /// its next candidate boundary. Never charged.
+  SharedBudgetMeter* cancel = nullptr;
+};
+
+enum class RungStatus : std::uint8_t {
+  /// Ran to the end of its shape: no counterexample exists below it.
+  kFullScan = 0,
+  /// Ran out of its candidate share (or was cancelled) mid-scan.
+  kBudget = 1,
+  /// Found the portfolio's winning (raw, unverified) counterexample.
+  kFound = 2,
+  /// Never ran: statically infeasible, or the ladder budget drained
+  /// before this rung. Counted in `rungs_skipped`, never silent — the
+  /// note says why.
+  kSkipped = 3,
+  /// Never counted: a smaller shape found a counterexample, making this
+  /// rung's scan moot (its partial work, if any, is discarded so the
+  /// report is identical to a sequential sweep that never launched it).
+  kSuperseded = 4,
+};
+
+const char* RungStatusToString(RungStatus status);
+
+/// What one rung did, in ladder (cost) order.
+struct RungReport {
+  SearchShape shape;
+  RungStatus status = RungStatus::kSkipped;
+  /// The candidate ceiling this rung was allotted by Budget::SplitLadder.
+  std::uint64_t share = 0;
+  /// Candidate evaluations performed (0 for kSkipped / kSuperseded).
+  std::uint64_t candidates_tested = 0;
+  /// Skip reason / scan summary for the solver's stage reports.
+  std::string note;
+};
+
+struct PortfolioResult {
+  static constexpr std::size_t kNoRung = static_cast<std::size_t>(-1);
+
+  /// The winning rung's counterexample — always the lowest-rung, lowest-
+  /// candidate-index one (raw: the caller verifies before attaching).
+  std::optional<Database> counterexample;
+  std::size_t winner = kNoRung;
+  /// One report per ladder rung, ladder order.
+  std::vector<RungReport> rungs;
+  /// Total candidates across counted rungs (superseded work excluded).
+  std::uint64_t candidates_tested = 0;
+  std::uint64_t rungs_scanned = 0;  ///< kFullScan count
+  std::uint64_t rungs_skipped = 0;  ///< kSkipped count
+  /// The largest (highest-cost) fully scanned shape, when any rung ran to
+  /// the end of its space — what an exhausted-note should name instead of
+  /// the base shape.
+  std::optional<SearchShape> largest_scanned;
+};
+
+/// A portfolio of bounded refutation searches over a deterministic shape
+/// ladder, raced across a TaskPool.
+///
+/// The fixed 2x2 search shape misses every counterexample that needs a
+/// third tuple or a third value, returning kUnknown with budget to spare.
+/// The portfolio instead generates a ladder of shapes growing both axes,
+/// cost-orders it by each shape's candidate-space bound
+/// (EstimateBoundedSearch), pre-skips rungs whose compiled tables could
+/// never fit (hard caps or Budget::bytes — counted in the result, never
+/// silent), funds the rungs greedily in ladder order from one Budget
+/// (Budget::SplitLadder), and runs the survivors as stealable tasks on the
+/// caller's pool — first raw counterexample cancels every *higher* rung
+/// through per-rung sticky meters chained under the caller's outer cancel
+/// token.
+///
+/// ## Determinism (the PR 8 two-tier contract)
+///
+/// Verdict, witness, and per-rung reports are bit-identical to a
+/// sequential ladder sweep at every pool width:
+///   * each rung's candidate ceiling is fixed up front by SplitLadder, so
+///     a rung's scan is a deterministic function of (scheme, sigma,
+///     target, shape, share) — no shared interleaved meter;
+///   * a find at rung k only cancels rungs *above* k (a smaller shape may
+///     still hold the lower-rung witness a sequential sweep would have
+///     returned first), so every rung at or below the winner runs
+///     uncancelled to its deterministic end;
+///   * the reduction on the joining thread takes the lowest-rung find and
+///     rewrites every higher rung to kSuperseded with zeroed counters —
+///     exactly the report a sequential sweep produces by never launching
+///     them.
+/// The wall-clock deadline stays stage-granular (rungs are not
+/// deadline-gated mid-scan), the same approximation tier as the rest of
+/// the parallel engines (docs/parallelism.md).
+class RefutationPortfolio {
+ public:
+  RefutationPortfolio(SchemePtr scheme, std::vector<Dependency> premises,
+                      Dependency conclusion, PortfolioOptions options = {});
+
+  /// The cost-ordered shape ladder (base shape first).
+  const std::vector<SearchShape>& ladder() const { return ladder_; }
+
+  /// Runs the portfolio under `budget` (steps fund the ladder; bytes gate
+  /// feasibility). Error statuses only for invalid inputs. Thread-safe
+  /// against concurrent MarkExhausted on the outer cancel token; not
+  /// reentrant.
+  Result<PortfolioResult> Run(const Budget& budget);
+
+ private:
+  SchemePtr scheme_;
+  std::vector<Dependency> premises_;
+  Dependency conclusion_;
+  PortfolioOptions options_;
+
+  std::vector<SearchShape> ladder_;
+  /// Per-rung candidate-space bounds (EstimateBoundedSearch), aligned
+  /// with ladder_ — the SplitLadder costs and the ladder ordering key.
+  std::vector<std::uint64_t> costs_;
+};
+
+}  // namespace ccfp
+
+#endif  // CCFP_SEARCH_PORTFOLIO_H_

@@ -91,8 +91,11 @@ class SolverService {
     /// Share one witness cache per core across its solve sessions (see
     /// the determinism note above). Off by default.
     bool share_witness_cache = false;
-    /// Race the mixed route's chase and search probes on the pool.
-    /// Verdict- and evidence-preserving; off only to pin down timing.
+    /// Race the mixed route's chase probe against its whole refutation
+    /// portfolio on the pool (one Solve then fans out as chase ∥ rung0 ∥
+    /// rung1 ∥ ... — see search/portfolio.h; the other routes' refutation
+    /// sweeps fan their ladder rungs out too). Verdict- and evidence-
+    /// preserving; off only to pin down timing.
     bool race_mixed_route = true;
     /// Base solve options for solve sessions (semantics, evidence,
     /// search shape). The shared-substrate hooks are overwritten per

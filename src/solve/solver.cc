@@ -274,7 +274,7 @@ Result<Verdict> ImplicationSolver::Solve(const Dependency& target,
 }
 
 bool ImplicationSolver::ProbeWitnessCache(const Dependency& target,
-                                          Verdict& v) {
+                                          Verdict& v, bool evidence_only) {
   if (!options_.use_witness_cache || cache().size() == 0) {
     return false;
   }
@@ -283,12 +283,19 @@ bool ImplicationSolver::ProbeWitnessCache(const Dependency& target,
   // The cached database satisfies sigma (verified on admission) and its
   // watcher just confirmed it violates the target — a complete
   // refutation replayed for free, before any engine runs.
-  v.outcome = ImplicationVerdict::kNotImplied;
-  v.engine = "witness-cache (replayed refutation)";
-  StageReport r{"witness-cache", v.engine, ImplicationVerdict::kNotImplied,
-                "a counterexample from an earlier Solve over this sigma "
-                "violates the target",
+  StageReport r{"witness-cache", "witness-cache (replayed refutation)",
+                ImplicationVerdict::kNotImplied,
+                evidence_only
+                    ? "a counterexample from an earlier Solve over this "
+                      "sigma replayed as the evidence database"
+                    : "a counterexample from an earlier Solve over this "
+                      "sigma violates the target",
                 {}};
+  if (!evidence_only) {
+    // The replay *decides* (the exact routes never reach this probe).
+    v.outcome = ImplicationVerdict::kNotImplied;
+    v.engine = r.engine;
+  }
   if (options_.want_counterexample) {
     v.counterexample = *hit;
     v.counterexample_verified = true;
@@ -481,17 +488,22 @@ void ImplicationSolver::SolveUnary(const Dependency& target,
   }
   PushStage(v, std::move(r));
   if (!want_evidence) return;
+  // A verified counterexample from an earlier Solve over this sigma may
+  // already violate the target — replaying it is free, the garnish search
+  // below is not. The outcome/engine are already decided (the counting
+  // engines are exact); the replay only supplies the evidence database.
+  if (ProbeWitnessCache(target, v, /*evidence_only=*/true)) return;
   if (DeadlineExpired(budget, v, "evidence")) return;
   // Best-effort finite witness (|=fin also fails, so one exists — though
-  // possibly above the bounded-search shape). The decision is already
+  // possibly above the bounded-search ladder). The decision is already
   // exact, so this garnish gets a small slice: a full scan that finds
   // nothing would buy nothing.
-  SearchStage(target, budget.Split(8), v);
+  SearchStage(target, budget.Split(options_.evidence_garnish_split), v);
 }
 
 void ImplicationSolver::SolveMixed(const Dependency& target,
                                    const Budget& budget, Verdict& v) {
-  Budget slice = budget.Split(3);
+  Budget slice = budget.Split(options_.mixed_stage_split);
   std::vector<std::string> unknown_notes;
   if (DeadlineExpired(budget, v, "derivation")) return;
 
@@ -525,8 +537,9 @@ void ImplicationSolver::SolveMixed(const Dependency& target,
   // loser is cancelled); otherwise they run in pipeline order. Verdicts
   // and evidence are identical either way — see SolveOptions::pool.
   bool raced = false;
+  std::string search_summary;
   if (options_.pool != nullptr && rds_.empty()) {
-    raced = SolveMixedRaced(target, slice, unknown_notes, v);
+    raced = SolveMixedRaced(target, slice, unknown_notes, search_summary, v);
     if (raced && v.outcome != ImplicationVerdict::kUnknown) return;
   }
   if (!raced) {
@@ -561,11 +574,14 @@ void ImplicationSolver::SolveMixed(const Dependency& target,
     }
     if (DeadlineExpired(budget, v, "search")) return;
 
-    // --- Stage 3: bounded counterexample search -------------------------
-    SearchStage(target, slice, v);
+    // --- Stage 3: bounded refutation portfolio --------------------------
+    search_summary = SearchStage(target, slice, v);
   }
   if (v.outcome == ImplicationVerdict::kUnknown) {
-    unknown_notes.push_back("search: no counterexample within the bound");
+    unknown_notes.push_back(
+        StrCat("search: ", search_summary.empty()
+                               ? "no counterexample within the bound"
+                               : search_summary));
     v.reason = StrCat("undecidable fragment — ",
                       JoinStrings(unknown_notes, "; "));
   }
@@ -574,14 +590,16 @@ void ImplicationSolver::SolveMixed(const Dependency& target,
 bool ImplicationSolver::SolveMixedRaced(const Dependency& target,
                                         const Budget& slice,
                                         std::vector<std::string>& unknown_notes,
+                                        std::string& search_summary,
                                         Verdict& v) {
   Result<Database> seed = MakeCanonicalSeed(scheme_, target);
   if (!seed.ok()) return false;  // the sequential path reports the failure
 
   // Sticky first-verdict-wins flag (never charged, only marked): the
-  // chase becoming decisive kills the search probe. The chase itself is
-  // never cancelled — whether it converges within its budget share must
-  // not depend on timing, or verdicts would differ run to run.
+  // chase becoming decisive kills the whole refutation portfolio — every
+  // rung's meter chains under this token. The chase itself is never
+  // cancelled — whether it converges within its budget share must not
+  // depend on timing, or verdicts would differ run to run.
   Budget unmetered;
   unmetered.deadline.reset();
   SharedBudgetMeter cancel(unmetered, UINT64_MAX);
@@ -591,37 +609,41 @@ bool ImplicationSolver::SolveMixedRaced(const Dependency& target,
   WorkspaceChase chase(&ws, fds_, inds_);
   ChaseOptions chase_options = ChaseOptions::FromBudget(slice);
 
-  BoundedSearchOptions search_opts = MakeSearchOptions(slice);
-  search_opts.cancel = &cancel;
+  RefutationPortfolio portfolio(scheme_, nontrivial_, target,
+                                MakePortfolioOptions(&cancel));
 
   std::optional<Result<WorkspaceChaseStats>> chase_run;
-  std::optional<Result<BoundedSearchResult>> search_run;
+  std::optional<Result<PortfolioResult>> portfolio_run;
   {
+    // The chase becomes one more stealable task beside the portfolio's
+    // rungs: one Solve occupies the pool with chase ∥ rung0 ∥ rung1 ∥ ...
+    // The portfolio runs on this thread and its Wait helps execute any
+    // queued task (including the chase), so a width-1 pool still makes
+    // progress — it just serializes.
     TaskGroup group(options_.pool);
     group.Spawn([&] {
       chase_run.emplace(chase.Run(chase_options));
       if (chase_run->ok() &&
           (*chase_run)->outcome == ChaseOutcome::kFixpoint) {
         // Decisive either way (the fixpoint proves or refutes): the
-        // search probe's answer is moot, stop paying for it.
+        // portfolio's answer is moot, stop paying for it.
         cancel.MarkExhausted();
       }
     });
-    group.Spawn([&] {
-      search_run.emplace(
-          FindCounterexample(scheme_, nontrivial_, target, search_opts));
-    });
+    portfolio_run.emplace(portfolio.Run(slice));
     group.Wait();
   }
 
   // Deterministic reduction on the joining thread, chase first — exactly
   // the sequential stage order, so stage reports, evidence, and witness-
   // cache traffic match the pipeline bit for bit. All cache interaction
-  // happens below, never inside the tasks.
+  // happens below, never inside the tasks. A decisive chase discards the
+  // portfolio result entirely: its (possibly cancellation-truncated,
+  // timing-dependent) rung counters never surface.
   if (FinishChase(target, slice, ws, *chase_run, unknown_notes, v)) {
-    return true;  // search result (possibly cancelled) is discarded
+    return true;
   }
-  FinishSearch(target, search_opts, std::move(*search_run), v);
+  search_summary = FinishPortfolio(target, std::move(*portfolio_run), v);
   return true;
 }
 
@@ -695,65 +717,87 @@ bool ImplicationSolver::FinishChase(const Dependency& target,
 
 void ImplicationSolver::SolveUnsupported(const Dependency& target,
                                          const Budget& budget, Verdict& v) {
-  SearchStage(target, budget, v);
+  std::string summary = SearchStage(target, budget, v);
   if (v.outcome == ImplicationVerdict::kUnknown) {
-    v.reason =
-        "no exact engine covers EMVD/MVD sentences; bounded search found "
-        "no counterexample within the bound";
+    v.reason = StrCat(
+        "no exact engine covers EMVD/MVD sentences; bounded search found ",
+        summary.empty() ? std::string("no counterexample within the bound")
+                        : summary);
   }
 }
 
-BoundedSearchOptions ImplicationSolver::MakeSearchOptions(
-    const Budget& budget) {
-  BoundedSearchOptions opts = BoundedSearchOptions::FromBudget(budget);
-  opts.max_tuples_per_relation = options_.search_max_tuples_per_relation;
-  opts.domain_size = options_.search_domain_size;
+PortfolioOptions ImplicationSolver::MakePortfolioOptions(
+    SharedBudgetMeter* cancel) {
+  PortfolioOptions opts;
+  opts.base.max_tuples_per_relation = options_.search_max_tuples_per_relation;
+  opts.base.domain_size = options_.search_domain_size;
+  opts.tuple_growth = options_.search_tuple_growth;
+  opts.domain_growth = options_.search_domain_growth;
+  opts.max_rungs = options_.search_max_rungs;
   opts.workspace = options_.shared_search_tables != nullptr
                        ? options_.shared_search_tables
                        : &search_ws_;
+  opts.pool = options_.pool;
+  opts.cancel = cancel;
   return opts;
 }
 
-void ImplicationSolver::SearchStage(const Dependency& target,
-                                    const Budget& budget, Verdict& v) {
-  BoundedSearchOptions opts = MakeSearchOptions(budget);
-  FinishSearch(target, opts,
-               FindCounterexample(scheme_, nontrivial_, target, opts), v);
+std::string ImplicationSolver::SearchStage(const Dependency& target,
+                                           const Budget& budget, Verdict& v) {
+  RefutationPortfolio portfolio(scheme_, nontrivial_, target,
+                                MakePortfolioOptions(nullptr));
+  return FinishPortfolio(target, portfolio.Run(budget), v);
 }
 
-void ImplicationSolver::FinishSearch(const Dependency& target,
-                                     const BoundedSearchOptions& opts,
-                                     Result<BoundedSearchResult> search,
-                                     Verdict& v) {
-  StageReport r{"search", "bounded-search (id-space)",
-                ImplicationVerdict::kUnknown, "", {}};
-  if (!search.ok()) {
-    r.note = search.status().ToString();
+std::string ImplicationSolver::FinishPortfolio(const Dependency& target,
+                                               Result<PortfolioResult> run,
+                                               Verdict& v) {
+  if (!run.ok()) {
+    StageReport r{"search", "bounded-search (portfolio)",
+                  ImplicationVerdict::kUnknown, run.status().ToString(), {}};
     PushStage(v, std::move(r));
-    return;
+    return run.status().ToString();
   }
-  r.used.steps = search->candidates_tested;
-  if (search->counterexample.has_value()) {
-    bool undecided = v.outcome == ImplicationVerdict::kUnknown;
-    bool genuine =
-        AttachCounterexample(std::move(*search->counterexample), target, v,
-                             r);
-    if (genuine) {
-      r.verdict = ImplicationVerdict::kNotImplied;
-      if (undecided) {
-        v.outcome = ImplicationVerdict::kNotImplied;
-        if (v.engine.empty()) v.engine = r.engine;
+  PortfolioResult& result = *run;
+  // One stage report per ladder rung, ladder (cost) order. Skipped and
+  // superseded rungs keep the empty-engine "skipped" convention; ran rungs
+  // carry their candidate consumption in used.steps.
+  for (std::size_t i = 0; i < result.rungs.size(); ++i) {
+    RungReport& rung = result.rungs[i];
+    bool ran = rung.status == RungStatus::kFullScan ||
+               rung.status == RungStatus::kBudget ||
+               rung.status == RungStatus::kFound;
+    StageReport r{"search", ran ? "bounded-search (id-space)" : "",
+                  ImplicationVerdict::kUnknown, std::move(rung.note), {}};
+    r.used.steps = rung.candidates_tested;
+    if (i == result.winner && result.counterexample.has_value()) {
+      bool undecided = v.outcome == ImplicationVerdict::kUnknown;
+      bool genuine = AttachCounterexample(
+          std::move(*result.counterexample), target, v, r);
+      if (genuine) {
+        r.verdict = ImplicationVerdict::kNotImplied;
+        if (undecided) {
+          v.outcome = ImplicationVerdict::kNotImplied;
+          if (v.engine.empty()) v.engine = r.engine;
+        }
       }
     }
-  } else {
-    r.note = search->exhausted
-                 ? StrCat("no counterexample with <= ",
-                          opts.max_tuples_per_relation,
-                          " tuples per relation over a ",
-                          opts.domain_size, "-value domain")
-                 : "candidate budget exhausted before the bound";
+    PushStage(v, std::move(r));
   }
-  PushStage(v, std::move(r));
+  if (v.outcome == ImplicationVerdict::kNotImplied) return "";
+  // Not decisive: summarize the sweep for the caller's unknown notes,
+  // naming the largest fully scanned shape (the strongest exhaustion fact
+  // the ladder established) and every rung that could not run.
+  std::string summary =
+      result.largest_scanned.has_value()
+          ? StrCat("no counterexample with <= ",
+                   result.largest_scanned->ToString())
+          : "candidate budget exhausted before any shape was fully scanned";
+  if (result.rungs_skipped > 0) {
+    summary += StrCat(" (", result.rungs_skipped, " of ", result.rungs.size(),
+                      " ladder rungs skipped)");
+  }
+  return summary;
 }
 
 Result<Verdict> SolveImplication(SchemePtr scheme,

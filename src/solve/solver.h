@@ -16,6 +16,7 @@
 #include "ind/implication.h"
 #include "interact/derivation.h"
 #include "search/bounded.h"
+#include "search/portfolio.h"
 #include "util/budget.h"
 #include "util/status.h"
 #include "util/task_pool.h"
@@ -75,10 +76,31 @@ struct SolveOptions {
   bool want_proof = true;
   /// Attach (and verify) concrete counterexample databases.
   bool want_counterexample = true;
-  /// Shape of the refutation search space (these describe which databases
-  /// are enumerated, not a resource budget — Budget::steps caps the scan).
+  /// Base shape of the refutation search space (these describe which
+  /// databases are enumerated, not a resource budget — Budget::steps caps
+  /// the scan). The base shape is rung 0 of the search ladder below: it is
+  /// always fully funded first, so shrinking the ladder knobs to 0 recovers
+  /// the classic fixed-shape search exactly.
   std::size_t search_max_tuples_per_relation = 2;
   std::size_t search_domain_size = 2;
+  /// Refutation-ladder growth (search/portfolio.h): every refutation sweep
+  /// runs a cost-ordered portfolio of shapes growing each axis up to
+  /// base + growth, so counterexamples needing a third tuple or a third
+  /// value — invisible to the fixed base shape — are found whenever the
+  /// candidate budget stretches past rung 0. `search_max_rungs` truncates
+  /// the cost-ordered ladder (cheapest shapes kept; 1 = fixed shape).
+  std::size_t search_tuple_growth = 2;
+  std::size_t search_domain_growth = 2;
+  std::size_t search_max_rungs = 6;
+  /// Denominator of the budget slice the unary route's best-effort
+  /// evidence search gets (the decision there is already exact; a garnish
+  /// witness hunt must not eat the query budget). 1 = the whole budget.
+  unsigned evidence_garnish_split = 8;
+  /// Number of equal Budget::Split shares the mixed pipeline hands its
+  /// stages (derivation, chase, search each draw one share, so the
+  /// pipeline never overspends the query budget ~3x). Raising it starves
+  /// every stage equally; 1 lets each stage see the full budget.
+  unsigned mixed_stage_split = 3;
   /// Replay verified counterexample databases from earlier Solve calls
   /// against later targets over the same sigma *before any engine runs*
   /// (verify/witness_cache.h). Only the inexact routes (unary evidence,
@@ -104,15 +126,19 @@ struct SolveOptions {
   /// scheme* (thread-safe). When set, the per-solver table cache is
   /// bypassed — the Nth session's searches compile nothing.
   BoundedSearchWorkspace* shared_search_tables = nullptr;
-  /// When set, the mixed route races its chase proof probe against its
-  /// bounded-search refutation probe on this pool (first decisive verdict
-  /// wins; the loser is cancelled through a sticky exhausted flag).
+  /// When set, every refutation sweep fans its ladder rungs out as
+  /// stealable tasks on this pool, and the mixed route additionally races
+  /// its chase proof probe against the whole portfolio (one Solve then
+  /// occupies the pool with chase ∥ rung0 ∥ rung1 ∥ ... — first decisive
+  /// verdict wins; losers are cancelled through chained sticky meters).
   /// Verdicts and evidence are identical to the sequential pipeline at
   /// every pool width: the chase is never cancelled (its convergence
   /// within its budget share cannot depend on timing), a decisive chase
-  /// cancels the search and discards its result (sequentially the search
-  /// would never have run), and a surviving search result is reduced on
-  /// the joining thread.
+  /// cancels the portfolio and discards its result (sequentially the
+  /// search would never have run), a find at one rung only cancels the
+  /// rungs above it, and the surviving results are reduced on the joining
+  /// thread in ladder order (see search/portfolio.h for the full
+  /// determinism argument).
   TaskPool* pool = nullptr;
 };
 
@@ -225,33 +251,46 @@ class ImplicationSolver {
   void SolveUnsupported(const Dependency& target, const Budget& budget,
                         Verdict& v);
   /// The refutation stage shared by the mixed and unsupported routes (and
-  /// the unary best-effort evidence pass). Decisive iff it finds (and
-  /// verifies) a counterexample.
-  void SearchStage(const Dependency& target, const Budget& budget,
-                   Verdict& v);
-  /// Stages 2+3 of the mixed route raced on options_.pool (see
-  /// SolveOptions::pool). Returns false when the race could not start
-  /// (no canonical seed) — the sequential path then reports the failure.
+  /// the unary best-effort evidence pass): the shape-ladder portfolio
+  /// (search/portfolio.h) under `budget`, on options_.pool when set.
+  /// Decisive iff some rung finds (and the watchers verify) a
+  /// counterexample. Returns the not-decisive summary for the caller's
+  /// unknown notes — naming the largest fully scanned shape and the
+  /// skipped-rung counts — or "" when decisive.
+  std::string SearchStage(const Dependency& target, const Budget& budget,
+                          Verdict& v);
+  /// Stages 2+3 of the mixed route raced on options_.pool: the chase
+  /// probe against the whole refutation portfolio (see SolveOptions::pool).
+  /// Returns false when the race could not start (no canonical seed) —
+  /// the sequential path then reports the failure. `search_summary`
+  /// receives the portfolio's not-decisive summary (as SearchStage).
   bool SolveMixedRaced(const Dependency& target, const Budget& slice,
-                       std::vector<std::string>& unknown_notes, Verdict& v);
+                       std::vector<std::string>& unknown_notes,
+                       std::string& search_summary, Verdict& v);
   /// Folds a finished chase probe into the verdict (the shared tail of
   /// the sequential and raced stage 2). True iff decisive.
   bool FinishChase(const Dependency& target, const Budget& slice,
                    InternedWorkspace& ws,
                    const Result<WorkspaceChaseStats>& run,
                    std::vector<std::string>& unknown_notes, Verdict& v);
-  /// Folds a finished search probe into the verdict (the shared tail of
-  /// SearchStage and the raced stage 3); runs the evidence check.
-  void FinishSearch(const Dependency& target,
-                    const BoundedSearchOptions& opts,
-                    Result<BoundedSearchResult> search, Verdict& v);
-  /// The search options every refutation scan uses (budget + shape +
-  /// the effective compiled-table cache).
-  BoundedSearchOptions MakeSearchOptions(const Budget& budget);
+  /// Folds a finished portfolio run into the verdict (the shared tail of
+  /// SearchStage and the raced stage 3): one "search" stage report per
+  /// ladder rung, the winning counterexample verified through watchers.
+  /// Returns the not-decisive summary ("" when decisive) like SearchStage.
+  std::string FinishPortfolio(const Dependency& target,
+                              Result<PortfolioResult> run, Verdict& v);
+  /// The portfolio options every refutation sweep uses (shape-ladder knobs
+  /// + the effective compiled-table cache + the solver's pool). `cancel`
+  /// chains every rung under an outer race token (may be null).
+  PortfolioOptions MakePortfolioOptions(SharedBudgetMeter* cancel);
   /// Tries to answer kNotImplied from the witness cache (a database from
   /// an earlier Solve that satisfies sigma and violates `target`). On a
   /// hit fills the verdict (stage "witness-cache") and returns true.
-  bool ProbeWitnessCache(const Dependency& target, Verdict& v);
+  /// With `evidence_only`, the verdict outcome/engine are already decided
+  /// (the unary route's exact refutation): a hit only attaches the
+  /// replayed database as the counterexample evidence.
+  bool ProbeWitnessCache(const Dependency& target, Verdict& v,
+                         bool evidence_only = false);
   /// Verifies `db` against sigma and the target through incremental
   /// watchers (and offers it to the witness cache for later Solves).
   /// Returns true iff genuine; attaches the database to `v` only when

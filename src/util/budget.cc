@@ -1,5 +1,6 @@
 #include "util/budget.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/strings.h"
@@ -51,6 +52,20 @@ Budget Budget::Split(unsigned parts) const {
   share.tuples = divide(tuples);
   share.expressions = divide(expressions);
   return share;
+}
+
+std::vector<Budget> Budget::SplitLadder(
+    const std::vector<std::uint64_t>& costs) const {
+  std::vector<Budget> shares;
+  shares.reserve(costs.size());
+  std::uint64_t remaining = steps;
+  for (std::uint64_t cost : costs) {
+    Budget share = *this;
+    share.steps = std::min(cost, remaining);
+    remaining -= share.steps;
+    shares.push_back(share);
+  }
+  return shares;
 }
 
 std::string Budget::ToString() const {

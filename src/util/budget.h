@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace ccfp {
 
@@ -90,6 +91,31 @@ struct Budget {
   /// stage a drained share, not resurrect one step per stage. Engines
   /// treat a 0 counter as immediate ResourceExhausted.
   Budget Split(unsigned parts) const;
+
+  /// Ladder allocation for a portfolio of *priority-ordered* probes
+  /// ("rungs"): rung i declares the `steps` it could consume at most
+  /// (`costs[i]`, e.g. a bounded search's candidate-space upper bound),
+  /// and shares are granted greedily in rung order — rung 0 is funded up
+  /// to its full cost before rung 1 sees a single step, and so on until
+  /// the budget drains. Two consequences the refutation portfolio builds
+  /// on (search/portfolio.h):
+  ///
+  ///   * rung 0 behaves exactly as if it had the whole budget — its share
+  ///     is min(costs[0], steps), and a probe can never consume more than
+  ///     its declared cost — so prefixing a ladder onto a previously
+  ///     single-shape stage changes nothing about that shape's outcome;
+  ///   * the allocation is computed up front from (steps, costs) alone,
+  ///     so parallel rungs racing on a pool still run under the same
+  ///     deterministic per-rung ceilings as a sequential sweep.
+  ///
+  /// Rungs past the drained point get a 0-step share (drained stays
+  /// drained — callers skip them, counted, rather than run them). The
+  /// `tuples` / `expressions` counters, the byte ceiling, and the
+  /// deadline pass through unchanged: the ladder meters its probes
+  /// through `steps` alone, and the others are limits each rung checks
+  /// independently against shared state.
+  std::vector<Budget> SplitLadder(
+      const std::vector<std::uint64_t>& costs) const;
 
   /// True iff a deadline is set and has passed.
   bool Expired() const {

@@ -113,17 +113,31 @@ class TaskGroup {
 ///
 /// The deadline is sampled every kDeadlineStride charges (a clock read per
 /// charge would dominate the fine-grained counters).
+///
+/// Meters can be *chained*: a meter constructed with a parent reports
+/// exhausted once either it or any ancestor is, so one outer cancellation
+/// (a race's first decisive verdict) drains a whole family of per-probe
+/// meters without the canceller having to know them — the refutation
+/// portfolio hangs one child meter per ladder rung off the race's cancel
+/// token this way. Charges never propagate upward; the chain carries the
+/// sticky flag only.
 class SharedBudgetMeter {
  public:
   /// `step_ceiling` is whichever Budget axis the consumer meters through
   /// the shared counter (candidates for bounded search, events for the
-  /// verifier); the deadline always comes from `budget`.
-  SharedBudgetMeter(const Budget& budget, std::uint64_t step_ceiling)
-      : deadline_(budget.deadline), step_ceiling_(step_ceiling) {}
+  /// verifier); the deadline always comes from `budget`. `parent` (not
+  /// owned; may be null) chains this meter under an outer one: parent
+  /// exhaustion is exhaustion here too.
+  SharedBudgetMeter(const Budget& budget, std::uint64_t step_ceiling,
+                    const SharedBudgetMeter* parent = nullptr)
+      : deadline_(budget.deadline),
+        step_ceiling_(step_ceiling),
+        parent_(parent) {}
 
-  /// Charges `n` units. Returns false once exhausted (by any worker).
+  /// Charges `n` units. Returns false once exhausted (by any worker, or
+  /// anywhere up the parent chain).
   bool Charge(std::uint64_t n = 1) {
-    if (exhausted_.load(std::memory_order_relaxed)) return false;
+    if (exhausted()) return false;
     std::uint64_t used = steps_.fetch_add(n, std::memory_order_relaxed) + n;
     if (used > step_ceiling_) {
       exhausted_.store(true, std::memory_order_relaxed);
@@ -138,7 +152,10 @@ class SharedBudgetMeter {
   }
 
   void MarkExhausted() { exhausted_.store(true, std::memory_order_relaxed); }
-  bool exhausted() const { return exhausted_.load(std::memory_order_relaxed); }
+  bool exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->exhausted());
+  }
   std::uint64_t used() const { return steps_.load(std::memory_order_relaxed); }
 
  private:
@@ -146,6 +163,7 @@ class SharedBudgetMeter {
 
   std::optional<std::chrono::steady_clock::time_point> deadline_;
   std::uint64_t step_ceiling_;
+  const SharedBudgetMeter* parent_ = nullptr;
   std::atomic<std::uint64_t> steps_{0};
   std::atomic<bool> exhausted_{false};
 };

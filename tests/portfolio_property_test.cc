@@ -1,0 +1,243 @@
+// Determinism and coverage properties of the refutation portfolio
+// (search/portfolio.h):
+//   (a) the parallel portfolio is *bit-identical* to a sequential ladder
+//       sweep — verdict, witness, winner, and every per-rung report — at
+//       pool widths 1/2/4/8, including budgets that drain mid-rung;
+//   (b) shape monotonicity — a counterexample found within shape (t, d)
+//       is also found within (t+1, d) and (t, d+1): growing the ladder
+//       never loses a refutation;
+//   (c) the PR's acceptance workload — a query whose smallest
+//       counterexample needs a third tuple, kUnknown under the classic
+//       fixed 2x2 search — flips to a verified kNotImplied under the
+//       portfolio with the same total Budget, sequentially and at every
+//       pool width.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/satisfies.h"
+#include "search/portfolio.h"
+#include "solve/solver.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/task_pool.h"
+
+namespace ccfp {
+namespace {
+
+/// Canonical rendering of everything the determinism contract pins: the
+/// winner, the totals, and each rung's (shape, status, share, candidates,
+/// note) tuple. Two runs are "bit-identical" iff these strings match and
+/// the witnesses compare equal.
+std::string Render(const PortfolioResult& r) {
+  std::string out = StrCat("winner=", r.winner == PortfolioResult::kNoRung
+                                          ? std::string("none")
+                                          : StrCat(r.winner),
+                           " candidates=", r.candidates_tested,
+                           " scanned=", r.rungs_scanned,
+                           " skipped=", r.rungs_skipped);
+  for (const RungReport& rung : r.rungs) {
+    out += StrCat("\n  [", rung.shape.ToString(), "] ",
+                  RungStatusToString(rung.status), " share=", rung.share,
+                  " candidates=", rung.candidates_tested, " note=", rung.note);
+  }
+  return out;
+}
+
+struct Workload {
+  SchemePtr scheme;
+  std::vector<Dependency> sigma;
+  Dependency target{Fd{0, {0}, {0}}};  // placeholder; always overwritten
+};
+
+/// Random two-relation FD+IND workloads over arity-2 relations: small
+/// enough that several ladder rungs fully scan, varied enough that some
+/// queries refute at rung 0, some only above it, and some not at all.
+Workload RandomWorkload(SplitMix64& rng) {
+  Workload w;
+  w.scheme = MakeScheme({{"R", {"A", "B"}}, {"S", {"C", "D"}}});
+  std::size_t deps = 1 + rng.Below(3);
+  for (std::size_t i = 0; i < deps; ++i) {
+    if (rng.Chance(1, 2)) {
+      RelId rel = static_cast<RelId>(rng.Below(2));
+      AttrId x = static_cast<AttrId>(rng.Below(2));
+      w.sigma.push_back(Dependency(Fd{rel, {x}, {static_cast<AttrId>(1 - x)}}));
+    } else {
+      Ind ind{static_cast<RelId>(rng.Below(2)),
+              {static_cast<AttrId>(rng.Below(2))},
+              static_cast<RelId>(rng.Below(2)),
+              {static_cast<AttrId>(rng.Below(2))}};
+      if (!Validate(*w.scheme, ind).ok() || IsTrivial(ind)) continue;
+      w.sigma.push_back(Dependency(ind));
+    }
+  }
+  if (rng.Chance(1, 2)) {
+    RelId rel = static_cast<RelId>(rng.Below(2));
+    AttrId x = static_cast<AttrId>(rng.Below(2));
+    w.target = Dependency(Fd{rel, {x}, {static_cast<AttrId>(1 - x)}});
+  } else {
+    w.target = Dependency(Ind{0, {static_cast<AttrId>(rng.Below(2))}, 1,
+                              {static_cast<AttrId>(rng.Below(2))}});
+  }
+  return w;
+}
+
+/// Runs the same portfolio sequentially and on pools of width 1/2/4/8 and
+/// expects identical results throughout.
+void ExpectWidthInvariant(const Workload& w, const Budget& budget) {
+  PortfolioOptions opts;  // defaults: 2x2 base, +2/+2 growth, 6 rungs
+  RefutationPortfolio sequential(w.scheme, w.sigma, w.target, opts);
+  Result<PortfolioResult> baseline = sequential.Run(budget);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  std::string want = Render(*baseline);
+  for (unsigned width : {1u, 2u, 4u, 8u}) {
+    TaskPool pool(width);
+    PortfolioOptions popts;
+    popts.pool = &pool;
+    RefutationPortfolio parallel(w.scheme, w.sigma, w.target, popts);
+    Result<PortfolioResult> run = parallel.Run(budget);
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(Render(*run), want)
+        << "portfolio diverged from the sequential sweep at pool width "
+        << width;
+    ASSERT_EQ(run->counterexample.has_value(),
+              baseline->counterexample.has_value());
+    if (run->counterexample.has_value()) {
+      EXPECT_TRUE(*run->counterexample == *baseline->counterexample)
+          << "witness differs at pool width " << width;
+    }
+  }
+}
+
+class PortfolioPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+// --- (a) width invariance under an ample budget -------------------------
+
+TEST_P(PortfolioPropertyTest, MatchesSequentialLadderAtEveryWidth) {
+  SplitMix64 rng(GetParam() * 193 + 3);
+  for (int i = 0; i < 3; ++i) {
+    Workload w = RandomWorkload(rng);
+    Budget budget;
+    budget.steps = 20000;  // funds several rungs, drains the tail
+    ExpectWidthInvariant(w, budget);
+  }
+}
+
+// --- (a) width invariance when the budget drains mid-rung ---------------
+
+TEST_P(PortfolioPropertyTest, MatchesSequentialUnderMidRungStarvation) {
+  SplitMix64 rng(GetParam() * 977 + 41);
+  Workload w = RandomWorkload(rng);
+  // Sweep budgets from "rung 0 stops after one candidate" through "the
+  // tail rungs get partial shares": every SplitLadder boundary shape —
+  // full shares, truncated shares, drained-to-zero shares — shows up at
+  // some point of this ladder of budgets.
+  for (std::uint64_t steps : {1ull, 3ull, 10ull, 40ull, 200ull, 1000ull,
+                              5000ull}) {
+    Budget budget;
+    budget.steps = steps;
+    ExpectWidthInvariant(w, budget);
+  }
+}
+
+// --- (b) shape monotonicity ---------------------------------------------
+
+TEST_P(PortfolioPropertyTest, GrowingTheShapeNeverLosesARefutation) {
+  SplitMix64 rng(GetParam() * 59 + 17);
+  for (int i = 0; i < 3; ++i) {
+    Workload w = RandomWorkload(rng);
+    BoundedSearchOptions base;
+    base.max_tuples_per_relation = 2;
+    base.domain_size = 2;
+    Result<BoundedSearchResult> small =
+        FindCounterexample(w.scheme, w.sigma, w.target, base);
+    ASSERT_TRUE(small.ok()) << small.status();
+    if (!small->counterexample.has_value()) continue;
+    for (int axis = 0; axis < 2; ++axis) {
+      BoundedSearchOptions grown = base;
+      if (axis == 0) {
+        grown.max_tuples_per_relation++;
+      } else {
+        grown.domain_size++;
+      }
+      Result<BoundedSearchResult> large =
+          FindCounterexample(w.scheme, w.sigma, w.target, grown);
+      ASSERT_TRUE(large.ok()) << large.status();
+      EXPECT_TRUE(large->counterexample.has_value())
+          << "refutation lost growing axis " << axis << " for "
+          << w.target.ToString(*w.scheme);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PortfolioPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// --- (c) the acceptance workload ----------------------------------------
+
+/// R(A,B,C) with sigma = { A -> B, R[B,C] <= R[C,A] } and target
+/// R: A -> C. With exactly two tuples any A -> C violation forces, via
+/// the IND, a = b = c1 and then c1 = c2 — contradiction — so no 2-tuple
+/// counterexample exists at any domain size and the classic fixed 2x2
+/// search exhausts its shape; the whole mixed pipeline lands on kUnknown
+/// (the cyclic IND diverges the chase, the sound rules cannot derive the
+/// target). The ladder's 3-tuple rung finds the minimal witness
+/// (0,0,0), (0,0,1), (1,0,0).
+Workload WideWorkload() {
+  Workload w;
+  w.scheme = MakeScheme({{"R", {"A", "B", "C"}}});
+  w.sigma.push_back(Dependency(Fd{0, {0}, {1}}));
+  w.sigma.push_back(Dependency(Ind{0, {1, 2}, 0, {2, 0}}));
+  w.target = Dependency(Fd{0, {0}, {2}});
+  return w;
+}
+
+TEST(PortfolioAcceptanceTest, WideWorkloadFlipsUnknownToNotImplied) {
+  Workload w = WideWorkload();
+  Budget budget;  // the default budget, identical for both solvers
+
+  SolveOptions fixed;
+  fixed.search_max_rungs = 1;  // the classic single-shape search
+  ImplicationSolver fixed_solver(w.scheme, w.sigma, fixed);
+  Verdict before = fixed_solver.Solve(w.target, budget).value();
+  EXPECT_EQ(before.outcome, ImplicationVerdict::kUnknown)
+      << before.ToString(*w.scheme);
+
+  ImplicationSolver portfolio_solver(w.scheme, w.sigma);
+  Verdict after = portfolio_solver.Solve(w.target, budget).value();
+  EXPECT_EQ(after.outcome, ImplicationVerdict::kNotImplied)
+      << after.ToString(*w.scheme);
+  ASSERT_TRUE(after.counterexample.has_value());
+  EXPECT_TRUE(after.counterexample_verified);
+  // Belt and braces: re-check the witness with the legacy model checker.
+  SatisfiesOptions legacy{SatisfiesEngine::kLegacy};
+  for (const Dependency& dep : w.sigma) {
+    EXPECT_TRUE(Satisfies(*after.counterexample, dep, legacy));
+  }
+  EXPECT_FALSE(Satisfies(*after.counterexample, w.target, legacy));
+}
+
+TEST(PortfolioAcceptanceTest, WideWorkloadVerdictIdenticalAtEveryWidth) {
+  Workload w = WideWorkload();
+  Budget budget;
+  ImplicationSolver sequential(w.scheme, w.sigma);
+  Verdict baseline = sequential.Solve(w.target, budget).value();
+  ASSERT_EQ(baseline.outcome, ImplicationVerdict::kNotImplied);
+  std::string want = baseline.ToString(*w.scheme);
+  for (unsigned width : {1u, 2u, 4u, 8u}) {
+    TaskPool pool(width);
+    SolveOptions raced;
+    raced.pool = &pool;
+    ImplicationSolver solver(w.scheme, w.sigma, raced);
+    Verdict v = solver.Solve(w.target, budget).value();
+    EXPECT_EQ(v.ToString(*w.scheme), want)
+        << "raced verdict diverged at pool width " << width;
+    ASSERT_TRUE(v.counterexample.has_value());
+    EXPECT_TRUE(*v.counterexample == *baseline.counterexample);
+  }
+}
+
+}  // namespace
+}  // namespace ccfp
